@@ -1,0 +1,131 @@
+// Ablation study (DESIGN.md E10): how much does each heuristic contribute?
+//
+// Runs HSP variants over the whole workload and reports, per variant, the
+// total measured plan cost (RDF-3X cost model over actual intermediate
+// sizes) and total execution time:
+//   * full            — the paper's configuration,
+//   * no-H3 … no-H5   — one set-level tie-break heuristic disabled,
+//   * no-type-exc     — HEURISTIC 1 without the rdf:type demotion,
+//   * random-ties     — all set-level tie-breaks disabled (RandomChooseOne
+//                       works alone),
+//   * selective-ties  — tie-breaks inverted (merge blocks take the most
+//                       selective patterns instead of the bulkiest).
+//
+// Flags: --triples=N (default 150000), --runs=N (default 5).
+#include <iostream>
+
+#include "bench_util.h"
+#include "cdp/cost_model.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "workload/queries.h"
+
+namespace hsparql {
+namespace {
+
+struct Variant {
+  std::string name;
+  hsp::HspOptions options;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> out;
+  out.push_back({"full", {}});
+  {
+    hsp::HspOptions o;
+    o.use_h3 = false;
+    out.push_back({"no-H3", o});
+  }
+  {
+    hsp::HspOptions o;
+    o.use_h4 = false;
+    out.push_back({"no-H4", o});
+  }
+  {
+    hsp::HspOptions o;
+    o.use_h2 = false;
+    out.push_back({"no-H2", o});
+  }
+  {
+    hsp::HspOptions o;
+    o.use_h5 = false;
+    out.push_back({"no-H5", o});
+  }
+  {
+    hsp::HspOptions o;
+    o.h1_type_exception = false;
+    out.push_back({"no-type-exc", o});
+  }
+  {
+    hsp::HspOptions o;
+    o.use_h3 = o.use_h4 = o.use_h2 = o.use_h5 = false;
+    out.push_back({"random-ties", o});
+  }
+  {
+    hsp::HspOptions o;
+    o.tie_break.merge_prefers_bulky = false;
+    out.push_back({"selective-ties", o});
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::uint64_t triples = flags.GetInt("triples", 150000);
+  int runs = static_cast<int>(flags.GetInt("runs", 5));
+
+  auto sp2b = bench::BuildEnv(workload::Dataset::kSp2Bench, triples);
+  auto yago = bench::BuildEnv(workload::Dataset::kYago, triples);
+
+  std::cout << "== Heuristics ablation (whole workload totals) ==\n\n";
+  bench::TablePrinter table({"Variant", "Total exec ms", "Total cost",
+                             "Total intermed. rows", "Merge joins",
+                             "Hash joins"});
+
+  for (const Variant& variant : Variants()) {
+    hsp::HspPlanner planner(variant.options);
+    double total_ms = 0.0;
+    double total_cost = 0.0;
+    std::uint64_t total_rows = 0;
+    int total_mj = 0;
+    int total_hj = 0;
+    for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+      bench::Env* env = wq.dataset == workload::Dataset::kSp2Bench
+                            ? sp2b.get()
+                            : yago.get();
+      sparql::Query query = bench::ParseQuery(wq);
+      auto planned = planner.Plan(query);
+      if (!planned.ok()) {
+        std::cerr << wq.id << " (" << variant.name
+                  << "): " << planned.status() << "\n";
+        return 1;
+      }
+      exec::Executor executor(&env->store);
+      exec::ExecResult last;
+      total_ms += bench::WarmMeanMillis(runs, [&]() {
+        auto run = executor.Execute(planned->query, planned->plan);
+        if (!run.ok()) {
+          std::cerr << wq.id << ": " << run.status() << "\n";
+          std::abort();
+        }
+        last = std::move(run).ValueOrDie();
+        return last.total_millis;
+      });
+      total_cost +=
+          cdp::ComputePlanCost(planned->plan, last.cardinalities).total();
+      total_rows += last.total_intermediate_rows;
+      total_mj += planned->plan.CountJoins(hsp::JoinAlgo::kMerge);
+      total_hj += planned->plan.CountJoins(hsp::JoinAlgo::kHash);
+    }
+    table.AddRow({variant.name, bench::Fmt(total_ms, 1),
+                  bench::Fmt(total_cost, 0), std::to_string(total_rows),
+                  std::to_string(total_mj), std::to_string(total_hj)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsparql
+
+int main(int argc, char** argv) { return hsparql::Run(argc, argv); }

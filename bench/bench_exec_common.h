@@ -1,0 +1,19 @@
+// Shared implementation of the Table 7 / Table 8 execution-time harnesses.
+#ifndef HSPARQL_BENCH_BENCH_EXEC_COMMON_H_
+#define HSPARQL_BENCH_BENCH_EXEC_COMMON_H_
+
+#include "bench_util.h"
+
+namespace hsparql::bench {
+
+/// Runs every workload query of `dataset` through the three planners
+/// (HSP, CDP, left-deep SQL) on a generated dataset and reports warm-run
+/// mean execution times (the paper's protocol: 21 runs, drop the first,
+/// mean of 20), next to the paper's published numbers.
+///
+/// Flags: --triples=N (default 200000), --runs=N (default 21).
+int RunExecutionTable(workload::Dataset dataset, int argc, char** argv);
+
+}  // namespace hsparql::bench
+
+#endif  // HSPARQL_BENCH_BENCH_EXEC_COMMON_H_

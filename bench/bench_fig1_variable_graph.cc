@@ -1,0 +1,45 @@
+// Reproduces Figure 1: the variable graph of the §3 example query.
+//
+// Prints the untrimmed graph (?jrnl weighted 4, ?yr and ?rev weighted 1),
+// the trimmed planning graph (only ?jrnl survives) and a GraphViz DOT
+// rendering.
+#include <iostream>
+
+#include "bench_util.h"
+#include "hsp/mwis.h"
+#include "hsp/variable_graph.h"
+#include "sparql/parser.h"
+#include "workload/queries.h"
+
+int main() {
+  using namespace hsparql;
+  auto query = sparql::Parse(workload::Figure1ExampleQuery());
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return 1;
+  }
+  std::cout << "== Figure 1: variable graph of the Section 3 example ==\n\n"
+            << "Query:\n"
+            << query->ToString() << "\n\n";
+
+  hsp::VariableGraph full = hsp::VariableGraph::Build(*query, 1);
+  std::cout << "Variable graph (paper Figure 1):\n  "
+            << full.ToString(*query) << "\n\n"
+            << "DOT rendering:\n"
+            << full.ToDot(*query) << "\n";
+
+  hsp::VariableGraph trimmed = hsp::VariableGraph::Build(*query, 2);
+  std::cout << "Trimmed to join variables (weight >= 2): "
+            << trimmed.ToString(*query) << "\n";
+
+  hsp::MwisResult mwis = hsp::AllMaximumWeightIndependentSets(trimmed);
+  std::cout << "Maximum-weight independent sets: " << mwis.sets.size()
+            << " set(s) of weight " << mwis.best_weight << " -> { ";
+  for (std::size_t idx : mwis.sets.front()) {
+    std::cout << '?' << query->VarName(trimmed.node(idx).var) << ' ';
+  }
+  std::cout << "}\n"
+            << "\nPaper: 'the variable graph of Figure 1 is trimmed down to "
+               "only one node, namely ?jrnl'.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Hybrid-planner evaluation (the paper's proposed follow-up, abstract +
+// §7): HSP vs Hybrid (HSP structure + statistics) vs CDP on the whole
+// workload. The interesting rows are the ones the paper flags as HSP's
+// failures — the syntactically-similar stars SP2a/SP2b and the YAGO
+// queries Y1/Y2 — where the hybrid should recover CDP-like
+// intermediate-result sizes while keeping HSP's planning skeleton.
+//
+// Flags: --triples=N (default 200000), --runs=N (default 7).
+#include <iostream>
+
+#include "bench_util.h"
+#include "cdp/cdp_planner.h"
+#include "cdp/hybrid_planner.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "workload/queries.h"
+
+namespace hsparql {
+namespace {
+
+struct Measured {
+  double ms = 0.0;
+  std::uint64_t intermediates = 0;
+};
+
+template <typename Planner>
+Measured Measure(bench::Env* env, Planner& planner,
+                 const sparql::Query& query, int runs) {
+  auto planned = planner.Plan(query);
+  if (!planned.ok()) {
+    std::cerr << "planning failed: " << planned.status() << "\n";
+    std::abort();
+  }
+  exec::Executor executor(&env->store);
+  exec::ExecResult last;
+  Measured m;
+  m.ms = bench::WarmMeanMillis(runs, [&]() {
+    auto run = executor.Execute(planned->query, planned->plan);
+    if (!run.ok()) {
+      std::cerr << "execution failed: " << run.status() << "\n";
+      std::abort();
+    }
+    last = std::move(run).ValueOrDie();
+    return last.total_millis;
+  });
+  m.intermediates = last.total_intermediate_rows;
+  return m;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::uint64_t triples = flags.GetInt("triples", 200000);
+  int runs = static_cast<int>(flags.GetInt("runs", 7));
+
+  auto sp2b = bench::BuildEnv(workload::Dataset::kSp2Bench, triples);
+  auto yago = bench::BuildEnv(workload::Dataset::kYago, triples);
+
+  std::cout << "== Hybrid planner: HSP vs HSP+statistics vs CDP ==\n\n";
+  bench::TablePrinter table({"Query", "HSP ms", "Hybrid ms", "CDP ms",
+                             "HSP rows", "Hybrid rows", "CDP rows"});
+
+  hsp::HspPlanner hsp_planner;
+  for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+    bench::Env* env =
+        wq.dataset == workload::Dataset::kSp2Bench ? sp2b.get() : yago.get();
+    sparql::Query query = bench::ParseQuery(wq);
+    cdp::HybridPlanner hybrid(&env->store, &env->stats);
+    cdp::CdpPlanner cdp_planner(&env->store, &env->stats);
+
+    Measured h = Measure(env, hsp_planner, query, runs);
+    Measured y = Measure(env, hybrid, query, runs);
+    Measured c = Measure(env, cdp_planner, query, runs);
+    table.AddRow({wq.id, bench::Fmt(h.ms, 2), bench::Fmt(y.ms, 2),
+                  bench::Fmt(c.ms, 2), std::to_string(h.intermediates),
+                  std::to_string(y.intermediates),
+                  std::to_string(c.intermediates)});
+  }
+  table.Print();
+  std::cout << "\nrows = total intermediate-result rows (the footprint the "
+               "heuristics minimise).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsparql
+
+int main(int argc, char** argv) { return hsparql::Run(argc, argv); }

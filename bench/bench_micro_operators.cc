@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the storage and execution
+// substrate: binary-search prefix lookups vs full scans, merge join vs
+// hash join at various input sizes — the primitives whose cost asymmetry
+// ((lc+rc)/100k vs 300k + lc/100 + rc/10) the whole paper builds on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "storage/triple_store.h"
+#include "workload/sp2bench_gen.h"
+
+namespace hsparql {
+namespace {
+
+const storage::TripleStore& SharedStore() {
+  static const storage::TripleStore* store = [] {
+    workload::Sp2bConfig config = workload::Sp2bConfig::FromTargetTriples(
+        200000);
+    return new storage::TripleStore(
+        storage::TripleStore::Build(workload::GenerateSp2b(config)));
+  }();
+  return *store;
+}
+
+void BM_LookupPrefixPredicate(benchmark::State& state) {
+  const storage::TripleStore& store = SharedStore();
+  auto type = store.dictionary().Find(rdf::Term::Iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+  storage::Binding binding{rdf::Position::kPredicate, *type};
+  for (auto _ : state) {
+    auto range = store.LookupPrefix(storage::Ordering::kPso, {&binding, 1});
+    benchmark::DoNotOptimize(range.size());
+  }
+}
+BENCHMARK(BM_LookupPrefixPredicate);
+
+void BM_FullScanCount(benchmark::State& state) {
+  const storage::TripleStore& store = SharedStore();
+  auto type = store.dictionary().Find(rdf::Term::Iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (const rdf::Triple& t : store.Scan(storage::Ordering::kSpo)) {
+      if (t.p == *type) ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_FullScanCount);
+
+// Join micro-benchmarks run a two-pattern star with a forced algorithm.
+void RunJoinBenchmark(benchmark::State& state, hsp::JoinAlgo algo) {
+  const storage::TripleStore& store = SharedStore();
+  auto q = sparql::Parse(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+      "PREFIX dcterms: <http://purl.org/dc/terms/>\n"
+      "SELECT ?x WHERE { ?x dc:creator ?c . ?x dcterms:issued ?y }");
+  if (!q.ok()) {
+    state.SkipWithError("query parse failed");
+    return;
+  }
+  sparql::VarId x = *q->FindVar("x");
+  auto make_plan = [&]() {
+    auto left = hsp::PlanNode::Scan(0, storage::Ordering::kPso, x);
+    auto right = hsp::PlanNode::Scan(1, storage::Ordering::kPso, x);
+    auto join =
+        hsp::PlanNode::Join(algo, x, std::move(left), std::move(right));
+    return hsp::LogicalPlan(
+        hsp::PlanNode::Project({x}, false, std::move(join)));
+  };
+  hsp::LogicalPlan plan = make_plan();
+  exec::Executor executor(&store);
+  for (auto _ : state) {
+    auto result = executor.Execute(*q, plan);
+    if (!result.ok()) {
+      state.SkipWithError("execution failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->table.rows);
+  }
+}
+
+void BM_MergeJoinStar(benchmark::State& state) {
+  RunJoinBenchmark(state, hsp::JoinAlgo::kMerge);
+}
+BENCHMARK(BM_MergeJoinStar);
+
+void BM_HashJoinStar(benchmark::State& state) {
+  RunJoinBenchmark(state, hsp::JoinAlgo::kHash);
+}
+BENCHMARK(BM_HashJoinStar);
+
+void BM_HspPlanning(benchmark::State& state) {
+  auto q = sparql::Parse(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX y: <http://yago-knowledge.org/resource/>\n"
+      "SELECT ?a WHERE {\n"
+      "  ?a rdf:type y:wordnet_actor .\n"
+      "  ?a y:livesIn ?city .\n"
+      "  ?a y:actedIn ?m1 .\n"
+      "  ?m1 rdf:type y:wordnet_movie .\n"
+      "  ?a y:directed ?m2 .\n"
+      "  ?m2 rdf:type y:wordnet_movie .\n}");
+  if (!q.ok()) {
+    state.SkipWithError("query parse failed");
+    return;
+  }
+  hsp::HspPlanner planner;
+  for (auto _ : state) {
+    auto planned = planner.Plan(*q);
+    benchmark::DoNotOptimize(planned.ok());
+  }
+}
+BENCHMARK(BM_HspPlanning);
+
+}  // namespace
+}  // namespace hsparql
+
+BENCHMARK_MAIN();

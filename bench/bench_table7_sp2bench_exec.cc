@@ -1,0 +1,8 @@
+// Reproduces Table 7: query execution times for the SP2Bench workload.
+// See bench_exec_common.h for the protocol and flags.
+#include "bench_exec_common.h"
+
+int main(int argc, char** argv) {
+  return hsparql::bench::RunExecutionTable(
+      hsparql::workload::Dataset::kSp2Bench, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Reproduces Table 8: query execution times for the YAGO workload.
+// See bench_exec_common.h for the protocol and flags.
+#include "bench_exec_common.h"
+
+int main(int argc, char** argv) {
+  return hsparql::bench::RunExecutionTable(hsparql::workload::Dataset::kYago,
+                                           argc, argv);
+}

@@ -1,0 +1,124 @@
+#include "bench_util.h"
+
+#include <functional>
+#include <iomanip>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "sparql/parser.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    arg.remove_prefix(2);
+    std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_.emplace_back(std::string(arg), "true");
+    } else {
+      values_.emplace_back(std::string(arg.substr(0, eq)),
+                           std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+std::uint64_t Flags::GetInt(std::string_view name, std::uint64_t def) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return std::stoull(v);
+  }
+  return def;
+}
+
+bool Flags::GetBool(std::string_view name, bool def) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return v == "true" || v == "1";
+  }
+  return def;
+}
+
+std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
+                              std::uint64_t target_triples) {
+  WallTimer timer;
+  rdf::Graph graph =
+      dataset == workload::Dataset::kSp2Bench
+          ? workload::GenerateSp2b(
+                workload::Sp2bConfig::FromTargetTriples(target_triples))
+          : workload::GenerateYago(
+                workload::YagoConfig::FromTargetTriples(target_triples));
+  double gen_ms = timer.ElapsedMillis();
+  timer.Start();
+  auto env = std::make_unique<Env>(
+      storage::TripleStore::Build(std::move(graph)));
+  std::cerr << "# "
+            << (dataset == workload::Dataset::kSp2Bench ? "SP2Bench-like"
+                                                        : "YAGO-like")
+            << " dataset: " << FormatCount(env->store.size())
+            << " distinct triples (generate " << Fmt(gen_ms / 1000.0, 1)
+            << "s, index " << Fmt(timer.ElapsedMillis() / 1000.0, 1)
+            << "s)\n";
+  return env;
+}
+
+sparql::Query ParseQuery(const workload::WorkloadQuery& wq) {
+  auto q = sparql::Parse(wq.sparql);
+  if (!q.ok()) {
+    std::cerr << "FATAL: workload query " << wq.id
+              << " failed to parse: " << q.status() << "\n";
+    std::abort();
+  }
+  return std::move(q).ValueOrDie();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::ostream& out)
+    : headers_(std::move(headers)), out_(out) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out_ << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+           << (i < row.size() ? row[i] : "");
+    }
+    out_ << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out_ << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+double WarmMeanMillis(int runs, const std::function<double()>& fn) {
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    double ms = fn();
+    if (i > 0) total += ms;  // drop the cold run
+  }
+  return runs > 1 ? total / (runs - 1) : total;
+}
+
+}  // namespace hsparql::bench

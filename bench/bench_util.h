@@ -1,0 +1,72 @@
+// Shared plumbing for the per-table/figure benchmark harnesses.
+#ifndef HSPARQL_BENCH_BENCH_UTIL_H_
+#define HSPARQL_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "workload/queries.h"
+
+namespace hsparql::bench {
+
+/// Minimal --key=value flag access (e.g. --triples=1000000 --runs=21).
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::uint64_t GetInt(std::string_view name, std::uint64_t def) const;
+  bool GetBool(std::string_view name, bool def) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+/// A dataset ready for planning and execution. Statistics hold a pointer
+/// into `store`, so Env lives behind a unique_ptr and is never moved.
+struct Env {
+  explicit Env(storage::TripleStore&& s)
+      : store(std::move(s)), stats(storage::Statistics::Compute(store)) {}
+
+  storage::TripleStore store;
+  storage::Statistics stats;
+};
+
+/// Generates, loads and indexes one of the two synthetic datasets,
+/// printing size and build time to stderr.
+std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
+                              std::uint64_t target_triples);
+
+/// Parses a workload query or aborts (workload queries are tested).
+sparql::Query ParseQuery(const workload::WorkloadQuery& wq);
+
+/// Fixed-width table printing.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::ostream& out = std::cout);
+  void AddRow(std::vector<std::string> cells);
+  void Print();
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::ostream& out_;
+};
+
+/// Formats a double with the given precision ("12.34").
+std::string Fmt(double value, int precision = 2);
+
+/// Warm-run protocol of §6.1: run `runs` times, drop the first (cold) run,
+/// return the mean of the rest. `fn` returns its elapsed milliseconds.
+double WarmMeanMillis(int runs, const std::function<double()>& fn);
+
+}  // namespace hsparql::bench
+
+#endif  // HSPARQL_BENCH_BENCH_UTIL_H_

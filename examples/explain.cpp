@@ -1,0 +1,148 @@
+// Example: a command-line EXPLAIN / query tool over N-Triples files.
+//
+// Usage:
+//   explain <data.nt> [--planner=hsp|cdp|sql|hybrid] [--explain-only]
+//           [--format=table|json|tsv] [query.rq]
+//
+// Reads an RDF dataset in N-Triples syntax, then executes (or just
+// explains) the SPARQL query given as a file argument — or each ';'-free
+// query read from stdin when no file is given. This is the shape of tool a
+// downstream user points at their own data.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cdp/cdp_planner.h"
+#include "cdp/hybrid_planner.h"
+#include "cdp/leftdeep_planner.h"
+#include "exec/executor.h"
+#include "exec/results_io.h"
+#include "hsp/hsp_planner.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+
+namespace {
+
+int Fail(const hsparql::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsparql;
+  std::string data_path;
+  std::string query_path;
+  std::string planner_name = "hsp";
+  std::string format = "table";
+  bool explain_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--planner=", 0) == 0) {
+      planner_name = arg.substr(10);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--explain-only") {
+      explain_only = true;
+    } else if (data_path.empty()) {
+      data_path = arg;
+    } else {
+      query_path = arg;
+    }
+  }
+  if (data_path.empty()) {
+    std::cerr << "usage: explain <data.nt> [--planner=hsp|cdp|sql|hybrid]"
+                 " [--explain-only] [--format=table|json|tsv] [query.rq]\n";
+    return 2;
+  }
+
+  std::ifstream data(data_path);
+  if (!data) {
+    std::cerr << "error: cannot open " << data_path << "\n";
+    return 1;
+  }
+  rdf::Graph graph;
+  auto loaded = rdf::ReadNTriples(data, &graph);
+  if (!loaded.ok()) return Fail(loaded.status());
+  storage::TripleStore store = storage::TripleStore::Build(std::move(graph));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  std::cerr << "loaded " << store.size() << " distinct triples from "
+            << data_path << "\n";
+
+  auto plan_query =
+      [&](const sparql::Query& query) -> Result<hsp::PlannedQuery> {
+    if (planner_name == "hsp") return hsp::HspPlanner().Plan(query);
+    if (planner_name == "cdp") {
+      return cdp::CdpPlanner(&store, &stats).Plan(query);
+    }
+    if (planner_name == "sql") {
+      return cdp::LeftDeepPlanner(&store, &stats).Plan(query);
+    }
+    if (planner_name == "hybrid") {
+      return cdp::HybridPlanner(&store, &stats).Plan(query);
+    }
+    return Status::InvalidArgument("unknown planner '" + planner_name + "'");
+  };
+
+  auto run_one = [&](const std::string& text) -> int {
+    auto query = sparql::Parse(text);
+    if (!query.ok()) return Fail(query.status());
+    auto planned = plan_query(*query);
+    if (!planned.ok()) return Fail(planned.status());
+    std::cout << "-- plan (" << planner_name << ", "
+              << planned->plan.CountJoins(hsp::JoinAlgo::kMerge)
+              << " merge joins, "
+              << planned->plan.CountJoins(hsp::JoinAlgo::kHash)
+              << " hash joins, "
+              << hsp::PlanShapeName(planned->plan.shape()) << ") --\n"
+              << planned->plan.ToString(planned->query);
+    if (explain_only) return 0;
+    exec::Executor executor(&store);
+    auto result = executor.Execute(planned->query, planned->plan);
+    if (!result.ok()) return Fail(result.status());
+    std::cout << "-- " << result->table.rows << " result(s) in "
+              << result->total_millis << " ms --\n";
+    if (format == "json") {
+      exec::WriteResultsJson(result->table, planned->query,
+                             store.dictionary(), std::cout);
+    } else if (format == "tsv") {
+      exec::WriteResultsTsv(result->table, planned->query,
+                            store.dictionary(), std::cout);
+    } else {
+      std::cout << result->table.ToString(planned->query, store.dictionary(),
+                                          25);
+    }
+    return 0;
+  };
+
+  if (!query_path.empty()) {
+    std::ifstream qf(query_path);
+    if (!qf) {
+      std::cerr << "error: cannot open " << query_path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << qf.rdbuf();
+    return run_one(text.str());
+  }
+
+  // Interactive: queries separated by a line containing only ';'.
+  std::cerr << "enter SPARQL queries, end each with a line ';'\n";
+  std::string buffer;
+  std::string line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    if (line == ";") {
+      if (!buffer.empty()) rc |= run_one(buffer);
+      buffer.clear();
+    } else {
+      buffer += line;
+      buffer += '\n';
+    }
+  }
+  if (!buffer.empty()) rc |= run_one(buffer);
+  return rc;
+}

@@ -1,0 +1,167 @@
+#include "cdp/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace hsparql::cdp {
+
+using rdf::Position;
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+using storage::Binding;
+
+Estimate CardinalityEstimator::EstimatePattern(
+    const Query& query, std::size_t pattern_index) const {
+  const TriplePattern& tp = query.patterns[pattern_index];
+  const rdf::Dictionary& dict = store_->dictionary();
+
+  std::vector<Binding> bindings;
+  bool impossible = false;
+  for (Position pos : rdf::kAllPositions) {
+    const sparql::PatternTerm& t = tp.at(pos);
+    if (!t.is_constant()) continue;
+    auto id = dict.Find(t.constant);
+    if (!id.has_value()) {
+      impossible = true;
+      break;
+    }
+    bindings.push_back(Binding{pos, *id});
+  }
+
+  Estimate est;
+  if (impossible) {
+    for (VarId v : tp.Variables()) est.distinct[v] = 0.0;
+    return est;
+  }
+  est.rows = static_cast<double>(stats_->ExactCount(bindings));
+  for (VarId v : tp.Variables()) {
+    // A repeated variable in one pattern uses its first position.
+    Position pos = tp.PositionsOf(v).front();
+    est.distinct[v] =
+        static_cast<double>(stats_->EstimateDistinct(bindings, pos));
+  }
+  return est;
+}
+
+Estimate CardinalityEstimator::EstimateJoin(
+    const Estimate& left, const Estimate& right,
+    std::span<const VarId> shared) const {
+  Estimate out;
+  out.rows = left.rows * right.rows;
+  for (VarId v : shared) {
+    double d = std::max(left.DistinctOf(v), right.DistinctOf(v));
+    if (d > 0.0) out.rows /= d;
+  }
+  if (left.rows == 0.0 || right.rows == 0.0) out.rows = 0.0;
+  // Carry distincts, capped by the output size.
+  auto carry = [&](const Estimate& side) {
+    for (const auto& [v, d] : side.distinct) {
+      double capped = std::min(d, out.rows);
+      auto it = out.distinct.find(v);
+      if (it == out.distinct.end()) {
+        out.distinct[v] = capped;
+      } else {
+        it->second = std::min(it->second, capped);
+      }
+    }
+  };
+  carry(left);
+  carry(right);
+  return out;
+}
+
+std::vector<std::uint64_t> CardinalityEstimator::EstimatePlanCardinalities(
+    const Query& query, const hsp::LogicalPlan& plan) const {
+  std::vector<std::uint64_t> cards(
+      static_cast<std::size_t>(plan.num_nodes()), 0);
+
+  // Bottom-up walk returning (estimate, schema vars).
+  std::function<std::pair<Estimate, std::vector<VarId>>(
+      const hsp::PlanNode*)>
+      walk = [&](const hsp::PlanNode* node)
+      -> std::pair<Estimate, std::vector<VarId>> {
+    std::pair<Estimate, std::vector<VarId>> result;
+    switch (node->kind) {
+      case hsp::PlanNode::Kind::kScan: {
+        result.first = EstimatePattern(query, node->pattern_index);
+        result.second = query.patterns[node->pattern_index].Variables();
+        break;
+      }
+      case hsp::PlanNode::Kind::kJoin: {
+        auto left = walk(node->children[0].get());
+        auto right = walk(node->children[1].get());
+        std::vector<VarId> shared;
+        for (VarId v : left.second) {
+          if (std::find(right.second.begin(), right.second.end(), v) !=
+              right.second.end()) {
+            shared.push_back(v);
+          }
+        }
+        result.first = EstimateJoin(left.first, right.first, shared);
+        result.second = left.second;
+        for (VarId v : right.second) {
+          if (std::find(result.second.begin(), result.second.end(), v) ==
+              result.second.end()) {
+            result.second.push_back(v);
+          }
+        }
+        break;
+      }
+      case hsp::PlanNode::Kind::kFilter: {
+        auto child = walk(node->children[0].get());
+        result = child;
+        double selectivity =
+            node->filter.op == sparql::FilterOp::kNe ? 0.9 : 0.1;
+        result.first.rows *= selectivity;
+        for (auto& [v, d] : result.first.distinct) {
+          d = std::min(d, result.first.rows);
+        }
+        break;
+      }
+      case hsp::PlanNode::Kind::kProject: {
+        result = walk(node->children[0].get());
+        break;
+      }
+      case hsp::PlanNode::Kind::kSort: {
+        result = walk(node->children[0].get());
+        break;
+      }
+      case hsp::PlanNode::Kind::kLimit: {
+        result = walk(node->children[0].get());
+        result.first.rows = std::min(
+            result.first.rows, static_cast<double>(node->limit_count));
+        break;
+      }
+      case hsp::PlanNode::Kind::kUnion: {
+        // Bag union: rows add up, schemas merge, distincts upper-bounded
+        // by the sums.
+        for (const auto& child : node->children) {
+          auto branch = walk(child.get());
+          result.first.rows += branch.first.rows;
+          for (const auto& [v, d] : branch.first.distinct) {
+            result.first.distinct[v] += d;
+          }
+          for (VarId v : branch.second) {
+            if (std::find(result.second.begin(), result.second.end(), v) ==
+                result.second.end()) {
+              result.second.push_back(v);
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (node->id >= 0 &&
+        static_cast<std::size_t>(node->id) < cards.size()) {
+      cards[static_cast<std::size_t>(node->id)] =
+          static_cast<std::uint64_t>(std::llround(result.first.rows));
+    }
+    return result;
+  };
+  if (plan.root() != nullptr) walk(plan.root());
+  return cards;
+}
+
+}  // namespace hsparql::cdp

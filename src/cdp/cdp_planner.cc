@@ -1,0 +1,214 @@
+#include "cdp/cdp_planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "cdp/cost_model.h"
+#include "sparql/rewrite.h"
+
+namespace hsparql::cdp {
+
+using hsp::JoinAlgo;
+using hsp::PlanNode;
+using sparql::Query;
+using sparql::VarId;
+
+namespace {
+
+std::unique_ptr<PlanNode> ClonePlan(const PlanNode* node) {
+  auto copy = std::make_unique<PlanNode>(node->kind);
+  copy->pattern_index = node->pattern_index;
+  copy->ordering = node->ordering;
+  copy->sort_var = node->sort_var;
+  copy->algo = node->algo;
+  copy->join_var = node->join_var;
+  copy->left_outer = node->left_outer;
+  copy->filter = node->filter;
+  copy->projection = node->projection;
+  copy->distinct = node->distinct;
+  copy->order_keys = node->order_keys;
+  copy->limit_count = node->limit_count;
+  copy->limit_offset = node->limit_offset;
+  for (const auto& child : node->children) {
+    copy->children.push_back(ClonePlan(child.get()));
+  }
+  return copy;
+}
+
+/// One Pareto entry of the DP table: the cheapest plan for a pattern set
+/// whose output is sorted on `order`.
+struct DpEntry {
+  double cost = 0.0;
+  Estimate est;
+  VarId order = sparql::kInvalidVarId;
+  std::unique_ptr<PlanNode> plan;
+};
+
+/// Cross products are permitted but heavily discouraged: their cost is the
+/// hash-join constant plus the full output size (CDP in the paper refuses
+/// them outright at compile time; see DESIGN.md).
+double CartesianCost(double lc, double rc) {
+  return 300000.0 + lc * rc;
+}
+
+}  // namespace
+
+Result<hsp::PlannedQuery> CdpPlanner::Plan(const Query& input) const {
+  if (input.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  if (input.HasGraphPatternExtensions()) {
+    return Status::Unsupported(
+        "CDP covers the paper's conjunctive subset; OPTIONAL/UNION queries "
+        "are planned by HspPlanner");
+  }
+  if (input.patterns.size() > options_.max_patterns) {
+    return Status::Unsupported("CDP dynamic programming supports at most " +
+                               std::to_string(options_.max_patterns) +
+                               " triple patterns");
+  }
+  hsp::PlannedQuery out;
+  out.query = input;
+  if (options_.rewrite_filters) {
+    out.rewrite_report = sparql::RewriteFilters(&out.query);
+  }
+  const Query& query = out.query;
+  const std::size_t n = query.patterns.size();
+  const std::uint32_t full = static_cast<std::uint32_t>((1u << n) - 1);
+
+  // Variables present in each pattern subset.
+  std::vector<std::vector<VarId>> mask_vars(full + 1);
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    std::uint32_t low = mask & (mask - 1);
+    if (low == 0) {
+      mask_vars[mask] = query
+                            .patterns[static_cast<std::size_t>(
+                                std::countr_zero(mask))]
+                            .Variables();
+      continue;
+    }
+    std::uint32_t bit = mask ^ low;
+    mask_vars[mask] = mask_vars[low];
+    for (VarId v : mask_vars[bit]) {
+      if (std::find(mask_vars[mask].begin(), mask_vars[mask].end(), v) ==
+          mask_vars[mask].end()) {
+        mask_vars[mask].push_back(v);
+      }
+    }
+  }
+
+  std::vector<std::vector<DpEntry>> dp(full + 1);
+  auto add_entry = [&](std::uint32_t mask, DpEntry entry) {
+    for (DpEntry& existing : dp[mask]) {
+      if (existing.order == entry.order) {
+        if (entry.cost < existing.cost) existing = std::move(entry);
+        return;
+      }
+    }
+    dp[mask].push_back(std::move(entry));
+  };
+
+  // ---- Leaves: every access path (interesting order) per pattern. ----
+  for (std::size_t i = 0; i < n; ++i) {
+    const sparql::TriplePattern& tp = query.patterns[i];
+    Estimate est = estimator_.EstimatePattern(query, i);
+    std::vector<VarId> choices;  // kInvalidVarId = natural order first
+    choices.push_back(sparql::kInvalidVarId);
+    for (VarId v : tp.Variables()) choices.push_back(v);
+    std::vector<storage::Ordering> seen;
+    for (VarId v : choices) {
+      hsp::OrderedRelationChoice c = hsp::AssignOrderedRelation(tp, v);
+      if (std::find(seen.begin(), seen.end(), c.ordering) != seen.end()) {
+        continue;
+      }
+      seen.push_back(c.ordering);
+      DpEntry entry;
+      entry.cost = 0.0;  // selection cost excluded (paper §6.2)
+      entry.est = est;
+      entry.order = c.sort_var;
+      entry.plan = PlanNode::Scan(i, c.ordering, c.sort_var);
+      add_entry(static_cast<std::uint32_t>(1u << i), std::move(entry));
+    }
+  }
+
+  // ---- DP over subsets. ----
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    for (std::uint32_t sub = (mask - 1) & mask; sub != 0;
+         sub = (sub - 1) & mask) {
+      std::uint32_t rest = mask ^ sub;
+      if (dp[sub].empty() || dp[rest].empty()) continue;
+      // Shared variables between the two sides.
+      std::vector<VarId> shared;
+      for (VarId v : mask_vars[sub]) {
+        if (std::find(mask_vars[rest].begin(), mask_vars[rest].end(), v) !=
+            mask_vars[rest].end()) {
+          shared.push_back(v);
+        }
+      }
+      for (const DpEntry& l : dp[sub]) {
+        for (const DpEntry& r : dp[rest]) {
+          Estimate est = estimator_.EstimateJoin(l.est, r.est, shared);
+          double base = l.cost + r.cost;
+          if (shared.empty()) {
+            DpEntry entry;
+            entry.cost = base + CartesianCost(l.est.rows, r.est.rows);
+            entry.est = est;
+            entry.order = l.order;
+            entry.plan =
+                PlanNode::Join(JoinAlgo::kHash, sparql::kInvalidVarId,
+                               ClonePlan(l.plan.get()),
+                               ClonePlan(r.plan.get()));
+            add_entry(mask, std::move(entry));
+            continue;
+          }
+          // Merge join on a shared variable both sides are sorted on.
+          for (VarId v : shared) {
+            if (l.order != v || r.order != v) continue;
+            DpEntry entry;
+            entry.cost = base + MergeJoinCost(l.est.rows, r.est.rows);
+            entry.est = est;
+            entry.order = v;
+            entry.plan =
+                PlanNode::Join(JoinAlgo::kMerge, v, ClonePlan(l.plan.get()),
+                               ClonePlan(r.plan.get()));
+            add_entry(mask, std::move(entry));
+          }
+          // Hash join (equates every shared variable; preserves the left
+          // input's order, matching the executor).
+          DpEntry entry;
+          entry.cost = base + HashJoinCost(l.est.rows, r.est.rows);
+          entry.est = est;
+          entry.order = l.order;
+          entry.plan =
+              PlanNode::Join(JoinAlgo::kHash, shared.front(),
+                             ClonePlan(l.plan.get()), ClonePlan(r.plan.get()));
+          add_entry(mask, std::move(entry));
+        }
+      }
+    }
+  }
+
+  if (dp[full].empty()) {
+    return Status::Internal("CDP produced no plan");  // unreachable
+  }
+  DpEntry* best = &dp[full][0];
+  for (DpEntry& e : dp[full]) {
+    if (e.cost < best->cost) best = &e;
+  }
+
+  std::unique_ptr<PlanNode> plan = std::move(best->plan);
+  for (const sparql::Filter& f : query.filters) {
+    plan = PlanNode::Filter(f, std::move(plan));
+  }
+  std::vector<VarId> projection =
+      query.select_all ? mask_vars[full] : query.projection;
+  plan = PlanNode::Project(std::move(projection), query.distinct,
+                           std::move(plan));
+  plan = hsp::AttachSolutionModifiers(query, std::move(plan));
+  out.plan = hsp::LogicalPlan(std::move(plan));
+  return out;
+}
+
+}  // namespace hsparql::cdp

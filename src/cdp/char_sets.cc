@@ -1,0 +1,148 @@
+#include "cdp/char_sets.h"
+
+#include <algorithm>
+
+namespace hsparql::cdp {
+
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+using storage::Binding;
+using storage::Ordering;
+
+CharacteristicSets CharacteristicSets::Compute(
+    const storage::TripleStore& store) {
+  CharacteristicSets cs;
+  cs.store_ = &store;
+
+  // spo order groups triples by subject; collect each subject's predicate
+  // multiset, then aggregate identical predicate sets.
+  struct Key {
+    std::vector<TermId> predicates;
+    bool operator<(const Key& other) const {
+      return predicates < other.predicates;
+    }
+  };
+  std::map<Key, SetStats> aggregate;
+
+  auto flush = [&](const std::vector<std::pair<TermId, std::uint64_t>>&
+                       pred_counts) {
+    if (pred_counts.empty()) return;
+    Key key;
+    for (const auto& [p, n] : pred_counts) key.predicates.push_back(p);
+    SetStats& stats = aggregate[key];
+    if (stats.predicates.empty()) {
+      stats.predicates = key.predicates;
+      stats.occurrences.assign(key.predicates.size(), 0);
+    }
+    ++stats.subject_count;
+    for (std::size_t i = 0; i < pred_counts.size(); ++i) {
+      stats.occurrences[i] += pred_counts[i].second;
+    }
+  };
+
+  std::vector<std::pair<TermId, std::uint64_t>> current;  // sorted by pred
+  TermId current_subject = rdf::kInvalidTermId;
+  for (const Triple& t : store.Scan(Ordering::kSpo)) {
+    if (t.s != current_subject) {
+      flush(current);
+      current.clear();
+      current_subject = t.s;
+    }
+    // spo order also sorts predicates within a subject.
+    if (!current.empty() && current.back().first == t.p) {
+      ++current.back().second;
+    } else {
+      current.emplace_back(t.p, 1);
+    }
+  }
+  flush(current);
+
+  cs.sets_.reserve(aggregate.size());
+  for (auto& [key, stats] : aggregate) {
+    cs.sets_.push_back(std::move(stats));
+  }
+  return cs;
+}
+
+std::uint64_t CharacteristicSets::SubjectsWithAll(
+    const std::vector<TermId>& preds) const {
+  std::uint64_t total = 0;
+  for (const SetStats& s : sets_) {
+    bool all = true;
+    for (TermId p : preds) {
+      if (!std::binary_search(s.predicates.begin(), s.predicates.end(), p)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) total += s.subject_count;
+  }
+  return total;
+}
+
+std::optional<double> CharacteristicSets::EstimateStar(
+    const sparql::Query& query,
+    const std::vector<std::size_t>& pattern_indices) const {
+  if (pattern_indices.empty()) return std::nullopt;
+  const rdf::Dictionary& dict = store_->dictionary();
+
+  // Validate the star shape and resolve predicates/objects.
+  sparql::VarId subject = sparql::kInvalidVarId;
+  std::vector<TermId> preds;
+  std::vector<std::optional<TermId>> objects;  // bound object per pattern
+  for (std::size_t idx : pattern_indices) {
+    const sparql::TriplePattern& tp = query.patterns[idx];
+    if (!tp.s.is_variable() || !tp.p.is_constant()) return std::nullopt;
+    if (subject == sparql::kInvalidVarId) {
+      subject = tp.s.var;
+    } else if (tp.s.var != subject) {
+      return std::nullopt;
+    }
+    if (tp.o.is_variable() && tp.o.var == subject) return std::nullopt;
+    auto pid = dict.Find(tp.p.constant);
+    if (!pid.has_value()) return 0.0;  // predicate absent: empty star
+    preds.push_back(*pid);
+    if (tp.o.is_constant()) {
+      auto oid = dict.Find(tp.o.constant);
+      if (!oid.has_value()) return 0.0;
+      objects.push_back(oid);
+    } else {
+      objects.push_back(std::nullopt);
+    }
+  }
+
+  // Core formula over supersets.
+  double estimate = 0.0;
+  for (const SetStats& s : sets_) {
+    double contribution = static_cast<double>(s.subject_count);
+    bool qualifies = true;
+    for (TermId p : preds) {
+      auto it = std::lower_bound(s.predicates.begin(), s.predicates.end(), p);
+      if (it == s.predicates.end() || *it != p) {
+        qualifies = false;
+        break;
+      }
+      std::size_t pos = static_cast<std::size_t>(it - s.predicates.begin());
+      contribution *= static_cast<double>(s.occurrences[pos]) /
+                      static_cast<double>(s.subject_count);
+    }
+    if (qualifies) estimate += contribution;
+  }
+
+  // Bound objects scale by per-predicate value selectivity.
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (!objects[i].has_value()) continue;
+    Binding pb{Position::kPredicate, preds[i]};
+    std::uint64_t p_total = store_->CountMatching({&pb, 1});
+    if (p_total == 0) return 0.0;
+    std::array<Binding, 2> po = {
+        Binding{Position::kPredicate, preds[i]},
+        Binding{Position::kObject, *objects[i]}};
+    std::uint64_t po_total = store_->CountMatching(po);
+    estimate *= static_cast<double>(po_total) / static_cast<double>(p_total);
+  }
+  return estimate;
+}
+
+}  // namespace hsparql::cdp

@@ -1,0 +1,69 @@
+// Characteristic-sets cardinality estimation (Neumann & Moerkotte, ICDE
+// 2011 — the paper's reference [21], named in §2 as the technique that
+// "could be used to enhance existing SQL optimizers for supporting
+// efficient SPARQL processing").
+//
+// A subject's *characteristic set* is the set of predicates it carries.
+// Star queries (multiple patterns sharing a subject variable, predicates
+// bound) are estimated exactly from the histogram of characteristic sets:
+//
+//   |star(p1..pk)| = Σ_{S ⊇ {p1..pk}} count(S) · Π_i occ(S, pi)/count(S)
+//
+// where count(S) is the number of subjects with characteristic set S and
+// occ(S, p) the total number of p-triples those subjects carry (capturing
+// multi-valued predicates). Bound objects scale the estimate by the
+// per-predicate selectivity count(p, o)/count(p). This removes exactly
+// the correlation blindness the paper blames for cost-based SPARQL
+// optimisation being brittle (§1).
+#ifndef HSPARQL_CDP_CHAR_SETS_H_
+#define HSPARQL_CDP_CHAR_SETS_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::cdp {
+
+/// Characteristic-sets histogram of a dataset.
+class CharacteristicSets {
+ public:
+  /// One pass over the spo relation.
+  static CharacteristicSets Compute(const storage::TripleStore& store);
+
+  /// Number of distinct characteristic sets.
+  std::size_t num_sets() const { return sets_.size(); }
+
+  /// Estimated cardinality of the subject star over the given pattern
+  /// indices of `query`. Requires: every pattern has a bound predicate
+  /// (resolvable against the store's dictionary), all patterns share the
+  /// same subject variable, and the subject occurs only at the subject
+  /// position. Returns nullopt if the shape does not qualify.
+  std::optional<double> EstimateStar(
+      const sparql::Query& query,
+      const std::vector<std::size_t>& pattern_indices) const;
+
+  /// Distinct subjects whose characteristic set contains all predicates.
+  std::uint64_t SubjectsWithAll(const std::vector<rdf::TermId>& preds) const;
+
+ private:
+  struct SetStats {
+    std::vector<rdf::TermId> predicates;  // sorted
+    std::uint64_t subject_count = 0;
+    // Parallel to predicates: total triples with that predicate among the
+    // set's subjects.
+    std::vector<std::uint64_t> occurrences;
+  };
+
+  CharacteristicSets() = default;
+
+  const storage::TripleStore* store_ = nullptr;
+  std::vector<SetStats> sets_;
+};
+
+}  // namespace hsparql::cdp
+
+#endif  // HSPARQL_CDP_CHAR_SETS_H_

@@ -1,0 +1,65 @@
+#include "cdp/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hsparql::cdp {
+
+double MergeJoinCost(double lc, double rc) { return (lc + rc) / 100000.0; }
+
+double HashJoinCost(double lc, double rc) {
+  if (lc > rc) std::swap(lc, rc);  // lc is the (smaller) build side
+  return 300000.0 + lc / 100.0 + rc / 10.0;
+}
+
+std::string PlanCost::ToString() const {
+  auto fmt = [](double v) {
+    std::uint64_t rounded = static_cast<std::uint64_t>(std::llround(v));
+    if (v < 10.0 && v != std::floor(v)) {
+      std::ostringstream os;
+      os.precision(2);
+      os << v;
+      return os.str();
+    }
+    return FormatCount(rounded);
+  };
+  if (hash == 0.0) return fmt(merge);
+  return fmt(merge) + "+" + fmt(hash);
+}
+
+namespace {
+
+void Walk(const hsp::PlanNode* node,
+          std::span<const std::uint64_t> cards, PlanCost* cost) {
+  if (node == nullptr) return;
+  if (node->kind == hsp::PlanNode::Kind::kJoin) {
+    auto card_of = [&](const hsp::PlanNode* n) -> double {
+      if (n->id >= 0 && static_cast<std::size_t>(n->id) < cards.size()) {
+        return static_cast<double>(cards[static_cast<std::size_t>(n->id)]);
+      }
+      return 0.0;
+    };
+    double lc = card_of(node->children[0].get());
+    double rc = card_of(node->children[1].get());
+    if (node->algo == hsp::JoinAlgo::kMerge) {
+      cost->merge += MergeJoinCost(lc, rc);
+    } else {
+      cost->hash += HashJoinCost(lc, rc);
+    }
+  }
+  for (const auto& child : node->children) Walk(child.get(), cards, cost);
+}
+
+}  // namespace
+
+PlanCost ComputePlanCost(const hsp::LogicalPlan& plan,
+                         std::span<const std::uint64_t> cardinalities) {
+  PlanCost cost;
+  Walk(plan.root(), cardinalities, &cost);
+  return cost;
+}
+
+}  // namespace hsparql::cdp

@@ -1,0 +1,46 @@
+// The RDF-3X cost model as printed in §6.2 of the paper:
+//
+//   cost_mergejoin(lc, rc) = (lc + rc) / 100,000
+//   cost_hashjoin(lc, rc)  = 300,000 + lc/100 + rc/10
+//
+// where lc and rc are the input cardinalities and, for the hash join, lc is
+// the smaller of the two (the build side). Selection cost is excluded: "the
+// selection cost is asymptotically the same in both systems" (binary search
+// vs B+-tree descent), so plan comparison — and Table 3 — counts joins only.
+#ifndef HSPARQL_CDP_COST_MODEL_H_
+#define HSPARQL_CDP_COST_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hsp/plan.h"
+
+namespace hsparql::cdp {
+
+/// Merge-join cost for input cardinalities `lc`, `rc`.
+double MergeJoinCost(double lc, double rc);
+
+/// Hash-join cost; the smaller input is treated as the build side.
+double HashJoinCost(double lc, double rc);
+
+/// Aggregate cost of a plan, split the way Table 3 reports it
+/// ("merge-join cost + hash-join cost", e.g. "354+953,381").
+struct PlanCost {
+  double merge = 0.0;
+  double hash = 0.0;
+
+  double total() const { return merge + hash; }
+  /// "329+302,577" when hash joins exist, "487" otherwise.
+  std::string ToString() const;
+};
+
+/// Costs every join of `plan` with the paper's formulas, reading each
+/// child's output cardinality from `cardinalities` (indexed by node id —
+/// either estimates or measured ExecResult::cardinalities).
+PlanCost ComputePlanCost(const hsp::LogicalPlan& plan,
+                         std::span<const std::uint64_t> cardinalities);
+
+}  // namespace hsparql::cdp
+
+#endif  // HSPARQL_CDP_COST_MODEL_H_

@@ -1,0 +1,246 @@
+#include "cdp/hybrid_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "hsp/mwis.h"
+#include "hsp/variable_graph.h"
+#include "sparql/rewrite.h"
+
+namespace hsparql::cdp {
+
+using hsp::JoinAlgo;
+using hsp::PlanNode;
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+
+namespace {
+
+void CollectVars(const Query& query, const PlanNode* node,
+                 std::vector<VarId>* out) {
+  if (node->kind == PlanNode::Kind::kScan) {
+    for (VarId v : query.patterns[node->pattern_index].Variables()) {
+      if (std::find(out->begin(), out->end(), v) == out->end()) {
+        out->push_back(v);
+      }
+    }
+  }
+  for (const auto& child : node->children) {
+    CollectVars(query, child.get(), out);
+  }
+}
+
+}  // namespace
+
+Result<hsp::PlannedQuery> HybridPlanner::Plan(const Query& input) const {
+  if (input.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  if (input.HasGraphPatternExtensions()) {
+    return Status::Unsupported(
+        "the hybrid planner covers the paper's conjunctive subset; "
+        "OPTIONAL/UNION queries are planned by HspPlanner");
+  }
+  hsp::PlannedQuery out;
+  out.query = input;
+  if (options_.rewrite_filters) {
+    out.rewrite_report = sparql::RewriteFilters(&out.query);
+  }
+  const Query& query = out.query;
+
+  // Per-pattern exact cardinalities (aggregated-index lookups).
+  std::vector<Estimate> leaf_est(query.patterns.size());
+  for (std::size_t i = 0; i < query.patterns.size(); ++i) {
+    leaf_est[i] = estimator_.EstimatePattern(query, i);
+  }
+
+  // ---- Phase 1: merge-join variables via MWIS; statistics break ties.
+  std::vector<std::size_t> remaining(query.patterns.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<hsp::CandidateSet> chosen;
+  while (!remaining.empty()) {
+    hsp::VariableGraph graph = hsp::VariableGraph::Build(query, remaining);
+    if (graph.num_nodes() == 0) break;
+    hsp::MwisResult mwis = hsp::AllMaximumWeightIndependentSets(graph);
+
+    hsp::CandidateSet best;
+    double best_cardinality = std::numeric_limits<double>::max();
+    for (const auto& node_set : mwis.sets) {
+      hsp::CandidateSet cs;
+      for (std::size_t node_idx : node_set) {
+        cs.vars.push_back(graph.node(node_idx).var);
+      }
+      std::sort(cs.vars.begin(), cs.vars.end());
+      double total = 0.0;
+      for (std::size_t idx : remaining) {
+        for (VarId v : cs.vars) {
+          if (query.patterns[idx].Mentions(v)) {
+            cs.covered.push_back(idx);
+            total += leaf_est[idx].rows;
+            break;
+          }
+        }
+      }
+      // Merge joins absorb the heaviest patterns: maximise covered rows.
+      double score = -total;
+      if (score < best_cardinality) {
+        best_cardinality = score;
+        best = std::move(cs);
+      }
+    }
+    std::vector<std::size_t> next;
+    for (std::size_t idx : remaining) {
+      if (std::find(best.covered.begin(), best.covered.end(), idx) ==
+          best.covered.end()) {
+        next.push_back(idx);
+      }
+    }
+    remaining = std::move(next);
+    for (VarId v : best.vars) out.chosen_variables.push_back(v);
+    chosen.push_back(std::move(best));
+  }
+
+  // ---- Phase 2: Algorithm 2 access paths; blocks ordered by cardinality.
+  struct Assignment {
+    storage::Ordering ordering = storage::Ordering::kSpo;
+    VarId var = sparql::kInvalidVarId;
+    bool assigned = false;
+  };
+  std::vector<Assignment> mapping(query.patterns.size());
+  for (const hsp::CandidateSet& set : chosen) {
+    for (VarId c : set.vars) {
+      for (std::size_t idx = 0; idx < query.patterns.size(); ++idx) {
+        if (mapping[idx].assigned || !query.patterns[idx].Mentions(c)) {
+          continue;
+        }
+        hsp::OrderedRelationChoice choice =
+            hsp::AssignOrderedRelation(query.patterns[idx], c);
+        mapping[idx] = Assignment{choice.ordering, c, true};
+      }
+    }
+  }
+  for (std::size_t idx = 0; idx < query.patterns.size(); ++idx) {
+    if (mapping[idx].assigned) continue;
+    hsp::OrderedRelationChoice choice =
+        hsp::AssignOrderedRelation(query.patterns[idx], sparql::kInvalidVarId);
+    mapping[idx] = Assignment{choice.ordering, sparql::kInvalidVarId, true};
+    mapping[idx].var = sparql::kInvalidVarId;
+  }
+
+  auto make_scan = [&](std::size_t idx) {
+    VarId sort_var =
+        hsp::AssignOrderedRelation(query.patterns[idx], mapping[idx].var)
+            .sort_var;
+    return PlanNode::Scan(idx, mapping[idx].ordering, sort_var);
+  };
+
+  // Each part carries its estimate so phase 3 can order joins.
+  struct Part {
+    std::unique_ptr<PlanNode> plan;
+    Estimate est;
+  };
+  std::vector<Part> parts;
+  for (const hsp::CandidateSet& set : chosen) {
+    for (VarId c : set.vars) {
+      std::vector<std::size_t> block;
+      for (std::size_t idx = 0; idx < query.patterns.size(); ++idx) {
+        if (mapping[idx].var == c) block.push_back(idx);
+      }
+      if (block.empty()) continue;
+      // Cardinality-ascending scan order: the statistics-backed version
+      // of the H1 ordering.
+      std::sort(block.begin(), block.end(), [&](std::size_t a, std::size_t b) {
+        if (leaf_est[a].rows != leaf_est[b].rows) {
+          return leaf_est[a].rows < leaf_est[b].rows;
+        }
+        return a < b;
+      });
+      Part part{make_scan(block[0]), leaf_est[block[0]]};
+      for (std::size_t i = 1; i < block.size(); ++i) {
+        std::array<VarId, 1> shared = {c};
+        part.est = estimator_.EstimateJoin(part.est, leaf_est[block[i]],
+                                           shared);
+        part.plan = PlanNode::Join(JoinAlgo::kMerge, c, std::move(part.plan),
+                                   make_scan(block[i]));
+      }
+      parts.push_back(std::move(part));
+    }
+  }
+  for (std::size_t idx = 0; idx < query.patterns.size(); ++idx) {
+    if (mapping[idx].var == sparql::kInvalidVarId) {
+      parts.push_back(Part{make_scan(idx), leaf_est[idx]});
+    }
+  }
+
+  // ---- Phase 3: greedy smallest-estimated-result hash joins.
+  // Start from the smallest part; repeatedly attach the connected pending
+  // part minimising the estimated join output.
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].est.rows < parts[start].est.rows) start = i;
+  }
+  Part current = std::move(parts[start]);
+  parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(start));
+  while (!parts.empty()) {
+    std::vector<VarId> current_vars;
+    CollectVars(query, current.plan.get(), &current_vars);
+    std::size_t best_i = SIZE_MAX;
+    double best_rows = std::numeric_limits<double>::max();
+    Estimate best_est;
+    VarId best_var = sparql::kInvalidVarId;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      std::vector<VarId> part_vars;
+      CollectVars(query, parts[i].plan.get(), &part_vars);
+      std::vector<VarId> shared;
+      for (VarId v : part_vars) {
+        if (std::find(current_vars.begin(), current_vars.end(), v) !=
+            current_vars.end()) {
+          shared.push_back(v);
+        }
+      }
+      if (shared.empty()) continue;
+      Estimate est = estimator_.EstimateJoin(current.est, parts[i].est,
+                                             shared);
+      if (est.rows < best_rows) {
+        best_rows = est.rows;
+        best_i = i;
+        best_est = est;
+        best_var = shared.front();
+      }
+    }
+    if (best_i == SIZE_MAX) {
+      // Disconnected: cartesian with the smallest pending part.
+      best_i = 0;
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        if (parts[i].est.rows < parts[best_i].est.rows) best_i = i;
+      }
+      best_est = estimator_.EstimateJoin(current.est, parts[best_i].est, {});
+      best_var = sparql::kInvalidVarId;
+    }
+    current.plan = PlanNode::Join(JoinAlgo::kHash, best_var,
+                                  std::move(current.plan),
+                                  std::move(parts[best_i].plan));
+    current.est = best_est;
+    parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(best_i));
+  }
+
+  std::unique_ptr<PlanNode> plan = std::move(current.plan);
+  for (const sparql::Filter& f : query.filters) {
+    plan = PlanNode::Filter(f, std::move(plan));
+  }
+  std::vector<VarId> projection;
+  if (query.select_all) {
+    CollectVars(query, plan.get(), &projection);
+  } else {
+    projection = query.projection;
+  }
+  plan = PlanNode::Project(std::move(projection), query.distinct,
+                           std::move(plan));
+  plan = hsp::AttachSolutionModifiers(query, std::move(plan));
+  out.plan = hsp::LogicalPlan(std::move(plan));
+  return out;
+}
+
+}  // namespace hsparql::cdp

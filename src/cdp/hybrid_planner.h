@@ -1,0 +1,52 @@
+// Hybrid planner: HSP's structure, statistics where heuristics are blind.
+//
+// The paper's abstract proposes exactly this: the heuristics "can be used
+// separately or complementary to each other, and also in traditional
+// cost-based optimisers to create a hybrid planner", and §7 plans to
+// "integrate our solution with the MonetDB run-time optimizer in order to
+// handle queries such as large star joins for which our heuristics fail to
+// produce near to optimal plans" (SP2a/SP2b/Y1/Y2 in the evaluation).
+//
+// The hybrid keeps Algorithm 1's skeleton — variable graph, maximum-weight
+// independent sets, merge-join blocks, Algorithm 2 access paths — and
+// replaces the three decisions the paper identifies as HSP's weak spots
+// with statistics-backed ones:
+//  1. ties between maximum-weight independent sets are broken by the
+//     estimated total cardinality of the covered patterns (instead of
+//     H3/H4/H2/H5);
+//  2. scans inside a merge block are ordered by exact cardinality
+//     (instead of HEURISTIC 1) — the join ordering CDP wins on for the
+//     syntactically-similar stars;
+//  3. blocks and leftovers are connected greedily by smallest estimated
+//     join result (instead of block order + RandomChooseOne).
+#ifndef HSPARQL_CDP_HYBRID_PLANNER_H_
+#define HSPARQL_CDP_HYBRID_PLANNER_H_
+
+#include "cdp/cardinality.h"
+#include "common/result.h"
+#include "hsp/hsp_planner.h"
+
+namespace hsparql::cdp {
+
+struct HybridOptions {
+  bool rewrite_filters = true;  // inherits HSP's FILTER rewriting
+};
+
+/// HSP + statistics. Covers the paper's conjunctive subset (like the
+/// baselines; OPTIONAL/UNION stay with HspPlanner).
+class HybridPlanner {
+ public:
+  HybridPlanner(const storage::TripleStore* store,
+                const storage::Statistics* stats, HybridOptions options = {})
+      : estimator_(store, stats), options_(options) {}
+
+  Result<hsp::PlannedQuery> Plan(const sparql::Query& query) const;
+
+ private:
+  CardinalityEstimator estimator_;
+  HybridOptions options_;
+};
+
+}  // namespace hsparql::cdp
+
+#endif  // HSPARQL_CDP_HYBRID_PLANNER_H_

@@ -1,0 +1,200 @@
+#include "cdp/leftdeep_planner.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "cdp/cost_model.h"
+#include "sparql/rewrite.h"
+
+namespace hsparql::cdp {
+
+using hsp::JoinAlgo;
+using hsp::PlanNode;
+using sparql::Query;
+using sparql::VarId;
+
+namespace {
+
+double CartesianCost(double lc, double rc) { return 300000.0 + lc * rc; }
+
+struct DpState {
+  double cost = 0.0;
+  Estimate est;
+  VarId order = sparql::kInvalidVarId;  // sort order of the running prefix
+  std::vector<std::size_t> sequence;    // pattern indices, join order
+  bool valid = false;
+};
+
+}  // namespace
+
+Result<hsp::PlannedQuery> LeftDeepPlanner::Plan(const Query& input) const {
+  if (input.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  if (input.HasGraphPatternExtensions()) {
+    return Status::Unsupported(
+        "the left-deep baseline covers the paper's conjunctive subset; "
+        "OPTIONAL/UNION queries are planned by HspPlanner");
+  }
+  if (input.patterns.size() > options_.max_patterns) {
+    return Status::Unsupported("left-deep DP supports at most " +
+                               std::to_string(options_.max_patterns) +
+                               " triple patterns");
+  }
+  hsp::PlannedQuery out;
+  out.query = input;
+  if (options_.rewrite_filters) {
+    out.rewrite_report = sparql::RewriteFilters(&out.query);
+  }
+  const Query& query = out.query;
+  const std::size_t n = query.patterns.size();
+  const std::uint32_t full = static_cast<std::uint32_t>((1u << n) - 1);
+
+  // Fixed access path per pattern: constants first, then the variable with
+  // the most occurrences in the whole query.
+  const std::vector<std::uint32_t> weights = query.VarWeights();
+  std::vector<hsp::OrderedRelationChoice> access(n);
+  std::vector<Estimate> leaf_est(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sparql::TriplePattern& tp = query.patterns[i];
+    VarId best = sparql::kInvalidVarId;
+    std::uint32_t best_weight = 0;
+    for (VarId v : tp.Variables()) {
+      if (weights[v] > best_weight) {
+        best_weight = weights[v];
+        best = v;
+      }
+    }
+    access[i] = hsp::AssignOrderedRelation(tp, best);
+    leaf_est[i] = estimator_.EstimatePattern(query, i);
+  }
+
+  // Left-deep DP: dp[mask] = cheapest prefix joining exactly `mask`.
+  std::vector<DpState> dp(full + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    DpState s;
+    s.cost = 0.0;
+    s.est = leaf_est[i];
+    s.order = access[i].sort_var;
+    s.sequence = {i};
+    s.valid = true;
+    dp[1u << i] = std::move(s);
+  }
+
+  // Variables of each pattern, cached.
+  std::vector<std::vector<VarId>> pattern_vars(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pattern_vars[i] = query.patterns[i].Variables();
+  }
+
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t bit = 1u << i;
+      if ((mask & bit) == 0) continue;
+      const DpState& prev = dp[mask ^ bit];
+      if (!prev.valid) continue;
+      // Shared variables between the running prefix and pattern i.
+      std::vector<VarId> prefix_vars;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (((mask ^ bit) & (1u << j)) == 0) continue;
+        for (VarId v : pattern_vars[j]) {
+          if (std::find(prefix_vars.begin(), prefix_vars.end(), v) ==
+              prefix_vars.end()) {
+            prefix_vars.push_back(v);
+          }
+        }
+      }
+      std::vector<VarId> shared;
+      for (VarId v : pattern_vars[i]) {
+        if (std::find(prefix_vars.begin(), prefix_vars.end(), v) !=
+            prefix_vars.end()) {
+          shared.push_back(v);
+        }
+      }
+      Estimate est = estimator_.EstimateJoin(prev.est, leaf_est[i], shared);
+      double join_cost;
+      VarId order;
+      if (shared.empty()) {
+        join_cost = CartesianCost(prev.est.rows, leaf_est[i].rows);
+        order = prev.order;
+      } else if (prev.order != sparql::kInvalidVarId &&
+                 access[i].sort_var == prev.order &&
+                 std::find(shared.begin(), shared.end(), prev.order) !=
+                     shared.end()) {
+        join_cost = MergeJoinCost(prev.est.rows, leaf_est[i].rows);
+        order = prev.order;
+      } else {
+        join_cost = HashJoinCost(prev.est.rows, leaf_est[i].rows);
+        order = prev.order;
+      }
+      double total = prev.cost + join_cost;
+      if (!dp[mask].valid || total < dp[mask].cost) {
+        DpState s;
+        s.cost = total;
+        s.est = est;
+        s.order = order;
+        s.sequence = prev.sequence;
+        s.sequence.push_back(i);
+        s.valid = true;
+        dp[mask] = std::move(s);
+      }
+    }
+  }
+
+  const DpState& best = dp[full];
+  // Materialise the left-deep tree from the winning sequence.
+  auto make_scan = [&](std::size_t i) {
+    return PlanNode::Scan(i, access[i].ordering, access[i].sort_var);
+  };
+  std::unique_ptr<PlanNode> plan = make_scan(best.sequence[0]);
+  VarId running_order = access[best.sequence[0]].sort_var;
+  std::vector<VarId> seen_vars = pattern_vars[best.sequence[0]];
+  for (std::size_t k = 1; k < best.sequence.size(); ++k) {
+    std::size_t i = best.sequence[k];
+    std::vector<VarId> shared;
+    for (VarId v : pattern_vars[i]) {
+      if (std::find(seen_vars.begin(), seen_vars.end(), v) !=
+          seen_vars.end()) {
+        shared.push_back(v);
+      }
+    }
+    JoinAlgo algo;
+    VarId join_var;
+    if (shared.empty()) {
+      algo = JoinAlgo::kHash;
+      join_var = sparql::kInvalidVarId;
+    } else if (running_order != sparql::kInvalidVarId &&
+               access[i].sort_var == running_order &&
+               std::find(shared.begin(), shared.end(), running_order) !=
+                   shared.end()) {
+      algo = JoinAlgo::kMerge;
+      join_var = running_order;
+    } else {
+      algo = JoinAlgo::kHash;
+      join_var = shared.empty() ? sparql::kInvalidVarId : shared.front();
+    }
+    plan = PlanNode::Join(algo, join_var, std::move(plan), make_scan(i));
+    if (algo == JoinAlgo::kMerge) running_order = join_var;
+    // Hash joins preserve the left order (executor contract).
+    for (VarId v : pattern_vars[i]) {
+      if (std::find(seen_vars.begin(), seen_vars.end(), v) ==
+          seen_vars.end()) {
+        seen_vars.push_back(v);
+      }
+    }
+  }
+
+  for (const sparql::Filter& f : query.filters) {
+    plan = PlanNode::Filter(f, std::move(plan));
+  }
+  std::vector<VarId> projection =
+      query.select_all ? seen_vars : query.projection;
+  plan = PlanNode::Project(std::move(projection), query.distinct,
+                           std::move(plan));
+  plan = hsp::AttachSolutionModifiers(query, std::move(plan));
+  out.plan = hsp::LogicalPlan(std::move(plan));
+  return out;
+}
+
+}  // namespace hsparql::cdp

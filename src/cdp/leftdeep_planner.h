@@ -1,0 +1,46 @@
+// The "MonetDB/SQL" baseline: a relational optimizer that only considers
+// left-deep trees (§6.2.1, last paragraph).
+//
+// Faithful to the paper's SQL translation:
+//  * each triple pattern is evaluated on the ordered relation that (a) puts
+//    its constants first so selections use binary search (HEURISTIC 1's
+//    access-path rule) and (b) sorts, among the pattern's variables, the
+//    one with the most occurrences in the whole query;
+//  * join order is cost-based (the underlying SQL optimizer's job) but the
+//    search space is restricted to left-deep trees with base-relation right
+//    children;
+//  * equality FILTERs are folded into the patterns — predicate pushdown is
+//    table stakes for a SQL optimizer.
+#ifndef HSPARQL_CDP_LEFTDEEP_PLANNER_H_
+#define HSPARQL_CDP_LEFTDEEP_PLANNER_H_
+
+#include "cdp/cardinality.h"
+#include "common/result.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/ast.h"
+
+namespace hsparql::cdp {
+
+struct LeftDeepOptions {
+  bool rewrite_filters = true;  // SQL predicate pushdown
+  std::size_t max_patterns = 16;
+};
+
+/// Left-deep-only cost-based planner.
+class LeftDeepPlanner {
+ public:
+  LeftDeepPlanner(const storage::TripleStore* store,
+                  const storage::Statistics* stats,
+                  LeftDeepOptions options = {})
+      : estimator_(store, stats), options_(options) {}
+
+  Result<hsp::PlannedQuery> Plan(const sparql::Query& query) const;
+
+ private:
+  CardinalityEstimator estimator_;
+  LeftDeepOptions options_;
+};
+
+}  // namespace hsparql::cdp
+
+#endif  // HSPARQL_CDP_LEFTDEEP_PLANNER_H_

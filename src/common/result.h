@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, in the style of arrow::Result / absl::StatusOr.
+#ifndef HSPARQL_COMMON_RESULT_H_
+#define HSPARQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hsparql {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced. Access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (the common error path).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK status if a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out; must hold a value.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace hsparql
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define HSPARQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HSPARQL_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  HSPARQL_ASSIGN_OR_RETURN_IMPL(                                             \
+      HSPARQL_CONCAT_NAME(_hsparql_result_, __COUNTER__), lhs, expr)
+
+#define HSPARQL_CONCAT_NAME_INNER(a, b) a##b
+#define HSPARQL_CONCAT_NAME(a, b) HSPARQL_CONCAT_NAME_INNER(a, b)
+
+#endif  // HSPARQL_COMMON_RESULT_H_

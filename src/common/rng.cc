@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsparql {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double skew, std::uint64_t seed)
+    : n_(n == 0 ? 1 : n), skew_(skew), rng_(seed) {
+  cdf_.reserve(n_);
+  double acc = 0.0;
+  for (std::uint64_t i = 1; i <= n_; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), skew_);
+    cdf_.push_back(acc);
+  }
+}
+
+std::uint64_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble() * cdf_.back();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace hsparql

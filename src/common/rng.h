@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper's Algorithm 1 ends tie-breaking with "RandomChooseOne". For a
+// reproducible system (and reproducible experiments) every random choice in
+// this codebase flows through a seeded Rng instance; the default seed is
+// fixed so repeated runs produce identical plans.
+#ifndef HSPARQL_COMMON_RNG_H_
+#define HSPARQL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hsparql {
+
+/// Default seed used across planners, generators and benchmarks.
+inline constexpr std::uint64_t kDefaultSeed = 42;
+
+/// splitmix64: tiny, fast, high-quality 64-bit PRNG; used both directly and
+/// to seed larger state machines.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = kDefaultSeed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); `bound` must be > 0. Modulo reduction:
+  /// the bias is negligible for planning/synthetic-data bounds (<< 2^32).
+  std::uint64_t NextBounded(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Draws from an (approximate) Zipf distribution over [0, n) with skew `s`,
+/// by inverse-CDF over the harmonic weights. Used by the synthetic data
+/// generators to model hub-heavy RDF graphs (paper §4, HEURISTIC 2: "RDF
+/// data graphs tend to be sparse ... there are hub nodes").
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double skew, std::uint64_t seed = kDefaultSeed);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  std::uint64_t Next();
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // unnormalised CDF of the harmonic weights
+  SplitMix64 rng_;
+};
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_RNG_H_

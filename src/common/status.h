@@ -1,0 +1,123 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Apache Arrow / RocksDB. Functions that can fail return Status (or
+// Result<T>, see result.h) instead of throwing.
+#ifndef HSPARQL_COMMON_STATUS_H_
+#define HSPARQL_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hsparql {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+  kIoError,
+};
+
+/// Returns the canonical lowercase name of a status code ("parse error"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. OK carries no payload; errors carry
+/// a code and a human-readable message. Cheap to return in the common (OK)
+/// case: OK is represented by a null pointer.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace hsparql
+
+/// Propagates a non-OK Status to the caller.
+#define HSPARQL_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::hsparql::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // HSPARQL_COMMON_STATUS_H_

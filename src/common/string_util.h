@@ -1,0 +1,37 @@
+// Small string helpers shared across modules.
+#ifndef HSPARQL_COMMON_STRING_UTIL_H_
+#define HSPARQL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsparql {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// True if `text` ends with `suffix`.
+inline bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/// Formats a count with thousands separators ("1234567" -> "1,234,567");
+/// matches the figure annotations in the paper.
+std::string FormatCount(std::uint64_t n);
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_STRING_UTIL_H_

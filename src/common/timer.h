@@ -1,0 +1,36 @@
+// Wall-clock timing helpers used by the benchmark harnesses and ExecStats.
+#ifndef HSPARQL_COMMON_TIMER_H_
+#define HSPARQL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hsparql {
+
+/// Monotonic stopwatch. Start() (or construction) begins timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed time since Start() in fractional milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since Start() in fractional microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_TIMER_H_

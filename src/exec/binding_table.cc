@@ -1,0 +1,54 @@
+#include "exec/binding_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsparql::exec {
+
+bool BindingTable::CheckSortedness() const {
+  std::vector<std::size_t> cols;
+  for (sparql::VarId v : sorted_by) {
+    std::size_t c = ColumnOf(v);
+    if (c == npos) return false;
+    cols.push_back(c);
+  }
+  for (std::size_t r = 1; r < rows; ++r) {
+    for (std::size_t c : cols) {
+      rdf::TermId prev = columns[c][r - 1];
+      rdf::TermId cur = columns[c][r];
+      if (prev < cur) break;
+      if (prev > cur) return false;
+    }
+  }
+  return true;
+}
+
+std::string BindingTable::ToString(const sparql::Query& query,
+                                   const rdf::Dictionary& dict,
+                                   std::size_t max_rows) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << '?' << query.VarName(vars[i]);
+  }
+  os << '\n';
+  std::size_t shown = std::min(rows, max_rows);
+  for (std::size_t r = 0; r < shown; ++r) {
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (i > 0) os << " | ";
+      rdf::TermId id = columns[i][r];
+      if (id == rdf::kInvalidTermId) {
+        os << "UNDEF";  // unbound OPTIONAL / UNION cell
+      } else {
+        os << dict.Get(id).ToString();
+      }
+    }
+    os << '\n';
+  }
+  if (shown < rows) {
+    os << "... (" << rows - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace hsparql::exec

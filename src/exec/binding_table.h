@@ -1,0 +1,60 @@
+// Columnar intermediate results.
+//
+// The engine is operator-at-a-time in MonetDB's style: every operator fully
+// materialises its output as a BindingTable (struct-of-arrays of TermIds,
+// one column per variable), which is what makes intermediate-result sizes —
+// the quantity the paper's heuristics fight to minimise — directly
+// observable.
+#ifndef HSPARQL_EXEC_BINDING_TABLE_H_
+#define HSPARQL_EXEC_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace hsparql::exec {
+
+/// A materialised set of mappings (the SPARQL analogue of relational
+/// valuations, §3): `columns[i][r]` is the binding of `vars[i]` in row `r`.
+struct BindingTable {
+  std::vector<sparql::VarId> vars;
+  std::vector<std::vector<rdf::TermId>> columns;
+  /// Number of rows; kept explicit so zero-variable tables (fully bound
+  /// patterns) can still count matches.
+  std::size_t rows = 0;
+  /// Sort order of the rows as a variable prefix: rows are ordered by
+  /// sorted_by[0], ties by sorted_by[1], ... Empty means unordered.
+  std::vector<sparql::VarId> sorted_by;
+
+  /// Index of `var` in `vars`, or npos.
+  static constexpr std::size_t npos = SIZE_MAX;
+  std::size_t ColumnOf(sparql::VarId var) const {
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == var) return i;
+    }
+    return npos;
+  }
+
+  bool HasVar(sparql::VarId var) const { return ColumnOf(var) != npos; }
+
+  /// True if rows are sorted by `var` as primary key.
+  bool SortedBy(sparql::VarId var) const {
+    return !sorted_by.empty() && sorted_by[0] == var;
+  }
+
+  /// Debug/diagnostic check that the data matches `sorted_by`.
+  bool CheckSortedness() const;
+
+  /// Renders up to `max_rows` rows with names resolved through `query` and
+  /// `dict` (examples and debugging).
+  std::string ToString(const sparql::Query& query,
+                       const rdf::Dictionary& dict,
+                       std::size_t max_rows = 20) const;
+};
+
+}  // namespace hsparql::exec
+
+#endif  // HSPARQL_EXEC_BINDING_TABLE_H_

@@ -1,0 +1,640 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "exec/term_compare.h"
+
+namespace hsparql::exec {
+
+using hsp::JoinAlgo;
+using hsp::PlanNode;
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+using storage::Binding;
+using storage::Ordering;
+
+namespace {
+
+/// Hash for multi-variable join keys.
+struct KeyHash {
+  std::size_t operator()(const std::vector<TermId>& key) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (TermId v : key) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+class PlanRunner {
+ public:
+  PlanRunner(const storage::TripleStore* store, const Query* query,
+             const ExecOptions* options, ExecResult* result)
+      : store_(store), query_(query), options_(options), result_(result) {}
+
+  Result<BindingTable> Run(const PlanNode* node) {
+    switch (node->kind) {
+      case PlanNode::Kind::kScan:
+        return RunScan(node);
+      case PlanNode::Kind::kJoin:
+        return RunJoin(node);
+      case PlanNode::Kind::kFilter:
+        return RunFilter(node);
+      case PlanNode::Kind::kProject:
+        return RunProject(node);
+      case PlanNode::Kind::kUnion:
+        return RunUnion(node);
+      case PlanNode::Kind::kSort:
+        return RunSort(node);
+      case PlanNode::Kind::kLimit:
+        return RunLimit(node);
+    }
+    return Status::Internal("unknown plan node kind");
+  }
+
+ private:
+  void Record(const PlanNode* node, std::string label,
+              const BindingTable& out, double millis,
+              bool is_intermediate) {
+    if (node->id >= 0) {
+      std::size_t id = static_cast<std::size_t>(node->id);
+      if (result_->cardinalities.size() <= id) {
+        result_->cardinalities.resize(id + 1, 0);
+      }
+      result_->cardinalities[id] = out.rows;
+    }
+    result_->stats.push_back(
+        OperatorStat{node->id, std::move(label), out.rows, millis});
+    if (is_intermediate) result_->total_intermediate_rows += out.rows;
+  }
+
+  Result<BindingTable> RunScan(const PlanNode* node) {
+    WallTimer timer;
+    const TriplePattern& tp = query_->patterns[node->pattern_index];
+    const rdf::Dictionary& dict = store_->dictionary();
+
+    // Resolve pattern constants against the dictionary; an unknown
+    // constant means an empty (but well-formed) result.
+    std::array<std::optional<TermId>, 3> resolved;
+    bool impossible = false;
+    for (Position pos : rdf::kAllPositions) {
+      const sparql::PatternTerm& t = tp.at(pos);
+      if (t.is_constant()) {
+        auto id = dict.Find(t.constant);
+        if (!id.has_value()) {
+          impossible = true;
+        } else {
+          resolved[static_cast<std::size_t>(pos)] = *id;
+        }
+      }
+    }
+
+    const auto positions = storage::OrderingPositions(node->ordering);
+    // Bound prefix of the ordering => binary-search range.
+    std::vector<Binding> prefix;
+    std::size_t k = 0;
+    while (k < 3 && tp.at(positions[k]).is_constant()) {
+      if (!impossible) {
+        prefix.push_back(Binding{
+            positions[k],
+            *resolved[static_cast<std::size_t>(positions[k])]});
+      }
+      ++k;
+    }
+    std::span<const Triple> range;
+    if (!impossible) {
+      range = store_->LookupPrefix(node->ordering, prefix);
+    }
+
+    // Output schema: the pattern's distinct variables in ordering priority
+    // after the bound prefix; that sequence is also the sort order.
+    BindingTable out;
+    std::vector<Position> source_pos;
+    for (std::size_t i = k; i < 3; ++i) {
+      const sparql::PatternTerm& t = tp.at(positions[i]);
+      if (t.is_variable() && !out.HasVar(t.var)) {
+        out.vars.push_back(t.var);
+        source_pos.push_back(positions[i]);
+      }
+    }
+    out.sorted_by = out.vars;
+    out.columns.resize(out.vars.size());
+
+    // Residual checks: constants beyond the prefix (robustness against
+    // non-prefix orderings) and repeated-variable equality.
+    std::vector<std::pair<Position, TermId>> residual_consts;
+    for (std::size_t i = k; i < 3; ++i) {
+      const sparql::PatternTerm& t = tp.at(positions[i]);
+      if (t.is_constant() && !impossible) {
+        residual_consts.emplace_back(
+            positions[i], *resolved[static_cast<std::size_t>(positions[i])]);
+      }
+    }
+    std::vector<std::pair<Position, Position>> var_equalities;
+    for (Position a : rdf::kAllPositions) {
+      for (Position b : rdf::kAllPositions) {
+        if (static_cast<int>(a) < static_cast<int>(b) &&
+            tp.at(a).is_variable() && tp.at(b).is_variable() &&
+            tp.at(a).var == tp.at(b).var) {
+          var_equalities.emplace_back(a, b);
+        }
+      }
+    }
+
+    // Sideways-information-passing domain filters active on this scan's
+    // variables (installed by enclosing hash joins).
+    std::vector<std::pair<std::size_t, const std::vector<TermId>*>> sip;
+    for (std::size_t c = 0; c < out.vars.size(); ++c) {
+      auto it = domain_filters_.find(out.vars[c]);
+      if (it != domain_filters_.end()) sip.emplace_back(c, &it->second);
+    }
+
+    for (const Triple& t : range) {
+      bool keep = true;
+      for (const auto& [pos, id] : residual_consts) {
+        if (t.at(pos) != id) {
+          keep = false;
+          break;
+        }
+      }
+      for (const auto& [a, b] : var_equalities) {
+        if (t.at(a) != t.at(b)) {
+          keep = false;
+          break;
+        }
+      }
+      for (const auto& [c, domain] : sip) {
+        if (!std::binary_search(domain->begin(), domain->end(),
+                                t.at(source_pos[c]))) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      for (std::size_t c = 0; c < out.vars.size(); ++c) {
+        out.columns[c].push_back(t.at(source_pos[c]));
+      }
+      ++out.rows;
+    }
+
+    std::ostringstream label;
+    label << (tp.num_constants() > 0 ? "select(" : "scan(")
+          << storage::OrderingName(node->ordering) << ") tp"
+          << node->pattern_index;
+    Record(node, label.str(), out, timer.ElapsedMillis(),
+           /*is_intermediate=*/true);
+    return out;
+  }
+
+  Result<BindingTable> RunJoin(const PlanNode* node) {
+    HSPARQL_ASSIGN_OR_RETURN(BindingTable left, Run(node->children[0].get()));
+
+    // SIP: push the left side's join-variable domain into the right
+    // subtree's scans before evaluating it (hash joins only; safe for
+    // left outer joins too — filtered right rows could never match).
+    bool sip_installed = false;
+    std::vector<TermId> sip_saved;
+    bool sip_had_previous = false;
+    VarId sip_var = node->join_var;
+    if (options_->sideways_information_passing &&
+        node->kind == PlanNode::Kind::kJoin &&
+        node->algo == JoinAlgo::kHash && sip_var != sparql::kInvalidVarId &&
+        left.HasVar(sip_var)) {
+      std::vector<TermId> domain =
+          left.columns[left.ColumnOf(sip_var)];
+      std::sort(domain.begin(), domain.end());
+      domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+      auto it = domain_filters_.find(sip_var);
+      if (it != domain_filters_.end()) {
+        sip_had_previous = true;
+        sip_saved = it->second;
+        // Intersect with the enclosing filter.
+        std::vector<TermId> merged;
+        std::set_intersection(domain.begin(), domain.end(),
+                              sip_saved.begin(), sip_saved.end(),
+                              std::back_inserter(merged));
+        it->second = std::move(merged);
+      } else {
+        domain_filters_[sip_var] = std::move(domain);
+      }
+      sip_installed = true;
+    }
+
+    auto right_result = Run(node->children[1].get());
+    if (sip_installed) {
+      if (sip_had_previous) {
+        domain_filters_[sip_var] = std::move(sip_saved);
+      } else {
+        domain_filters_.erase(sip_var);
+      }
+    }
+    if (!right_result.ok()) return right_result.status();
+    BindingTable right = std::move(right_result).ValueOrDie();
+    WallTimer timer;
+
+    // Shared variables (all of them are equated; join_var is the primary).
+    std::vector<VarId> shared;
+    for (VarId v : left.vars) {
+      if (right.HasVar(v)) shared.push_back(v);
+    }
+
+    BindingTable out;
+    out.vars = left.vars;
+    std::vector<std::size_t> right_extra;  // right columns not in left
+    for (std::size_t i = 0; i < right.vars.size(); ++i) {
+      if (!left.HasVar(right.vars[i])) {
+        out.vars.push_back(right.vars[i]);
+        right_extra.push_back(i);
+      }
+    }
+    out.columns.resize(out.vars.size());
+
+    auto emit = [&](std::size_t lr, std::size_t rr) {
+      for (std::size_t c = 0; c < left.vars.size(); ++c) {
+        out.columns[c].push_back(left.columns[c][lr]);
+      }
+      for (std::size_t c = 0; c < right_extra.size(); ++c) {
+        out.columns[left.vars.size() + c].push_back(
+            right.columns[right_extra[c]][rr]);
+      }
+      ++out.rows;
+    };
+
+    // Left outer joins (OPTIONAL): unmatched left rows survive with the
+    // right-only columns unbound (kInvalidTermId).
+    auto emit_left_unmatched = [&](std::size_t lr) {
+      for (std::size_t c = 0; c < left.vars.size(); ++c) {
+        out.columns[c].push_back(left.columns[c][lr]);
+      }
+      for (std::size_t c = 0; c < right_extra.size(); ++c) {
+        out.columns[left.vars.size() + c].push_back(rdf::kInvalidTermId);
+      }
+      ++out.rows;
+    };
+
+    std::string label;
+    if (node->algo == JoinAlgo::kMerge) {
+      if (node->left_outer) {
+        return Status::Internal("left outer merge joins are not supported");
+      }
+      const VarId var = node->join_var;
+      std::size_t lc = left.ColumnOf(var);
+      std::size_t rc = right.ColumnOf(var);
+      if (lc == BindingTable::npos || rc == BindingTable::npos) {
+        return Status::Internal("merge join variable missing from input");
+      }
+      if (!left.SortedBy(var) || !right.SortedBy(var)) {
+        return Status::Internal(
+            "merge join requires both inputs sorted on ?" +
+            query_->VarName(var));
+      }
+      std::vector<VarId> check;  // other shared vars
+      for (VarId v : shared) {
+        if (v != var) check.push_back(v);
+      }
+      const auto& lv = left.columns[lc];
+      const auto& rv = right.columns[rc];
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < left.rows && j < right.rows) {
+        if (lv[i] < rv[j]) {
+          ++i;
+        } else if (rv[j] < lv[i]) {
+          ++j;
+        } else {
+          std::size_t i2 = i;
+          while (i2 < left.rows && lv[i2] == lv[i]) ++i2;
+          std::size_t j2 = j;
+          while (j2 < right.rows && rv[j2] == rv[j]) ++j2;
+          for (std::size_t a = i; a < i2; ++a) {
+            for (std::size_t b = j; b < j2; ++b) {
+              bool ok = true;
+              for (VarId v : check) {
+                if (left.columns[left.ColumnOf(v)][a] !=
+                    right.columns[right.ColumnOf(v)][b]) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (ok) emit(a, b);
+            }
+          }
+          i = i2;
+          j = j2;
+        }
+      }
+      out.sorted_by = {var};
+      label = "mergejoin ?" + query_->VarName(var);
+    } else {
+      // Hash join on all shared variables; cartesian product when none.
+      if (shared.empty()) {
+        if (right.rows == 0 && node->left_outer) {
+          for (std::size_t a = 0; a < left.rows; ++a) emit_left_unmatched(a);
+        } else {
+          for (std::size_t a = 0; a < left.rows; ++a) {
+            for (std::size_t b = 0; b < right.rows; ++b) emit(a, b);
+          }
+        }
+        label = "hashjoin (cartesian)";
+      } else {
+        std::vector<std::size_t> lcols;
+        std::vector<std::size_t> rcols;
+        for (VarId v : shared) {
+          lcols.push_back(left.ColumnOf(v));
+          rcols.push_back(right.ColumnOf(v));
+        }
+        std::unordered_map<std::vector<TermId>, std::vector<std::size_t>,
+                           KeyHash>
+            table;
+        table.reserve(right.rows);
+        std::vector<TermId> key(shared.size());
+        for (std::size_t b = 0; b < right.rows; ++b) {
+          for (std::size_t c = 0; c < rcols.size(); ++c) {
+            key[c] = right.columns[rcols[c]][b];
+          }
+          table[key].push_back(b);
+        }
+        for (std::size_t a = 0; a < left.rows; ++a) {
+          for (std::size_t c = 0; c < lcols.size(); ++c) {
+            key[c] = left.columns[lcols[c]][a];
+          }
+          auto it = table.find(key);
+          if (it == table.end()) {
+            if (node->left_outer) emit_left_unmatched(a);
+            continue;
+          }
+          for (std::size_t b : it->second) emit(a, b);
+        }
+        label = std::string(node->left_outer ? "leftouter" : "") +
+                "hashjoin ?" +
+                query_->VarName(node->join_var != sparql::kInvalidVarId
+                                    ? node->join_var
+                                    : shared[0]);
+      }
+      // Probing in left order preserves the left sort order.
+      out.sorted_by = left.sorted_by;
+    }
+
+    Record(node, label, out, timer.ElapsedMillis(), /*is_intermediate=*/true);
+    return out;
+  }
+
+  Result<BindingTable> RunSort(const PlanNode* node) {
+    HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
+    WallTimer timer;
+    const rdf::Dictionary& dict = store_->dictionary();
+    std::vector<std::size_t> cols;
+    for (const sparql::Query::OrderKey& key : node->order_keys) {
+      std::size_t c = in.ColumnOf(key.var);
+      if (c == BindingTable::npos) {
+        return Status::Internal("ORDER BY variable missing from input");
+      }
+      cols.push_back(c);
+    }
+    std::vector<std::size_t> idx(in.rows);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    // SPARQL ordering: unbound sorts before any bound value; otherwise
+    // the FILTER comparison order (numeric when possible, else lexical).
+    auto compare_cells = [&](TermId a, TermId b) {
+      if (a == b) return 0;
+      if (a == rdf::kInvalidTermId) return -1;
+      if (b == rdf::kInvalidTermId) return 1;
+      return CompareTerms(dict.Get(a), dict.Get(b));
+    };
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       for (std::size_t k = 0; k < cols.size(); ++k) {
+                         int c = compare_cells(in.columns[cols[k]][a],
+                                               in.columns[cols[k]][b]);
+                         if (c != 0) {
+                           return node->order_keys[k].descending ? c > 0
+                                                                 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+    BindingTable out;
+    out.vars = in.vars;
+    out.columns.resize(out.vars.size());
+    for (std::size_t i : idx) {
+      for (std::size_t c = 0; c < in.vars.size(); ++c) {
+        out.columns[c].push_back(in.columns[c][i]);
+      }
+    }
+    out.rows = in.rows;
+    // Row order is now the ORDER BY order, not a variable-id order.
+    Record(node, "sort", out, timer.ElapsedMillis(),
+           /*is_intermediate=*/false);
+    return out;
+  }
+
+  Result<BindingTable> RunLimit(const PlanNode* node) {
+    HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
+    WallTimer timer;
+    BindingTable out;
+    out.vars = in.vars;
+    out.columns.resize(out.vars.size());
+    std::size_t begin = std::min<std::size_t>(node->limit_offset, in.rows);
+    std::size_t end = node->limit_count > in.rows - begin
+                          ? in.rows
+                          : begin + node->limit_count;
+    for (std::size_t r = begin; r < end; ++r) {
+      for (std::size_t c = 0; c < in.vars.size(); ++c) {
+        out.columns[c].push_back(in.columns[c][r]);
+      }
+    }
+    out.rows = end - begin;
+    out.sorted_by = in.sorted_by;  // slicing preserves order
+    Record(node, "limit", out, timer.ElapsedMillis(),
+           /*is_intermediate=*/false);
+    return out;
+  }
+
+  Result<BindingTable> RunUnion(const PlanNode* node) {
+    std::vector<BindingTable> inputs;
+    for (const auto& child : node->children) {
+      HSPARQL_ASSIGN_OR_RETURN(BindingTable t, Run(child.get()));
+      inputs.push_back(std::move(t));
+    }
+    WallTimer timer;
+    // Schema: union of branch schemas, first-occurrence order. Branches
+    // lacking a variable contribute unbound (kInvalidTermId) cells.
+    BindingTable out;
+    for (const BindingTable& in : inputs) {
+      for (VarId v : in.vars) {
+        if (!out.HasVar(v)) out.vars.push_back(v);
+      }
+    }
+    out.columns.resize(out.vars.size());
+    for (const BindingTable& in : inputs) {
+      std::vector<std::size_t> src(out.vars.size(), BindingTable::npos);
+      for (std::size_t c = 0; c < out.vars.size(); ++c) {
+        src[c] = in.ColumnOf(out.vars[c]);
+      }
+      for (std::size_t r = 0; r < in.rows; ++r) {
+        for (std::size_t c = 0; c < out.vars.size(); ++c) {
+          out.columns[c].push_back(src[c] == BindingTable::npos
+                                       ? rdf::kInvalidTermId
+                                       : in.columns[src[c]][r]);
+        }
+        ++out.rows;
+      }
+    }
+    Record(node, "union", out, timer.ElapsedMillis(),
+           /*is_intermediate=*/true);
+    return out;
+  }
+
+  Result<BindingTable> RunFilter(const PlanNode* node) {
+    HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
+    WallTimer timer;
+    const sparql::Filter& f = node->filter;
+    const rdf::Dictionary& dict = store_->dictionary();
+
+    std::size_t lhs = in.ColumnOf(f.var);
+    if (lhs == BindingTable::npos) {
+      return Status::Internal("filter variable ?" + query_->VarName(f.var) +
+                              " missing from input");
+    }
+    std::size_t rhs = BindingTable::npos;
+    std::optional<TermId> const_id;
+    if (f.rhs_var.has_value()) {
+      rhs = in.ColumnOf(*f.rhs_var);
+      if (rhs == BindingTable::npos) {
+        return Status::Internal("filter variable missing from input");
+      }
+    } else {
+      const_id = dict.Find(f.value);
+    }
+
+    auto passes = [&](std::size_t r) {
+      TermId a = in.columns[lhs][r];
+      // SPARQL semantics: comparing an unbound value is a type error and
+      // the row is filtered out.
+      if (a == rdf::kInvalidTermId) return false;
+      if (f.rhs_var.has_value() &&
+          in.columns[rhs][r] == rdf::kInvalidTermId) {
+        return false;
+      }
+      if (!f.rhs_var.has_value() &&
+          (f.op == sparql::FilterOp::kEq || f.op == sparql::FilterOp::kNe)) {
+        bool eq = const_id.has_value() && a == *const_id;
+        return f.op == sparql::FilterOp::kEq ? eq : !eq;
+      }
+      const rdf::Term& ta = dict.Get(a);
+      const rdf::Term& tb =
+          f.rhs_var.has_value() ? dict.Get(in.columns[rhs][r]) : f.value;
+      return EvalFilterOp(f.op, ta, tb);
+    };
+
+    BindingTable out;
+    out.vars = in.vars;
+    out.sorted_by = in.sorted_by;  // row order preserved
+    out.columns.resize(out.vars.size());
+    for (std::size_t r = 0; r < in.rows; ++r) {
+      if (!passes(r)) continue;
+      for (std::size_t c = 0; c < in.vars.size(); ++c) {
+        out.columns[c].push_back(in.columns[c][r]);
+      }
+      ++out.rows;
+    }
+    Record(node, "filter", out, timer.ElapsedMillis(),
+           /*is_intermediate=*/false);
+    return out;
+  }
+
+  Result<BindingTable> RunProject(const PlanNode* node) {
+    HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
+    WallTimer timer;
+
+    BindingTable out;
+    out.vars = node->projection;
+    out.columns.resize(out.vars.size());
+    std::vector<std::size_t> src;
+    for (VarId v : node->projection) {
+      std::size_t c = in.ColumnOf(v);
+      if (c == BindingTable::npos) {
+        return Status::Internal("projection variable ?" + query_->VarName(v) +
+                                " missing from input");
+      }
+      src.push_back(c);
+    }
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      out.columns[c] = in.columns[src[c]];
+    }
+    out.rows = in.rows;
+    // Sortedness survives as the longest prefix of sorted_by that is
+    // projected.
+    for (VarId v : in.sorted_by) {
+      if (!out.HasVar(v)) break;
+      out.sorted_by.push_back(v);
+    }
+
+    if (node->distinct) {
+      std::vector<std::size_t> idx(out.rows);
+      for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      auto tuple_less = [&](std::size_t a, std::size_t b) {
+        for (const auto& col : out.columns) {
+          if (col[a] != col[b]) return col[a] < col[b];
+        }
+        return false;
+      };
+      auto tuple_eq = [&](std::size_t a, std::size_t b) {
+        for (const auto& col : out.columns) {
+          if (col[a] != col[b]) return false;
+        }
+        return true;
+      };
+      std::sort(idx.begin(), idx.end(), tuple_less);
+      idx.erase(std::unique(idx.begin(), idx.end(), tuple_eq), idx.end());
+      BindingTable dedup;
+      dedup.vars = out.vars;
+      dedup.columns.resize(out.columns.size());
+      for (std::size_t i : idx) {
+        for (std::size_t c = 0; c < out.columns.size(); ++c) {
+          dedup.columns[c].push_back(out.columns[c][i]);
+        }
+      }
+      dedup.rows = idx.size();
+      dedup.sorted_by = dedup.vars;  // lexicographically sorted now
+      out = std::move(dedup);
+    }
+
+    Record(node, "project", out, timer.ElapsedMillis(),
+           /*is_intermediate=*/false);
+    return out;
+  }
+
+  const storage::TripleStore* store_;
+  const Query* query_;
+  const ExecOptions* options_;
+  ExecResult* result_;
+  /// Active SIP domain filters: variable -> sorted allowed values.
+  std::unordered_map<VarId, std::vector<TermId>> domain_filters_;
+};
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(const Query& query,
+                                     const hsp::LogicalPlan& plan) const {
+  if (plan.empty()) return Status::InvalidArgument("empty plan");
+  ExecResult result;
+  result.cardinalities.assign(static_cast<std::size_t>(plan.num_nodes()), 0);
+  WallTimer timer;
+  PlanRunner runner(store_, &query, &options_, &result);
+  HSPARQL_ASSIGN_OR_RETURN(result.table, runner.Run(plan.root()));
+  result.total_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace hsparql::exec

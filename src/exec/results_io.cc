@@ -1,0 +1,87 @@
+#include "exec/results_io.h"
+
+#include <cstdio>
+
+namespace hsparql::exec {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteResultsJson(const BindingTable& table, const sparql::Query& query,
+                      const rdf::Dictionary& dict, std::ostream& out) {
+  out << "{\"head\":{\"vars\":[";
+  for (std::size_t i = 0; i < table.vars.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << JsonEscape(query.VarName(table.vars[i])) << '"';
+  }
+  out << "]},\"results\":{\"bindings\":[";
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    if (r > 0) out << ',';
+    out << '{';
+    bool first = true;
+    for (std::size_t c = 0; c < table.vars.size(); ++c) {
+      rdf::TermId id = table.columns[c][r];
+      if (id == rdf::kInvalidTermId) continue;  // unbound: omit
+      if (!first) out << ',';
+      first = false;
+      const rdf::Term& term = dict.Get(id);
+      out << '"' << JsonEscape(query.VarName(table.vars[c]))
+          << "\":{\"type\":\""
+          << (term.is_iri() ? "uri" : "literal") << "\",\"value\":\""
+          << JsonEscape(term.lexical) << "\"}";
+    }
+    out << '}';
+  }
+  out << "]}}\n";
+}
+
+void WriteResultsTsv(const BindingTable& table, const sparql::Query& query,
+                     const rdf::Dictionary& dict, std::ostream& out) {
+  for (std::size_t i = 0; i < table.vars.size(); ++i) {
+    if (i > 0) out << '\t';
+    out << '?' << query.VarName(table.vars[i]);
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    for (std::size_t c = 0; c < table.vars.size(); ++c) {
+      if (c > 0) out << '\t';
+      rdf::TermId id = table.columns[c][r];
+      if (id == rdf::kInvalidTermId) continue;  // unbound: empty field
+      out << dict.Get(id).ToString();
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace hsparql::exec

@@ -1,0 +1,34 @@
+// SPARQL query-result serialisation: the W3C "SPARQL 1.1 Query Results
+// JSON Format" and the TSV flavour of the CSV/TSV results format. Lets the
+// example tools and downstream users consume results without touching
+// BindingTable internals.
+#ifndef HSPARQL_EXEC_RESULTS_IO_H_
+#define HSPARQL_EXEC_RESULTS_IO_H_
+
+#include <ostream>
+#include <string>
+
+#include "exec/binding_table.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace hsparql::exec {
+
+/// Writes `table` as SPARQL Results JSON:
+///   {"head": {"vars": [...]}, "results": {"bindings": [...]}}
+/// IRIs become {"type": "uri"}, literals {"type": "literal"}; unbound
+/// cells (OPTIONAL/UNION) are omitted from their binding object, per spec.
+void WriteResultsJson(const BindingTable& table, const sparql::Query& query,
+                      const rdf::Dictionary& dict, std::ostream& out);
+
+/// Writes `table` as SPARQL TSV: a header line of ?var names, then one
+/// row per binding with N-Triples-style terms; unbound cells are empty.
+void WriteResultsTsv(const BindingTable& table, const sparql::Query& query,
+                     const rdf::Dictionary& dict, std::ostream& out);
+
+/// JSON string escaping (exposed for tests).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace hsparql::exec
+
+#endif  // HSPARQL_EXEC_RESULTS_IO_H_

@@ -1,0 +1,45 @@
+#include "exec/term_compare.h"
+
+#include <cstdlib>
+
+namespace hsparql::exec {
+
+int CompareTerms(const rdf::Term& a, const rdf::Term& b) {
+  const char* sa = a.lexical.c_str();
+  const char* sb = b.lexical.c_str();
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  double da = std::strtod(sa, &end_a);
+  double db = std::strtod(sb, &end_b);
+  bool num_a = end_a != sa && *end_a == '\0' && !a.lexical.empty();
+  bool num_b = end_b != sb && *end_b == '\0' && !b.lexical.empty();
+  if (num_a && num_b) {
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  int c = a.lexical.compare(b.lexical);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+bool EvalFilterOp(sparql::FilterOp op, const rdf::Term& a,
+                  const rdf::Term& b) {
+  int c = CompareTerms(a, b);
+  switch (op) {
+    case sparql::FilterOp::kEq:
+      return c == 0 && a.kind == b.kind;
+    case sparql::FilterOp::kNe:
+      return c != 0 || a.kind != b.kind;
+    case sparql::FilterOp::kLt:
+      return c < 0;
+    case sparql::FilterOp::kLe:
+      return c <= 0;
+    case sparql::FilterOp::kGt:
+      return c > 0;
+    case sparql::FilterOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace hsparql::exec

@@ -1,0 +1,21 @@
+// FILTER comparison semantics shared by the executor and the reference
+// evaluator used in tests.
+#ifndef HSPARQL_EXEC_TERM_COMPARE_H_
+#define HSPARQL_EXEC_TERM_COMPARE_H_
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+namespace hsparql::exec {
+
+/// Total order on terms: numeric when both lexical forms parse fully as
+/// numbers, lexicographic on the lexical form otherwise. Returns -1/0/+1.
+int CompareTerms(const rdf::Term& a, const rdf::Term& b);
+
+/// Evaluates `a op b` under CompareTerms; equality additionally requires
+/// matching term kinds (an IRI never equals a literal).
+bool EvalFilterOp(sparql::FilterOp op, const rdf::Term& a, const rdf::Term& b);
+
+}  // namespace hsparql::exec
+
+#endif  // HSPARQL_EXEC_TERM_COMPARE_H_

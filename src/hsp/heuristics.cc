@@ -1,0 +1,202 @@
+#include "hsp/heuristics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sparql/parser.h"
+
+namespace hsparql::hsp {
+
+using rdf::Position;
+using sparql::JoinClass;
+using sparql::PatternTerm;
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+
+bool HasRdfTypePredicate(const TriplePattern& tp) {
+  return tp.p.is_constant() && tp.p.constant.is_iri() &&
+         tp.p.constant.lexical == sparql::kRdfTypeIri;
+}
+
+int H1Rank(const TriplePattern& tp, bool type_exception) {
+  bool s = tp.s.is_constant();
+  bool p = tp.p.is_constant();
+  bool o = tp.o.is_constant();
+  if (type_exception && HasRdfTypePredicate(tp)) {
+    p = false;  // rdf:type binds almost nothing
+  }
+  // (s,p,o) ≺ (s,?,o) ≺ (?,p,o) ≺ (s,p,?) ≺ (?,?,o) ≺ (s,?,?) ≺ (?,p,?)
+  // ≺ (?,?,?)
+  if (s && p && o) return 0;
+  if (s && !p && o) return 1;
+  if (!s && p && o) return 2;
+  if (s && p && !o) return 3;
+  if (!s && !p && o) return 4;
+  if (s && !p && !o) return 5;
+  if (!s && p && !o) return 6;
+  return 7;
+}
+
+int H2Rank(JoinClass jc) {
+  using P = Position;
+  // p⋈o ≺ s⋈p ≺ s⋈o ≺ o⋈o ≺ s⋈s ≺ p⋈p
+  if (jc == JoinClass::Make(P::kPredicate, P::kObject)) return 0;
+  if (jc == JoinClass::Make(P::kSubject, P::kPredicate)) return 1;
+  if (jc == JoinClass::Make(P::kSubject, P::kObject)) return 2;
+  if (jc == JoinClass::Make(P::kObject, P::kObject)) return 3;
+  if (jc == JoinClass::Make(P::kSubject, P::kSubject)) return 4;
+  return 5;  // p⋈p
+}
+
+int H3BoundCount(const TriplePattern& tp) { return tp.num_constants(); }
+
+bool H4HasLiteralObject(const TriplePattern& tp) {
+  return tp.o.is_constant() && tp.o.constant.is_literal();
+}
+
+bool ScanOrderLess::operator()(std::size_t a, std::size_t b) const {
+  const TriplePattern& ta = query->patterns[a];
+  const TriplePattern& tb = query->patterns[b];
+  int ra = H1Rank(ta, type_exception);
+  int rb = H1Rank(tb, type_exception);
+  if (ra != rb) return ra < rb;
+  int ca = H3BoundCount(ta);
+  int cb = H3BoundCount(tb);
+  if (ca != cb) return ca > cb;  // more constants first
+  bool la = H4HasLiteralObject(ta);
+  bool lb = H4HasLiteralObject(tb);
+  if (la != lb) return la;  // literal object first
+  return a < b;
+}
+
+std::vector<JoinClass> JoinClassesOfVar(
+    const Query& query, VarId var, const std::vector<std::size_t>& patterns) {
+  // Occurrence positions grouped by position, as in sparql::Analyze.
+  std::array<int, 3> group_size = {0, 0, 0};
+  for (std::size_t idx : patterns) {
+    for (Position pos : query.patterns[idx].PositionsOf(var)) {
+      ++group_size[static_cast<std::size_t>(pos)];
+    }
+  }
+  std::vector<JoinClass> classes;
+  for (Position pos : rdf::kAllPositions) {
+    int n = group_size[static_cast<std::size_t>(pos)];
+    for (int i = 1; i < n; ++i) classes.push_back(JoinClass::Make(pos, pos));
+  }
+  Position prev = Position::kSubject;
+  bool have_prev = false;
+  for (Position pos : rdf::kAllPositions) {
+    if (group_size[static_cast<std::size_t>(pos)] == 0) continue;
+    if (have_prev) classes.push_back(JoinClass::Make(prev, pos));
+    prev = pos;
+    have_prev = true;
+  }
+  return classes;
+}
+
+namespace {
+
+/// Keeps the candidates minimising (or maximising) `score`.
+template <typename ScoreFn>
+std::vector<CandidateSet> KeepBest(std::vector<CandidateSet> sets,
+                                   bool keep_max, ScoreFn score) {
+  if (sets.size() <= 1) return sets;
+  long best = keep_max ? std::numeric_limits<long>::min()
+                       : std::numeric_limits<long>::max();
+  std::vector<long> scores;
+  scores.reserve(sets.size());
+  for (const CandidateSet& s : sets) {
+    long v = score(s);
+    scores.push_back(v);
+    if (keep_max ? v > best : v < best) best = v;
+  }
+  std::vector<CandidateSet> out;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    if (scores[i] == best) out.push_back(std::move(sets[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CandidateSet> ApplyH3(const Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config) {
+  // Total bound components over covered patterns. Bulky direction keeps
+  // the minimum (merge joins take the weakly-bound patterns).
+  return KeepBest(std::move(sets), /*keep_max=*/!config.merge_prefers_bulky,
+                  [&](const CandidateSet& s) {
+                    long total = 0;
+                    for (std::size_t idx : s.covered) {
+                      total += H3BoundCount(query.patterns[idx]);
+                    }
+                    return total;
+                  });
+}
+
+std::vector<CandidateSet> ApplyH4(const Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config) {
+  // Number of covered patterns with a literal object.
+  return KeepBest(std::move(sets), /*keep_max=*/!config.merge_prefers_bulky,
+                  [&](const CandidateSet& s) {
+                    long total = 0;
+                    for (std::size_t idx : s.covered) {
+                      if (H4HasLiteralObject(query.patterns[idx])) ++total;
+                    }
+                    return total;
+                  });
+}
+
+std::vector<CandidateSet> ApplyH2(const Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config) {
+  // The set's most-selective join class (minimum H2 rank across its
+  // variables' induced classes). Bulky direction keeps the maximum: the
+  // least selective join patterns become merge joins.
+  return KeepBest(std::move(sets), /*keep_max=*/config.merge_prefers_bulky,
+                  [&](const CandidateSet& s) {
+                    long best_rank = 6;
+                    for (VarId v : s.vars) {
+                      for (JoinClass jc :
+                           JoinClassesOfVar(query, v, s.covered)) {
+                        best_rank = std::min(best_rank,
+                                             static_cast<long>(H2Rank(jc)));
+                      }
+                    }
+                    return best_rank;
+                  });
+}
+
+std::vector<CandidateSet> ApplyH5(const Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& /*config*/) {
+  // Patterns containing projection variables should be considered as late
+  // as possible: prefer sets covering fewer projection variables...
+  sets = KeepBest(std::move(sets), /*keep_max=*/false,
+                  [&](const CandidateSet& s) {
+                    long total = 0;
+                    for (std::size_t idx : s.covered) {
+                      for (VarId v : query.patterns[idx].Variables()) {
+                        if (query.IsProjected(v)) ++total;
+                      }
+                    }
+                    return total;
+                  });
+  // ...then, among equals, the maximum number of unused variables (weight-1
+  // variables that are not projected).
+  const std::vector<std::uint32_t> weights = query.VarWeights();
+  return KeepBest(std::move(sets), /*keep_max=*/true,
+                  [&](const CandidateSet& s) {
+                    long total = 0;
+                    for (std::size_t idx : s.covered) {
+                      for (VarId v : query.patterns[idx].Variables()) {
+                        if (weights[v] == 1 && !query.IsProjected(v)) ++total;
+                      }
+                    }
+                    return total;
+                  });
+}
+
+}  // namespace hsparql::hsp

@@ -1,0 +1,99 @@
+// The five optimisation heuristics of §4.
+//
+// The heuristics play two roles in Algorithm 1:
+//
+//  (a) *Per-pattern* (H1, H3, H4): rank triple patterns by expected
+//      selectivity to order scans and joins — most selective first, so
+//      intermediate results shrink early. H1's precedence is
+//        (s,p,o) ≺ (s,?,o) ≺ (?,p,o) ≺ (s,p,?) ≺ (?,?,o) ≺ (s,?,?) ≺
+//        (?,p,?) ≺ (?,?,?)
+//      with the rdf:type exception: a bound rdf:type predicate is so common
+//      that it is treated as unbound for ranking purposes.
+//
+//  (b) *Set-level* (H3, H4, H2, H5 in that order): break ties between
+//      maximum-weight independent sets, i.e. decide WHICH variables get the
+//      merge joins. Here the preference runs toward covering the *bulky*
+//      patterns: merge joins are nearly free ((lc+rc)/100000 in the CDP
+//      cost model) while hash joins carry a large constant, so the heavy,
+//      weakly-bound patterns should be absorbed by merge-join blocks and
+//      the small, highly selective remainders attached by hash joins. This
+//      direction reproduces the paper's reported plans (e.g. Y2's left-deep
+//      merge chain on ?a); the opposite direction is available through
+//      TieBreakConfig for the ablation benchmark.
+#ifndef HSPARQL_HSP_HEURISTICS_H_
+#define HSPARQL_HSP_HEURISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparql/analyzer.h"
+#include "sparql/ast.h"
+
+namespace hsparql::hsp {
+
+/// HEURISTIC 1: selectivity rank of a triple pattern, 0 (most selective)
+/// to 7 (least). `type_exception` applies the rdf:type demotion.
+int H1Rank(const sparql::TriplePattern& tp, bool type_exception = true);
+
+/// True if the pattern's predicate is the constant rdf:type.
+bool HasRdfTypePredicate(const sparql::TriplePattern& tp);
+
+/// HEURISTIC 2: precedence rank of a join class, 0 (most selective, p⋈o)
+/// to 5 (least selective, p⋈p): p⋈o ≺ s⋈p ≺ s⋈o ≺ o⋈o ≺ s⋈s ≺ p⋈p.
+int H2Rank(sparql::JoinClass jc);
+
+/// HEURISTIC 3: number of bound components (literals + URIs), 0..3.
+int H3BoundCount(const sparql::TriplePattern& tp);
+
+/// HEURISTIC 4: true if the object component is a bound literal.
+bool H4HasLiteralObject(const sparql::TriplePattern& tp);
+
+/// Per-pattern scan comparator used inside merge-join blocks and for
+/// ordering selections: H1 rank ascending, then H3 descending, then H4
+/// (literal object first), then pattern index (stability).
+struct ScanOrderLess {
+  const sparql::Query* query;
+  bool type_exception = true;
+
+  bool operator()(std::size_t a, std::size_t b) const;
+};
+
+/// A candidate independent set under consideration by Algorithm 1:
+/// variables plus the patterns they cover within the current pattern set T.
+struct CandidateSet {
+  std::vector<sparql::VarId> vars;       // sorted
+  std::vector<std::size_t> covered;      // pattern indices, sorted
+};
+
+/// Direction switches for the set-level tie-breaks (ablation support).
+struct TieBreakConfig {
+  /// true  -> merge-join blocks absorb bulky patterns (paper's plans);
+  /// false -> merge-join blocks take the most selective patterns.
+  bool merge_prefers_bulky = true;
+};
+
+/// Set-level filters. Each keeps exactly the argmax/argmin candidates for
+/// its criterion and leaves the input order otherwise intact. Applied by
+/// Algorithm 1 in the order H3, H4, H2, H5, each only while |I| > 1.
+std::vector<CandidateSet> ApplyH3(const sparql::Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config);
+std::vector<CandidateSet> ApplyH4(const sparql::Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config);
+std::vector<CandidateSet> ApplyH2(const sparql::Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config);
+std::vector<CandidateSet> ApplyH5(const sparql::Query& query,
+                                  std::vector<CandidateSet> sets,
+                                  const TieBreakConfig& config);
+
+/// The join classes a variable induces over a set of patterns (spanning
+/// scheme of sparql::Analyze restricted to one variable).
+std::vector<sparql::JoinClass> JoinClassesOfVar(
+    const sparql::Query& query, sparql::VarId var,
+    const std::vector<std::size_t>& patterns);
+
+}  // namespace hsparql::hsp
+
+#endif  // HSPARQL_HSP_HEURISTICS_H_

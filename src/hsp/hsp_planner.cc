@@ -1,0 +1,352 @@
+#include "hsp/hsp_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hsp/mwis.h"
+#include "hsp/variable_graph.h"
+
+namespace hsparql::hsp {
+
+using rdf::Position;
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+
+namespace {
+
+/// Sort-priority order of positions for bound constants: object is the
+/// most selective component, then subject, then predicate (HEURISTIC 1's
+/// two-variable rule, and the access paths of the paper's Figures 2/3).
+constexpr std::array<Position, 3> kConstantPriority = {
+    Position::kObject, Position::kSubject, Position::kPredicate};
+
+}  // namespace
+
+OrderedRelationChoice AssignOrderedRelation(const TriplePattern& tp,
+                                            VarId join_var) {
+  std::vector<Position> order;
+  order.reserve(3);
+  // 1. Constants, most selective position first.
+  for (Position pos : kConstantPriority) {
+    if (tp.at(pos).is_constant()) order.push_back(pos);
+  }
+  // 2. The joining variable (first occurrence), immediately after the
+  //    constants, so merge joins see their input sorted on it.
+  if (join_var != sparql::kInvalidVarId) {
+    for (Position pos : rdf::kAllPositions) {
+      const sparql::PatternTerm& t = tp.at(pos);
+      if (t.is_variable() && t.var == join_var) {
+        order.push_back(pos);
+        break;
+      }
+    }
+  }
+  // 3. Remaining variable positions in syntactic order.
+  for (Position pos : rdf::kAllPositions) {
+    if (std::find(order.begin(), order.end(), pos) == order.end()) {
+      order.push_back(pos);
+    }
+  }
+  storage::Ordering ordering =
+      storage::OrderingFromPositions(order[0], order[1], order[2]);
+  // The scan is sorted on the first variable position of the priority.
+  VarId sort_var = sparql::kInvalidVarId;
+  std::size_t num_constants = static_cast<std::size_t>(tp.num_constants());
+  if (num_constants < 3) {
+    const sparql::PatternTerm& t = tp.at(order[num_constants]);
+    sort_var = t.var;
+  }
+  return OrderedRelationChoice{ordering, sort_var};
+}
+
+namespace {
+
+/// Variables present anywhere in a plan subtree's output.
+void CollectVars(const Query& query, const PlanNode* node,
+                 std::vector<VarId>* out) {
+  if (node->kind == PlanNode::Kind::kScan) {
+    for (VarId v : query.patterns[node->pattern_index].Variables()) {
+      if (std::find(out->begin(), out->end(), v) == out->end()) {
+        out->push_back(v);
+      }
+    }
+  }
+  for (const auto& child : node->children) {
+    CollectVars(query, child.get(), out);
+  }
+}
+
+/// Runs Algorithm 1 + Algorithm 2 over one basic graph pattern (a subset
+/// of the working query's pattern table) and builds the join tree:
+/// per-variable merge-join blocks connected by hash joins.
+class SubsetPlanner {
+ public:
+  SubsetPlanner(const Query& query, const HspOptions& options,
+                SplitMix64* rng)
+      : query_(query), options_(options), rng_(rng) {}
+
+  /// Chosen merge-join variables are appended to `chosen_out` in round
+  /// order (for PlannedQuery::chosen_variables).
+  std::unique_ptr<PlanNode> Build(std::vector<std::size_t> subset,
+                                  std::vector<VarId>* chosen_out) {
+    // ---- Algorithm 1, phase 1: choose merge-join variables. ----
+    std::vector<std::size_t> remaining = subset;
+    std::vector<CandidateSet> chosen;  // C, in selection order
+
+    while (!remaining.empty()) {
+      VariableGraph graph = VariableGraph::Build(query_, remaining);
+      if (graph.num_nodes() == 0) break;  // leftovers: hash/cartesian
+
+      MwisResult mwis = AllMaximumWeightIndependentSets(graph);
+      std::vector<CandidateSet> candidates;
+      candidates.reserve(mwis.sets.size());
+      for (const auto& node_set : mwis.sets) {
+        CandidateSet cs;
+        for (std::size_t node_idx : node_set) {
+          cs.vars.push_back(graph.node(node_idx).var);
+        }
+        std::sort(cs.vars.begin(), cs.vars.end());
+        for (std::size_t idx : remaining) {
+          for (VarId v : cs.vars) {
+            if (query_.patterns[idx].Mentions(v)) {
+              cs.covered.push_back(idx);
+              break;
+            }
+          }
+        }
+        candidates.push_back(std::move(cs));
+      }
+
+      if (candidates.size() > 1 && options_.use_h3) {
+        candidates =
+            ApplyH3(query_, std::move(candidates), options_.tie_break);
+      }
+      if (candidates.size() > 1 && options_.use_h4) {
+        candidates =
+            ApplyH4(query_, std::move(candidates), options_.tie_break);
+      }
+      if (candidates.size() > 1 && options_.use_h2) {
+        candidates =
+            ApplyH2(query_, std::move(candidates), options_.tie_break);
+      }
+      if (candidates.size() > 1 && options_.use_h5) {
+        candidates =
+            ApplyH5(query_, std::move(candidates), options_.tie_break);
+      }
+      std::size_t pick =
+          candidates.size() == 1
+              ? 0
+              : static_cast<std::size_t>(rng_->NextBounded(candidates.size()));
+      CandidateSet selected = std::move(candidates[pick]);
+
+      std::vector<std::size_t> next;
+      for (std::size_t idx : remaining) {
+        if (std::find(selected.covered.begin(), selected.covered.end(),
+                      idx) == selected.covered.end()) {
+          next.push_back(idx);
+        }
+      }
+      remaining = std::move(next);
+      for (VarId v : selected.vars) chosen_out->push_back(v);
+      chosen.push_back(std::move(selected));
+    }
+
+    // ---- Algorithm 1, phase 2: assign ordered relations (Algorithm 2).
+    struct Assignment {
+      storage::Ordering ordering = storage::Ordering::kSpo;
+      VarId var = sparql::kInvalidVarId;
+      bool assigned = false;
+    };
+    std::vector<Assignment> mapping(query_.patterns.size());
+    for (const CandidateSet& set : chosen) {
+      for (VarId c : set.vars) {
+        for (std::size_t idx : subset) {
+          if (mapping[idx].assigned) continue;
+          if (!query_.patterns[idx].Mentions(c)) continue;
+          OrderedRelationChoice choice =
+              AssignOrderedRelation(query_.patterns[idx], c);
+          mapping[idx] = Assignment{choice.ordering, c, true};
+        }
+      }
+    }
+    for (std::size_t idx : subset) {
+      if (mapping[idx].assigned) continue;
+      OrderedRelationChoice choice =
+          AssignOrderedRelation(query_.patterns[idx], sparql::kInvalidVarId);
+      mapping[idx] = Assignment{choice.ordering, sparql::kInvalidVarId, true};
+      mapping[idx].var = sparql::kInvalidVarId;
+    }
+
+    // ---- Plan construction: merge blocks connected by hash joins. ----
+    ScanOrderLess scan_less{&query_, options_.h1_type_exception};
+    auto make_scan = [&](std::size_t idx) {
+      VarId sort_var =
+          AssignOrderedRelation(query_.patterns[idx], mapping[idx].var)
+              .sort_var;
+      return PlanNode::Scan(idx, mapping[idx].ordering, sort_var);
+    };
+
+    std::vector<std::unique_ptr<PlanNode>> parts;
+    for (const CandidateSet& set : chosen) {
+      for (VarId c : set.vars) {
+        std::vector<std::size_t> block;
+        for (std::size_t idx : subset) {
+          if (mapping[idx].var == c) block.push_back(idx);
+        }
+        if (block.empty()) continue;
+        std::sort(block.begin(), block.end(), scan_less);
+        std::unique_ptr<PlanNode> chain = make_scan(block[0]);
+        for (std::size_t i = 1; i < block.size(); ++i) {
+          chain = PlanNode::Join(JoinAlgo::kMerge, c, std::move(chain),
+                                 make_scan(block[i]));
+        }
+        parts.push_back(std::move(chain));
+      }
+    }
+    std::vector<std::size_t> leftovers;
+    for (std::size_t idx : subset) {
+      if (mapping[idx].var == sparql::kInvalidVarId) leftovers.push_back(idx);
+    }
+    std::sort(leftovers.begin(), leftovers.end(), scan_less);
+    for (std::size_t idx : leftovers) parts.push_back(make_scan(idx));
+
+    // Connect parts with hash joins, preferring connected joins; a
+    // cartesian product only when the graph pattern is disconnected.
+    std::unique_ptr<PlanNode> plan = std::move(parts.front());
+    std::vector<std::unique_ptr<PlanNode>> pending;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      pending.push_back(std::move(parts[i]));
+    }
+    while (!pending.empty()) {
+      std::vector<VarId> plan_vars;
+      CollectVars(query_, plan.get(), &plan_vars);
+      bool attached = false;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        std::vector<VarId> part_vars;
+        CollectVars(query_, pending[i].get(), &part_vars);
+        VarId shared = sparql::kInvalidVarId;
+        for (VarId v : part_vars) {
+          if (std::find(plan_vars.begin(), plan_vars.end(), v) !=
+              plan_vars.end()) {
+            shared = v;
+            break;
+          }
+        }
+        if (shared == sparql::kInvalidVarId) continue;
+        plan = PlanNode::Join(JoinAlgo::kHash, shared, std::move(plan),
+                              std::move(pending[i]));
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        attached = true;
+        break;
+      }
+      if (!attached) {
+        plan = PlanNode::Join(JoinAlgo::kHash, sparql::kInvalidVarId,
+                              std::move(plan), std::move(pending.front()));
+        pending.erase(pending.begin());
+      }
+    }
+    return plan;
+  }
+
+ private:
+  const Query& query_;
+  const HspOptions& options_;
+  SplitMix64* rng_;
+};
+
+}  // namespace
+
+Result<PlannedQuery> HspPlanner::Plan(const Query& input) const {
+  if (input.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  PlannedQuery out;
+  out.query = input;
+  if (options_.rewrite_filters) {
+    out.rewrite_report = sparql::RewriteFilters(&out.query);
+  }
+  Query& query = out.query;
+  SplitMix64 rng(options_.seed);
+
+  // Flatten OPTIONAL groups and UNION branches into the working pattern
+  // table: scan nodes index this flat vector, keeping the executor
+  // oblivious to the graph-pattern extensions.
+  std::vector<std::size_t> required(query.patterns.size());
+  std::iota(required.begin(), required.end(), 0);
+  std::vector<std::vector<std::size_t>> union_subsets;
+  for (auto& branch : query.union_branches) {
+    std::vector<std::size_t> subset;
+    for (TriplePattern& tp : branch) {
+      subset.push_back(query.patterns.size());
+      query.patterns.push_back(std::move(tp));
+    }
+    union_subsets.push_back(std::move(subset));
+  }
+  query.union_branches.clear();
+  std::vector<std::vector<std::size_t>> optional_subsets;
+  for (auto& group : query.optional_groups) {
+    std::vector<std::size_t> subset;
+    for (TriplePattern& tp : group) {
+      subset.push_back(query.patterns.size());
+      query.patterns.push_back(std::move(tp));
+    }
+    optional_subsets.push_back(std::move(subset));
+  }
+  query.optional_groups.clear();
+
+  SubsetPlanner subset_planner(query, options_, &rng);
+  std::unique_ptr<PlanNode> plan;
+  if (union_subsets.empty()) {
+    plan = subset_planner.Build(required, &out.chosen_variables);
+  } else {
+    // Each branch is planned independently; results are bag-unioned.
+    std::vector<std::unique_ptr<PlanNode>> branches;
+    branches.push_back(
+        subset_planner.Build(required, &out.chosen_variables));
+    for (const auto& subset : union_subsets) {
+      branches.push_back(subset_planner.Build(subset, &out.chosen_variables));
+    }
+    plan = PlanNode::Union(std::move(branches));
+  }
+
+  // OPTIONAL groups: plan each group as its own basic graph pattern and
+  // attach it with a left outer hash join on a shared variable.
+  for (const auto& subset : optional_subsets) {
+    std::unique_ptr<PlanNode> group_plan =
+        subset_planner.Build(subset, &out.chosen_variables);
+    std::vector<VarId> plan_vars;
+    CollectVars(query, plan.get(), &plan_vars);
+    std::vector<VarId> group_vars;
+    CollectVars(query, group_plan.get(), &group_vars);
+    VarId shared = sparql::kInvalidVarId;
+    for (VarId v : group_vars) {
+      if (std::find(plan_vars.begin(), plan_vars.end(), v) !=
+          plan_vars.end()) {
+        shared = v;
+        break;
+      }
+    }
+    plan = PlanNode::LeftOuterJoin(shared, std::move(plan),
+                                   std::move(group_plan));
+  }
+
+  // ---- Residual filters and projection. ----
+  for (const sparql::Filter& f : query.filters) {
+    plan = PlanNode::Filter(f, std::move(plan));
+  }
+  std::vector<VarId> projection;
+  if (query.select_all) {
+    CollectVars(query, plan.get(), &projection);
+  } else {
+    projection = query.projection;
+  }
+  plan = PlanNode::Project(std::move(projection), query.distinct,
+                           std::move(plan));
+  plan = AttachSolutionModifiers(query, std::move(plan));
+
+  out.plan = LogicalPlan(std::move(plan));
+  return out;
+}
+
+}  // namespace hsparql::hsp

@@ -1,0 +1,84 @@
+// The Heuristic SPARQL Planner — Algorithm 1 (HSP) and Algorithm 2
+// (AssignOrderedRelation) of the paper.
+//
+// HSP is statistics-free: it sees only the query text. It
+//  1. rewrites equality FILTERs into triple-pattern constants (§6.2.1),
+//  2. repeatedly extracts maximum-weight independent sets from the
+//     variable graph of the remaining patterns, breaking ties with
+//     heuristics H3, H4, H2, H5 and finally a seeded random choice,
+//  3. maps every triple pattern to one of the six ordered relations so
+//     that each chosen variable is sorted right after the bound constants
+//     (Algorithm 2), and
+//  4. emits a bushy plan: per chosen variable a left-deep chain of merge
+//     joins over its patterns (scan order by HEURISTIC 1), blocks and
+//     leftover selections connected by hash joins.
+#ifndef HSPARQL_HSP_HSP_PLANNER_H_
+#define HSPARQL_HSP_HSP_PLANNER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "hsp/heuristics.h"
+#include "hsp/plan.h"
+#include "sparql/ast.h"
+#include "sparql/rewrite.h"
+
+namespace hsparql::hsp {
+
+/// Planner knobs. Defaults reproduce the paper's configuration; the
+/// switches exist for the heuristics ablation benchmark.
+struct HspOptions {
+  std::uint64_t seed = kDefaultSeed;  // drives RandomChooseOne
+  bool rewrite_filters = true;        // HSP's systematic FILTER rewriting
+  bool h1_type_exception = true;      // rdf:type demotion in HEURISTIC 1
+  TieBreakConfig tie_break;
+  // Individual set-level tie-break heuristics (Algorithm 1 order).
+  bool use_h3 = true;
+  bool use_h4 = true;
+  bool use_h2 = true;
+  bool use_h5 = true;
+};
+
+/// A plan plus the planner's working query (the caller must execute the
+/// plan against `query`, whose pattern indices the plan references —
+/// FILTER rewriting may have changed patterns and dropped filters).
+struct PlannedQuery {
+  sparql::Query query;
+  LogicalPlan plan;
+  sparql::RewriteReport rewrite_report;
+  /// Variables chosen for merge joins, in selection (round) order.
+  std::vector<sparql::VarId> chosen_variables;
+};
+
+/// Stateless facade over Algorithm 1; one instance can plan many queries.
+class HspPlanner {
+ public:
+  explicit HspPlanner(HspOptions options = {}) : options_(options) {}
+
+  /// Plans `query`. Fails with InvalidArgument for queries without
+  /// patterns; never fails on well-formed join queries.
+  Result<PlannedQuery> Plan(const sparql::Query& query) const;
+
+  const HspOptions& options() const { return options_; }
+
+ private:
+  HspOptions options_;
+};
+
+/// Algorithm 2: the ordered relation for `tp` given the joining variable
+/// `join_var` (kInvalidVarId == nil). Constants occupy the sort-priority
+/// prefix (most-selective position first: o, s, p — as in the paper's
+/// plan figures), then the joining variable, then the remaining variables
+/// in syntactic order. Returns the ordering and the variable the resulting
+/// scan is sorted on (the first variable in the sort priority).
+struct OrderedRelationChoice {
+  storage::Ordering ordering;
+  sparql::VarId sort_var;
+};
+OrderedRelationChoice AssignOrderedRelation(const sparql::TriplePattern& tp,
+                                            sparql::VarId join_var);
+
+}  // namespace hsparql::hsp
+
+#endif  // HSPARQL_HSP_HSP_PLANNER_H_

@@ -1,0 +1,143 @@
+#include "hsp/mwis.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace hsparql::hsp {
+
+namespace {
+
+/// Branch-and-bound over <= 64 vertices using bitmask adjacency.
+class Solver {
+ public:
+  Solver(const VariableGraph& graph, const MwisOptions& options)
+      : graph_(graph), options_(options) {
+    const std::size_t n = graph.num_nodes();
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    // Descending weight: heavy vertices branch early, tightening the bound.
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return graph.node(a).weight > graph.node(b).weight;
+                     });
+    weights_.resize(n);
+    conflict_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      weights_[i] = graph.node(order_[i]).weight;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (graph.HasEdge(order_[i], order_[j])) {
+          conflict_[i] |= (1ULL << j);
+        }
+      }
+    }
+  }
+
+  MwisResult Run() {
+    const std::size_t n = order_.size();
+    std::uint64_t all = n == 64 ? ~0ULL : ((1ULL << n) - 1);
+    std::vector<std::size_t> current;
+    Recurse(all, 0, &current);
+    // Translate search-order indices back to graph node indices.
+    for (auto& set : result_.sets) {
+      for (std::size_t& idx : set) idx = order_[idx];
+      std::sort(set.begin(), set.end());
+    }
+    std::sort(result_.sets.begin(), result_.sets.end());
+    result_.best_weight = best_;
+    return std::move(result_);
+  }
+
+ private:
+  std::uint64_t RemainingWeight(std::uint64_t mask) const {
+    std::uint64_t total = 0;
+    while (mask != 0) {
+      std::size_t i = static_cast<std::size_t>(std::countr_zero(mask));
+      total += weights_[i];
+      mask &= mask - 1;
+    }
+    return total;
+  }
+
+  void Recurse(std::uint64_t candidates, std::uint64_t cur_weight,
+               std::vector<std::size_t>* current) {
+    if (cur_weight + RemainingWeight(candidates) < best_) return;  // bound
+    if (candidates == 0) {
+      Report(cur_weight, *current);
+      return;
+    }
+    std::size_t j = static_cast<std::size_t>(std::countr_zero(candidates));
+    // Include j.
+    current->push_back(j);
+    Recurse(candidates & ~(1ULL << j) & ~conflict_[j],
+            cur_weight + weights_[j], current);
+    current->pop_back();
+    // Exclude j.
+    Recurse(candidates & ~(1ULL << j), cur_weight, current);
+  }
+
+  void Report(std::uint64_t weight, const std::vector<std::size_t>& set) {
+    if (weight < best_) return;
+    if (weight > best_) {
+      best_ = weight;
+      result_.sets.clear();
+      result_.truncated = false;
+    }
+    if (result_.sets.size() >= options_.max_sets) {
+      result_.truncated = true;
+      return;
+    }
+    result_.sets.push_back(set);
+  }
+
+  const VariableGraph& graph_;
+  const MwisOptions& options_;
+  std::vector<std::size_t> order_;       // search index -> node index
+  std::vector<std::uint64_t> weights_;   // in search order
+  std::vector<std::uint64_t> conflict_;  // adjacency bitmasks, search order
+  std::uint64_t best_ = 0;
+  MwisResult result_;
+};
+
+/// Greedy fallback for graphs beyond the exact solver's 64-vertex limit
+/// (never reached by real queries; synthetic stress only).
+MwisResult GreedyFallback(const VariableGraph& graph) {
+  std::vector<std::size_t> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return graph.node(a).weight > graph.node(b).weight;
+                   });
+  std::vector<std::size_t> set;
+  for (std::size_t cand : order) {
+    bool ok = true;
+    for (std::size_t chosen : set) {
+      if (graph.HasEdge(cand, chosen)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) set.push_back(cand);
+  }
+  std::sort(set.begin(), set.end());
+  MwisResult result;
+  result.best_weight = graph.Weight(set);
+  result.sets.push_back(std::move(set));
+  result.truncated = true;  // signals non-exhaustive enumeration
+  return result;
+}
+
+}  // namespace
+
+MwisResult AllMaximumWeightIndependentSets(const VariableGraph& graph,
+                                           const MwisOptions& options) {
+  if (graph.num_nodes() == 0) {
+    MwisResult result;
+    result.sets.push_back({});
+    return result;
+  }
+  if (graph.num_nodes() > 64) return GreedyFallback(graph);
+  return Solver(graph, options).Run();
+}
+
+}  // namespace hsparql::hsp

@@ -1,0 +1,269 @@
+#include "hsp/plan.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hsparql::hsp {
+
+using sparql::Query;
+using sparql::VarId;
+
+std::unique_ptr<PlanNode> PlanNode::Scan(std::size_t pattern,
+                                         storage::Ordering ordering,
+                                         VarId sort_var) {
+  auto node = std::make_unique<PlanNode>(Kind::kScan);
+  node->pattern_index = pattern;
+  node->ordering = ordering;
+  node->sort_var = sort_var;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Join(JoinAlgo algo, VarId var,
+                                         std::unique_ptr<PlanNode> left,
+                                         std::unique_ptr<PlanNode> right) {
+  auto node = std::make_unique<PlanNode>(Kind::kJoin);
+  node->algo = algo;
+  node->join_var = var;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::LeftOuterJoin(
+    VarId var, std::unique_ptr<PlanNode> left,
+    std::unique_ptr<PlanNode> right) {
+  auto node = Join(JoinAlgo::kHash, var, std::move(left), std::move(right));
+  node->left_outer = true;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Union(
+    std::vector<std::unique_ptr<PlanNode>> branches) {
+  auto node = std::make_unique<PlanNode>(Kind::kUnion);
+  node->children = std::move(branches);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Filter(sparql::Filter filter,
+                                           std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>(Kind::kFilter);
+  node->filter = std::move(filter);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Project(std::vector<VarId> vars,
+                                            bool distinct,
+                                            std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>(Kind::kProject);
+  node->projection = std::move(vars);
+  node->distinct = distinct;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Sort(
+    std::vector<sparql::Query::OrderKey> keys,
+    std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>(Kind::kSort);
+  node->order_keys = std::move(keys);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Limit(std::uint64_t count,
+                                          std::uint64_t offset,
+                                          std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>(Kind::kLimit);
+  node->limit_count = count;
+  node->limit_offset = offset;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::string_view PlanShapeName(PlanShape shape) {
+  return shape == PlanShape::kLeftDeep ? "LD" : "B";
+}
+
+std::unique_ptr<PlanNode> AttachSolutionModifiers(
+    const sparql::Query& query, std::unique_ptr<PlanNode> plan) {
+  if (!query.order_by.empty()) {
+    plan = PlanNode::Sort(query.order_by, std::move(plan));
+  }
+  if (query.ask) {
+    // Existence is enough: one row decides the answer.
+    return PlanNode::Limit(1, 0, std::move(plan));
+  }
+  if (query.limit.has_value() || query.offset > 0) {
+    plan = PlanNode::Limit(query.limit.value_or(UINT64_MAX), query.offset,
+                           std::move(plan));
+  }
+  return plan;
+}
+
+namespace {
+
+void Visit(const PlanNode* node,
+           const std::function<void(const PlanNode*)>& fn) {
+  if (node == nullptr) return;
+  fn(node);
+  for (const auto& child : node->children) Visit(child.get(), fn);
+}
+
+bool ContainsJoin(const PlanNode* node) {
+  bool found = false;
+  Visit(node, [&](const PlanNode* n) {
+    if (n->kind == PlanNode::Kind::kJoin) found = true;
+  });
+  return found;
+}
+
+}  // namespace
+
+LogicalPlan::LogicalPlan(std::unique_ptr<PlanNode> root)
+    : root_(std::move(root)) {
+  int next_id = 0;
+  Visit(root_.get(), [&](const PlanNode* n) {
+    const_cast<PlanNode*>(n)->id = next_id++;
+  });
+  num_nodes_ = next_id;
+}
+
+int LogicalPlan::CountJoins(JoinAlgo algo) const {
+  int count = 0;
+  Visit(root_.get(), [&](const PlanNode* n) {
+    if (n->kind == PlanNode::Kind::kJoin && n->algo == algo) ++count;
+  });
+  return count;
+}
+
+int LogicalPlan::CountScans() const {
+  int count = 0;
+  Visit(root_.get(), [&](const PlanNode* n) {
+    if (n->kind == PlanNode::Kind::kScan) ++count;
+  });
+  return count;
+}
+
+PlanShape LogicalPlan::shape() const {
+  bool bushy = false;
+  Visit(root_.get(), [&](const PlanNode* n) {
+    if (n->kind == PlanNode::Kind::kJoin &&
+        ContainsJoin(n->children[1].get())) {
+      bushy = true;
+    }
+  });
+  return bushy ? PlanShape::kBushy : PlanShape::kLeftDeep;
+}
+
+std::vector<VarId> LogicalPlan::MergeJoinVariables() const {
+  std::vector<VarId> vars;
+  Visit(root_.get(), [&](const PlanNode* n) {
+    if (n->kind == PlanNode::Kind::kJoin && n->algo == JoinAlgo::kMerge &&
+        n->join_var != sparql::kInvalidVarId) {
+      vars.push_back(n->join_var);
+    }
+  });
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+namespace {
+
+void Render(const PlanNode* node, const Query& query,
+            const std::vector<std::uint64_t>* cards, int depth,
+            std::ostream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  switch (node->kind) {
+    case PlanNode::Kind::kScan: {
+      const sparql::TriplePattern& tp = query.patterns[node->pattern_index];
+      os << (tp.num_constants() > 0 ? "select" : "scan") << '('
+         << storage::OrderingName(node->ordering) << ") tp"
+         << node->pattern_index;
+      bool any = false;
+      for (rdf::Position pos : rdf::kAllPositions) {
+        const sparql::PatternTerm& t = tp.at(pos);
+        if (t.is_constant()) {
+          os << (any ? ", " : " [") << rdf::PositionLetter(pos) << '='
+             << t.constant.ToString();
+          any = true;
+        }
+      }
+      if (any) os << ']';
+      if (node->sort_var != sparql::kInvalidVarId) {
+        os << " sorted-by ?" << query.VarName(node->sort_var);
+      }
+      break;
+    }
+    case PlanNode::Kind::kUnion:
+      os << "union";
+      break;
+    case PlanNode::Kind::kSort:
+      os << "sort [";
+      for (std::size_t i = 0; i < node->order_keys.size(); ++i) {
+        if (i > 0) os << ' ';
+        if (node->order_keys[i].descending) os << '-';
+        os << '?' << query.VarName(node->order_keys[i].var);
+      }
+      os << ']';
+      break;
+    case PlanNode::Kind::kLimit:
+      os << "limit " << node->limit_count;
+      if (node->limit_offset > 0) os << " offset " << node->limit_offset;
+      break;
+    case PlanNode::Kind::kJoin:
+      if (node->left_outer) os << "leftouter";
+      os << (node->algo == JoinAlgo::kMerge ? "mergejoin" : "hashjoin");
+      if (node->join_var != sparql::kInvalidVarId) {
+        os << " ?" << query.VarName(node->join_var);
+      } else {
+        os << " (cartesian)";
+      }
+      break;
+    case PlanNode::Kind::kFilter:
+      os << "filter ?" << query.VarName(node->filter.var) << ' '
+         << sparql::FilterOpName(node->filter.op) << ' ';
+      if (node->filter.rhs_var.has_value()) {
+        os << '?' << query.VarName(*node->filter.rhs_var);
+      } else {
+        os << node->filter.value.ToString();
+      }
+      break;
+    case PlanNode::Kind::kProject: {
+      os << "project";
+      if (node->distinct) os << " distinct";
+      os << " [";
+      for (std::size_t i = 0; i < node->projection.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << '?' << query.VarName(node->projection[i]);
+      }
+      os << ']';
+      break;
+    }
+  }
+  if (cards != nullptr && node->id >= 0 &&
+      static_cast<std::size_t>(node->id) < cards->size()) {
+    os << "  (" << FormatCount((*cards)[static_cast<std::size_t>(node->id)])
+       << ")";
+  }
+  os << '\n';
+  for (const auto& child : node->children) {
+    Render(child.get(), query, cards, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString(
+    const Query& query, const std::vector<std::uint64_t>* cardinalities) const {
+  if (root_ == nullptr) return "(empty plan)\n";
+  std::ostringstream os;
+  Render(root_.get(), query, cardinalities, 0, os);
+  return os.str();
+}
+
+}  // namespace hsparql::hsp

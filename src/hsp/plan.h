@@ -1,0 +1,151 @@
+// Logical query plans shared by all planners (HSP, CDP, left-deep SQL,
+// hybrid).
+//
+// A plan is a tree of scans, joins (merge or hash, optionally left outer),
+// filters, unions, sorts, limits and a final projection. Scans name the
+// triple pattern, the ordered relation used as access path, and the
+// variable the scan output is sorted on — exactly the mapping
+// M : TP -> (ordered relation, variable) produced by Algorithm 2.
+#ifndef HSPARQL_HSP_PLAN_H_
+#define HSPARQL_HSP_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "storage/ordering.h"
+
+namespace hsparql::hsp {
+
+enum class JoinAlgo : std::uint8_t { kMerge, kHash };
+
+/// One plan operator. Which fields are meaningful depends on `kind`.
+struct PlanNode {
+  enum class Kind : std::uint8_t {
+    kScan,
+    kJoin,
+    kFilter,
+    kProject,
+    kUnion,
+    kSort,
+    kLimit,
+  };
+
+  explicit PlanNode(Kind k) : kind(k) {}
+
+  Kind kind;
+  /// Stable identifier within a plan, assigned by LogicalPlan::AssignIds();
+  /// execution statistics are keyed on it.
+  int id = -1;
+
+  // kScan -----------------------------------------------------------------
+  std::size_t pattern_index = SIZE_MAX;
+  storage::Ordering ordering = storage::Ordering::kSpo;
+  /// First variable in the scan's sort order after the bound prefix
+  /// (kInvalidVarId for fully bound patterns).
+  sparql::VarId sort_var = sparql::kInvalidVarId;
+
+  // kJoin ------------------------------------------------------------------
+  JoinAlgo algo = JoinAlgo::kHash;
+  /// Primary join variable; kInvalidVarId marks a cartesian product. The
+  /// executor additionally equates every other shared variable.
+  sparql::VarId join_var = sparql::kInvalidVarId;
+  /// Left outer join (OPTIONAL support): unmatched left rows survive with
+  /// the right-only variables unbound. Hash joins only.
+  bool left_outer = false;
+
+  // kFilter ----------------------------------------------------------------
+  sparql::Filter filter;
+
+  // kProject ---------------------------------------------------------------
+  std::vector<sparql::VarId> projection;
+  bool distinct = false;
+
+  // kSort -------------------------------------------------------------------
+  std::vector<sparql::Query::OrderKey> order_keys;
+
+  // kLimit ------------------------------------------------------------------
+  std::uint64_t limit_count = UINT64_MAX;
+  std::uint64_t limit_offset = 0;
+
+  /// 0 children for scans, 2 for joins, 1 for filter/project.
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  static std::unique_ptr<PlanNode> Scan(std::size_t pattern,
+                                        storage::Ordering ordering,
+                                        sparql::VarId sort_var);
+  static std::unique_ptr<PlanNode> Join(JoinAlgo algo, sparql::VarId var,
+                                        std::unique_ptr<PlanNode> left,
+                                        std::unique_ptr<PlanNode> right);
+  /// Left-outer hash join attaching an OPTIONAL group.
+  static std::unique_ptr<PlanNode> LeftOuterJoin(
+      sparql::VarId var, std::unique_ptr<PlanNode> left,
+      std::unique_ptr<PlanNode> right);
+  /// N-ary bag union of branch sub-plans.
+  static std::unique_ptr<PlanNode> Union(
+      std::vector<std::unique_ptr<PlanNode>> branches);
+  /// ORDER BY over the child's rows.
+  static std::unique_ptr<PlanNode> Sort(
+      std::vector<sparql::Query::OrderKey> keys,
+      std::unique_ptr<PlanNode> child);
+  /// LIMIT/OFFSET slice of the child's rows.
+  static std::unique_ptr<PlanNode> Limit(std::uint64_t count,
+                                         std::uint64_t offset,
+                                         std::unique_ptr<PlanNode> child);
+  static std::unique_ptr<PlanNode> Filter(sparql::Filter filter,
+                                          std::unique_ptr<PlanNode> child);
+  static std::unique_ptr<PlanNode> Project(std::vector<sparql::VarId> vars,
+                                           bool distinct,
+                                           std::unique_ptr<PlanNode> child);
+};
+
+/// Tree shape classification of Table 4: LD (left-deep) when no join has
+/// another join anywhere in its right subtree, B (bushy) otherwise.
+enum class PlanShape : std::uint8_t { kLeftDeep, kBushy };
+
+std::string_view PlanShapeName(PlanShape shape);  // "LD" / "B"
+
+/// Wraps `plan` with the query's solution modifiers (ORDER BY, then
+/// LIMIT/OFFSET; ASK queries get LIMIT 1). Shared by every planner.
+std::unique_ptr<PlanNode> AttachSolutionModifiers(
+    const sparql::Query& query, std::unique_ptr<PlanNode> plan);
+
+/// A complete plan for a query.
+class LogicalPlan {
+ public:
+  LogicalPlan() = default;
+  explicit LogicalPlan(std::unique_ptr<PlanNode> root);
+
+  const PlanNode* root() const { return root_.get(); }
+  PlanNode* mutable_root() { return root_.get(); }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Number of join nodes using the given algorithm.
+  int CountJoins(JoinAlgo algo) const;
+  /// Number of scan nodes.
+  int CountScans() const;
+  /// Total number of nodes (== number of ids assigned).
+  int num_nodes() const { return num_nodes_; }
+
+  PlanShape shape() const;
+
+  /// All variables on which merge joins are performed, sorted and deduped
+  /// (the "sorted variables" the paper compares between HSP and CDP plans).
+  std::vector<sparql::VarId> MergeJoinVariables() const;
+
+  /// Pretty tree rendering. `cardinalities`, when given, must be indexed by
+  /// node id and annotates each operator with its output size (the figures'
+  /// per-operator counts).
+  std::string ToString(const sparql::Query& query,
+                       const std::vector<std::uint64_t>* cardinalities =
+                           nullptr) const;
+
+ private:
+  std::unique_ptr<PlanNode> root_;
+  int num_nodes_ = 0;
+};
+
+}  // namespace hsparql::hsp
+
+#endif  // HSPARQL_HSP_PLAN_H_

@@ -1,0 +1,124 @@
+#include "hsp/variable_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace hsparql::hsp {
+
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+
+VariableGraph VariableGraph::Build(const Query& query,
+                                   std::span<const std::size_t> pattern_indices,
+                                   std::uint32_t min_weight) {
+  VariableGraph g;
+  // Weights restricted to the given pattern subset.
+  std::vector<std::uint32_t> weights(query.num_vars(), 0);
+  for (std::size_t idx : pattern_indices) {
+    for (VarId v : query.patterns[idx].Variables()) ++weights[v];
+  }
+  std::vector<std::size_t> node_of(query.num_vars(), SIZE_MAX);
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    if (weights[v] >= min_weight) {
+      node_of[v] = g.nodes_.size();
+      g.nodes_.push_back(Node{v, weights[v]});
+    }
+  }
+  g.adj_.assign(g.nodes_.size() * g.nodes_.size(), 0);
+  for (std::size_t idx : pattern_indices) {
+    std::vector<VarId> vars = query.patterns[idx].Variables();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      for (std::size_t j = i + 1; j < vars.size(); ++j) {
+        std::size_t a = node_of[vars[i]];
+        std::size_t b = node_of[vars[j]];
+        if (a == SIZE_MAX || b == SIZE_MAX) continue;
+        g.adj_[a * g.nodes_.size() + b] = 1;
+        g.adj_[b * g.nodes_.size() + a] = 1;
+      }
+    }
+  }
+  return g;
+}
+
+VariableGraph VariableGraph::Build(const Query& query,
+                                   std::uint32_t min_weight) {
+  std::vector<std::size_t> all(query.patterns.size());
+  std::iota(all.begin(), all.end(), 0);
+  return Build(query, all, min_weight);
+}
+
+VariableGraph::VariableGraph(
+    std::vector<Node> nodes,
+    std::vector<std::pair<std::size_t, std::size_t>> edges)
+    : nodes_(std::move(nodes)) {
+  adj_.assign(nodes_.size() * nodes_.size(), 0);
+  for (auto [a, b] : edges) {
+    adj_[a * nodes_.size() + b] = 1;
+    adj_[b * nodes_.size() + a] = 1;
+  }
+}
+
+std::uint64_t VariableGraph::Weight(
+    std::span<const std::size_t> node_set) const {
+  std::uint64_t total = 0;
+  for (std::size_t i : node_set) total += nodes_[i].weight;
+  return total;
+}
+
+bool VariableGraph::IsIndependent(
+    std::span<const std::size_t> node_set) const {
+  for (std::size_t i = 0; i < node_set.size(); ++i) {
+    for (std::size_t j = i + 1; j < node_set.size(); ++j) {
+      if (HasEdge(node_set[i], node_set[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::string VariableGraph::ToDot(const Query& query) const {
+  std::ostringstream os;
+  os << "graph variable_graph {\n";
+  for (const Node& n : nodes_) {
+    os << "  \"?" << query.VarName(n.var) << "\" [label=\"?"
+       << query.VarName(n.var) << " (" << n.weight << ")\"];\n";
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (HasEdge(i, j)) {
+        os << "  \"?" << query.VarName(nodes_[i].var) << "\" -- \"?"
+           << query.VarName(nodes_[j].var) << "\";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string VariableGraph::ToString(const Query& query) const {
+  std::ostringstream os;
+  bool first = true;
+  std::vector<char> printed(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (!HasEdge(i, j)) continue;
+      if (!first) os << "; ";
+      first = false;
+      printed[i] = printed[j] = 1;
+      os << '?' << query.VarName(nodes_[i].var) << '(' << nodes_[i].weight
+         << ") -- ?" << query.VarName(nodes_[j].var) << '('
+         << nodes_[j].weight << ')';
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (printed[i]) continue;
+    if (!first) os << "; ";
+    first = false;
+    os << '?' << query.VarName(nodes_[i].var) << '(' << nodes_[i].weight
+       << ')';
+  }
+  return os.str();
+}
+
+}  // namespace hsparql::hsp

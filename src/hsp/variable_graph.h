@@ -1,0 +1,72 @@
+// The SPARQL variable graph (Definition 4 of the paper).
+//
+// Nodes are query variables, two nodes are connected iff they co-occur in a
+// triple pattern, and a node's weight is the number of triple patterns its
+// variable appears in. For planning, the graph is trimmed to nodes of
+// weight >= 2 ("only the nodes that have weight greater [or equal] than 2
+// will be considered, since only those are part of [at least] one join");
+// the untrimmed variant is available for display (Figure 1).
+#ifndef HSPARQL_HSP_VARIABLE_GRAPH_H_
+#define HSPARQL_HSP_VARIABLE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace hsparql::hsp {
+
+/// Weighted undirected graph over (a subset of) a query's variables.
+class VariableGraph {
+ public:
+  struct Node {
+    sparql::VarId var;
+    std::uint32_t weight;  // β(v): number of patterns containing var
+  };
+
+  /// Builds the variable graph of the patterns `pattern_indices` of `query`
+  /// (Algorithm 1 re-builds the graph on the shrinking pattern set T).
+  /// Only variables of weight >= `min_weight` become nodes.
+  static VariableGraph Build(const sparql::Query& query,
+                             std::span<const std::size_t> pattern_indices,
+                             std::uint32_t min_weight = 2);
+
+  /// Convenience: graph over all patterns of the query.
+  static VariableGraph Build(const sparql::Query& query,
+                             std::uint32_t min_weight = 2);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(std::size_t i) const { return nodes_[i]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  bool HasEdge(std::size_t i, std::size_t j) const {
+    return adj_[i * nodes_.size() + j];
+  }
+
+  /// Total weight of a set of node indices.
+  std::uint64_t Weight(std::span<const std::size_t> node_set) const;
+
+  /// True if no two nodes of the set share an edge.
+  bool IsIndependent(std::span<const std::size_t> node_set) const;
+
+  /// GraphViz DOT rendering (Figure 1).
+  std::string ToDot(const sparql::Query& query) const;
+  /// Compact one-line rendering: "?x(3) -- ?y(1); ?x(3) -- ?z(1)".
+  std::string ToString(const sparql::Query& query) const;
+
+  /// Construction from explicit parts (tests, synthetic MWIS benches).
+  VariableGraph(std::vector<Node> nodes,
+                std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+ private:
+  VariableGraph() = default;
+
+  std::vector<Node> nodes_;
+  std::vector<char> adj_;  // row-major adjacency matrix
+};
+
+}  // namespace hsparql::hsp
+
+#endif  // HSPARQL_HSP_VARIABLE_GRAPH_H_

@@ -1,0 +1,24 @@
+#include "rdf/dictionary.h"
+
+#include <cassert>
+
+namespace hsparql::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  Key key{term.kind, term.lexical};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  assert(terms_.size() < kInvalidTermId);
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Find(const Term& term) const {
+  auto it = index_.find(Key{term.kind, term.lexical});
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hsparql::rdf

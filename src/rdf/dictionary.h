@@ -1,0 +1,74 @@
+// Mapping dictionary: RDF constants <-> dense integer ids.
+//
+// §2: "The majority of the systems replace constants (i.e., URIs and
+// literals) appearing in RDF triples by identifiers using a mapping
+// dictionary to avoid processing long strings." All storage and execution
+// below this layer operates on TermIds only.
+#ifndef HSPARQL_RDF_DICTIONARY_H_
+#define HSPARQL_RDF_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace hsparql::rdf {
+
+/// Bidirectional Term <-> TermId map. Interning is append-only; ids are
+/// dense and stable for the lifetime of the dictionary.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Interning mutates shared lookup state; the dictionary is move-only to
+  // make accidental deep copies visible.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(const Term& term);
+
+  /// Convenience wrappers.
+  TermId InternIri(std::string_view iri) {
+    return Intern(Term::Iri(std::string(iri)));
+  }
+  TermId InternLiteral(std::string_view value) {
+    return Intern(Term::Literal(std::string(value)));
+  }
+
+  /// Id of `term` if already interned.
+  std::optional<TermId> Find(const Term& term) const;
+
+  /// The term for an id; id must be valid.
+  const Term& Get(TermId id) const { return terms_[id]; }
+
+  /// True if `id` names a literal (used by HEURISTIC 4 checks in tests).
+  bool IsLiteral(TermId id) const { return terms_[id].is_literal(); }
+
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  struct Key {
+    TermKind kind;
+    std::string lexical;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.lexical) * 3 +
+             static_cast<std::size_t>(k.kind);
+    }
+  };
+
+  std::vector<Term> terms_;
+  std::unordered_map<Key, TermId, KeyHash> index_;
+};
+
+}  // namespace hsparql::rdf
+
+#endif  // HSPARQL_RDF_DICTIONARY_H_

@@ -1,0 +1,26 @@
+#include "rdf/graph.h"
+
+namespace hsparql::rdf {
+
+Triple Graph::Add(const Term& s, const Term& p, const Term& o) {
+  Triple t{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)};
+  triples_.push_back(t);
+  return t;
+}
+
+Triple Graph::AddIri(std::string_view s, std::string_view p,
+                     std::string_view o) {
+  Triple t{dict_.InternIri(s), dict_.InternIri(p), dict_.InternIri(o)};
+  triples_.push_back(t);
+  return t;
+}
+
+Triple Graph::AddLiteral(std::string_view s, std::string_view p,
+                         std::string_view literal) {
+  Triple t{dict_.InternIri(s), dict_.InternIri(p),
+           dict_.InternLiteral(literal)};
+  triples_.push_back(t);
+  return t;
+}
+
+}  // namespace hsparql::rdf

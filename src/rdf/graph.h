@@ -1,0 +1,49 @@
+// An RDF graph: a dictionary plus a bag of encoded triples.
+#ifndef HSPARQL_RDF_GRAPH_H_
+#define HSPARQL_RDF_GRAPH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace hsparql::rdf {
+
+/// In-memory RDF graph under construction. Triples are stored in insertion
+/// order and may contain duplicates; storage::TripleStore deduplicates and
+/// sorts when built from a Graph (matching the paper's YAGO preparation,
+/// which removed duplicate triples).
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Adds an encoded triple (ids must come from this graph's dictionary).
+  void Add(Triple t) { triples_.push_back(t); }
+
+  /// Interns the terms and adds the triple.
+  Triple Add(const Term& s, const Term& p, const Term& o);
+
+  /// Convenience: subject/predicate IRIs and an IRI or literal object.
+  Triple AddIri(std::string_view s, std::string_view p, std::string_view o);
+  Triple AddLiteral(std::string_view s, std::string_view p,
+                    std::string_view literal);
+
+  Dictionary& dictionary() { return dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  std::size_t size() const { return triples_.size(); }
+
+ private:
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace hsparql::rdf
+
+#endif  // HSPARQL_RDF_GRAPH_H_

@@ -1,0 +1,201 @@
+#include "rdf/ntriples.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hsparql::rdf {
+
+namespace {
+
+// Cursor over one N-Triples line.
+class LineParser {
+ public:
+  LineParser(std::string_view line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  Status Error(std::string_view what) const {
+    std::ostringstream os;
+    os << "line " << line_no_ << ": " << what << " in '" << line_ << "'";
+    return Status::ParseError(os.str());
+  }
+
+  void SkipSpace() {
+    while (pos_ < line_.size() && (line_[pos_] == ' ' || line_[pos_] == '\t'))
+      ++pos_;
+  }
+
+  bool AtEnd() const { return pos_ >= line_.size(); }
+  char Peek() const { return line_[pos_]; }
+
+  /// Parses one term: IRI, literal, or blank node.
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    if (AtEnd()) return Error("unexpected end of line");
+    char c = Peek();
+    if (c == '<') return ParseIri();
+    if (c == '"') return ParseLiteral();
+    if (c == '_') return ParseBlank();
+    return Error("expected '<', '\"' or '_'");
+  }
+
+  Status ExpectDot() {
+    SkipSpace();
+    if (AtEnd() || Peek() != '.') return Error("expected terminating '.'");
+    ++pos_;
+    SkipSpace();
+    if (!AtEnd() && Peek() != '#') return Error("trailing content after '.'");
+    return Status::OK();
+  }
+
+ private:
+  Result<Term> ParseIri() {
+    ++pos_;  // consume '<'
+    std::size_t end = line_.find('>', pos_);
+    if (end == std::string_view::npos) return Error("unterminated IRI");
+    Term term = Term::Iri(std::string(line_.substr(pos_, end - pos_)));
+    pos_ = end + 1;
+    return term;
+  }
+
+  Result<Term> ParseBlank() {
+    // _:label -- skolemised: kept as an IRI with the "_:" prefix so blank
+    // nodes stay joinable but distinct from real IRIs.
+    std::size_t end = pos_;
+    while (end < line_.size() && line_[end] != ' ' && line_[end] != '\t')
+      ++end;
+    if (end < pos_ + 2 || line_[pos_ + 1] != ':')
+      return Error("malformed blank node");
+    Term term = Term::Iri(std::string(line_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return term;
+  }
+
+  Result<Term> ParseLiteral() {
+    ++pos_;  // consume opening quote
+    std::string value;
+    while (true) {
+      if (AtEnd()) return Error("unterminated literal");
+      char c = line_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) return Error("dangling escape");
+        char e = line_[pos_++];
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case '"':
+            value += '"';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          default:
+            return Error("unsupported escape sequence");
+        }
+      } else {
+        value += c;
+      }
+    }
+    // Optional @lang or ^^<datatype>; both are folded into a plain literal,
+    // mirroring the paper's YAGO normalisation.
+    if (!AtEnd() && Peek() == '@') {
+      while (!AtEnd() && Peek() != ' ' && Peek() != '\t') ++pos_;
+    } else if (!AtEnd() && Peek() == '^') {
+      if (pos_ + 1 >= line_.size() || line_[pos_ + 1] != '^')
+        return Error("malformed datatype suffix");
+      pos_ += 2;
+      if (AtEnd() || Peek() != '<') return Error("malformed datatype IRI");
+      std::size_t end = line_.find('>', pos_);
+      if (end == std::string_view::npos)
+        return Error("unterminated datatype IRI");
+      pos_ = end + 1;
+    }
+    return Term::Literal(std::move(value));
+  }
+
+  std::string_view line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view body = StripWhitespace(line);
+    if (body.empty() || body.front() == '#') continue;
+    LineParser parser(body, line_no);
+    HSPARQL_ASSIGN_OR_RETURN(Term s, parser.ParseTerm());
+    HSPARQL_ASSIGN_OR_RETURN(Term p, parser.ParseTerm());
+    HSPARQL_ASSIGN_OR_RETURN(Term o, parser.ParseTerm());
+    if (!s.is_iri() || !p.is_iri()) {
+      return parser.Error("subject and predicate must be IRIs");
+    }
+    HSPARQL_RETURN_IF_ERROR(parser.ExpectDot());
+    graph->Add(s, p, o);
+    ++count;
+  }
+  return count;
+}
+
+Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph) {
+  std::istringstream in{std::string(text)};
+  return ReadNTriples(in, graph);
+}
+
+std::string EscapeLiteral(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void WriteNTriples(const Graph& graph, std::ostream& out) {
+  const Dictionary& dict = graph.dictionary();
+  for (const Triple& t : graph.triples()) {
+    const Term& s = dict.Get(t.s);
+    const Term& p = dict.Get(t.p);
+    const Term& o = dict.Get(t.o);
+    out << '<' << s.lexical << "> <" << p.lexical << "> ";
+    if (o.is_iri()) {
+      out << '<' << o.lexical << '>';
+    } else {
+      out << '"' << EscapeLiteral(o.lexical) << '"';
+    }
+    out << " .\n";
+  }
+}
+
+}  // namespace hsparql::rdf

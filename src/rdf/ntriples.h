@@ -1,0 +1,38 @@
+// Line-based N-Triples reader and writer.
+//
+// Substitute for the Redland Raptor parser the paper bolted onto MonetDB.
+// Supported per line: `<iri> <iri> (<iri> | "literal") .` with \-escapes in
+// literals, optional `@lang` / `^^<datatype>` suffixes (accepted, folded
+// into the plain literal), `_:b` blank nodes (skolemised to IRIs), `#`
+// comment lines and blank lines.
+#ifndef HSPARQL_RDF_NTRIPLES_H_
+#define HSPARQL_RDF_NTRIPLES_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace hsparql::rdf {
+
+/// Parses N-Triples text into `graph`, appending triples. Returns the
+/// number of triples read, or a ParseError naming the offending line.
+Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph);
+
+/// Convenience overload over an in-memory document.
+Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph);
+
+/// Serialises all triples of `graph` in N-Triples syntax (with literal
+/// escaping). The output round-trips through ReadNTriples.
+void WriteNTriples(const Graph& graph, std::ostream& out);
+
+/// Escapes a literal body for N-Triples output (quotes, backslash, \n...).
+std::string EscapeLiteral(std::string_view value);
+
+}  // namespace hsparql::rdf
+
+#endif  // HSPARQL_RDF_NTRIPLES_H_

@@ -1,0 +1,24 @@
+#include "rdf/term.h"
+
+namespace hsparql::rdf {
+
+std::string Term::ToString() const {
+  std::string out;
+  out.reserve(lexical.size() + 2);
+  if (is_iri()) {
+    out += '<';
+    out += lexical;
+    out += '>';
+  } else {
+    out += '"';
+    out += lexical;
+    out += '"';
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToString();
+}
+
+}  // namespace hsparql::rdf

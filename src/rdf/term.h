@@ -1,0 +1,53 @@
+// RDF terms (Definition 1 of the paper): a triple is an element of
+// U x U x (U ∪ L) where U is the set of IRIs and L the set of literals.
+#ifndef HSPARQL_RDF_TERM_H_
+#define HSPARQL_RDF_TERM_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace hsparql::rdf {
+
+/// Dictionary-encoded identifier of an RDF term. Ids are dense, starting at
+/// 0, assigned in interning order by Dictionary.
+using TermId = std::uint32_t;
+
+/// Sentinel for "no term" (e.g. an unbound pattern position).
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Kind of an RDF constant. Blank nodes are treated as IRIs (skolemised),
+/// matching the paper's data model simplification.
+enum class TermKind : std::uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+};
+
+/// An RDF constant: an IRI or a literal, with its lexical form.
+/// Plain value type; the lexical form of a literal excludes the quotes.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+
+  static Term Iri(std::string iri) {
+    return Term{TermKind::kIri, std::move(iri)};
+  }
+  static Term Literal(std::string value) {
+    return Term{TermKind::kLiteral, std::move(value)};
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+
+  friend bool operator==(const Term& a, const Term& b) = default;
+
+  /// N-Triples rendering: <iri> or "literal".
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+}  // namespace hsparql::rdf
+
+#endif  // HSPARQL_RDF_TERM_H_

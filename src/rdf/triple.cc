@@ -1,0 +1,21 @@
+#include "rdf/triple.h"
+
+namespace hsparql::rdf {
+
+char PositionLetter(Position pos) {
+  switch (pos) {
+    case Position::kSubject:
+      return 's';
+    case Position::kPredicate:
+      return 'p';
+    case Position::kObject:
+      return 'o';
+  }
+  return '?';
+}
+
+std::ostream& operator<<(std::ostream& os, const Triple& t) {
+  return os << "(" << t.s << ", " << t.p << ", " << t.o << ")";
+}
+
+}  // namespace hsparql::rdf

@@ -1,0 +1,69 @@
+// Dictionary-encoded RDF triple and the subject/predicate/object positions.
+#ifndef HSPARQL_RDF_TRIPLE_H_
+#define HSPARQL_RDF_TRIPLE_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+#include "rdf/term.h"
+
+namespace hsparql::rdf {
+
+/// One of the three components of a triple (pattern). The paper's
+/// heuristics are all phrased over these positions.
+enum class Position : std::uint8_t {
+  kSubject = 0,
+  kPredicate = 1,
+  kObject = 2,
+};
+
+inline constexpr std::array<Position, 3> kAllPositions = {
+    Position::kSubject, Position::kPredicate, Position::kObject};
+
+/// One-letter name used in plan/explain output: s, p, o.
+char PositionLetter(Position pos);
+
+/// A dictionary-encoded triple. Ordering is component-wise (s, p, o), which
+/// together with storage::Ordering permutations yields all six collation
+/// orders.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  TermId at(Position pos) const {
+    switch (pos) {
+      case Position::kSubject:
+        return s;
+      case Position::kPredicate:
+        return p;
+      case Position::kObject:
+        return o;
+    }
+    return kInvalidTermId;
+  }
+
+  void set(Position pos, TermId id) {
+    switch (pos) {
+      case Position::kSubject:
+        s = id;
+        return;
+      case Position::kPredicate:
+        p = id;
+        return;
+      case Position::kObject:
+        o = id;
+        return;
+    }
+  }
+
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Triple& t);
+
+}  // namespace hsparql::rdf
+
+#endif  // HSPARQL_RDF_TRIPLE_H_

@@ -1,0 +1,144 @@
+#include "sparql/analyzer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace hsparql::sparql {
+
+using rdf::Position;
+
+JoinClass JoinClass::Make(Position x, Position y) {
+  if (static_cast<int>(x) <= static_cast<int>(y)) return JoinClass{x, y};
+  return JoinClass{y, x};
+}
+
+std::string JoinClass::ToString() const {
+  std::string out;
+  out += rdf::PositionLetter(a);
+  out += '=';
+  out += rdf::PositionLetter(b);
+  return out;
+}
+
+std::array<JoinClass, kNumJoinClasses> AllJoinClasses() {
+  using P = Position;
+  return {JoinClass{P::kSubject, P::kSubject},
+          JoinClass{P::kPredicate, P::kPredicate},
+          JoinClass{P::kObject, P::kObject},
+          JoinClass{P::kSubject, P::kPredicate},
+          JoinClass{P::kSubject, P::kObject},
+          JoinClass{P::kPredicate, P::kObject}};
+}
+
+int JoinClassIndex(JoinClass jc) {
+  auto all = AllJoinClasses();
+  for (int i = 0; i < kNumJoinClasses; ++i) {
+    if (all[static_cast<std::size_t>(i)] == jc) return i;
+  }
+  return -1;
+}
+
+namespace {
+
+/// Union-find over triple-pattern indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns true if x and y were in different components (and merges them).
+  bool Union(std::size_t x, std::size_t y) {
+    std::size_t rx = Find(x);
+    std::size_t ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+QueryCharacteristics Analyze(const Query& query) {
+  QueryCharacteristics out;
+  out.num_patterns = static_cast<int>(query.patterns.size());
+
+  for (const TriplePattern& tp : query.patterns) {
+    int c = tp.num_constants();
+    ++out.patterns_with_constants[static_cast<std::size_t>(c)];
+  }
+
+  // Count only variables that occur in the patterns: rewriting may leave
+  // names behind (e.g. a folded FILTER variable) that are no longer part
+  // of the join query.
+  const std::vector<std::uint32_t> weights = query.VarWeights();
+  for (std::uint32_t w : weights) {
+    if (w >= 1) ++out.num_variables;
+    if (w >= 2) ++out.num_shared_variables;
+    if (w >= 1) {
+      out.max_star_join = std::max(out.max_star_join, static_cast<int>(w) - 1);
+    }
+  }
+  out.num_projection_variables =
+      query.select_all ? out.num_variables
+                       : static_cast<int>(query.projection.size());
+
+  // Spanning-forest joins with class attribution. For each shared variable,
+  // group its occurrences by position (s, p, o order); chain within each
+  // group, then link consecutive non-empty groups. An edge is counted only
+  // if the two patterns were not already connected.
+  UnionFind uf(query.patterns.size());
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    if (weights[v] < 2) continue;
+    // Occurrences per position: list of pattern indices.
+    std::array<std::vector<std::size_t>, 3> groups;
+    for (std::size_t i = 0; i < query.patterns.size(); ++i) {
+      for (Position pos : query.patterns[i].PositionsOf(v)) {
+        groups[static_cast<std::size_t>(pos)].push_back(i);
+      }
+    }
+    // Same-position chains.
+    for (Position pos : rdf::kAllPositions) {
+      const auto& g = groups[static_cast<std::size_t>(pos)];
+      for (std::size_t i = 1; i < g.size(); ++i) {
+        if (uf.Union(g[i - 1], g[i])) {
+          ++out.num_joins;
+          JoinClass jc = JoinClass::Make(pos, pos);
+          ++out.join_class_counts[static_cast<std::size_t>(
+              JoinClassIndex(jc))];
+        }
+      }
+    }
+    // Cross-position links between consecutive non-empty groups.
+    Position prev_pos = Position::kSubject;
+    bool have_prev = false;
+    for (Position pos : rdf::kAllPositions) {
+      const auto& g = groups[static_cast<std::size_t>(pos)];
+      if (g.empty()) continue;
+      if (have_prev) {
+        const auto& pg = groups[static_cast<std::size_t>(prev_pos)];
+        if (uf.Union(pg.front(), g.front())) {
+          ++out.num_joins;
+          JoinClass jc = JoinClass::Make(prev_pos, pos);
+          ++out.join_class_counts[static_cast<std::size_t>(
+              JoinClassIndex(jc))];
+        }
+      }
+      prev_pos = pos;
+      have_prev = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace hsparql::sparql

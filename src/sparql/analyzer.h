@@ -1,0 +1,65 @@
+// Syntactic query census — the quantities reported in Table 2 of the paper.
+//
+// Join counting follows the paper's scheme (validated against every
+// consistent cell of Table 2):
+//  * #Joins = #triple patterns − #connected components of the pattern-level
+//    join graph (the size of a spanning forest);
+//  * join-pattern classes (s⋈s, p⋈p, o⋈o, s⋈p, s⋈o, p⋈o) are attributed by
+//    walking each shared variable's occurrences and adding a spanning edge
+//    only between patterns not yet connected: same-position chains first
+//    (giving x⋈x edges), then links between position groups (giving
+//    cross-position edges, e.g. s⋈o);
+//  * "maximum star join" = max over variables of (weight − 1), the number
+//    of joins the most-shared variable participates in.
+#ifndef HSPARQL_SPARQL_ANALYZER_H_
+#define HSPARQL_SPARQL_ANALYZER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rdf/triple.h"
+#include "sparql/ast.h"
+
+namespace hsparql::sparql {
+
+/// Unordered pair of triple-pattern positions identifying a join class.
+/// Canonical order: subject <= predicate <= object position index.
+struct JoinClass {
+  rdf::Position a;
+  rdf::Position b;
+
+  static JoinClass Make(rdf::Position x, rdf::Position y);
+  /// "s=s", "s=o", "p=o", ...
+  std::string ToString() const;
+  friend bool operator==(const JoinClass&, const JoinClass&) = default;
+};
+
+/// The six join classes in the order of Table 2's rows.
+inline constexpr int kNumJoinClasses = 6;
+std::array<JoinClass, kNumJoinClasses> AllJoinClasses();
+int JoinClassIndex(JoinClass jc);
+
+/// Everything Table 2 reports for one query.
+struct QueryCharacteristics {
+  int num_patterns = 0;
+  int num_variables = 0;
+  int num_projection_variables = 0;
+  int num_shared_variables = 0;       // weight >= 2
+  std::array<int, 4> patterns_with_constants = {0, 0, 0, 0};  // 0..3 consts
+  int num_joins = 0;                  // spanning-forest size
+  int max_star_join = 0;              // max_v (weight(v) - 1)
+  std::array<int, kNumJoinClasses> join_class_counts = {};
+
+  int JoinCount(JoinClass jc) const {
+    return join_class_counts[static_cast<std::size_t>(JoinClassIndex(jc))];
+  }
+};
+
+/// Computes the census of `query` (filters are ignored; run RewriteFilters
+/// first to reproduce the paper's numbers for filtering queries).
+QueryCharacteristics Analyze(const Query& query);
+
+}  // namespace hsparql::sparql
+
+#endif  // HSPARQL_SPARQL_ANALYZER_H_

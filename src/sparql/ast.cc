@@ -1,0 +1,178 @@
+#include "sparql/ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsparql::sparql {
+
+using rdf::Position;
+
+int TriplePattern::num_constants() const {
+  int n = 0;
+  for (Position pos : rdf::kAllPositions) {
+    if (at(pos).is_constant()) ++n;
+  }
+  return n;
+}
+
+std::vector<Position> TriplePattern::PositionsOf(VarId v) const {
+  std::vector<Position> out;
+  for (Position pos : rdf::kAllPositions) {
+    const PatternTerm& t = at(pos);
+    if (t.is_variable() && t.var == v) out.push_back(pos);
+  }
+  return out;
+}
+
+std::vector<VarId> TriplePattern::Variables() const {
+  std::vector<VarId> out;
+  for (Position pos : rdf::kAllPositions) {
+    const PatternTerm& t = at(pos);
+    if (t.is_variable() &&
+        std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  }
+  return out;
+}
+
+bool TriplePattern::Mentions(VarId v) const {
+  for (Position pos : rdf::kAllPositions) {
+    const PatternTerm& t = at(pos);
+    if (t.is_variable() && t.var == v) return true;
+  }
+  return false;
+}
+
+std::string_view FilterOpName(FilterOp op) {
+  switch (op) {
+    case FilterOp::kEq:
+      return "=";
+    case FilterOp::kNe:
+      return "!=";
+    case FilterOp::kLt:
+      return "<";
+    case FilterOp::kLe:
+      return "<=";
+    case FilterOp::kGt:
+      return ">";
+    case FilterOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+VarId Query::InternVar(std::string_view name) {
+  for (std::size_t i = 0; i < var_names.size(); ++i) {
+    if (var_names[i] == name) return static_cast<VarId>(i);
+  }
+  var_names.emplace_back(name);
+  return static_cast<VarId>(var_names.size() - 1);
+}
+
+std::optional<VarId> Query::FindVar(std::string_view name) const {
+  for (std::size_t i = 0; i < var_names.size(); ++i) {
+    if (var_names[i] == name) return static_cast<VarId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> Query::VarWeights() const {
+  std::vector<std::uint32_t> weights(var_names.size(), 0);
+  for (const TriplePattern& tp : patterns) {
+    for (VarId v : tp.Variables()) ++weights[v];
+  }
+  return weights;
+}
+
+bool Query::IsProjected(VarId v) const {
+  if (select_all) return true;
+  return std::find(projection.begin(), projection.end(), v) !=
+         projection.end();
+}
+
+namespace {
+
+void AppendTerm(const Query& q, const PatternTerm& t, std::ostream& os) {
+  if (t.is_variable()) {
+    os << '?' << q.VarName(t.var);
+  } else {
+    os << t.constant.ToString();
+  }
+}
+
+}  // namespace
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  if (ask) {
+    os << "ASK";
+  } else {
+    os << "SELECT ";
+    if (distinct) os << "DISTINCT ";
+    if (select_all) {
+      os << "*";
+    } else {
+      for (std::size_t i = 0; i < projection.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << '?' << VarName(projection[i]);
+      }
+    }
+  }
+  os << "\nWHERE {\n";
+  auto append_patterns = [&](const std::vector<TriplePattern>& tps,
+                             const char* indent) {
+    for (const TriplePattern& tp : tps) {
+      os << indent;
+      AppendTerm(*this, tp.s, os);
+      os << ' ';
+      AppendTerm(*this, tp.p, os);
+      os << ' ';
+      AppendTerm(*this, tp.o, os);
+      os << " .\n";
+    }
+  };
+  if (union_branches.empty()) {
+    append_patterns(patterns, "  ");
+  } else {
+    os << "  {\n";
+    append_patterns(patterns, "    ");
+    os << "  }";
+    for (const auto& branch : union_branches) {
+      os << " UNION {\n";
+      append_patterns(branch, "    ");
+      os << "  }";
+    }
+    os << "\n";
+  }
+  for (const auto& group : optional_groups) {
+    os << "  OPTIONAL {\n";
+    append_patterns(group, "    ");
+    os << "  }\n";
+  }
+  for (const Filter& f : filters) {
+    os << "  FILTER (?" << VarName(f.var) << ' ' << FilterOpName(f.op) << ' ';
+    if (f.rhs_var.has_value()) {
+      os << '?' << VarName(*f.rhs_var);
+    } else {
+      os << f.value.ToString();
+    }
+    os << ")\n";
+  }
+  os << "}";
+  if (!order_by.empty()) {
+    os << "\nORDER BY";
+    for (const OrderKey& key : order_by) {
+      if (key.descending) {
+        os << " DESC(?" << VarName(key.var) << ")";
+      } else {
+        os << " ?" << VarName(key.var);
+      }
+    }
+  }
+  if (limit.has_value()) os << "\nLIMIT " << *limit;
+  if (offset > 0) os << "\nOFFSET " << offset;
+  return os.str();
+}
+
+}  // namespace hsparql::sparql

@@ -1,0 +1,156 @@
+// Abstract syntax of the SPARQL subset (Definitions 2 and 3 of the paper).
+//
+// A SPARQL join query is a set of triple patterns over
+// (U ∪ V) x (U ∪ V) x (U ∪ L ∪ V) plus a projection list; FILTER
+// conditions on variables are carried alongside (equality filters are
+// folded into the patterns by RewriteFilters(), the remaining ones are
+// applied post-join by the executor).
+#ifndef HSPARQL_SPARQL_AST_H_
+#define HSPARQL_SPARQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace hsparql::sparql {
+
+/// Index of a variable in Query::var_names. Dense per query.
+using VarId = std::uint32_t;
+inline constexpr VarId kInvalidVarId = UINT32_MAX;
+
+/// One slot of a triple pattern: a variable or an RDF constant.
+struct PatternTerm {
+  static PatternTerm Var(VarId v) {
+    PatternTerm t;
+    t.var = v;
+    return t;
+  }
+  static PatternTerm Const(rdf::Term c) {
+    PatternTerm t;
+    t.constant = std::move(c);
+    return t;
+  }
+
+  bool is_variable() const { return var != kInvalidVarId; }
+  bool is_constant() const { return !is_variable(); }
+
+  VarId var = kInvalidVarId;
+  rdf::Term constant;  // meaningful only when is_constant()
+
+  friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
+};
+
+/// A SPARQL triple pattern (Definition 2).
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  const PatternTerm& at(rdf::Position pos) const {
+    switch (pos) {
+      case rdf::Position::kSubject:
+        return s;
+      case rdf::Position::kPredicate:
+        return p;
+      default:
+        return o;
+    }
+  }
+  PatternTerm& at(rdf::Position pos) {
+    return const_cast<PatternTerm&>(
+        static_cast<const TriplePattern*>(this)->at(pos));
+  }
+
+  /// Number of bound (constant) components, 0..3.
+  int num_constants() const;
+  /// Number of variable slots, 0..3 (counts repeated variables twice).
+  int num_variable_slots() const { return 3 - num_constants(); }
+
+  /// Positions at which `v` occurs (a variable may repeat within a pattern).
+  std::vector<rdf::Position> PositionsOf(VarId v) const;
+  /// Distinct variables of the pattern, in s, p, o order.
+  std::vector<VarId> Variables() const;
+  /// True if `v` occurs anywhere in the pattern.
+  bool Mentions(VarId v) const;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
+};
+
+/// Comparison operator of a FILTER condition.
+enum class FilterOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view FilterOpName(FilterOp op);
+
+/// A simple FILTER: `?var op constant` or `?var op ?rhs_var`.
+struct Filter {
+  VarId var = kInvalidVarId;
+  FilterOp op = FilterOp::kEq;
+  std::optional<VarId> rhs_var;  // set for variable-variable comparisons
+  rdf::Term value;               // used when rhs_var is empty
+
+  friend bool operator==(const Filter&, const Filter&) = default;
+};
+
+/// A parsed SPARQL join query (Definition 3) with projection and filters,
+/// extended with the paper's §7 future-work features:
+///  * OPTIONAL groups — each is a basic graph pattern left-outer-joined to
+///    the required part (`patterns`);
+///  * UNION — when `union_branches` is non-empty the WHERE clause is the
+///    union of `patterns` (branch 0) and each listed branch; filters and
+///    projection apply to every branch.
+struct Query {
+  /// Variable names without the '?' prefix; VarId indexes this vector.
+  std::vector<std::string> var_names;
+  /// Projection variables ("SELECT ?x ?y"); ignored when select_all.
+  std::vector<VarId> projection;
+  bool select_all = false;  // SELECT *
+  bool distinct = false;
+  std::vector<TriplePattern> patterns;
+  std::vector<Filter> filters;
+  /// OPTIONAL { ... } groups attached to the required patterns.
+  std::vector<std::vector<TriplePattern>> optional_groups;
+  /// Additional UNION branches ({patterns} UNION {branch 1} UNION ...).
+  std::vector<std::vector<TriplePattern>> union_branches;
+  /// ASK query: the answer is whether any mapping exists.
+  bool ask = false;
+  /// Solution modifiers: ORDER BY keys, then LIMIT/OFFSET.
+  struct OrderKey {
+    VarId var = kInvalidVarId;
+    bool descending = false;
+    friend bool operator==(const OrderKey&, const OrderKey&) = default;
+  };
+  std::vector<OrderKey> order_by;
+  std::optional<std::uint64_t> limit;
+  std::uint64_t offset = 0;
+
+  const std::string& VarName(VarId v) const { return var_names[v]; }
+  std::size_t num_vars() const { return var_names.size(); }
+
+  /// VarId for a name, creating it if unseen.
+  VarId InternVar(std::string_view name);
+  /// VarId for a name if present.
+  std::optional<VarId> FindVar(std::string_view name) const;
+
+  /// Number of patterns in which each variable occurs (the weight function
+  /// β of Definition 4; a repeated variable within one pattern counts once).
+  std::vector<std::uint32_t> VarWeights() const;
+
+  /// True if `v` is a projection variable.
+  bool IsProjected(VarId v) const;
+
+  /// True if the query uses OPTIONAL or UNION.
+  bool HasGraphPatternExtensions() const {
+    return !optional_groups.empty() || !union_branches.empty();
+  }
+
+  /// Round-trippable SPARQL text (used by explain output and tests).
+  std::string ToString() const;
+};
+
+}  // namespace hsparql::sparql
+
+#endif  // HSPARQL_SPARQL_AST_H_

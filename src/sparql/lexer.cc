@@ -1,0 +1,301 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace hsparql::sparql {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIri:
+      return "IRI";
+    case TokenKind::kPname:
+      return "prefixed name";
+    case TokenKind::kVar:
+      return "variable";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back(Make(TokenKind::kEof, ""));
+        return tokens;
+      }
+      HSPARQL_ASSIGN_OR_RETURN(Token tok, Next());
+      tokens.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Token Make(TokenKind kind, std::string text) const {
+    return Token{kind, std::move(text), line_, col_};
+  }
+
+  Status Error(std::string_view what) const {
+    std::ostringstream os;
+    os << "lex error at " << line_ << ":" << col_ << ": " << what;
+    return Status::ParseError(os.str());
+  }
+
+  void SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-';
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    switch (c) {
+      case '{':
+        Advance();
+        return Make(TokenKind::kLBrace, "{");
+      case '}':
+        Advance();
+        return Make(TokenKind::kRBrace, "}");
+      case '(':
+        Advance();
+        return Make(TokenKind::kLParen, "(");
+      case ')':
+        Advance();
+        return Make(TokenKind::kRParen, ")");
+      case '.':
+        Advance();
+        return Make(TokenKind::kDot, ".");
+      case ';':
+        Advance();
+        return Make(TokenKind::kSemicolon, ";");
+      case ',':
+        Advance();
+        return Make(TokenKind::kComma, ",");
+      case '*':
+        Advance();
+        return Make(TokenKind::kStar, "*");
+      case '=':
+        Advance();
+        return Make(TokenKind::kEq, "=");
+      case '!':
+        Advance();
+        if (Peek() != '=') return Error("expected '=' after '!'");
+        Advance();
+        return Make(TokenKind::kNe, "!=");
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGe, ">=");
+        }
+        return Make(TokenKind::kGt, ">");
+      case '?':
+      case '$':
+        return LexVar();
+      case '"':
+        return LexString();
+      case '<':
+        return LexIriOrLess();
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      return LexIdentOrPname();
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Token> LexVar() {
+    Advance();  // '?' or '$'
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) name += Advance();
+    if (name.empty()) return Error("empty variable name");
+    return Make(TokenKind::kVar, std::move(name));
+  }
+
+  Result<Token> LexString() {
+    Advance();  // opening quote
+    std::string value;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char c = Advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) return Error("dangling escape in string");
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case '"':
+            value += '"';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          default:
+            return Error("unsupported string escape");
+        }
+      } else {
+        value += c;
+      }
+    }
+    // Optional @lang / ^^<datatype>, folded away (plain-literal model).
+    if (!AtEnd() && Peek() == '@') {
+      Advance();
+      while (!AtEnd() && IsNameChar(Peek())) Advance();
+    } else if (Peek() == '^' && Peek(1) == '^') {
+      Advance();
+      Advance();
+      if (Peek() == '<') {
+        while (!AtEnd() && Advance() != '>') {
+        }
+      }
+    }
+    return Make(TokenKind::kString, std::move(value));
+  }
+
+  // '<' is an IRI opener unless it reads as a comparison: followed by
+  // whitespace, '=', '?', '"' or a digit (FILTER contexts only use those
+  // right-hand sides in this grammar).
+  Result<Token> LexIriOrLess() {
+    char next = Peek(1);
+    if (next == '=' ) {
+      Advance();
+      Advance();
+      return Make(TokenKind::kLe, "<=");
+    }
+    if (next == ' ' || next == '\t' || next == '\n' || next == '?' ||
+        next == '"' || std::isdigit(static_cast<unsigned char>(next))) {
+      Advance();
+      return Make(TokenKind::kLt, "<");
+    }
+    Advance();  // '<'
+    std::string body;
+    while (true) {
+      if (AtEnd()) return Error("unterminated IRI");
+      char c = Advance();
+      if (c == '>') break;
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        return Error("whitespace inside IRI");
+      }
+      body += c;
+    }
+    return Make(TokenKind::kIri, std::move(body));
+  }
+
+  Result<Token> LexNumber() {
+    std::string text;
+    if (Peek() == '-') text += Advance();
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.')) {
+      // A '.' followed by a non-digit terminates the pattern instead.
+      if (Peek() == '.' &&
+          !std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        break;
+      }
+      text += Advance();
+    }
+    return Make(TokenKind::kNumber, std::move(text));
+  }
+
+  Result<Token> LexIdentOrPname() {
+    std::string text;
+    while (!AtEnd() && (IsNameChar(Peek()) || Peek() == ':')) {
+      text += Advance();
+    }
+    if (text.find(':') != std::string::npos) {
+      return Make(TokenKind::kPname, std::move(text));
+    }
+    return Make(TokenKind::kIdent, std::move(text));
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  return Lexer(input).Run();
+}
+
+}  // namespace hsparql::sparql

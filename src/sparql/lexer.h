@@ -1,0 +1,53 @@
+// Tokenizer for the SPARQL subset grammar (see parser.h).
+#ifndef HSPARQL_SPARQL_LEXER_H_
+#define HSPARQL_SPARQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hsparql::sparql {
+
+enum class TokenKind : std::uint8_t {
+  kIri,      // <http://...>         text = IRI body without angle brackets
+  kPname,    // prefix:local or :local
+  kVar,      // ?name                text = name without '?'
+  kString,   // "..."                text = unescaped body
+  kNumber,   // 1942 / 3.14          text = lexical form
+  kIdent,    // SELECT, WHERE, a, ...
+  kLBrace,   // {
+  kRBrace,   // }
+  kLParen,   // (
+  kRParen,   // )
+  kDot,      // .
+  kSemicolon,// ;
+  kComma,    // ,
+  kStar,     // *
+  kEq,       // =
+  kNe,       // !=
+  kLt,       // <  (only inside FILTER expressions)
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;
+  std::size_t column;
+};
+
+/// Tokenizes an entire query. `<` starts an IRI except where a comparison
+/// operator is expected, so the lexer tracks FILTER parenthesis context.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace hsparql::sparql
+
+#endif  // HSPARQL_SPARQL_LEXER_H_

@@ -1,0 +1,422 @@
+#include "sparql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+#include "sparql/lexer.h"
+
+namespace hsparql::sparql {
+
+namespace {
+
+bool IsKeyword(const Token& tok, std::string_view keyword) {
+  if (tok.kind != TokenKind::kIdent) return false;
+  if (tok.text.size() != keyword.size()) return false;
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(tok.text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    HSPARQL_RETURN_IF_ERROR(ParsePrologue());
+    HSPARQL_RETURN_IF_ERROR(ParseSelect());
+    HSPARQL_RETURN_IF_ERROR(ParseWhere());
+    HSPARQL_RETURN_IF_ERROR(ParseSolutionModifiers());
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("trailing content after query");
+    }
+    // Validate projection variables actually occur in the body.
+    for (VarId v : query_.projection) {
+      auto mentions = [v](const std::vector<TriplePattern>& tps) {
+        return std::any_of(tps.begin(), tps.end(), [v](const TriplePattern& tp) {
+          return tp.Mentions(v);
+        });
+      };
+      bool used = mentions(query_.patterns);
+      for (const auto& group : query_.optional_groups) {
+        used = used || mentions(group);
+      }
+      for (const auto& branch : query_.union_branches) {
+        used = used || mentions(branch);
+      }
+      if (!used) {
+        return Error("projection variable ?" + query_.VarName(v) +
+                     " does not occur in WHERE clause");
+      }
+    }
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(std::string_view what) const {
+    const Token& tok = Peek();
+    std::ostringstream os;
+    os << "parse error at " << tok.line << ":" << tok.column << ": " << what
+       << " (got " << TokenKindName(tok.kind)
+       << (tok.text.empty() ? "" : " '" + tok.text + "'") << ")";
+    return Status::ParseError(os.str());
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (!Match(kind)) return Error(what);
+    return Status::OK();
+  }
+
+  Status ParsePrologue() {
+    while (IsKeyword(Peek(), "PREFIX")) {
+      Advance();
+      const Token& name = Peek();
+      if (name.kind != TokenKind::kPname || name.text.empty() ||
+          name.text.back() != ':') {
+        return Error("expected prefix name ending in ':'");
+      }
+      std::string prefix = name.text.substr(0, name.text.size() - 1);
+      Advance();
+      const Token& iri = Peek();
+      if (iri.kind != TokenKind::kIri) return Error("expected IRI");
+      prefixes_[prefix] = iri.text;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelect() {
+    if (IsKeyword(Peek(), "ASK")) {
+      Advance();
+      query_.ask = true;
+      query_.select_all = true;  // plan over every variable, answer is bool
+      return Status::OK();
+    }
+    if (!IsKeyword(Peek(), "SELECT")) return Error("expected SELECT or ASK");
+    Advance();
+    if (IsKeyword(Peek(), "DISTINCT")) {
+      Advance();
+      query_.distinct = true;
+    }
+    if (Match(TokenKind::kStar)) {
+      query_.select_all = true;
+      return Status::OK();
+    }
+    while (Peek().kind == TokenKind::kVar || Peek().kind == TokenKind::kComma) {
+      if (Peek().kind == TokenKind::kComma) {  // tolerate "?a, ?b" style
+        Advance();
+        continue;
+      }
+      VarId v = query_.InternVar(Peek().text);
+      if (std::find(query_.projection.begin(), query_.projection.end(), v) ==
+          query_.projection.end()) {
+        query_.projection.push_back(v);
+      }
+      Advance();
+    }
+    if (query_.projection.empty()) {
+      return Error("expected '*' or projection variables after SELECT");
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhere() {
+    if (IsKeyword(Peek(), "WHERE")) Advance();
+    HSPARQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "expected '{'"));
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (Peek().kind == TokenKind::kEof) return Error("unterminated '{'");
+      if (IsKeyword(Peek(), "FILTER")) {
+        HSPARQL_RETURN_IF_ERROR(ParseFilter());
+      } else if (IsKeyword(Peek(), "OPTIONAL")) {
+        HSPARQL_RETURN_IF_ERROR(ParseOptional());
+      } else if (Peek().kind == TokenKind::kLBrace) {
+        HSPARQL_RETURN_IF_ERROR(ParseUnion());
+      } else {
+        if (!query_.union_branches.empty()) {
+          return Error(
+              "triple patterns cannot follow a UNION group (the supported "
+              "subset unions whole basic graph patterns)");
+        }
+        HSPARQL_RETURN_IF_ERROR(ParseTriples(&query_.patterns));
+      }
+      Match(TokenKind::kDot);  // '.' separators are optional before '}'
+    }
+    Advance();  // '}'
+    if (query_.patterns.empty()) {
+      return Error("WHERE clause contains no triple patterns");
+    }
+    return Status::OK();
+  }
+
+  // (ORDER BY (ASC(?v)|DESC(?v)|?v)+)? (LIMIT n | OFFSET n)*
+  Status ParseSolutionModifiers() {
+    if (IsKeyword(Peek(), "ORDER")) {
+      Advance();
+      if (!IsKeyword(Peek(), "BY")) return Error("expected BY after ORDER");
+      Advance();
+      while (true) {
+        Query::OrderKey key;
+        if (IsKeyword(Peek(), "ASC") || IsKeyword(Peek(), "DESC")) {
+          key.descending = IsKeyword(Peek(), "DESC");
+          Advance();
+          HSPARQL_RETURN_IF_ERROR(
+              Expect(TokenKind::kLParen, "expected '(' after ASC/DESC"));
+          if (Peek().kind != TokenKind::kVar) {
+            return Error("expected variable in ORDER BY");
+          }
+          key.var = query_.InternVar(Peek().text);
+          Advance();
+          HSPARQL_RETURN_IF_ERROR(
+              Expect(TokenKind::kRParen, "expected ')'"));
+        } else if (Peek().kind == TokenKind::kVar) {
+          key.var = query_.InternVar(Peek().text);
+          Advance();
+        } else {
+          break;
+        }
+        bool known = false;
+        for (const TriplePattern& tp : query_.patterns) {
+          known = known || tp.Mentions(key.var);
+        }
+        for (const auto& group : query_.optional_groups) {
+          for (const TriplePattern& tp : group) {
+            known = known || tp.Mentions(key.var);
+          }
+        }
+        for (const auto& branch : query_.union_branches) {
+          for (const TriplePattern& tp : branch) {
+            known = known || tp.Mentions(key.var);
+          }
+        }
+        if (!known) {
+          return Error("ORDER BY variable ?" + query_.VarName(key.var) +
+                       " does not occur in WHERE clause");
+        }
+        query_.order_by.push_back(key);
+      }
+      if (query_.order_by.empty()) {
+        return Error("expected at least one ORDER BY key");
+      }
+    }
+    while (IsKeyword(Peek(), "LIMIT") || IsKeyword(Peek(), "OFFSET")) {
+      bool is_limit = IsKeyword(Peek(), "LIMIT");
+      Advance();
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected a number");
+      }
+      std::uint64_t value = 0;
+      for (char c : Peek().text) {
+        if (c < '0' || c > '9') return Error("expected a non-negative integer");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      Advance();
+      if (is_limit) {
+        query_.limit = value;
+      } else {
+        query_.offset = value;
+      }
+    }
+    return Status::OK();
+  }
+
+  // OPTIONAL '{' triples ('.' triples)* '}'
+  Status ParseOptional() {
+    Advance();  // OPTIONAL
+    std::vector<TriplePattern> group;
+    HSPARQL_RETURN_IF_ERROR(ParseBracedPatterns(&group));
+    if (group.empty()) return Error("empty OPTIONAL group");
+    query_.optional_groups.push_back(std::move(group));
+    return Status::OK();
+  }
+
+  // '{' triples* '}' (UNION '{' triples* '}')+
+  Status ParseUnion() {
+    if (!query_.patterns.empty() || !query_.union_branches.empty()) {
+      return Error(
+          "a UNION group must be the first pattern group of the WHERE "
+          "clause");
+    }
+    HSPARQL_RETURN_IF_ERROR(ParseBracedPatterns(&query_.patterns));
+    if (query_.patterns.empty()) return Error("empty UNION branch");
+    if (!IsKeyword(Peek(), "UNION")) {
+      return Error("expected UNION after '{...}' group");
+    }
+    while (IsKeyword(Peek(), "UNION")) {
+      Advance();
+      std::vector<TriplePattern> branch;
+      HSPARQL_RETURN_IF_ERROR(ParseBracedPatterns(&branch));
+      if (branch.empty()) return Error("empty UNION branch");
+      query_.union_branches.push_back(std::move(branch));
+    }
+    return Status::OK();
+  }
+
+  Status ParseBracedPatterns(std::vector<TriplePattern>* sink) {
+    HSPARQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "expected '{'"));
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (Peek().kind == TokenKind::kEof) return Error("unterminated '{'");
+      HSPARQL_RETURN_IF_ERROR(ParseTriples(sink));
+      Match(TokenKind::kDot);
+    }
+    Advance();  // '}'
+    return Status::OK();
+  }
+
+  // term verb objects (';' verb objects)*
+  Status ParseTriples(std::vector<TriplePattern>* sink) {
+    HSPARQL_ASSIGN_OR_RETURN(PatternTerm subject, ParseTerm());
+    while (true) {
+      HSPARQL_ASSIGN_OR_RETURN(PatternTerm verb, ParseVerb());
+      // objects := term (',' term)*
+      while (true) {
+        HSPARQL_ASSIGN_OR_RETURN(PatternTerm object, ParseTerm());
+        sink->push_back(TriplePattern{subject, verb, object});
+        if (!Match(TokenKind::kComma)) break;
+      }
+      if (!Match(TokenKind::kSemicolon)) break;
+    }
+    return Status::OK();
+  }
+
+  Result<PatternTerm> ParseVerb() {
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "a") {
+      Advance();
+      return PatternTerm::Const(rdf::Term::Iri(std::string(kRdfTypeIri)));
+    }
+    return ParseTerm();
+  }
+
+  Result<PatternTerm> ParseTerm() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVar: {
+        VarId v = query_.InternVar(tok.text);
+        Advance();
+        return PatternTerm::Var(v);
+      }
+      case TokenKind::kIri: {
+        PatternTerm t = PatternTerm::Const(rdf::Term::Iri(tok.text));
+        Advance();
+        return t;
+      }
+      case TokenKind::kPname: {
+        HSPARQL_ASSIGN_OR_RETURN(std::string iri, ExpandPname(tok.text));
+        Advance();
+        return PatternTerm::Const(rdf::Term::Iri(std::move(iri)));
+      }
+      case TokenKind::kString: {
+        PatternTerm t = PatternTerm::Const(rdf::Term::Literal(tok.text));
+        Advance();
+        return t;
+      }
+      case TokenKind::kNumber: {
+        PatternTerm t = PatternTerm::Const(rdf::Term::Literal(tok.text));
+        Advance();
+        return t;
+      }
+      default:
+        return Error("expected an IRI, prefixed name, variable or literal");
+    }
+  }
+
+  Result<std::string> ExpandPname(std::string_view pname) {
+    std::size_t colon = pname.find(':');
+    std::string prefix(pname.substr(0, colon));
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Error("undeclared prefix '" + prefix + ":'");
+    }
+    return it->second + std::string(pname.substr(colon + 1));
+  }
+
+  // FILTER '(' ?var op (constant | ?var) ')'
+  Status ParseFilter() {
+    Advance();  // FILTER
+    HSPARQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "expected '('"));
+    if (Peek().kind != TokenKind::kVar) {
+      return Error("expected variable on FILTER left-hand side");
+    }
+    Filter filter;
+    filter.var = query_.InternVar(Peek().text);
+    Advance();
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        filter.op = FilterOp::kEq;
+        break;
+      case TokenKind::kNe:
+        filter.op = FilterOp::kNe;
+        break;
+      case TokenKind::kLt:
+        filter.op = FilterOp::kLt;
+        break;
+      case TokenKind::kLe:
+        filter.op = FilterOp::kLe;
+        break;
+      case TokenKind::kGt:
+        filter.op = FilterOp::kGt;
+        break;
+      case TokenKind::kGe:
+        filter.op = FilterOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator in FILTER");
+    }
+    Advance();
+    const Token& rhs = Peek();
+    switch (rhs.kind) {
+      case TokenKind::kVar:
+        filter.rhs_var = query_.InternVar(rhs.text);
+        Advance();
+        break;
+      case TokenKind::kString:
+      case TokenKind::kNumber:
+        filter.value = rdf::Term::Literal(rhs.text);
+        Advance();
+        break;
+      case TokenKind::kIri:
+        filter.value = rdf::Term::Iri(rhs.text);
+        Advance();
+        break;
+      case TokenKind::kPname: {
+        HSPARQL_ASSIGN_OR_RETURN(std::string iri, ExpandPname(rhs.text));
+        filter.value = rdf::Term::Iri(std::move(iri));
+        Advance();
+        break;
+      }
+      default:
+        return Error("expected constant or variable on FILTER right-hand side");
+    }
+    HSPARQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "expected ')'"));
+    query_.filters.push_back(std::move(filter));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+  Query query_;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) {
+  HSPARQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace hsparql::sparql

@@ -1,0 +1,35 @@
+// Recursive-descent parser for the SPARQL join-query subset of the paper.
+//
+// Grammar (keywords case-insensitive):
+//   query       := prologue SELECT DISTINCT? ('*' | Var+) WHERE? '{' body '}'
+//   prologue    := (PREFIX pname: <iri>)*
+//   body        := (triples | filter) ('.'? (triples | filter))*
+//   triples     := term verb objects (';' verb objects)*   // Turtle sugar
+//   objects     := term (',' term)*
+//   verb        := term | 'a'                              // a = rdf:type
+//   filter      := FILTER '(' Var op (constant | Var) ')'
+//   term        := <iri> | pname:local | ?var | "string" | number
+//
+// This covers every query of the paper's workload (conjunctive queries with
+// simple filters); OPTIONAL/UNION are future work in the paper itself (§7).
+#ifndef HSPARQL_SPARQL_PARSER_H_
+#define HSPARQL_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+
+namespace hsparql::sparql {
+
+/// Well-known IRI that HEURISTIC 1 treats specially; the keyword `a`
+/// expands to it.
+inline constexpr std::string_view kRdfTypeIri =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Parses one SELECT query. Returns ParseError with location on failure.
+Result<Query> Parse(std::string_view text);
+
+}  // namespace hsparql::sparql
+
+#endif  // HSPARQL_SPARQL_PARSER_H_

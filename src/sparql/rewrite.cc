@@ -1,0 +1,121 @@
+#include "sparql/rewrite.h"
+
+#include <algorithm>
+
+namespace hsparql::sparql {
+
+namespace {
+
+template <typename Fn>
+void ForEachPattern(Query* query, Fn fn) {
+  for (TriplePattern& tp : query->patterns) fn(tp);
+  for (auto& group : query->optional_groups) {
+    for (TriplePattern& tp : group) fn(tp);
+  }
+  for (auto& branch : query->union_branches) {
+    for (TriplePattern& tp : branch) fn(tp);
+  }
+}
+
+void SubstituteConstant(Query* query, VarId var, const rdf::Term& value) {
+  ForEachPattern(query, [&](TriplePattern& tp) {
+    for (rdf::Position pos : rdf::kAllPositions) {
+      PatternTerm& t = tp.at(pos);
+      if (t.is_variable() && t.var == var) {
+        t = PatternTerm::Const(value);
+      }
+    }
+  });
+}
+
+void SubstituteVariable(Query* query, VarId from, VarId to) {
+  ForEachPattern(query, [&](TriplePattern& tp) {
+    for (rdf::Position pos : rdf::kAllPositions) {
+      PatternTerm& t = tp.at(pos);
+      if (t.is_variable() && t.var == from) t.var = to;
+    }
+  });
+  for (Filter& f : query->filters) {
+    if (f.var == from) f.var = to;
+    if (f.rhs_var.has_value() && *f.rhs_var == from) f.rhs_var = to;
+  }
+  for (VarId& v : query->projection) {
+    if (v == from) v = to;
+  }
+}
+
+/// True if `var` occurs in an OPTIONAL group or UNION branch. Folding a
+/// FILTER into such a pattern changes semantics (an unbound optional
+/// variable fails the filter but would survive the left outer join), so
+/// those filters stay as post-join predicates.
+bool MentionedInExtensions(const Query& query, VarId var) {
+  auto mentions = [&](const std::vector<TriplePattern>& tps) {
+    for (const TriplePattern& tp : tps) {
+      if (tp.Mentions(var)) return true;
+    }
+    return false;
+  };
+  for (const auto& group : query.optional_groups) {
+    if (mentions(group)) return true;
+  }
+  for (const auto& branch : query.union_branches) {
+    if (mentions(branch)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RewriteReport RewriteFilters(Query* query) {
+  RewriteReport report;
+  std::vector<Filter> remaining;
+  for (std::size_t i = 0; i < query->filters.size(); ++i) {
+    const Filter f = query->filters[i];
+    if (f.op != FilterOp::kEq ||
+        MentionedInExtensions(*query, f.var) ||
+        (f.rhs_var.has_value() &&
+         MentionedInExtensions(*query, *f.rhs_var))) {
+      remaining.push_back(f);
+      continue;
+    }
+    if (!f.rhs_var.has_value()) {
+      // ?v = const: fold unless ?v must appear in the result schema or is
+      // referenced by another filter (which would lose its input binding).
+      bool referenced_elsewhere = false;
+      for (std::size_t j = 0; j < query->filters.size(); ++j) {
+        if (j == i) continue;
+        const Filter& other = query->filters[j];
+        if (other.var == f.var ||
+            (other.rhs_var.has_value() && *other.rhs_var == f.var)) {
+          referenced_elsewhere = true;
+          break;
+        }
+      }
+      if (query->IsProjected(f.var) || referenced_elsewhere) {
+        remaining.push_back(f);
+        continue;
+      }
+      SubstituteConstant(query, f.var, f.value);
+      ++report.constants_folded;
+      continue;
+    }
+    // ?v = ?w: unify, keeping a projected variable as survivor.
+    VarId keep = f.var;
+    VarId drop = *f.rhs_var;
+    if (keep == drop) continue;  // trivially true
+    if (!query->IsProjected(keep) && query->IsProjected(drop)) {
+      std::swap(keep, drop);
+    }
+    if (query->IsProjected(keep) && query->IsProjected(drop)) {
+      // Both projected: the schema must keep both names; leave the filter.
+      remaining.push_back(f);
+      continue;
+    }
+    SubstituteVariable(query, drop, keep);
+    ++report.variables_unified;
+  }
+  query->filters = std::move(remaining);
+  return report;
+}
+
+}  // namespace hsparql::sparql

@@ -1,0 +1,34 @@
+// FILTER-to-pattern rewriting.
+//
+// §6.2.1: "Unlike CDP, HSP systematically rewrites filtering queries into an
+// equivalent form involving only triple patterns. CDP does not perform this
+// rewriting. Instead, it executes an expensive join followed by the
+// evaluation of the filter."
+//
+// Two rewrites are applied, both semantics-preserving:
+//  * `FILTER (?v = <const>)`  -> substitute the constant for ?v in every
+//    triple pattern (only when ?v is not projected, so the result schema is
+//    unchanged);
+//  * `FILTER (?v = ?w)`       -> unify the two variables (keeping a
+//    projected one as the survivor).
+// All other filters (!=, <, <=, >, >=) remain and are evaluated post-join.
+#ifndef HSPARQL_SPARQL_REWRITE_H_
+#define HSPARQL_SPARQL_REWRITE_H_
+
+#include "sparql/ast.h"
+
+namespace hsparql::sparql {
+
+/// Statistics about what RewriteFilters changed (inspectable by tests and
+/// explain output).
+struct RewriteReport {
+  int constants_folded = 0;   // FILTER(?v = const) substitutions
+  int variables_unified = 0;  // FILTER(?v = ?w) unifications
+};
+
+/// Applies the HSP filter rewrites in place; returns what was done.
+RewriteReport RewriteFilters(Query* query);
+
+}  // namespace hsparql::sparql
+
+#endif  // HSPARQL_SPARQL_REWRITE_H_

@@ -1,0 +1,148 @@
+#include "storage/aggregated_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsparql::storage {
+
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+
+std::pair<Position, Position> PairPositions(PairKind kind) {
+  switch (kind) {
+    case PairKind::kSp:
+      return {Position::kSubject, Position::kPredicate};
+    case PairKind::kPs:
+      return {Position::kPredicate, Position::kSubject};
+    case PairKind::kSo:
+      return {Position::kSubject, Position::kObject};
+    case PairKind::kOs:
+      return {Position::kObject, Position::kSubject};
+    case PairKind::kPo:
+      return {Position::kPredicate, Position::kObject};
+    case PairKind::kOp:
+      return {Position::kObject, Position::kPredicate};
+  }
+  assert(false);
+  return {Position::kSubject, Position::kPredicate};
+}
+
+std::string_view PairKindName(PairKind kind) {
+  switch (kind) {
+    case PairKind::kSp:
+      return "sp";
+    case PairKind::kPs:
+      return "ps";
+    case PairKind::kSo:
+      return "so";
+    case PairKind::kOs:
+      return "os";
+    case PairKind::kPo:
+      return "po";
+    case PairKind::kOp:
+      return "op";
+  }
+  return "??";
+}
+
+namespace {
+
+/// The collation order that sorts (major, minor) as its leading keys.
+Ordering OrderingFor(PairKind kind) {
+  auto [major, minor] = PairPositions(kind);
+  for (Ordering ordering : kAllOrderings) {
+    auto positions = OrderingPositions(ordering);
+    if (positions[0] == major && positions[1] == minor) return ordering;
+  }
+  assert(false);
+  return Ordering::kSpo;
+}
+
+}  // namespace
+
+AggregatedIndexes AggregatedIndexes::Build(const TripleStore& store) {
+  AggregatedIndexes idx;
+  // Pair indexes: run-length over the (major, minor)-sorted relations.
+  for (PairKind kind : kAllPairKinds) {
+    auto [major, minor] = PairPositions(kind);
+    auto& entries = idx.pairs_[static_cast<std::size_t>(kind)];
+    for (const Triple& t : store.Scan(OrderingFor(kind))) {
+      TermId a = t.at(major);
+      TermId b = t.at(minor);
+      if (!entries.empty() && entries.back().major == a &&
+          entries.back().minor == b) {
+        ++entries.back().count;
+      } else {
+        entries.push_back(PairEntry{a, b, 1});
+      }
+    }
+  }
+  // One-value indexes: run-length over the position-major relations.
+  const std::array<std::pair<Position, Ordering>, 3> singles = {
+      std::pair{Position::kSubject, Ordering::kSpo},
+      std::pair{Position::kPredicate, Ordering::kPso},
+      std::pair{Position::kObject, Ordering::kOps}};
+  for (const auto& [pos, ordering] : singles) {
+    auto& entries = idx.values_[static_cast<std::size_t>(pos)];
+    for (const Triple& t : store.Scan(ordering)) {
+      TermId v = t.at(pos);
+      if (!entries.empty() && entries.back().value == v) {
+        ++entries.back().count;
+      } else {
+        entries.push_back(ValueEntry{v, 1});
+      }
+    }
+  }
+  return idx;
+}
+
+std::uint64_t AggregatedIndexes::PairCount(PairKind kind, TermId major,
+                                           TermId minor) const {
+  const auto& entries = pairs_[static_cast<std::size_t>(kind)];
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), std::pair{major, minor},
+      [](const PairEntry& e, const std::pair<TermId, TermId>& key) {
+        return std::tie(e.major, e.minor) < std::tie(key.first, key.second);
+      });
+  if (it == entries.end() || it->major != major || it->minor != minor) {
+    return 0;
+  }
+  return it->count;
+}
+
+std::uint64_t AggregatedIndexes::ValueCount(Position pos,
+                                            TermId value) const {
+  const auto& entries = values_[static_cast<std::size_t>(pos)];
+  auto it = std::lower_bound(entries.begin(), entries.end(), value,
+                             [](const ValueEntry& e, TermId v) {
+                               return e.value < v;
+                             });
+  if (it == entries.end() || it->value != value) return 0;
+  return it->count;
+}
+
+std::span<const AggregatedIndexes::PairEntry>
+AggregatedIndexes::PairsWithMajor(PairKind kind, TermId major) const {
+  const auto& entries = pairs_[static_cast<std::size_t>(kind)];
+  auto lo = std::lower_bound(entries.begin(), entries.end(), major,
+                             [](const PairEntry& e, TermId v) {
+                               return e.major < v;
+                             });
+  auto hi = std::upper_bound(lo, entries.end(), major,
+                             [](TermId v, const PairEntry& e) {
+                               return v < e.major;
+                             });
+  return std::span<const PairEntry>(
+      entries.data() + (lo - entries.begin()),
+      static_cast<std::size_t>(hi - lo));
+}
+
+std::size_t AggregatedIndexes::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& p : pairs_) bytes += p.capacity() * sizeof(PairEntry);
+  for (const auto& v : values_) bytes += v.capacity() * sizeof(ValueEntry);
+  return bytes;
+}
+
+}  // namespace hsparql::storage

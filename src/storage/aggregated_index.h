@@ -1,0 +1,98 @@
+// RDF-3X-style aggregated indexes (§2 of the paper):
+//
+//   "Furthermore, RDF-3X uses aggregated indexes for each of the three
+//    possible pairs of triple components and in each collation order (sp,
+//    so, ps etc.). Each index stores the two columns of a triple on which
+//    it is defined and an aggregated count that denotes the number of
+//    occurrences of the pair in the set of triples. Aggregated indexes
+//    ... are much smaller than the full-triple indexes. ... In addition,
+//    RDF-3X builds all three one-value indexes that hold for every RDF
+//    constant the number of its occurrences in the dataset."
+//
+// Six pair indexes (sp, ps, so, os, po, op) and three one-value indexes
+// (s, p, o), each a sorted array of (key, count) entries answering
+// count-lookups in O(log n) without touching the full relations. They are
+// the exact information CDP's cardinality estimation consumes; this module
+// materialises them explicitly (Statistics/TripleStore answer the same
+// questions by binary search over full relations) and quantifies the size
+// claim in bench_compression's companion checks.
+#ifndef HSPARQL_STORAGE_AGGREGATED_INDEX_H_
+#define HSPARQL_STORAGE_AGGREGATED_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::storage {
+
+/// The six component pairs, named by (major, minor) position.
+enum class PairKind : std::uint8_t {
+  kSp = 0,  // (subject, predicate)
+  kPs = 1,
+  kSo = 2,
+  kOs = 3,
+  kPo = 4,
+  kOp = 5,
+};
+
+inline constexpr std::array<PairKind, 6> kAllPairKinds = {
+    PairKind::kSp, PairKind::kPs, PairKind::kSo,
+    PairKind::kOs, PairKind::kPo, PairKind::kOp};
+
+/// (major, minor) positions of a pair kind.
+std::pair<rdf::Position, rdf::Position> PairPositions(PairKind kind);
+std::string_view PairKindName(PairKind kind);
+
+/// All nine aggregated indexes of a dataset.
+class AggregatedIndexes {
+ public:
+  struct PairEntry {
+    rdf::TermId major;
+    rdf::TermId minor;
+    std::uint32_t count;
+  };
+  struct ValueEntry {
+    rdf::TermId value;
+    std::uint32_t count;
+  };
+
+  /// One pass per collation order.
+  static AggregatedIndexes Build(const TripleStore& store);
+
+  /// Number of triples carrying the pair (0 if absent). O(log n).
+  std::uint64_t PairCount(PairKind kind, rdf::TermId major,
+                          rdf::TermId minor) const;
+
+  /// Number of triples with `value` at `pos`. O(log n).
+  std::uint64_t ValueCount(rdf::Position pos, rdf::TermId value) const;
+
+  /// Distinct pairs in an index / distinct values at a position.
+  std::size_t PairEntries(PairKind kind) const {
+    return pairs_[static_cast<std::size_t>(kind)].size();
+  }
+  std::size_t ValueEntries(rdf::Position pos) const {
+    return values_[static_cast<std::size_t>(pos)].size();
+  }
+
+  /// All (minor, count) entries of a pair index with the given major value
+  /// — the "smaller input relations" CDP gets from aggregated indexes.
+  std::span<const PairEntry> PairsWithMajor(PairKind kind,
+                                            rdf::TermId major) const;
+
+  /// Total bytes of all nine indexes (the §2 size claim).
+  std::size_t MemoryBytes() const;
+
+ private:
+  AggregatedIndexes() = default;
+
+  std::array<std::vector<PairEntry>, 6> pairs_;
+  std::array<std::vector<ValueEntry>, 3> values_;
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_AGGREGATED_INDEX_H_

@@ -1,0 +1,187 @@
+#include "storage/compressed.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsparql::storage {
+
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+
+namespace {
+
+void PutVarint(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t GetVarint(const std::uint8_t* bytes, std::size_t* pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t b = bytes[(*pos)++];
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Triple components permuted into sort-priority order.
+std::array<TermId, 3> Prioritise(const Triple& t,
+                                 const std::array<Position, 3>& positions) {
+  return {t.at(positions[0]), t.at(positions[1]), t.at(positions[2])};
+}
+
+}  // namespace
+
+CompressedRelation CompressedRelation::Build(std::span<const Triple> triples,
+                                             Ordering ordering) {
+  CompressedRelation rel;
+  rel.ordering_ = ordering;
+  rel.count_ = triples.size();
+  const auto positions = OrderingPositions(ordering);
+
+  std::array<TermId, 3> prev = {0, 0, 0};
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    if (i % kBlockSize == 0) {
+      rel.block_offsets_.push_back(rel.bytes_.size());
+      rel.block_heads_.push_back(triples[i]);
+      // Blocks are self-contained: the head is stored absolute.
+      std::array<TermId, 3> c = Prioritise(triples[i], positions);
+      rel.bytes_.push_back(0);
+      PutVarint(c[0], &rel.bytes_);
+      PutVarint(c[1], &rel.bytes_);
+      PutVarint(c[2], &rel.bytes_);
+      prev = c;
+      continue;
+    }
+    std::array<TermId, 3> c = Prioritise(triples[i], positions);
+    std::uint8_t first_change = 0;
+    while (first_change < 3 && c[first_change] == prev[first_change]) {
+      ++first_change;
+    }
+    assert(first_change < 3 && "input must be sorted and deduplicated");
+    rel.bytes_.push_back(first_change);
+    // Gap of the changed component (>= 1 by sortedness), then absolute
+    // lower-priority components.
+    PutVarint(c[first_change] - prev[first_change] - 1, &rel.bytes_);
+    for (std::size_t k = first_change + 1; k < 3; ++k) {
+      PutVarint(c[k], &rel.bytes_);
+    }
+    prev = c;
+  }
+  return rel;
+}
+
+void CompressedRelation::DecompressBlock(std::size_t b,
+                                         std::vector<Triple>* out) const {
+  const auto positions = OrderingPositions(ordering_);
+  std::size_t pos = block_offsets_[b];
+  std::size_t end =
+      b + 1 < block_offsets_.size() ? block_offsets_[b + 1] : bytes_.size();
+  std::size_t remaining =
+      b + 1 < block_offsets_.size() ? kBlockSize : count_ - b * kBlockSize;
+  std::array<TermId, 3> current = {0, 0, 0};
+  bool first = true;
+  while (pos < end && remaining > 0) {
+    std::uint8_t first_change = bytes_[pos++];
+    if (first) {
+      current[0] = static_cast<TermId>(GetVarint(bytes_.data(), &pos));
+      current[1] = static_cast<TermId>(GetVarint(bytes_.data(), &pos));
+      current[2] = static_cast<TermId>(GetVarint(bytes_.data(), &pos));
+      first = false;
+    } else {
+      current[first_change] += static_cast<TermId>(
+          GetVarint(bytes_.data(), &pos) + 1);
+      for (std::size_t k = first_change + 1; k < 3; ++k) {
+        current[k] = static_cast<TermId>(GetVarint(bytes_.data(), &pos));
+      }
+    }
+    Triple t;
+    t.set(positions[0], current[0]);
+    t.set(positions[1], current[1]);
+    t.set(positions[2], current[2]);
+    out->push_back(t);
+    --remaining;
+  }
+}
+
+std::vector<Triple> CompressedRelation::Decompress() const {
+  std::vector<Triple> out;
+  out.reserve(count_);
+  for (std::size_t b = 0; b < block_offsets_.size(); ++b) {
+    DecompressBlock(b, &out);
+  }
+  return out;
+}
+
+std::vector<Triple> CompressedRelation::LookupPrefix(
+    std::span<const Binding> bindings) const {
+  std::vector<Triple> out;
+  if (count_ == 0) return out;
+  const auto positions = OrderingPositions(ordering_);
+
+  // Probe values in priority order; bindings must form a prefix.
+  std::array<TermId, 3> probe{};
+  std::size_t k = 0;
+  for (; k < bindings.size(); ++k) {
+    bool found = false;
+    for (const Binding& b : bindings) {
+      if (b.position == positions[k]) {
+        probe[k] = b.value;
+        found = true;
+        break;
+      }
+    }
+    assert(found && "bindings must form a prefix of the ordering");
+    if (!found) return out;
+  }
+  if (k == 0) return Decompress();
+
+  auto cmp_prefix = [&](const Triple& t) {
+    for (std::size_t i = 0; i < k; ++i) {
+      TermId v = t.at(positions[i]);
+      if (v != probe[i]) return v < probe[i] ? -1 : 1;
+    }
+    return 0;
+  };
+
+  // First candidate block: one before the first block whose head reaches
+  // the probe prefix (the matching range may start inside the previous
+  // block and span several block heads equal to the prefix).
+  std::size_t lo = 0;
+  std::size_t hi = block_heads_.size();
+  while (lo < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (cmp_prefix(block_heads_[mid]) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  std::size_t b = lo == 0 ? 0 : lo - 1;
+  // Scan forward from that block until past the prefix.
+  std::vector<Triple> buffer;
+  for (; b < block_offsets_.size(); ++b) {
+    buffer.clear();
+    DecompressBlock(b, &buffer);
+    bool past = false;
+    for (const Triple& t : buffer) {
+      int c = cmp_prefix(t);
+      if (c == 0) {
+        out.push_back(t);
+      } else if (c > 0) {
+        past = true;
+        break;
+      }
+    }
+    if (past) break;
+  }
+  return out;
+}
+
+}  // namespace hsparql::storage

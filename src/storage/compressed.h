@@ -1,0 +1,74 @@
+// Delta-compressed sorted triple relations, after RDF-3X (§2 of the
+// paper): "triples are compressed by lexicographically sorting them and
+// storing only the changes between them. ... Despite the exhaustive
+// indexing employed by RDF-3X, the size of the indexes does not exceed the
+// size of the dataset thanks to the compression scheme."
+//
+// Encoding, per triple in collation order (components permuted to the
+// ordering's sort priority, c0 major .. c2 minor):
+//   header byte = index (0..3) of the first component differing from the
+//   predecessor (3 == identical triple, never produced by deduped input;
+//   0 for the first triple);
+//   then a varint gap (delta - 1 for the changed component, except the
+//   very first triple which stores the absolute value), followed by the
+//   absolute values of the lower-priority components.
+// A block directory (first triple of every kBlockSize-triple block) makes
+// prefix lookups a binary search over block heads plus a bounded
+// decompression scan — the shape of RDF-3X's clustered B+-tree leaves.
+#ifndef HSPARQL_STORAGE_COMPRESSED_H_
+#define HSPARQL_STORAGE_COMPRESSED_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "storage/ordering.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::storage {
+
+/// One sorted relation, delta-compressed.
+class CompressedRelation {
+ public:
+  static constexpr std::size_t kBlockSize = 1024;
+
+  /// Compresses `triples`, which must already be sorted by `ordering` and
+  /// deduplicated.
+  static CompressedRelation Build(std::span<const rdf::Triple> triples,
+                                  Ordering ordering);
+
+  Ordering ordering() const { return ordering_; }
+  std::size_t size() const { return count_; }
+  std::size_t byte_size() const { return bytes_.size(); }
+  /// Compressed bytes per triple (raw is sizeof(Triple) = 12).
+  double bytes_per_triple() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(bytes_.size()) /
+                             static_cast<double>(count_);
+  }
+
+  /// Decompresses the whole relation (round-trip check, full scans).
+  std::vector<rdf::Triple> Decompress() const;
+
+  /// All triples matching the bound prefix of the ordering, decompressed.
+  /// Equivalent to TripleStore::LookupPrefix on the same data.
+  std::vector<rdf::Triple> LookupPrefix(
+      std::span<const Binding> bindings) const;
+
+ private:
+  CompressedRelation() = default;
+
+  /// Decompresses block `b` into `out` (appending).
+  void DecompressBlock(std::size_t b, std::vector<rdf::Triple>* out) const;
+
+  Ordering ordering_ = Ordering::kSpo;
+  std::size_t count_ = 0;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::size_t> block_offsets_;   // byte offset per block
+  std::vector<rdf::Triple> block_heads_;     // first triple per block
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_COMPRESSED_H_

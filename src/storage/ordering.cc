@@ -1,0 +1,66 @@
+#include "storage/ordering.h"
+
+#include <cassert>
+
+namespace hsparql::storage {
+
+using rdf::Position;
+
+std::array<Position, 3> OrderingPositions(Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kSpo:
+      return {Position::kSubject, Position::kPredicate, Position::kObject};
+    case Ordering::kSop:
+      return {Position::kSubject, Position::kObject, Position::kPredicate};
+    case Ordering::kPso:
+      return {Position::kPredicate, Position::kSubject, Position::kObject};
+    case Ordering::kPos:
+      return {Position::kPredicate, Position::kObject, Position::kSubject};
+    case Ordering::kOsp:
+      return {Position::kObject, Position::kSubject, Position::kPredicate};
+    case Ordering::kOps:
+      return {Position::kObject, Position::kPredicate, Position::kSubject};
+  }
+  assert(false && "invalid ordering");
+  return {Position::kSubject, Position::kPredicate, Position::kObject};
+}
+
+Ordering OrderingFromPositions(Position major, Position middle,
+                               Position minor) {
+  for (Ordering ordering : kAllOrderings) {
+    auto positions = OrderingPositions(ordering);
+    if (positions[0] == major && positions[1] == middle &&
+        positions[2] == minor) {
+      return ordering;
+    }
+  }
+  assert(false && "positions must be a permutation of {s, p, o}");
+  return Ordering::kSpo;
+}
+
+std::string_view OrderingName(Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kSpo:
+      return "spo";
+    case Ordering::kSop:
+      return "sop";
+    case Ordering::kPso:
+      return "pso";
+    case Ordering::kPos:
+      return "pos";
+    case Ordering::kOsp:
+      return "osp";
+    case Ordering::kOps:
+      return "ops";
+  }
+  return "???";
+}
+
+std::optional<Ordering> OrderingFromName(std::string_view name) {
+  for (Ordering ordering : kAllOrderings) {
+    if (OrderingName(ordering) == name) return ordering;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hsparql::storage

@@ -1,0 +1,70 @@
+// The six collation orders of a triple table.
+//
+// §5: "we assume that the RDF data are stored in a triple table, and that
+// all possible ordering combinations are also present ... We refer to these
+// six orderings as spo, sop, ops, osp, pos, pso." Each ordering is the
+// sort-priority permutation of the three triple positions.
+#ifndef HSPARQL_STORAGE_ORDERING_H_
+#define HSPARQL_STORAGE_ORDERING_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rdf/triple.h"
+
+namespace hsparql::storage {
+
+/// One of the six sorted triple relations.
+enum class Ordering : std::uint8_t {
+  kSpo = 0,
+  kSop = 1,
+  kPso = 2,
+  kPos = 3,
+  kOsp = 4,
+  kOps = 5,
+};
+
+inline constexpr std::array<Ordering, 6> kAllOrderings = {
+    Ordering::kSpo, Ordering::kSop, Ordering::kPso,
+    Ordering::kPos, Ordering::kOsp, Ordering::kOps};
+
+inline constexpr std::size_t kNumOrderings = 6;
+
+/// Sort-priority permutation of an ordering: positions from major to minor.
+/// e.g. kPos -> {Predicate, Object, Subject}.
+std::array<rdf::Position, 3> OrderingPositions(Ordering ordering);
+
+/// Inverse of OrderingPositions: the ordering whose major/middle/minor sort
+/// keys are `major`, `middle`, `minor` (must be a permutation of s, p, o).
+Ordering OrderingFromPositions(rdf::Position major, rdf::Position middle,
+                               rdf::Position minor);
+
+/// Lowercase name: "spo", "pos", ...
+std::string_view OrderingName(Ordering ordering);
+
+/// Parses "spo"... (case-sensitive); nullopt if not one of the six names.
+std::optional<Ordering> OrderingFromName(std::string_view name);
+
+/// Strict-weak comparator of triples under an ordering.
+struct OrderingLess {
+  explicit OrderingLess(Ordering ordering)
+      : positions(OrderingPositions(ordering)) {}
+
+  bool operator()(const rdf::Triple& a, const rdf::Triple& b) const {
+    for (rdf::Position pos : positions) {
+      rdf::TermId x = a.at(pos);
+      rdf::TermId y = b.at(pos);
+      if (x != y) return x < y;
+    }
+    return false;
+  }
+
+  std::array<rdf::Position, 3> positions;
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_ORDERING_H_

@@ -1,0 +1,89 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+
+namespace hsparql::storage {
+
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+
+Statistics Statistics::Compute(const TripleStore& store) {
+  Statistics stats(&store);
+  stats.total_triples_ = store.size();
+
+  // Distinct subjects from spo, predicates from pso, objects from ops: the
+  // position is the major sort key, so distinct values are run boundaries.
+  auto count_runs = [](std::span<const Triple> rel, Position pos) {
+    std::uint64_t runs = 0;
+    TermId prev = rdf::kInvalidTermId;
+    for (const Triple& t : rel) {
+      TermId v = t.at(pos);
+      if (v != prev) {
+        ++runs;
+        prev = v;
+      }
+    }
+    return runs;
+  };
+  stats.distinct_[static_cast<std::size_t>(Position::kSubject)] =
+      count_runs(store.Scan(Ordering::kSpo), Position::kSubject);
+  stats.distinct_[static_cast<std::size_t>(Position::kPredicate)] =
+      count_runs(store.Scan(Ordering::kPso), Position::kPredicate);
+  stats.distinct_[static_cast<std::size_t>(Position::kObject)] =
+      count_runs(store.Scan(Ordering::kOps), Position::kObject);
+
+  // Per-predicate stats from pso (distinct subjects per predicate run) and
+  // pos (distinct objects per predicate run).
+  auto per_predicate = [&stats](std::span<const Triple> rel, Position minor,
+                                bool record_count) {
+    TermId current_p = rdf::kInvalidTermId;
+    TermId prev_v = rdf::kInvalidTermId;
+    PredicateStats* entry = nullptr;
+    for (const Triple& t : rel) {
+      if (t.p != current_p) {
+        current_p = t.p;
+        prev_v = rdf::kInvalidTermId;
+        entry = &stats.predicate_stats_[current_p];
+      }
+      if (record_count) ++entry->count;
+      TermId v = t.at(minor);
+      if (v != prev_v) {
+        prev_v = v;
+        if (minor == Position::kSubject) {
+          ++entry->distinct_subjects;
+        } else {
+          ++entry->distinct_objects;
+        }
+      }
+    }
+  };
+  per_predicate(store.Scan(Ordering::kPso), Position::kSubject,
+                /*record_count=*/true);
+  per_predicate(store.Scan(Ordering::kPos), Position::kObject,
+                /*record_count=*/false);
+  return stats;
+}
+
+PredicateStats Statistics::ForPredicate(TermId predicate) const {
+  auto it = predicate_stats_.find(predicate);
+  if (it == predicate_stats_.end()) return PredicateStats{};
+  return it->second;
+}
+
+std::uint64_t Statistics::EstimateDistinct(std::span<const Binding> bindings,
+                                           Position var_pos) const {
+  const std::uint64_t card = ExactCount(bindings);
+  if (card == 0) return 0;
+
+  if (bindings.size() == 1 &&
+      bindings[0].position == Position::kPredicate &&
+      (var_pos == Position::kSubject || var_pos == Position::kObject)) {
+    PredicateStats ps = ForPredicate(bindings[0].value);
+    return var_pos == Position::kSubject ? ps.distinct_subjects
+                                         : ps.distinct_objects;
+  }
+  return std::min<std::uint64_t>(card, DistinctAt(var_pos));
+}
+
+}  // namespace hsparql::storage

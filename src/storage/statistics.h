@@ -1,0 +1,71 @@
+// Dataset statistics for the cost-based (CDP) baseline.
+//
+// RDF-3X (§2) keeps aggregated indexes (exact counts for every bound pair),
+// one-value indexes (exact counts for every single constant) and per-path
+// statistics. Our TripleStore already answers exact counts for any bound
+// subset via binary search; this class adds the distinct-value statistics
+// needed for join-selectivity estimation. The HSP planner never touches
+// this module — it is statistics-free by construction.
+#ifndef HSPARQL_STORAGE_STATISTICS_H_
+#define HSPARQL_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "rdf/triple.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::storage {
+
+/// Per-predicate aggregate: how many triples carry the predicate, and how
+/// many distinct subjects / objects appear among them. This mirrors the
+/// "characteristic" statistics an RDF engine derives from its ps/po
+/// aggregated indexes.
+struct PredicateStats {
+  std::uint64_t count = 0;
+  std::uint64_t distinct_subjects = 0;
+  std::uint64_t distinct_objects = 0;
+};
+
+/// Immutable statistics snapshot computed from a TripleStore.
+class Statistics {
+ public:
+  /// One pass over three of the sorted relations.
+  static Statistics Compute(const TripleStore& store);
+
+  std::uint64_t total_triples() const { return total_triples_; }
+
+  /// Global distinct values at a position (|S|, |P| or |O|).
+  std::uint64_t DistinctAt(rdf::Position pos) const {
+    return distinct_[static_cast<std::size_t>(pos)];
+  }
+
+  /// Per-predicate aggregates; zeroes for unknown predicates.
+  PredicateStats ForPredicate(rdf::TermId predicate) const;
+
+  /// Exact cardinality of a pattern with the given constant bindings
+  /// (delegates to the store's aggregated-index equivalent).
+  std::uint64_t ExactCount(std::span<const Binding> bindings) const {
+    return store_->CountMatching(bindings);
+  }
+
+  /// Estimated number of distinct values the position `var_pos` takes among
+  /// triples matching `bindings`. Exact when only the predicate is bound;
+  /// otherwise bounded by the pattern cardinality and the global distinct
+  /// count (the standard independence fallback).
+  std::uint64_t EstimateDistinct(std::span<const Binding> bindings,
+                                 rdf::Position var_pos) const;
+
+ private:
+  explicit Statistics(const TripleStore* store) : store_(store) {}
+
+  const TripleStore* store_;
+  std::uint64_t total_triples_ = 0;
+  std::array<std::uint64_t, 3> distinct_ = {0, 0, 0};
+  std::unordered_map<rdf::TermId, PredicateStats> predicate_stats_;
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_STATISTICS_H_

@@ -1,0 +1,104 @@
+#include "storage/triple_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsparql::storage {
+
+using rdf::Position;
+using rdf::Triple;
+
+TripleStore TripleStore::Build(rdf::Graph&& graph) {
+  TripleStore store;
+  // Deduplicate once on the spo order, then derive the other five.
+  std::vector<Triple> base = graph.triples();
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+
+  for (Ordering ordering : kAllOrderings) {
+    auto& rel = store.relations_[static_cast<std::size_t>(ordering)];
+    rel = base;
+    if (ordering != Ordering::kSpo) {
+      std::sort(rel.begin(), rel.end(), OrderingLess(ordering));
+    }
+  }
+  store.dict_ = std::move(graph.dictionary());
+  return store;
+}
+
+std::span<const Triple> TripleStore::LookupPrefix(
+    Ordering ordering, std::span<const Binding> bindings) const {
+  std::span<const Triple> rel = Scan(ordering);
+  if (bindings.empty()) return rel;
+  assert(bindings.size() <= 3);
+
+  const auto positions = OrderingPositions(ordering);
+  // The bound positions must cover a prefix of the sort priority; build the
+  // probe values in priority order.
+  std::array<rdf::TermId, 3> probe{};
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    bool found = false;
+    for (const Binding& b : bindings) {
+      if (b.position == positions[i]) {
+        probe[i] = b.value;
+        found = true;
+        break;
+      }
+    }
+    assert(found && "bindings must form a prefix of the ordering");
+    if (!found) return {};
+  }
+
+  const std::size_t k = bindings.size();
+  auto less = [&](const Triple& t, const std::array<rdf::TermId, 3>& key) {
+    for (std::size_t i = 0; i < k; ++i) {
+      rdf::TermId x = t.at(positions[i]);
+      if (x != key[i]) return x < key[i];
+    }
+    return false;
+  };
+  auto greater = [&](const std::array<rdf::TermId, 3>& key, const Triple& t) {
+    for (std::size_t i = 0; i < k; ++i) {
+      rdf::TermId x = t.at(positions[i]);
+      if (x != key[i]) return key[i] < x;
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(rel.begin(), rel.end(), probe, less);
+  auto hi = std::upper_bound(lo, rel.end(), probe, greater);
+  return rel.subspan(static_cast<std::size_t>(lo - rel.begin()),
+                     static_cast<std::size_t>(hi - lo));
+}
+
+std::size_t TripleStore::CountMatching(
+    std::span<const Binding> bindings) const {
+  if (bindings.empty()) return size();
+  std::vector<Position> bound;
+  bound.reserve(bindings.size());
+  for (const Binding& b : bindings) bound.push_back(b.position);
+  Ordering ordering = OrderingWithBoundPrefix(bound);
+  return LookupPrefix(ordering, bindings).size();
+}
+
+bool TripleStore::Contains(const Triple& triple) const {
+  const auto& rel = relations_[static_cast<std::size_t>(Ordering::kSpo)];
+  return std::binary_search(rel.begin(), rel.end(), triple);
+}
+
+Ordering OrderingWithBoundPrefix(std::span<const Position> bound) {
+  assert(bound.size() <= 3);
+  for (Ordering ordering : kAllOrderings) {
+    const auto positions = OrderingPositions(ordering);
+    bool ok = true;
+    for (std::size_t i = 0; i < bound.size(); ++i) {
+      if (std::find(bound.begin(), bound.end(), positions[i]) == bound.end()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return ordering;
+  }
+  return Ordering::kSpo;  // unreachable: every subset has a prefix ordering
+}
+
+}  // namespace hsparql::storage

@@ -1,0 +1,83 @@
+// The columnar triple store: six sorted relations as access paths.
+//
+// This is the MonetDB substitute described in DESIGN.md §2: every collation
+// order of the (deduplicated) triple table is materialised as a sorted
+// vector, and selections are evaluated by binary search over the bound
+// prefix of an ordering ("logarithmic for binary search in MonetDB", §6.2).
+#ifndef HSPARQL_STORAGE_TRIPLE_STORE_H_
+#define HSPARQL_STORAGE_TRIPLE_STORE_H_
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/triple.h"
+#include "storage/ordering.h"
+
+namespace hsparql::storage {
+
+/// A constant binding of one triple-pattern position, used to express
+/// prefix lookups: "predicate = 42".
+struct Binding {
+  rdf::Position position;
+  rdf::TermId value;
+};
+
+/// Immutable store over a dataset. Construction sorts the data six ways;
+/// all reads are lock-free and allocation-free.
+class TripleStore {
+ public:
+  /// Builds a store from `graph`, consuming it (the dictionary moves into
+  /// the store). Duplicate triples are removed.
+  static TripleStore Build(rdf::Graph&& graph);
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Number of distinct triples.
+  std::size_t size() const { return relations_[0].size(); }
+
+  const rdf::Dictionary& dictionary() const { return dict_; }
+  rdf::Dictionary& mutable_dictionary() { return dict_; }
+
+  /// The full sorted relation for an ordering.
+  std::span<const rdf::Triple> Scan(Ordering ordering) const {
+    return relations_[static_cast<std::size_t>(ordering)];
+  }
+
+  /// All triples whose components match every binding, as a contiguous
+  /// range of the given ordering. The bound positions must form a prefix of
+  /// the ordering's sort priority (0, 1 or 2 leading positions): with 0
+  /// bindings this is Scan(); with more, an equal_range binary search.
+  /// Returns an empty span when nothing matches.
+  std::span<const rdf::Triple> LookupPrefix(
+      Ordering ordering, std::span<const Binding> bindings) const;
+
+  /// Exact number of triples matching the bindings (any subset of
+  /// positions; picks an ordering where they form a prefix). This is the
+  /// information RDF-3X's aggregated indexes provide.
+  std::size_t CountMatching(std::span<const Binding> bindings) const;
+
+  /// True if the (fully bound) triple exists.
+  bool Contains(const rdf::Triple& triple) const;
+
+ private:
+  TripleStore() = default;
+
+  rdf::Dictionary dict_;
+  std::array<std::vector<rdf::Triple>, kNumOrderings> relations_;
+};
+
+/// Chooses an ordering whose sort priority starts with exactly the given
+/// bound positions (in any order among themselves). E.g. bound {p, o} ->
+/// kPos or kOps; the first match in kAllOrderings is returned.
+Ordering OrderingWithBoundPrefix(std::span<const rdf::Position> bound);
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_TRIPLE_STORE_H_

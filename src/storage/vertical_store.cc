@@ -1,0 +1,121 @@
+#include "storage/vertical_store.h"
+
+#include <algorithm>
+
+namespace hsparql::storage {
+
+using rdf::TermId;
+using rdf::Triple;
+
+VerticalStore VerticalStore::Build(const TripleStore& store) {
+  VerticalStore vs;
+  // pso order delivers predicate-grouped, (s, o)-sorted pairs directly.
+  TermId current = rdf::kInvalidTermId;
+  PredicateTable* table = nullptr;
+  for (const Triple& t : store.Scan(Ordering::kPso)) {
+    if (t.p != current) {
+      current = t.p;
+      table = &vs.tables_[current];
+      vs.predicates_.push_back(current);
+    }
+    table->by_subject.push_back(SoPair{t.s, t.o});
+    ++vs.total_pairs_;
+  }
+  // pos order delivers the (o, s)-sorted twins.
+  current = rdf::kInvalidTermId;
+  table = nullptr;
+  for (const Triple& t : store.Scan(Ordering::kPos)) {
+    if (t.p != current) {
+      current = t.p;
+      table = &vs.tables_[current];
+    }
+    table->by_object.push_back(SoPair{t.s, t.o});
+  }
+  std::sort(vs.predicates_.begin(), vs.predicates_.end());
+  return vs;
+}
+
+const VerticalStore::PredicateTable* VerticalStore::Find(
+    TermId predicate) const {
+  auto it = tables_.find(predicate);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::span<const SoPair> VerticalStore::BySubject(TermId predicate) const {
+  const PredicateTable* t = Find(predicate);
+  return t == nullptr ? std::span<const SoPair>() : t->by_subject;
+}
+
+std::span<const SoPair> VerticalStore::ByObject(TermId predicate) const {
+  const PredicateTable* t = Find(predicate);
+  return t == nullptr ? std::span<const SoPair>() : t->by_object;
+}
+
+std::span<const SoPair> VerticalStore::LookupSubject(TermId predicate,
+                                                     TermId subject) const {
+  std::span<const SoPair> rel = BySubject(predicate);
+  auto lo = std::lower_bound(
+      rel.begin(), rel.end(), subject,
+      [](const SoPair& pair, TermId value) { return pair.s < value; });
+  auto hi = std::upper_bound(
+      lo, rel.end(), subject,
+      [](TermId value, const SoPair& pair) { return value < pair.s; });
+  return rel.subspan(static_cast<std::size_t>(lo - rel.begin()),
+                     static_cast<std::size_t>(hi - lo));
+}
+
+std::span<const SoPair> VerticalStore::LookupObject(TermId predicate,
+                                                    TermId object) const {
+  std::span<const SoPair> rel = ByObject(predicate);
+  auto lo = std::lower_bound(
+      rel.begin(), rel.end(), object,
+      [](const SoPair& pair, TermId value) { return pair.o < value; });
+  auto hi = std::upper_bound(
+      lo, rel.end(), object,
+      [](TermId value, const SoPair& pair) { return value < pair.o; });
+  return rel.subspan(static_cast<std::size_t>(lo - rel.begin()),
+                     static_cast<std::size_t>(hi - lo));
+}
+
+std::vector<Triple> VerticalStore::Match(std::optional<TermId> s,
+                                         std::optional<TermId> p,
+                                         std::optional<TermId> o) const {
+  std::vector<Triple> out;
+  auto scan_one = [&](TermId predicate) {
+    if (s.has_value()) {
+      for (const SoPair& pair : LookupSubject(predicate, *s)) {
+        if (!o.has_value() || pair.o == *o) {
+          out.push_back(Triple{pair.s, predicate, pair.o});
+        }
+      }
+      return;
+    }
+    if (o.has_value()) {
+      for (const SoPair& pair : LookupObject(predicate, *o)) {
+        out.push_back(Triple{pair.s, predicate, pair.o});
+      }
+      return;
+    }
+    for (const SoPair& pair : BySubject(predicate)) {
+      out.push_back(Triple{pair.s, predicate, pair.o});
+    }
+  };
+  if (p.has_value()) {
+    scan_one(*p);
+  } else {
+    // The vertical-partitioning penalty: every predicate table is visited.
+    for (TermId predicate : predicates_) scan_one(predicate);
+  }
+  return out;
+}
+
+std::size_t VerticalStore::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [p, table] : tables_) {
+    bytes += table.by_subject.capacity() * sizeof(SoPair);
+    bytes += table.by_object.capacity() * sizeof(SoPair);
+  }
+  return bytes;
+}
+
+}  // namespace hsparql::storage

@@ -1,0 +1,90 @@
+// Vertically partitioned RDF storage (SW-Store / Abadi et al., the paper's
+// [2,3]; critically examined by Sidirourgos et al. [31], two authors of
+// this paper). §7 lists "different relational storage schemas, instead of
+// only the traditional approach of a triple table" as future work.
+//
+// One two-column table per predicate, materialised in both sort orders
+// (by subject and by object) — the vertical analogue of the triple table's
+// six orderings. Bound-predicate patterns become binary searches over one
+// small table; *unbound*-predicate patterns (e.g. query Y3's `?p ?ss ?c1`)
+// must visit every table, which is exactly the weakness [31] documents.
+// bench_storage_schemes quantifies both effects against the TripleStore.
+#ifndef HSPARQL_STORAGE_VERTICAL_STORE_H_
+#define HSPARQL_STORAGE_VERTICAL_STORE_H_
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::storage {
+
+/// A (subject, object) pair within one predicate's table.
+struct SoPair {
+  rdf::TermId s;
+  rdf::TermId o;
+  friend auto operator<=>(const SoPair&, const SoPair&) = default;
+};
+
+/// Immutable vertically partitioned store. Built from (and sharing term
+/// ids with) a TripleStore's dataset.
+class VerticalStore {
+ public:
+  /// Partitions the triples of `store` by predicate.
+  static VerticalStore Build(const TripleStore& store);
+
+  VerticalStore(const VerticalStore&) = delete;
+  VerticalStore& operator=(const VerticalStore&) = delete;
+  VerticalStore(VerticalStore&&) = default;
+  VerticalStore& operator=(VerticalStore&&) = default;
+
+  std::size_t num_predicates() const { return tables_.size(); }
+  std::size_t size() const { return total_pairs_; }
+
+  /// All pairs of a predicate, sorted by (s, o); empty for unknown ids.
+  std::span<const SoPair> BySubject(rdf::TermId predicate) const;
+  /// All pairs of a predicate, sorted by (o, s).
+  std::span<const SoPair> ByObject(rdf::TermId predicate) const;
+
+  /// Pairs of `predicate` with the given subject (sorted by object).
+  std::span<const SoPair> LookupSubject(rdf::TermId predicate,
+                                        rdf::TermId subject) const;
+  /// Pairs of `predicate` with the given object (sorted by subject; note
+  /// the span stems from the (o, s) table, so .s is the varying column).
+  std::span<const SoPair> LookupObject(rdf::TermId predicate,
+                                       rdf::TermId object) const;
+
+  /// The predicates present, ascending.
+  const std::vector<rdf::TermId>& predicates() const { return predicates_; }
+
+  /// Full-pattern matching with any combination of bound positions; an
+  /// unbound predicate walks every table (the VP penalty). Results are
+  /// materialised triples in (p, s, o) order.
+  std::vector<rdf::Triple> Match(std::optional<rdf::TermId> s,
+                                 std::optional<rdf::TermId> p,
+                                 std::optional<rdf::TermId> o) const;
+
+  /// Approximate resident bytes of the pair tables (both orders).
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct PredicateTable {
+    std::vector<SoPair> by_subject;  // sorted (s, o)
+    std::vector<SoPair> by_object;   // sorted (o, s)
+  };
+
+  VerticalStore() = default;
+
+  const PredicateTable* Find(rdf::TermId predicate) const;
+
+  std::unordered_map<rdf::TermId, PredicateTable> tables_;
+  std::vector<rdf::TermId> predicates_;
+  std::size_t total_pairs_ = 0;
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_VERTICAL_STORE_H_

@@ -1,0 +1,236 @@
+#include "workload/queries.h"
+
+namespace hsparql::workload {
+
+namespace {
+
+constexpr std::string_view kSp2bPrefixes =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+    "PREFIX bench: <http://localhost/vocabulary/bench/>\n"
+    "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+    "PREFIX dcterms: <http://purl.org/dc/terms/>\n"
+    "PREFIX swrc: <http://swrc.ontoware.org/ontology#>\n"
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n";
+
+constexpr std::string_view kYagoPrefixes =
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX y: <http://yago-knowledge.org/resource/>\n";
+
+std::string Sp2b(std::string_view body) {
+  return std::string(kSp2bPrefixes) + std::string(body);
+}
+std::string Yago(std::string_view body) {
+  return std::string(kYagoPrefixes) + std::string(body);
+}
+
+std::string Sp3Variant(std::string_view property) {
+  return Sp2b(
+      "SELECT ?article WHERE {\n"
+      "  ?article rdf:type bench:Article .\n"
+      "  ?article ?property ?value .\n"
+      "  FILTER (?property = swrc:" +
+      std::string(property) + ")\n}\n");
+}
+
+std::vector<WorkloadQuery> BuildQueries() {
+  std::vector<WorkloadQuery> q;
+
+  q.push_back(WorkloadQuery{
+      "SP1", Dataset::kSp2Bench,
+      "Year of 'Journal 1 (1940)' (light subject star)",
+      Sp2b("SELECT ?yr ?jrnl WHERE {\n"
+           "  ?jrnl rdf:type bench:Journal .\n"
+           "  ?jrnl dc:title \"Journal 1 (1940)\" .\n"
+           "  ?jrnl dcterms:issued ?yr .\n}\n"),
+      PaperTable2Row{3, 2, 2, 1, 0, 1, 2, 2, 2, 2, 0, 0, 0, 0, 0},
+      PaperTable4Row{2, 0, 'L', 2, 0, 'L', true},
+      PaperTimings{0.10, 19.52, 0.25, 11.92}});
+
+  q.push_back(WorkloadQuery{
+      "SP2a", Dataset::kSp2Bench,
+      "Inproceedings with all 10 properties (heavy subject star)",
+      Sp2b("SELECT ?inproc WHERE {\n"
+           "  ?inproc rdf:type bench:Inproceedings .\n"
+           "  ?inproc dc:creator ?author .\n"
+           "  ?inproc bench:booktitle ?booktitle .\n"
+           "  ?inproc dc:title ?title .\n"
+           "  ?inproc dcterms:partOf ?proc .\n"
+           "  ?inproc rdfs:seeAlso ?ee .\n"
+           "  ?inproc swrc:pages ?page .\n"
+           "  ?inproc foaf:homepage ?url .\n"
+           "  ?inproc dcterms:issued ?yr .\n"
+           "  ?inproc bench:abstract ?abstract .\n}\n"),
+      PaperTable2Row{10, 10, 1, 1, 0, 9, 1, 9, 9, 9, 0, 0, 0, 0, 0},
+      PaperTable4Row{9, 0, 'L', 9, 0, 'L', false},
+      PaperTimings{0.15, 3267.01, 355.50, 3561.0}});
+
+  q.push_back(WorkloadQuery{
+      "SP2b", Dataset::kSp2Bench,
+      "SP2a without homepage/abstract (8-pattern subject star)",
+      Sp2b("SELECT ?inproc WHERE {\n"
+           "  ?inproc rdf:type bench:Inproceedings .\n"
+           "  ?inproc dc:creator ?author .\n"
+           "  ?inproc bench:booktitle ?booktitle .\n"
+           "  ?inproc dc:title ?title .\n"
+           "  ?inproc dcterms:partOf ?proc .\n"
+           "  ?inproc rdfs:seeAlso ?ee .\n"
+           "  ?inproc swrc:pages ?page .\n"
+           "  ?inproc dcterms:issued ?yr .\n}\n"),
+      PaperTable2Row{8, 8, 1, 1, 0, 7, 1, 7, 7, 7, 0, 0, 0, 0, 0},
+      PaperTable4Row{7, 0, 'L', 7, 0, 'L', false},
+      PaperTimings{0.13, 1035.12, 1000.75, 1103.0}});
+
+  // SP3(a,b,c): filtering queries; HSP rewrites the FILTER into the
+  // pattern ("_2" = the 2-pattern rewritten form of Table 2).
+  const PaperTable2Row sp3_row{2, 2, 1, 1, 0, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0};
+  q.push_back(WorkloadQuery{
+      "SP3a", Dataset::kSp2Bench, "Articles with swrc:pages (filter query)",
+      Sp3Variant("pages"), sp3_row, PaperTable4Row{1, 0, 'L', 1, 0, 'L', true},
+      PaperTimings{0.09, 80.92, 85.14, 82.91}});
+  q.push_back(WorkloadQuery{
+      "SP3b", Dataset::kSp2Bench, "Articles with swrc:month (sparser filter)",
+      Sp3Variant("month"), sp3_row, PaperTable4Row{1, 0, 'L', 1, 0, 'L', true},
+      PaperTimings{0.09, 8.74, 11.95, 9.61}});
+  q.push_back(WorkloadQuery{
+      "SP3c", Dataset::kSp2Bench, "Articles with swrc:isbn (empty result)",
+      Sp3Variant("isbn"), sp3_row, PaperTable4Row{1, 0, 'L', 1, 0, 'L', true},
+      PaperTimings{0.09, 12.55, 13.97, 14.81}});
+
+  q.push_back(WorkloadQuery{
+      "SP4a", Dataset::kSp2Bench,
+      "Author pairs publishing in the same journal (chain of stars)",
+      Sp2b("SELECT ?name1 ?name2 WHERE {\n"
+           "  ?article1 dc:creator ?name1 .\n"
+           "  ?article1 swrc:journal ?journal .\n"
+           "  ?article2 swrc:journal ?journal .\n"
+           "  ?article2 dc:creator ?name2 .\n"
+           "  ?name1 rdf:type foaf:Person .\n"
+           "  ?name2 rdf:type foaf:Person .\n}\n"),
+      PaperTable2Row{6, 5, 2, 5, 0, 4, 2, 5, 1, 2, 0, 1, 0, 2, 0},
+      PaperTable4Row{3, 2, 'B', 3, 2, 'B', true},
+      PaperTimings{0.13, 3602.09, 3634.60, std::nullopt}});
+
+  q.push_back(WorkloadQuery{
+      "SP4b", Dataset::kSp2Bench,
+      "Authors and the journals' titles they publish in (star + chain)",
+      Sp2b("SELECT ?name ?title WHERE {\n"
+           "  ?article dc:creator ?name .\n"
+           "  ?article swrc:journal ?journal .\n"
+           "  ?article rdf:type bench:Article .\n"
+           "  ?name rdf:type foaf:Person .\n"
+           "  ?journal dc:title ?title .\n}\n"),
+      PaperTable2Row{5, 5, 2, 4, 0, 3, 2, 4, 2, 2, 0, 0, 0, 2, 0},
+      PaperTable4Row{2, 2, 'B', 2, 2, 'B', false},
+      PaperTimings{0.12, 1766.29, 2781.75, 1909.13}});
+
+  q.push_back(WorkloadQuery{
+      "SP5", Dataset::kSp2Bench,
+      "Who carries the title 'Journal 1 (1940)' (selective selection)",
+      Sp2b("SELECT ?journal ?predicate WHERE {\n"
+           "  ?journal ?predicate \"Journal 1 (1940)\" .\n}\n"),
+      PaperTable2Row{1, 2, 2, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+      PaperTable4Row{0, 0, 'L', 0, 0, 'L', true},
+      PaperTimings{0.06, 0.06, 0.10, 0.09}});
+
+  q.push_back(WorkloadQuery{
+      "SP6", Dataset::kSp2Bench,
+      "All articles (unselective selection, large result)",
+      Sp2b("SELECT ?article WHERE {\n"
+           "  ?article rdf:type bench:Article .\n}\n"),
+      PaperTable2Row{1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+      PaperTable4Row{0, 0, 'L', 0, 0, 'L', true},
+      PaperTimings{0.06, 0.43, 22.85, 0.48}});
+
+  q.push_back(WorkloadQuery{
+      "Y1", Dataset::kYago,
+      "Married actors directing a movie they acted in, with home geography",
+      Yago("SELECT ?p ?m WHERE {\n"
+           "  ?p rdf:type y:wordnet_actor .\n"
+           "  ?p y:livesIn ?c .\n"
+           "  ?p y:actedIn ?m .\n"
+           "  ?p y:directed ?m .\n"
+           "  ?p y:marriedTo ?sp .\n"
+           "  ?m rdf:type y:wordnet_movie .\n"
+           "  ?c y:locatedIn ?x .\n"
+           "  ?x y:locatedIn ?z .\n}\n"),
+      PaperTable2Row{8, 6, 2, 4, 0, 6, 2, 7, 4, 4, 0, 0, 0, 3, 0},
+      PaperTable4Row{5, 2, 'B', 5, 2, 'B', false},
+      PaperTimings{0.13, 6.04, 15.75, 7.69}});
+
+  q.push_back(WorkloadQuery{
+      "Y2", Dataset::kYago,
+      "Actors who acted and directed (verbatim, paper Table 9)",
+      Yago("SELECT ?a WHERE {\n"
+           "  ?a rdf:type y:wordnet_actor .\n"
+           "  ?a y:livesIn ?city .\n"
+           "  ?a y:actedIn ?m1 .\n"
+           "  ?m1 rdf:type y:wordnet_movie .\n"
+           "  ?a y:directed ?m2 .\n"
+           "  ?m2 rdf:type y:wordnet_movie .\n}\n"),
+      PaperTable2Row{6, 4, 1, 3, 0, 3, 3, 5, 3, 3, 0, 0, 0, 2, 0},
+      PaperTable4Row{3, 2, 'L', 3, 2, 'B', false},
+      PaperTimings{0.12, 8.65, 9.95, 9.07}});
+
+  q.push_back(WorkloadQuery{
+      "Y3", Dataset::kYago,
+      "Entities related to a village and a site (verbatim, paper Table 5)",
+      Yago("SELECT ?p WHERE {\n"
+           "  ?p ?ss ?c1 .\n"
+           "  ?p ?dd ?c2 .\n"
+           "  ?c1 rdf:type y:wordnet_village .\n"
+           "  ?c1 y:locatedIn ?x .\n"
+           "  ?c2 rdf:type y:wordnet_site .\n"
+           "  ?c2 y:locatedIn ?y .\n}\n"),
+      PaperTable2Row{6, 7, 1, 3, 2, 2, 2, 5, 2, 3, 0, 0, 0, 2, 0},
+      PaperTable4Row{4, 1, 'B', 4, 1, 'B', true},
+      PaperTimings{0.14, 25.69, 81.20, 538.65}});
+
+  q.push_back(WorkloadQuery{
+      "Y4", Dataset::kYago,
+      "Scientists three generic hops from a city (chain query)",
+      Yago("SELECT ?a ?x ?z WHERE {\n"
+           "  ?a rdf:type y:wordnet_scientist .\n"
+           "  ?a ?p1 ?x .\n"
+           "  ?x ?p2 ?y .\n"
+           "  ?y ?p3 ?z .\n"
+           "  ?z rdf:type y:wordnet_city .\n}\n"),
+      PaperTable2Row{5, 7, 3, 4, 3, 0, 2, 4, 1, 1, 0, 0, 0, 3, 0},
+      PaperTable4Row{2, 2, 'B', 2, 2, 'B', false},
+      PaperTimings{0.13, 2.32, 90.45, 1113.0}});
+
+  return q;
+}
+
+}  // namespace
+
+const std::vector<WorkloadQuery>& AllQueries() {
+  static const std::vector<WorkloadQuery>* queries =
+      new std::vector<WorkloadQuery>(BuildQueries());
+  return *queries;
+}
+
+const WorkloadQuery* FindQuery(std::string_view id) {
+  for (const WorkloadQuery& q : AllQueries()) {
+    if (q.id == id) return &q;
+  }
+  return nullptr;
+}
+
+std::string_view Figure1ExampleQuery() {
+  static constexpr std::string_view kQuery =
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX bench: <http://localhost/vocabulary/bench/>\n"
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+      "PREFIX dcterms: <http://purl.org/dc/terms/>\n"
+      "SELECT ?yr ?jrnl WHERE {\n"
+      "  ?jrnl rdf:type bench:Journal .\n"
+      "  ?jrnl dc:title \"Journal 1 (1940)\" .\n"
+      "  ?jrnl dcterms:issued ?yr .\n"
+      "  ?jrnl dcterms:revised ?rev .\n"
+      "  FILTER (?rev = \"1942\")\n"
+      "}\n";
+  return kQuery;
+}
+
+}  // namespace hsparql::workload

@@ -1,0 +1,140 @@
+#include "workload/sp2bench_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "workload/vocab.h"
+
+namespace hsparql::workload {
+
+namespace v = vocab;
+
+Sp2bConfig Sp2bConfig::FromTargetTriples(std::uint64_t target,
+                                         std::uint64_t seed) {
+  Sp2bConfig config;
+  config.seed = seed;
+  config.years = std::clamp<std::size_t>(target / 3000, 10, 60);
+  config.num_authors =
+      std::clamp<std::uint64_t>(target / 100, 200, 200000);
+  std::uint64_t remaining =
+      target > config.num_authors * 2 ? target - config.num_authors * 2 : 0;
+  double per_year = static_cast<double>(remaining) /
+                    static_cast<double>(config.years);
+  // Articles per journal are capped: the same-journal self-join of query
+  // SP4a grows quadratically in this knob, and SP2Bench's own journals are
+  // similarly bounded. The rest of the per-year budget goes to
+  // inproceedings (~9.5 triples each across two proceedings).
+  config.articles_per_journal = std::clamp<std::size_t>(
+      static_cast<std::size_t>(per_year * 0.35 / 7.5), 4, 120);
+  config.proceedings_per_year = 2;
+  double article_triples =
+      static_cast<double>(config.articles_per_journal) * 7.5;
+  double inproc_budget = per_year - article_triples - 4.0;
+  config.inproceedings_per_proceeding = std::max<std::size_t>(
+      4, static_cast<std::size_t>(inproc_budget / 9.5 / 2.0));
+  return config;
+}
+
+namespace {
+
+std::string Instance(std::string_view local) {
+  return std::string(v::kSp2b) + std::string(local);
+}
+
+}  // namespace
+
+rdf::Graph GenerateSp2b(const Sp2bConfig& config) {
+  rdf::Graph graph;
+  SplitMix64 rng(config.seed);
+  ZipfSampler author_sampler(config.num_authors, 1.2, config.seed ^ 0x5eed);
+
+  // Authors (foaf:Person with a name).
+  std::vector<std::string> authors;
+  authors.reserve(config.num_authors);
+  for (std::size_t i = 0; i < config.num_authors; ++i) {
+    authors.push_back(Instance("Person" + std::to_string(i)));
+    graph.AddIri(authors.back(), v::kRdfType, v::kFoafPerson);
+    graph.AddLiteral(authors.back(), v::kFoafName,
+                     "Author " + std::to_string(i));
+  }
+
+  auto optional = [&]() {
+    return rng.NextDouble() < config.optional_property_rate;
+  };
+
+  std::size_t article_counter = 0;
+  std::size_t inproc_counter = 0;
+  for (std::size_t y = 0; y < config.years; ++y) {
+    const std::string year = std::to_string(1940 + y);
+    // One journal volume per year: "Journal 1 (YYYY)".
+    const std::string journal = Instance("Journal1/" + year);
+    graph.AddIri(journal, v::kRdfType, v::kBenchJournal);
+    graph.AddLiteral(journal, v::kDcTitle, "Journal 1 (" + year + ")");
+    graph.AddLiteral(journal, v::kDctermsIssued, year);
+    // Every volume gets a revision two years later (the §3 example query
+    // selects Journal 1 (1940) revised in "1942").
+    graph.AddLiteral(journal, v::kDctermsRevised, std::to_string(1942 + y));
+
+    // Articles published in the journal.
+    for (std::size_t a = 0; a < config.articles_per_journal; ++a) {
+      const std::string article =
+          Instance("Article" + std::to_string(article_counter++));
+      graph.AddIri(article, v::kRdfType, v::kBenchArticle);
+      graph.AddLiteral(article, v::kDcTitle,
+                       "Article " + std::to_string(article_counter) + " (" +
+                           year + ")");
+      graph.AddIri(article, v::kSwrcJournal, journal);
+      graph.AddLiteral(article, v::kDctermsIssued, year);
+      graph.AddIri(article, v::kDcCreator, authors[author_sampler.Next()]);
+      graph.AddLiteral(article, v::kSwrcPages,
+                       std::to_string(1 + rng.NextBounded(400)));
+      graph.AddIri(article, v::kRdfsSeeAlso,
+                   "http://dblp.example.org/article/" +
+                       std::to_string(article_counter));
+      if (optional()) {
+        graph.AddLiteral(article, v::kSwrcMonth,
+                         std::to_string(1 + rng.NextBounded(12)));
+      }
+    }
+
+    // Proceedings with inproceedings (the SP2a star needs all 10 props).
+    for (std::size_t p = 0; p < config.proceedings_per_year; ++p) {
+      const std::string proc =
+          Instance("Proceeding" + std::to_string(y) + "/" +
+                   std::to_string(p));
+      graph.AddIri(proc, v::kRdfType, v::kBenchProceedings);
+      graph.AddLiteral(proc, v::kDctermsIssued, year);
+      for (std::size_t i = 0; i < config.inproceedings_per_proceeding; ++i) {
+        const std::string inproc =
+            Instance("Inproceeding" + std::to_string(inproc_counter++));
+        graph.AddIri(inproc, v::kRdfType, v::kBenchInproceedings);
+        graph.AddIri(inproc, v::kDcCreator, authors[author_sampler.Next()]);
+        graph.AddLiteral(inproc, v::kBenchBooktitle,
+                         "Conference " + std::to_string(p) + " (" + year +
+                             ")");
+        graph.AddLiteral(inproc, v::kDcTitle,
+                         "Inproceeding " + std::to_string(inproc_counter));
+        graph.AddIri(inproc, v::kDctermsPartOf, proc);
+        graph.AddIri(inproc, v::kRdfsSeeAlso,
+                     "http://dblp.example.org/inproc/" +
+                         std::to_string(inproc_counter));
+        graph.AddLiteral(inproc, v::kSwrcPages,
+                         std::to_string(1 + rng.NextBounded(400)));
+        graph.AddLiteral(inproc, v::kDctermsIssued, year);
+        if (optional()) {
+          graph.AddIri(inproc, v::kFoafHomepage,
+                       "http://www.example.org/inproc/" +
+                           std::to_string(inproc_counter));
+        }
+        if (optional()) {
+          graph.AddLiteral(inproc, v::kBenchAbstract,
+                           "Abstract of inproceeding " +
+                               std::to_string(inproc_counter));
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace hsparql::workload

@@ -1,0 +1,43 @@
+// SP2Bench-like synthetic data generator (DESIGN.md substitution #3).
+//
+// The paper scales SP2Bench [29] to 50M triples; SP2Bench models the DBLP
+// bibliography. This generator reproduces the entity mix the workload
+// touches: one "Journal 1 (YYYY)" per year with title/issued, Articles with
+// creator/journal/pages/seeAlso, Proceedings with Inproceedings carrying
+// the full 10-property star of query SP2a, and a Zipf-productive author
+// population typed foaf:Person. Deterministic for a given seed.
+#ifndef HSPARQL_WORKLOAD_SP2BENCH_GEN_H_
+#define HSPARQL_WORKLOAD_SP2BENCH_GEN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+
+namespace hsparql::workload {
+
+struct Sp2bConfig {
+  std::uint64_t seed = kDefaultSeed;
+  /// Years covered, starting at 1940 (one journal volume per year).
+  std::size_t years = 50;
+  std::size_t articles_per_journal = 40;
+  std::size_t proceedings_per_year = 2;
+  std::size_t inproceedings_per_proceeding = 25;
+  std::size_t num_authors = 2000;
+  /// Fraction of optional properties (homepage, month, abstract).
+  double optional_property_rate = 0.8;
+
+  /// Sizes the knobs so the generated graph has roughly `target` triples.
+  static Sp2bConfig FromTargetTriples(std::uint64_t target,
+                                      std::uint64_t seed = kDefaultSeed);
+};
+
+/// Generates the dataset. Triple count is approximately
+///   years * (3 + articles_per_journal * ~7.5
+///            + proceedings_per_year * (2 + inproceedings * ~9.5))
+///   + num_authors * 2.
+rdf::Graph GenerateSp2b(const Sp2bConfig& config);
+
+}  // namespace hsparql::workload
+
+#endif  // HSPARQL_WORKLOAD_SP2BENCH_GEN_H_

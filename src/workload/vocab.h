@@ -1,0 +1,94 @@
+// Shared vocabulary IRIs for the two synthetic datasets.
+#ifndef HSPARQL_WORKLOAD_VOCAB_H_
+#define HSPARQL_WORKLOAD_VOCAB_H_
+
+#include <string_view>
+
+namespace hsparql::workload::vocab {
+
+// Namespaces (prefix expansions used in the workload queries).
+inline constexpr std::string_view kRdf =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr std::string_view kRdfs =
+    "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr std::string_view kBench = "http://localhost/vocabulary/bench/";
+inline constexpr std::string_view kDc = "http://purl.org/dc/elements/1.1/";
+inline constexpr std::string_view kDcterms = "http://purl.org/dc/terms/";
+inline constexpr std::string_view kSwrc = "http://swrc.ontoware.org/ontology#";
+inline constexpr std::string_view kFoaf = "http://xmlns.com/foaf/0.1/";
+inline constexpr std::string_view kSp2b = "http://localhost/publications/";
+inline constexpr std::string_view kYago = "http://yago-knowledge.org/resource/";
+
+// SP2Bench-style properties and classes.
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsSeeAlso =
+    "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+inline constexpr std::string_view kDcTitle =
+    "http://purl.org/dc/elements/1.1/title";
+inline constexpr std::string_view kDcCreator =
+    "http://purl.org/dc/elements/1.1/creator";
+inline constexpr std::string_view kDctermsIssued =
+    "http://purl.org/dc/terms/issued";
+inline constexpr std::string_view kDctermsPartOf =
+    "http://purl.org/dc/terms/partOf";
+inline constexpr std::string_view kDctermsRevised =
+    "http://purl.org/dc/terms/revised";
+inline constexpr std::string_view kSwrcPages =
+    "http://swrc.ontoware.org/ontology#pages";
+inline constexpr std::string_view kSwrcMonth =
+    "http://swrc.ontoware.org/ontology#month";
+inline constexpr std::string_view kSwrcJournal =
+    "http://swrc.ontoware.org/ontology#journal";
+inline constexpr std::string_view kFoafName =
+    "http://xmlns.com/foaf/0.1/name";
+inline constexpr std::string_view kFoafHomepage =
+    "http://xmlns.com/foaf/0.1/homepage";
+inline constexpr std::string_view kFoafPerson =
+    "http://xmlns.com/foaf/0.1/Person";
+inline constexpr std::string_view kBenchJournal =
+    "http://localhost/vocabulary/bench/Journal";
+inline constexpr std::string_view kBenchArticle =
+    "http://localhost/vocabulary/bench/Article";
+inline constexpr std::string_view kBenchInproceedings =
+    "http://localhost/vocabulary/bench/Inproceedings";
+inline constexpr std::string_view kBenchProceedings =
+    "http://localhost/vocabulary/bench/Proceedings";
+inline constexpr std::string_view kBenchBooktitle =
+    "http://localhost/vocabulary/bench/booktitle";
+inline constexpr std::string_view kBenchAbstract =
+    "http://localhost/vocabulary/bench/abstract";
+
+// YAGO-style properties and wordnet classes.
+inline constexpr std::string_view kYagoActedIn =
+    "http://yago-knowledge.org/resource/actedIn";
+inline constexpr std::string_view kYagoDirected =
+    "http://yago-knowledge.org/resource/directed";
+inline constexpr std::string_view kYagoLivesIn =
+    "http://yago-knowledge.org/resource/livesIn";
+inline constexpr std::string_view kYagoLocatedIn =
+    "http://yago-knowledge.org/resource/locatedIn";
+inline constexpr std::string_view kYagoMarriedTo =
+    "http://yago-knowledge.org/resource/marriedTo";
+inline constexpr std::string_view kYagoBornIn =
+    "http://yago-knowledge.org/resource/bornIn";
+inline constexpr std::string_view kYagoWorksAt =
+    "http://yago-knowledge.org/resource/worksAt";
+inline constexpr std::string_view kWordnetActor =
+    "http://yago-knowledge.org/resource/wordnet_actor";
+inline constexpr std::string_view kWordnetMovie =
+    "http://yago-knowledge.org/resource/wordnet_movie";
+inline constexpr std::string_view kWordnetVillage =
+    "http://yago-knowledge.org/resource/wordnet_village";
+inline constexpr std::string_view kWordnetSite =
+    "http://yago-knowledge.org/resource/wordnet_site";
+inline constexpr std::string_view kWordnetCity =
+    "http://yago-knowledge.org/resource/wordnet_city";
+inline constexpr std::string_view kWordnetRegion =
+    "http://yago-knowledge.org/resource/wordnet_region";
+inline constexpr std::string_view kWordnetScientist =
+    "http://yago-knowledge.org/resource/wordnet_scientist";
+
+}  // namespace hsparql::workload::vocab
+
+#endif  // HSPARQL_WORKLOAD_VOCAB_H_

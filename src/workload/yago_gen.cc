@@ -1,0 +1,146 @@
+#include "workload/yago_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "workload/vocab.h"
+
+namespace hsparql::workload {
+
+namespace v = vocab;
+
+YagoConfig YagoConfig::FromTargetTriples(std::uint64_t target,
+                                         std::uint64_t seed) {
+  YagoConfig config;
+  config.seed = seed;
+  // Rough per-actor triple cost: type + livesIn + avg_roles +
+  // married_rate*2 + director_rate + one movie-type triple per 2 actors +
+  // scientists at 1/4 of actors costing 3 each. Solve for actors.
+  double per_actor = 1 + 1 + static_cast<double>(config.avg_roles) +
+                     config.married_rate * 2 + config.director_rate + 0.5 +
+                     0.25 * 3;
+  config.num_actors = std::max<std::size_t>(
+      200, static_cast<std::size_t>(static_cast<double>(target) / per_actor));
+  config.num_movies = config.num_actors / 2;
+  config.num_scientists = config.num_actors / 4;
+  config.num_villages = std::max<std::size_t>(50, config.num_actors / 10);
+  config.num_sites = std::max<std::size_t>(25, config.num_actors / 20);
+  config.num_regions = std::max<std::size_t>(10, config.num_actors / 100);
+  config.num_cities = std::max<std::size_t>(5, config.num_actors / 200);
+  return config;
+}
+
+namespace {
+
+std::string Entity(std::string_view kind, std::size_t i) {
+  return std::string(v::kYago) + std::string(kind) + std::to_string(i);
+}
+
+}  // namespace
+
+rdf::Graph GenerateYago(const YagoConfig& config) {
+  rdf::Graph graph;
+  SplitMix64 rng(config.seed);
+
+  // Geography, top of the locatedIn chain first: continents <- countries
+  // <- cities <- regions <- villages/sites. Query Y1 walks two locatedIn
+  // hops up from an actor's home city, query Y4 three generic hops down
+  // from a scientist to a wordnet_city.
+  std::vector<std::string> continents;
+  for (std::size_t i = 0; i < 6; ++i) {
+    continents.push_back(Entity("Continent", i));
+    graph.AddIri(continents.back(), v::kRdfType, v::kWordnetRegion);
+  }
+  std::vector<std::string> countries;
+  std::size_t num_countries = std::max<std::size_t>(5, config.num_cities / 4);
+  for (std::size_t i = 0; i < num_countries; ++i) {
+    countries.push_back(Entity("Country", i));
+    graph.AddIri(countries.back(), v::kRdfType, v::kWordnetRegion);
+    graph.AddIri(countries.back(), v::kYagoLocatedIn,
+                 continents[i % continents.size()]);
+  }
+  std::vector<std::string> cities;
+  for (std::size_t i = 0; i < config.num_cities; ++i) {
+    cities.push_back(Entity("City", i));
+    graph.AddIri(cities.back(), v::kRdfType, v::kWordnetCity);
+    graph.AddIri(cities.back(), v::kYagoLocatedIn,
+                 countries[i % countries.size()]);
+  }
+  ZipfSampler city_pick(config.num_cities, 1.0, config.seed ^ 0xc17);
+  std::vector<std::string> regions;
+  for (std::size_t i = 0; i < config.num_regions; ++i) {
+    regions.push_back(Entity("Region", i));
+    graph.AddIri(regions.back(), v::kRdfType, v::kWordnetRegion);
+    graph.AddIri(regions.back(), v::kYagoLocatedIn,
+                 cities[city_pick.Next()]);
+  }
+  ZipfSampler region_pick(config.num_regions, 1.0, config.seed ^ 0x4e6);
+  std::vector<std::string> villages;
+  for (std::size_t i = 0; i < config.num_villages; ++i) {
+    villages.push_back(Entity("Village", i));
+    graph.AddIri(villages.back(), v::kRdfType, v::kWordnetVillage);
+    graph.AddIri(villages.back(), v::kYagoLocatedIn,
+                 regions[region_pick.Next()]);
+  }
+  std::vector<std::string> sites;
+  for (std::size_t i = 0; i < config.num_sites; ++i) {
+    sites.push_back(Entity("Site", i));
+    graph.AddIri(sites.back(), v::kRdfType, v::kWordnetSite);
+    graph.AddIri(sites.back(), v::kYagoLocatedIn,
+                 regions[region_pick.Next()]);
+  }
+
+  // Movies.
+  std::vector<std::string> movies;
+  movies.reserve(config.num_movies);
+  for (std::size_t i = 0; i < config.num_movies; ++i) {
+    movies.push_back(Entity("Movie", i));
+    graph.AddIri(movies.back(), v::kRdfType, v::kWordnetMovie);
+  }
+  ZipfSampler movie_pick(config.num_movies, 0.8, config.seed ^ 0x30f1e);
+
+  // Actors: live somewhere, act, sometimes direct, sometimes marry.
+  std::vector<std::string> actors;
+  actors.reserve(config.num_actors);
+  for (std::size_t i = 0; i < config.num_actors; ++i) {
+    actors.push_back(Entity("Actor", i));
+  }
+  ZipfSampler village_pick(config.num_villages, 1.0, config.seed ^ 0x1337);
+  for (std::size_t i = 0; i < config.num_actors; ++i) {
+    const std::string& actor = actors[i];
+    graph.AddIri(actor, v::kRdfType, v::kWordnetActor);
+    graph.AddIri(actor, v::kYagoLivesIn, cities[city_pick.Next()]);
+    std::size_t roles = 1 + rng.NextBounded(2 * config.avg_roles - 1);
+    std::string first_role;
+    for (std::size_t r = 0; r < roles; ++r) {
+      const std::string& movie = movies[movie_pick.Next()];
+      if (r == 0) first_role = movie;
+      graph.AddIri(actor, v::kYagoActedIn, movie);
+    }
+    if (rng.NextDouble() < config.director_rate) {
+      // Correlation for Y1/Y2: often directs a movie they acted in.
+      const std::string& directed =
+          rng.NextDouble() < config.self_direct_rate
+              ? first_role
+              : movies[movie_pick.Next()];
+      graph.AddIri(actor, v::kYagoDirected, directed);
+    }
+    if (rng.NextDouble() < config.married_rate) {
+      graph.AddIri(actor, v::kYagoMarriedTo,
+                   actors[rng.NextBounded(config.num_actors)]);
+    }
+  }
+
+  // Scientists: born in villages, work at sites (Y3's star, Y4's chain).
+  for (std::size_t i = 0; i < config.num_scientists; ++i) {
+    const std::string sci = Entity("Scientist", i);
+    graph.AddIri(sci, v::kRdfType, v::kWordnetScientist);
+    graph.AddIri(sci, v::kYagoBornIn, villages[village_pick.Next()]);
+    graph.AddIri(sci, v::kYagoWorksAt,
+                 sites[rng.NextBounded(config.num_sites)]);
+  }
+  return graph;
+}
+
+}  // namespace hsparql::workload

@@ -1,0 +1,45 @@
+// YAGO-like synthetic data generator (DESIGN.md substitution #4).
+//
+// The paper evaluates on a cleaned 16M-triple YAGO dump. This generator
+// reproduces the slice the Y1–Y4 queries exercise: actors who live in
+// cities, act in and (sometimes) direct movies — with a deliberate
+// correlation so some actors direct a movie they also acted in (query Y1
+// joins ?p actedIn ?m with ?p directed ?m) — marriages between actors,
+// villages/sites/regions with locatedIn chains ending in wordnet_city
+// entities (query Y4's path), and scientists born in villages and working
+// at sites (queries Y3/Y4). Location references are Zipf-skewed to model
+// YAGO's hub nodes (§4, HEURISTIC 2 discussion).
+#ifndef HSPARQL_WORKLOAD_YAGO_GEN_H_
+#define HSPARQL_WORKLOAD_YAGO_GEN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+
+namespace hsparql::workload {
+
+struct YagoConfig {
+  std::uint64_t seed = kDefaultSeed;
+  std::size_t num_actors = 20000;
+  std::size_t num_movies = 10000;
+  std::size_t num_scientists = 5000;
+  std::size_t num_villages = 2000;
+  std::size_t num_sites = 1000;
+  std::size_t num_regions = 200;
+  std::size_t num_cities = 100;
+  double married_rate = 0.4;   // actors married to another actor
+  double director_rate = 0.25; // actors who also direct
+  /// Probability that a directing actor directs a movie they acted in.
+  double self_direct_rate = 0.6;
+  std::size_t avg_roles = 3;   // actedIn edges per actor
+
+  static YagoConfig FromTargetTriples(std::uint64_t target,
+                                      std::uint64_t seed = kDefaultSeed);
+};
+
+rdf::Graph GenerateYago(const YagoConfig& config);
+
+}  // namespace hsparql::workload
+
+#endif  // HSPARQL_WORKLOAD_YAGO_GEN_H_

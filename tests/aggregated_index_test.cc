@@ -1,0 +1,141 @@
+// Tests for the RDF-3X-style aggregated indexes: counts must agree with
+// full-relation lookups for every pair kind and value position, and the
+// §2 size claim (aggregated << full indexes) must hold.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+#include "storage/aggregated_index.h"
+
+namespace hsparql::storage {
+namespace {
+
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+
+rdf::Graph RandomGraph(std::size_t n, std::uint64_t seed) {
+  rdf::Graph g;
+  for (int i = 0; i < 50; ++i) {
+    g.dictionary().InternIri("http://e/" + std::to_string(i));
+  }
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.Add(Triple{static_cast<TermId>(rng.NextBounded(30)),
+                 static_cast<TermId>(rng.NextBounded(5)),
+                 static_cast<TermId>(rng.NextBounded(40))});
+  }
+  return g;
+}
+
+TEST(AggregatedIndexTest, PairPositionsCoverAllSixKinds) {
+  std::vector<std::pair<Position, Position>> seen;
+  for (PairKind kind : kAllPairKinds) {
+    auto pp = PairPositions(kind);
+    EXPECT_NE(pp.first, pp.second);
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), pp), 0)
+        << PairKindName(kind);
+    seen.push_back(pp);
+  }
+}
+
+TEST(AggregatedIndexTest, HandGraphCounts) {
+  rdf::Graph g;
+  g.AddIri("a", "p", "x");
+  g.AddIri("a", "p", "y");
+  g.AddIri("a", "q", "x");
+  g.AddIri("b", "p", "x");
+  TermId a = *g.dictionary().Find(rdf::Term::Iri("a"));
+  TermId p = *g.dictionary().Find(rdf::Term::Iri("p"));
+  TermId x = *g.dictionary().Find(rdf::Term::Iri("x"));
+  TripleStore store = TripleStore::Build(std::move(g));
+  AggregatedIndexes idx = AggregatedIndexes::Build(store);
+
+  EXPECT_EQ(idx.PairCount(PairKind::kSp, a, p), 2u);
+  EXPECT_EQ(idx.PairCount(PairKind::kPs, p, a), 2u);
+  EXPECT_EQ(idx.PairCount(PairKind::kPo, p, x), 2u);  // a and b
+  EXPECT_EQ(idx.PairCount(PairKind::kSo, a, x), 2u);  // via p and q
+  EXPECT_EQ(idx.PairCount(PairKind::kSp, a, 9999), 0u);
+  EXPECT_EQ(idx.ValueCount(Position::kSubject, a), 3u);
+  EXPECT_EQ(idx.ValueCount(Position::kPredicate, p), 3u);
+  EXPECT_EQ(idx.ValueCount(Position::kObject, x), 3u);
+  EXPECT_EQ(idx.ValueCount(Position::kObject, 9999), 0u);
+}
+
+class AggregatedSweep : public ::testing::TestWithParam<PairKind> {};
+
+TEST_P(AggregatedSweep, PairCountsMatchTripleStore) {
+  PairKind kind = GetParam();
+  TripleStore store = TripleStore::Build(RandomGraph(2000, 23));
+  AggregatedIndexes idx = AggregatedIndexes::Build(store);
+  auto [major, minor] = PairPositions(kind);
+
+  SplitMix64 rng(static_cast<std::uint64_t>(kind) + 5);
+  auto all = store.Scan(Ordering::kSpo);
+  std::uint64_t total = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Triple& probe = all[rng.NextBounded(all.size())];
+    std::array<Binding, 2> bindings = {
+        Binding{major, probe.at(major)}, Binding{minor, probe.at(minor)}};
+    EXPECT_EQ(idx.PairCount(kind, probe.at(major), probe.at(minor)),
+              store.CountMatching(bindings))
+        << PairKindName(kind);
+    total += idx.PairCount(kind, probe.at(major), probe.at(minor));
+  }
+  EXPECT_GT(total, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairKinds, AggregatedSweep,
+                         ::testing::ValuesIn(kAllPairKinds),
+                         [](const auto& param_info) {
+                           return std::string(PairKindName(param_info.param));
+                         });
+
+TEST(AggregatedIndexTest, ValueCountsMatchTripleStore) {
+  TripleStore store = TripleStore::Build(RandomGraph(1500, 29));
+  AggregatedIndexes idx = AggregatedIndexes::Build(store);
+  SplitMix64 rng(3);
+  auto all = store.Scan(Ordering::kSpo);
+  for (Position pos : rdf::kAllPositions) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const Triple& probe = all[rng.NextBounded(all.size())];
+      Binding b{pos, probe.at(pos)};
+      EXPECT_EQ(idx.ValueCount(pos, probe.at(pos)),
+                store.CountMatching({&b, 1}));
+    }
+  }
+}
+
+TEST(AggregatedIndexTest, PairsWithMajorEnumeratesRange) {
+  TripleStore store = TripleStore::Build(RandomGraph(1000, 31));
+  AggregatedIndexes idx = AggregatedIndexes::Build(store);
+  auto all = store.Scan(Ordering::kSpo);
+  TermId p = all[0].p;
+  auto range = idx.PairsWithMajor(PairKind::kPs, p);
+  ASSERT_FALSE(range.empty());
+  std::uint64_t sum = 0;
+  for (const auto& entry : range) {
+    EXPECT_EQ(entry.major, p);
+    sum += entry.count;
+  }
+  Binding b{Position::kPredicate, p};
+  EXPECT_EQ(sum, store.CountMatching({&b, 1}));
+  // Unknown major: empty range, no UB.
+  EXPECT_TRUE(idx.PairsWithMajor(PairKind::kPs, 9999).empty());
+}
+
+TEST(AggregatedIndexTest, SmallerThanFullIndexes) {
+  // §2: "Aggregated indexes ... are much smaller than the full-triple
+  // indexes" — with repeated pairs, entries < triples and the nine
+  // aggregated indexes take less memory than the six full relations.
+  TripleStore store = TripleStore::Build(RandomGraph(5000, 37));
+  AggregatedIndexes idx = AggregatedIndexes::Build(store);
+  std::size_t full_bytes = store.size() * sizeof(Triple) * 6;
+  EXPECT_LT(idx.MemoryBytes(), full_bytes);
+  for (PairKind kind : kAllPairKinds) {
+    EXPECT_LE(idx.PairEntries(kind), store.size());
+  }
+}
+
+}  // namespace
+}  // namespace hsparql::storage

@@ -1,0 +1,222 @@
+// Tests for the cost-based baselines: cost model (paper formulas),
+// cardinality estimation, CDP dynamic programming, left-deep planner —
+// including the Table 4 CDP-side sweep over the workload.
+#include <gtest/gtest.h>
+
+#include "cdp/cardinality.h"
+#include "cdp/cdp_planner.h"
+#include "cdp/cost_model.h"
+#include "cdp/leftdeep_planner.h"
+#include "exec/executor.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql::cdp {
+namespace {
+
+using hsp::JoinAlgo;
+using hsp::LogicalPlan;
+using hsp::PlanShape;
+using sparql::Query;
+using storage::Statistics;
+using storage::TripleStore;
+using workload::WorkloadQuery;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+TEST(CostModelTest, PaperFormulas) {
+  EXPECT_DOUBLE_EQ(MergeJoinCost(100000, 100000), 2.0);
+  EXPECT_DOUBLE_EQ(MergeJoinCost(0, 0), 0.0);
+  // Hash join: 300,000 + lc/100 + rc/10 with lc the smaller input.
+  EXPECT_DOUBLE_EQ(HashJoinCost(1000, 50000), 300000.0 + 10.0 + 5000.0);
+  // Argument order must not matter (lc := min).
+  EXPECT_DOUBLE_EQ(HashJoinCost(50000, 1000), HashJoinCost(1000, 50000));
+}
+
+TEST(CostModelTest, PlanCostSplitsMergeAndHash) {
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p> ?b . ?a <q> ?c . ?b <r> ?d }");
+  auto s0 = hsp::PlanNode::Scan(0, storage::Ordering::kPso, 0);
+  auto s1 = hsp::PlanNode::Scan(1, storage::Ordering::kPso, 0);
+  auto s2 = hsp::PlanNode::Scan(2, storage::Ordering::kPso, 1);
+  auto mj = hsp::PlanNode::Join(JoinAlgo::kMerge, 0, std::move(s0),
+                                std::move(s1));
+  auto hj = hsp::PlanNode::Join(JoinAlgo::kHash, 1, std::move(mj),
+                                std::move(s2));
+  LogicalPlan plan(std::move(hj));
+  // ids (pre-order): 0=hj, 1=mj, 2=s0, 3=s1, 4=s2.
+  std::vector<std::uint64_t> cards = {0, 500, 1000, 2000, 3000};
+  PlanCost cost = ComputePlanCost(plan, cards);
+  EXPECT_DOUBLE_EQ(cost.merge, (1000.0 + 2000.0) / 100000.0);
+  EXPECT_DOUBLE_EQ(cost.hash, 300000.0 + 500.0 / 100.0 + 3000.0 / 10.0);
+  EXPECT_NE(cost.ToString().find("+"), std::string::npos);
+}
+
+TEST(CostModelTest, ToStringFormatsLikeTable3) {
+  PlanCost selections_only{487.0, 0.0};
+  EXPECT_EQ(selections_only.ToString(), "487");
+  PlanCost with_hash{329.0, 302577.0};
+  EXPECT_EQ(with_hash.ToString(), "329+302,577");
+}
+
+struct StatsEnv {
+  TripleStore store;
+  Statistics stats;
+  explicit StatsEnv(rdf::Graph&& g)
+      : store(TripleStore::Build(std::move(g))),
+        stats(Statistics::Compute(store)) {}
+};
+
+TEST(CardinalityTest, LeafCountsAreExact) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <swrc:journal> <ex:j1940> . "
+      "?a <dc:creator> ?p }");
+  CardinalityEstimator est(&env.store, &env.stats);
+  EXPECT_DOUBLE_EQ(est.EstimatePattern(q, 0).rows, 2.0);
+  EXPECT_DOUBLE_EQ(est.EstimatePattern(q, 1).rows, 3.0);
+}
+
+TEST(CardinalityTest, UnknownConstantIsZero) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  Query q = ParseOrDie("SELECT ?a WHERE { ?a <nope:p> ?b }");
+  CardinalityEstimator est(&env.store, &env.stats);
+  EXPECT_DOUBLE_EQ(est.EstimatePattern(q, 0).rows, 0.0);
+}
+
+TEST(CardinalityTest, JoinIndependenceFormula) {
+  Estimate l{100.0, {{0, 10.0}}};
+  Estimate r{50.0, {{0, 25.0}}};
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  CardinalityEstimator est(&env.store, &env.stats);
+  sparql::VarId shared = 0;
+  Estimate out = est.EstimateJoin(l, r, {&shared, 1});
+  EXPECT_DOUBLE_EQ(out.rows, 100.0 * 50.0 / 25.0);
+  // Distinct of the join variable capped by both sides.
+  EXPECT_DOUBLE_EQ(out.DistinctOf(0), 10.0);
+}
+
+TEST(CardinalityTest, PlanCardinalitiesCoverAllNodes) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <swrc:journal> <ex:j1940> . "
+      "?a <dc:creator> ?p }");
+  CdpPlanner planner(&env.store, &env.stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  CardinalityEstimator est(&env.store, &env.stats);
+  auto cards = est.EstimatePlanCardinalities(planned->query, planned->plan);
+  EXPECT_EQ(cards.size(),
+            static_cast<std::size_t>(planned->plan.num_nodes()));
+}
+
+TEST(CdpPlannerTest, PrefersMergeJoinWhenOrdersAlign) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <swrc:journal> <ex:j1940> . "
+      "?a <dc:creator> ?p }");
+  CdpPlanner planner(&env.store, &env.stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), 1);
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), 0);
+}
+
+TEST(CdpPlannerTest, KeepsFiltersUnrewritten) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  const WorkloadQuery* sp3 = workload::FindQuery("SP3a");
+  Query q = ParseOrDie(sp3->sparql);
+  CdpPlanner planner(&env.store, &env.stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  // CDP does not rewrite (paper §6.2.1): the filter survives as a plan op.
+  EXPECT_EQ(planned->query.filters.size(), 1u);
+  bool has_filter_node = false;
+  for (const hsp::PlanNode* n = planned->plan.root(); n != nullptr;
+       n = n->children.empty() ? nullptr : n->children[0].get()) {
+    if (n->kind == hsp::PlanNode::Kind::kFilter) has_filter_node = true;
+  }
+  EXPECT_TRUE(has_filter_node);
+}
+
+TEST(CdpPlannerTest, HandlesDisconnectedQueries) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  Query q = ParseOrDie(
+      "SELECT ?a ?c WHERE { ?a <dc:creator> ?b . ?c <foaf:name> ?d }");
+  CdpPlanner planner(&env.store, &env.stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), 1);
+}
+
+TEST(CdpPlannerTest, RejectsOversizedQueries) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  CdpOptions options;
+  options.max_patterns = 2;
+  CdpPlanner planner(&env.store, &env.stats, options);
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?d }");
+  EXPECT_TRUE(planner.Plan(q).status().IsUnsupported());
+}
+
+TEST(LeftDeepPlannerTest, ProducesOnlyLeftDeepPlans) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  for (const WorkloadQuery& wq : workload::AllQueries()) {
+    Query q = ParseOrDie(wq.sparql);
+    LeftDeepPlanner planner(&env.store, &env.stats);
+    auto planned = planner.Plan(q);
+    ASSERT_TRUE(planned.ok()) << wq.id << ": " << planned.status();
+    EXPECT_EQ(planned->plan.shape(), PlanShape::kLeftDeep) << wq.id;
+  }
+}
+
+TEST(LeftDeepPlannerTest, FoldsEqualityFilters) {
+  StatsEnv env(hsparql::testing::SmallBibGraph());
+  const WorkloadQuery* sp3 = workload::FindQuery("SP3a");
+  Query q = ParseOrDie(sp3->sparql);
+  LeftDeepPlanner planner(&env.store, &env.stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_TRUE(planned->query.filters.empty());  // SQL predicate pushdown
+}
+
+// ---- Table 4, CDP rows, on representatively-sized generated data. ----
+//
+// CDP's plan shape depends on the statistics; the small default generator
+// configurations below preserve the relative cardinalities the paper's
+// datasets exhibit.
+class CdpTable4Sweep : public ::testing::TestWithParam<WorkloadQuery> {};
+
+TEST_P(CdpTable4Sweep, JoinCountsMatchPaper) {
+  const WorkloadQuery& wq = GetParam();
+  static StatsEnv* sp2b = new StatsEnv(workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(60000)));
+  static StatsEnv* yago = new StatsEnv(workload::GenerateYago(
+      workload::YagoConfig::FromTargetTriples(60000)));
+  StatsEnv* env = wq.dataset == workload::Dataset::kSp2Bench ? sp2b : yago;
+
+  Query q = ParseOrDie(wq.sparql);
+  CdpPlanner planner(&env->store, &env->stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << wq.id << ": " << planned.status();
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), wq.table4.cdp_merge)
+      << wq.id << "\n"
+      << planned->plan.ToString(planned->query);
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), wq.table4.cdp_hash)
+      << wq.id << "\n"
+      << planned->plan.ToString(planned->query);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, CdpTable4Sweep, ::testing::ValuesIn(workload::AllQueries()),
+    [](const auto& param_info) { return param_info.param.id; });
+
+}  // namespace
+}  // namespace hsparql::cdp

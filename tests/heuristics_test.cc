@@ -1,0 +1,193 @@
+// Tests for the five heuristics of §4.
+#include <gtest/gtest.h>
+
+#include "hsp/heuristics.h"
+#include "sparql/parser.h"
+
+namespace hsparql::hsp {
+namespace {
+
+using rdf::Position;
+using sparql::JoinClass;
+using sparql::Query;
+using sparql::TriplePattern;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+// One pattern per H1 class, in the paper's precedence order.
+Query H1Ladder() {
+  return ParseOrDie(
+      "SELECT ?u WHERE {\n"
+      "  <http://s> <http://p> <http://o> .\n"  // (s,p,o)
+      "  <http://s> ?u <http://o> .\n"          // (s,?,o)
+      "  ?u <http://p> <http://o> .\n"          // (?,p,o)
+      "  <http://s> <http://p> ?u .\n"          // (s,p,?)
+      "  ?u ?v <http://o> .\n"                  // (?,?,o)
+      "  <http://s> ?u ?v .\n"                  // (s,?,?)
+      "  ?u <http://p> ?v .\n"                  // (?,p,?)
+      "  ?u ?v ?w .\n"                          // (?,?,?)
+      "}");
+}
+
+TEST(H1Test, PrecedenceLadder) {
+  Query q = H1Ladder();
+  for (std::size_t i = 0; i < q.patterns.size(); ++i) {
+    EXPECT_EQ(H1Rank(q.patterns[i]), static_cast<int>(i)) << "pattern " << i;
+  }
+}
+
+TEST(H1Test, RdfTypeExceptionDemotesBoundPredicate) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE {\n"
+      "  ?x a <http://Class> .\n"          // (?,type,o)
+      "  ?x <http://p> <http://o> .\n"     // (?,p,o)
+      "  ?x a ?c .\n"                      // (?,type,?)
+      "}");
+  // With the exception, (?,type,o) ranks as (?,?,o) = 4, worse than
+  // (?,p,o) = 2; without it both rank 2.
+  EXPECT_EQ(H1Rank(q.patterns[0], /*type_exception=*/true), 4);
+  EXPECT_EQ(H1Rank(q.patterns[0], /*type_exception=*/false), 2);
+  EXPECT_EQ(H1Rank(q.patterns[1]), 2);
+  EXPECT_EQ(H1Rank(q.patterns[2], /*type_exception=*/true), 7);
+  EXPECT_TRUE(HasRdfTypePredicate(q.patterns[0]));
+  EXPECT_FALSE(HasRdfTypePredicate(q.patterns[1]));
+}
+
+TEST(H2Test, PrecedenceOrder) {
+  using P = Position;
+  EXPECT_EQ(H2Rank(JoinClass::Make(P::kPredicate, P::kObject)), 0);
+  EXPECT_EQ(H2Rank(JoinClass::Make(P::kSubject, P::kPredicate)), 1);
+  EXPECT_EQ(H2Rank(JoinClass::Make(P::kSubject, P::kObject)), 2);
+  EXPECT_EQ(H2Rank(JoinClass::Make(P::kObject, P::kObject)), 3);
+  EXPECT_EQ(H2Rank(JoinClass::Make(P::kSubject, P::kSubject)), 4);
+  EXPECT_EQ(H2Rank(JoinClass::Make(P::kPredicate, P::kPredicate)), 5);
+}
+
+TEST(H3H4Test, BoundCountsAndLiteralObjects) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE {\n"
+      "  ?x <http://p> \"literal\" .\n"
+      "  ?x <http://p> <http://iri> .\n"
+      "  ?x <http://p> ?y .\n"
+      "}");
+  EXPECT_EQ(H3BoundCount(q.patterns[0]), 2);
+  EXPECT_EQ(H3BoundCount(q.patterns[2]), 1);
+  EXPECT_TRUE(H4HasLiteralObject(q.patterns[0]));
+  EXPECT_FALSE(H4HasLiteralObject(q.patterns[1]));
+  EXPECT_FALSE(H4HasLiteralObject(q.patterns[2]));
+}
+
+TEST(ScanOrderTest, RanksByH1ThenH3ThenH4) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE {\n"
+      "  ?x <http://p> ?y .\n"           // 0: rank 6
+      "  ?x <http://p> \"v\" .\n"        // 1: rank 2, literal object
+      "  ?x <http://p> <http://o> .\n"   // 2: rank 2, IRI object
+      "  ?x a <http://C> .\n"            // 3: rank 4 (type exception)
+      "}");
+  std::vector<std::size_t> order = {0, 1, 2, 3};
+  std::sort(order.begin(), order.end(), ScanOrderLess{&q, true});
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 3, 0}));
+}
+
+TEST(JoinClassesOfVarTest, StarAndChainClasses) {
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE {\n"
+      "  ?a <http://p1> ?m .\n"
+      "  ?a <http://p2> ?m .\n"
+      "  ?m <http://p3> ?z .\n"
+      "}");
+  sparql::VarId m = *q.FindVar("m");
+  std::vector<std::size_t> all = {0, 1, 2};
+  auto classes = JoinClassesOfVar(q, m, all);
+  // ?m: o in tp0, o in tp1, s in tp2 -> one o=o chain edge + one s=o link.
+  ASSERT_EQ(classes.size(), 2u);
+  using P = Position;
+  EXPECT_EQ(classes[0], JoinClass::Make(P::kObject, P::kObject));
+  EXPECT_EQ(classes[1], JoinClass::Make(P::kSubject, P::kObject));
+}
+
+TEST(TieBreakTest, H3PrefersBulkyCoverageByDefault) {
+  // Y2's tie: {a} covers 5 constants, {m1,m2} covers 6. The default
+  // (merge_prefers_bulky) keeps {a} — reproducing the paper's left-deep
+  // merge chain on ?a.
+  Query q = ParseOrDie(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX y: <http://yago-knowledge.org/resource/>\n"
+      "SELECT ?a WHERE {\n"
+      "  ?a rdf:type y:wordnet_actor .\n"
+      "  ?a y:livesIn ?city .\n"
+      "  ?a y:actedIn ?m1 .\n"
+      "  ?m1 rdf:type y:wordnet_movie .\n"
+      "  ?a y:directed ?m2 .\n"
+      "  ?m2 rdf:type y:wordnet_movie .\n}");
+  sparql::VarId a = *q.FindVar("a");
+  sparql::VarId m1 = *q.FindVar("m1");
+  sparql::VarId m2 = *q.FindVar("m2");
+  std::vector<CandidateSet> sets;
+  sets.push_back(CandidateSet{{a}, {0, 1, 2, 4}});
+  sets.push_back(CandidateSet{{m1, m2}, {2, 3, 4, 5}});
+
+  TieBreakConfig bulky;  // default
+  auto kept = ApplyH3(q, sets, bulky);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].vars, std::vector<sparql::VarId>{a});
+
+  TieBreakConfig selective;
+  selective.merge_prefers_bulky = false;
+  kept = ApplyH3(q, sets, selective);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].vars, (std::vector<sparql::VarId>{m1, m2}));
+}
+
+TEST(TieBreakTest, H4CountsLiteralObjects) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE {\n"
+      "  ?x <http://p> \"lit\" .\n"
+      "  ?x <http://q> ?a .\n"
+      "  ?y <http://p> <http://iri> .\n"
+      "  ?y <http://q> ?b .\n}");
+  sparql::VarId x = *q.FindVar("x");
+  sparql::VarId y = *q.FindVar("y");
+  std::vector<CandidateSet> sets;
+  sets.push_back(CandidateSet{{x}, {0, 1}});  // one literal object
+  sets.push_back(CandidateSet{{y}, {2, 3}});  // none
+  TieBreakConfig bulky;
+  auto kept = ApplyH4(q, sets, bulky);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].vars, std::vector<sparql::VarId>{y});
+}
+
+TEST(TieBreakTest, H5PrefersNonProjectedCoverage) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE {\n"
+      "  ?x <http://p> ?a .\n"
+      "  ?x <http://q> ?b .\n"
+      "  ?z <http://p> ?c .\n"
+      "  ?z <http://q> ?d .\n}");
+  sparql::VarId x = *q.FindVar("x");
+  sparql::VarId z = *q.FindVar("z");
+  std::vector<CandidateSet> sets;
+  sets.push_back(CandidateSet{{x}, {0, 1}});  // covers projected ?x twice
+  sets.push_back(CandidateSet{{z}, {2, 3}});  // no projection variables
+  auto kept = ApplyH5(q, sets, TieBreakConfig{});
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].vars, std::vector<sparql::VarId>{z});
+}
+
+TEST(TieBreakTest, FiltersPreserveSingletons) {
+  Query q = ParseOrDie("SELECT ?x WHERE { ?x <http://p> ?y }");
+  std::vector<CandidateSet> one;
+  one.push_back(CandidateSet{{0}, {0}});
+  EXPECT_EQ(ApplyH3(q, one, {}).size(), 1u);
+  EXPECT_EQ(ApplyH4(q, one, {}).size(), 1u);
+  EXPECT_EQ(ApplyH2(q, one, {}).size(), 1u);
+  EXPECT_EQ(ApplyH5(q, one, {}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsparql::hsp

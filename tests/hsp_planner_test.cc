@@ -1,0 +1,268 @@
+// Tests for the HSP planner: Algorithm 2 access-path assignment (checked
+// against the paper's Figures 2/3), Algorithm 1 plan characteristics
+// (checked against Table 4's HSP rows for the whole workload), and
+// structural invariants of the produced plans.
+#include <gtest/gtest.h>
+
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "storage/ordering.h"
+#include "workload/queries.h"
+
+namespace hsparql::hsp {
+namespace {
+
+using sparql::Query;
+using sparql::VarId;
+using storage::Ordering;
+using workload::WorkloadQuery;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+// ---- Algorithm 2 (AssignOrderedRelation) against the paper's figures. ----
+
+TEST(AssignOrderedRelationTest, Figure2AccessPaths) {
+  // YAGO query Y3 (paper Table 5 / Figure 2).
+  const WorkloadQuery* y3 = workload::FindQuery("Y3");
+  ASSERT_NE(y3, nullptr);
+  Query q = ParseOrDie(y3->sparql);
+  VarId c1 = *q.FindVar("c1");
+  VarId c2 = *q.FindVar("c2");
+
+  // tp2 = (?c1 rdf:type wordnet_village), join var ?c1 at subject:
+  // constants o,p first (object most selective), then ?c1 -> OPS.
+  auto tp2 = AssignOrderedRelation(q.patterns[2], c1);
+  EXPECT_EQ(tp2.ordering, Ordering::kOps);
+  EXPECT_EQ(tp2.sort_var, c1);
+
+  // tp3 = (?c1 locatedIn ?X), join var at subject, constant p -> PSO.
+  auto tp3 = AssignOrderedRelation(q.patterns[3], c1);
+  EXPECT_EQ(tp3.ordering, Ordering::kPso);
+
+  // tp0 = (?p ?ss ?c1), all variables, join var ?c1 at object -> OSP.
+  auto tp0 = AssignOrderedRelation(q.patterns[0], c1);
+  EXPECT_EQ(tp0.ordering, Ordering::kOsp);
+  EXPECT_EQ(tp0.sort_var, c1);
+
+  // Same pattern joined on ?c2 instead.
+  auto tp4 = AssignOrderedRelation(q.patterns[4], c2);
+  EXPECT_EQ(tp4.ordering, Ordering::kOps);
+}
+
+TEST(AssignOrderedRelationTest, Figure3AccessPaths) {
+  // YAGO query Y2 (paper Table 9 / Figure 3a, HSP side).
+  const WorkloadQuery* y2 = workload::FindQuery("Y2");
+  ASSERT_NE(y2, nullptr);
+  Query q = ParseOrDie(y2->sparql);
+  VarId a = *q.FindVar("a");
+  // tp1 = (?a livesIn ?city), v=?a at subject -> PSO.
+  EXPECT_EQ(AssignOrderedRelation(q.patterns[1], a).ordering, Ordering::kPso);
+  // tp0 = (?a rdf:type wordnet_actor) -> OPS.
+  EXPECT_EQ(AssignOrderedRelation(q.patterns[0], a).ordering, Ordering::kOps);
+  // tp2 = (?a actedIn ?m1) -> PSO.
+  EXPECT_EQ(AssignOrderedRelation(q.patterns[2], a).ordering, Ordering::kPso);
+}
+
+TEST(AssignOrderedRelationTest, NilJoinVariable) {
+  Query q = ParseOrDie(
+      "SELECT ?u WHERE {\n"
+      "  <http://s> <http://p> ?u .\n"   // 2 constants
+      "  <http://s> ?u ?v .\n"           // 1 constant
+      "  ?u ?v ?w .\n"                   // 0 constants
+      "}");
+  // 2 constants at s,p; object scanned last -> OSP? No: constants first by
+  // o,s,p priority = s then p, then the variable o -> SPO.
+  auto c2 = AssignOrderedRelation(q.patterns[0], sparql::kInvalidVarId);
+  EXPECT_EQ(c2.ordering, Ordering::kSpo);
+  EXPECT_EQ(c2.sort_var, *q.FindVar("u"));
+  // 1 constant at s, then variables in syntactic order p, o -> SPO.
+  auto c1 = AssignOrderedRelation(q.patterns[1], sparql::kInvalidVarId);
+  EXPECT_EQ(c1.ordering, Ordering::kSpo);
+  EXPECT_EQ(c1.sort_var, *q.FindVar("u"));
+  // 0 constants -> natural SPO, sorted by the subject variable.
+  auto c0 = AssignOrderedRelation(q.patterns[2], sparql::kInvalidVarId);
+  EXPECT_EQ(c0.ordering, Ordering::kSpo);
+  EXPECT_EQ(c0.sort_var, *q.FindVar("u"));
+}
+
+TEST(AssignOrderedRelationTest, JoinVarAlwaysFollowsConstants) {
+  // Property: for every pattern shape and join-var position, the chosen
+  // ordering sorts all constants first and the join variable immediately
+  // after.
+  Query q = ParseOrDie(
+      "SELECT ?v WHERE {\n"
+      "  ?v <http://p> <http://o> .\n"
+      "  <http://s> ?v <http://o> .\n"
+      "  <http://s> <http://p> ?v .\n"
+      "  ?v ?u <http://o> .\n"
+      "  ?u ?v <http://o> .\n"
+      "  <http://s> ?u ?v .\n"
+      "  ?v ?u ?w .\n"
+      "  ?u ?v ?w .\n"
+      "  ?u ?w ?v .\n"
+      "}");
+  VarId v = *q.FindVar("v");
+  for (const sparql::TriplePattern& tp : q.patterns) {
+    auto choice = AssignOrderedRelation(tp, v);
+    auto positions = storage::OrderingPositions(choice.ordering);
+    std::size_t n_const = static_cast<std::size_t>(tp.num_constants());
+    for (std::size_t i = 0; i < n_const; ++i) {
+      EXPECT_TRUE(tp.at(positions[i]).is_constant());
+    }
+    const sparql::PatternTerm& after = tp.at(positions[n_const]);
+    ASSERT_TRUE(after.is_variable());
+    EXPECT_EQ(after.var, v);
+    EXPECT_EQ(choice.sort_var, v);
+  }
+}
+
+// ---- Algorithm 1: Table 4 HSP rows for the whole workload. ----
+
+class HspTable4Sweep : public ::testing::TestWithParam<WorkloadQuery> {};
+
+TEST_P(HspTable4Sweep, JoinCountsAndShapeMatchPaper) {
+  const WorkloadQuery& wq = GetParam();
+  Query q = ParseOrDie(wq.sparql);
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << wq.id << ": " << planned.status();
+  const LogicalPlan& plan = planned->plan;
+
+  EXPECT_EQ(plan.CountJoins(JoinAlgo::kMerge), wq.table4.hsp_merge) << wq.id;
+  EXPECT_EQ(plan.CountJoins(JoinAlgo::kHash), wq.table4.hsp_hash) << wq.id;
+  PlanShape expected_shape =
+      wq.table4.hsp_shape == 'L' ? PlanShape::kLeftDeep : PlanShape::kBushy;
+  EXPECT_EQ(plan.shape(), expected_shape) << wq.id;
+  // Every pattern appears in exactly one scan.
+  EXPECT_EQ(plan.CountScans(),
+            static_cast<int>(planned->query.patterns.size()))
+      << wq.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, HspTable4Sweep, ::testing::ValuesIn(workload::AllQueries()),
+    [](const auto& param_info) { return param_info.param.id; });
+
+// ---- Structural invariants and specific planning behaviours. ----
+
+TEST(HspPlannerTest, RejectsEmptyQuery) {
+  Query empty;
+  HspPlanner planner;
+  EXPECT_FALSE(planner.Plan(empty).ok());
+}
+
+TEST(HspPlannerTest, Y3ChoosesBothStarVariables) {
+  const WorkloadQuery* y3 = workload::FindQuery("Y3");
+  Query q = ParseOrDie(y3->sparql);
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  // MWIS = {?c1, ?c2} (weight 6) beats {?p} (weight 2).
+  std::vector<std::string> chosen;
+  for (VarId v : planned->chosen_variables) {
+    chosen.push_back(planned->query.VarName(v));
+  }
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(chosen, (std::vector<std::string>{"c1", "c2"}));
+  auto merge_vars = planned->plan.MergeJoinVariables();
+  EXPECT_EQ(merge_vars.size(), 2u);
+}
+
+TEST(HspPlannerTest, Y2TieBreakKeepsSingleChainOnA) {
+  const WorkloadQuery* y2 = workload::FindQuery("Y2");
+  Query q = ParseOrDie(y2->sparql);
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_EQ(planned->chosen_variables.size(), 1u);
+  EXPECT_EQ(planned->query.VarName(planned->chosen_variables[0]), "a");
+  EXPECT_EQ(planned->plan.shape(), PlanShape::kLeftDeep);
+}
+
+TEST(HspPlannerTest, FilterRewriteIsAppliedByDefault) {
+  const WorkloadQuery* sp3 = workload::FindQuery("SP3a");
+  Query q = ParseOrDie(sp3->sparql);
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->rewrite_report.constants_folded, 1);
+  EXPECT_TRUE(planned->query.filters.empty());
+
+  HspOptions no_rewrite;
+  no_rewrite.rewrite_filters = false;
+  HspPlanner raw(no_rewrite);
+  auto planned_raw = raw.Plan(q);
+  ASSERT_TRUE(planned_raw.ok());
+  EXPECT_EQ(planned_raw->rewrite_report.constants_folded, 0);
+  EXPECT_EQ(planned_raw->query.filters.size(), 1u);
+}
+
+TEST(HspPlannerTest, DisconnectedQueryGetsCartesianHashJoin) {
+  Query q = ParseOrDie(
+      "SELECT ?a ?c WHERE { ?a <http://p> ?b . ?c <http://q> ?d }");
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), 1);
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), 0);
+}
+
+TEST(HspPlannerTest, DeterministicAcrossRuns) {
+  const WorkloadQuery* sp4a = workload::FindQuery("SP4a");
+  Query q = ParseOrDie(sp4a->sparql);
+  HspPlanner planner;
+  auto p1 = planner.Plan(q);
+  auto p2 = planner.Plan(q);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->plan.ToString(p1->query), p2->plan.ToString(p2->query));
+}
+
+TEST(HspPlannerTest, MergeBlockScansFollowH1Order) {
+  // Y3 block on ?c1: the 2-constant type pattern scans first, the
+  // 1-constant locatedIn second, the 0-constant pattern last (Figure 2).
+  const WorkloadQuery* y3 = workload::FindQuery("Y3");
+  Query q = ParseOrDie(y3->sparql);
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  std::string text = planned->plan.ToString(planned->query);
+  // tp2 must appear above tp3 which must appear above tp0 in the tree.
+  std::size_t pos2 = text.find("tp2");
+  std::size_t pos3 = text.find("tp3");
+  std::size_t pos0 = text.find("tp0");
+  ASSERT_NE(pos2, std::string::npos);
+  ASSERT_NE(pos3, std::string::npos);
+  ASSERT_NE(pos0, std::string::npos);
+  EXPECT_LT(pos2, pos3);
+  EXPECT_LT(pos3, pos0);
+}
+
+TEST(HspPlannerTest, AblationDisablingHeuristicsStillPlans) {
+  const WorkloadQuery* y2 = workload::FindQuery("Y2");
+  Query q = ParseOrDie(y2->sparql);
+  HspOptions options;
+  options.use_h3 = options.use_h4 = options.use_h2 = options.use_h5 = false;
+  HspPlanner planner(options);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  // Same merge/hash totals regardless of which tie survives.
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), 3);
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), 2);
+}
+
+TEST(HspPlannerTest, ProjectRootCarriesDistinct) {
+  Query q = ParseOrDie("SELECT DISTINCT ?x WHERE { ?x <http://p> ?y }");
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_EQ(planned->plan.root()->kind, PlanNode::Kind::kProject);
+  EXPECT_TRUE(planned->plan.root()->distinct);
+}
+
+}  // namespace
+}  // namespace hsparql::hsp

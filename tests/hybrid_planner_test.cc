@@ -1,0 +1,135 @@
+// Tests for the hybrid planner (HSP structure + statistics).
+#include <gtest/gtest.h>
+
+#include "cdp/cdp_planner.h"
+#include "cdp/hybrid_planner.h"
+#include "exec/executor.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql::cdp {
+namespace {
+
+using hsp::JoinAlgo;
+using sparql::Query;
+using workload::WorkloadQuery;
+
+struct Env {
+  storage::TripleStore store;
+  storage::Statistics stats;
+  explicit Env(rdf::Graph&& g)
+      : store(storage::TripleStore::Build(std::move(g))),
+        stats(storage::Statistics::Compute(store)) {}
+};
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+TEST(HybridPlannerTest, SameJoinCountsAsHspOnWholeWorkload) {
+  // The hybrid keeps the MWIS skeleton, so merge/hash totals must equal
+  // HSP's (and therefore CDP's, per Table 4) on every workload query.
+  Env sp2b(workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(40000)));
+  Env yago(workload::GenerateYago(
+      workload::YagoConfig::FromTargetTriples(40000)));
+  hsp::HspPlanner hsp_planner;
+  for (const WorkloadQuery& wq : workload::AllQueries()) {
+    Env* env = wq.dataset == workload::Dataset::kSp2Bench ? &sp2b : &yago;
+    Query q = ParseOrDie(wq.sparql);
+    HybridPlanner hybrid(&env->store, &env->stats);
+    auto h = hybrid.Plan(q);
+    auto base = hsp_planner.Plan(q);
+    ASSERT_TRUE(h.ok()) << wq.id << ": " << h.status();
+    ASSERT_TRUE(base.ok());
+    EXPECT_EQ(h->plan.CountJoins(JoinAlgo::kMerge),
+              base->plan.CountJoins(JoinAlgo::kMerge))
+        << wq.id;
+    EXPECT_EQ(h->plan.CountJoins(JoinAlgo::kHash),
+              base->plan.CountJoins(JoinAlgo::kHash))
+        << wq.id;
+  }
+}
+
+TEST(HybridPlannerTest, ResultsMatchHspOnWorkload) {
+  Env sp2b(workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(30000)));
+  Env yago(workload::GenerateYago(
+      workload::YagoConfig::FromTargetTriples(30000)));
+  hsp::HspPlanner hsp_planner;
+  for (const WorkloadQuery& wq : workload::AllQueries()) {
+    Env* env = wq.dataset == workload::Dataset::kSp2Bench ? &sp2b : &yago;
+    Query q = ParseOrDie(wq.sparql);
+    HybridPlanner hybrid(&env->store, &env->stats);
+    auto h = hybrid.Plan(q);
+    auto base = hsp_planner.Plan(q);
+    ASSERT_TRUE(h.ok()) << wq.id;
+    ASSERT_TRUE(base.ok()) << wq.id;
+    exec::Executor executor(&env->store);
+    auto hr = executor.Execute(h->query, h->plan);
+    auto br = executor.Execute(base->query, base->plan);
+    ASSERT_TRUE(hr.ok()) << wq.id << ": " << hr.status();
+    ASSERT_TRUE(br.ok()) << wq.id << ": " << br.status();
+    EXPECT_EQ(testing::ToResultBag(hr->table, h->query,
+                                   env->store.dictionary(), q.projection),
+              testing::ToResultBag(br->table, base->query,
+                                   env->store.dictionary(), q.projection))
+        << wq.id;
+  }
+}
+
+TEST(HybridPlannerTest, ScanOrderFollowsCardinality) {
+  // Two selections on ?x: the rarer predicate must scan first regardless
+  // of its H1 rank.
+  rdf::Graph g;
+  for (int i = 0; i < 100; ++i) {
+    g.AddIri("s" + std::to_string(i), "common", "o");
+  }
+  g.AddIri("s0", "rare", "o");
+  Env env(std::move(g));
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE { ?x <common> ?a . ?x <rare> ?b }");
+  HybridPlanner hybrid(&env.store, &env.stats);
+  auto planned = hybrid.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  std::string text = planned->plan.ToString(planned->query);
+  EXPECT_LT(text.find("tp1"), text.find("tp0"));  // rare first
+}
+
+TEST(HybridPlannerTest, RejectsExtensionsAndEmpty) {
+  Env env(hsparql::testing::SmallBibGraph());
+  HybridPlanner hybrid(&env.store, &env.stats);
+  EXPECT_FALSE(hybrid.Plan(Query{}).ok());
+  Query opt = ParseOrDie(
+      "SELECT ?s WHERE { ?s <p> ?n . OPTIONAL { ?s <q> ?e } }");
+  EXPECT_TRUE(hybrid.Plan(opt).status().IsUnsupported());
+}
+
+TEST(HybridPlannerTest, NeverWorseIntermediatesThanHspOnStars) {
+  // The hybrid's raison d'être: the big similar star SP2a, where HSP's
+  // heuristics cannot pick a good scan order but statistics can.
+  Env env(workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(50000)));
+  const WorkloadQuery* sp2a = workload::FindQuery("SP2a");
+  Query q = ParseOrDie(sp2a->sparql);
+  HybridPlanner hybrid(&env.store, &env.stats);
+  hsp::HspPlanner hsp_planner;
+  auto h = hybrid.Plan(q);
+  auto base = hsp_planner.Plan(q);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(base.ok());
+  exec::Executor executor(&env.store);
+  auto hr = executor.Execute(h->query, h->plan);
+  auto br = executor.Execute(base->query, base->plan);
+  ASSERT_TRUE(hr.ok());
+  ASSERT_TRUE(br.ok());
+  EXPECT_LE(hr->total_intermediate_rows, br->total_intermediate_rows);
+}
+
+}  // namespace
+}  // namespace hsparql::cdp

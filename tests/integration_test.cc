@@ -1,0 +1,169 @@
+// End-to-end integration: all 14 workload queries, planned by all three
+// planners (HSP, CDP, left-deep SQL), executed on generated datasets.
+// Cross-planner result equality is a strong whole-system correctness
+// property: three independent optimisers must produce plans with identical
+// answers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cdp/cdp_planner.h"
+#include "cdp/leftdeep_planner.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql {
+namespace {
+
+using workload::Dataset;
+using workload::WorkloadQuery;
+
+struct Env {
+  storage::TripleStore store;
+  storage::Statistics stats;
+  explicit Env(rdf::Graph&& g)
+      : store(storage::TripleStore::Build(std::move(g))),
+        stats(storage::Statistics::Compute(store)) {}
+};
+
+Env* Sp2bEnv() {
+  static Env* env = new Env(workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(40000)));
+  return env;
+}
+
+Env* YagoEnv() {
+  static Env* env = new Env(workload::GenerateYago(
+      workload::YagoConfig::FromTargetTriples(40000)));
+  return env;
+}
+
+class WorkloadIntegration : public ::testing::TestWithParam<WorkloadQuery> {};
+
+TEST_P(WorkloadIntegration, AllPlannersAgreeOnResults) {
+  const WorkloadQuery& wq = GetParam();
+  Env* env = wq.dataset == Dataset::kSp2Bench ? Sp2bEnv() : YagoEnv();
+
+  auto parsed = sparql::Parse(wq.sparql);
+  ASSERT_TRUE(parsed.ok()) << wq.id << ": " << parsed.status();
+  const sparql::Query& query = *parsed;
+
+  exec::Executor executor(&env->store);
+  std::map<std::string, testing::ResultBag> results;
+
+  {
+    hsp::HspPlanner planner;
+    auto planned = planner.Plan(query);
+    ASSERT_TRUE(planned.ok()) << wq.id << ": " << planned.status();
+    auto run = executor.Execute(planned->query, planned->plan);
+    ASSERT_TRUE(run.ok()) << wq.id << " HSP: " << run.status();
+    EXPECT_TRUE(run->table.CheckSortedness()) << wq.id;
+    results["hsp"] = testing::ToResultBag(run->table, planned->query,
+                                          env->store.dictionary(),
+                                          query.projection);
+  }
+  {
+    cdp::CdpPlanner planner(&env->store, &env->stats);
+    auto planned = planner.Plan(query);
+    ASSERT_TRUE(planned.ok()) << wq.id << ": " << planned.status();
+    auto run = executor.Execute(planned->query, planned->plan);
+    ASSERT_TRUE(run.ok()) << wq.id << " CDP: " << run.status();
+    results["cdp"] = testing::ToResultBag(run->table, planned->query,
+                                          env->store.dictionary(),
+                                          query.projection);
+  }
+  {
+    cdp::LeftDeepPlanner planner(&env->store, &env->stats);
+    auto planned = planner.Plan(query);
+    ASSERT_TRUE(planned.ok()) << wq.id << ": " << planned.status();
+    auto run = executor.Execute(planned->query, planned->plan);
+    ASSERT_TRUE(run.ok()) << wq.id << " SQL: " << run.status();
+    results["sql"] = testing::ToResultBag(run->table, planned->query,
+                                          env->store.dictionary(),
+                                          query.projection);
+  }
+
+  EXPECT_EQ(results["hsp"].size(), results["cdp"].size()) << wq.id;
+  EXPECT_EQ(results["hsp"], results["cdp"]) << wq.id;
+  EXPECT_EQ(results["hsp"], results["sql"]) << wq.id;
+
+  // Sanity on result emptiness: SP3c is the workload's deliberate
+  // empty-result query; the heavy-star and selection queries must return
+  // rows on the generated data.
+  if (wq.id == "SP3c") {
+    EXPECT_TRUE(results["hsp"].empty());
+  }
+  if (wq.id == "SP1" || wq.id == "SP2a" || wq.id == "SP5" ||
+      wq.id == "SP6" || wq.id == "Y2" || wq.id == "Y3" || wq.id == "Y4") {
+    EXPECT_FALSE(results["hsp"].empty()) << wq.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, WorkloadIntegration,
+    ::testing::ValuesIn(workload::AllQueries()),
+    [](const auto& param_info) { return param_info.param.id; });
+
+TEST(IntegrationTest, Figure1QueryReturnsThePaperMapping) {
+  Env* env = Sp2bEnv();
+  auto parsed = sparql::Parse(workload::Figure1ExampleQuery());
+  ASSERT_TRUE(parsed.ok());
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(*parsed);
+  ASSERT_TRUE(planned.ok());
+  exec::Executor executor(&env->store);
+  auto run = executor.Execute(planned->query, planned->plan);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->table.rows, 1u);
+  const rdf::Dictionary& dict = env->store.dictionary();
+  std::size_t yr = run->table.ColumnOf(*planned->query.FindVar("yr"));
+  std::size_t jrnl = run->table.ColumnOf(*planned->query.FindVar("jrnl"));
+  EXPECT_EQ(dict.Get(run->table.columns[yr][0]).lexical, "1940");
+  EXPECT_EQ(dict.Get(run->table.columns[jrnl][0]).lexical,
+            "http://localhost/publications/Journal1/1940");
+}
+
+// HSP plans on the small integration datasets must also agree with the
+// brute-force evaluator for the cheap queries (the reference is
+// exponential, so only short ones).
+TEST(IntegrationTest, HspMatchesBruteForceOnSmallData) {
+  rdf::Graph g = workload::GenerateSp2b([] {
+    workload::Sp2bConfig c;
+    c.years = 2;
+    c.articles_per_journal = 4;
+    c.inproceedings_per_proceeding = 2;
+    c.num_authors = 6;
+    return c;
+  }());
+  std::vector<rdf::Triple> raw = g.triples();
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  exec::Executor executor(&store);
+
+  for (const char* id : {"SP1", "SP3a", "SP5", "SP6"}) {
+    const WorkloadQuery* wq = workload::FindQuery(id);
+    auto parsed = sparql::Parse(wq->sparql);
+    ASSERT_TRUE(parsed.ok());
+    hsp::HspPlanner planner;
+    auto planned = planner.Plan(*parsed);
+    ASSERT_TRUE(planned.ok());
+    auto run = executor.Execute(planned->query, planned->plan);
+    ASSERT_TRUE(run.ok()) << id << ": " << run.status();
+    auto expected = testing::BruteForceEval(*parsed, store.dictionary(), raw);
+    auto actual = testing::ToResultBag(run->table, planned->query,
+                                       store.dictionary(),
+                                       parsed->projection);
+    EXPECT_EQ(actual, expected) << id;
+  }
+}
+
+}  // namespace
+}  // namespace hsparql

@@ -1,0 +1,171 @@
+// Tests for solution modifiers (ORDER BY / LIMIT / OFFSET) and ASK
+// queries, across parsing, planning (all planners share the epilogue) and
+// execution.
+#include <gtest/gtest.h>
+
+#include "cdp/cdp_planner.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+
+namespace hsparql {
+namespace {
+
+using sparql::Query;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+rdf::Graph NumbersGraph() {
+  rdf::Graph g;
+  g.AddLiteral("s1", "value", "10");
+  g.AddLiteral("s2", "value", "2");
+  g.AddLiteral("s3", "value", "33");
+  g.AddLiteral("s4", "value", "4");
+  g.AddLiteral("s1", "tag", "x");
+  return g;
+}
+
+struct Env {
+  storage::TripleStore store;
+  explicit Env(rdf::Graph&& g)
+      : store(storage::TripleStore::Build(std::move(g))) {}
+
+  exec::ExecResult Run(const Query& q) {
+    hsp::HspPlanner planner;
+    auto planned = planner.Plan(q);
+    EXPECT_TRUE(planned.ok()) << planned.status();
+    exec::Executor executor(&store);
+    auto result = executor.Execute(planned->query, planned->plan);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).ValueOrDie();
+  }
+};
+
+TEST(ModifierParseTest, OrderLimitOffset) {
+  Query q = ParseOrDie(
+      "SELECT ?s ?v WHERE { ?s <value> ?v } ORDER BY DESC(?v) ?s "
+      "LIMIT 10 OFFSET 5");
+  ASSERT_EQ(q.order_by.size(), 2u);
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_FALSE(q.order_by[1].descending);
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(*q.limit, 10u);
+  EXPECT_EQ(q.offset, 5u);
+}
+
+TEST(ModifierParseTest, OffsetBeforeLimit) {
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <p> ?v } OFFSET 2 LIMIT 3");
+  EXPECT_EQ(*q.limit, 3u);
+  EXPECT_EQ(q.offset, 2u);
+}
+
+TEST(ModifierParseTest, UnknownOrderVariableFails) {
+  EXPECT_FALSE(
+      sparql::Parse("SELECT ?s WHERE { ?s <p> ?v } ORDER BY ?ghost").ok());
+  EXPECT_FALSE(sparql::Parse("SELECT ?s WHERE { ?s <p> ?v } ORDER BY").ok());
+  EXPECT_FALSE(
+      sparql::Parse("SELECT ?s WHERE { ?s <p> ?v } LIMIT abc").ok());
+}
+
+TEST(ModifierParseTest, AskQuery) {
+  Query q = ParseOrDie("ASK { ?s <value> \"10\" }");
+  EXPECT_TRUE(q.ask);
+  Query q2 = ParseOrDie("ASK WHERE { ?s <value> \"10\" }");
+  EXPECT_TRUE(q2.ask);
+}
+
+TEST(ModifierParseTest, ToStringRoundTrips) {
+  Query q = ParseOrDie(
+      "SELECT ?s ?v WHERE { ?s <value> ?v } ORDER BY DESC(?v) LIMIT 2");
+  Query q2 = ParseOrDie(q.ToString());
+  EXPECT_EQ(q2.order_by, q.order_by);
+  EXPECT_EQ(q2.limit, q.limit);
+}
+
+TEST(ModifierExecTest, OrderByNumericAscending) {
+  Env env(NumbersGraph());
+  Query q = ParseOrDie(
+      "SELECT ?v WHERE { ?s <value> ?v } ORDER BY ?v");
+  exec::ExecResult r = env.Run(q);
+  ASSERT_EQ(r.table.rows, 4u);
+  std::vector<std::string> values;
+  for (std::size_t i = 0; i < r.table.rows; ++i) {
+    values.push_back(
+        env.store.dictionary().Get(r.table.columns[0][i]).lexical);
+  }
+  // Numeric order, not lexicographic ("10" < "2" lexically).
+  EXPECT_EQ(values, (std::vector<std::string>{"2", "4", "10", "33"}));
+}
+
+TEST(ModifierExecTest, OrderByDescending) {
+  Env env(NumbersGraph());
+  Query q = ParseOrDie(
+      "SELECT ?v WHERE { ?s <value> ?v } ORDER BY DESC(?v)");
+  exec::ExecResult r = env.Run(q);
+  EXPECT_EQ(env.store.dictionary().Get(r.table.columns[0][0]).lexical, "33");
+  EXPECT_EQ(env.store.dictionary().Get(r.table.columns[0][3]).lexical, "2");
+}
+
+TEST(ModifierExecTest, LimitAndOffsetSliceOrderedResults) {
+  Env env(NumbersGraph());
+  Query q = ParseOrDie(
+      "SELECT ?v WHERE { ?s <value> ?v } ORDER BY ?v LIMIT 2 OFFSET 1");
+  exec::ExecResult r = env.Run(q);
+  ASSERT_EQ(r.table.rows, 2u);
+  EXPECT_EQ(env.store.dictionary().Get(r.table.columns[0][0]).lexical, "4");
+  EXPECT_EQ(env.store.dictionary().Get(r.table.columns[0][1]).lexical, "10");
+}
+
+TEST(ModifierExecTest, OffsetBeyondEndIsEmpty) {
+  Env env(NumbersGraph());
+  Query q = ParseOrDie("SELECT ?v WHERE { ?s <value> ?v } OFFSET 100");
+  EXPECT_EQ(env.Run(q).table.rows, 0u);
+}
+
+TEST(ModifierExecTest, AskStopsAtOneRow) {
+  Env env(NumbersGraph());
+  Query yes = ParseOrDie("ASK { ?s <value> ?v }");
+  exec::ExecResult r = env.Run(yes);
+  EXPECT_EQ(r.table.rows, 1u);  // existence witnessed by exactly one row
+  Query no = ParseOrDie("ASK { ?s <nope> ?v }");
+  EXPECT_EQ(env.Run(no).table.rows, 0u);
+}
+
+TEST(ModifierExecTest, OrderByOptionalVarPutsUnboundFirst) {
+  Env env(NumbersGraph());
+  Query q = ParseOrDie(
+      "SELECT ?s ?t WHERE { ?s <value> ?v . OPTIONAL { ?s <tag> ?t } } "
+      "ORDER BY ?t");
+  exec::ExecResult r = env.Run(q);
+  ASSERT_EQ(r.table.rows, 4u);
+  std::size_t t_col = r.table.ColumnOf(*q.FindVar("t"));
+  EXPECT_EQ(r.table.columns[t_col][0], rdf::kInvalidTermId);
+  EXPECT_NE(r.table.columns[t_col][3], rdf::kInvalidTermId);
+}
+
+TEST(ModifierExecTest, CdpAppliesModifiersToo) {
+  Env env(NumbersGraph());
+  storage::Statistics stats = storage::Statistics::Compute(env.store);
+  Query q = ParseOrDie(
+      "SELECT ?v WHERE { ?s <value> ?v } ORDER BY DESC(?v) LIMIT 1");
+  cdp::CdpPlanner planner(&env.store, &stats);
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  exec::Executor executor(&env.store);
+  auto r = executor.Execute(planned->query, planned->plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.rows, 1u);
+  EXPECT_EQ(env.store.dictionary().Get(r->table.columns[0][0]).lexical,
+            "33");
+}
+
+}  // namespace
+}  // namespace hsparql

@@ -1,0 +1,307 @@
+// Tests for the OPTIONAL / UNION extension (the paper's §7 future work):
+// parsing, rewriting safety, HSP planning and end-to-end execution
+// semantics (left outer join with UNDEF cells, bag union).
+#include <gtest/gtest.h>
+
+#include "cdp/cdp_planner.h"
+#include "cdp/leftdeep_planner.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "sparql/rewrite.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+
+namespace hsparql {
+namespace {
+
+using sparql::Query;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+// s1 has a name and an email; s2 only a name; s3 only an email.
+rdf::Graph PeopleGraph() {
+  rdf::Graph g;
+  g.AddLiteral("s1", "name", "Alice");
+  g.AddLiteral("s1", "email", "alice@example.org");
+  g.AddLiteral("s2", "name", "Bob");
+  g.AddLiteral("s3", "email", "carol@example.org");
+  g.AddIri("s1", "knows", "s2");
+  return g;
+}
+
+struct Env {
+  storage::TripleStore store;
+  explicit Env(rdf::Graph&& g) : store(storage::TripleStore::Build(std::move(g))) {}
+
+  exec::ExecResult Run(const Query& q) {
+    hsp::HspPlanner planner;
+    auto planned = planner.Plan(q);
+    EXPECT_TRUE(planned.ok()) << planned.status();
+    exec::Executor executor(&store);
+    auto result = executor.Execute(planned->query, planned->plan);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).ValueOrDie();
+  }
+};
+
+// ---- Parsing ----
+
+TEST(OptionalParseTest, BasicOptionalGroup) {
+  Query q = ParseOrDie(
+      "SELECT ?s ?e WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } }");
+  EXPECT_EQ(q.patterns.size(), 1u);
+  ASSERT_EQ(q.optional_groups.size(), 1u);
+  EXPECT_EQ(q.optional_groups[0].size(), 1u);
+  EXPECT_TRUE(q.HasGraphPatternExtensions());
+}
+
+TEST(OptionalParseTest, MultipleGroups) {
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } "
+      "OPTIONAL { ?s <knows> ?k . ?k <name> ?kn } }");
+  EXPECT_EQ(q.optional_groups.size(), 2u);
+  EXPECT_EQ(q.optional_groups[1].size(), 2u);
+}
+
+TEST(OptionalParseTest, EmptyGroupFails) {
+  EXPECT_FALSE(
+      sparql::Parse("SELECT ?s WHERE { ?s <p> ?o . OPTIONAL { } }").ok());
+}
+
+TEST(UnionParseTest, TwoBranches) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE { { ?x <name> ?v } UNION { ?x <email> ?v } }");
+  EXPECT_EQ(q.patterns.size(), 1u);
+  ASSERT_EQ(q.union_branches.size(), 1u);
+  EXPECT_TRUE(q.HasGraphPatternExtensions());
+}
+
+TEST(UnionParseTest, ThreeBranches) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE { { ?x <a> ?v } UNION { ?x <b> ?v } UNION "
+      "{ ?x <c> ?v } }");
+  EXPECT_EQ(q.union_branches.size(), 2u);
+}
+
+TEST(UnionParseTest, PatternsAfterUnionRejected) {
+  EXPECT_FALSE(sparql::Parse(
+                   "SELECT ?x WHERE { { ?x <a> ?v } UNION { ?x <b> ?v } "
+                   "?x <c> ?w }")
+                   .ok());
+}
+
+TEST(UnionParseTest, GroupWithoutUnionRejected) {
+  EXPECT_FALSE(sparql::Parse("SELECT ?x WHERE { { ?x <a> ?v } }").ok());
+}
+
+TEST(OptionalParseTest, ProjectionMayComeFromOptional) {
+  // ?e only occurs in the OPTIONAL group; must still validate.
+  Query q = ParseOrDie(
+      "SELECT ?e WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } }");
+  EXPECT_EQ(q.projection.size(), 1u);
+}
+
+TEST(OptionalParseTest, ToStringRoundTrips) {
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } }");
+  Query q2 = ParseOrDie(q.ToString());
+  EXPECT_EQ(q2.optional_groups.size(), 1u);
+  Query u = ParseOrDie(
+      "SELECT ?x WHERE { { ?x <a> ?v } UNION { ?x <b> ?v } }");
+  Query u2 = ParseOrDie(u.ToString());
+  EXPECT_EQ(u2.union_branches.size(), 1u);
+}
+
+// ---- Rewriting safety ----
+
+TEST(OptionalRewriteTest, FilterOnOptionalVariableIsNotFolded) {
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } "
+      "FILTER (?e = \"alice@example.org\") }");
+  sparql::RewriteReport report = sparql::RewriteFilters(&q);
+  EXPECT_EQ(report.constants_folded, 0);
+  EXPECT_EQ(q.filters.size(), 1u);
+}
+
+TEST(OptionalRewriteTest, RequiredFilterStillFolds) {
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } "
+      "FILTER (?n = \"Alice\") }");
+  sparql::RewriteReport report = sparql::RewriteFilters(&q);
+  EXPECT_EQ(report.constants_folded, 1);
+  EXPECT_TRUE(q.filters.empty());
+}
+
+// ---- Planning ----
+
+TEST(OptionalPlanTest, ProducesLeftOuterJoin) {
+  Query q = ParseOrDie(
+      "SELECT ?s ?e WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } }");
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  bool found_outer = false;
+  std::function<void(const hsp::PlanNode*)> visit =
+      [&](const hsp::PlanNode* n) {
+        if (n->kind == hsp::PlanNode::Kind::kJoin && n->left_outer) {
+          found_outer = true;
+        }
+        for (const auto& c : n->children) visit(c.get());
+      };
+  visit(planned->plan.root());
+  EXPECT_TRUE(found_outer);
+}
+
+TEST(UnionPlanTest, ProducesUnionNode) {
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE { { ?x <a> ?v } UNION { ?x <b> ?v } }");
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  bool found_union = false;
+  std::function<void(const hsp::PlanNode*)> visit =
+      [&](const hsp::PlanNode* n) {
+        if (n->kind == hsp::PlanNode::Kind::kUnion) {
+          found_union = true;
+          EXPECT_EQ(n->children.size(), 2u);
+        }
+        for (const auto& c : n->children) visit(c.get());
+      };
+  visit(planned->plan.root());
+  EXPECT_TRUE(found_union);
+}
+
+TEST(OptionalPlanTest, OptionalGroupStillGetsMergeJoins) {
+  // A 3-pattern star inside OPTIONAL must be merge-joined internally.
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <name> ?n . OPTIONAL { "
+      "?s <email> ?e . ?s <knows> ?k . ?k <name> ?kn } }");
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  EXPECT_GE(planned->plan.CountJoins(hsp::JoinAlgo::kMerge), 1);
+}
+
+TEST(BaselinePlannersRejectExtensions, CdpAndLeftDeep) {
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } }");
+  rdf::Graph g = PeopleGraph();
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  EXPECT_TRUE(
+      cdp::CdpPlanner(&store, &stats).Plan(q).status().IsUnsupported());
+  EXPECT_TRUE(
+      cdp::LeftDeepPlanner(&store, &stats).Plan(q).status().IsUnsupported());
+}
+
+// ---- Execution semantics ----
+
+TEST(OptionalExecTest, UnmatchedRowsSurviveWithUndef) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?n ?e WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } }");
+  exec::ExecResult r = env.Run(q);
+  ASSERT_EQ(r.table.rows, 2u);  // Alice (with email), Bob (without)
+  std::string rendered =
+      r.table.ToString(q, env.store.dictionary(), 10);
+  EXPECT_NE(rendered.find("alice@example.org"), std::string::npos);
+  EXPECT_NE(rendered.find("UNDEF"), std::string::npos);
+}
+
+TEST(OptionalExecTest, MultipleOptionals) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?n ?e ?k WHERE { ?s <name> ?n . "
+      "OPTIONAL { ?s <email> ?e } OPTIONAL { ?s <knows> ?k } }");
+  exec::ExecResult r = env.Run(q);
+  ASSERT_EQ(r.table.rows, 2u);
+  // Alice has both; Bob has neither.
+  std::size_t e_col = r.table.ColumnOf(*q.FindVar("e"));
+  std::size_t k_col = r.table.ColumnOf(*q.FindVar("k"));
+  int undef_cells = 0;
+  for (std::size_t row = 0; row < 2; ++row) {
+    if (r.table.columns[e_col][row] == rdf::kInvalidTermId) ++undef_cells;
+    if (r.table.columns[k_col][row] == rdf::kInvalidTermId) ++undef_cells;
+  }
+  EXPECT_EQ(undef_cells, 2);
+}
+
+TEST(OptionalExecTest, FilterOnOptionalVarDropsUnbound) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?n WHERE { ?s <name> ?n . OPTIONAL { ?s <email> ?e } "
+      "FILTER (?e = \"alice@example.org\") }");
+  exec::ExecResult r = env.Run(q);
+  // Bob's row has ?e unbound -> filter type error -> dropped.
+  ASSERT_EQ(r.table.rows, 1u);
+  EXPECT_EQ(env.store.dictionary().Get(r.table.columns[0][0]).lexical,
+            "Alice");
+}
+
+TEST(UnionExecTest, BagUnionConcatenates) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { { ?s <name> ?v } UNION { ?s <email> ?v } }");
+  exec::ExecResult r = env.Run(q);
+  EXPECT_EQ(r.table.rows, 4u);  // 2 names + 2 emails
+}
+
+TEST(UnionExecTest, BranchSpecificVariablesAreUndef) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?n ?e WHERE { { ?s <name> ?n } UNION { ?s <email> ?e } }");
+  exec::ExecResult r = env.Run(q);
+  ASSERT_EQ(r.table.rows, 4u);
+  std::size_t n_col = r.table.ColumnOf(*q.FindVar("n"));
+  std::size_t e_col = r.table.ColumnOf(*q.FindVar("e"));
+  int undef = 0;
+  for (std::size_t row = 0; row < r.table.rows; ++row) {
+    if (r.table.columns[n_col][row] == rdf::kInvalidTermId) ++undef;
+    if (r.table.columns[e_col][row] == rdf::kInvalidTermId) ++undef;
+  }
+  EXPECT_EQ(undef, 4);  // each row binds exactly one of the two
+}
+
+TEST(UnionExecTest, DistinctAcrossBranches) {
+  Env env(PeopleGraph());
+  // s1 appears via both name and email branches.
+  Query q = ParseOrDie(
+      "SELECT DISTINCT ?s WHERE { { ?s <name> ?v } UNION "
+      "{ ?s <email> ?v } }");
+  exec::ExecResult r = env.Run(q);
+  EXPECT_EQ(r.table.rows, 3u);  // s1, s2, s3
+}
+
+TEST(UnionExecTest, UnionWithJoinInsideBranch) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?n WHERE { { ?s <knows> ?t . ?t <name> ?n } UNION "
+      "{ ?s <email> ?v . ?s <name> ?n } }");
+  exec::ExecResult r = env.Run(q);
+  // Branch 1: Alice knows Bob -> "Bob". Branch 2: s1 has email+name ->
+  // "Alice".
+  EXPECT_EQ(r.table.rows, 2u);
+}
+
+TEST(OptionalExecTest, OptionalOnTopOfUnion) {
+  Env env(PeopleGraph());
+  Query q = ParseOrDie(
+      "SELECT ?s ?k WHERE { { ?s <name> ?v } UNION { ?s <email> ?v } "
+      "OPTIONAL { ?s <knows> ?k } }");
+  exec::ExecResult r = env.Run(q);
+  EXPECT_EQ(r.table.rows, 4u);
+  std::size_t k_col = r.table.ColumnOf(*q.FindVar("k"));
+  int bound = 0;
+  for (std::size_t row = 0; row < r.table.rows; ++row) {
+    if (r.table.columns[k_col][row] != rdf::kInvalidTermId) ++bound;
+  }
+  EXPECT_EQ(bound, 2);  // s1 (via name) and s1 (via email) know s2
+}
+
+}  // namespace
+}  // namespace hsparql

@@ -1,0 +1,150 @@
+// Tests for the LogicalPlan layer: construction, node ids, join counting,
+// shape classification, merge-variable extraction, printing, and the
+// shared solution-modifier epilogue.
+#include <gtest/gtest.h>
+
+#include "hsp/plan.h"
+#include "sparql/parser.h"
+
+namespace hsparql::hsp {
+namespace {
+
+using sparql::Query;
+using sparql::VarId;
+using storage::Ordering;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+std::unique_ptr<PlanNode> Scan(std::size_t i, VarId v) {
+  return PlanNode::Scan(i, Ordering::kSpo, v);
+}
+
+TEST(PlanTest, IdsArePreOrderAndDense) {
+  auto join = PlanNode::Join(JoinAlgo::kMerge, 0, Scan(0, 0), Scan(1, 0));
+  LogicalPlan plan(PlanNode::Project({0}, false, std::move(join)));
+  EXPECT_EQ(plan.num_nodes(), 4);
+  EXPECT_EQ(plan.root()->id, 0);
+  EXPECT_EQ(plan.root()->children[0]->id, 1);          // join
+  EXPECT_EQ(plan.root()->children[0]->children[0]->id, 2);
+  EXPECT_EQ(plan.root()->children[0]->children[1]->id, 3);
+}
+
+TEST(PlanTest, CountsJoinsAndScans) {
+  auto mj = PlanNode::Join(JoinAlgo::kMerge, 0, Scan(0, 0), Scan(1, 0));
+  auto hj =
+      PlanNode::Join(JoinAlgo::kHash, 1, std::move(mj), Scan(2, 1));
+  LogicalPlan plan(std::move(hj));
+  EXPECT_EQ(plan.CountJoins(JoinAlgo::kMerge), 1);
+  EXPECT_EQ(plan.CountJoins(JoinAlgo::kHash), 1);
+  EXPECT_EQ(plan.CountScans(), 3);
+}
+
+TEST(PlanTest, ShapeLeftDeepVsBushy) {
+  // Left-deep: every right child is a leaf.
+  auto ld = PlanNode::Join(
+      JoinAlgo::kHash, 1,
+      PlanNode::Join(JoinAlgo::kMerge, 0, Scan(0, 0), Scan(1, 0)),
+      Scan(2, 1));
+  EXPECT_EQ(LogicalPlan(std::move(ld)).shape(), PlanShape::kLeftDeep);
+
+  // Bushy: a join in a right subtree.
+  auto bushy = PlanNode::Join(
+      JoinAlgo::kHash, 1, Scan(0, 0),
+      PlanNode::Join(JoinAlgo::kMerge, 1, Scan(1, 1), Scan(2, 1)));
+  EXPECT_EQ(LogicalPlan(std::move(bushy)).shape(), PlanShape::kBushy);
+
+  // A single scan is left-deep by convention.
+  EXPECT_EQ(LogicalPlan(Scan(0, 0)).shape(), PlanShape::kLeftDeep);
+}
+
+TEST(PlanTest, FilterOnRightChildDoesNotMakeBushy) {
+  Query q = ParseOrDie("SELECT ?a WHERE { ?a <p> ?b . ?a <q> ?c . "
+                       "FILTER (?c > 1) }");
+  auto right = PlanNode::Filter(q.filters[0], Scan(1, 0));
+  auto join =
+      PlanNode::Join(JoinAlgo::kHash, 0, Scan(0, 0), std::move(right));
+  EXPECT_EQ(LogicalPlan(std::move(join)).shape(), PlanShape::kLeftDeep);
+}
+
+TEST(PlanTest, MergeJoinVariablesDeduped) {
+  auto inner = PlanNode::Join(JoinAlgo::kMerge, 3, Scan(0, 3), Scan(1, 3));
+  auto mid = PlanNode::Join(JoinAlgo::kMerge, 3, std::move(inner),
+                            Scan(2, 3));
+  auto outer = PlanNode::Join(JoinAlgo::kMerge, 1, std::move(mid),
+                              Scan(3, 1));
+  LogicalPlan plan(std::move(outer));
+  EXPECT_EQ(plan.MergeJoinVariables(), (std::vector<VarId>{1, 3}));
+}
+
+TEST(PlanTest, PrinterShowsOperatorsAndCardinalities) {
+  Query q = ParseOrDie("SELECT ?a WHERE { ?a <p> \"v\" . ?a <q> ?b }");
+  auto join = PlanNode::Join(JoinAlgo::kMerge, *q.FindVar("a"),
+                             Scan(0, *q.FindVar("a")),
+                             Scan(1, *q.FindVar("a")));
+  LogicalPlan plan(
+      PlanNode::Project({*q.FindVar("a")}, true, std::move(join)));
+  std::vector<std::uint64_t> cards = {5, 5, 10, 20};
+  std::string text = plan.ToString(q, &cards);
+  EXPECT_NE(text.find("project distinct [?a]"), std::string::npos);
+  EXPECT_NE(text.find("mergejoin ?a"), std::string::npos);
+  EXPECT_NE(text.find("select(spo) tp0"), std::string::npos);
+  EXPECT_NE(text.find("(20)"), std::string::npos);
+  EXPECT_NE(text.find("o=\"v\""), std::string::npos);
+}
+
+TEST(PlanTest, PrinterHandlesExtensionNodes) {
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p> ?b } ORDER BY DESC(?b) LIMIT 3 OFFSET 1");
+  std::unique_ptr<PlanNode> node = Scan(0, *q.FindVar("a"));
+  node = PlanNode::Sort(q.order_by, std::move(node));
+  node = PlanNode::Limit(3, 1, std::move(node));
+  LogicalPlan plan(std::move(node));
+  std::string text = plan.ToString(q);
+  EXPECT_NE(text.find("sort [-?b]"), std::string::npos);
+  EXPECT_NE(text.find("limit 3 offset 1"), std::string::npos);
+
+  std::vector<std::unique_ptr<PlanNode>> branches;
+  branches.push_back(Scan(0, 0));
+  branches.push_back(Scan(0, 0));
+  LogicalPlan uplan(PlanNode::Union(std::move(branches)));
+  EXPECT_NE(uplan.ToString(q).find("union"), std::string::npos);
+
+  auto outer = PlanNode::LeftOuterJoin(0, Scan(0, 0), Scan(0, 0));
+  EXPECT_TRUE(outer->left_outer);
+  LogicalPlan oplan(std::move(outer));
+  EXPECT_NE(oplan.ToString(q).find("leftouterhashjoin"), std::string::npos);
+}
+
+TEST(PlanTest, AttachSolutionModifiersOrdering) {
+  // ORDER BY sits below LIMIT; ASK forces LIMIT 1.
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p> ?b } ORDER BY ?b LIMIT 5 OFFSET 2");
+  auto node = AttachSolutionModifiers(q, Scan(0, 0));
+  ASSERT_EQ(node->kind, PlanNode::Kind::kLimit);
+  EXPECT_EQ(node->limit_count, 5u);
+  EXPECT_EQ(node->limit_offset, 2u);
+  ASSERT_EQ(node->children[0]->kind, PlanNode::Kind::kSort);
+
+  Query ask = ParseOrDie("ASK { ?a <p> ?b }");
+  auto ask_node = AttachSolutionModifiers(ask, Scan(0, 0));
+  ASSERT_EQ(ask_node->kind, PlanNode::Kind::kLimit);
+  EXPECT_EQ(ask_node->limit_count, 1u);
+
+  Query plain = ParseOrDie("SELECT ?a WHERE { ?a <p> ?b }");
+  auto plain_node = AttachSolutionModifiers(plain, Scan(0, 0));
+  EXPECT_EQ(plain_node->kind, PlanNode::Kind::kScan);  // untouched
+}
+
+TEST(PlanTest, EmptyPlanBehaviour) {
+  LogicalPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.num_nodes(), 0);
+  EXPECT_EQ(plan.CountScans(), 0);
+}
+
+}  // namespace
+}  // namespace hsparql::hsp

@@ -1,0 +1,140 @@
+// Focused tests for planner/executor details not covered elsewhere:
+// H2 set-level direction, Y1's MWIS outcome, merge joins with residual
+// shared-variable equality, and union-of-stars planning.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "hsp/heuristics.h"
+#include "hsp/hsp_planner.h"
+#include "hsp/mwis.h"
+#include "hsp/variable_graph.h"
+#include "sparql/parser.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+#include "workload/queries.h"
+
+namespace hsparql::hsp {
+namespace {
+
+using sparql::Query;
+using sparql::VarId;
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+TEST(H2DirectionTest, BulkyKeepsLeastSelectiveJoinClass) {
+  // ?a joins s=s (H2 rank 4), ?b joins s=o (rank 2). The bulky direction
+  // keeps the set whose best class is LEAST selective -> {a}; the
+  // selective direction keeps {b}.
+  Query q = ParseOrDie(
+      "SELECT ?x WHERE {\n"
+      "  ?a <p1> ?x . ?a <p2> ?y .\n"
+      "  ?c <p3> ?b . ?b <p4> ?z .\n}");
+  VarId a = *q.FindVar("a");
+  VarId b = *q.FindVar("b");
+  std::vector<CandidateSet> sets;
+  sets.push_back(CandidateSet{{a}, {0, 1}});
+  sets.push_back(CandidateSet{{b}, {2, 3}});
+
+  TieBreakConfig bulky;
+  auto kept = ApplyH2(q, sets, bulky);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].vars, std::vector<VarId>{a});
+
+  TieBreakConfig selective;
+  selective.merge_prefers_bulky = false;
+  kept = ApplyH2(q, sets, selective);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].vars, std::vector<VarId>{b});
+}
+
+TEST(Y1PlanningTest, MwisPicksActorAndGeographyVariables) {
+  // Y1's variable graph: ?p(5)-?c(2), ?p-?m(3), ?c-?x(2). The unique MWIS
+  // is {?p, ?x} (weight 7) — the structure behind the paper's "HSP
+  // chooses to perform the majority of the merge joins on a single
+  // variable".
+  const workload::WorkloadQuery* y1 = workload::FindQuery("Y1");
+  Query q = ParseOrDie(y1->sparql);
+  VariableGraph g = VariableGraph::Build(q);
+  MwisResult mwis = AllMaximumWeightIndependentSets(g);
+  EXPECT_EQ(mwis.best_weight, 7u);
+  ASSERT_EQ(mwis.sets.size(), 1u);
+  std::vector<std::string> names;
+  for (std::size_t idx : mwis.sets[0]) {
+    names.push_back(q.VarName(g.node(idx).var));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"p", "x"}));
+
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  // Block on ?p: 5 patterns -> 4 mj; block on ?x: 2 patterns -> 1 mj.
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), 5);
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), 2);
+}
+
+TEST(MergeJoinResidualTest, SecondSharedVariableIsEquated) {
+  // Two patterns share ?p AND ?m (Y1's actedIn/directed pair). A merge
+  // join on ?p must still equate ?m — pairs where only ?p matches are
+  // dropped.
+  rdf::Graph g;
+  g.AddIri("alice", "actedIn", "m1");
+  g.AddIri("alice", "directed", "m1");  // same movie: qualifies
+  g.AddIri("bob", "actedIn", "m2");
+  g.AddIri("bob", "directed", "m3");  // different movie: dropped
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+
+  Query q = ParseOrDie(
+      "SELECT ?p ?m WHERE { ?p <actedIn> ?m . ?p <directed> ?m }");
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), 1);
+  exec::Executor executor(&store);
+  auto run = executor.Execute(planned->query, planned->plan);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->table.rows, 1u);
+  EXPECT_EQ(store.dictionary().Get(run->table.columns[0][0]).lexical,
+            "alice");
+}
+
+TEST(UnionPlanningTest, EachBranchGetsItsOwnMergeBlocks) {
+  // Two star branches: each should be merge-joined internally, then
+  // unioned.
+  rdf::Graph g;
+  g.AddIri("a", "p1", "x");
+  g.AddIri("a", "p2", "y");
+  g.AddIri("b", "q1", "x");
+  g.AddIri("b", "q2", "y");
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+
+  Query q = ParseOrDie(
+      "SELECT ?s WHERE { { ?s <p1> ?u . ?s <p2> ?v } UNION "
+      "{ ?s <q1> ?u . ?s <q2> ?v } }");
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kMerge), 2);
+  EXPECT_EQ(planned->plan.CountJoins(JoinAlgo::kHash), 0);
+  exec::Executor executor(&store);
+  auto run = executor.Execute(planned->query, planned->plan);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->table.rows, 2u);  // a via branch 0, b via branch 1
+}
+
+TEST(ChosenVariablesTest, RoundOrderIsRecorded) {
+  // SP4a: first round picks {n1, j, n2}; no second round.
+  const workload::WorkloadQuery* sp4a = workload::FindQuery("SP4a");
+  Query q = ParseOrDie(sp4a->sparql);
+  HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->chosen_variables.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hsparql::hsp

@@ -1,0 +1,156 @@
+// Tests for src/rdf: terms, dictionary, graph, N-Triples round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+namespace hsparql::rdf {
+namespace {
+
+TEST(TermTest, Rendering) {
+  EXPECT_EQ(Term::Iri("http://x").ToString(), "<http://x>");
+  EXPECT_EQ(Term::Literal("hi").ToString(), "\"hi\"");
+}
+
+TEST(TermTest, KindMatters) {
+  EXPECT_NE(Term::Iri("abc"), Term::Literal("abc"));
+  EXPECT_EQ(Term::Iri("abc"), Term::Iri("abc"));
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternIri("http://a");
+  TermId b = dict.InternIri("http://a");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, LiteralAndIriWithSameLexicalAreDistinct) {
+  // The paper's YAGO preparation hinges on exactly this distinction
+  // (RDF-3X "cannot distinguish between URI <abc> and literal \"abc\"").
+  Dictionary dict;
+  TermId iri = dict.InternIri("abc");
+  TermId lit = dict.InternLiteral("abc");
+  EXPECT_NE(iri, lit);
+  EXPECT_FALSE(dict.IsLiteral(iri));
+  EXPECT_TRUE(dict.IsLiteral(lit));
+}
+
+TEST(DictionaryTest, IdsAreDenseAndStable) {
+  Dictionary dict;
+  for (int i = 0; i < 100; ++i) {
+    TermId id = dict.InternIri("http://e/" + std::to_string(i));
+    EXPECT_EQ(id, static_cast<TermId>(i));
+  }
+  EXPECT_EQ(dict.Get(7).lexical, "http://e/7");
+}
+
+TEST(DictionaryTest, FindDoesNotIntern) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Find(Term::Iri("http://missing")).has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  dict.InternIri("http://there");
+  EXPECT_TRUE(dict.Find(Term::Iri("http://there")).has_value());
+}
+
+TEST(GraphTest, AddInterns) {
+  Graph g;
+  Triple t1 = g.AddIri("s", "p", "o");
+  Triple t2 = g.AddIri("s", "p", "o2");
+  EXPECT_EQ(t1.s, t2.s);
+  EXPECT_EQ(t1.p, t2.p);
+  EXPECT_NE(t1.o, t2.o);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(TripleTest, PositionAccess) {
+  Triple t{1, 2, 3};
+  EXPECT_EQ(t.at(Position::kSubject), 1u);
+  EXPECT_EQ(t.at(Position::kPredicate), 2u);
+  EXPECT_EQ(t.at(Position::kObject), 3u);
+  t.set(Position::kObject, 9);
+  EXPECT_EQ(t.o, 9u);
+}
+
+TEST(TripleTest, LexicographicOrder) {
+  EXPECT_LT((Triple{1, 2, 3}), (Triple{1, 2, 4}));
+  EXPECT_LT((Triple{1, 2, 3}), (Triple{1, 3, 0}));
+  EXPECT_LT((Triple{1, 9, 9}), (Triple{2, 0, 0}));
+}
+
+TEST(NTriplesTest, ParsesBasicForms) {
+  Graph g;
+  auto n = ReadNTriplesString(
+      "<http://s> <http://p> <http://o> .\n"
+      "<http://s> <http://p> \"a literal\" .\n"
+      "# a comment\n"
+      "\n"
+      "_:blank <http://p> \"x\" .\n",
+      &g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(NTriplesTest, ParsesEscapesAndSuffixes) {
+  Graph g;
+  auto n = ReadNTriplesString(
+      "<http://s> <http://p> \"line\\nbreak \\\"quoted\\\"\" .\n"
+      "<http://s> <http://p> \"typed\"^^<http://www.w3.org/2001/XMLSchema#int> .\n"
+      "<http://s> <http://p> \"tagged\"@en .\n",
+      &g);
+  ASSERT_TRUE(n.ok()) << n.status();
+  const Dictionary& dict = g.dictionary();
+  EXPECT_TRUE(dict.Find(Term::Literal("line\nbreak \"quoted\"")).has_value());
+  EXPECT_TRUE(dict.Find(Term::Literal("typed")).has_value());
+  EXPECT_TRUE(dict.Find(Term::Literal("tagged")).has_value());
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  Graph g;
+  auto r = ReadNTriplesString("<http://s> <http://p> <http://o> .\nbogus\n",
+                              &g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  Graph g;
+  auto r = ReadNTriplesString("\"lit\" <http://p> <http://o> .\n", &g);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  Graph g;
+  auto r = ReadNTriplesString("<http://s> <http://p> <http://o>\n", &g);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesTest, RoundTrips) {
+  Graph g;
+  g.AddIri("http://s", "http://p", "http://o");
+  g.AddLiteral("http://s", "http://p", "tricky \"quotes\"\nand newline");
+  std::ostringstream out;
+  WriteNTriples(g, out);
+
+  Graph g2;
+  auto n = ReadNTriplesString(out.str(), &g2);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_TRUE(g2.dictionary()
+                  .Find(Term::Literal("tricky \"quotes\"\nand newline"))
+                  .has_value());
+}
+
+TEST(NTriplesTest, EscapeLiteral) {
+  EXPECT_EQ(EscapeLiteral("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(EscapeLiteral("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace hsparql::rdf

@@ -1,0 +1,118 @@
+// Tests for the SPARQL results serialisers (JSON / TSV).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/executor.h"
+#include "exec/results_io.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+
+namespace hsparql::exec {
+namespace {
+
+using sparql::Query;
+
+struct Ran {
+  Query query;
+  BindingTable table;
+};
+
+Ran RunQuery(const storage::TripleStore& store, std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(*q);
+  EXPECT_TRUE(planned.ok()) << planned.status();
+  Executor executor(&store);
+  auto result = executor.Execute(planned->query, planned->plan);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return Ran{std::move(planned->query), std::move(result->table)};
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ResultsJsonTest, BasicShape) {
+  storage::TripleStore store =
+      storage::TripleStore::Build(testing::SmallBibGraph());
+  Ran ran = RunQuery(store,
+                     "SELECT ?j ?yr WHERE { ?j <dcterms:issued> ?yr }");
+  std::ostringstream out;
+  WriteResultsJson(ran.table, ran.query, store.dictionary(), out);
+  std::string json = out.str();
+  EXPECT_NE(json.find("\"head\":{\"vars\":[\"j\",\"yr\"]}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"uri\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"literal\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":\"1940\""), std::string::npos);
+  // Two journals have issued years.
+  EXPECT_NE(json.find("1941"), std::string::npos);
+}
+
+TEST(ResultsJsonTest, UnboundCellsAreOmitted) {
+  rdf::Graph g;
+  g.AddLiteral("s1", "name", "Alice");
+  g.AddLiteral("s1", "email", "a@x");
+  g.AddLiteral("s2", "name", "Bob");
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  Ran ran = RunQuery(store,
+                     "SELECT ?n ?e WHERE { ?s <name> ?n . "
+                     "OPTIONAL { ?s <email> ?e } }");
+  std::ostringstream out;
+  WriteResultsJson(ran.table, ran.query, store.dictionary(), out);
+  std::string json = out.str();
+  // Bob's binding object must not contain an "e" key.
+  std::size_t bob = json.find("Bob");
+  ASSERT_NE(bob, std::string::npos);
+  std::size_t bob_obj_end = json.find('}', json.find('}', bob) + 1);
+  std::string bob_binding = json.substr(bob - 40, bob_obj_end - bob + 60);
+  EXPECT_EQ(bob_binding.find("\"e\":"), std::string::npos) << bob_binding;
+  EXPECT_NE(json.find("a@x"), std::string::npos);
+}
+
+TEST(ResultsTsvTest, HeaderAndRows) {
+  storage::TripleStore store =
+      storage::TripleStore::Build(testing::SmallBibGraph());
+  Ran ran = RunQuery(store,
+                     "SELECT ?j ?yr WHERE { ?j <dcterms:issued> ?yr }");
+  std::ostringstream out;
+  WriteResultsTsv(ran.table, ran.query, store.dictionary(), out);
+  std::string tsv = out.str();
+  EXPECT_EQ(tsv.substr(0, tsv.find('\n')), "?j\t?yr");
+  EXPECT_NE(tsv.find("<ex:j1940>\t\"1940\""), std::string::npos);
+  // Header + 2 rows -> 3 newline-terminated lines.
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 3);
+}
+
+TEST(ResultsTsvTest, UnboundIsEmptyField) {
+  rdf::Graph g;
+  g.AddLiteral("s2", "name", "Bob");
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  Ran ran = RunQuery(store,
+                     "SELECT ?n ?e WHERE { ?s <name> ?n . "
+                     "OPTIONAL { ?s <email> ?e } }");
+  std::ostringstream out;
+  WriteResultsTsv(ran.table, ran.query, store.dictionary(), out);
+  std::string tsv = out.str();
+  EXPECT_NE(tsv.find("\"Bob\"\t\n"), std::string::npos);
+}
+
+TEST(ResultsJsonTest, EmptyResultIsValid) {
+  storage::TripleStore store =
+      storage::TripleStore::Build(testing::SmallBibGraph());
+  Ran ran = RunQuery(store, "SELECT ?x WHERE { ?x <no:such> ?y }");
+  std::ostringstream out;
+  WriteResultsJson(ran.table, ran.query, store.dictionary(), out);
+  EXPECT_NE(out.str().find("\"bindings\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsparql::exec

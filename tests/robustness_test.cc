@@ -1,0 +1,119 @@
+// Robustness sweeps: the whole pipeline must behave across generator
+// seeds and dataset scales — plan characteristics of Table 4 are
+// data-independent for HSP, results stay planner-consistent, and executed
+// plans keep their sortedness invariants.
+#include <gtest/gtest.h>
+
+#include "cdp/cdp_planner.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql {
+namespace {
+
+using workload::WorkloadQuery;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, WorkloadRunsConsistentlyAcrossSeeds) {
+  const std::uint64_t seed = GetParam();
+  storage::TripleStore sp2b = storage::TripleStore::Build(
+      workload::GenerateSp2b(
+          workload::Sp2bConfig::FromTargetTriples(25000, seed)));
+  storage::Statistics sp2b_stats = storage::Statistics::Compute(sp2b);
+  storage::TripleStore yago = storage::TripleStore::Build(
+      workload::GenerateYago(
+          workload::YagoConfig::FromTargetTriples(25000, seed)));
+  storage::Statistics yago_stats = storage::Statistics::Compute(yago);
+
+  hsp::HspPlanner planner;
+  for (const WorkloadQuery& wq : workload::AllQueries()) {
+    bool is_sp2b = wq.dataset == workload::Dataset::kSp2Bench;
+    storage::TripleStore& store = is_sp2b ? sp2b : yago;
+    storage::Statistics& stats = is_sp2b ? sp2b_stats : yago_stats;
+
+    auto q = sparql::Parse(wq.sparql);
+    ASSERT_TRUE(q.ok()) << wq.id;
+
+    // HSP plan characteristics are data-independent: Table 4's HSP rows
+    // hold for every seed.
+    auto planned = planner.Plan(*q);
+    ASSERT_TRUE(planned.ok()) << wq.id;
+    EXPECT_EQ(planned->plan.CountJoins(hsp::JoinAlgo::kMerge),
+              wq.table4.hsp_merge)
+        << wq.id << " seed " << seed;
+    EXPECT_EQ(planned->plan.CountJoins(hsp::JoinAlgo::kHash),
+              wq.table4.hsp_hash)
+        << wq.id << " seed " << seed;
+
+    // HSP and CDP answers agree on this seed's data.
+    exec::Executor executor(&store);
+    auto hsp_run = executor.Execute(planned->query, planned->plan);
+    ASSERT_TRUE(hsp_run.ok()) << wq.id << " seed " << seed;
+    EXPECT_TRUE(hsp_run->table.CheckSortedness()) << wq.id;
+
+    cdp::CdpPlanner cdp_planner(&store, &stats);
+    auto cdp_planned = cdp_planner.Plan(*q);
+    ASSERT_TRUE(cdp_planned.ok()) << wq.id;
+    auto cdp_run = executor.Execute(cdp_planned->query, cdp_planned->plan);
+    ASSERT_TRUE(cdp_run.ok()) << wq.id << " seed " << seed;
+    EXPECT_EQ(testing::ToResultBag(hsp_run->table, planned->query,
+                                   store.dictionary(), q->projection),
+              testing::ToResultBag(cdp_run->table, cdp_planned->query,
+                                   store.dictionary(), q->projection))
+        << wq.id << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+TEST(RobustnessTest, TinyDatasetsDoNotBreakPlansOrExecution) {
+  // Degenerate scales: near-empty generator outputs must still plan and
+  // execute every query (possibly with empty results).
+  workload::Sp2bConfig tiny;
+  tiny.years = 1;
+  tiny.articles_per_journal = 1;
+  tiny.inproceedings_per_proceeding = 1;
+  tiny.proceedings_per_year = 1;
+  tiny.num_authors = 2;
+  storage::TripleStore store =
+      storage::TripleStore::Build(workload::GenerateSp2b(tiny));
+  hsp::HspPlanner planner;
+  exec::Executor executor(&store);
+  for (const WorkloadQuery& wq : workload::AllQueries()) {
+    if (wq.dataset != workload::Dataset::kSp2Bench) continue;
+    auto q = sparql::Parse(wq.sparql);
+    ASSERT_TRUE(q.ok());
+    auto planned = planner.Plan(*q);
+    ASSERT_TRUE(planned.ok()) << wq.id;
+    auto run = executor.Execute(planned->query, planned->plan);
+    EXPECT_TRUE(run.ok()) << wq.id << ": " << run.status();
+  }
+}
+
+TEST(RobustnessTest, QueriesAgainstWrongDatasetReturnEmptyNotError) {
+  // YAGO queries on SP2Bench data: every constant misses the dictionary.
+  storage::TripleStore store = storage::TripleStore::Build(
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(5000)));
+  hsp::HspPlanner planner;
+  exec::Executor executor(&store);
+  for (const char* id : {"Y1", "Y2", "Y3", "Y4"}) {
+    auto q = sparql::Parse(workload::FindQuery(id)->sparql);
+    ASSERT_TRUE(q.ok());
+    auto planned = planner.Plan(*q);
+    ASSERT_TRUE(planned.ok());
+    auto run = executor.Execute(planned->query, planned->plan);
+    ASSERT_TRUE(run.ok()) << id << ": " << run.status();
+    EXPECT_EQ(run->table.rows, 0u) << id;
+  }
+}
+
+}  // namespace
+}  // namespace hsparql

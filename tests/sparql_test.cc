@@ -1,0 +1,241 @@
+// Tests for src/sparql: lexer, parser, FILTER rewriting.
+#include <gtest/gtest.h>
+
+#include "sparql/ast.h"
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+#include "sparql/rewrite.h"
+
+namespace hsparql::sparql {
+namespace {
+
+using rdf::Position;
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Tokenize("SELECT ?x WHERE { ?x <http://p> \"v\" . }");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kVar, TokenKind::kIdent,
+                TokenKind::kLBrace, TokenKind::kVar, TokenKind::kIri,
+                TokenKind::kString, TokenKind::kDot, TokenKind::kRBrace,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, ComparisonVsIri) {
+  auto toks = Tokenize("FILTER (?x < \"5\") ?y <http://iri> <= >= != =");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kVar,
+                TokenKind::kLt, TokenKind::kString, TokenKind::kRParen,
+                TokenKind::kVar, TokenKind::kIri, TokenKind::kLe,
+                TokenKind::kGe, TokenKind::kNe, TokenKind::kEq,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentsAndNumbers) {
+  auto toks = Tokenize("# comment\n42 -3 2.5 prefix:name");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*toks)[0].text, "42");
+  EXPECT_EQ((*toks)[1].text, "-3");
+  EXPECT_EQ((*toks)[2].text, "2.5");
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kPname);
+}
+
+TEST(LexerTest, StringEscapesAndSuffixes) {
+  auto toks = Tokenize("\"a\\\"b\\nc\" \"x\"@en \"7\"^^<http://t>");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  EXPECT_EQ((*toks)[0].text, "a\"b\nc");
+  EXPECT_EQ((*toks)[1].text, "x");
+  EXPECT_EQ((*toks)[2].text, "7");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("<http://unterminated").ok());
+  EXPECT_FALSE(Tokenize("!x").ok());
+}
+
+TEST(ParserTest, SimpleQuery) {
+  auto q = Parse(
+      "SELECT ?s ?o WHERE { ?s <http://p> ?o . ?s <http://q> \"v\" }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns.size(), 2u);
+  EXPECT_EQ(q->projection.size(), 2u);
+  EXPECT_FALSE(q->distinct);
+  EXPECT_TRUE(q->patterns[0].s.is_variable());
+  EXPECT_TRUE(q->patterns[0].p.is_constant());
+  EXPECT_EQ(q->patterns[1].o.constant, rdf::Term::Literal("v"));
+}
+
+TEST(ParserTest, PrefixExpansion) {
+  auto q = Parse(
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+      "SELECT ?x WHERE { ?x dc:title \"T\" }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns[0].p.constant.lexical,
+            "http://purl.org/dc/elements/1.1/title");
+}
+
+TEST(ParserTest, UndeclaredPrefixFails) {
+  auto q = Parse("SELECT ?x WHERE { ?x dc:title \"T\" }");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("undeclared prefix"),
+            std::string::npos);
+}
+
+TEST(ParserTest, AKeywordIsRdfType) {
+  auto q = Parse("SELECT ?x WHERE { ?x a <http://C> }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns[0].p.constant.lexical, kRdfTypeIri);
+}
+
+TEST(ParserTest, SelectStarAndDistinct) {
+  auto q = Parse("SELECT DISTINCT * WHERE { ?x ?p ?y }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->select_all);
+  EXPECT_TRUE(q->distinct);
+}
+
+TEST(ParserTest, PredicateAndObjectLists) {
+  auto q = Parse(
+      "SELECT ?x WHERE { ?x <http://p> ?a , ?b ; <http://q> ?c . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->patterns.size(), 3u);
+  // Same subject in all three.
+  EXPECT_EQ(q->patterns[0].s, q->patterns[1].s);
+  EXPECT_EQ(q->patterns[0].s, q->patterns[2].s);
+  EXPECT_EQ(q->patterns[0].p, q->patterns[1].p);
+  EXPECT_NE(q->patterns[0].p, q->patterns[2].p);
+}
+
+TEST(ParserTest, FilterForms) {
+  auto q = Parse(
+      "SELECT ?x WHERE { ?x <http://p> ?v . ?x <http://q> ?w .\n"
+      "  FILTER (?v = \"1942\") FILTER (?v < ?w) FILTER (?w >= 10) }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filters.size(), 3u);
+  EXPECT_EQ(q->filters[0].op, FilterOp::kEq);
+  EXPECT_FALSE(q->filters[0].rhs_var.has_value());
+  EXPECT_EQ(q->filters[1].op, FilterOp::kLt);
+  EXPECT_TRUE(q->filters[1].rhs_var.has_value());
+  EXPECT_EQ(q->filters[2].op, FilterOp::kGe);
+  EXPECT_EQ(q->filters[2].value, rdf::Term::Literal("10"));
+}
+
+TEST(ParserTest, ProjectionMustOccurInBody) {
+  auto q = Parse("SELECT ?ghost WHERE { ?x ?p ?y }");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, EmptyWhereFails) {
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { }").ok());
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { ?x ?p ?y } extra").ok());
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  auto q = Parse(
+      "SELECT ?x WHERE { ?x <http://p> \"v\" . ?x <http://q> ?y .\n"
+      "  FILTER (?y != \"z\") }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto q2 = Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status() << "\n" << q->ToString();
+  EXPECT_EQ(q->patterns, q2->patterns);
+  EXPECT_EQ(q->filters, q2->filters);
+}
+
+TEST(RewriteTest, FoldsEqualityConstant) {
+  auto q = Parse(
+      "SELECT ?a WHERE { ?a <http://p> ?v . FILTER (?v = \"1942\") }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  RewriteReport report = RewriteFilters(&*q);
+  EXPECT_EQ(report.constants_folded, 1);
+  EXPECT_TRUE(q->filters.empty());
+  EXPECT_TRUE(q->patterns[0].o.is_constant());
+  EXPECT_EQ(q->patterns[0].o.constant, rdf::Term::Literal("1942"));
+}
+
+TEST(RewriteTest, KeepsProjectedVariableFilter) {
+  auto q = Parse(
+      "SELECT ?v WHERE { ?a <http://p> ?v . FILTER (?v = \"1942\") }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  RewriteReport report = RewriteFilters(&*q);
+  EXPECT_EQ(report.constants_folded, 0);
+  EXPECT_EQ(q->filters.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].o.is_variable());
+}
+
+TEST(RewriteTest, KeepsInequalities) {
+  auto q = Parse(
+      "SELECT ?a WHERE { ?a <http://p> ?v . FILTER (?v < \"5\") }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  RewriteFilters(&*q);
+  EXPECT_EQ(q->filters.size(), 1u);
+}
+
+TEST(RewriteTest, UnifiesVariables) {
+  auto q = Parse(
+      "SELECT ?a WHERE { ?a <http://p> ?v . ?w <http://q> ?a .\n"
+      "  FILTER (?v = ?w) }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  RewriteReport report = RewriteFilters(&*q);
+  EXPECT_EQ(report.variables_unified, 1);
+  EXPECT_TRUE(q->filters.empty());
+  // tp0.o and tp1.s now hold the same variable.
+  EXPECT_EQ(q->patterns[0].o.var, q->patterns[1].s.var);
+}
+
+TEST(RewriteTest, SkipsFoldWhenVarUsedInAnotherFilter) {
+  auto q = Parse(
+      "SELECT ?a WHERE { ?a <http://p> ?v . ?a <http://q> ?w .\n"
+      "  FILTER (?v = \"5\") FILTER (?w < ?v) }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  RewriteReport report = RewriteFilters(&*q);
+  EXPECT_EQ(report.constants_folded, 0);
+  EXPECT_EQ(q->filters.size(), 2u);
+}
+
+TEST(RewriteTest, Sp3ShapeBecomesTwoPatternQuery) {
+  // The paper's SP3 rewriting: "_2" = 2 patterns after folding.
+  auto q = Parse(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX swrc: <http://swrc.ontoware.org/ontology#>\n"
+      "PREFIX bench: <http://localhost/vocabulary/bench/>\n"
+      "SELECT ?article WHERE {\n"
+      "  ?article rdf:type bench:Article .\n"
+      "  ?article ?property ?value .\n"
+      "  FILTER (?property = swrc:pages) }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  RewriteFilters(&*q);
+  EXPECT_TRUE(q->filters.empty());
+  ASSERT_EQ(q->patterns.size(), 2u);
+  EXPECT_TRUE(q->patterns[1].p.is_constant());
+  EXPECT_EQ(q->patterns[1].p.constant.lexical,
+            "http://swrc.ontoware.org/ontology#pages");
+  EXPECT_EQ(q->patterns[1].num_constants(), 1);
+}
+
+TEST(AstTest, PatternHelpers) {
+  auto q = Parse("SELECT ?x WHERE { ?x <http://p> ?x . ?x <http://q> ?y }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const TriplePattern& tp0 = q->patterns[0];
+  EXPECT_EQ(tp0.num_constants(), 1);
+  EXPECT_EQ(tp0.num_variable_slots(), 2);
+  VarId x = *q->FindVar("x");
+  EXPECT_EQ(tp0.PositionsOf(x).size(), 2u);  // repeated variable
+  EXPECT_EQ(tp0.Variables().size(), 1u);     // but one distinct var
+  auto weights = q->VarWeights();
+  EXPECT_EQ(weights[x], 2u);  // two patterns, not three slots
+}
+
+}  // namespace
+}  // namespace hsparql::sparql

@@ -1,0 +1,223 @@
+// Tests for src/storage: the six orderings, prefix lookups (verified
+// against linear scans with a parameterized sweep), statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+#include "storage/ordering.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::storage {
+namespace {
+
+using rdf::Position;
+using rdf::Triple;
+
+TEST(OrderingTest, NamesRoundTrip) {
+  for (Ordering o : kAllOrderings) {
+    auto parsed = OrderingFromName(OrderingName(o));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, o);
+  }
+  EXPECT_FALSE(OrderingFromName("xyz").has_value());
+  EXPECT_FALSE(OrderingFromName("SPO").has_value());
+}
+
+TEST(OrderingTest, PositionsAreDistinctPermutations) {
+  std::vector<std::array<Position, 3>> seen;
+  for (Ordering o : kAllOrderings) {
+    auto pos = OrderingPositions(o);
+    EXPECT_NE(pos[0], pos[1]);
+    EXPECT_NE(pos[1], pos[2]);
+    EXPECT_NE(pos[0], pos[2]);
+    EXPECT_EQ(OrderingFromPositions(pos[0], pos[1], pos[2]), o);
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), pos), 0);
+    seen.push_back(pos);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(OrderingTest, ComparatorSortsMajorFirst) {
+  OrderingLess less(Ordering::kPos);
+  // p major, o middle, s minor.
+  EXPECT_TRUE(less(Triple{9, 1, 1}, Triple{0, 2, 0}));
+  EXPECT_TRUE(less(Triple{9, 1, 1}, Triple{0, 1, 2}));
+  EXPECT_TRUE(less(Triple{1, 1, 1}, Triple{2, 1, 1}));
+  EXPECT_FALSE(less(Triple{1, 1, 1}, Triple{1, 1, 1}));
+}
+
+rdf::Graph RandomGraph(std::size_t n, std::uint32_t s_card,
+                       std::uint32_t p_card, std::uint32_t o_card,
+                       std::uint64_t seed) {
+  rdf::Graph g;
+  // Pre-intern ids so TermIds are dense and predictable.
+  for (std::uint32_t i = 0; i < std::max({s_card, p_card, o_card}); ++i) {
+    g.dictionary().InternIri("http://e/" + std::to_string(i));
+  }
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.Add(Triple{static_cast<rdf::TermId>(rng.NextBounded(s_card)),
+                 static_cast<rdf::TermId>(rng.NextBounded(p_card)),
+                 static_cast<rdf::TermId>(rng.NextBounded(o_card))});
+  }
+  return g;
+}
+
+TEST(TripleStoreTest, DeduplicatesAndSortsAllOrderings) {
+  rdf::Graph g = RandomGraph(500, 20, 5, 30, 1);
+  std::vector<Triple> raw = g.triples();
+  std::sort(raw.begin(), raw.end());
+  std::size_t distinct = static_cast<std::size_t>(
+      std::unique(raw.begin(), raw.end()) - raw.begin());
+
+  TripleStore store = TripleStore::Build(std::move(g));
+  EXPECT_EQ(store.size(), distinct);
+  for (Ordering o : kAllOrderings) {
+    auto rel = store.Scan(o);
+    ASSERT_EQ(rel.size(), distinct);
+    EXPECT_TRUE(std::is_sorted(rel.begin(), rel.end(), OrderingLess(o)));
+  }
+}
+
+TEST(TripleStoreTest, ContainsFindsExactTriples) {
+  rdf::Graph g = RandomGraph(200, 10, 4, 10, 2);
+  Triple present = g.triples().front();
+  TripleStore store = TripleStore::Build(std::move(g));
+  EXPECT_TRUE(store.Contains(present));
+  EXPECT_FALSE(store.Contains(Triple{999, 999, 999}));
+}
+
+TEST(OrderingWithBoundPrefixTest, CoversAllSubsets) {
+  using P = Position;
+  // Every subset of positions must be a prefix of some ordering.
+  std::vector<std::vector<P>> subsets = {
+      {},
+      {P::kSubject},
+      {P::kPredicate},
+      {P::kObject},
+      {P::kSubject, P::kPredicate},
+      {P::kSubject, P::kObject},
+      {P::kPredicate, P::kObject},
+      {P::kSubject, P::kPredicate, P::kObject}};
+  for (const auto& subset : subsets) {
+    Ordering o = OrderingWithBoundPrefix(subset);
+    auto pos = OrderingPositions(o);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_NE(std::find(subset.begin(), subset.end(), pos[i]), subset.end())
+          << "ordering " << OrderingName(o) << " does not start with subset";
+    }
+  }
+}
+
+// Parameterized sweep: LookupPrefix must agree with a linear scan for every
+// ordering and every bound-prefix depth.
+class LookupPrefixSweep
+    : public ::testing::TestWithParam<std::tuple<Ordering, int>> {};
+
+TEST_P(LookupPrefixSweep, MatchesLinearScan) {
+  auto [ordering, depth] = GetParam();
+  rdf::Graph g = RandomGraph(800, 15, 6, 25, 42);
+  std::vector<Triple> all = g.triples();
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  TripleStore store = TripleStore::Build(std::move(g));
+
+  const auto positions = OrderingPositions(ordering);
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Probe with values drawn from a real triple half the time.
+    Triple probe{static_cast<rdf::TermId>(rng.NextBounded(15)),
+                 static_cast<rdf::TermId>(rng.NextBounded(6)),
+                 static_cast<rdf::TermId>(rng.NextBounded(25))};
+    if (trial % 2 == 0) probe = all[rng.NextBounded(all.size())];
+
+    std::vector<Binding> bindings;
+    for (int i = 0; i < depth; ++i) {
+      bindings.push_back(Binding{positions[static_cast<std::size_t>(i)],
+                                 probe.at(positions[static_cast<std::size_t>(i)])});
+    }
+    auto range = store.LookupPrefix(ordering, bindings);
+
+    std::size_t expected = 0;
+    for (const Triple& t : all) {
+      bool match = true;
+      for (const Binding& b : bindings) {
+        if (t.at(b.position) != b.value) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++expected;
+    }
+    ASSERT_EQ(range.size(), expected)
+        << OrderingName(ordering) << " depth " << depth;
+    for (const Triple& t : range) {
+      for (const Binding& b : bindings) EXPECT_EQ(t.at(b.position), b.value);
+    }
+    EXPECT_EQ(store.CountMatching(bindings), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderingsAndDepths, LookupPrefixSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllOrderings),
+                       ::testing::Values(0, 1, 2, 3)),
+    [](const auto& param_info) {
+      std::string name(OrderingName(std::get<0>(param_info.param)));
+      name.append("_depth");
+      name.append(std::to_string(std::get<1>(param_info.param)));
+      return name;
+    });
+
+TEST(StatisticsTest, GlobalDistincts) {
+  rdf::Graph g;
+  g.AddIri("s1", "p1", "o1");
+  g.AddIri("s1", "p1", "o2");
+  g.AddIri("s2", "p2", "o1");
+  g.AddIri("s3", "p1", "o3");
+  TripleStore store = TripleStore::Build(std::move(g));
+  Statistics stats = Statistics::Compute(store);
+  EXPECT_EQ(stats.total_triples(), 4u);
+  EXPECT_EQ(stats.DistinctAt(Position::kSubject), 3u);
+  EXPECT_EQ(stats.DistinctAt(Position::kPredicate), 2u);
+  EXPECT_EQ(stats.DistinctAt(Position::kObject), 3u);
+}
+
+TEST(StatisticsTest, PerPredicateAggregates) {
+  rdf::Graph g;
+  g.AddIri("s1", "p1", "o1");
+  g.AddIri("s1", "p1", "o2");
+  g.AddIri("s2", "p1", "o1");
+  g.AddIri("s9", "p2", "o9");
+  rdf::TermId p1 = *g.dictionary().Find(rdf::Term::Iri("p1"));
+  rdf::TermId p2 = *g.dictionary().Find(rdf::Term::Iri("p2"));
+  TripleStore store = TripleStore::Build(std::move(g));
+  Statistics stats = Statistics::Compute(store);
+
+  PredicateStats s1 = stats.ForPredicate(p1);
+  EXPECT_EQ(s1.count, 3u);
+  EXPECT_EQ(s1.distinct_subjects, 2u);
+  EXPECT_EQ(s1.distinct_objects, 2u);
+  PredicateStats s2 = stats.ForPredicate(p2);
+  EXPECT_EQ(s2.count, 1u);
+  EXPECT_EQ(stats.ForPredicate(9999).count, 0u);
+}
+
+TEST(StatisticsTest, EstimateDistinctExactForPredicateOnly) {
+  rdf::Graph g;
+  for (int i = 0; i < 10; ++i) {
+    g.AddIri("s" + std::to_string(i % 4), "p", "o" + std::to_string(i));
+  }
+  rdf::TermId p = *g.dictionary().Find(rdf::Term::Iri("p"));
+  TripleStore store = TripleStore::Build(std::move(g));
+  Statistics stats = Statistics::Compute(store);
+  Binding b{Position::kPredicate, p};
+  EXPECT_EQ(stats.EstimateDistinct({&b, 1}, Position::kSubject), 4u);
+  EXPECT_EQ(stats.EstimateDistinct({&b, 1}, Position::kObject), 10u);
+}
+
+}  // namespace
+}  // namespace hsparql::storage

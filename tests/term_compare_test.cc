@@ -1,0 +1,61 @@
+// Tests for the FILTER comparison semantics shared by the executor and
+// the reference evaluator.
+#include <gtest/gtest.h>
+
+#include "exec/term_compare.h"
+
+namespace hsparql::exec {
+namespace {
+
+using rdf::Term;
+using sparql::FilterOp;
+
+TEST(CompareTermsTest, NumericWhenBothNumeric) {
+  EXPECT_LT(CompareTerms(Term::Literal("2"), Term::Literal("10")), 0);
+  EXPECT_GT(CompareTerms(Term::Literal("10"), Term::Literal("2")), 0);
+  EXPECT_EQ(CompareTerms(Term::Literal("3.0"), Term::Literal("3")), 0);
+  EXPECT_LT(CompareTerms(Term::Literal("-5"), Term::Literal("1")), 0);
+  EXPECT_LT(CompareTerms(Term::Literal("1.5"), Term::Literal("1.75")), 0);
+}
+
+TEST(CompareTermsTest, LexicalWhenEitherNonNumeric) {
+  // "10x" is not fully numeric -> lexical comparison ("10x" < "2").
+  EXPECT_LT(CompareTerms(Term::Literal("10x"), Term::Literal("2")), 0);
+  EXPECT_LT(CompareTerms(Term::Literal("apple"), Term::Literal("banana")),
+            0);
+  EXPECT_EQ(CompareTerms(Term::Literal("same"), Term::Literal("same")), 0);
+}
+
+TEST(CompareTermsTest, EmptyStringIsLexical) {
+  EXPECT_LT(CompareTerms(Term::Literal(""), Term::Literal("a")), 0);
+  EXPECT_EQ(CompareTerms(Term::Literal(""), Term::Literal("")), 0);
+}
+
+TEST(CompareTermsTest, IrisCompareLexically) {
+  EXPECT_LT(CompareTerms(Term::Iri("http://a"), Term::Iri("http://b")), 0);
+}
+
+TEST(EvalFilterOpTest, EqualityRequiresSameKind) {
+  // An IRI never equals a literal with the same lexical form.
+  EXPECT_FALSE(EvalFilterOp(FilterOp::kEq, Term::Iri("abc"),
+                            Term::Literal("abc")));
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kNe, Term::Iri("abc"),
+                           Term::Literal("abc")));
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kEq, Term::Literal("abc"),
+                           Term::Literal("abc")));
+}
+
+TEST(EvalFilterOpTest, AllOperators) {
+  Term two = Term::Literal("2");
+  Term ten = Term::Literal("10");
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kLt, two, ten));
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kLe, two, ten));
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kLe, two, two));
+  EXPECT_FALSE(EvalFilterOp(FilterOp::kGt, two, ten));
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kGe, ten, ten));
+  EXPECT_TRUE(EvalFilterOp(FilterOp::kNe, two, ten));
+  EXPECT_FALSE(EvalFilterOp(FilterOp::kEq, two, ten));
+}
+
+}  // namespace
+}  // namespace hsparql::exec

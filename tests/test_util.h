@@ -1,0 +1,139 @@
+// Shared helpers for the hsparql test suite.
+#ifndef HSPARQL_TESTS_TEST_UTIL_H_
+#define HSPARQL_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/term_compare.h"
+#include "rdf/graph.h"
+#include "sparql/ast.h"
+
+namespace hsparql::testing {
+
+/// A query answer as a multiset of projected tuples rendered to strings
+/// ("<iri>" / "\"literal\""), sorted for order-insensitive comparison.
+using ResultBag = std::vector<std::vector<std::string>>;
+
+/// Reference evaluator: naive backtracking over the raw triple list.
+/// Applies filters, projection and DISTINCT with the engine's semantics.
+/// Exponential — tiny graphs only.
+inline ResultBag BruteForceEval(const sparql::Query& query,
+                                const rdf::Dictionary& dict,
+                                const std::vector<rdf::Triple>& triples) {
+  ResultBag out;
+  std::map<sparql::VarId, rdf::TermId> binding;
+
+  auto match_term = [&](const sparql::PatternTerm& t, rdf::TermId id,
+                        std::vector<sparql::VarId>* bound_here) {
+    if (t.is_constant()) {
+      auto found = dict.Find(t.constant);
+      return found.has_value() && *found == id;
+    }
+    auto it = binding.find(t.var);
+    if (it != binding.end()) return it->second == id;
+    binding[t.var] = id;
+    bound_here->push_back(t.var);
+    return true;
+  };
+
+  std::vector<sparql::VarId> projection = query.projection;
+  if (query.select_all) {
+    projection.clear();
+    for (const sparql::TriplePattern& tp : query.patterns) {
+      for (sparql::VarId v : tp.Variables()) {
+        if (std::find(projection.begin(), projection.end(), v) ==
+            projection.end()) {
+          projection.push_back(v);
+        }
+      }
+    }
+  }
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (i == query.patterns.size()) {
+      for (const sparql::Filter& f : query.filters) {
+        const rdf::Term& a = dict.Get(binding.at(f.var));
+        rdf::Term b = f.rhs_var.has_value() ? dict.Get(binding.at(*f.rhs_var))
+                                            : f.value;
+        if (!exec::EvalFilterOp(f.op, a, b)) return;
+      }
+      std::vector<std::string> row;
+      for (sparql::VarId v : projection) {
+        row.push_back(dict.Get(binding.at(v)).ToString());
+      }
+      out.push_back(std::move(row));
+      return;
+    }
+    const sparql::TriplePattern& tp = query.patterns[i];
+    for (const rdf::Triple& t : triples) {
+      std::vector<sparql::VarId> bound_here;
+      bool ok = match_term(tp.s, t.s, &bound_here) &&
+                match_term(tp.p, t.p, &bound_here) &&
+                match_term(tp.o, t.o, &bound_here);
+      if (ok) recurse(i + 1);
+      for (sparql::VarId v : bound_here) binding.erase(v);
+    }
+  };
+  recurse(0);
+
+  std::sort(out.begin(), out.end());
+  if (query.distinct) out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Renders a BindingTable-style answer into the same sorted-string form.
+template <typename Table>
+ResultBag ToResultBag(const Table& table, const sparql::Query& query,
+                      const rdf::Dictionary& dict,
+                      const std::vector<sparql::VarId>& projection) {
+  ResultBag out;
+  std::vector<std::size_t> cols;
+  for (sparql::VarId v : projection) cols.push_back(table.ColumnOf(v));
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    std::vector<std::string> row;
+    for (std::size_t c : cols) {
+      rdf::TermId id = table.columns[c][r];
+      row.push_back(id == rdf::kInvalidTermId ? "UNDEF"
+                                              : dict.Get(id).ToString());
+    }
+    out.push_back(std::move(row));
+  }
+  (void)query;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// A small publication graph exercising every join class the workload uses.
+inline rdf::Graph SmallBibGraph() {
+  rdf::Graph g;
+  const std::string type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+  g.AddIri("ex:j1940", type, "bench:Journal");
+  g.AddLiteral("ex:j1940", "dc:title", "Journal 1 (1940)");
+  g.AddLiteral("ex:j1940", "dcterms:issued", "1940");
+  g.AddIri("ex:j1941", type, "bench:Journal");
+  g.AddLiteral("ex:j1941", "dc:title", "Journal 1 (1941)");
+  g.AddLiteral("ex:j1941", "dcterms:issued", "1941");
+  g.AddIri("ex:a1", type, "bench:Article");
+  g.AddIri("ex:a1", "swrc:journal", "ex:j1940");
+  g.AddIri("ex:a1", "dc:creator", "ex:p1");
+  g.AddLiteral("ex:a1", "swrc:pages", "42");
+  g.AddIri("ex:a2", type, "bench:Article");
+  g.AddIri("ex:a2", "swrc:journal", "ex:j1940");
+  g.AddIri("ex:a2", "dc:creator", "ex:p2");
+  g.AddIri("ex:a3", type, "bench:Article");
+  g.AddIri("ex:a3", "swrc:journal", "ex:j1941");
+  g.AddIri("ex:a3", "dc:creator", "ex:p1");
+  g.AddIri("ex:p1", type, "foaf:Person");
+  g.AddLiteral("ex:p1", "foaf:name", "Alice");
+  g.AddIri("ex:p2", type, "foaf:Person");
+  g.AddLiteral("ex:p2", "foaf:name", "Bob");
+  return g;
+}
+
+}  // namespace hsparql::testing
+
+#endif  // HSPARQL_TESTS_TEST_UTIL_H_

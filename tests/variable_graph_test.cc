@@ -1,0 +1,99 @@
+// Tests for hsp::VariableGraph, including the paper's Figure 1 example.
+#include <gtest/gtest.h>
+
+#include "hsp/variable_graph.h"
+#include "sparql/parser.h"
+#include "workload/queries.h"
+
+namespace hsparql::hsp {
+namespace {
+
+TEST(VariableGraphTest, Figure1Example) {
+  auto q = sparql::Parse(workload::Figure1ExampleQuery());
+  ASSERT_TRUE(q.ok()) << q.status();
+  // Untrimmed: Figure 1 shows ?jrnl(4), ?yr(1), ?rev(1).
+  VariableGraph g = VariableGraph::Build(*q, /*min_weight=*/1);
+  ASSERT_EQ(g.num_nodes(), 3u);
+
+  auto find = [&](std::string_view name) -> const VariableGraph::Node* {
+    for (const auto& n : g.nodes()) {
+      if (q->VarName(n.var) == name) return &n;
+    }
+    return nullptr;
+  };
+  const auto* jrnl = find("jrnl");
+  const auto* yr = find("yr");
+  const auto* rev = find("rev");
+  ASSERT_NE(jrnl, nullptr);
+  ASSERT_NE(yr, nullptr);
+  ASSERT_NE(rev, nullptr);
+  EXPECT_EQ(jrnl->weight, 4u);
+  EXPECT_EQ(yr->weight, 1u);
+  EXPECT_EQ(rev->weight, 1u);
+
+  // Edges jrnl--yr and jrnl--rev; no yr--rev edge.
+  auto index_of = [&](const VariableGraph::Node* n) {
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+      if (&g.node(i) == n) return i;
+    }
+    return SIZE_MAX;
+  };
+  std::size_t ij = index_of(jrnl);
+  std::size_t iy = index_of(yr);
+  std::size_t ir = index_of(rev);
+  EXPECT_TRUE(g.HasEdge(ij, iy));
+  EXPECT_TRUE(g.HasEdge(ij, ir));
+  EXPECT_FALSE(g.HasEdge(iy, ir));
+
+  // Trimmed to joinable nodes: only ?jrnl survives (paper: "the variable
+  // graph of Figure 1 is trimmed down to only one node").
+  VariableGraph trimmed = VariableGraph::Build(*q, /*min_weight=*/2);
+  ASSERT_EQ(trimmed.num_nodes(), 1u);
+  EXPECT_EQ(q->VarName(trimmed.node(0).var), "jrnl");
+}
+
+TEST(VariableGraphTest, SubsetRestriction) {
+  auto q = sparql::Parse(
+      "SELECT ?a WHERE { ?a <http://p> ?b . ?b <http://q> ?c . "
+      "?c <http://r> ?a }");
+  ASSERT_TRUE(q.ok());
+  // Full query: a, b, c all have weight 2.
+  VariableGraph full = VariableGraph::Build(*q);
+  EXPECT_EQ(full.num_nodes(), 3u);
+  // Restricted to the first two patterns only ?b is shared.
+  std::vector<std::size_t> subset = {0, 1};
+  VariableGraph restricted = VariableGraph::Build(*q, subset);
+  ASSERT_EQ(restricted.num_nodes(), 1u);
+  EXPECT_EQ(q->VarName(restricted.node(0).var), "b");
+}
+
+TEST(VariableGraphTest, WeightAndIndependence) {
+  VariableGraph g({{0, 3}, {1, 2}, {2, 2}}, {{0, 1}, {0, 2}});
+  std::vector<std::size_t> set12 = {1, 2};
+  EXPECT_TRUE(g.IsIndependent(set12));
+  EXPECT_EQ(g.Weight(set12), 4u);
+  std::vector<std::size_t> set01 = {0, 1};
+  EXPECT_FALSE(g.IsIndependent(set01));
+}
+
+TEST(VariableGraphTest, RepeatedVariableInOnePatternIsNoSelfEdge) {
+  auto q = sparql::Parse(
+      "SELECT ?x WHERE { ?x <http://p> ?x . ?x <http://q> ?y }");
+  ASSERT_TRUE(q.ok());
+  VariableGraph g = VariableGraph::Build(*q);
+  ASSERT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.node(0).weight, 2u);  // patterns, not slots
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(VariableGraphTest, DotOutputContainsNodesAndEdges) {
+  auto q = sparql::Parse(workload::Figure1ExampleQuery());
+  ASSERT_TRUE(q.ok());
+  VariableGraph g = VariableGraph::Build(*q, 1);
+  std::string dot = g.ToDot(*q);
+  EXPECT_NE(dot.find("?jrnl (4)"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsparql::hsp

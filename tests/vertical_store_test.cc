@@ -1,0 +1,121 @@
+// Tests for the vertically partitioned store: equivalence against the
+// triple table on every lookup shape (parameterized sweep on random data).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+#include "storage/vertical_store.h"
+
+namespace hsparql::storage {
+namespace {
+
+using rdf::Position;
+using rdf::TermId;
+using rdf::Triple;
+
+rdf::Graph RandomGraph(std::size_t n, std::uint64_t seed) {
+  rdf::Graph g;
+  for (int i = 0; i < 40; ++i) {
+    g.dictionary().InternIri("http://e/" + std::to_string(i));
+  }
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.Add(Triple{static_cast<TermId>(rng.NextBounded(25)),
+                 static_cast<TermId>(rng.NextBounded(6)),
+                 static_cast<TermId>(rng.NextBounded(30))});
+  }
+  return g;
+}
+
+TEST(VerticalStoreTest, PartitionsCoverEveryTriple) {
+  TripleStore ts = TripleStore::Build(RandomGraph(600, 5));
+  VerticalStore vs = VerticalStore::Build(ts);
+  EXPECT_EQ(vs.size(), ts.size());
+  std::size_t sum = 0;
+  for (TermId p : vs.predicates()) {
+    EXPECT_EQ(vs.BySubject(p).size(), vs.ByObject(p).size());
+    sum += vs.BySubject(p).size();
+  }
+  EXPECT_EQ(sum, ts.size());
+}
+
+TEST(VerticalStoreTest, TablesAreSortedBothWays) {
+  TripleStore ts = TripleStore::Build(RandomGraph(600, 6));
+  VerticalStore vs = VerticalStore::Build(ts);
+  for (TermId p : vs.predicates()) {
+    auto by_s = vs.BySubject(p);
+    EXPECT_TRUE(std::is_sorted(by_s.begin(), by_s.end()));
+    auto by_o = vs.ByObject(p);
+    EXPECT_TRUE(std::is_sorted(by_o.begin(), by_o.end(),
+                               [](const SoPair& a, const SoPair& b) {
+                                 return std::tie(a.o, a.s) <
+                                        std::tie(b.o, b.s);
+                               }));
+  }
+}
+
+TEST(VerticalStoreTest, UnknownPredicateIsEmpty) {
+  TripleStore ts = TripleStore::Build(RandomGraph(100, 7));
+  VerticalStore vs = VerticalStore::Build(ts);
+  EXPECT_TRUE(vs.BySubject(9999).empty());
+  EXPECT_TRUE(vs.LookupSubject(9999, 1).empty());
+  EXPECT_TRUE(vs.Match(std::nullopt, TermId{9999}, std::nullopt).empty());
+}
+
+TEST(VerticalStoreTest, MemoryBytesScalesWithData) {
+  TripleStore ts = TripleStore::Build(RandomGraph(500, 8));
+  VerticalStore vs = VerticalStore::Build(ts);
+  EXPECT_GE(vs.MemoryBytes(), vs.size() * 2 * sizeof(SoPair));
+}
+
+// Every bound/unbound combination of (s, p, o) must agree with the triple
+// table's CountMatching.
+class VerticalMatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerticalMatchSweep, AgreesWithTripleTable) {
+  const int mask = GetParam();  // bit 0: s bound, bit 1: p, bit 2: o
+  TripleStore ts = TripleStore::Build(RandomGraph(800, 42));
+  VerticalStore vs = VerticalStore::Build(ts);
+  auto all = ts.Scan(Ordering::kSpo);
+  SplitMix64 rng(static_cast<std::uint64_t>(mask) * 31 + 5);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const Triple& probe = all[rng.NextBounded(all.size())];
+    std::optional<TermId> s, p, o;
+    std::vector<Binding> bindings;
+    if (mask & 1) {
+      s = probe.s;
+      bindings.push_back(Binding{Position::kSubject, probe.s});
+    }
+    if (mask & 2) {
+      p = probe.p;
+      bindings.push_back(Binding{Position::kPredicate, probe.p});
+    }
+    if (mask & 4) {
+      o = probe.o;
+      bindings.push_back(Binding{Position::kObject, probe.o});
+    }
+    std::vector<Triple> matched = vs.Match(s, p, o);
+    EXPECT_EQ(matched.size(), ts.CountMatching(bindings)) << "mask " << mask;
+    for (const Triple& t : matched) {
+      EXPECT_TRUE(ts.Contains(t));
+      if (s.has_value()) {
+        EXPECT_EQ(t.s, *s);
+      }
+      if (p.has_value()) {
+        EXPECT_EQ(t.p, *p);
+      }
+      if (o.has_value()) {
+        EXPECT_EQ(t.o, *o);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBindingMasks, VerticalMatchSweep,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hsparql::storage

@@ -1,0 +1,142 @@
+// Tests for the synthetic data generators and the query registry.
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/vocab.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql::workload {
+namespace {
+
+namespace v = vocab;
+
+TEST(QueriesTest, RegistryIsComplete) {
+  const auto& all = AllQueries();
+  EXPECT_EQ(all.size(), 14u);
+  for (const char* id : {"SP1", "SP2a", "SP2b", "SP3a", "SP3b", "SP3c",
+                         "SP4a", "SP4b", "SP5", "SP6", "Y1", "Y2", "Y3",
+                         "Y4"}) {
+    EXPECT_NE(FindQuery(id), nullptr) << id;
+  }
+  EXPECT_EQ(FindQuery("nope"), nullptr);
+}
+
+TEST(QueriesTest, AllQueriesParse) {
+  for (const WorkloadQuery& wq : AllQueries()) {
+    auto q = sparql::Parse(wq.sparql);
+    EXPECT_TRUE(q.ok()) << wq.id << ": " << q.status();
+  }
+  EXPECT_TRUE(sparql::Parse(Figure1ExampleQuery()).ok());
+}
+
+TEST(Sp2bGenTest, DeterministicForSeed) {
+  Sp2bConfig config;
+  config.years = 3;
+  config.articles_per_journal = 5;
+  config.inproceedings_per_proceeding = 4;
+  config.num_authors = 20;
+  rdf::Graph a = GenerateSp2b(config);
+  rdf::Graph b = GenerateSp2b(config);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.triples(), b.triples());
+}
+
+TEST(Sp2bGenTest, ContainsTheWorkloadEntities) {
+  Sp2bConfig config;
+  config.years = 5;
+  config.articles_per_journal = 10;
+  config.inproceedings_per_proceeding = 5;
+  config.num_authors = 30;
+  rdf::Graph g = GenerateSp2b(config);
+  const rdf::Dictionary& dict = g.dictionary();
+  // SP1/SP5's anchor literal exists exactly once per title space.
+  EXPECT_TRUE(dict.Find(rdf::Term::Literal("Journal 1 (1940)")).has_value());
+  // Properties for SP2a's 10-pattern star.
+  for (std::string_view p :
+       {v::kRdfType, v::kDcCreator, v::kBenchBooktitle, v::kDcTitle,
+        v::kDctermsPartOf, v::kRdfsSeeAlso, v::kSwrcPages, v::kFoafHomepage,
+        v::kDctermsIssued, v::kBenchAbstract, v::kDctermsRevised}) {
+    EXPECT_TRUE(dict.Find(rdf::Term::Iri(std::string(p))).has_value()) << p;
+  }
+  // SP3c's swrc:isbn must NOT exist (empty-result query, as in SP2Bench).
+  EXPECT_FALSE(
+      dict.Find(rdf::Term::Iri("http://swrc.ontoware.org/ontology#isbn"))
+          .has_value());
+}
+
+TEST(Sp2bGenTest, TargetSizingIsApproximatelyRight) {
+  for (std::uint64_t target : {20000ULL, 100000ULL}) {
+    rdf::Graph g = GenerateSp2b(Sp2bConfig::FromTargetTriples(target));
+    double ratio = static_cast<double>(g.size()) /
+                   static_cast<double>(target);
+    EXPECT_GT(ratio, 0.5) << target;
+    EXPECT_LT(ratio, 2.0) << target;
+  }
+}
+
+TEST(YagoGenTest, ContainsTheWorkloadEntities) {
+  YagoConfig config = YagoConfig::FromTargetTriples(20000);
+  rdf::Graph g = GenerateYago(config);
+  const rdf::Dictionary& dict = g.dictionary();
+  for (std::string_view c :
+       {v::kWordnetActor, v::kWordnetMovie, v::kWordnetVillage,
+        v::kWordnetSite, v::kWordnetCity, v::kWordnetScientist}) {
+    EXPECT_TRUE(dict.Find(rdf::Term::Iri(std::string(c))).has_value()) << c;
+  }
+  for (std::string_view p :
+       {v::kYagoActedIn, v::kYagoDirected, v::kYagoLivesIn, v::kYagoLocatedIn,
+        v::kYagoMarriedTo, v::kYagoBornIn, v::kYagoWorksAt}) {
+    EXPECT_TRUE(dict.Find(rdf::Term::Iri(std::string(p))).has_value()) << p;
+  }
+}
+
+TEST(YagoGenTest, SelfDirectCorrelationExists) {
+  // Y1 joins (?p actedIn ?m) with (?p directed ?m): the generator must
+  // produce actors directing a movie they acted in.
+  YagoConfig config = YagoConfig::FromTargetTriples(20000);
+  storage::TripleStore store =
+      storage::TripleStore::Build(GenerateYago(config));
+  const rdf::Dictionary& dict = store.dictionary();
+  auto acted = dict.Find(rdf::Term::Iri(std::string(v::kYagoActedIn)));
+  auto directed = dict.Find(rdf::Term::Iri(std::string(v::kYagoDirected)));
+  ASSERT_TRUE(acted.has_value());
+  ASSERT_TRUE(directed.has_value());
+  std::size_t overlap = 0;
+  for (const rdf::Triple& t :
+       store.LookupPrefix(storage::Ordering::kPso,
+                          std::vector<storage::Binding>{
+                              {rdf::Position::kPredicate, *directed}})) {
+    if (store.Contains(rdf::Triple{t.s, *acted, t.o})) ++overlap;
+  }
+  EXPECT_GT(overlap, 0u);
+}
+
+TEST(YagoGenTest, LocatedInChainsReachCities) {
+  // Y4's path: scientist -> village -> region -> city must be realisable.
+  YagoConfig config;
+  config.num_actors = 500;
+  rdf::Graph g = GenerateYago(config);
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  const rdf::Dictionary& dict = store.dictionary();
+  auto located = dict.Find(rdf::Term::Iri(std::string(v::kYagoLocatedIn)));
+  ASSERT_TRUE(located.has_value());
+  EXPECT_GT(stats.ForPredicate(*located).count, 0u);
+}
+
+TEST(PaperDataTest, Table2RowsAreInternallyPlausible) {
+  for (const WorkloadQuery& wq : AllQueries()) {
+    const PaperTable2Row& r = wq.table2;
+    EXPECT_EQ(r.const0 + r.const1 + r.const2, r.patterns) << wq.id;
+    EXPECT_EQ(r.ss + r.pp + r.oo + r.sp + r.so + r.po, r.joins) << wq.id;
+    EXPECT_LE(r.projection_vars, r.variables) << wq.id;
+  }
+}
+
+}  // namespace
+}  // namespace hsparql::workload
