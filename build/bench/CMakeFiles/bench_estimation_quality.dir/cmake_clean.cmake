@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimation_quality.dir/bench_estimation_quality.cc.o"
+  "CMakeFiles/bench_estimation_quality.dir/bench_estimation_quality.cc.o.d"
+  "bench_estimation_quality"
+  "bench_estimation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

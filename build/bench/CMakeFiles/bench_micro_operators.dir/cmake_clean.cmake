@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_operators.dir/bench_micro_operators.cc.o"
+  "CMakeFiles/bench_micro_operators.dir/bench_micro_operators.cc.o.d"
+  "bench_micro_operators"
+  "bench_micro_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

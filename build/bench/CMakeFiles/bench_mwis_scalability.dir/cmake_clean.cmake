@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mwis_scalability.dir/bench_mwis_scalability.cc.o"
+  "CMakeFiles/bench_mwis_scalability.dir/bench_mwis_scalability.cc.o.d"
+  "bench_mwis_scalability"
+  "bench_mwis_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mwis_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sip.dir/bench_sip.cc.o"
+  "CMakeFiles/bench_sip.dir/bench_sip.cc.o.d"
+  "bench_sip"
+  "bench_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_schemes.dir/bench_storage_schemes.cc.o"
+  "CMakeFiles/bench_storage_schemes.dir/bench_storage_schemes.cc.o.d"
+  "bench_storage_schemes"
+  "bench_storage_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

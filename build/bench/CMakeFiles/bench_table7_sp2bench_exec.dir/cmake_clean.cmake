@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_sp2bench_exec.dir/bench_table7_sp2bench_exec.cc.o"
+  "CMakeFiles/bench_table7_sp2bench_exec.dir/bench_table7_sp2bench_exec.cc.o.d"
+  "bench_table7_sp2bench_exec"
+  "bench_table7_sp2bench_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_sp2bench_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

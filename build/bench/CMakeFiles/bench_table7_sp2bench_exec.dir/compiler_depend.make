@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_sp2bench_exec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_bench_util.dir/bench_exec_common.cc.o"
+  "CMakeFiles/hsparql_bench_util.dir/bench_exec_common.cc.o.d"
+  "CMakeFiles/hsparql_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hsparql_bench_util.dir/bench_util.cc.o.d"
+  "libhsparql_bench_util.a"
+  "libhsparql_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

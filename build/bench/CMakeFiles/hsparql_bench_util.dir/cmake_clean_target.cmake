@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsparql_bench_util.a"
+)

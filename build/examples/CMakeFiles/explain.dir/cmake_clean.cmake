@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain.dir/explain.cpp.o"
+  "CMakeFiles/explain.dir/explain.cpp.o.d"
+  "explain"
+  "explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp2bench_analytics.dir/sp2bench_analytics.cpp.o"
+  "CMakeFiles/sp2bench_analytics.dir/sp2bench_analytics.cpp.o.d"
+  "sp2bench_analytics"
+  "sp2bench_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp2bench_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

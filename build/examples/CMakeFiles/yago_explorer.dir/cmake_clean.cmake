@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yago_explorer.dir/yago_explorer.cpp.o"
+  "CMakeFiles/yago_explorer.dir/yago_explorer.cpp.o.d"
+  "yago_explorer"
+  "yago_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yago_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdp/cardinality.cc" "src/cdp/CMakeFiles/hsparql_cdp.dir/cardinality.cc.o" "gcc" "src/cdp/CMakeFiles/hsparql_cdp.dir/cardinality.cc.o.d"
+  "/root/repo/src/cdp/cdp_planner.cc" "src/cdp/CMakeFiles/hsparql_cdp.dir/cdp_planner.cc.o" "gcc" "src/cdp/CMakeFiles/hsparql_cdp.dir/cdp_planner.cc.o.d"
+  "/root/repo/src/cdp/char_sets.cc" "src/cdp/CMakeFiles/hsparql_cdp.dir/char_sets.cc.o" "gcc" "src/cdp/CMakeFiles/hsparql_cdp.dir/char_sets.cc.o.d"
+  "/root/repo/src/cdp/cost_model.cc" "src/cdp/CMakeFiles/hsparql_cdp.dir/cost_model.cc.o" "gcc" "src/cdp/CMakeFiles/hsparql_cdp.dir/cost_model.cc.o.d"
+  "/root/repo/src/cdp/hybrid_planner.cc" "src/cdp/CMakeFiles/hsparql_cdp.dir/hybrid_planner.cc.o" "gcc" "src/cdp/CMakeFiles/hsparql_cdp.dir/hybrid_planner.cc.o.d"
+  "/root/repo/src/cdp/leftdeep_planner.cc" "src/cdp/CMakeFiles/hsparql_cdp.dir/leftdeep_planner.cc.o" "gcc" "src/cdp/CMakeFiles/hsparql_cdp.dir/leftdeep_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsp/CMakeFiles/hsparql_hsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hsparql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/hsparql_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/hsparql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsparql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

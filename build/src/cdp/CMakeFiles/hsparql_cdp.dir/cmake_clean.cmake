@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_cdp.dir/cardinality.cc.o"
+  "CMakeFiles/hsparql_cdp.dir/cardinality.cc.o.d"
+  "CMakeFiles/hsparql_cdp.dir/cdp_planner.cc.o"
+  "CMakeFiles/hsparql_cdp.dir/cdp_planner.cc.o.d"
+  "CMakeFiles/hsparql_cdp.dir/char_sets.cc.o"
+  "CMakeFiles/hsparql_cdp.dir/char_sets.cc.o.d"
+  "CMakeFiles/hsparql_cdp.dir/cost_model.cc.o"
+  "CMakeFiles/hsparql_cdp.dir/cost_model.cc.o.d"
+  "CMakeFiles/hsparql_cdp.dir/hybrid_planner.cc.o"
+  "CMakeFiles/hsparql_cdp.dir/hybrid_planner.cc.o.d"
+  "CMakeFiles/hsparql_cdp.dir/leftdeep_planner.cc.o"
+  "CMakeFiles/hsparql_cdp.dir/leftdeep_planner.cc.o.d"
+  "libhsparql_cdp.a"
+  "libhsparql_cdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_cdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_common.dir/rng.cc.o"
+  "CMakeFiles/hsparql_common.dir/rng.cc.o.d"
+  "CMakeFiles/hsparql_common.dir/status.cc.o"
+  "CMakeFiles/hsparql_common.dir/status.cc.o.d"
+  "CMakeFiles/hsparql_common.dir/string_util.cc.o"
+  "CMakeFiles/hsparql_common.dir/string_util.cc.o.d"
+  "libhsparql_common.a"
+  "libhsparql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_exec.dir/binding_table.cc.o"
+  "CMakeFiles/hsparql_exec.dir/binding_table.cc.o.d"
+  "CMakeFiles/hsparql_exec.dir/executor.cc.o"
+  "CMakeFiles/hsparql_exec.dir/executor.cc.o.d"
+  "CMakeFiles/hsparql_exec.dir/results_io.cc.o"
+  "CMakeFiles/hsparql_exec.dir/results_io.cc.o.d"
+  "CMakeFiles/hsparql_exec.dir/term_compare.cc.o"
+  "CMakeFiles/hsparql_exec.dir/term_compare.cc.o.d"
+  "libhsparql_exec.a"
+  "libhsparql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

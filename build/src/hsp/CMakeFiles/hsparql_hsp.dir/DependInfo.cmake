@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsp/heuristics.cc" "src/hsp/CMakeFiles/hsparql_hsp.dir/heuristics.cc.o" "gcc" "src/hsp/CMakeFiles/hsparql_hsp.dir/heuristics.cc.o.d"
+  "/root/repo/src/hsp/hsp_planner.cc" "src/hsp/CMakeFiles/hsparql_hsp.dir/hsp_planner.cc.o" "gcc" "src/hsp/CMakeFiles/hsparql_hsp.dir/hsp_planner.cc.o.d"
+  "/root/repo/src/hsp/mwis.cc" "src/hsp/CMakeFiles/hsparql_hsp.dir/mwis.cc.o" "gcc" "src/hsp/CMakeFiles/hsparql_hsp.dir/mwis.cc.o.d"
+  "/root/repo/src/hsp/plan.cc" "src/hsp/CMakeFiles/hsparql_hsp.dir/plan.cc.o" "gcc" "src/hsp/CMakeFiles/hsparql_hsp.dir/plan.cc.o.d"
+  "/root/repo/src/hsp/variable_graph.cc" "src/hsp/CMakeFiles/hsparql_hsp.dir/variable_graph.cc.o" "gcc" "src/hsp/CMakeFiles/hsparql_hsp.dir/variable_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparql/CMakeFiles/hsparql_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hsparql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/hsparql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsparql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_hsp.dir/heuristics.cc.o"
+  "CMakeFiles/hsparql_hsp.dir/heuristics.cc.o.d"
+  "CMakeFiles/hsparql_hsp.dir/hsp_planner.cc.o"
+  "CMakeFiles/hsparql_hsp.dir/hsp_planner.cc.o.d"
+  "CMakeFiles/hsparql_hsp.dir/mwis.cc.o"
+  "CMakeFiles/hsparql_hsp.dir/mwis.cc.o.d"
+  "CMakeFiles/hsparql_hsp.dir/plan.cc.o"
+  "CMakeFiles/hsparql_hsp.dir/plan.cc.o.d"
+  "CMakeFiles/hsparql_hsp.dir/variable_graph.cc.o"
+  "CMakeFiles/hsparql_hsp.dir/variable_graph.cc.o.d"
+  "libhsparql_hsp.a"
+  "libhsparql_hsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_hsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

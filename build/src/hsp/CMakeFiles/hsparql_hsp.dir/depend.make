@@ -1,0 +1,2 @@
+# Empty dependencies file for hsparql_hsp.
+# This may be replaced when dependencies are built.

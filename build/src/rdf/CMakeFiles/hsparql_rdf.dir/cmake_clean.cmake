@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/hsparql_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/hsparql_rdf.dir/graph.cc.o"
+  "CMakeFiles/hsparql_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/hsparql_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/hsparql_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/hsparql_rdf.dir/term.cc.o"
+  "CMakeFiles/hsparql_rdf.dir/term.cc.o.d"
+  "CMakeFiles/hsparql_rdf.dir/triple.cc.o"
+  "CMakeFiles/hsparql_rdf.dir/triple.cc.o.d"
+  "libhsparql_rdf.a"
+  "libhsparql_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_sparql.dir/analyzer.cc.o"
+  "CMakeFiles/hsparql_sparql.dir/analyzer.cc.o.d"
+  "CMakeFiles/hsparql_sparql.dir/ast.cc.o"
+  "CMakeFiles/hsparql_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/hsparql_sparql.dir/lexer.cc.o"
+  "CMakeFiles/hsparql_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/hsparql_sparql.dir/parser.cc.o"
+  "CMakeFiles/hsparql_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/hsparql_sparql.dir/rewrite.cc.o"
+  "CMakeFiles/hsparql_sparql.dir/rewrite.cc.o.d"
+  "libhsparql_sparql.a"
+  "libhsparql_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

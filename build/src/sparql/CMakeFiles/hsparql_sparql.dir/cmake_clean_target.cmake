@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsparql_sparql.a"
+)

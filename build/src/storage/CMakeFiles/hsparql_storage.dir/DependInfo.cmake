@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/aggregated_index.cc" "src/storage/CMakeFiles/hsparql_storage.dir/aggregated_index.cc.o" "gcc" "src/storage/CMakeFiles/hsparql_storage.dir/aggregated_index.cc.o.d"
+  "/root/repo/src/storage/compressed.cc" "src/storage/CMakeFiles/hsparql_storage.dir/compressed.cc.o" "gcc" "src/storage/CMakeFiles/hsparql_storage.dir/compressed.cc.o.d"
+  "/root/repo/src/storage/ordering.cc" "src/storage/CMakeFiles/hsparql_storage.dir/ordering.cc.o" "gcc" "src/storage/CMakeFiles/hsparql_storage.dir/ordering.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/storage/CMakeFiles/hsparql_storage.dir/statistics.cc.o" "gcc" "src/storage/CMakeFiles/hsparql_storage.dir/statistics.cc.o.d"
+  "/root/repo/src/storage/triple_store.cc" "src/storage/CMakeFiles/hsparql_storage.dir/triple_store.cc.o" "gcc" "src/storage/CMakeFiles/hsparql_storage.dir/triple_store.cc.o.d"
+  "/root/repo/src/storage/vertical_store.cc" "src/storage/CMakeFiles/hsparql_storage.dir/vertical_store.cc.o" "gcc" "src/storage/CMakeFiles/hsparql_storage.dir/vertical_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/hsparql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsparql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

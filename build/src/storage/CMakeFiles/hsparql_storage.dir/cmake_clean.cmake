@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_storage.dir/aggregated_index.cc.o"
+  "CMakeFiles/hsparql_storage.dir/aggregated_index.cc.o.d"
+  "CMakeFiles/hsparql_storage.dir/compressed.cc.o"
+  "CMakeFiles/hsparql_storage.dir/compressed.cc.o.d"
+  "CMakeFiles/hsparql_storage.dir/ordering.cc.o"
+  "CMakeFiles/hsparql_storage.dir/ordering.cc.o.d"
+  "CMakeFiles/hsparql_storage.dir/statistics.cc.o"
+  "CMakeFiles/hsparql_storage.dir/statistics.cc.o.d"
+  "CMakeFiles/hsparql_storage.dir/triple_store.cc.o"
+  "CMakeFiles/hsparql_storage.dir/triple_store.cc.o.d"
+  "CMakeFiles/hsparql_storage.dir/vertical_store.cc.o"
+  "CMakeFiles/hsparql_storage.dir/vertical_store.cc.o.d"
+  "libhsparql_storage.a"
+  "libhsparql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/hsparql_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/hsparql_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/sp2bench_gen.cc" "src/workload/CMakeFiles/hsparql_workload.dir/sp2bench_gen.cc.o" "gcc" "src/workload/CMakeFiles/hsparql_workload.dir/sp2bench_gen.cc.o.d"
+  "/root/repo/src/workload/yago_gen.cc" "src/workload/CMakeFiles/hsparql_workload.dir/yago_gen.cc.o" "gcc" "src/workload/CMakeFiles/hsparql_workload.dir/yago_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/hsparql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsparql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

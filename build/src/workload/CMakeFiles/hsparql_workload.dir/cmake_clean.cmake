@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsparql_workload.dir/queries.cc.o"
+  "CMakeFiles/hsparql_workload.dir/queries.cc.o.d"
+  "CMakeFiles/hsparql_workload.dir/sp2bench_gen.cc.o"
+  "CMakeFiles/hsparql_workload.dir/sp2bench_gen.cc.o.d"
+  "CMakeFiles/hsparql_workload.dir/yago_gen.cc.o"
+  "CMakeFiles/hsparql_workload.dir/yago_gen.cc.o.d"
+  "libhsparql_workload.a"
+  "libhsparql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsparql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregated_index_test.dir/aggregated_index_test.cc.o"
+  "CMakeFiles/aggregated_index_test.dir/aggregated_index_test.cc.o.d"
+  "aggregated_index_test"
+  "aggregated_index_test.pdb"
+  "aggregated_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregated_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_test.dir/cdp_test.cc.o"
+  "CMakeFiles/cdp_test.dir/cdp_test.cc.o.d"
+  "cdp_test"
+  "cdp_test.pdb"
+  "cdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

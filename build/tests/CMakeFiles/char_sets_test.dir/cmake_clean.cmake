@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/char_sets_test.dir/char_sets_test.cc.o"
+  "CMakeFiles/char_sets_test.dir/char_sets_test.cc.o.d"
+  "char_sets_test"
+  "char_sets_test.pdb"
+  "char_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/char_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsp_planner_test.dir/hsp_planner_test.cc.o"
+  "CMakeFiles/hsp_planner_test.dir/hsp_planner_test.cc.o.d"
+  "hsp_planner_test"
+  "hsp_planner_test.pdb"
+  "hsp_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsp_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

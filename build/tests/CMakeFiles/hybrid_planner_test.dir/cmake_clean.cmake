@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_planner_test.dir/hybrid_planner_test.cc.o"
+  "CMakeFiles/hybrid_planner_test.dir/hybrid_planner_test.cc.o.d"
+  "hybrid_planner_test"
+  "hybrid_planner_test.pdb"
+  "hybrid_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modifiers_test.dir/modifiers_test.cc.o"
+  "CMakeFiles/modifiers_test.dir/modifiers_test.cc.o.d"
+  "modifiers_test"
+  "modifiers_test.pdb"
+  "modifiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_details_test.dir/planner_details_test.cc.o"
+  "CMakeFiles/planner_details_test.dir/planner_details_test.cc.o.d"
+  "planner_details_test"
+  "planner_details_test.pdb"
+  "planner_details_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rdf_test.cc" "tests/CMakeFiles/rdf_test.dir/rdf_test.cc.o" "gcc" "tests/CMakeFiles/rdf_test.dir/rdf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/hsparql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdp/CMakeFiles/hsparql_cdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hsparql_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsp/CMakeFiles/hsparql_hsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/hsparql_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hsparql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/hsparql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsparql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

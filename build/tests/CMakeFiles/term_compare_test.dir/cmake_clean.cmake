@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_compare_test.dir/term_compare_test.cc.o"
+  "CMakeFiles/term_compare_test.dir/term_compare_test.cc.o.d"
+  "term_compare_test"
+  "term_compare_test.pdb"
+  "term_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

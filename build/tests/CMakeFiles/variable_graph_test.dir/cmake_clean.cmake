@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_graph_test.dir/variable_graph_test.cc.o"
+  "CMakeFiles/variable_graph_test.dir/variable_graph_test.cc.o.d"
+  "variable_graph_test"
+  "variable_graph_test.pdb"
+  "variable_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

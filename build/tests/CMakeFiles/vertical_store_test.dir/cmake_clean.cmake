@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_store_test.dir/vertical_store_test.cc.o"
+  "CMakeFiles/vertical_store_test.dir/vertical_store_test.cc.o.d"
+  "vertical_store_test"
+  "vertical_store_test.pdb"
+  "vertical_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rdf_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/variable_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/mwis_test[1]_include.cmake")
+include("/root/repo/build/tests/heuristics_test[1]_include.cmake")
+include("/root/repo/build/tests/hsp_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/cdp_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/optional_union_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/char_sets_test[1]_include.cmake")
+include("/root/repo/build/tests/results_io_test[1]_include.cmake")
+include("/root/repo/build/tests/vertical_store_test[1]_include.cmake")
+include("/root/repo/build/tests/modifiers_test[1]_include.cmake")
+include("/root/repo/build/tests/compressed_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/sip_test[1]_include.cmake")
+include("/root/repo/build/tests/term_compare_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregated_index_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_details_test[1]_include.cmake")
