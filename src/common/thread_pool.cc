@@ -1,0 +1,174 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace hsparql {
+
+namespace {
+
+/// Worker index of the current thread inside its owning pool, so nested
+/// ParallelFor calls prefer the worker's own deque. num_workers() (an
+/// out-of-range index) for threads the pool does not own.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  num_workers = std::max<std::size_t>(1, num_workers);
+  queues_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw > 1 ? hw - 1 : 1);
+  }();
+  return *pool;
+}
+
+void ThreadPool::Push(std::function<void()> task) {
+  std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+}
+
+bool ThreadPool::PopTask(std::size_t preferred,
+                         std::function<void()>* task) {
+  const std::size_t n = queues_.size();
+  if (preferred < n) {
+    WorkerQueue& own = *queues_[preferred];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t victim = (preferred + 1 + k) % n;
+    if (victim == preferred) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::HasQueuedWork() {
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    if (!q->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  tls_pool = this;
+  tls_worker = index;
+  while (true) {
+    std::function<void()> task;
+    if (PopTask(index, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    // Re-check under the idle lock: a Push between our failed PopTask and
+    // here has already fired its notify, which we must not miss.
+    if (stop_) return;
+    if (HasQueuedWork()) continue;  // lock released by unique_lock dtor
+    idle_cv_.wait(lock);
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain,
+                             const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t num_chunks = (n + g - 1) / g;
+  if (num_chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Join state shared between the chunks and the (helping) caller.
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = begin + c * g;
+    const std::size_t hi = std::min(end, lo + g);
+    Push([state, lo, hi, &body] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (error && !state->error) state->error = std::move(error);
+        ++state->done;
+      }
+      state->cv.notify_all();
+    });
+  }
+  idle_cv_.notify_all();
+
+  // Help: run pool tasks (ours or anyone's — progress either way) until
+  // every chunk of this loop has finished.
+  const std::size_t self =
+      tls_pool == this ? tls_worker : queues_.size();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->done == num_chunks) break;
+    }
+    std::function<void()> task;
+    if (PopTask(self, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done == num_chunks || HasQueuedWork();
+    });
+    if (state->done == num_chunks) break;
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace hsparql

@@ -1,0 +1,82 @@
+// Work-stealing thread pool shared by the parallel executor operators.
+//
+// Fixed worker count; each worker owns a deque of tasks and pops from its
+// back (LIFO, cache-friendly for nested submissions) while idle workers
+// steal from the fronts of the other deques (FIFO, oldest work first).
+// `ParallelFor` is the only public way to run work: it chops an index
+// range into chunks of at least `grain` indices, submits the chunks, and
+// has the calling thread execute pool tasks while it waits — so nested
+// calls from inside a body never deadlock, and a pool of N workers
+// effectively runs loops on N+1 threads.
+#ifndef HSPARQL_COMMON_THREAD_POOL_H_
+#define HSPARQL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsparql {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// The process-wide pool used by the executor: hardware_concurrency - 1
+  /// workers (at least 1), sized so that a loop's calling thread plus the
+  /// workers saturate the machine. Created on first use, never destroyed.
+  static ThreadPool& Shared();
+
+  /// Runs body(i) for every i in [begin, end). Chunks of at least `grain`
+  /// consecutive indices are distributed across the pool; the calling
+  /// thread participates. Returns once every index has been processed.
+  /// Ranges with a single chunk run inline on the caller with no
+  /// synchronisation at all.
+  ///
+  /// Exceptions: every chunk always runs to completion (no cancellation);
+  /// the first exception thrown by any body is rethrown here after the
+  /// loop has finished.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  /// One worker's task deque. Kept behind a unique_ptr so the vector of
+  /// queues stays movable during construction.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t index);
+  /// Pops a task, preferring the given queue's back, then stealing from
+  /// the fronts of the others. `preferred` == num_workers() means "no own
+  /// queue" (an external caller helping out).
+  bool PopTask(std::size_t preferred, std::function<void()>* task);
+  bool HasQueuedWork();
+  void Push(std::function<void()> task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+  /// Round-robin target for Push; relaxed — an imbalanced distribution
+  /// only costs a steal.
+  std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_THREAD_POOL_H_

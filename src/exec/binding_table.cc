@@ -5,6 +5,14 @@
 
 namespace hsparql::exec {
 
+void BindingTable::AppendRows(const BindingTable& other) {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    columns[c].insert(columns[c].end(), other.columns[c].begin(),
+                      other.columns[c].end());
+  }
+  rows += other.rows;
+}
+
 bool BindingTable::CheckSortedness() const {
   std::vector<std::size_t> cols;
   for (sparql::VarId v : sorted_by) {

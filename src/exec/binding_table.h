@@ -45,6 +45,17 @@ struct BindingTable {
     return !sorted_by.empty() && sorted_by[0] == var;
   }
 
+  /// Reserves capacity for `n` rows in every column. Bulk materialisation
+  /// loops call this up front instead of growing each column doubling-wise.
+  void Reserve(std::size_t n) {
+    for (auto& col : columns) col.reserve(n);
+  }
+
+  /// Appends every row of `other`, which must have the same column count
+  /// (schema checks are the caller's job). The morsel-merge step of the
+  /// parallel operators: concatenating per-morsel outputs in morsel order.
+  void AppendRows(const BindingTable& other);
+
   /// Debug/diagnostic check that the data matches `sorted_by`.
   bool CheckSortedness() const;
 

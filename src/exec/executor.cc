@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/term_compare.h"
 
@@ -36,11 +37,21 @@ struct KeyHash {
   }
 };
 
+/// Smallest input for which splitting into another morsel pays for the
+/// task-dispatch overhead. Deliberately low: the parallel paths must stay
+/// exercised by small test inputs, and outputs are identical either way.
+constexpr std::size_t kMinMorselRows = 16;
+
 class PlanRunner {
  public:
   PlanRunner(const storage::TripleStore* store, const Query* query,
-             const ExecOptions* options, ExecResult* result)
-      : store_(store), query_(query), options_(options), result_(result) {}
+             const ExecOptions* options, ThreadPool* pool,
+             ExecResult* result)
+      : store_(store),
+        query_(query),
+        options_(options),
+        pool_(pool),
+        result_(result) {}
 
   Result<BindingTable> Run(const PlanNode* node) {
     switch (node->kind) {
@@ -64,8 +75,8 @@ class PlanRunner {
 
  private:
   void Record(const PlanNode* node, std::string label,
-              const BindingTable& out, double millis,
-              bool is_intermediate) {
+              const BindingTable& out, double millis, bool is_intermediate,
+              std::size_t threads = 1) {
     if (node->id >= 0) {
       std::size_t id = static_cast<std::size_t>(node->id);
       if (result_->cardinalities.size() <= id) {
@@ -73,9 +84,47 @@ class PlanRunner {
       }
       result_->cardinalities[id] = out.rows;
     }
-    result_->stats.push_back(
-        OperatorStat{node->id, std::move(label), out.rows, millis});
+    result_->stats.push_back(OperatorStat{node->id, std::move(label),
+                                          out.rows, millis,
+                                          static_cast<int>(threads)});
     if (is_intermediate) result_->total_intermediate_rows += out.rows;
+  }
+
+  /// Morsel fan-out for an operator over `rows` input rows: 1 (serial)
+  /// unless parallelism is enabled and every morsel gets at least
+  /// kMinMorselRows rows. The fan-out bounds *partitioning*, not worker
+  /// count — the shared pool schedules the morsels on whatever threads it
+  /// has, and output order never depends on either.
+  std::size_t FanOut(std::size_t rows) const {
+    if (pool_ == nullptr || options_->num_threads < 2 ||
+        rows < 2 * kMinMorselRows) {
+      return 1;
+    }
+    return std::min<std::size_t>(options_->num_threads,
+                                 rows / kMinMorselRows);
+  }
+
+  /// Runs `body(m, lo, hi, &parts[m])` for each of `fanout` equal
+  /// contiguous morsels of [0, rows), then concatenates the per-morsel
+  /// tables onto `out` in morsel order — which is what keeps every
+  /// parallel operator byte-identical to its serial loop.
+  template <typename Body>
+  void RunMorsels(std::size_t rows, std::size_t fanout,
+                  std::size_t num_columns, BindingTable* out,
+                  const Body& body) {
+    std::vector<BindingTable> parts(fanout);
+    pool_->ParallelFor(0, fanout, 1, [&](std::size_t m) {
+      std::size_t lo = rows * m / fanout;
+      std::size_t hi = rows * (m + 1) / fanout;
+      BindingTable& part = parts[m];
+      part.columns.resize(num_columns);
+      part.Reserve(hi - lo);
+      body(lo, hi, &part);
+    });
+    std::size_t total = 0;
+    for (const BindingTable& part : parts) total += part.rows;
+    out->Reserve(out->rows + total);
+    for (const BindingTable& part : parts) out->AppendRows(part);
   }
 
   Result<BindingTable> RunScan(const PlanNode* node) {
@@ -152,39 +201,55 @@ class PlanRunner {
     }
 
     // Sideways-information-passing domain filters active on this scan's
-    // variables (installed by enclosing hash joins).
+    // variables (installed by enclosing hash joins). The filter vectors
+    // are read-only for the lifetime of this scan — installed before the
+    // subtree runs, removed after — so morsel workers share them freely.
     std::vector<std::pair<std::size_t, const std::vector<TermId>*>> sip;
     for (std::size_t c = 0; c < out.vars.size(); ++c) {
       auto it = domain_filters_.find(out.vars[c]);
       if (it != domain_filters_.end()) sip.emplace_back(c, &it->second);
     }
 
-    for (const Triple& t : range) {
-      bool keep = true;
-      for (const auto& [pos, id] : residual_consts) {
-        if (t.at(pos) != id) {
-          keep = false;
-          break;
+    // The selection core over [lo, hi) of the range, materialising into
+    // `dst`; runs serially or once per morsel.
+    auto scan_range = [&](std::size_t lo, std::size_t hi,
+                          BindingTable* dst) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const Triple& t = range[r];
+        bool keep = true;
+        for (const auto& [pos, id] : residual_consts) {
+          if (t.at(pos) != id) {
+            keep = false;
+            break;
+          }
         }
-      }
-      for (const auto& [a, b] : var_equalities) {
-        if (t.at(a) != t.at(b)) {
-          keep = false;
-          break;
+        for (const auto& [a, b] : var_equalities) {
+          if (t.at(a) != t.at(b)) {
+            keep = false;
+            break;
+          }
         }
-      }
-      for (const auto& [c, domain] : sip) {
-        if (!std::binary_search(domain->begin(), domain->end(),
-                                t.at(source_pos[c]))) {
-          keep = false;
-          break;
+        for (const auto& [c, domain] : sip) {
+          if (!std::binary_search(domain->begin(), domain->end(),
+                                  t.at(source_pos[c]))) {
+            keep = false;
+            break;
+          }
         }
+        if (!keep) continue;
+        for (std::size_t c = 0; c < source_pos.size(); ++c) {
+          dst->columns[c].push_back(t.at(source_pos[c]));
+        }
+        ++dst->rows;
       }
-      if (!keep) continue;
-      for (std::size_t c = 0; c < out.vars.size(); ++c) {
-        out.columns[c].push_back(t.at(source_pos[c]));
-      }
-      ++out.rows;
+    };
+
+    std::size_t fanout = FanOut(range.size());
+    if (fanout <= 1) {
+      out.Reserve(range.size());  // upper bound; exact without residuals
+      scan_range(0, range.size(), &out);
+    } else {
+      RunMorsels(range.size(), fanout, out.vars.size(), &out, scan_range);
     }
 
     std::ostringstream label;
@@ -192,7 +257,7 @@ class PlanRunner {
           << storage::OrderingName(node->ordering) << ") tp"
           << node->pattern_index;
     Record(node, label.str(), out, timer.ElapsedMillis(),
-           /*is_intermediate=*/true);
+           /*is_intermediate=*/true, fanout);
     return out;
   }
 
@@ -259,30 +324,31 @@ class PlanRunner {
     }
     out.columns.resize(out.vars.size());
 
-    auto emit = [&](std::size_t lr, std::size_t rr) {
+    auto emit = [&](BindingTable* dst, std::size_t lr, std::size_t rr) {
       for (std::size_t c = 0; c < left.vars.size(); ++c) {
-        out.columns[c].push_back(left.columns[c][lr]);
+        dst->columns[c].push_back(left.columns[c][lr]);
       }
       for (std::size_t c = 0; c < right_extra.size(); ++c) {
-        out.columns[left.vars.size() + c].push_back(
+        dst->columns[left.vars.size() + c].push_back(
             right.columns[right_extra[c]][rr]);
       }
-      ++out.rows;
+      ++dst->rows;
     };
 
     // Left outer joins (OPTIONAL): unmatched left rows survive with the
     // right-only columns unbound (kInvalidTermId).
-    auto emit_left_unmatched = [&](std::size_t lr) {
+    auto emit_left_unmatched = [&](BindingTable* dst, std::size_t lr) {
       for (std::size_t c = 0; c < left.vars.size(); ++c) {
-        out.columns[c].push_back(left.columns[c][lr]);
+        dst->columns[c].push_back(left.columns[c][lr]);
       }
       for (std::size_t c = 0; c < right_extra.size(); ++c) {
-        out.columns[left.vars.size() + c].push_back(rdf::kInvalidTermId);
+        dst->columns[left.vars.size() + c].push_back(rdf::kInvalidTermId);
       }
-      ++out.rows;
+      ++dst->rows;
     };
 
     std::string label;
+    std::size_t threads_used = 1;
     if (node->algo == JoinAlgo::kMerge) {
       if (node->left_outer) {
         return Status::Internal("left outer merge joins are not supported");
@@ -304,34 +370,83 @@ class PlanRunner {
       }
       const auto& lv = left.columns[lc];
       const auto& rv = right.columns[rc];
-      std::size_t i = 0;
-      std::size_t j = 0;
-      while (i < left.rows && j < right.rows) {
-        if (lv[i] < rv[j]) {
-          ++i;
-        } else if (rv[j] < lv[i]) {
-          ++j;
-        } else {
-          std::size_t i2 = i;
-          while (i2 < left.rows && lv[i2] == lv[i]) ++i2;
-          std::size_t j2 = j;
-          while (j2 < right.rows && rv[j2] == rv[j]) ++j2;
-          for (std::size_t a = i; a < i2; ++a) {
-            for (std::size_t b = j; b < j2; ++b) {
-              bool ok = true;
-              for (VarId v : check) {
-                if (left.columns[left.ColumnOf(v)][a] !=
-                    right.columns[right.ColumnOf(v)][b]) {
-                  ok = false;
-                  break;
+      // The classic sort-merge loop over a sub-rectangle
+      // [i, iend) x [j, jend) of the two sorted inputs. Emission order is
+      // key order, left-major within a key group — identical for any
+      // key-boundary partitioning of either input.
+      auto merge_range = [&](std::size_t i, std::size_t iend,
+                             std::size_t j, std::size_t jend,
+                             BindingTable* dst) {
+        while (i < iend && j < jend) {
+          if (lv[i] < rv[j]) {
+            ++i;
+          } else if (rv[j] < lv[i]) {
+            ++j;
+          } else {
+            std::size_t i2 = i;
+            while (i2 < iend && lv[i2] == lv[i]) ++i2;
+            std::size_t j2 = j;
+            while (j2 < jend && rv[j2] == rv[j]) ++j2;
+            for (std::size_t a = i; a < i2; ++a) {
+              for (std::size_t b = j; b < j2; ++b) {
+                bool ok = true;
+                for (VarId v : check) {
+                  if (left.columns[left.ColumnOf(v)][a] !=
+                      right.columns[right.ColumnOf(v)][b]) {
+                    ok = false;
+                    break;
+                  }
                 }
+                if (ok) emit(dst, a, b);
               }
-              if (ok) emit(a, b);
             }
+            i = i2;
+            j = j2;
           }
-          i = i2;
-          j = j2;
         }
+      };
+
+      // Parallel: split the larger sorted input at key boundaries and
+      // binary-search each chunk's matching range in the smaller input.
+      const bool split_left = left.rows >= right.rows;
+      const auto& split_keys = split_left ? lv : rv;
+      const auto& other_keys = split_left ? rv : lv;
+      std::vector<storage::IndexRange> chunks;
+      if (FanOut(split_keys.size()) > 1) {
+        chunks = storage::SplitAtKeyBoundaries(split_keys,
+                                               FanOut(split_keys.size()));
+      }
+      if (chunks.size() > 1) {
+        threads_used = chunks.size();
+        std::vector<BindingTable> parts(chunks.size());
+        pool_->ParallelFor(0, chunks.size(), 1, [&](std::size_t m) {
+          const storage::IndexRange& chunk = chunks[m];
+          BindingTable& part = parts[m];
+          part.columns.resize(out.vars.size());
+          // The chunk's key span is [first, last]; everything matching it
+          // in the other input lies in one contiguous range.
+          auto o_lo = std::lower_bound(other_keys.begin(),
+                                       other_keys.end(),
+                                       split_keys[chunk.begin]);
+          auto o_hi = std::upper_bound(o_lo, other_keys.end(),
+                                       split_keys[chunk.end - 1]);
+          std::size_t olo =
+              static_cast<std::size_t>(o_lo - other_keys.begin());
+          std::size_t ohi =
+              static_cast<std::size_t>(o_hi - other_keys.begin());
+          if (split_left) {
+            merge_range(chunk.begin, chunk.end, olo, ohi, &part);
+          } else {
+            merge_range(olo, ohi, chunk.begin, chunk.end, &part);
+          }
+        });
+        std::size_t total = 0;
+        for (const BindingTable& part : parts) total += part.rows;
+        out.Reserve(total);
+        for (const BindingTable& part : parts) out.AppendRows(part);
+      } else {
+        out.Reserve(std::max(left.rows, right.rows));
+        merge_range(0, left.rows, 0, right.rows, &out);
       }
       out.sorted_by = {var};
       label = "mergejoin ?" + query_->VarName(var);
@@ -339,10 +454,13 @@ class PlanRunner {
       // Hash join on all shared variables; cartesian product when none.
       if (shared.empty()) {
         if (right.rows == 0 && node->left_outer) {
-          for (std::size_t a = 0; a < left.rows; ++a) emit_left_unmatched(a);
-        } else {
           for (std::size_t a = 0; a < left.rows; ++a) {
-            for (std::size_t b = 0; b < right.rows; ++b) emit(a, b);
+            emit_left_unmatched(&out, a);
+          }
+        } else {
+          out.Reserve(left.rows * right.rows);
+          for (std::size_t a = 0; a < left.rows; ++a) {
+            for (std::size_t b = 0; b < right.rows; ++b) emit(&out, a, b);
           }
         }
         label = "hashjoin (cartesian)";
@@ -353,27 +471,79 @@ class PlanRunner {
           lcols.push_back(left.ColumnOf(v));
           rcols.push_back(right.ColumnOf(v));
         }
-        std::unordered_map<std::vector<TermId>, std::vector<std::size_t>,
-                           KeyHash>
-            table;
-        table.reserve(right.rows);
-        std::vector<TermId> key(shared.size());
-        for (std::size_t b = 0; b < right.rows; ++b) {
-          for (std::size_t c = 0; c < rcols.size(); ++c) {
-            key[c] = right.columns[rcols[c]][b];
+        using HashTable =
+            std::unordered_map<std::vector<TermId>, std::vector<std::size_t>,
+                               KeyHash>;
+
+        // Build side, partitioned by hash % P. Every partition scans the
+        // shared per-row hash array and keeps its own rows, so per-key row
+        // lists stay in right-row order exactly as in the serial build.
+        const std::size_t build_parts = FanOut(right.rows);
+        const std::size_t probe_parts = FanOut(left.rows);
+        threads_used = std::max(build_parts, probe_parts);
+        std::vector<HashTable> tables(build_parts);
+        auto build_key = [](const BindingTable& side,
+                            const std::vector<std::size_t>& cols,
+                            std::size_t row, std::vector<TermId>* key) {
+          for (std::size_t c = 0; c < cols.size(); ++c) {
+            (*key)[c] = side.columns[cols[c]][row];
           }
-          table[key].push_back(b);
+        };
+        if (build_parts <= 1) {
+          HashTable& table = tables[0];
+          table.reserve(right.rows);
+          std::vector<TermId> key(shared.size());
+          for (std::size_t b = 0; b < right.rows; ++b) {
+            build_key(right, rcols, b, &key);
+            table[key].push_back(b);
+          }
+        } else {
+          std::vector<std::size_t> rhash(right.rows);
+          pool_->ParallelFor(0, build_parts, 1, [&](std::size_t m) {
+            std::size_t lo = right.rows * m / build_parts;
+            std::size_t hi = right.rows * (m + 1) / build_parts;
+            std::vector<TermId> key(shared.size());
+            for (std::size_t b = lo; b < hi; ++b) {
+              build_key(right, rcols, b, &key);
+              rhash[b] = KeyHash()(key);
+            }
+          });
+          pool_->ParallelFor(0, build_parts, 1, [&](std::size_t p) {
+            HashTable& table = tables[p];
+            table.reserve(right.rows / build_parts + 1);
+            std::vector<TermId> key(shared.size());
+            for (std::size_t b = 0; b < right.rows; ++b) {
+              if (rhash[b] % build_parts != p) continue;
+              build_key(right, rcols, b, &key);
+              table[key].push_back(b);
+            }
+          });
         }
-        for (std::size_t a = 0; a < left.rows; ++a) {
-          for (std::size_t c = 0; c < lcols.size(); ++c) {
-            key[c] = left.columns[lcols[c]][a];
+
+        // Probe side: contiguous left-row morsels, concatenated in morsel
+        // order — the serial probe order.
+        auto probe_range = [&](std::size_t lo, std::size_t hi,
+                               BindingTable* dst) {
+          std::vector<TermId> key(shared.size());
+          for (std::size_t a = lo; a < hi; ++a) {
+            build_key(left, lcols, a, &key);
+            const HashTable& table =
+                tables[build_parts <= 1 ? 0
+                                        : KeyHash()(key) % build_parts];
+            auto it = table.find(key);
+            if (it == table.end()) {
+              if (node->left_outer) emit_left_unmatched(dst, a);
+              continue;
+            }
+            for (std::size_t b : it->second) emit(dst, a, b);
           }
-          auto it = table.find(key);
-          if (it == table.end()) {
-            if (node->left_outer) emit_left_unmatched(a);
-            continue;
-          }
-          for (std::size_t b : it->second) emit(a, b);
+        };
+        if (probe_parts <= 1) {
+          out.Reserve(left.rows);  // at least one row per outer-join probe
+          probe_range(0, left.rows, &out);
+        } else {
+          RunMorsels(left.rows, probe_parts, out.vars.size(), &out,
+                     probe_range);
         }
         label = std::string(node->left_outer ? "leftouter" : "") +
                 "hashjoin ?" +
@@ -385,7 +555,8 @@ class PlanRunner {
       out.sorted_by = left.sorted_by;
     }
 
-    Record(node, label, out, timer.ElapsedMillis(), /*is_intermediate=*/true);
+    Record(node, label, out, timer.ElapsedMillis(), /*is_intermediate=*/true,
+           threads_used);
     return out;
   }
 
@@ -426,6 +597,7 @@ class PlanRunner {
     BindingTable out;
     out.vars = in.vars;
     out.columns.resize(out.vars.size());
+    out.Reserve(in.rows);
     for (std::size_t i : idx) {
       for (std::size_t c = 0; c < in.vars.size(); ++c) {
         out.columns[c].push_back(in.columns[c][i]);
@@ -448,6 +620,7 @@ class PlanRunner {
     std::size_t end = node->limit_count > in.rows - begin
                           ? in.rows
                           : begin + node->limit_count;
+    out.Reserve(end - begin);
     for (std::size_t r = begin; r < end; ++r) {
       for (std::size_t c = 0; c < in.vars.size(); ++c) {
         out.columns[c].push_back(in.columns[c][r]);
@@ -476,6 +649,9 @@ class PlanRunner {
       }
     }
     out.columns.resize(out.vars.size());
+    std::size_t total = 0;
+    for (const BindingTable& in : inputs) total += in.rows;
+    out.Reserve(total);
     for (const BindingTable& in : inputs) {
       std::vector<std::size_t> src(out.vars.size(), BindingTable::npos);
       for (std::size_t c = 0; c < out.vars.size(); ++c) {
@@ -517,6 +693,8 @@ class PlanRunner {
       const_id = dict.Find(f.value);
     }
 
+    // Pure predicate over one row: dictionary reads only, safe to share
+    // across morsel workers.
     auto passes = [&](std::size_t r) {
       TermId a = in.columns[lhs][r];
       // SPARQL semantics: comparing an unbound value is a type error and
@@ -541,15 +719,27 @@ class PlanRunner {
     out.vars = in.vars;
     out.sorted_by = in.sorted_by;  // row order preserved
     out.columns.resize(out.vars.size());
-    for (std::size_t r = 0; r < in.rows; ++r) {
-      if (!passes(r)) continue;
-      for (std::size_t c = 0; c < in.vars.size(); ++c) {
-        out.columns[c].push_back(in.columns[c][r]);
+
+    auto filter_range = [&](std::size_t lo, std::size_t hi,
+                            BindingTable* dst) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        if (!passes(r)) continue;
+        for (std::size_t c = 0; c < in.vars.size(); ++c) {
+          dst->columns[c].push_back(in.columns[c][r]);
+        }
+        ++dst->rows;
       }
-      ++out.rows;
+    };
+
+    std::size_t fanout = FanOut(in.rows);
+    if (fanout <= 1) {
+      out.Reserve(in.rows);  // upper bound
+      filter_range(0, in.rows, &out);
+    } else {
+      RunMorsels(in.rows, fanout, out.vars.size(), &out, filter_range);
     }
     Record(node, "filter", out, timer.ElapsedMillis(),
-           /*is_intermediate=*/false);
+           /*is_intermediate=*/false, fanout);
     return out;
   }
 
@@ -600,6 +790,7 @@ class PlanRunner {
       BindingTable dedup;
       dedup.vars = out.vars;
       dedup.columns.resize(out.columns.size());
+      dedup.Reserve(idx.size());
       for (std::size_t i : idx) {
         for (std::size_t c = 0; c < out.columns.size(); ++c) {
           dedup.columns[c].push_back(out.columns[c][i]);
@@ -618,8 +809,12 @@ class PlanRunner {
   const storage::TripleStore* store_;
   const Query* query_;
   const ExecOptions* options_;
+  /// Shared work-stealing pool; nullptr runs everything serially.
+  ThreadPool* pool_;
   ExecResult* result_;
-  /// Active SIP domain filters: variable -> sorted allowed values.
+  /// Active SIP domain filters: variable -> sorted allowed values. Only
+  /// mutated between operator runs (install/remove around a hash join's
+  /// right subtree); read-only while any operator's morsels are in flight.
   std::unordered_map<VarId, std::vector<TermId>> domain_filters_;
 };
 
@@ -631,7 +826,9 @@ Result<ExecResult> Executor::Execute(const Query& query,
   ExecResult result;
   result.cardinalities.assign(static_cast<std::size_t>(plan.num_nodes()), 0);
   WallTimer timer;
-  PlanRunner runner(store_, &query, &options_, &result);
+  ThreadPool* pool =
+      options_.num_threads >= 2 ? &ThreadPool::Shared() : nullptr;
+  PlanRunner runner(store_, &query, &options_, pool, &result);
   HSPARQL_ASSIGN_OR_RETURN(result.table, runner.Run(plan.root()));
   result.total_millis = timer.ElapsedMillis();
   return result;

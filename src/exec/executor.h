@@ -21,6 +21,8 @@ struct OperatorStat {
   std::string label;          // "mergejoin ?x", "select(pos) tp2", ...
   std::uint64_t output_rows = 0;
   double millis = 0.0;        // wall time of this operator alone
+  /// Morsels/partitions this operator processed concurrently (1 = serial).
+  int threads = 1;
 };
 
 /// Result of executing one plan.
@@ -45,6 +47,14 @@ struct ExecOptions {
   /// variable in the right subtree. Pure optimisation — results are
   /// unchanged, intermediate results shrink (see bench_sip).
   bool sideways_information_passing = false;
+
+  /// Degree of intra-query parallelism. 0 (the default) and 1 run every
+  /// operator serially, byte-for-byte the engine's historical behaviour.
+  /// >= 2 runs scans, filters, hash joins and merge joins morsel-wise on
+  /// the shared work-stealing pool (common/thread_pool.h), partitioned so
+  /// that the output stays byte-identical to the serial path for every
+  /// value of num_threads (see DESIGN.md "Parallel execution").
+  std::size_t num_threads = 0;
 };
 
 /// Executes plans against one store. Stateless across calls.

@@ -85,6 +85,45 @@ bool TripleStore::Contains(const Triple& triple) const {
   return std::binary_search(rel.begin(), rel.end(), triple);
 }
 
+std::vector<IndexRange> SplitAtKeyBoundaries(
+    std::span<const rdf::TermId> sorted_keys, std::size_t parts) {
+  std::vector<IndexRange> chunks;
+  const std::size_t n = sorted_keys.size();
+  if (n == 0 || parts == 0) return chunks;
+  chunks.reserve(std::min(parts, n));
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts && begin < n; ++p) {
+    // Ideal cut after this chunk, then extended right so every occurrence
+    // of the key at the cut stays in the chunk.
+    std::size_t target = n * (p + 1) / parts;
+    if (target <= begin) continue;
+    std::size_t end = n;
+    if (target < n) {
+      end = static_cast<std::size_t>(
+          std::upper_bound(sorted_keys.begin() +
+                               static_cast<std::ptrdiff_t>(target),
+                           sorted_keys.end(), sorted_keys[target - 1]) -
+          sorted_keys.begin());
+    }
+    chunks.push_back(IndexRange{begin, end});
+    begin = end;
+  }
+  return chunks;
+}
+
+std::vector<std::span<const Triple>> SplitAtKeyBoundaries(
+    std::span<const Triple> sorted_relation, Position key_position,
+    std::size_t parts) {
+  std::vector<rdf::TermId> keys;
+  keys.reserve(sorted_relation.size());
+  for (const Triple& t : sorted_relation) keys.push_back(t.at(key_position));
+  std::vector<std::span<const Triple>> chunks;
+  for (const IndexRange& r : SplitAtKeyBoundaries(keys, parts)) {
+    chunks.push_back(sorted_relation.subspan(r.begin, r.size()));
+  }
+  return chunks;
+}
+
 Ordering OrderingWithBoundPrefix(std::span<const Position> bound) {
   assert(bound.size() <= 3);
   for (Ordering ordering : kAllOrderings) {

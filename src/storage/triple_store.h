@@ -78,6 +78,30 @@ class TripleStore {
 /// kPos or kOps; the first match in kAllOrderings is returned.
 Ordering OrderingWithBoundPrefix(std::span<const rdf::Position> bound);
 
+/// A contiguous half-open index range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// Range-partitions a sorted key column into at most `parts` contiguous
+/// chunks of roughly equal size whose cut points fall on key boundaries:
+/// all occurrences of one key land in the same chunk. Used by the parallel
+/// merge join, which may only split its inputs between key groups. Returns
+/// fewer chunks when heavy keys straddle the ideal cut points (possibly a
+/// single chunk when one key dominates); never returns an empty chunk.
+std::vector<IndexRange> SplitAtKeyBoundaries(
+    std::span<const rdf::TermId> sorted_keys, std::size_t parts);
+
+/// Same, over a sorted relation keyed on the triple component at
+/// `key_position` — the morsel source for parallel scans that must respect
+/// group boundaries of the relation's major sort key.
+std::vector<std::span<const rdf::Triple>> SplitAtKeyBoundaries(
+    std::span<const rdf::Triple> sorted_relation, rdf::Position key_position,
+    std::size_t parts);
+
 }  // namespace hsparql::storage
 
 #endif  // HSPARQL_STORAGE_TRIPLE_STORE_H_

@@ -13,6 +13,8 @@
 #include "storage/statistics.h"
 #include "storage/triple_store.h"
 #include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
 
 namespace hsparql::exec {
 namespace {
@@ -274,6 +276,153 @@ TEST_P(ExecutorRandomSweep, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(RandomQueries, ExecutorRandomSweep,
                          ::testing::Range(0, 60));
+
+// ---- Parallel execution: the morsel-driven operators must produce
+// byte-identical BindingTables to the serial path for every thread
+// count (see DESIGN.md "Parallel execution"). ----
+
+void ExpectTablesIdentical(const BindingTable& serial,
+                           const BindingTable& parallel,
+                           const std::string& context) {
+  EXPECT_EQ(serial.vars, parallel.vars) << context;
+  EXPECT_EQ(serial.rows, parallel.rows) << context;
+  EXPECT_EQ(serial.sorted_by, parallel.sorted_by) << context;
+  ASSERT_EQ(serial.columns.size(), parallel.columns.size()) << context;
+  for (std::size_t c = 0; c < serial.columns.size(); ++c) {
+    EXPECT_EQ(serial.columns[c], parallel.columns[c])
+        << context << " column " << c;
+  }
+}
+
+class ParallelExecutorTest : public ::testing::Test {
+ protected:
+  // One moderately sized SP2Bench graph shared by all cases; big enough
+  // that scans, probes and merge chunks exceed the morsel threshold.
+  static void SetUpTestSuite() {
+    auto graph = workload::GenerateSp2b(
+        workload::Sp2bConfig::FromTargetTriples(30000));
+    store_ = new TripleStore(TripleStore::Build(std::move(graph)));
+    stats_ = new storage::Statistics(storage::Statistics::Compute(*store_));
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    stats_ = nullptr;
+    delete store_;
+    store_ = nullptr;
+  }
+
+  /// Executes `plan` serially and at num_threads 1, 3 and 8 (with the
+  /// given extra options) and requires byte-identical tables. Returns the
+  /// serial result for further checks.
+  ExecResult CheckAllThreadCounts(const Query& query,
+                                  const hsp::LogicalPlan& plan,
+                                  const std::string& context,
+                                  bool sip = false) {
+    ExecOptions serial_opts;
+    serial_opts.sideways_information_passing = sip;
+    auto serial = Executor(store_, serial_opts).Execute(query, plan);
+    if (!serial.ok()) {
+      ADD_FAILURE() << context << ": " << serial.status();
+      return ExecResult{};
+    }
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}}) {
+      ExecOptions opts;
+      opts.sideways_information_passing = sip;
+      opts.num_threads = threads;
+      auto parallel = Executor(store_, opts).Execute(query, plan);
+      if (!parallel.ok()) {
+        ADD_FAILURE() << context << ": " << parallel.status();
+        return ExecResult{};
+      }
+      ExpectTablesIdentical(
+          serial->table, parallel->table,
+          context + " @ num_threads=" + std::to_string(threads));
+      EXPECT_EQ(serial->total_intermediate_rows,
+                parallel->total_intermediate_rows)
+          << context;
+      for (const OperatorStat& s : parallel->stats) {
+        parallel_ops_seen_ += s.threads > 1 ? 1 : 0;
+      }
+    }
+    return std::move(serial).ValueOrDie();
+  }
+
+  static TripleStore* store_;
+  static storage::Statistics* stats_;
+  int parallel_ops_seen_ = 0;
+};
+
+TripleStore* ParallelExecutorTest::store_ = nullptr;
+storage::Statistics* ParallelExecutorTest::stats_ = nullptr;
+
+TEST_F(ParallelExecutorTest, WorkloadQueriesAreByteIdenticalAcrossThreads) {
+  // The SP2Bench mix covers merge-join-heavy HSP plans, hash/merge CDP
+  // plans, and filter-heavy queries (SP3a-c, SP5).
+  hsp::HspPlanner hsp_planner;
+  cdp::CdpPlanner cdp_planner(store_, stats_);
+  for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+    if (wq.dataset != workload::Dataset::kSp2Bench) continue;
+    Query query = ParseOrDie(wq.sparql);
+    auto hsp_planned = hsp_planner.Plan(query);
+    ASSERT_TRUE(hsp_planned.ok()) << wq.id;
+    CheckAllThreadCounts(hsp_planned->query, hsp_planned->plan,
+                         wq.id + "/hsp");
+    auto cdp_planned = cdp_planner.Plan(query);
+    ASSERT_TRUE(cdp_planned.ok()) << wq.id;
+    CheckAllThreadCounts(cdp_planned->query, cdp_planned->plan,
+                         wq.id + "/cdp");
+  }
+  // The sweep is only meaningful if the parallel paths actually ran.
+  EXPECT_GT(parallel_ops_seen_, 0);
+}
+
+TEST_F(ParallelExecutorTest, SipPlusParallelMatchesSerial) {
+  hsp::HspPlanner planner;
+  const workload::WorkloadQuery* wq = workload::FindQuery("SP4b");
+  ASSERT_NE(wq, nullptr);
+  Query query = ParseOrDie(wq->sparql);
+  auto planned = planner.Plan(query);
+  ASSERT_TRUE(planned.ok());
+  CheckAllThreadCounts(planned->query, planned->plan, "SP4b/hsp+sip",
+                       /*sip=*/true);
+}
+
+TEST_F(ParallelExecutorTest, OptionalAndUnionAreByteIdenticalAcrossThreads) {
+  // Left outer hash joins (OPTIONAL) and unions over the generated data.
+  Query q = ParseOrDie(
+      "SELECT ?article ?author ?url WHERE {\n"
+      "  ?article <http://purl.org/dc/elements/1.1/creator> ?author .\n"
+      "  OPTIONAL { ?article <http://xmlns.com/foaf/0.1/homepage> ?url }\n"
+      "}");
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(q);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  ExecResult serial =
+      CheckAllThreadCounts(planned->query, planned->plan, "optional");
+  EXPECT_GT(serial.table.rows, 0u);
+}
+
+TEST_F(ParallelExecutorTest, ParallelStatsReportFanOut) {
+  hsp::HspPlanner planner;
+  const workload::WorkloadQuery* wq = workload::FindQuery("SP2a");
+  ASSERT_NE(wq, nullptr);
+  Query query = ParseOrDie(wq->sparql);
+  auto planned = planner.Plan(query);
+  ASSERT_TRUE(planned.ok());
+  ExecOptions opts;
+  opts.num_threads = 4;
+  auto result = Executor(store_, opts).Execute(planned->query,
+                                               planned->plan);
+  ASSERT_TRUE(result.ok());
+  int max_threads = 0;
+  for (const OperatorStat& s : result->stats) {
+    EXPECT_GE(s.threads, 1);
+    EXPECT_LE(s.threads, 4);
+    max_threads = std::max(max_threads, s.threads);
+  }
+  EXPECT_GT(max_threads, 1) << "no operator ran parallel morsels";
+}
 
 }  // namespace
 }  // namespace hsparql::exec

@@ -219,5 +219,75 @@ TEST(StatisticsTest, EstimateDistinctExactForPredicateOnly) {
   EXPECT_EQ(stats.EstimateDistinct({&b, 1}, Position::kObject), 10u);
 }
 
+TEST(SplitAtKeyBoundariesTest, EmptyAndZeroParts) {
+  EXPECT_TRUE(SplitAtKeyBoundaries(std::span<const rdf::TermId>{}, 4)
+                  .empty());
+  std::vector<rdf::TermId> keys{1, 2, 3};
+  EXPECT_TRUE(SplitAtKeyBoundaries(std::span<const rdf::TermId>(keys), 0)
+                  .empty());
+}
+
+TEST(SplitAtKeyBoundariesTest, ChunksCoverRangeWithoutSplittingKeys) {
+  SplitMix64 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Sorted keys with heavy duplication to stress boundary extension.
+    std::vector<rdf::TermId> keys;
+    std::size_t n = 1 + rng.NextBounded(500);
+    rdf::TermId k = 0;
+    while (keys.size() < n) {
+      k += static_cast<rdf::TermId>(1 + rng.NextBounded(3));
+      std::size_t run = 1 + rng.NextBounded(20);
+      for (std::size_t i = 0; i < run && keys.size() < n; ++i) {
+        keys.push_back(k);
+      }
+    }
+    std::size_t parts = 1 + rng.NextBounded(8);
+    auto chunks = SplitAtKeyBoundaries(std::span<const rdf::TermId>(keys),
+                                       parts);
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_LE(chunks.size(), parts);
+    EXPECT_EQ(chunks.front().begin, 0u);
+    EXPECT_EQ(chunks.back().end, keys.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_GT(chunks[c].size(), 0u);
+      if (c > 0) {
+        EXPECT_EQ(chunks[c].begin, chunks[c - 1].end);
+        // A key never spans a chunk boundary.
+        EXPECT_NE(keys[chunks[c].begin], keys[chunks[c].begin - 1]);
+      }
+    }
+  }
+}
+
+TEST(SplitAtKeyBoundariesTest, SingleDominantKeyYieldsOneChunk) {
+  std::vector<rdf::TermId> keys(100, 7);
+  auto chunks = SplitAtKeyBoundaries(std::span<const rdf::TermId>(keys), 8);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (IndexRange{0, 100}));
+}
+
+TEST(SplitAtKeyBoundariesTest, TripleOverloadSplitsOnPosition) {
+  rdf::Graph g;
+  for (int s = 0; s < 40; ++s) {
+    for (int o = 0; o < 3; ++o) {
+      g.AddIri("s" + std::to_string(s), "p", "o" + std::to_string(o));
+    }
+  }
+  TripleStore store = TripleStore::Build(std::move(g));
+  auto rel = store.Scan(Ordering::kSpo);
+  auto chunks = SplitAtKeyBoundaries(rel, Position::kSubject, 4);
+  ASSERT_GT(chunks.size(), 1u);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    total += chunks[c].size();
+    if (c > 0) {
+      // Chunks are contiguous and never split a subject group.
+      EXPECT_EQ(chunks[c].data(), chunks[c - 1].data() + chunks[c - 1].size());
+      EXPECT_NE(chunks[c].front().s, chunks[c - 1].back().s);
+    }
+  }
+  EXPECT_EQ(total, rel.size());
+}
+
 }  // namespace
 }  // namespace hsparql::storage

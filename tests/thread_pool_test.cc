@@ -1,0 +1,137 @@
+// Tests for the work-stealing thread pool: ParallelFor correctness (every
+// index visited exactly once, any grain), exception propagation, nested
+// submission from inside a body, and the 0-task / 1-task edge cases.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hsparql {
+namespace {
+
+TEST(ThreadPoolTest, WorkerCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  ThreadPool pool3(3);
+  EXPECT_EQ(pool3.num_workers(), 3u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 64,
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonoursNonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.ParallelFor(100, 200, 7, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  // 100 + 101 + ... + 199.
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](std::size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, 1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleIndexRunsInlineOnTheCaller) {
+  ThreadPool pool(2);
+  std::thread::id ran_on;
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, 4, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 3u);
+    ran_on = std::this_thread::get_id();
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 10, 100, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 50, 0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAfterAllChunksFinish) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  // Throwing at the last index of one chunk: the exception ends that
+  // chunk (as any loop body throw would) but cancels nothing else.
+  EXPECT_THROW(
+      pool.ParallelFor(0, kN, 10,
+                       [&](std::size_t i) {
+                         hits[i].fetch_add(1);
+                         if (i == 509) {
+                           throw std::runtime_error("morsel failed");
+                         }
+                       }),
+      std::runtime_error);
+  // No cancellation: every other chunk still ran to completion.
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.ParallelFor(0, 8, 1, [&](std::size_t) {
+    // Nested submission from a worker (or the helping caller): the inner
+    // loop's chunks land on the same deques and are drained by whoever
+    // waits, so this completes even with a single worker.
+    pool.ParallelFor(0, 1000, 10, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(sum.load(), 8u * (999u * 1000u / 2u));
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 100, 9, [&](std::size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * (99u * 100u / 2u));
+}
+
+}  // namespace
+}  // namespace hsparql
