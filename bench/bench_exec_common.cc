@@ -81,6 +81,11 @@ int RunExecutionTable(workload::Dataset dataset, int argc, char** argv) {
       std::cerr << wq.id << ": planning failed\n";
       return 1;
     }
+    bool lint_ok =
+        MaybeLint(flags, *hsp_planned, wq.id + "/hsp", /*hsp_pack=*/true) &&
+        MaybeLint(flags, *cdp_planned, wq.id + "/cdp") &&
+        MaybeLint(flags, *sql_planned, wq.id + "/sql");
+    if (!lint_ok) return 1;
     Timing h = TimePlan(*env, hsp_planned->query, hsp_planned->plan, runs);
     Timing c = TimePlan(*env, cdp_planned->query, cdp_planned->plan, runs);
     Timing s = TimePlan(*env, sql_planned->query, sql_planned->plan, runs);

@@ -53,6 +53,11 @@ int Run(int argc, char** argv) {
       std::cerr << id << ": planning failed\n";
       return 1;
     }
+    if (!bench::MaybeLint(flags, *hsp_planned, std::string(id) + "/hsp",
+                          /*hsp_pack=*/true) ||
+        !bench::MaybeLint(flags, *cdp_planned, std::string(id) + "/cdp")) {
+      return 1;
+    }
     ShowPlan(*env, "HSP plan", *hsp_planned);
     ShowPlan(*env, "CDP plan", *cdp_planned);
   }

@@ -25,12 +25,14 @@ struct Measured {
 
 template <typename Planner>
 Measured Measure(bench::Env* env, Planner& planner,
-                 const sparql::Query& query, int runs) {
+                 const sparql::Query& query, int runs,
+                 const bench::Flags& flags, const std::string& tag) {
   auto planned = planner.Plan(query);
   if (!planned.ok()) {
     std::cerr << "planning failed: " << planned.status() << "\n";
     std::abort();
   }
+  if (!bench::MaybeLint(flags, *planned, tag)) std::abort();
   exec::Executor executor(&env->store);
   exec::ExecResult last;
   Measured m;
@@ -67,9 +69,9 @@ int Run(int argc, char** argv) {
     cdp::HybridPlanner hybrid(&env->store, &env->stats);
     cdp::CdpPlanner cdp_planner(&env->store, &env->stats);
 
-    Measured h = Measure(env, hsp_planner, query, runs);
-    Measured y = Measure(env, hybrid, query, runs);
-    Measured c = Measure(env, cdp_planner, query, runs);
+    Measured h = Measure(env, hsp_planner, query, runs, flags, wq.id + "/hsp");
+    Measured y = Measure(env, hybrid, query, runs, flags, wq.id + "/hybrid");
+    Measured c = Measure(env, cdp_planner, query, runs, flags, wq.id + "/cdp");
     table.AddRow({wq.id, bench::Fmt(h.ms, 2), bench::Fmt(y.ms, 2),
                   bench::Fmt(c.ms, 2), std::to_string(h.intermediates),
                   std::to_string(y.intermediates),

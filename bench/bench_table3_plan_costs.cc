@@ -93,6 +93,11 @@ int Run(int argc, char** argv) {
       std::cerr << wq.id << ": planning failed\n";
       return 1;
     }
+    if (!bench::MaybeLint(flags, *hsp_planned, wq.id + "/hsp",
+                          /*hsp_pack=*/true) ||
+        !bench::MaybeLint(flags, *cdp_planned, wq.id + "/cdp")) {
+      return 1;
+    }
     CostPair h = CostPlan(*env, hsp_planned->query, hsp_planned->plan);
     CostPair c = CostPlan(*env, cdp_planned->query, cdp_planned->plan);
     auto [paper_hsp, paper_cdp] = paper_of(wq.id);

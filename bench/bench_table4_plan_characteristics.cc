@@ -56,6 +56,11 @@ int Run(int argc, char** argv) {
       std::cerr << wq.id << ": planning failed\n";
       return 1;
     }
+    if (!bench::MaybeLint(flags, *hsp_planned, wq.id + "/hsp",
+                          /*hsp_pack=*/true) ||
+        !bench::MaybeLint(flags, *cdp_planned, wq.id + "/cdp")) {
+      return 1;
+    }
     const hsp::LogicalPlan& hp = hsp_planned->plan;
     const hsp::LogicalPlan& cp = cdp_planned->plan;
 

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "lint/plan_lint.h"
 #include "sparql/parser.h"
 #include "workload/sp2bench_gen.h"
 #include "workload/yago_gen.h"
@@ -72,6 +73,18 @@ sparql::Query ParseQuery(const workload::WorkloadQuery& wq) {
     std::abort();
   }
   return std::move(q).ValueOrDie();
+}
+
+bool MaybeLint(const Flags& flags, const hsp::PlannedQuery& planned,
+               std::string_view tag, bool hsp_pack) {
+  if (!flags.GetBool("lint", false)) return true;
+  lint::LintReport report = hsp_pack
+                                ? lint::LintHspPlan(planned)
+                                : lint::LintPlan(planned.query, planned.plan);
+  for (const lint::Diagnostic& d : report.diagnostics) {
+    std::cerr << "# lint " << tag << ": " << d.ToString() << "\n";
+  }
+  return report.ok();
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "hsp/hsp_planner.h"
 #include "sparql/ast.h"
 #include "storage/statistics.h"
 #include "storage/triple_store.h"
@@ -45,6 +46,13 @@ std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
 
 /// Parses a workload query or aborts (workload queries are tested).
 sparql::Query ParseQuery(const workload::WorkloadQuery& wq);
+
+/// --lint support: when the flag is set, runs PlanLint (src/lint/) over
+/// `planned` — the HSP rule pack too when `hsp_pack` — and prints every
+/// diagnostic to stderr prefixed with `tag` (e.g. "q2/hsp"). Returns false
+/// iff linting ran and found errors, so harnesses can exit non-zero.
+bool MaybeLint(const Flags& flags, const hsp::PlannedQuery& planned,
+               std::string_view tag, bool hsp_pack = false);
 
 /// Fixed-width table printing.
 class TablePrinter {

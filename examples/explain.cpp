@@ -2,7 +2,10 @@
 //
 // Usage:
 //   explain <data.nt> [--planner=hsp|cdp|sql|hybrid] [--explain-only]
-//           [--format=table|json|tsv] [query.rq]
+//           [--lint] [--format=table|json|tsv] [query.rq]
+//
+// --lint runs PlanLint (src/lint/) over every produced plan, printing the
+// full diagnostic list and refusing to execute plans with lint errors.
 //
 // Reads an RDF dataset in N-Triples syntax, then executes (or just
 // explains) the SPARQL query given as a file argument — or each ';'-free
@@ -18,6 +21,7 @@
 #include "exec/executor.h"
 #include "exec/results_io.h"
 #include "hsp/hsp_planner.h"
+#include "lint/plan_lint.h"
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
 #include "storage/statistics.h"
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
   std::string planner_name = "hsp";
   std::string format = "table";
   bool explain_only = false;
+  bool lint = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--planner=", 0) == 0) {
@@ -47,6 +52,8 @@ int main(int argc, char** argv) {
       format = arg.substr(9);
     } else if (arg == "--explain-only") {
       explain_only = true;
+    } else if (arg == "--lint") {
+      lint = true;
     } else if (data_path.empty()) {
       data_path = arg;
     } else {
@@ -55,7 +62,8 @@ int main(int argc, char** argv) {
   }
   if (data_path.empty()) {
     std::cerr << "usage: explain <data.nt> [--planner=hsp|cdp|sql|hybrid]"
-                 " [--explain-only] [--format=table|json|tsv] [query.rq]\n";
+                 " [--explain-only] [--lint] [--format=table|json|tsv]"
+                 " [query.rq]\n";
     return 2;
   }
 
@@ -99,6 +107,19 @@ int main(int argc, char** argv) {
               << " hash joins, "
               << hsp::PlanShapeName(planned->plan.shape()) << ") --\n"
               << planned->plan.ToString(planned->query);
+    if (lint) {
+      // The HSP rule pack (H1–H5 shape checks) only applies to plans the
+      // HSP planner produced; the generic rules cover the rest.
+      lint::LintReport report =
+          planner_name == "hsp" ? lint::LintHspPlan(*planned)
+                                : lint::LintPlan(planned->query, planned->plan);
+      for (const lint::Diagnostic& d : report.diagnostics) {
+        std::cerr << "lint: " << d.ToString() << "\n";
+      }
+      if (!report.ok()) return Fail(lint::ReportToStatus(report));
+      std::cerr << "lint: plan is clean ("
+                << report.diagnostics.size() << " warning(s))\n";
+    }
     if (explain_only) return 0;
     exec::Executor executor(&store);
     auto result = executor.Execute(planned->query, planned->plan);

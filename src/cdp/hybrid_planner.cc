@@ -1,11 +1,14 @@
 #include "cdp/hybrid_planner.h"
 
 #include <algorithm>
+#include <cassert>
+#include <iostream>
 #include <limits>
 #include <numeric>
 
 #include "hsp/mwis.h"
 #include "hsp/variable_graph.h"
+#include "lint/plan_lint.h"
 #include "sparql/rewrite.h"
 
 namespace hsparql::cdp {
@@ -240,6 +243,17 @@ Result<hsp::PlannedQuery> HybridPlanner::Plan(const Query& input) const {
                            std::move(plan));
   plan = hsp::AttachSolutionModifiers(query, std::move(plan));
   out.plan = hsp::LogicalPlan(std::move(plan));
+#ifndef NDEBUG
+  // Debug builds statically verify every emitted plan (src/lint/). The
+  // hybrid planner orders merge blocks by cardinality, not H1, so only
+  // the planner-agnostic rules apply — not the HSP pack.
+  if (lint::LintReport report = lint::LintPlan(out.query, out.plan);
+      !report.clean()) {
+    std::cerr << "HybridPlanner emitted a plan failing PlanLint:\n"
+              << report.ToString();
+    assert(false && "HybridPlanner emitted a plan failing PlanLint");
+  }
+#endif
   return out;
 }
 

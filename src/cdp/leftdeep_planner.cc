@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
+#include <iostream>
 
 #include "cdp/cost_model.h"
+#include "lint/plan_lint.h"
 #include "sparql/rewrite.h"
 
 namespace hsparql::cdp {
@@ -194,6 +197,15 @@ Result<hsp::PlannedQuery> LeftDeepPlanner::Plan(const Query& input) const {
                            std::move(plan));
   plan = hsp::AttachSolutionModifiers(query, std::move(plan));
   out.plan = hsp::LogicalPlan(std::move(plan));
+#ifndef NDEBUG
+  // Debug builds statically verify every emitted plan (src/lint/).
+  if (lint::LintReport report = lint::LintPlan(out.query, out.plan);
+      !report.clean()) {
+    std::cerr << "LeftDeepPlanner emitted a plan failing PlanLint:\n"
+              << report.ToString();
+    assert(false && "LeftDeepPlanner emitted a plan failing PlanLint");
+  }
+#endif
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/term_compare.h"
+#include "lint/plan_lint.h"
 
 namespace hsparql::exec {
 
@@ -351,18 +352,32 @@ class PlanRunner {
     std::size_t threads_used = 1;
     if (node->algo == JoinAlgo::kMerge) {
       if (node->left_outer) {
-        return Status::Internal("left outer merge joins are not supported");
+        return lint::RuntimeViolation(
+            lint::RuleId::kLeftOuterMergeJoin, node->id,
+            "left outer joins are hash-only; the merge path cannot emit "
+            "unmatched left rows");
       }
       const VarId var = node->join_var;
+      if (var == sparql::kInvalidVarId) {
+        return lint::RuntimeViolation(
+            lint::RuleId::kMergeJoinNoVar, node->id,
+            "merge join has no join variable");
+      }
       std::size_t lc = left.ColumnOf(var);
       std::size_t rc = right.ColumnOf(var);
       if (lc == BindingTable::npos || rc == BindingTable::npos) {
-        return Status::Internal("merge join variable missing from input");
+        return lint::RuntimeViolation(
+            lint::RuleId::kJoinVarUnboundSide, node->id,
+            "join variable ?" + query_->VarName(var) +
+                " is not bound by the " +
+                (lc == BindingTable::npos ? "left" : "right") + " input");
       }
       if (!left.SortedBy(var) || !right.SortedBy(var)) {
-        return Status::Internal(
-            "merge join requires both inputs sorted on ?" +
-            query_->VarName(var));
+        return lint::RuntimeViolation(
+            lint::RuleId::kMergeInputsUnsorted, node->id,
+            std::string(left.SortedBy(var) ? "right" : "left") +
+                " input of merge join is not sorted on ?" +
+                query_->VarName(var));
       }
       std::vector<VarId> check;  // other shared vars
       for (VarId v : shared) {
@@ -568,7 +583,10 @@ class PlanRunner {
     for (const sparql::Query::OrderKey& key : node->order_keys) {
       std::size_t c = in.ColumnOf(key.var);
       if (c == BindingTable::npos) {
-        return Status::Internal("ORDER BY variable missing from input");
+        return lint::RuntimeViolation(
+            lint::RuleId::kOrderByVarUnbound, node->id,
+            "ORDER BY references ?" + query_->VarName(key.var) +
+                ", which the input does not bind");
       }
       cols.push_back(c);
     }
@@ -679,15 +697,20 @@ class PlanRunner {
 
     std::size_t lhs = in.ColumnOf(f.var);
     if (lhs == BindingTable::npos) {
-      return Status::Internal("filter variable ?" + query_->VarName(f.var) +
-                              " missing from input");
+      return lint::RuntimeViolation(
+          lint::RuleId::kFilterVarUnbound, node->id,
+          "filter references ?" + query_->VarName(f.var) +
+              ", which the input does not bind");
     }
     std::size_t rhs = BindingTable::npos;
     std::optional<TermId> const_id;
     if (f.rhs_var.has_value()) {
       rhs = in.ColumnOf(*f.rhs_var);
       if (rhs == BindingTable::npos) {
-        return Status::Internal("filter variable missing from input");
+        return lint::RuntimeViolation(
+            lint::RuleId::kFilterVarUnbound, node->id,
+            "filter references ?" + query_->VarName(*f.rhs_var) +
+                ", which the input does not bind");
       }
     } else {
       const_id = dict.Find(f.value);
@@ -754,8 +777,10 @@ class PlanRunner {
     for (VarId v : node->projection) {
       std::size_t c = in.ColumnOf(v);
       if (c == BindingTable::npos) {
-        return Status::Internal("projection variable ?" + query_->VarName(v) +
-                                " missing from input");
+        return lint::RuntimeViolation(
+            lint::RuleId::kProjectionVarUnbound, node->id,
+            "projection references ?" + query_->VarName(v) +
+                ", which the input does not bind");
       }
       src.push_back(c);
     }
@@ -823,6 +848,13 @@ class PlanRunner {
 Result<ExecResult> Executor::Execute(const Query& query,
                                      const hsp::LogicalPlan& plan) const {
   if (plan.empty()) return Status::InvalidArgument("empty plan");
+  if (options_.lint_plans) {
+    // Catch malformed plans before touching any data; the runtime checks
+    // below remain as a second line of defence phrased in the same rule
+    // vocabulary.
+    lint::LintReport report = lint::LintPlan(query, plan);
+    if (!report.ok()) return lint::ReportToStatus(report);
+  }
   ExecResult result;
   result.cardinalities.assign(static_cast<std::size_t>(plan.num_nodes()), 0);
   WallTimer timer;

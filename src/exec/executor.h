@@ -55,6 +55,13 @@ struct ExecOptions {
   /// that the output stays byte-identical to the serial path for every
   /// value of num_threads (see DESIGN.md "Parallel execution").
   std::size_t num_threads = 0;
+
+  /// Run PlanLint (src/lint/) over the plan at Execute() entry and refuse
+  /// malformed plans up front with the full diagnostic list, instead of
+  /// failing midway through execution. The executor's own runtime checks
+  /// stay active either way and phrase their errors in the same
+  /// rule-id vocabulary.
+  bool lint_plans = false;
 };
 
 /// Executes plans against one store. Stateless across calls.

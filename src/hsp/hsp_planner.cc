@@ -1,10 +1,13 @@
 #include "hsp/hsp_planner.h"
 
 #include <algorithm>
+#include <cassert>
+#include <iostream>
 #include <numeric>
 
 #include "hsp/mwis.h"
 #include "hsp/variable_graph.h"
+#include "lint/plan_lint.h"
 
 namespace hsparql::hsp {
 
@@ -346,6 +349,18 @@ Result<PlannedQuery> HspPlanner::Plan(const Query& input) const {
   plan = AttachSolutionModifiers(query, std::move(plan));
 
   out.plan = LogicalPlan(std::move(plan));
+#ifndef NDEBUG
+  // Debug builds statically verify every emitted plan against the full
+  // HSP rule pack; release builds rely on the PlanOrLint test helper and
+  // ExecOptions::lint_plans (see src/lint/plan_lint.h).
+  if (lint::LintReport report =
+          lint::LintHspPlan(out, options_.h1_type_exception);
+      !report.clean()) {
+    std::cerr << "HspPlanner emitted a plan failing PlanLint:\n"
+              << report.ToString();
+    assert(false && "HspPlanner emitted a plan failing PlanLint");
+  }
+#endif
   return out;
 }
 

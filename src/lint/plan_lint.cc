@@ -1,0 +1,637 @@
+#include "lint/plan_lint.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "hsp/heuristics.h"
+#include "storage/ordering.h"
+
+namespace hsparql::lint {
+
+using hsp::JoinAlgo;
+using hsp::LogicalPlan;
+using hsp::PlanNode;
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+
+std::string_view SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string_view RuleIdName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kNodeArity:
+      return "node-arity";
+    case RuleId::kDuplicateNodeId:
+      return "duplicate-node-id";
+    case RuleId::kNodeIdUnassigned:
+      return "node-id-unassigned";
+    case RuleId::kPatternIndexOutOfRange:
+      return "pattern-index-out-of-range";
+    case RuleId::kScanBoundPrefix:
+      return "scan-bound-prefix";
+    case RuleId::kScanSortVar:
+      return "scan-sort-var";
+    case RuleId::kMergeJoinNoVar:
+      return "merge-join-no-var";
+    case RuleId::kJoinVarUnboundSide:
+      return "join-var-unbound-side";
+    case RuleId::kMergeInputsUnsorted:
+      return "merge-inputs-unsorted";
+    case RuleId::kLeftOuterMergeJoin:
+      return "left-outer-merge-join";
+    case RuleId::kCartesianSharesVars:
+      return "cartesian-shares-vars";
+    case RuleId::kFilterVarUnbound:
+      return "filter-var-unbound";
+    case RuleId::kProjectionVarUnbound:
+      return "projection-var-unbound";
+    case RuleId::kOrderByVarUnbound:
+      return "order-by-var-unbound";
+    case RuleId::kHspMergeVarNotChosen:
+      return "hsp-merge-var-not-chosen";
+    case RuleId::kHspMergeChainShape:
+      return "hsp-merge-chain-shape";
+    case RuleId::kHspScanOrder:
+      return "hsp-scan-order";
+    case RuleId::kHspAccessPathMismatch:
+      return "hsp-access-path-mismatch";
+  }
+  return "unknown-rule";
+}
+
+std::string_view RuleIdCode(RuleId rule) {
+  switch (rule) {
+    case RuleId::kNodeArity:
+      return "PL001";
+    case RuleId::kDuplicateNodeId:
+      return "PL002";
+    case RuleId::kNodeIdUnassigned:
+      return "PL003";
+    case RuleId::kPatternIndexOutOfRange:
+      return "PL004";
+    case RuleId::kScanBoundPrefix:
+      return "PL101";
+    case RuleId::kScanSortVar:
+      return "PL102";
+    case RuleId::kMergeJoinNoVar:
+      return "PL201";
+    case RuleId::kJoinVarUnboundSide:
+      return "PL202";
+    case RuleId::kMergeInputsUnsorted:
+      return "PL203";
+    case RuleId::kLeftOuterMergeJoin:
+      return "PL204";
+    case RuleId::kCartesianSharesVars:
+      return "PL205";
+    case RuleId::kFilterVarUnbound:
+      return "PL301";
+    case RuleId::kProjectionVarUnbound:
+      return "PL302";
+    case RuleId::kOrderByVarUnbound:
+      return "PL303";
+    case RuleId::kHspMergeVarNotChosen:
+      return "PL401";
+    case RuleId::kHspMergeChainShape:
+      return "PL402";
+    case RuleId::kHspScanOrder:
+      return "PL403";
+    case RuleId::kHspAccessPathMismatch:
+      return "PL404";
+  }
+  return "PL???";
+}
+
+namespace {
+
+std::string FormatDiagnostic(Severity severity, RuleId rule, int node_id,
+                             std::string_view message) {
+  std::ostringstream os;
+  os << SeverityName(severity) << ' ' << RuleIdCode(rule) << " ["
+     << RuleIdName(rule) << "] node " << node_id << ": " << message;
+  return os.str();
+}
+
+/// "?name", or a placeholder for ids the query does not know (a linted
+/// plan may reference anything).
+std::string NameOf(const Query& query, VarId v) {
+  if (v == sparql::kInvalidVarId) return "(none)";
+  if (static_cast<std::size_t>(v) < query.var_names.size()) {
+    return "?" + query.var_names[v];
+  }
+  return "?#" + std::to_string(v);
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return FormatDiagnostic(severity, rule_id, node_id, message);
+}
+
+bool LintReport::ok() const { return num_errors() == 0; }
+
+int LintReport::num_errors() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+bool LintReport::Has(RuleId rule) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [rule](const Diagnostic& d) { return d.rule_id == rule; });
+}
+
+std::string LintReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Status ReportToStatus(const LintReport& report) {
+  if (report.ok()) return Status::OK();
+  const Diagnostic* first = nullptr;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == Severity::kError) {
+      first = &d;
+      break;
+    }
+  }
+  std::string msg = "plan-lint: " + first->ToString();
+  int extra = report.num_errors() - 1;
+  if (extra > 0) msg += " (+" + std::to_string(extra) + " more)";
+  return Status::Internal(std::move(msg));
+}
+
+Status RuntimeViolation(RuleId rule, int node_id, std::string detail) {
+  return Status::Internal(
+      "plan-lint: " +
+      FormatDiagnostic(Severity::kError, rule, node_id, detail));
+}
+
+namespace {
+
+/// Facts the analysis propagates bottom-up, mirroring exactly what the
+/// executor's BindingTable carries for the same subtree: the output schema
+/// (`vars`, first-occurrence order) and the variable prefix the rows are
+/// sorted by (`sorted_by`, empty == unordered). The lattice is documented
+/// in DESIGN.md; the transfer functions below must stay in lockstep with
+/// exec/executor.cc.
+struct NodeFacts {
+  std::vector<VarId> vars;
+  std::vector<VarId> sorted_by;
+
+  bool Binds(VarId v) const {
+    return std::find(vars.begin(), vars.end(), v) != vars.end();
+  }
+  bool SortedBy(VarId v) const {
+    return !sorted_by.empty() && sorted_by[0] == v;
+  }
+};
+
+class Linter {
+ public:
+  Linter(const Query& query, const LogicalPlan& plan)
+      : query_(query), plan_(plan) {}
+
+  LintReport Run() {
+    if (plan_.root() != nullptr) Walk(plan_.root());
+    return std::move(report_);
+  }
+
+ private:
+  void Emit(Severity severity, RuleId rule, const PlanNode* node,
+            std::string message) {
+    report_.diagnostics.push_back(Diagnostic{
+        severity, rule, node == nullptr ? -1 : node->id, std::move(message)});
+  }
+  void Error(RuleId rule, const PlanNode* node, std::string message) {
+    Emit(Severity::kError, rule, node, std::move(message));
+  }
+
+  void CheckId(const PlanNode* node) {
+    if (node->id < 0) {
+      Error(RuleId::kNodeIdUnassigned, node,
+            "node id is unassigned (LogicalPlan::AssignIds never ran on "
+            "this tree)");
+      return;
+    }
+    if (!seen_ids_.insert(node->id).second) {
+      Error(RuleId::kDuplicateNodeId, node,
+            "node id " + std::to_string(node->id) +
+                " is assigned to more than one node");
+    }
+  }
+
+  bool CheckArity(const PlanNode* node) {
+    std::size_t want = 0;
+    bool at_least = false;
+    switch (node->kind) {
+      case PlanNode::Kind::kScan:
+        want = 0;
+        break;
+      case PlanNode::Kind::kJoin:
+        want = 2;
+        break;
+      case PlanNode::Kind::kUnion:
+        want = 1;
+        at_least = true;
+        break;
+      case PlanNode::Kind::kFilter:
+      case PlanNode::Kind::kProject:
+      case PlanNode::Kind::kSort:
+      case PlanNode::Kind::kLimit:
+        want = 1;
+        break;
+    }
+    std::size_t got = node->children.size();
+    if (at_least ? got >= want : got == want) return true;
+    Error(RuleId::kNodeArity, node,
+          "operator has " + std::to_string(got) + " children, expected " +
+              (at_least ? "at least " : "") + std::to_string(want));
+    return false;
+  }
+
+  NodeFacts Walk(const PlanNode* node) {
+    CheckId(node);
+    if (!CheckArity(node)) {
+      // Still surface diagnostics from whatever children exist, but give
+      // up on this node's own semantics: report no facts.
+      for (const auto& child : node->children) Walk(child.get());
+      return {};
+    }
+    switch (node->kind) {
+      case PlanNode::Kind::kScan:
+        return WalkScan(node);
+      case PlanNode::Kind::kJoin:
+        return WalkJoin(node);
+      case PlanNode::Kind::kFilter:
+        return WalkFilter(node);
+      case PlanNode::Kind::kProject:
+        return WalkProject(node);
+      case PlanNode::Kind::kUnion:
+        return WalkUnion(node);
+      case PlanNode::Kind::kSort:
+        return WalkSort(node);
+      case PlanNode::Kind::kLimit:
+        return Walk(node->children[0].get());  // pure row slice
+    }
+    return {};
+  }
+
+  NodeFacts WalkScan(const PlanNode* node) {
+    if (node->pattern_index >= query_.patterns.size()) {
+      Error(RuleId::kPatternIndexOutOfRange, node,
+            "scan references pattern tp" +
+                std::to_string(node->pattern_index) + " but the query has " +
+                std::to_string(query_.patterns.size()) + " patterns");
+      return {};
+    }
+    const TriplePattern& tp = query_.patterns[node->pattern_index];
+    const auto positions = storage::OrderingPositions(node->ordering);
+
+    // Bound prefix: the access path is a binary-searched range only when
+    // every constant of the pattern sorts before every variable.
+    std::size_t k = 0;
+    while (k < 3 && tp.at(positions[k]).is_constant()) ++k;
+    for (std::size_t i = k; i < 3; ++i) {
+      if (tp.at(positions[i]).is_constant()) {
+        Error(RuleId::kScanBoundPrefix, node,
+              "ordering " + std::string(storage::OrderingName(node->ordering)) +
+                  " does not place the bound terms of tp" +
+                  std::to_string(node->pattern_index) +
+                  " as a prefix (constant at sort priority " +
+                  std::to_string(i) + ")");
+        break;
+      }
+    }
+
+    // Output schema and sortedness, exactly as the executor derives them:
+    // the pattern's distinct variables in ordering priority after the
+    // bound prefix; that sequence is also the sort order.
+    NodeFacts facts;
+    for (std::size_t i = k; i < 3; ++i) {
+      const sparql::PatternTerm& t = tp.at(positions[i]);
+      if (t.is_variable() && !facts.Binds(t.var)) facts.vars.push_back(t.var);
+    }
+    facts.sorted_by = facts.vars;
+
+    VarId derived =
+        facts.vars.empty() ? sparql::kInvalidVarId : facts.vars.front();
+    if (node->sort_var != derived) {
+      Error(RuleId::kScanSortVar, node,
+            "scan declares sort_var " + NameOf(query_, node->sort_var) +
+                " but ordering " +
+                std::string(storage::OrderingName(node->ordering)) +
+                " sorts tp" + std::to_string(node->pattern_index) + " by " +
+                NameOf(query_, derived));
+    }
+    return facts;
+  }
+
+  NodeFacts WalkJoin(const PlanNode* node) {
+    NodeFacts left = Walk(node->children[0].get());
+    NodeFacts right = Walk(node->children[1].get());
+
+    if (node->left_outer && node->algo == JoinAlgo::kMerge) {
+      Error(RuleId::kLeftOuterMergeJoin, node,
+            "left outer joins are hash-only; the merge path cannot emit "
+            "unmatched left rows");
+    }
+
+    const VarId var = node->join_var;
+    if (var == sparql::kInvalidVarId) {
+      if (node->algo == JoinAlgo::kMerge) {
+        Error(RuleId::kMergeJoinNoVar, node,
+              "merge join has no join variable (cartesian merge joins are "
+              "impossible)");
+      } else {
+        // A declared cartesian product over subtrees that do share
+        // variables is legal (the executor hash-joins all shared
+        // variables) but almost certainly a planner mistake.
+        for (VarId v : left.vars) {
+          if (right.Binds(v)) {
+            Emit(Severity::kWarning, RuleId::kCartesianSharesVars, node,
+                 "join is declared cartesian but its inputs share " +
+                     NameOf(query_, v));
+            break;
+          }
+        }
+      }
+    } else {
+      if (!left.Binds(var) || !right.Binds(var)) {
+        Error(RuleId::kJoinVarUnboundSide, node,
+              "join variable " + NameOf(query_, var) +
+                  " is not bound by the " +
+                  (left.Binds(var) ? "right" : "left") + " subtree");
+      } else if (node->algo == JoinAlgo::kMerge) {
+        if (!left.SortedBy(var)) {
+          Error(RuleId::kMergeInputsUnsorted, node,
+                "left input of merge join is not provably sorted on " +
+                    NameOf(query_, var));
+        }
+        if (!right.SortedBy(var)) {
+          Error(RuleId::kMergeInputsUnsorted, node,
+                "right input of merge join is not provably sorted on " +
+                    NameOf(query_, var));
+        }
+      }
+    }
+
+    NodeFacts facts;
+    facts.vars = left.vars;
+    for (VarId v : right.vars) {
+      if (!facts.Binds(v)) facts.vars.push_back(v);
+    }
+    // Merge joins emit in key order; hash joins probe in left order (and
+    // so does the cartesian loop), preserving the left sort prefix.
+    if (node->algo == JoinAlgo::kMerge) {
+      facts.sorted_by = {var};
+    } else {
+      facts.sorted_by = left.sorted_by;
+    }
+    return facts;
+  }
+
+  NodeFacts WalkFilter(const PlanNode* node) {
+    NodeFacts facts = Walk(node->children[0].get());
+    const sparql::Filter& f = node->filter;
+    if (!facts.Binds(f.var)) {
+      Error(RuleId::kFilterVarUnbound, node,
+            "filter references " + NameOf(query_, f.var) +
+                ", which the subtree does not bind");
+    }
+    if (f.rhs_var.has_value() && !facts.Binds(*f.rhs_var)) {
+      Error(RuleId::kFilterVarUnbound, node,
+            "filter references " + NameOf(query_, *f.rhs_var) +
+                ", which the subtree does not bind");
+    }
+    return facts;  // filters preserve schema and row order
+  }
+
+  NodeFacts WalkProject(const PlanNode* node) {
+    NodeFacts in = Walk(node->children[0].get());
+    NodeFacts facts;
+    facts.vars = node->projection;
+    for (VarId v : node->projection) {
+      if (!in.Binds(v)) {
+        Error(RuleId::kProjectionVarUnbound, node,
+              "projection references " + NameOf(query_, v) +
+                  ", which the subtree does not bind");
+      }
+    }
+    if (node->distinct) {
+      // DISTINCT re-sorts rows lexicographically by the projected columns.
+      facts.sorted_by = facts.vars;
+    } else {
+      // Sortedness survives as the longest projected prefix of the
+      // child's sort order.
+      for (VarId v : in.sorted_by) {
+        if (!facts.Binds(v)) break;
+        facts.sorted_by.push_back(v);
+      }
+    }
+    return facts;
+  }
+
+  NodeFacts WalkUnion(const PlanNode* node) {
+    NodeFacts facts;
+    for (const auto& child : node->children) {
+      NodeFacts branch = Walk(child.get());
+      for (VarId v : branch.vars) {
+        if (!facts.Binds(v)) facts.vars.push_back(v);
+      }
+    }
+    // Branch concatenation destroys any order.
+    return facts;
+  }
+
+  NodeFacts WalkSort(const PlanNode* node) {
+    NodeFacts facts = Walk(node->children[0].get());
+    for (const sparql::Query::OrderKey& key : node->order_keys) {
+      if (!facts.Binds(key.var)) {
+        Error(RuleId::kOrderByVarUnbound, node,
+              "ORDER BY references " + NameOf(query_, key.var) +
+                  ", which the subtree does not bind");
+      }
+    }
+    // Rows are now in ORDER BY term order, which is not a TermId order:
+    // no downstream operator may treat the output as variable-sorted.
+    facts.sorted_by.clear();
+    return facts;
+  }
+
+  const Query& query_;
+  const LogicalPlan& plan_;
+  LintReport report_;
+  std::set<int> seen_ids_;
+};
+
+/// The PL4xx pack: checks that a plan is plausible Algorithm 1 output.
+/// Every merge join must sit in a per-variable left-deep chain of scans
+/// (the "merge-join block" of a chosen variable), chains must respect the
+/// H1 scan order, and every scan's access path must be one Algorithm 2
+/// could have assigned.
+class HspPackLinter {
+ public:
+  HspPackLinter(const hsp::PlannedQuery& planned, bool h1_type_exception,
+                LintReport* report)
+      : query_(planned.query),
+        h1_type_exception_(h1_type_exception),
+        report_(report) {
+    for (VarId v : planned.chosen_variables) chosen_.insert(v);
+  }
+
+  void Run(const PlanNode* root) {
+    if (root != nullptr) Walk(root);
+  }
+
+ private:
+  void Error(RuleId rule, const PlanNode* node, std::string message) {
+    report_->diagnostics.push_back(Diagnostic{
+        Severity::kError, rule, node == nullptr ? -1 : node->id,
+        std::move(message)});
+  }
+
+  bool IsMergeOn(const PlanNode* node, VarId var) const {
+    return node->kind == PlanNode::Kind::kJoin &&
+           node->algo == JoinAlgo::kMerge && node->join_var == var;
+  }
+
+  /// A scan outside any merge chain: Algorithm 1 assigned it either no
+  /// chosen variable (leftover) or a chosen variable whose block has a
+  /// single pattern. Either way Algorithm 2 fixes the ordering.
+  void CheckLooseScan(const PlanNode* scan) {
+    if (scan->pattern_index >= query_.patterns.size()) return;  // PL004
+    const TriplePattern& tp = query_.patterns[scan->pattern_index];
+    std::vector<VarId> candidates;
+    candidates.push_back(sparql::kInvalidVarId);
+    for (VarId v : tp.Variables()) {
+      if (chosen_.count(v) > 0) candidates.push_back(v);
+    }
+    for (VarId v : candidates) {
+      if (hsp::AssignOrderedRelation(tp, v).ordering == scan->ordering) {
+        return;
+      }
+    }
+    Error(RuleId::kHspAccessPathMismatch, scan,
+          "scan of tp" + std::to_string(scan->pattern_index) + " uses " +
+              std::string(storage::OrderingName(scan->ordering)) +
+              ", which Algorithm 2 cannot assign for any chosen variable "
+              "of the pattern");
+  }
+
+  /// A scan inside the merge chain of chosen variable `var`.
+  void CheckChainScan(const PlanNode* scan, VarId var) {
+    if (scan->pattern_index >= query_.patterns.size()) return;  // PL004
+    const TriplePattern& tp = query_.patterns[scan->pattern_index];
+    storage::Ordering want = hsp::AssignOrderedRelation(tp, var).ordering;
+    if (scan->ordering != want) {
+      Error(RuleId::kHspAccessPathMismatch, scan,
+            "scan of tp" + std::to_string(scan->pattern_index) +
+                " in the merge block of " + NameOf(query_, var) + " uses " +
+                std::string(storage::OrderingName(scan->ordering)) +
+                ", but Algorithm 2 assigns " +
+                std::string(storage::OrderingName(want)));
+    }
+  }
+
+  /// Walks the left spine of the maximal merge chain rooted at `root` and
+  /// checks shape (left-deep, scans only), H1 scan order, and Algorithm 2
+  /// access paths. Returns after recursing into any non-chain subtrees.
+  void WalkChain(const PlanNode* root) {
+    const VarId var = root->join_var;
+    if (var == sparql::kInvalidVarId) return;  // PL201 already fired
+    if (chosen_.count(var) == 0) {
+      Error(RuleId::kHspMergeVarNotChosen, root,
+            "merge join on " + NameOf(query_, var) +
+                ", which no MWIS round of Algorithm 1 chose");
+    }
+
+    // Collect the chain scans bottom-up: descend the left spine gathering
+    // right children (top-down), then the leftmost leaf, then reverse.
+    std::vector<const PlanNode*> rights_topdown;
+    const PlanNode* cur = root;
+    bool shape_ok = true;
+    while (IsMergeOn(cur, var)) {
+      const PlanNode* right = cur->children[1].get();
+      if (right->kind == PlanNode::Kind::kScan) {
+        rights_topdown.push_back(right);
+      } else {
+        Error(RuleId::kHspMergeChainShape, cur,
+              "right input of a merge join must be a scan in Algorithm 1's "
+              "left-deep merge blocks");
+        shape_ok = false;
+        Walk(right);
+      }
+      cur = cur->children[0].get();
+    }
+    std::vector<const PlanNode*> chain;
+    if (cur->kind == PlanNode::Kind::kScan) {
+      chain.push_back(cur);
+    } else {
+      Error(RuleId::kHspMergeChainShape, root,
+            "leftmost input of the merge block of " + NameOf(query_, var) +
+                " is not a scan");
+      shape_ok = false;
+      Walk(cur);
+    }
+    chain.insert(chain.end(), rights_topdown.rbegin(), rights_topdown.rend());
+
+    for (const PlanNode* scan : chain) CheckChainScan(scan, var);
+
+    if (shape_ok) {
+      // HEURISTIC 1: scans join most-selective-first within a block.
+      hsp::ScanOrderLess less{&query_, h1_type_exception_};
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        if (less(chain[i + 1]->pattern_index, chain[i]->pattern_index)) {
+          Error(RuleId::kHspScanOrder, chain[i + 1],
+                "merge block of " + NameOf(query_, var) + " joins tp" +
+                    std::to_string(chain[i + 1]->pattern_index) +
+                    " after tp" + std::to_string(chain[i]->pattern_index) +
+                    ", violating the H1 scan order");
+        }
+      }
+    }
+  }
+
+  void Walk(const PlanNode* node) {
+    if (node->kind == PlanNode::Kind::kScan) {
+      CheckLooseScan(node);
+      return;
+    }
+    if (node->kind == PlanNode::Kind::kJoin &&
+        node->algo == JoinAlgo::kMerge) {
+      WalkChain(node);
+      return;
+    }
+    for (const auto& child : node->children) Walk(child.get());
+  }
+
+  const Query& query_;
+  bool h1_type_exception_;
+  LintReport* report_;
+  std::set<VarId> chosen_;
+};
+
+}  // namespace
+
+LintReport LintPlan(const Query& query, const LogicalPlan& plan) {
+  return Linter(query, plan).Run();
+}
+
+LintReport LintHspPlan(const hsp::PlannedQuery& planned,
+                       bool h1_type_exception) {
+  LintReport report = LintPlan(planned.query, planned.plan);
+  HspPackLinter(planned, h1_type_exception, &report)
+      .Run(planned.plan.root());
+  return report;
+}
+
+}  // namespace hsparql::lint

@@ -1,0 +1,127 @@
+// PlanLint: static analysis of logical plans before execution.
+//
+// The paper's planner is *syntactic*: a plan is correct only because
+// structural invariants hold — every merge join consumes inputs sorted on
+// its join variable (the mapping M : TP -> (ordered relation, variable) of
+// Algorithm 2), filters/projections/sorts only touch variables their
+// subtree binds, and OPTIONAL attaches as a left outer *hash* join. The
+// executor assumes all of this and treats violations as planner bugs. The
+// linter proves the invariants on the plan tree instead of discovering
+// them at run time: it propagates sortedness and bound-variable facts
+// bottom-up through every operator (mirroring the executor's physical
+// semantics exactly) and emits a typed diagnostic for each violated rule.
+//
+// Three hook points share this one vocabulary (see DESIGN.md §"PlanLint"):
+//  * every planner re-checks its output in debug builds,
+//  * the executor optionally lints at entry (ExecOptions::lint_plans) and
+//    phrases its own runtime malformed-plan errors as lint rules, and
+//  * the bench/example binaries expose a --lint flag.
+#ifndef HSPARQL_LINT_PLAN_LINT_H_
+#define HSPARQL_LINT_PLAN_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "hsp/hsp_planner.h"
+#include "hsp/plan.h"
+#include "sparql/ast.h"
+
+namespace hsparql::lint {
+
+/// How bad a diagnostic is. kError marks a plan the executor would reject
+/// or answer incorrectly; kWarning marks a legal but suspicious shape
+/// (e.g. a cartesian product whose inputs do share variables).
+enum class Severity : std::uint8_t { kWarning, kError };
+
+std::string_view SeverityName(Severity severity);  // "warning" / "error"
+
+/// Every rule PlanLint can fire. Stable ids: PL0xx structure, PL1xx scans,
+/// PL2xx joins, PL3xx variable binding, PL4xx the HSP-specific pack.
+/// The full catalog with one-line semantics lives in DESIGN.md.
+enum class RuleId : std::uint8_t {
+  // Structure -------------------------------------------------------------
+  kNodeArity,               // PL001 wrong child count for the node kind
+  kDuplicateNodeId,         // PL002 two nodes share an id
+  kNodeIdUnassigned,        // PL003 id < 0 (AssignIds never ran)
+  kPatternIndexOutOfRange,  // PL004 scan names a pattern the query lacks
+  // Scans -----------------------------------------------------------------
+  kScanBoundPrefix,    // PL101 bound terms are not a prefix of the ordering
+  kScanSortVar,        // PL102 declared sort_var != ordering-derived one
+  // Joins -----------------------------------------------------------------
+  kMergeJoinNoVar,       // PL201 merge join without a join variable
+  kJoinVarUnboundSide,   // PL202 join_var missing from a subtree's output
+  kMergeInputsUnsorted,  // PL203 merge-join input not sorted on join_var
+  kLeftOuterMergeJoin,   // PL204 left_outer on a merge join (hash only)
+  kCartesianSharesVars,  // PL205 cartesian join over overlapping subtrees
+  // Variable binding -------------------------------------------------------
+  kFilterVarUnbound,      // PL301 filter references an unbound variable
+  kProjectionVarUnbound,  // PL302 projection references an unbound variable
+  kOrderByVarUnbound,     // PL303 sort key references an unbound variable
+  // HSP pack (H1–H5 / Algorithm 1+2 preconditions) -------------------------
+  kHspMergeVarNotChosen,   // PL401 merge join on a var MWIS never selected
+  kHspMergeChainShape,     // PL402 merge block is not a left-deep scan chain
+  kHspScanOrder,           // PL403 chain scans violate the H1 scan order
+  kHspAccessPathMismatch,  // PL404 scan ordering not from Algorithm 2
+};
+
+/// Stable mnemonic, e.g. "merge-inputs-unsorted".
+std::string_view RuleIdName(RuleId rule);
+/// Stable code, e.g. "PL203".
+std::string_view RuleIdCode(RuleId rule);
+
+/// One finding. `node_id` is the offending PlanNode's id (-1 when the
+/// node has none or the finding is plan-global).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  RuleId rule_id = RuleId::kNodeArity;
+  int node_id = -1;
+  std::string message;
+
+  /// "error PL203 [merge-inputs-unsorted] @3: left input of merge join..."
+  std::string ToString() const;
+};
+
+/// All findings for one plan, in tree (pre-order) discovery order.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  /// True when no *error* diagnostics were produced (warnings allowed).
+  bool ok() const;
+  /// True when nothing at all fired.
+  bool clean() const { return diagnostics.empty(); }
+  int num_errors() const;
+  bool Has(RuleId rule) const;
+  /// One diagnostic per line; "" when clean.
+  std::string ToString() const;
+};
+
+/// Rules every planner must satisfy (structure, scans, joins, bindings).
+/// `query` is the *working* query the plan's pattern indices reference —
+/// PlannedQuery::query, not the user's input (FILTER rewriting may have
+/// changed patterns).
+LintReport LintPlan(const sparql::Query& query, const hsp::LogicalPlan& plan);
+
+/// LintPlan plus the PL4xx HSP pack: the plan must look like Algorithm 1
+/// output for `planned.chosen_variables` — merge joins only on chosen
+/// variables, per-variable left-deep scan chains in H1 order, and scan
+/// access paths assignable by Algorithm 2. `h1_type_exception` mirrors
+/// HspOptions::h1_type_exception (the rdf:type demotion in H1).
+LintReport LintHspPlan(const hsp::PlannedQuery& planned,
+                       bool h1_type_exception = true);
+
+/// Folds a failed report into the Status vocabulary the executor returns
+/// for malformed plans: Internal("plan-lint: <first error> (+N more)").
+/// OK when the report has no errors.
+Status ReportToStatus(const LintReport& report);
+
+/// A single rule violation detected *at run time* (the executor's
+/// malformed-plan checks), phrased identically to the static diagnostics
+/// so both layers share one vocabulary.
+Status RuntimeViolation(RuleId rule, int node_id, std::string detail);
+
+}  // namespace hsparql::lint
+
+#endif  // HSPARQL_LINT_PLAN_LINT_H_

@@ -1,0 +1,525 @@
+// PlanLint tests: a mutation suite that corrupts one plan field at a time
+// and asserts the expected rule fires, plus the whole-workload sweep
+// proving all four planners emit lint-clean plans, plus the executor
+// integration (ExecOptions::lint_plans and the shared runtime vocabulary).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "cdp/cdp_planner.h"
+#include "cdp/hybrid_planner.h"
+#include "cdp/leftdeep_planner.h"
+#include "exec/executor.h"
+#include "hsp/hsp_planner.h"
+#include "lint/plan_lint.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql::lint {
+namespace {
+
+using hsp::JoinAlgo;
+using hsp::LogicalPlan;
+using hsp::PlanNode;
+using sparql::Query;
+using sparql::VarId;
+
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+VarId VarByName(const Query& q, std::string_view name) {
+  for (std::size_t i = 0; i < q.var_names.size(); ++i) {
+    if (q.var_names[i] == name) return static_cast<VarId>(i);
+  }
+  ADD_FAILURE() << "no variable ?" << name;
+  return sparql::kInvalidVarId;
+}
+
+PlanNode* FindNode(PlanNode* node,
+                   const std::function<bool(const PlanNode&)>& pred) {
+  if (pred(*node)) return node;
+  for (auto& child : node->children) {
+    if (PlanNode* found = FindNode(child.get(), pred)) return found;
+  }
+  return nullptr;
+}
+
+PlanNode* FindScan(LogicalPlan& plan, std::size_t pattern_index) {
+  return FindNode(plan.mutable_root(), [&](const PlanNode& n) {
+    return n.kind == PlanNode::Kind::kScan && n.pattern_index == pattern_index;
+  });
+}
+
+PlanNode* FindMergeJoin(LogicalPlan& plan) {
+  return FindNode(plan.mutable_root(), [](const PlanNode& n) {
+    return n.kind == PlanNode::Kind::kJoin && n.algo == JoinAlgo::kMerge;
+  });
+}
+
+// A star query whose HSP plan is a single merge block on ?a: the chain
+// [tp1, tp2, tp0] (tp0 is the rdf:type pattern, demoted to last by H1).
+Query StarQuery() {
+  return ParseOrDie(std::string("SELECT ?a WHERE { ?a <") + kRdfType +
+                    "> <bench:Article> . ?a <swrc:journal> ?j . "
+                    "?a <dc:creator> ?p }");
+}
+
+hsp::PlannedQuery PlanStar() {
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(StarQuery());
+  EXPECT_TRUE(planned.ok()) << planned.status();
+  return std::move(planned).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built plans: one corruption, one rule.
+// ---------------------------------------------------------------------------
+
+// Two-pattern path query: tp0 = ?a <swrc:journal> ?j, tp1 = ?j <dc:title> ?t.
+struct HandBuilt {
+  Query query;
+  VarId a, j, t;
+
+  HandBuilt()
+      : query(ParseOrDie("SELECT ?a ?j WHERE { ?a <swrc:journal> ?j . "
+                         "?j <dc:title> ?t }")),
+        a(VarByName(query, "a")),
+        j(VarByName(query, "j")),
+        t(VarByName(query, "t")) {}
+
+  // scan of tp0 as pso: sorted [?a, ?j]; scan of tp1 as pso: sorted [?j, ?t].
+  std::unique_ptr<PlanNode> Scan0() const {
+    return PlanNode::Scan(0, storage::Ordering::kPso, a);
+  }
+  std::unique_ptr<PlanNode> Scan1() const {
+    return PlanNode::Scan(1, storage::Ordering::kPso, j);
+  }
+};
+
+TEST(PlanLintTest, CleanHandBuiltPlanPasses) {
+  HandBuilt h;
+  // Hash join on ?j (left is sorted on ?a, so merge would be illegal).
+  LogicalPlan plan(PlanNode::Project(
+      {h.a, h.j}, false,
+      PlanNode::Join(JoinAlgo::kHash, h.j, h.Scan0(), h.Scan1())));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(PlanLintTest, MergeJoinOverUnsortedInputFiresPL203) {
+  HandBuilt h;
+  LogicalPlan plan(PlanNode::Project(
+      {h.a, h.j}, false,
+      PlanNode::Join(JoinAlgo::kMerge, h.j, h.Scan0(), h.Scan1())));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(RuleId::kMergeInputsUnsorted)) << report.ToString();
+}
+
+TEST(PlanLintTest, JoinVarUnboundOnOneSideFiresPL202) {
+  HandBuilt h;
+  // ?t only occurs in tp1: the left subtree cannot bind it.
+  LogicalPlan plan(PlanNode::Project(
+      {h.a, h.j}, false,
+      PlanNode::Join(JoinAlgo::kHash, h.t, h.Scan0(), h.Scan1())));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kJoinVarUnboundSide)) << report.ToString();
+}
+
+TEST(PlanLintTest, MergeJoinWithoutVariableFiresPL201) {
+  HandBuilt h;
+  LogicalPlan plan(PlanNode::Join(JoinAlgo::kMerge, sparql::kInvalidVarId,
+                                  h.Scan0(), h.Scan1()));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kMergeJoinNoVar)) << report.ToString();
+}
+
+TEST(PlanLintTest, LeftOuterMergeJoinFiresPL204) {
+  HandBuilt h;
+  LogicalPlan plan(PlanNode::LeftOuterJoin(h.j, h.Scan0(), h.Scan1()));
+  plan.mutable_root()->algo = JoinAlgo::kMerge;
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kLeftOuterMergeJoin)) << report.ToString();
+}
+
+TEST(PlanLintTest, CartesianOverSharedVariablesWarnsPL205) {
+  HandBuilt h;
+  // Declared cartesian, but both subtrees bind ?j: legal yet suspicious.
+  LogicalPlan plan(PlanNode::Join(JoinAlgo::kHash, sparql::kInvalidVarId,
+                                  h.Scan0(), h.Scan1()));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.ok()) << report.ToString();   // warning, not error
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.Has(RuleId::kCartesianSharesVars));
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::kWarning);
+}
+
+TEST(PlanLintTest, ConstantAfterVariableFiresPL101) {
+  HandBuilt h;
+  // spo puts ?a before the constant predicate: not a searchable prefix.
+  LogicalPlan plan(PlanNode::Scan(0, storage::Ordering::kSpo, h.a));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kScanBoundPrefix)) << report.ToString();
+}
+
+TEST(PlanLintTest, WrongDeclaredSortVarFiresPL102) {
+  HandBuilt h;
+  // pso sorts tp0 by ?a, not by the declared ?j.
+  LogicalPlan plan(PlanNode::Scan(0, storage::Ordering::kPso, h.j));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kScanSortVar)) << report.ToString();
+}
+
+TEST(PlanLintTest, PatternIndexOutOfRangeFiresPL004) {
+  HandBuilt h;
+  LogicalPlan plan(PlanNode::Scan(7, storage::Ordering::kPso, h.a));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kPatternIndexOutOfRange))
+      << report.ToString();
+}
+
+TEST(PlanLintTest, WrongChildCountFiresPL001) {
+  HandBuilt h;
+  auto join = std::make_unique<PlanNode>(PlanNode::Kind::kJoin);
+  join->algo = JoinAlgo::kHash;
+  join->join_var = h.j;
+  join->children.push_back(h.Scan0());  // joins need two children
+  LogicalPlan plan(std::move(join));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kNodeArity)) << report.ToString();
+}
+
+TEST(PlanLintTest, DuplicateNodeIdFiresPL002) {
+  HandBuilt h;
+  LogicalPlan plan(
+      PlanNode::Join(JoinAlgo::kHash, h.j, h.Scan0(), h.Scan1()));
+  plan.mutable_root()->children[1]->id = plan.mutable_root()->id;
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kDuplicateNodeId)) << report.ToString();
+}
+
+TEST(PlanLintTest, UnassignedNodeIdFiresPL003) {
+  HandBuilt h;
+  LogicalPlan plan(PlanNode::Scan(0, storage::Ordering::kPso, h.a));
+  plan.mutable_root()->id = -1;
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kNodeIdUnassigned)) << report.ToString();
+}
+
+TEST(PlanLintTest, FilterOverUnboundVariableFiresPL301) {
+  HandBuilt h;
+  sparql::Filter f;
+  f.var = h.t;  // tp0 does not bind ?t
+  LogicalPlan plan(PlanNode::Filter(f, h.Scan0()));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kFilterVarUnbound)) << report.ToString();
+}
+
+TEST(PlanLintTest, ProjectionOfUnboundVariableFiresPL302) {
+  HandBuilt h;
+  LogicalPlan plan(PlanNode::Project({h.t}, false, h.Scan0()));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kProjectionVarUnbound)) << report.ToString();
+}
+
+TEST(PlanLintTest, OrderByUnboundVariableFiresPL303) {
+  HandBuilt h;
+  Query::OrderKey key;
+  key.var = h.t;
+  LogicalPlan plan(PlanNode::Sort({key}, h.Scan0()));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kOrderByVarUnbound)) << report.ToString();
+}
+
+TEST(PlanLintTest, SortDestroysSortednessForDownstreamMerges) {
+  HandBuilt h;
+  Query::OrderKey key;
+  key.var = h.j;
+  // tp0 sorted by ?a; re-sorting by ?j's *terms* is not a TermId order, so
+  // a merge join on ?j above the sort must still be rejected.
+  LogicalPlan plan(PlanNode::Join(JoinAlgo::kMerge, h.j,
+                                  PlanNode::Sort({key}, h.Scan0()),
+                                  h.Scan1()));
+  LintReport report = LintPlan(h.query, plan);
+  EXPECT_TRUE(report.Has(RuleId::kMergeInputsUnsorted)) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Mutations of genuine HSP planner output.
+// ---------------------------------------------------------------------------
+
+TEST(PlanLintMutationTest, UntouchedHspPlanIsClean) {
+  hsp::PlannedQuery planned = PlanStar();
+  LintReport report = LintHspPlan(planned);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, ReorderedAccessPathFiresPL203) {
+  hsp::PlannedQuery planned = PlanStar();
+  // Re-point tp1's scan at pos: still a valid access path for the pattern
+  // (bound p first, then ?j, ?a), but the merge block needs ?a first.
+  PlanNode* scan = FindScan(planned.plan, 1);
+  ASSERT_NE(scan, nullptr);
+  scan->ordering = storage::Ordering::kPos;
+  scan->sort_var = VarByName(planned.query, "j");
+  LintReport report = LintPlan(planned.query, planned.plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(RuleId::kMergeInputsUnsorted)) << report.ToString();
+  EXPECT_FALSE(report.Has(RuleId::kScanBoundPrefix)) << report.ToString();
+  EXPECT_FALSE(report.Has(RuleId::kScanSortVar)) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, SwappedJoinVariableFiresPL202) {
+  hsp::PlannedQuery planned = PlanStar();
+  PlanNode* join = FindMergeJoin(planned.plan);
+  ASSERT_NE(join, nullptr);
+  join->join_var = VarByName(planned.query, "j");  // the type scan lacks ?j
+  LintReport report = LintPlan(planned.query, planned.plan);
+  EXPECT_TRUE(report.Has(RuleId::kJoinVarUnboundSide) ||
+              report.Has(RuleId::kMergeInputsUnsorted))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PlanLintMutationTest, LeftOuterFlagOnMergeJoinFiresPL204) {
+  hsp::PlannedQuery planned = PlanStar();
+  PlanNode* join = FindMergeJoin(planned.plan);
+  ASSERT_NE(join, nullptr);
+  join->left_outer = true;
+  LintReport report = LintPlan(planned.query, planned.plan);
+  EXPECT_TRUE(report.Has(RuleId::kLeftOuterMergeJoin)) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, DanglingProjectionVariableFiresPL302) {
+  hsp::PlannedQuery planned = PlanStar();
+  PlanNode* project = FindNode(
+      planned.plan.mutable_root(),
+      [](const PlanNode& n) { return n.kind == PlanNode::Kind::kProject; });
+  ASSERT_NE(project, nullptr);
+  project->projection.push_back(
+      static_cast<VarId>(planned.query.num_vars() + 3));
+  LintReport report = LintPlan(planned.query, planned.plan);
+  EXPECT_TRUE(report.Has(RuleId::kProjectionVarUnbound)) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, ChosenVariableSetMismatchFiresPL401) {
+  hsp::PlannedQuery planned = PlanStar();
+  // Forget what MWIS chose: every merge block now joins on a variable
+  // Algorithm 1 never selected.
+  planned.chosen_variables.clear();
+  LintReport report = LintHspPlan(planned);
+  EXPECT_TRUE(report.Has(RuleId::kHspMergeVarNotChosen)) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, NonScanInMergeChainFiresPL402) {
+  hsp::PlannedQuery planned = PlanStar();
+  PlanNode* top = FindMergeJoin(planned.plan);
+  ASSERT_NE(top, nullptr);
+  // Splice a (semantically harmless) filter between the chain and its
+  // right scan: the block is no longer a pure left-deep scan chain.
+  sparql::Filter f;
+  f.var = top->join_var;
+  auto filter = std::make_unique<PlanNode>(PlanNode::Kind::kFilter);
+  filter->id = planned.plan.num_nodes();
+  filter->filter = f;
+  filter->children.push_back(std::move(top->children[1]));
+  top->children[1] = std::move(filter);
+  EXPECT_TRUE(LintPlan(planned.query, planned.plan).clean());
+  LintReport report = LintHspPlan(planned);
+  EXPECT_TRUE(report.Has(RuleId::kHspMergeChainShape)) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, SwappedChainScansFirePL403) {
+  hsp::PlannedQuery planned = PlanStar();
+  // H1 demotes the rdf:type pattern (tp0) to the end of the chain; swapping
+  // it with tp2 keeps every scan self-consistent but breaks the H1 order.
+  PlanNode* s0 = FindScan(planned.plan, 0);
+  PlanNode* s2 = FindScan(planned.plan, 2);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s2, nullptr);
+  std::swap(s0->pattern_index, s2->pattern_index);
+  std::swap(s0->ordering, s2->ordering);
+  std::swap(s0->sort_var, s2->sort_var);
+  EXPECT_TRUE(LintPlan(planned.query, planned.plan).clean());
+  LintReport report = LintHspPlan(planned);
+  EXPECT_TRUE(report.Has(RuleId::kHspScanOrder)) << report.ToString();
+}
+
+TEST(PlanLintMutationTest, ForeignAccessPathFiresPL404) {
+  // Both patterns bind only ?a with two constants, so ops and pos are both
+  // prefix-valid and ?a-sorted — but Algorithm 2 assigns exactly one.
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(
+      ParseOrDie(std::string("SELECT ?a WHERE { ?a <") + kRdfType +
+                 "> <bench:Article> . ?a <swrc:pages> \"42\" }"));
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  PlanNode* scan = FindScan(planned->plan, 1);
+  ASSERT_NE(scan, nullptr);
+  scan->ordering = scan->ordering == storage::Ordering::kOps
+                       ? storage::Ordering::kPos
+                       : storage::Ordering::kOps;
+  EXPECT_TRUE(LintPlan(planned->query, planned->plan).clean());
+  LintReport report = LintHspPlan(*planned);
+  EXPECT_TRUE(report.Has(RuleId::kHspAccessPathMismatch))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(PlanLintTest, DiagnosticFormatting) {
+  Diagnostic d{Severity::kError, RuleId::kMergeInputsUnsorted, 3, "boom"};
+  EXPECT_EQ(d.ToString(), "error PL203 [merge-inputs-unsorted] node 3: boom");
+  EXPECT_EQ(RuleIdCode(RuleId::kHspScanOrder), "PL403");
+  EXPECT_EQ(RuleIdName(RuleId::kCartesianSharesVars),
+            "cartesian-shares-vars");
+}
+
+TEST(PlanLintTest, ReportToStatusSummarisesErrors) {
+  LintReport report;
+  EXPECT_TRUE(ReportToStatus(report).ok());
+  report.diagnostics.push_back(
+      Diagnostic{Severity::kWarning, RuleId::kCartesianSharesVars, 1, "w"});
+  EXPECT_TRUE(ReportToStatus(report).ok());  // warnings do not fail plans
+  report.diagnostics.push_back(
+      Diagnostic{Severity::kError, RuleId::kMergeJoinNoVar, 2, "e1"});
+  report.diagnostics.push_back(
+      Diagnostic{Severity::kError, RuleId::kScanSortVar, 3, "e2"});
+  Status status = ReportToStatus(report);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("plan-lint: error PL201"),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("(+1 more)"), std::string::npos) << status;
+}
+
+TEST(PlanLintTest, RuntimeViolationSharesVocabulary) {
+  Status status =
+      RuntimeViolation(RuleId::kMergeInputsUnsorted, 5, "not sorted");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("plan-lint: error PL203"),
+            std::string::npos)
+      << status;
+}
+
+// ---------------------------------------------------------------------------
+// Executor integration: static gate and runtime checks share the rules.
+// ---------------------------------------------------------------------------
+
+struct ExecEnv {
+  storage::TripleStore store;
+  explicit ExecEnv()
+      : store(storage::TripleStore::Build(testing::SmallBibGraph())) {}
+};
+
+TEST(PlanLintExecutorTest, LintingExecutorRejectsCorruptPlanUpFront) {
+  ExecEnv env;
+  hsp::PlannedQuery planned = PlanStar();
+  PlanNode* join = FindMergeJoin(planned.plan);
+  ASSERT_NE(join, nullptr);
+  join->left_outer = true;
+  exec::ExecOptions options;
+  options.lint_plans = true;
+  exec::Executor executor(&env.store, options);
+  auto run = executor.Execute(planned.query, planned.plan);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("plan-lint"), std::string::npos)
+      << run.status();
+  EXPECT_NE(run.status().message().find("PL204"), std::string::npos)
+      << run.status();
+}
+
+TEST(PlanLintExecutorTest, RuntimeCheckPhrasesErrorInLintVocabulary) {
+  ExecEnv env;
+  hsp::PlannedQuery planned = PlanStar();
+  PlanNode* join = FindMergeJoin(planned.plan);
+  ASSERT_NE(join, nullptr);
+  join->left_outer = true;
+  exec::Executor executor(&env.store);  // lint_plans off: fails mid-flight
+  auto run = executor.Execute(planned.query, planned.plan);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("plan-lint"), std::string::npos)
+      << run.status();
+  EXPECT_NE(run.status().message().find("PL204"), std::string::npos)
+      << run.status();
+}
+
+TEST(PlanLintExecutorTest, CleanPlanExecutesWithLintingEnabled) {
+  ExecEnv env;
+  hsp::PlannedQuery planned = PlanStar();
+  exec::ExecOptions options;
+  options.lint_plans = true;
+  exec::Executor executor(&env.store, options);
+  auto run = executor.Execute(planned.query, planned.plan);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run->table.rows, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workload sweep: every planner's output for every workload query
+// must produce zero diagnostics (warnings included).
+// ---------------------------------------------------------------------------
+
+struct SweepEnv {
+  storage::TripleStore store;
+  storage::Statistics stats;
+  explicit SweepEnv(rdf::Graph&& g)
+      : store(storage::TripleStore::Build(std::move(g))),
+        stats(storage::Statistics::Compute(store)) {}
+};
+
+SweepEnv* Sp2bEnv() {
+  static SweepEnv* env = new SweepEnv(workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(20000)));
+  return env;
+}
+
+SweepEnv* YagoEnv() {
+  static SweepEnv* env = new SweepEnv(workload::GenerateYago(
+      workload::YagoConfig::FromTargetTriples(20000)));
+  return env;
+}
+
+class WorkloadLintSweep
+    : public ::testing::TestWithParam<workload::WorkloadQuery> {};
+
+TEST_P(WorkloadLintSweep, AllFourPlannersEmitLintCleanPlans) {
+  const workload::WorkloadQuery& wq = GetParam();
+  SweepEnv* env =
+      wq.dataset == workload::Dataset::kSp2Bench ? Sp2bEnv() : YagoEnv();
+  auto parsed = sparql::Parse(wq.sparql);
+  ASSERT_TRUE(parsed.ok()) << wq.id << ": " << parsed.status();
+  const Query& query = *parsed;
+
+  hsp::HspPlanner hsp_planner;
+  testing::PlanOrLint(hsp_planner, query, /*hsp_pack=*/true);
+  cdp::CdpPlanner cdp_planner(&env->store, &env->stats);
+  testing::PlanOrLint(cdp_planner, query);
+  cdp::LeftDeepPlanner sql_planner(&env->store, &env->stats);
+  testing::PlanOrLint(sql_planner, query);
+  cdp::HybridPlanner hybrid_planner(&env->store, &env->stats);
+  testing::PlanOrLint(hybrid_planner, query);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, WorkloadLintSweep,
+    ::testing::ValuesIn(workload::AllQueries()),
+    [](const auto& param_info) { return param_info.param.id; });
+
+}  // namespace
+}  // namespace hsparql::lint

@@ -2,6 +2,8 @@
 #ifndef HSPARQL_TESTS_TEST_UTIL_H_
 #define HSPARQL_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
 #include <functional>
 #include <map>
@@ -9,10 +11,34 @@
 #include <vector>
 
 #include "exec/term_compare.h"
+#include "hsp/hsp_planner.h"
+#include "lint/plan_lint.h"
 #include "rdf/graph.h"
 #include "sparql/ast.h"
 
 namespace hsparql::testing {
+
+/// Plans `query` and asserts the plan passes PlanLint — every structural
+/// invariant the executor assumes. `hsp_pack` additionally applies the
+/// PL4xx HSP rules (pass true only for HspPlanner output). Any diagnostic,
+/// warning included, fails the calling test; the planned query is returned
+/// either way so the test can keep going.
+template <typename Planner>
+hsp::PlannedQuery PlanOrLint(Planner& planner, const sparql::Query& query,
+                             bool hsp_pack = false) {
+  auto planned = planner.Plan(query);
+  if (!planned.ok()) {
+    ADD_FAILURE() << "planning failed: " << planned.status();
+    return {};
+  }
+  lint::LintReport report =
+      hsp_pack ? lint::LintHspPlan(*planned)
+               : lint::LintPlan(planned->query, planned->plan);
+  EXPECT_TRUE(report.clean())
+      << "plan fails lint:\n"
+      << report.ToString() << planned->plan.ToString(planned->query);
+  return std::move(planned).ValueOrDie();
+}
 
 /// A query answer as a multiset of projected tuples rendered to strings
 /// ("<iri>" / "\"literal\""), sorted for order-insensitive comparison.
