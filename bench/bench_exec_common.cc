@@ -3,10 +3,8 @@
 #include <iostream>
 #include <optional>
 
-#include "cdp/cdp_planner.h"
-#include "cdp/leftdeep_planner.h"
 #include "exec/executor.h"
-#include "hsp/hsp_planner.h"
+#include "plan/planner.h"
 
 namespace hsparql::bench {
 
@@ -66,17 +64,13 @@ int RunExecutionTable(workload::Dataset dataset, int argc, char** argv) {
                       "paper CDP", "paper SQL", "|result|",
                       "HSP intermed.", "CDP intermed."});
 
-  hsp::HspPlanner hsp_planner;
-  cdp::CdpPlanner cdp_planner(&env->store, &env->stats);
-  cdp::LeftDeepPlanner sql_planner(&env->store, &env->stats);
-
   for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
     if (wq.dataset != dataset) continue;
     sparql::Query query = ParseQuery(wq);
 
-    auto hsp_planned = hsp_planner.Plan(query);
-    auto cdp_planned = cdp_planner.Plan(query);
-    auto sql_planned = sql_planner.Plan(query);
+    auto hsp_planned = PlanWith(*env, plan::PlannerKind::kHsp, query);
+    auto cdp_planned = PlanWith(*env, plan::PlannerKind::kCdp, query);
+    auto sql_planned = PlanWith(*env, plan::PlannerKind::kLeftDeep, query);
     if (!hsp_planned.ok() || !cdp_planned.ok() || !sql_planned.ok()) {
       std::cerr << wq.id << ": planning failed\n";
       return 1;

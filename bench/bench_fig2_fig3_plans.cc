@@ -6,9 +6,8 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "cdp/cdp_planner.h"
 #include "exec/executor.h"
-#include "hsp/hsp_planner.h"
+#include "plan/planner.h"
 #include "workload/queries.h"
 
 namespace hsparql {
@@ -36,9 +35,6 @@ int Run(int argc, char** argv) {
   std::uint64_t triples = flags.GetInt("triples", 200000);
   auto env = bench::BuildEnv(workload::Dataset::kYago, triples);
 
-  hsp::HspPlanner hsp_planner;
-  cdp::CdpPlanner cdp_planner(&env->store, &env->stats);
-
   for (const char* id : {"Y3", "Y2"}) {
     const workload::WorkloadQuery* wq = workload::FindQuery(id);
     sparql::Query query = bench::ParseQuery(*wq);
@@ -47,8 +43,8 @@ int Run(int argc, char** argv) {
                                                : "Figure 3 (query Y2)")
               << " ==\n\n"
               << query.ToString() << "\n\n";
-    auto hsp_planned = hsp_planner.Plan(query);
-    auto cdp_planned = cdp_planner.Plan(query);
+    auto hsp_planned = bench::PlanWith(*env, plan::PlannerKind::kHsp, query);
+    auto cdp_planned = bench::PlanWith(*env, plan::PlannerKind::kCdp, query);
     if (!hsp_planned.ok() || !cdp_planned.ok()) {
       std::cerr << id << ": planning failed\n";
       return 1;

@@ -11,9 +11,8 @@
 #include <thread>
 
 #include "bench_exec_common.h"
-#include "cdp/cdp_planner.h"
 #include "exec/executor.h"
-#include "hsp/hsp_planner.h"
+#include "plan/planner.h"
 
 namespace hsparql {
 namespace {
@@ -52,9 +51,6 @@ int Run(int argc, char** argv) {
                "1/2/4/8 threads ==\n\n";
   auto env = bench::BuildEnv(workload::Dataset::kSp2Bench, triples);
 
-  hsp::HspPlanner hsp_planner;
-  cdp::CdpPlanner cdp_planner(&env->store, &env->stats);
-
   bench::TablePrinter table({"Query", "Planner", "|result|", "serial ms",
                              "1T ms", "2T ms", "4T ms", "8T ms",
                              "speedup@4"});
@@ -72,8 +68,9 @@ int Run(int argc, char** argv) {
       const char* name;
       Result<hsp::PlannedQuery> planned;
     };
-    Planned planners[] = {{"HSP", hsp_planner.Plan(query)},
-                          {"CDP", cdp_planner.Plan(query)}};
+    Planned planners[] = {
+        {"HSP", bench::PlanWith(*env, plan::PlannerKind::kHsp, query)},
+        {"CDP", bench::PlanWith(*env, plan::PlannerKind::kCdp, query)}};
     for (Planned& p : planners) {
       if (!p.planned.ok()) {
         std::cerr << wq.id << "/" << p.name

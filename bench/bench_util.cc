@@ -75,6 +75,17 @@ sparql::Query ParseQuery(const workload::WorkloadQuery& wq) {
   return std::move(q).ValueOrDie();
 }
 
+Result<plan::PlannedQuery> PlanWith(const Env& env, plan::PlannerKind kind,
+                                    const sparql::Query& query,
+                                    std::uint64_t seed) {
+  plan::PlannerFactoryOptions options;
+  options.seed = seed;
+  HSPARQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<plan::Planner> planner,
+      plan::MakePlanner(kind, &env.store, &env.stats, options));
+  return planner->Plan(plan::AnalyzedQuery::From(query));
+}
+
 bool MaybeLint(const Flags& flags, const hsp::PlannedQuery& planned,
                std::string_view tag, bool hsp_pack) {
   if (!flags.GetBool("lint", false)) return true;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "hsp/hsp_planner.h"
+#include "plan/planner.h"
 #include "sparql/ast.h"
 #include "storage/statistics.h"
 #include "storage/triple_store.h"
@@ -46,6 +47,13 @@ std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
 
 /// Parses a workload query or aborts (workload queries are tested).
 sparql::Query ParseQuery(const workload::WorkloadQuery& wq);
+
+/// Plans `query` with the planner selected by `kind` through the unified
+/// plan::MakePlanner factory — the one planning path every harness shares
+/// (replacing per-harness planner construction).
+Result<plan::PlannedQuery> PlanWith(const Env& env, plan::PlannerKind kind,
+                                    const sparql::Query& query,
+                                    std::uint64_t seed = kDefaultSeed);
 
 /// --lint support: when the flag is set, runs PlanLint (src/lint/) over
 /// `planned` — the HSP rule pack too when `hsp_pack` — and prints every

@@ -4,28 +4,22 @@
 //   explain <data.nt> [--planner=hsp|cdp|sql|hybrid] [--explain-only]
 //           [--lint] [--format=table|json|tsv] [query.rq]
 //
-// --lint runs PlanLint (src/lint/) over every produced plan, printing the
-// full diagnostic list and refusing to execute plans with lint errors.
+// --lint prints the full PlanLint diagnostic list (the engine already
+// refuses to cache or execute plans with lint errors; the flag surfaces
+// warnings and the HSP rule pack too).
 //
-// Reads an RDF dataset in N-Triples syntax, then executes (or just
-// explains) the SPARQL query given as a file argument — or each ';'-free
-// query read from stdin when no file is given. This is the shape of tool a
-// downstream user points at their own data.
+// Reads an RDF dataset in N-Triples syntax into an engine::Engine, then
+// executes (or just explains, via Engine::Prepare) the SPARQL query given
+// as a file argument — or each ';'-terminated query read from stdin when
+// no file is given. Repeated queries hit the engine's plan cache.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "cdp/cdp_planner.h"
-#include "cdp/hybrid_planner.h"
-#include "cdp/leftdeep_planner.h"
-#include "exec/executor.h"
+#include "engine/engine.h"
 #include "exec/results_io.h"
-#include "hsp/hsp_planner.h"
 #include "lint/plan_lint.h"
 #include "rdf/ntriples.h"
-#include "sparql/parser.h"
-#include "storage/statistics.h"
-#include "storage/triple_store.h"
 
 namespace {
 
@@ -60,7 +54,11 @@ int main(int argc, char** argv) {
       query_path = arg;
     }
   }
-  if (data_path.empty()) {
+  auto kind = plan::ParsePlannerKind(planner_name);
+  if (data_path.empty() || !kind.has_value()) {
+    if (!data_path.empty()) {
+      std::cerr << "error: unknown planner '" << planner_name << "'\n";
+    }
     std::cerr << "usage: explain <data.nt> [--planner=hsp|cdp|sql|hybrid]"
                  " [--explain-only] [--lint] [--format=table|json|tsv]"
                  " [query.rq]\n";
@@ -75,66 +73,54 @@ int main(int argc, char** argv) {
   rdf::Graph graph;
   auto loaded = rdf::ReadNTriples(data, &graph);
   if (!loaded.ok()) return Fail(loaded.status());
-  storage::TripleStore store = storage::TripleStore::Build(std::move(graph));
-  storage::Statistics stats = storage::Statistics::Compute(store);
-  std::cerr << "loaded " << store.size() << " distinct triples from "
+  engine::Engine engine(storage::TripleStore::Build(std::move(graph)));
+  std::cerr << "loaded " << engine.store_size() << " distinct triples from "
             << data_path << "\n";
 
-  auto plan_query =
-      [&](const sparql::Query& query) -> Result<hsp::PlannedQuery> {
-    if (planner_name == "hsp") return hsp::HspPlanner().Plan(query);
-    if (planner_name == "cdp") {
-      return cdp::CdpPlanner(&store, &stats).Plan(query);
-    }
-    if (planner_name == "sql") {
-      return cdp::LeftDeepPlanner(&store, &stats).Plan(query);
-    }
-    if (planner_name == "hybrid") {
-      return cdp::HybridPlanner(&store, &stats).Plan(query);
-    }
-    return Status::InvalidArgument("unknown planner '" + planner_name + "'");
-  };
+  engine::QueryOptions options;
+  options.planner = *kind;
 
   auto run_one = [&](const std::string& text) -> int {
-    auto query = sparql::Parse(text);
-    if (!query.ok()) return Fail(query.status());
-    auto planned = plan_query(*query);
-    if (!planned.ok()) return Fail(planned.status());
+    auto prepared = engine.Prepare(text, options);
+    if (!prepared.ok()) return Fail(prepared.status());
+    const plan::PlannedQuery& planned = prepared->planned();
     std::cout << "-- plan (" << planner_name << ", "
-              << planned->plan.CountJoins(hsp::JoinAlgo::kMerge)
+              << planned.plan.CountJoins(hsp::JoinAlgo::kMerge)
               << " merge joins, "
-              << planned->plan.CountJoins(hsp::JoinAlgo::kHash)
-              << " hash joins, "
-              << hsp::PlanShapeName(planned->plan.shape()) << ") --\n"
-              << planned->plan.ToString(planned->query);
+              << planned.plan.CountJoins(hsp::JoinAlgo::kHash)
+              << " hash joins, " << hsp::PlanShapeName(planned.plan.shape())
+              << ") --\n"
+              << planned.plan.ToString(planned.query);
     if (lint) {
-      // The HSP rule pack (H1–H5 shape checks) only applies to plans the
-      // HSP planner produced; the generic rules cover the rest.
+      // The engine already refused plans with generic lint errors at
+      // Prepare time; rerun here to show warnings, and the HSP rule pack
+      // (H1–H5 shape checks) for plans the HSP planner produced.
       lint::LintReport report =
-          planner_name == "hsp" ? lint::LintHspPlan(*planned)
-                                : lint::LintPlan(planned->query, planned->plan);
+          *kind == plan::PlannerKind::kHsp
+              ? lint::LintHspPlan(planned)
+              : lint::LintPlan(planned.query, planned.plan);
       for (const lint::Diagnostic& d : report.diagnostics) {
         std::cerr << "lint: " << d.ToString() << "\n";
       }
       if (!report.ok()) return Fail(lint::ReportToStatus(report));
-      std::cerr << "lint: plan is clean ("
-                << report.diagnostics.size() << " warning(s))\n";
+      std::cerr << "lint: plan is clean (" << report.diagnostics.size()
+                << " warning(s))\n";
     }
     if (explain_only) return 0;
-    exec::Executor executor(&store);
-    auto result = executor.Execute(planned->query, planned->plan);
-    if (!result.ok()) return Fail(result.status());
-    std::cout << "-- " << result->table.rows << " result(s) in "
-              << result->total_millis << " ms --\n";
+    auto response = engine.ExecutePrepared(*prepared);
+    if (!response.ok()) return Fail(response.status());
+    const exec::ExecResult& result = *response->result;
+    std::cout << "-- " << result.table.rows << " result(s) in "
+              << response->exec_millis << " ms --\n";
     if (format == "json") {
-      exec::WriteResultsJson(result->table, planned->query,
-                             store.dictionary(), std::cout);
+      exec::WriteResultsJson(result.table, planned.query,
+                             engine.dictionary(), std::cout);
     } else if (format == "tsv") {
-      exec::WriteResultsTsv(result->table, planned->query,
-                            store.dictionary(), std::cout);
+      exec::WriteResultsTsv(result.table, planned.query, engine.dictionary(),
+                            std::cout);
     } else {
-      std::cout << result->table.ToString(planned->query, store.dictionary(),
-                                          25);
+      std::cout << result.table.ToString(planned.query, engine.dictionary(),
+                                         25);
     }
     return 0;
   };

@@ -1,21 +1,21 @@
 // Quickstart: the whole public API in one file.
 //
 // Loads the paper's Table 1 sample triples (plus the revision triple the §3
-// example query needs), parses that query, shows the Figure 1 variable
-// graph, plans it with the statistics-free HSP planner, executes the plan,
-// and prints the resulting mapping — which matches the paper:
+// example query needs) into an engine::Engine — the one-object serving
+// facade that owns the store and runs parse -> analyze -> plan -> lint ->
+// execute per query. Shows the Figure 1 variable graph, the HSP plan, and
+// the resulting mapping — which matches the paper:
 //   {(?yr, "1940"), (?jrnl, sp2bench:Journal1/1940)}
+// then runs the query a second time to show the plan cache at work.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <iostream>
 
-#include "exec/executor.h"
-#include "hsp/hsp_planner.h"
+#include "engine/engine.h"
 #include "hsp/variable_graph.h"
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
-#include "storage/triple_store.h"
 #include "workload/queries.h"
 
 namespace {
@@ -42,17 +42,19 @@ constexpr std::string_view kTable1 = R"nt(
 int main() {
   using namespace hsparql;
 
-  // 1. Parse N-Triples into a graph, build the six sorted relations.
+  // 1. Parse N-Triples into a graph; the engine builds the six sorted
+  //    relations plus statistics and owns both.
   rdf::Graph graph;
   auto parsed = rdf::ReadNTriplesString(kTable1, &graph);
   if (!parsed.ok()) {
     std::cerr << parsed.status() << "\n";
     return 1;
   }
-  storage::TripleStore store = storage::TripleStore::Build(std::move(graph));
-  std::cout << "Loaded " << store.size() << " triples.\n\n";
+  engine::Engine engine(storage::TripleStore::Build(std::move(graph)));
+  std::cout << "Loaded " << engine.store_size() << " triples.\n\n";
 
-  // 2. Parse the paper's §3 example query.
+  // 2. Parse the paper's §3 example query. (The engine parses internally;
+  //    doing it here too lets us show the Figure 1 variable graph.)
   auto query = sparql::Parse(workload::Figure1ExampleQuery());
   if (!query.ok()) {
     std::cerr << query.status() << "\n";
@@ -65,29 +67,36 @@ int main() {
   std::cout << "Variable graph (Figure 1): " << figure1.ToString(*query)
             << "\n\n";
 
-  // 4. Plan with HSP — no statistics involved.
-  hsp::HspPlanner planner;
-  auto planned = planner.Plan(*query);
-  if (!planned.ok()) {
-    std::cerr << planned.status() << "\n";
+  // 4. One call runs the whole pipeline: parse, analyze, plan with the
+  //    statistics-free HSP planner (the default), lint, execute.
+  auto response = engine.Query(workload::Figure1ExampleQuery());
+  if (!response.ok()) {
+    std::cerr << response.status() << "\n";
     return 1;
   }
-  std::cout << "HSP plan (" << planned->plan.CountJoins(hsp::JoinAlgo::kMerge)
-            << " merge joins, " << planned->plan.CountJoins(hsp::JoinAlgo::kHash)
-            << " hash joins, "
-            << hsp::PlanShapeName(planned->plan.shape()) << "):\n"
-            << planned->plan.ToString(planned->query) << "\n";
+  const plan::PlannedQuery& planned = response->planned->planned;
+  std::cout << "HSP plan (" << planned.plan.CountJoins(hsp::JoinAlgo::kMerge)
+            << " merge joins, " << planned.plan.CountJoins(hsp::JoinAlgo::kHash)
+            << " hash joins, " << hsp::PlanShapeName(planned.plan.shape())
+            << "):\n"
+            << planned.plan.ToString(planned.query) << "\n";
 
-  // 5. Execute.
-  exec::Executor executor(&store);
-  auto result = executor.Execute(planned->query, planned->plan);
-  if (!result.ok()) {
-    std::cerr << result.status() << "\n";
+  std::cout << "Result (" << response->rows() << " mapping(s)):\n"
+            << response->result->table.ToString(planned.query,
+                                                engine.dictionary())
+            << "\nPlan with measured cardinalities:\n"
+            << planned.plan.ToString(planned.query,
+                                     &response->result->cardinalities);
+
+  // 5. Run it again: the engine's plan cache skips parse and plan.
+  auto again = engine.Query(workload::Figure1ExampleQuery());
+  if (!again.ok()) {
+    std::cerr << again.status() << "\n";
     return 1;
   }
-  std::cout << "Result (" << result->table.rows << " mapping(s)):\n"
-            << result->table.ToString(planned->query, store.dictionary())
-            << "\nPlan with measured cardinalities:\n"
-            << planned->plan.ToString(planned->query, &result->cardinalities);
+  std::cout << "\nSecond run: plan cache "
+            << (again->plan_cache_hit ? "hit" : "miss") << " — parse+plan ("
+            << response->parse_millis + response->plan_millis
+            << " ms on the first run) skipped entirely.\n";
   return 0;
 }

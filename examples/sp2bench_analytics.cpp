@@ -1,21 +1,18 @@
 // Example: bibliographic analytics on the SP2Bench-like dataset.
 //
-// Generates a synthetic DBLP-style dataset, then walks through a small
-// analytics session: journal lookups, co-publication analysis, and
-// per-query plan inspection — showing how the three planners (HSP, CDP,
-// left-deep SQL) differ on the same workload.
+// Generates a synthetic DBLP-style dataset behind an engine::Engine, then
+// walks through a small analytics session: journal lookups,
+// co-publication analysis, and per-query plan inspection — showing how
+// the three planners (HSP, CDP, left-deep SQL) differ on the same
+// workload, and what the engine's plan cache does for a session that
+// re-runs its queries.
 //
 // Run:  ./build/examples/sp2bench_analytics [triples]
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "cdp/cdp_planner.h"
-#include "cdp/cost_model.h"
-#include "cdp/leftdeep_planner.h"
-#include "exec/executor.h"
-#include "hsp/hsp_planner.h"
-#include "sparql/parser.h"
-#include "storage/statistics.h"
-#include "storage/triple_store.h"
+#include "engine/engine.h"
 #include "workload/sp2bench_gen.h"
 
 namespace {
@@ -35,10 +32,10 @@ int main(int argc, char** argv) {
   std::uint64_t target = argc > 1 ? std::stoull(argv[1]) : 100000;
 
   std::cout << "Generating ~" << target << " triples of DBLP-like data...\n";
-  storage::TripleStore store = storage::TripleStore::Build(
-      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(target)));
-  storage::Statistics stats = storage::Statistics::Compute(store);
-  std::cout << "Store holds " << store.size() << " distinct triples.\n\n";
+  engine::Engine engine(storage::TripleStore::Build(
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(target))));
+  std::cout << "Store holds " << engine.store_size()
+            << " distinct triples.\n\n";
 
   struct Task {
     std::string title;
@@ -64,52 +61,55 @@ int main(int argc, char** argv) {
        "  ?p foaf:name ?name .\n}"},
   };
 
-  hsp::HspPlanner hsp_planner;
-  cdp::CdpPlanner cdp_planner(&store, &stats);
-  cdp::LeftDeepPlanner sql_planner(&store, &stats);
-  exec::Executor executor(&store);
+  engine::QueryOptions cdp_options;
+  cdp_options.planner = plan::PlannerKind::kCdp;
+  engine::QueryOptions sql_options;
+  sql_options.planner = plan::PlannerKind::kLeftDeep;
 
   for (const Task& task : session) {
     std::cout << "=== " << task.title << " ===\n";
-    auto query = sparql::Parse(std::string(kPrefixes) + task.body);
-    if (!query.ok()) {
-      std::cerr << query.status() << "\n";
+    const std::string text = std::string(kPrefixes) + task.body;
+
+    // One call per planner: parse -> plan -> lint -> execute (HSP is the
+    // engine default).
+    auto response = engine.Query(text);
+    if (!response.ok()) {
+      std::cerr << response.status() << "\n";
       return 1;
     }
-    auto planned = hsp_planner.Plan(*query);
-    if (!planned.ok()) {
-      std::cerr << planned.status() << "\n";
-      return 1;
-    }
-    auto result = executor.Execute(planned->query, planned->plan);
-    if (!result.ok()) {
-      std::cerr << result.status() << "\n";
-      return 1;
-    }
+    const plan::PlannedQuery& planned = response->planned->planned;
+    const exec::ExecResult& result = *response->result;
     std::cout << "HSP plan ("
-              << planned->plan.CountJoins(hsp::JoinAlgo::kMerge) << " mj, "
-              << planned->plan.CountJoins(hsp::JoinAlgo::kHash) << " hj, "
-              << result->total_millis << " ms):\n"
-              << planned->plan.ToString(planned->query,
-                                        &result->cardinalities)
+              << planned.plan.CountJoins(hsp::JoinAlgo::kMerge) << " mj, "
+              << planned.plan.CountJoins(hsp::JoinAlgo::kHash) << " hj, "
+              << response->exec_millis << " ms):\n"
+              << planned.plan.ToString(planned.query, &result.cardinalities)
               << "First rows:\n"
-              << result->table.ToString(planned->query, store.dictionary(), 5)
+              << result.table.ToString(planned.query, engine.dictionary(), 5)
               << "\n";
 
     // Compare what the two cost-based planners would have done.
-    auto cdp_planned = cdp_planner.Plan(*query);
-    auto sql_planned = sql_planner.Plan(*query);
-    if (cdp_planned.ok() && sql_planned.ok()) {
-      auto cdp_run = executor.Execute(cdp_planned->query, cdp_planned->plan);
-      auto sql_run = executor.Execute(sql_planned->query, sql_planned->plan);
-      if (cdp_run.ok() && sql_run.ok()) {
-        std::cout << "Planner comparison: HSP "
-                  << result->total_intermediate_rows << " intermediate rows"
-                  << " | CDP " << cdp_run->total_intermediate_rows
-                  << " | SQL(left-deep) " << sql_run->total_intermediate_rows
-                  << "\n\n";
-      }
+    auto cdp_run = engine.Query(text, cdp_options);
+    auto sql_run = engine.Query(text, sql_options);
+    if (cdp_run.ok() && sql_run.ok()) {
+      std::cout << "Planner comparison: HSP "
+                << result.total_intermediate_rows << " intermediate rows"
+                << " | CDP " << cdp_run->result->total_intermediate_rows
+                << " | SQL(left-deep) "
+                << sql_run->result->total_intermediate_rows << "\n\n";
     }
   }
+
+  // Re-run the whole session: every plan now comes from the cache.
+  for (const Task& task : session) {
+    auto again = engine.Query(std::string(kPrefixes) + task.body);
+    if (again.ok() && !again->plan_cache_hit) {
+      std::cerr << "expected a plan-cache hit for: " << task.title << "\n";
+    }
+  }
+  engine::EngineStats stats = engine.stats();
+  std::cout << "Session cache stats: " << stats.plan_cache.hits
+            << " plan-cache hits, " << stats.plan_cache.misses
+            << " misses (" << stats.plan_cache_size << " plans cached).\n";
   return 0;
 }

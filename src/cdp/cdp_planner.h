@@ -26,7 +26,7 @@ struct CdpOptions {
 };
 
 /// Cost-based dynamic programming planner. Requires dataset statistics.
-class CdpPlanner {
+class CdpPlanner : public plan::Planner {
  public:
   CdpPlanner(const storage::TripleStore* store,
              const storage::Statistics* stats, CdpOptions options = {})
@@ -34,6 +34,16 @@ class CdpPlanner {
 
   /// Plans `query`; fails for empty queries or > max_patterns patterns.
   Result<hsp::PlannedQuery> Plan(const sparql::Query& query) const;
+
+  Result<hsp::PlannedQuery> Plan(
+      const plan::AnalyzedQuery& query) const override {
+    return Plan(query.query);
+  }
+  std::string_view Name() const override { return "cdp"; }
+  std::string OptionsFingerprint() const override {
+    return std::string(options_.rewrite_filters ? "rw" : "norw") + ";max=" +
+           std::to_string(options_.max_patterns);
+  }
 
   const CardinalityEstimator& estimator() const { return estimator_; }
 

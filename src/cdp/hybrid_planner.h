@@ -34,13 +34,22 @@ struct HybridOptions {
 
 /// HSP + statistics. Covers the paper's conjunctive subset (like the
 /// baselines; OPTIONAL/UNION stay with HspPlanner).
-class HybridPlanner {
+class HybridPlanner : public plan::Planner {
  public:
   HybridPlanner(const storage::TripleStore* store,
                 const storage::Statistics* stats, HybridOptions options = {})
       : estimator_(store, stats), options_(options) {}
 
   Result<hsp::PlannedQuery> Plan(const sparql::Query& query) const;
+
+  Result<hsp::PlannedQuery> Plan(
+      const plan::AnalyzedQuery& query) const override {
+    return Plan(query.query);
+  }
+  std::string_view Name() const override { return "hybrid"; }
+  std::string OptionsFingerprint() const override {
+    return options_.rewrite_filters ? "rw" : "norw";
+  }
 
  private:
   CardinalityEstimator estimator_;

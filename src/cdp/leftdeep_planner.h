@@ -27,7 +27,7 @@ struct LeftDeepOptions {
 };
 
 /// Left-deep-only cost-based planner.
-class LeftDeepPlanner {
+class LeftDeepPlanner : public plan::Planner {
  public:
   LeftDeepPlanner(const storage::TripleStore* store,
                   const storage::Statistics* stats,
@@ -35,6 +35,16 @@ class LeftDeepPlanner {
       : estimator_(store, stats), options_(options) {}
 
   Result<hsp::PlannedQuery> Plan(const sparql::Query& query) const;
+
+  Result<hsp::PlannedQuery> Plan(
+      const plan::AnalyzedQuery& query) const override {
+    return Plan(query.query);
+  }
+  std::string_view Name() const override { return "sql"; }
+  std::string OptionsFingerprint() const override {
+    return std::string(options_.rewrite_filters ? "rw" : "norw") + ";max=" +
+           std::to_string(options_.max_patterns);
+  }
 
  private:
   CardinalityEstimator estimator_;

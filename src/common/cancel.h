@@ -1,0 +1,69 @@
+// Cooperative cancellation and deadlines for long-running work.
+//
+// A CancelToken is a small shared flag + optional deadline that query
+// execution polls at safe points (operator entry, morsel boundaries, every
+// few thousand rows of the heavy inner loops). Nothing is interrupted
+// preemptively: workers notice expiry, stop producing output, and the
+// executor surfaces a typed kDeadlineExceeded status — so a wedged query
+// releases its serving thread without leaking pool tasks (every scheduled
+// morsel still runs, it just returns immediately).
+//
+// Thread-safety: Cancel()/SetDeadline() may race with Expired() from any
+// number of threads; all state is atomic. Tokens can be chained via
+// set_parent (engine-internal deadline token on top of a caller-provided
+// cancel token); set_parent must happen before the token is shared.
+#ifndef HSPARQL_COMMON_CANCEL_H_
+#define HSPARQL_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace hsparql {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; Expired() returns true from now on.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Sets an absolute deadline after which Expired() returns true.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Sets the deadline to now + timeout.
+  void SetTimeout(std::chrono::milliseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Chains this token under `parent`: this token also expires when the
+  /// parent does. Call before sharing the token across threads.
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+  /// True once cancelled, past the deadline, or the parent expired.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->Expired();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_CANCEL_H_

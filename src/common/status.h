@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lowercase name of a status code ("parse error"...).
@@ -74,6 +75,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -90,6 +94,9 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

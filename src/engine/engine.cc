@@ -1,0 +1,380 @@
+#include "engine/engine.h"
+
+#include <cctype>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "lint/plan_lint.h"
+#include "rdf/graph.h"
+#include "storage/ordering.h"
+
+namespace hsparql::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Separator for cache-key components; cannot occur in SPARQL text that
+/// survives normalization, planner names or fingerprints.
+constexpr char kKeySep = '\x1f';
+
+/// Character classes for NormalizeQueryText's run scanner.
+constexpr std::uint8_t kPlain = 0;
+constexpr std::uint8_t kSpace = 1;
+constexpr std::uint8_t kQuote = 2;
+
+constexpr std::array<std::uint8_t, 256> MakeCharClass() {
+  std::array<std::uint8_t, 256> table{};
+  for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    table[static_cast<unsigned char>(c)] = kSpace;
+  }
+  table['"'] = kQuote;
+  table['\''] = kQuote;
+  return table;
+}
+constexpr std::array<std::uint8_t, 256> kCharClass = MakeCharClass();
+
+std::uint8_t CharClass(char c) {
+  return kCharClass[static_cast<unsigned char>(c)];
+}
+
+/// Per-thread plan-cache key buffer: the cache-hit path reuses it so key
+/// construction allocates nothing after warm-up. Only valid until the
+/// next GetOrBuildPlan call on the same thread.
+thread_local std::string tls_plan_key;  // NOLINT(runtime/global)
+
+/// NormalizeQueryText into a caller-provided (reusable) buffer.
+void NormalizeQueryTextInto(std::string_view text, std::string* out_ptr) {
+  std::string& out = *out_ptr;
+  out.clear();
+  out.reserve(text.size());
+  bool pending_space = false;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint8_t cls = CharClass(text[i]);
+    if (cls == kSpace) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    if (cls == kQuote) {
+      // Copy the quoted literal verbatim, honouring backslash escapes —
+      // whitespace inside literals is significant.
+      const char quote = text[i];
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (text[j] == '\\' && j + 1 < n) {
+          j += 2;
+        } else if (text[j] == quote) {
+          ++j;
+          break;
+        } else {
+          ++j;
+        }
+      }
+      out.append(text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Bulk-append the run of ordinary characters starting here (this is
+    // the hot path: normalization dominates plan-cache-hit latency).
+    std::size_t j = i + 1;
+    while (j < n && CharClass(text[j]) == kPlain) ++j;
+    out.append(text.substr(i, j - i));
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  NormalizeQueryTextInto(text, &out);
+  return out;
+}
+
+Engine::Engine(storage::TripleStore&& store, EngineOptions options)
+    : options_(options),
+      store_(std::move(store)),
+      plan_cache_(options.plan_cache_capacity),
+      result_cache_(options.result_cache_capacity) {
+  stats_.emplace(storage::Statistics::Compute(store_));
+}
+
+Result<const Engine::PlannerEntry*> Engine::PlannerFor(
+    const QueryOptions& options) const {
+  const std::pair<std::uint8_t, std::uint64_t> id{
+      static_cast<std::uint8_t>(options.planner), options.seed};
+  {
+    std::lock_guard<std::mutex> lock(planner_mu_);
+    auto it = planners_.find(id);
+    if (it != planners_.end()) return &it->second;
+  }
+  plan::PlannerFactoryOptions factory_options;
+  factory_options.seed = options.seed;
+  const storage::Statistics* stats = stats_ ? &*stats_ : nullptr;
+  HSPARQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<plan::Planner> planner,
+      plan::MakePlanner(options.planner, &store_, stats, factory_options));
+  PlannerEntry entry;
+  entry.key_suffix.push_back(kKeySep);
+  entry.key_suffix.append(planner->Name());
+  entry.key_suffix.push_back(kKeySep);
+  entry.key_suffix.append(planner->OptionsFingerprint());
+  entry.planner = std::move(planner);
+  // Two threads may build the same entry concurrently; emplace keeps the
+  // first and the loser's copy is discarded.
+  std::lock_guard<std::mutex> lock(planner_mu_);
+  return &planners_.emplace(id, std::move(entry)).first->second;
+}
+
+Result<std::shared_ptr<const CachedPlan>> Engine::GetOrBuildPlan(
+    std::string_view text, const QueryOptions& options,
+    std::string_view* key, bool* cache_hit) const {
+  HSPARQL_ASSIGN_OR_RETURN(const PlannerEntry* planner, PlannerFor(options));
+  NormalizeQueryTextInto(text, &tls_plan_key);
+  tls_plan_key.append(planner->key_suffix);
+  *key = tls_plan_key;
+
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    if (auto hit = plan_cache_.Get(*key)) {
+      *cache_hit = true;
+      return std::move(*hit);
+    }
+  }
+  *cache_hit = false;
+
+  Clock::time_point start = Clock::now();
+  HSPARQL_ASSIGN_OR_RETURN(plan::AnalyzedQuery analyzed,
+                           plan::AnalyzedQuery::FromText(text));
+  double parse_millis = MillisSince(start);
+
+  start = Clock::now();
+  HSPARQL_ASSIGN_OR_RETURN(plan::PlannedQuery planned,
+                           planner->planner->Plan(analyzed));
+  double plan_millis = MillisSince(start);
+
+  // Lint on prepare: a malformed plan never reaches the cache or the
+  // executor (whose own runtime checks stay active regardless).
+  HSPARQL_RETURN_IF_ERROR(
+      lint::ReportToStatus(lint::LintPlan(planned.query, planned.plan)));
+
+  auto cached = std::make_shared<CachedPlan>();
+  cached->planned = std::move(planned);
+  cached->planner_name = std::string(planner->planner->Name());
+  cached->parse_millis = parse_millis;
+  cached->plan_millis = plan_millis;
+
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    // Two threads may plan the same cold query concurrently; the second
+    // Put overwrites with an equivalent plan, which is harmless.
+    plan_cache_.Put(std::string(*key), cached);
+  }
+  return std::shared_ptr<const CachedPlan>(std::move(cached));
+}
+
+Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
+                                      const QueryOptions& options,
+                                      std::string_view key,
+                                      const CancelToken* deadline) const {
+  if (deadline != nullptr && deadline->Expired()) {
+    return Status::DeadlineExceeded(
+        "query cancelled or deadline expired before execution");
+  }
+
+  QueryResponse response;
+  response.planner = planned->planner_name;
+  response.planned = std::move(planned);
+
+  // Result keys embed the store generation: any mutation bumps it, so
+  // pre-mutation entries can never match again (they age out through LRU
+  // eviction). Execution options are deliberately not part of the key —
+  // num_threads and SIP are byte-identical-output knobs.
+  const bool use_result_cache =
+      options.use_result_cache && result_cache_.capacity() > 0;
+  std::string result_key;
+  if (use_result_cache) {
+    result_key = key;
+    result_key.push_back(kKeySep);
+    result_key.append(
+        std::to_string(generation_.load(std::memory_order_relaxed)));
+    std::lock_guard<std::mutex> lock(result_mu_);
+    if (auto hit = result_cache_.Get(result_key)) {
+      response.result = std::move(hit->result);
+      response.result_cache_hit = true;
+      return response;
+    }
+  }
+
+  exec::ExecOptions exec_options;
+  exec_options.sideways_information_passing =
+      options.sideways_information_passing;
+  exec_options.num_threads = options.num_threads;
+  exec_options.cancel = deadline;
+
+  exec::Executor executor(&store_, exec_options);
+  Clock::time_point start = Clock::now();
+  HSPARQL_ASSIGN_OR_RETURN(
+      exec::ExecResult exec_result,
+      executor.Execute(response.planned->planned.query,
+                       response.planned->planned.plan));
+  response.exec_millis = MillisSince(start);
+  response.result =
+      std::make_shared<const exec::ExecResult>(std::move(exec_result));
+
+  if (use_result_cache) {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    result_cache_.Put(result_key, CachedResult{response.result});
+  }
+  return response;
+}
+
+Result<QueryResponse> Engine::Query(std::string_view text,
+                                    const QueryOptions& options) const {
+  Clock::time_point pipeline_start = Clock::now();
+
+  CancelToken deadline_token;
+  const CancelToken* deadline = options.cancel;
+  if (options.timeout_ms > 0) {
+    deadline_token.SetTimeout(std::chrono::milliseconds(options.timeout_ms));
+    deadline_token.set_parent(options.cancel);
+    deadline = &deadline_token;
+  }
+
+  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+
+  std::string_view key;
+  bool plan_hit = false;
+  HSPARQL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> planned,
+                           GetOrBuildPlan(text, options, &key, &plan_hit));
+
+  HSPARQL_ASSIGN_OR_RETURN(
+      QueryResponse response,
+      RunPlan(std::move(planned), options, key, deadline));
+  response.plan_cache_hit = plan_hit;
+  if (!plan_hit) {
+    response.parse_millis = response.planned->parse_millis;
+    response.plan_millis = response.planned->plan_millis;
+  }
+  response.total_millis = MillisSince(pipeline_start);
+  return response;
+}
+
+Result<PreparedQuery> Engine::Prepare(std::string_view text,
+                                      const QueryOptions& options) const {
+  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  PreparedQuery prepared;
+  std::string_view key;
+  bool plan_hit = false;
+  HSPARQL_ASSIGN_OR_RETURN(prepared.plan_,
+                           GetOrBuildPlan(text, options, &key, &plan_hit));
+  prepared.cache_key_ = std::string(key);
+  prepared.options_ = options;
+  return prepared;
+}
+
+Result<QueryResponse> Engine::ExecutePrepared(
+    const PreparedQuery& prepared) const {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument(
+        "ExecutePrepared called with a default-constructed PreparedQuery");
+  }
+  Clock::time_point pipeline_start = Clock::now();
+
+  const QueryOptions& options = prepared.options_;
+  CancelToken deadline_token;
+  const CancelToken* deadline = options.cancel;
+  if (options.timeout_ms > 0) {
+    deadline_token.SetTimeout(std::chrono::milliseconds(options.timeout_ms));
+    deadline_token.set_parent(options.cancel);
+    deadline = &deadline_token;
+  }
+
+  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  HSPARQL_ASSIGN_OR_RETURN(
+      QueryResponse response,
+      RunPlan(prepared.plan_, options, prepared.cache_key_, deadline));
+  response.plan_cache_hit = true;
+  response.total_millis = MillisSince(pipeline_start);
+  return response;
+}
+
+Status Engine::AddTriples(
+    std::span<const std::array<rdf::Term, 3>> triples) {
+  std::unique_lock<std::shared_mutex> store_lock(store_mu_);
+
+  // The store is immutable by design (six sorted relations), so mutation
+  // is a rebuild: decode the current triples through the old dictionary,
+  // re-intern everything plus the additions, and sort again.
+  rdf::Graph graph;
+  const rdf::Dictionary& dict = store_.dictionary();
+  for (const rdf::Triple& t : store_.Scan(storage::Ordering::kSpo)) {
+    graph.Add(dict.Get(t.s), dict.Get(t.p), dict.Get(t.o));
+  }
+  for (const std::array<rdf::Term, 3>& t : triples) {
+    graph.Add(t[0], t[1], t[2]);
+  }
+  store_ = storage::TripleStore::Build(std::move(graph));
+  stats_.emplace(storage::Statistics::Compute(store_));
+  InvalidateForMutation();
+  return Status::OK();
+}
+
+void Engine::ReplaceStore(storage::TripleStore&& store) {
+  std::unique_lock<std::shared_mutex> store_lock(store_mu_);
+  store_ = std::move(store);
+  stats_.emplace(storage::Statistics::Compute(store_));
+  InvalidateForMutation();
+}
+
+void Engine::InvalidateForMutation() {
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  // Cached plans may embed cost decisions from the old statistics; drop
+  // them all. Results invalidate lazily via the generation in their keys.
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plan_cache_.Clear();
+}
+
+void Engine::ClearCaches() {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plan_cache_.Clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    result_cache_.Clear();
+  }
+}
+
+std::size_t Engine::store_size() const {
+  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  return store_.size();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    out.plan_cache = plan_cache_.counters();
+    out.plan_cache_size = plan_cache_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    out.result_cache = result_cache_.counters();
+    out.result_cache_size = result_cache_.size();
+  }
+  out.generation = generation();
+  return out;
+}
+
+}  // namespace hsparql::engine

@@ -1,0 +1,264 @@
+// engine::Engine — the query-serving facade over the whole stack.
+//
+// One thread-safe object owns a TripleStore (plus its statistics) and
+// exposes the full parse -> analyze -> plan -> lint -> execute pipeline as
+// a single call. This is the layer the paper's pitch implies but the
+// per-module APIs never provided: HSP makes planning cheap, the engine
+// makes *repeated* planning free —
+//  * an LRU plan cache keyed on (normalized query text, planner kind,
+//    planner options) lets repeated queries skip parsing and planning
+//    entirely, with exact hit/miss/eviction counters;
+//  * an optional bounded result cache returns byte-identical answers for
+//    repeated executions, invalidated by a store generation counter that
+//    every mutation bumps;
+//  * per-query deadlines and cooperative cancellation (QueryOptions)
+//    guarantee one bad query cannot wedge a serving thread.
+//
+// Concurrency model: Query()/Prepare()/ExecutePrepared() may be called
+// from any number of threads concurrently (they take a shared lock on the
+// store and short exclusive locks on each cache). AddTriples() and
+// ReplaceStore() take the store lock exclusively, draining in-flight
+// queries first. See DESIGN.md §4e.
+#ifndef HSPARQL_ENGINE_ENGINE_H_
+#define HSPARQL_ENGINE_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/lru_cache.h"
+#include "exec/executor.h"
+#include "plan/planner.h"
+#include "rdf/term.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::engine {
+
+/// Per-query knobs. Everything that changes the *plan* (planner, seed) is
+/// part of the plan-cache key; everything else only shapes execution.
+struct QueryOptions {
+  /// Which planner builds the plan.
+  plan::PlannerKind planner = plan::PlannerKind::kHsp;
+  /// Seed for HSP's random tie-break (plan-cache key component).
+  std::uint64_t seed = kDefaultSeed;
+  /// Intra-query parallelism; passed through to exec::ExecOptions.
+  std::size_t num_threads = 0;
+  /// Sideways information passing; passed through to exec::ExecOptions.
+  bool sideways_information_passing = false;
+  /// Read/write the engine's result cache for this query (no effect when
+  /// the engine was built with result_cache_capacity == 0).
+  bool use_result_cache = true;
+  /// Wall-clock budget for the whole pipeline; 0 means no deadline. On
+  /// expiry the query returns kDeadlineExceeded.
+  std::uint64_t timeout_ms = 0;
+  /// Optional caller-owned cancellation token, polled alongside the
+  /// deadline; must outlive the call.
+  const CancelToken* cancel = nullptr;
+};
+
+/// A cached parse+plan product. Shared (immutably) between the plan
+/// cache, PreparedQuery handles and in-flight responses.
+struct CachedPlan {
+  plan::PlannedQuery planned;
+  /// Planner Name() that produced the plan.
+  std::string planner_name;
+  /// Cold-path costs, kept so hit responses can still report what the
+  /// cache saved (Table 6's quantity, measured on the serving path).
+  double parse_millis = 0.0;
+  double plan_millis = 0.0;
+};
+
+/// Everything one query returns. `planned` and `result` are shared with
+/// the caches — treat them as immutable snapshots.
+struct QueryResponse {
+  std::shared_ptr<const CachedPlan> planned;
+  std::shared_ptr<const exec::ExecResult> result;
+
+  /// Stage timings for this call. On a plan-cache hit parse/plan are ~0
+  /// (the lookup cost lands in total_millis); on a result-cache hit
+  /// exec_millis is 0. total_millis covers the whole pipeline, fixing the
+  /// historical gap where ExecResult::total_millis excluded parse+plan.
+  double parse_millis = 0.0;
+  double plan_millis = 0.0;
+  double exec_millis = 0.0;
+  double total_millis = 0.0;
+
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+  /// Planner that produced (or cached) the plan: "hsp", "cdp", ...
+  std::string planner;
+
+  std::uint64_t rows() const { return result ? result->table.rows : 0; }
+};
+
+/// Engine-wide configuration.
+struct EngineOptions {
+  /// Plan-cache entries (0 disables plan caching).
+  std::size_t plan_cache_capacity = 128;
+  /// Result-cache entries (0, the default, disables result caching —
+  /// opt in for workloads with repeated identical reads).
+  std::size_t result_cache_capacity = 0;
+};
+
+/// Cache/observability snapshot.
+struct EngineStats {
+  CacheCounters plan_cache;
+  CacheCounters result_cache;
+  std::size_t plan_cache_size = 0;
+  std::size_t result_cache_size = 0;
+  /// Store generation: bumped by every mutation; result-cache entries
+  /// from older generations can never be returned again.
+  std::uint64_t generation = 0;
+};
+
+/// A parse+plan handle from Engine::Prepare for parameter-free repeated
+/// queries: ExecutePrepared skips parse and plan entirely. Cheap to copy;
+/// valid for the lifetime of the engine that produced it.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  bool valid() const { return plan_ != nullptr; }
+  const plan::PlannedQuery& planned() const { return plan_->planned; }
+  const QueryOptions& options() const { return options_; }
+
+ private:
+  friend class Engine;
+
+  std::shared_ptr<const CachedPlan> plan_;
+  QueryOptions options_;
+  std::string cache_key_;
+};
+
+/// Collapses runs of whitespace (outside quoted literals) to single
+/// spaces and trims — the normalization under the plan-cache key, so
+/// reformatted copies of one query share a cache entry.
+std::string NormalizeQueryText(std::string_view text);
+
+class Engine {
+ public:
+  /// Takes ownership of `store` and computes its statistics (needed by
+  /// the cost-based planners).
+  explicit Engine(storage::TripleStore&& store, EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The whole pipeline for one query text. Thread-safe.
+  Result<QueryResponse> Query(std::string_view text,
+                              const QueryOptions& options = {}) const;
+
+  /// Parses, plans and lints `text` without executing. The plan is also
+  /// installed in the plan cache, so a later Query() of the same text hits.
+  Result<PreparedQuery> Prepare(std::string_view text,
+                                const QueryOptions& options = {}) const;
+
+  /// Executes a prepared query (skipping parse+plan) with the options it
+  /// was prepared with. Thread-safe; the handle may be reused and shared.
+  Result<QueryResponse> ExecutePrepared(const PreparedQuery& prepared) const;
+
+  /// Adds triples to the dataset (rebuilding the six sorted relations and
+  /// the statistics — O(n log n), a bulk-load path, not an OLTP one),
+  /// bumps the store generation and drops every cached plan.
+  Status AddTriples(std::span<const std::array<rdf::Term, 3>> triples);
+
+  /// Swaps in a different dataset; same invalidation as AddTriples.
+  void ReplaceStore(storage::TripleStore&& store);
+
+  /// Drops all cached plans and results (counters keep accumulating).
+  void ClearCaches();
+
+  /// Read-only views. The store reference is stable, but its *contents*
+  /// change under mutations — don't hold derived pointers across calls
+  /// that may mutate concurrently.
+  const storage::TripleStore& store() const { return store_; }
+  const rdf::Dictionary& dictionary() const { return store_.dictionary(); }
+  std::size_t store_size() const;
+
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+  EngineStats stats() const;
+
+ private:
+  struct CachedResult {
+    std::shared_ptr<const exec::ExecResult> result;
+  };
+
+  /// A shared planner instance plus its precomputed plan-cache key suffix
+  /// (separator + Name() + separator + OptionsFingerprint()). Planners are
+  /// stateless and safe to share across threads; caching them keeps the
+  /// plan-cache *hit* path down to one text normalization and two map
+  /// lookups — no planner construction, no fingerprint formatting.
+  struct PlannerEntry {
+    std::shared_ptr<const plan::Planner> planner;
+    std::string key_suffix;
+  };
+
+  /// Returns (building on first use) the planner for `options`. The map is
+  /// bounded by the distinct (kind, seed) pairs the caller ever uses, and
+  /// std::map nodes are stable, so the pointer stays valid for the
+  /// engine's lifetime.
+  Result<const PlannerEntry*> PlannerFor(const QueryOptions& options) const;
+
+  /// Bumps the generation and drops every cached plan. Caller must hold
+  /// the store lock exclusively.
+  void InvalidateForMutation();
+
+  /// Cache-or-plan: returns the CachedPlan for (text, options), consulting
+  /// and filling the plan cache. Caller must hold the store lock (shared).
+  /// `*key` points into a per-thread buffer — valid only until the next
+  /// GetOrBuildPlan call on this thread; copy it to retain.
+  Result<std::shared_ptr<const CachedPlan>> GetOrBuildPlan(
+      std::string_view text, const QueryOptions& options,
+      std::string_view* key, bool* cache_hit) const;
+
+  /// Execute stage shared by Query and ExecutePrepared. Caller must hold
+  /// the store lock (shared). `deadline` may be null.
+  Result<QueryResponse> RunPlan(std::shared_ptr<const CachedPlan> planned,
+                                const QueryOptions& options,
+                                std::string_view key,
+                                const CancelToken* deadline) const;
+
+  EngineOptions options_;
+
+  /// Guards store_ and stats_: queries shared, mutations exclusive.
+  mutable std::shared_mutex store_mu_;
+  storage::TripleStore store_;
+  std::optional<storage::Statistics> stats_;
+
+  std::atomic<std::uint64_t> generation_{0};
+
+  /// Planner instances by (kind, seed); entries point at store_/stats_,
+  /// whose addresses are stable across mutations (rebuild-in-place).
+  mutable std::mutex planner_mu_;
+  mutable std::map<std::pair<std::uint8_t, std::uint64_t>, PlannerEntry>
+      planners_;
+
+  mutable std::mutex plan_mu_;
+  mutable LruCache<std::string, std::shared_ptr<const CachedPlan>,
+                   StringKeyHash, std::equal_to<>>
+      plan_cache_;
+
+  /// Result keys embed the generation, so mutation invalidates every
+  /// older entry at once (stale entries age out through LRU eviction).
+  mutable std::mutex result_mu_;
+  mutable LruCache<std::string, CachedResult, StringKeyHash, std::equal_to<>>
+      result_cache_;
+};
+
+}  // namespace hsparql::engine
+
+#endif  // HSPARQL_ENGINE_ENGINE_H_

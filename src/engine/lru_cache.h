@@ -1,0 +1,110 @@
+// Bounded LRU map used by the engine's plan and result caches.
+//
+// Intrusive-list-over-hash-map textbook shape: a doubly linked list holds
+// the entries in recency order (front = most recently used), the map gives
+// O(1) key lookup into the list. Not thread-safe — the engine serialises
+// access with its own mutex so the hit/miss/eviction counters stay exact.
+#ifndef HSPARQL_ENGINE_LRU_CACHE_H_
+#define HSPARQL_ENGINE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace hsparql::engine {
+
+/// Transparent string hashing so caches keyed on std::string can be
+/// probed with a std::string_view (e.g. a reused key buffer) without
+/// materialising a key copy. Pair with std::equal_to<> as KeyEqual.
+struct StringKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Monotonic cache counters (never reset by Clear()).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;  // capacity evictions only, not Clear()
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename KeyEqual = std::equal_to<Key>>
+class LruCache {
+ public:
+  /// Capacity 0 disables the cache: Get always misses, Put is a no-op.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up `key`; a hit moves the entry to the front (most recent).
+  /// With a transparent Hash/KeyEqual, `key` may be any probe type the
+  /// comparator accepts (e.g. string_view against std::string keys).
+  template <typename LookupKey = Key>
+  std::optional<Value> Get(const LookupKey& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++counters_.misses;
+      return std::nullopt;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++counters_.hits;
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, making it the most recent entry and
+  /// evicting the least recent one when over capacity.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_.emplace(key, entries_.begin());
+    ++counters_.insertions;
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++counters_.evictions;
+    }
+  }
+
+  /// Removes `key` if present.
+  void Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  /// Drops every entry (counters keep accumulating).
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheCounters& counters() const { return counters_; }
+
+ private:
+  std::size_t capacity_;
+  /// (key, value), most recently used first.
+  std::list<std::pair<Key, Value>> entries_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash, KeyEqual>
+      index_;
+  CacheCounters counters_;
+};
+
+}  // namespace hsparql::engine
+
+#endif  // HSPARQL_ENGINE_LRU_CACHE_H_

@@ -43,6 +43,11 @@ struct KeyHash {
 /// exercised by small test inputs, and outputs are identical either way.
 constexpr std::size_t kMinMorselRows = 16;
 
+/// Rows between cancellation polls inside the heavy per-row loops (a poll
+/// is an atomic load plus, with a deadline set, one clock read). Power of
+/// two so the check compiles to a mask test.
+constexpr std::size_t kCancelCheckMask = 4095;
+
 class PlanRunner {
  public:
   PlanRunner(const storage::TripleStore* store, const Query* query,
@@ -55,6 +60,7 @@ class PlanRunner {
         result_(result) {}
 
   Result<BindingTable> Run(const PlanNode* node) {
+    if (Expired()) return DeadlineStatus();
     switch (node->kind) {
       case PlanNode::Kind::kScan:
         return RunScan(node);
@@ -75,6 +81,19 @@ class PlanRunner {
   }
 
  private:
+  /// True once the caller's cancel token (if any) is cancelled or past
+  /// its deadline. Workers poll this at morsel boundaries and every
+  /// kCancelCheckMask + 1 rows; the operator then returns DeadlineStatus()
+  /// instead of its (partial) output.
+  bool Expired() const {
+    return options_->cancel != nullptr && options_->cancel->Expired();
+  }
+
+  static Status DeadlineStatus() {
+    return Status::DeadlineExceeded(
+        "query cancelled or deadline exceeded during execution");
+  }
+
   void Record(const PlanNode* node, std::string label,
               const BindingTable& out, double millis, bool is_intermediate,
               std::size_t threads = 1) {
@@ -216,6 +235,7 @@ class PlanRunner {
     auto scan_range = [&](std::size_t lo, std::size_t hi,
                           BindingTable* dst) {
       for (std::size_t r = lo; r < hi; ++r) {
+        if ((r & kCancelCheckMask) == 0 && Expired()) return;
         const Triple& t = range[r];
         bool keep = true;
         for (const auto& [pos, id] : residual_consts) {
@@ -252,6 +272,7 @@ class PlanRunner {
     } else {
       RunMorsels(range.size(), fanout, out.vars.size(), &out, scan_range);
     }
+    if (Expired()) return DeadlineStatus();
 
     std::ostringstream label;
     label << (tp.num_constants() > 0 ? "select(" : "scan(")
@@ -392,7 +413,9 @@ class PlanRunner {
       auto merge_range = [&](std::size_t i, std::size_t iend,
                              std::size_t j, std::size_t jend,
                              BindingTable* dst) {
+        std::size_t steps = 0;
         while (i < iend && j < jend) {
+          if ((++steps & kCancelCheckMask) == 0 && Expired()) return;
           if (lv[i] < rv[j]) {
             ++i;
           } else if (rv[j] < lv[i]) {
@@ -474,8 +497,16 @@ class PlanRunner {
           }
         } else {
           out.Reserve(left.rows * right.rows);
-          for (std::size_t a = 0; a < left.rows; ++a) {
-            for (std::size_t b = 0; b < right.rows; ++b) emit(&out, a, b);
+          std::size_t emitted = 0;
+          bool aborted = false;
+          for (std::size_t a = 0; a < left.rows && !aborted; ++a) {
+            for (std::size_t b = 0; b < right.rows; ++b) {
+              if ((++emitted & kCancelCheckMask) == 0 && Expired()) {
+                aborted = true;
+                break;
+              }
+              emit(&out, a, b);
+            }
           }
         }
         label = "hashjoin (cartesian)";
@@ -541,6 +572,7 @@ class PlanRunner {
                                BindingTable* dst) {
           std::vector<TermId> key(shared.size());
           for (std::size_t a = lo; a < hi; ++a) {
+            if ((a & kCancelCheckMask) == 0 && Expired()) return;
             build_key(left, lcols, a, &key);
             const HashTable& table =
                 tables[build_parts <= 1 ? 0
@@ -569,6 +601,7 @@ class PlanRunner {
       // Probing in left order preserves the left sort order.
       out.sorted_by = left.sorted_by;
     }
+    if (Expired()) return DeadlineStatus();
 
     Record(node, label, out, timer.ElapsedMillis(), /*is_intermediate=*/true,
            threads_used);
@@ -746,6 +779,7 @@ class PlanRunner {
     auto filter_range = [&](std::size_t lo, std::size_t hi,
                             BindingTable* dst) {
       for (std::size_t r = lo; r < hi; ++r) {
+        if ((r & kCancelCheckMask) == 0 && Expired()) return;
         if (!passes(r)) continue;
         for (std::size_t c = 0; c < in.vars.size(); ++c) {
           dst->columns[c].push_back(in.columns[c][r]);
@@ -761,6 +795,7 @@ class PlanRunner {
     } else {
       RunMorsels(in.rows, fanout, out.vars.size(), &out, filter_range);
     }
+    if (Expired()) return DeadlineStatus();
     Record(node, "filter", out, timer.ElapsedMillis(),
            /*is_intermediate=*/false, fanout);
     return out;

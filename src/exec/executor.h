@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "exec/binding_table.h"
 #include "hsp/plan.h"
@@ -62,6 +63,14 @@ struct ExecOptions {
   /// stay active either way and phrase their errors in the same
   /// rule-id vocabulary.
   bool lint_plans = false;
+
+  /// Cooperative cancellation (see common/cancel.h). When set, the
+  /// executor polls the token at operator entry, at every morsel boundary
+  /// and every few thousand rows of the heavy inner loops; once expired,
+  /// Execute() stops producing output and returns kDeadlineExceeded. The
+  /// token must outlive the Execute() call. Results are unaffected when
+  /// the token never expires.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Executes plans against one store. Stateless across calls.

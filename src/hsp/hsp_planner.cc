@@ -260,6 +260,18 @@ class SubsetPlanner {
 
 }  // namespace
 
+std::string HspPlanner::OptionsFingerprint() const {
+  std::string out = "seed=" + std::to_string(options_.seed);
+  out += options_.rewrite_filters ? ";rw" : ";norw";
+  out += options_.h1_type_exception ? ";h1t" : ";noh1t";
+  out += options_.tie_break.merge_prefers_bulky ? ";bulky" : ";sel";
+  out += options_.use_h3 ? ";h3" : "";
+  out += options_.use_h4 ? ";h4" : "";
+  out += options_.use_h2 ? ";h2" : "";
+  out += options_.use_h5 ? ";h5" : "";
+  return out;
+}
+
 Result<PlannedQuery> HspPlanner::Plan(const Query& input) const {
   if (input.patterns.empty()) {
     return Status::InvalidArgument("query has no triple patterns");

@@ -16,15 +16,20 @@
 #define HSPARQL_HSP_HSP_PLANNER_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "hsp/heuristics.h"
 #include "hsp/plan.h"
+#include "plan/planner.h"
 #include "sparql/ast.h"
 #include "sparql/rewrite.h"
 
 namespace hsparql::hsp {
+
+/// Planner output (shared by all planners); see plan/planner.h.
+using PlannedQuery = plan::PlannedQuery;
 
 /// Planner knobs. Defaults reproduce the paper's configuration; the
 /// switches exist for the heuristics ablation benchmark.
@@ -40,25 +45,20 @@ struct HspOptions {
   bool use_h5 = true;
 };
 
-/// A plan plus the planner's working query (the caller must execute the
-/// plan against `query`, whose pattern indices the plan references —
-/// FILTER rewriting may have changed patterns and dropped filters).
-struct PlannedQuery {
-  sparql::Query query;
-  LogicalPlan plan;
-  sparql::RewriteReport rewrite_report;
-  /// Variables chosen for merge joins, in selection (round) order.
-  std::vector<sparql::VarId> chosen_variables;
-};
-
 /// Stateless facade over Algorithm 1; one instance can plan many queries.
-class HspPlanner {
+class HspPlanner : public plan::Planner {
  public:
   explicit HspPlanner(HspOptions options = {}) : options_(options) {}
 
   /// Plans `query`. Fails with InvalidArgument for queries without
   /// patterns; never fails on well-formed join queries.
   Result<PlannedQuery> Plan(const sparql::Query& query) const;
+
+  Result<PlannedQuery> Plan(const plan::AnalyzedQuery& query) const override {
+    return Plan(query.query);
+  }
+  std::string_view Name() const override { return "hsp"; }
+  std::string OptionsFingerprint() const override;
 
   const HspOptions& options() const { return options_; }
 

@@ -1,0 +1,75 @@
+#include "plan/planner.h"
+
+#include "cdp/cdp_planner.h"
+#include "cdp/hybrid_planner.h"
+#include "cdp/leftdeep_planner.h"
+#include "hsp/hsp_planner.h"
+#include "sparql/parser.h"
+
+namespace hsparql::plan {
+
+AnalyzedQuery AnalyzedQuery::From(sparql::Query query) {
+  AnalyzedQuery out;
+  out.characteristics = sparql::Analyze(query);
+  out.query = std::move(query);
+  return out;
+}
+
+Result<AnalyzedQuery> AnalyzedQuery::FromText(std::string_view text) {
+  HSPARQL_ASSIGN_OR_RETURN(sparql::Query query, sparql::Parse(text));
+  return From(std::move(query));
+}
+
+std::string_view PlannerKindName(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kHsp:
+      return "hsp";
+    case PlannerKind::kCdp:
+      return "cdp";
+    case PlannerKind::kLeftDeep:
+      return "sql";
+    case PlannerKind::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+std::optional<PlannerKind> ParsePlannerKind(std::string_view name) {
+  if (name == "hsp") return PlannerKind::kHsp;
+  if (name == "cdp") return PlannerKind::kCdp;
+  if (name == "sql" || name == "leftdeep") return PlannerKind::kLeftDeep;
+  if (name == "hybrid") return PlannerKind::kHybrid;
+  return std::nullopt;
+}
+
+Result<std::unique_ptr<Planner>> MakePlanner(
+    PlannerKind kind, const storage::TripleStore* store,
+    const storage::Statistics* stats, const PlannerFactoryOptions& options) {
+  if (kind == PlannerKind::kHsp) {
+    hsp::HspOptions hsp_options;
+    hsp_options.seed = options.seed;
+    return std::unique_ptr<Planner>(
+        std::make_unique<hsp::HspPlanner>(hsp_options));
+  }
+  if (store == nullptr || stats == nullptr) {
+    return Status::InvalidArgument(
+        std::string("planner '") + std::string(PlannerKindName(kind)) +
+        "' is cost-based and needs a store and statistics");
+  }
+  switch (kind) {
+    case PlannerKind::kCdp:
+      return std::unique_ptr<Planner>(
+          std::make_unique<cdp::CdpPlanner>(store, stats));
+    case PlannerKind::kLeftDeep:
+      return std::unique_ptr<Planner>(
+          std::make_unique<cdp::LeftDeepPlanner>(store, stats));
+    case PlannerKind::kHybrid:
+      return std::unique_ptr<Planner>(
+          std::make_unique<cdp::HybridPlanner>(store, stats));
+    case PlannerKind::kHsp:
+      break;  // handled above
+  }
+  return Status::InvalidArgument("unknown planner kind");
+}
+
+}  // namespace hsparql::plan

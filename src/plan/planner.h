@@ -1,0 +1,116 @@
+// The unified planner interface every query planner implements.
+//
+// The repo grew four planners — statistics-free HSP (Algorithm 1), the
+// RDF-3X-style CDP baseline, the left-deep "MonetDB/SQL" baseline and the
+// HSP+statistics hybrid — each with its own constructor shape. Everything
+// above the planners (the engine::Engine serving facade, the bench
+// harnesses, the explain tool) programs against this one abstraction:
+// an AnalyzedQuery goes in, a PlannedQuery comes out, and MakePlanner()
+// builds any of the four behind a PlannerKind switch.
+//
+// Layering: this header sits between hsp/plan.h (LogicalPlan) and the
+// planner modules. hsp/hsp_planner.h and the cdp/ headers include it to
+// derive from Planner; the factory implementation lives in the
+// hsparql_plan library, which links against all planner libraries.
+#ifndef HSPARQL_PLAN_PLANNER_H_
+#define HSPARQL_PLAN_PLANNER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "hsp/plan.h"
+#include "sparql/analyzer.h"
+#include "sparql/ast.h"
+#include "sparql/rewrite.h"
+
+namespace hsparql::storage {
+class TripleStore;
+class Statistics;
+}  // namespace hsparql::storage
+
+namespace hsparql::plan {
+
+/// A plan plus the planner's working query (the caller must execute the
+/// plan against `query`, whose pattern indices the plan references —
+/// FILTER rewriting may have changed patterns and dropped filters).
+struct PlannedQuery {
+  sparql::Query query;
+  hsp::LogicalPlan plan;
+  sparql::RewriteReport rewrite_report;
+  /// Variables chosen for merge joins, in selection (round) order.
+  std::vector<sparql::VarId> chosen_variables;
+};
+
+/// A parsed query together with its syntactic census (Table 2 quantities).
+/// This is the input of the planning stage in the engine's
+/// parse -> analyze -> plan -> lint -> execute pipeline; carrying the
+/// characteristics alongside lets planners and serving-layer policies
+/// (e.g. "route large star joins to the hybrid") inspect the query shape
+/// without re-deriving it.
+struct AnalyzedQuery {
+  sparql::Query query;
+  sparql::QueryCharacteristics characteristics;
+
+  /// Runs the syntactic census over an already-parsed query.
+  static AnalyzedQuery From(sparql::Query query);
+  /// Parses `text` and analyzes the result.
+  static Result<AnalyzedQuery> FromText(std::string_view text);
+};
+
+/// Abstract planner: one instance plans many queries, concurrently safe
+/// (all four implementations are stateless after construction).
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Plans `query`. Fails with InvalidArgument for queries the planner
+  /// cannot handle (no patterns; too many patterns for the DP planners).
+  virtual Result<PlannedQuery> Plan(const AnalyzedQuery& query) const = 0;
+
+  /// Stable short name: "hsp", "cdp", "sql" or "hybrid".
+  virtual std::string_view Name() const = 0;
+
+  /// Deterministic digest of every option value that can change the
+  /// produced plan. Name() + OptionsFingerprint() + query text identify a
+  /// plan, which is exactly what the engine's plan cache keys on.
+  virtual std::string OptionsFingerprint() const { return {}; }
+};
+
+/// The four planner implementations, in the order the paper discusses them.
+enum class PlannerKind : std::uint8_t { kHsp, kCdp, kLeftDeep, kHybrid };
+
+inline constexpr PlannerKind kAllPlannerKinds[] = {
+    PlannerKind::kHsp, PlannerKind::kCdp, PlannerKind::kLeftDeep,
+    PlannerKind::kHybrid};
+
+/// "hsp", "cdp", "sql", "hybrid" (matching each planner's Name()).
+std::string_view PlannerKindName(PlannerKind kind);
+
+/// Inverse of PlannerKindName; also accepts "leftdeep" for kLeftDeep.
+std::optional<PlannerKind> ParsePlannerKind(std::string_view name);
+
+/// Options shared by the factory across planner kinds.
+struct PlannerFactoryOptions {
+  /// Seed for HSP's RandomChooseOne tie-break (ignored by the cost-based
+  /// planners, which are deterministic).
+  std::uint64_t seed = kDefaultSeed;
+};
+
+/// Builds a planner of the given kind. The cost-based kinds (kCdp,
+/// kLeftDeep, kHybrid) require non-null `store` and `stats`, which must
+/// outlive the returned planner; kHsp is statistics-free and accepts
+/// nulls. Fails with InvalidArgument when statistics are missing for a
+/// cost-based kind.
+Result<std::unique_ptr<Planner>> MakePlanner(
+    PlannerKind kind, const storage::TripleStore* store = nullptr,
+    const storage::Statistics* stats = nullptr,
+    const PlannerFactoryOptions& options = {});
+
+}  // namespace hsparql::plan
+
+#endif  // HSPARQL_PLAN_PLANNER_H_

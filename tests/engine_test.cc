@@ -1,0 +1,292 @@
+// Tests for the engine::Engine query-service facade (src/engine/):
+// query-text normalization, plan-cache fingerprint identity across hits,
+// result-cache invalidation through the store generation counter, LRU
+// eviction order, deadline/cancellation, and prepared queries.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "rdf/term.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+
+namespace hsparql::engine {
+namespace {
+
+// Chain query over testing::SmallBibGraph(): authors who published in the
+// 1940 journal. Two answers: Alice and Bob.
+constexpr std::string_view kChainQuery =
+    "SELECT ?name WHERE { ?j <dc:title> \"Journal 1 (1940)\" . "
+    "?a <swrc:journal> ?j . ?a <dc:creator> ?p . ?p <foaf:name> ?name }";
+
+storage::TripleStore BibStore() {
+  return storage::TripleStore::Build(hsparql::testing::SmallBibGraph());
+}
+
+std::vector<std::string> Names(const Engine& engine,
+                               const QueryResponse& response) {
+  const plan::PlannedQuery& planned = response.planned->planned;
+  std::vector<std::string> out;
+  for (const auto& row : hsparql::testing::ToResultBag(
+           response.result->table, planned.query, engine.dictionary(),
+           planned.query.projection)) {
+    out.push_back(row.at(0));
+  }
+  return out;
+}
+
+TEST(NormalizeQueryTextTest, CollapsesWhitespaceAndTrims) {
+  EXPECT_EQ(NormalizeQueryText("  SELECT\t?x\n\nWHERE  { ?x <p> ?y }\r\n"),
+            "SELECT ?x WHERE { ?x <p> ?y }");
+  EXPECT_EQ(NormalizeQueryText(""), "");
+  EXPECT_EQ(NormalizeQueryText(" \t\n "), "");
+  EXPECT_EQ(NormalizeQueryText("a"), "a");
+}
+
+TEST(NormalizeQueryTextTest, PreservesWhitespaceInsideLiterals) {
+  EXPECT_EQ(NormalizeQueryText("{ ?x <p> \"two  spaces\\n\" }"),
+            "{ ?x <p> \"two  spaces\\n\" }");
+  // Escaped quotes do not end the literal early.
+  EXPECT_EQ(NormalizeQueryText("{ ?x <p> \"a \\\"b\\\"  c\" .\n}"),
+            "{ ?x <p> \"a \\\"b\\\"  c\" . }");
+  EXPECT_EQ(NormalizeQueryText("'it  is'   x"), "'it  is' x");
+  // Unterminated literal: the rest of the text is taken verbatim.
+  EXPECT_EQ(NormalizeQueryText("\"open  ended"), "\"open  ended");
+}
+
+TEST(NormalizeQueryTextTest, EquivalentTextsShareOneKey) {
+  std::string spread(kChainQuery);
+  spread.insert(spread.find("WHERE"), "\n\t ");
+  EXPECT_EQ(NormalizeQueryText(spread),
+            NormalizeQueryText(std::string(kChainQuery)));
+}
+
+TEST(EngineTest, QueryRunsFullPipeline) {
+  Engine engine(BibStore());
+  auto response = engine.Query(kChainQuery);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->rows(), 2u);
+  EXPECT_EQ(Names(engine, *response),
+            (std::vector<std::string>{"\"Alice\"", "\"Bob\""}));
+  EXPECT_EQ(response->planner, "hsp");
+  EXPECT_FALSE(response->plan_cache_hit);
+  EXPECT_GE(response->parse_millis, 0.0);
+  EXPECT_GE(response->plan_millis, 0.0);
+  EXPECT_GE(response->exec_millis, 0.0);
+  EXPECT_GE(response->total_millis,
+            response->parse_millis + response->plan_millis);
+}
+
+TEST(EngineTest, ParseErrorSurfacesAsStatus) {
+  Engine engine(BibStore());
+  auto response = engine.Query("SELECT WHERE {");
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(EngineTest, PlanCacheHitReturnsIdenticalPlanFingerprint) {
+  Engine engine(BibStore());
+  auto cold = engine.Query(kChainQuery);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->plan_cache_hit);
+
+  // Same query, reformatted: must normalize onto the cached entry.
+  std::string spread = "  SELECT ?name\nWHERE {\n ?j <dc:title> "
+                       "\"Journal 1 (1940)\" .\n ?a <swrc:journal> ?j .\n "
+                       "?a <dc:creator> ?p .\n ?p <foaf:name> ?name \n}\n";
+  auto warm = engine.Query(spread);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->plan_cache_hit);
+  // Hits share the cached plan object itself, so the fingerprint is
+  // identical by construction — assert both the pointer and the rendered
+  // plan, which is what downstream consumers compare.
+  EXPECT_EQ(warm->planned.get(), cold->planned.get());
+  EXPECT_EQ(warm->planned->planned.plan.ToString(warm->planned->planned.query),
+            cold->planned->planned.plan.ToString(cold->planned->planned.query));
+  EXPECT_EQ(Names(engine, *warm), Names(engine, *cold));
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache.hits, 1u);
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache_size, 1u);
+}
+
+TEST(EngineTest, PlannerKindIsPartOfThePlanCacheKey) {
+  Engine engine(BibStore());
+  QueryOptions cdp;
+  cdp.planner = plan::PlannerKind::kCdp;
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  auto second = engine.Query(kChainQuery, cdp);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->plan_cache_hit);
+  EXPECT_EQ(second->planner, "cdp");
+  EXPECT_EQ(engine.stats().plan_cache_size, 2u);
+}
+
+TEST(EngineTest, ZeroCapacityDisablesThePlanCache) {
+  EngineOptions options;
+  options.plan_cache_capacity = 0;
+  Engine engine(BibStore(), options);
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  auto second = engine.Query(kChainQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->plan_cache_hit);
+  EXPECT_EQ(engine.stats().plan_cache_size, 0u);
+}
+
+TEST(EngineTest, LruEvictsLeastRecentlyUsedPlanFirst) {
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  Engine engine(BibStore(), options);
+  const std::string a = "SELECT ?t WHERE { <ex:j1940> <dc:title> ?t }";
+  const std::string b = "SELECT ?t WHERE { <ex:j1941> <dc:title> ?t }";
+  const std::string c = "SELECT ?y WHERE { <ex:j1940> <dcterms:issued> ?y }";
+
+  ASSERT_TRUE(engine.Query(a).ok());  // miss        {a}
+  ASSERT_TRUE(engine.Query(b).ok());  // miss        {a b}
+  ASSERT_TRUE(engine.Query(c).ok());  // miss, -a    {b c}
+  auto rb = engine.Query(b);          // hit         {c b}
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(rb->plan_cache_hit);
+  auto ra = engine.Query(a);          // miss, -c    {b a}
+  ASSERT_TRUE(ra.ok());
+  EXPECT_FALSE(ra->plan_cache_hit);
+  auto rc = engine.Query(c);          // miss, -b    {a c}
+  ASSERT_TRUE(rc.ok());
+  EXPECT_FALSE(rc->plan_cache_hit);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache.hits, 1u);
+  EXPECT_EQ(stats.plan_cache.misses, 5u);
+  EXPECT_EQ(stats.plan_cache.evictions, 3u);
+  EXPECT_EQ(stats.plan_cache_size, 2u);
+}
+
+TEST(EngineTest, ResultCacheHitSkipsExecution) {
+  EngineOptions options;
+  options.result_cache_capacity = 8;
+  Engine engine(BibStore(), options);
+  auto cold = engine.Query(kChainQuery);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->result_cache_hit);
+  auto warm = engine.Query(kChainQuery);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+  EXPECT_EQ(warm->result.get(), cold->result.get());
+  EXPECT_EQ(warm->exec_millis, 0.0);
+
+  // Per-query opt-out bypasses the cache without invalidating it.
+  QueryOptions no_cache;
+  no_cache.use_result_cache = false;
+  auto bypass = engine.Query(kChainQuery, no_cache);
+  ASSERT_TRUE(bypass.ok());
+  EXPECT_FALSE(bypass->result_cache_hit);
+}
+
+TEST(EngineTest, MutationBumpsGenerationAndInvalidatesResults) {
+  EngineOptions options;
+  options.result_cache_capacity = 8;
+  Engine engine(BibStore(), options);
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  auto cached = engine.Query(kChainQuery);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->result_cache_hit);
+  EXPECT_EQ(engine.generation(), 0u);
+
+  // A third author publishing in the 1940 journal.
+  const std::array<std::array<rdf::Term, 3>, 3> triples = {{
+      {rdf::Term::Iri("ex:a9"), rdf::Term::Iri("swrc:journal"),
+       rdf::Term::Iri("ex:j1940")},
+      {rdf::Term::Iri("ex:a9"), rdf::Term::Iri("dc:creator"),
+       rdf::Term::Iri("ex:p9")},
+      {rdf::Term::Iri("ex:p9"), rdf::Term::Iri("foaf:name"),
+       rdf::Term::Literal("Carol")},
+  }};
+  ASSERT_TRUE(engine.AddTriples(triples).ok());
+  EXPECT_EQ(engine.generation(), 1u);
+
+  // The stale entry is keyed on the old generation: never served again.
+  auto fresh = engine.Query(kChainQuery);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_FALSE(fresh->result_cache_hit);
+  EXPECT_EQ(fresh->rows(), 3u);
+  EXPECT_EQ(Names(engine, *fresh),
+            (std::vector<std::string>{"\"Alice\"", "\"Bob\"", "\"Carol\""}));
+
+  // The new result is cached under the new generation.
+  auto recached = engine.Query(kChainQuery);
+  ASSERT_TRUE(recached.ok());
+  EXPECT_TRUE(recached->result_cache_hit);
+  EXPECT_EQ(recached->rows(), 3u);
+}
+
+TEST(EngineTest, CancelledTokenReturnsDeadlineExceeded) {
+  Engine engine(BibStore());
+  CancelToken cancelled;
+  cancelled.Cancel();
+  QueryOptions options;
+  options.cancel = &cancelled;
+  auto response = engine.Query(kChainQuery, options);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
+
+  // The engine (and the shared pool behind it) keeps serving afterwards —
+  // cancellation is cooperative, nothing leaks.
+  auto after = engine.Query(kChainQuery);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rows(), 2u);
+}
+
+TEST(EngineTest, TimeoutChainsOntoCallerToken) {
+  Engine engine(BibStore());
+  CancelToken cancelled;
+  cancelled.Cancel();
+  QueryOptions options;
+  options.timeout_ms = 60000;  // generous deadline; the parent is expired
+  options.cancel = &cancelled;
+  auto response = engine.Query(kChainQuery, options);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
+}
+
+TEST(EngineTest, PrepareThenExecuteMatchesQuery) {
+  Engine engine(BibStore());
+  auto prepared = engine.Prepare(kChainQuery);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  ASSERT_TRUE(prepared->valid());
+  const std::string fingerprint =
+      prepared->planned().plan.ToString(prepared->planned().query);
+
+  auto executed = engine.ExecutePrepared(*prepared);
+  ASSERT_TRUE(executed.ok()) << executed.status();
+  EXPECT_TRUE(executed->plan_cache_hit);
+  EXPECT_EQ(executed->rows(), 2u);
+  EXPECT_EQ(
+      executed->planned->planned.plan.ToString(executed->planned->planned.query),
+      fingerprint);
+
+  // Executing a default-constructed handle is a usage error, not a crash.
+  PreparedQuery invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_TRUE(engine.ExecutePrepared(invalid).status().IsInvalidArgument());
+}
+
+TEST(EngineTest, ClearCachesDropsPlansAndResults) {
+  EngineOptions options;
+  options.result_cache_capacity = 8;
+  Engine engine(BibStore(), options);
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  engine.ClearCaches();
+  EXPECT_EQ(engine.stats().plan_cache_size, 0u);
+  EXPECT_EQ(engine.stats().result_cache_size, 0u);
+  auto rerun = engine.Query(kChainQuery);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_FALSE(rerun->plan_cache_hit);
+}
+
+}  // namespace
+}  // namespace hsparql::engine
