@@ -112,15 +112,17 @@ int main(int argc, char** argv) {
     const exec::ExecResult& result = *response->result;
     std::cout << "-- " << result.table.rows << " result(s) in "
               << response->exec_millis << " ms --\n";
+    // The view pins the store against concurrent mutation while the
+    // dictionary decodes result ids.
+    engine::StoreView view = engine.read_view();
     if (format == "json") {
-      exec::WriteResultsJson(result.table, planned.query,
-                             engine.dictionary(), std::cout);
+      exec::WriteResultsJson(result.table, planned.query, view.dictionary(),
+                             std::cout);
     } else if (format == "tsv") {
-      exec::WriteResultsTsv(result.table, planned.query, engine.dictionary(),
+      exec::WriteResultsTsv(result.table, planned.query, view.dictionary(),
                             std::cout);
     } else {
-      std::cout << result.table.ToString(planned.query, engine.dictionary(),
-                                         25);
+      std::cout << result.table.ToString(planned.query, view.dictionary(), 25);
     }
     return 0;
   };

@@ -82,8 +82,8 @@ int main() {
             << planned.plan.ToString(planned.query) << "\n";
 
   std::cout << "Result (" << response->rows() << " mapping(s)):\n"
-            << response->result->table.ToString(planned.query,
-                                                engine.dictionary())
+            << response->result->table.ToString(
+                   planned.query, engine.read_view().dictionary())
             << "\nPlan with measured cardinalities:\n"
             << planned.plan.ToString(planned.query,
                                      &response->result->cardinalities);

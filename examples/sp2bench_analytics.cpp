@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
               << response->exec_millis << " ms):\n"
               << planned.plan.ToString(planned.query, &result.cardinalities)
               << "First rows:\n"
-              << result.table.ToString(planned.query, engine.dictionary(), 5)
+              << result.table.ToString(planned.query,
+                                       engine.read_view().dictionary(), 5)
               << "\n";
 
     // Compare what the two cost-based planners would have done.

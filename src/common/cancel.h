@@ -9,9 +9,13 @@
 // morsel still runs, it just returns immediately).
 //
 // Thread-safety: Cancel()/SetDeadline() may race with Expired() from any
-// number of threads; all state is atomic. Tokens can be chained via
-// set_parent (engine-internal deadline token on top of a caller-provided
-// cancel token); set_parent must happen before the token is shared.
+// number of threads; all state is atomic. Expiry is latched: once any
+// thread observes Expired() == true the token stays expired, even if
+// SetDeadline() later pushes the deadline out — a worker that already
+// aborted (leaving partial output) must never be contradicted by a
+// subsequent poll reporting success. Tokens can be chained via set_parent
+// (engine-internal deadline token on top of a caller-provided cancel
+// token); set_parent must happen before the token is shared.
 #ifndef HSPARQL_COMMON_CANCEL_H_
 #define HSPARQL_COMMON_CANCEL_H_
 
@@ -46,20 +50,23 @@ class CancelToken {
   void set_parent(const CancelToken* parent) { parent_ = parent; }
 
   /// True once cancelled, past the deadline, or the parent expired.
+  /// Latched: the first true observation sets the cancelled flag, so the
+  /// result can never revert to false afterwards.
   bool Expired() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
-    if (d != kNoDeadline &&
-        std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
-      return true;
-    }
-    return parent_ != nullptr && parent_->Expired();
+    const bool expired =
+        (d != kNoDeadline &&
+         std::chrono::steady_clock::now().time_since_epoch().count() >= d) ||
+        (parent_ != nullptr && parent_->Expired());
+    if (expired) cancelled_.store(true, std::memory_order_relaxed);
+    return expired;
   }
 
  private:
   static constexpr std::int64_t kNoDeadline = INT64_MAX;
 
-  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
   const CancelToken* parent_ = nullptr;
 };

@@ -27,6 +27,8 @@ constexpr char kKeySep = '\x1f';
 constexpr std::uint8_t kPlain = 0;
 constexpr std::uint8_t kSpace = 1;
 constexpr std::uint8_t kQuote = 2;
+constexpr std::uint8_t kHash = 3;
+constexpr std::uint8_t kLess = 4;
 
 constexpr std::array<std::uint8_t, 256> MakeCharClass() {
   std::array<std::uint8_t, 256> table{};
@@ -35,6 +37,8 @@ constexpr std::array<std::uint8_t, 256> MakeCharClass() {
   }
   table['"'] = kQuote;
   table['\''] = kQuote;
+  table['#'] = kHash;
+  table['<'] = kLess;
   return table;
 }
 constexpr std::array<std::uint8_t, 256> kCharClass = MakeCharClass();
@@ -63,8 +67,39 @@ void NormalizeQueryTextInto(std::string_view text, std::string* out_ptr) {
       ++i;
       continue;
     }
+    if (cls == kHash) {
+      // '#' starts a line comment (the lexer skips it alongside
+      // whitespace, so it also separates tokens): drop it and leave a
+      // space. Semantically different comment placements — e.g. a comment
+      // swallowing half a pattern — now normalize to different keys.
+      while (i < n && text[i] != '\n') ++i;
+      pending_space = true;
+      continue;
+    }
     if (pending_space && !out.empty()) out.push_back(' ');
     pending_space = false;
+    if (cls == kLess) {
+      // Mirror the lexer's LexIriOrLess: '<' opens an IRI ref unless the
+      // next char reads as a comparison right-hand side. IRI bodies are
+      // copied verbatim so a '#' fragment is not mistaken for a comment;
+      // the copy stops at whitespace (malformed per the lexer) or '>'.
+      const char next = i + 1 < n ? text[i + 1] : '\0';
+      const bool comparison =
+          next == '=' || next == ' ' || next == '\t' || next == '\n' ||
+          next == '?' || next == '"' ||
+          std::isdigit(static_cast<unsigned char>(next));
+      if (!comparison) {
+        std::size_t j = i + 1;
+        while (j < n && CharClass(text[j]) != kSpace && text[j] != '>') ++j;
+        if (j < n && text[j] == '>') ++j;
+        out.append(text.substr(i, j - i));
+        i = j;
+        continue;
+      }
+      out.push_back('<');
+      ++i;
+      continue;
+    }
     if (cls == kQuote) {
       // Copy the quoted literal verbatim, honouring backslash escapes —
       // whitespace inside literals is significant.

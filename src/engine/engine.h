@@ -24,6 +24,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -131,7 +132,13 @@ class PreparedQuery {
   PreparedQuery() = default;
 
   bool valid() const { return plan_ != nullptr; }
-  const plan::PlannedQuery& planned() const { return plan_->planned; }
+  /// Requires valid(); asserts otherwise (the reference-returning
+  /// counterpart of ExecutePrepared's typed InvalidArgument guard).
+  const plan::PlannedQuery& planned() const {
+    assert(plan_ != nullptr &&
+           "PreparedQuery::planned() on a default-constructed handle");
+    return plan_->planned;
+  }
   const QueryOptions& options() const { return options_; }
 
  private:
@@ -142,10 +149,36 @@ class PreparedQuery {
   std::string cache_key_;
 };
 
-/// Collapses runs of whitespace (outside quoted literals) to single
-/// spaces and trims — the normalization under the plan-cache key, so
-/// reformatted copies of one query share a cache entry.
+/// Collapses runs of whitespace (outside quoted literals and <...> IRI
+/// refs) to single spaces, strips '#' line comments, and trims — the
+/// normalization under the plan-cache key, so reformatted copies of one
+/// query share a cache entry while comment placement (which changes the
+/// token stream the parser sees) keeps queries apart.
 std::string NormalizeQueryText(std::string_view text);
+
+/// Read-only snapshot of an engine's store and dictionary. Holds the
+/// store lock shared for its lifetime, so AddTriples()/ReplaceStore()
+/// block until every live view is destroyed — the concurrency contract is
+/// enforced, not advisory. Keep views short-lived (decode a result, scan
+/// a few triples) and never cache the references past the view.
+class StoreView {
+ public:
+  StoreView(StoreView&&) = default;
+  StoreView(const StoreView&) = delete;
+  StoreView& operator=(const StoreView&) = delete;
+
+  const storage::TripleStore& store() const { return *store_; }
+  const rdf::Dictionary& dictionary() const { return store_->dictionary(); }
+
+ private:
+  friend class Engine;
+  StoreView(std::shared_lock<std::shared_mutex> lock,
+            const storage::TripleStore* store)
+      : lock_(std::move(lock)), store_(store) {}
+
+  std::shared_lock<std::shared_mutex> lock_;
+  const storage::TripleStore* store_;
+};
 
 class Engine {
  public:
@@ -180,11 +213,11 @@ class Engine {
   /// Drops all cached plans and results (counters keep accumulating).
   void ClearCaches();
 
-  /// Read-only views. The store reference is stable, but its *contents*
-  /// change under mutations — don't hold derived pointers across calls
-  /// that may mutate concurrently.
-  const storage::TripleStore& store() const { return store_; }
-  const rdf::Dictionary& dictionary() const { return store_.dictionary(); }
+  /// Read-only access to the store/dictionary, pinned against concurrent
+  /// mutation for the lifetime of the returned view.
+  StoreView read_view() const {
+    return StoreView(std::shared_lock<std::shared_mutex>(store_mu_), &store_);
+  }
   std::size_t store_size() const;
 
   std::uint64_t generation() const {

@@ -39,7 +39,8 @@ std::vector<std::string> Sp2bQueryTexts() {
 std::string Render(const Engine& engine, const QueryResponse& response) {
   const plan::PlannedQuery& planned = response.planned->planned;
   return planned.plan.ToString(planned.query) + "\n" +
-         response.result->table.ToString(planned.query, engine.dictionary(),
+         response.result->table.ToString(planned.query,
+                                         engine.read_view().dictionary(),
                                          response.result->table.rows);
 }
 

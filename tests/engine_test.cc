@@ -33,8 +33,8 @@ std::vector<std::string> Names(const Engine& engine,
   const plan::PlannedQuery& planned = response.planned->planned;
   std::vector<std::string> out;
   for (const auto& row : hsparql::testing::ToResultBag(
-           response.result->table, planned.query, engine.dictionary(),
-           planned.query.projection)) {
+           response.result->table, planned.query,
+           engine.read_view().dictionary(), planned.query.projection)) {
     out.push_back(row.at(0));
   }
   return out;
@@ -57,6 +57,47 @@ TEST(NormalizeQueryTextTest, PreservesWhitespaceInsideLiterals) {
   EXPECT_EQ(NormalizeQueryText("'it  is'   x"), "'it  is' x");
   // Unterminated literal: the rest of the text is taken verbatim.
   EXPECT_EQ(NormalizeQueryText("\"open  ended"), "\"open  ended");
+}
+
+TEST(NormalizeQueryTextTest, StripsLineComments) {
+  // A comment acts as a token separator (the lexer skips it like
+  // whitespace), so it normalizes to a single space.
+  EXPECT_EQ(NormalizeQueryText("SELECT ?x # pick x\nWHERE { ?x <p> ?y }"),
+            "SELECT ?x WHERE { ?x <p> ?y }");
+  EXPECT_EQ(NormalizeQueryText("?x#c\n?y"), "?x ?y");
+  // Trailing comment without a final newline.
+  EXPECT_EQ(NormalizeQueryText("?x <p> ?y # trailing"), "?x <p> ?y");
+  // Comment-only text.
+  EXPECT_EQ(NormalizeQueryText("# nothing here"), "");
+}
+
+TEST(NormalizeQueryTextTest, HashInsideLiteralsAndIrisIsNotAComment) {
+  EXPECT_EQ(NormalizeQueryText("{ ?x <p> \"a # b\"  }"),
+            "{ ?x <p> \"a # b\" }");
+  EXPECT_EQ(NormalizeQueryText("{ ?x <http://e/p#frag>  ?y }"),
+            "{ ?x <http://e/p#frag> ?y }");
+}
+
+TEST(NormalizeQueryTextTest, CommentPlacementKeepsQueriesApart) {
+  // REVIEW regression: these parse to two patterns vs. one (the second
+  // comment swallows the second pattern), so they must not share a key.
+  const std::string two_patterns =
+      "SELECT ?x WHERE { ?s ?p ?x . # n\n?x ?q ?y }";
+  const std::string one_pattern =
+      "SELECT ?x WHERE { ?s ?p ?x . # n ?x ?q ?y\n}";
+  EXPECT_NE(NormalizeQueryText(two_patterns), NormalizeQueryText(one_pattern));
+  EXPECT_EQ(NormalizeQueryText(two_patterns),
+            "SELECT ?x WHERE { ?s ?p ?x . ?x ?q ?y }");
+  EXPECT_EQ(NormalizeQueryText(one_pattern),
+            "SELECT ?x WHERE { ?s ?p ?x . }");
+}
+
+TEST(NormalizeQueryTextTest, LessThanComparisonIsNotAnIriOpener) {
+  // Mirrors the lexer's heuristic: '<' before whitespace, '=', '?', '"'
+  // or a digit is a comparison, so a comment after it is still stripped.
+  EXPECT_EQ(NormalizeQueryText("FILTER(?y < 5) # tail\n?a ?b ?c"),
+            "FILTER(?y < 5) ?a ?b ?c");
+  EXPECT_EQ(NormalizeQueryText("FILTER(?y <= ?z)"), "FILTER(?y <= ?z)");
 }
 
 TEST(NormalizeQueryTextTest, EquivalentTextsShareOneKey) {
@@ -239,6 +280,35 @@ TEST(EngineTest, CancelledTokenReturnsDeadlineExceeded) {
   auto after = engine.Query(kChainQuery);
   ASSERT_TRUE(after.ok()) << after.status();
   EXPECT_EQ(after->rows(), 2u);
+}
+
+TEST(CancelTokenTest, ExpiryIsLatched) {
+  // REVIEW regression: extending the deadline after a worker observed
+  // expiry must not flip Expired() back to false — a truncated result
+  // would otherwise be reported (and cached) as complete.
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  ASSERT_TRUE(token.Expired());
+  token.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(1));
+  EXPECT_TRUE(token.Expired());
+
+  // An unexpired token can still have its deadline extended freely.
+  CancelToken fresh;
+  fresh.SetTimeout(std::chrono::hours(1));
+  EXPECT_FALSE(fresh.Expired());
+  fresh.SetTimeout(std::chrono::hours(2));
+  EXPECT_FALSE(fresh.Expired());
+}
+
+TEST(CancelTokenTest, ParentExpiryLatchesChild) {
+  CancelToken parent;
+  CancelToken child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.Expired());
+  parent.Cancel();
+  EXPECT_TRUE(child.Expired());
 }
 
 TEST(EngineTest, TimeoutChainsOntoCallerToken) {
