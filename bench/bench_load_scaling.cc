@@ -1,0 +1,356 @@
+// Bulk-load pipeline scaling: N-Triples parse + dictionary merge and the
+// six-ordering sort at 1/2/4/8 threads against the serial loader, plus
+// incremental AddTriples (PrepareAdd/Apply + statistics preview) against
+// the full decode-and-rebuild it replaced, across dataset sizes. Every
+// parallel load is checked to produce a byte-identical dictionary, triple
+// sequence and six relations (the pipeline's determinism guarantee), so
+// the numbers are speedup with correctness pinned. Ends with a
+// machine-readable JSON summary, optionally mirrored to --json=path.
+//
+// Flags: --triples=N (default 200000), --runs=N (default 3),
+//        --quick (smaller dataset, fewer runs; relaxes the perf gates),
+//        --json=path (write the JSON summary to a file as well).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "rdf/ntriples.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "workload/sp2bench_gen.h"
+
+namespace hsparql {
+namespace {
+
+using TermTriple = std::array<rdf::Term, 3>;
+
+/// One timed load+index run at a thread count.
+struct LoadPoint {
+  double load_ms = 0.0;
+  double split_ms = 0.0;
+  double parse_ms = 0.0;
+  double merge_ms = 0.0;
+  double build_ms = 0.0;
+  double total_ms() const { return load_ms + build_ms; }
+};
+
+bool SameGraph(const rdf::Graph& a, const rdf::Graph& b) {
+  if (a.dictionary().size() != b.dictionary().size()) return false;
+  for (rdf::TermId id = 0; id < a.dictionary().size(); ++id) {
+    if (!(a.dictionary().Get(id) == b.dictionary().Get(id))) return false;
+  }
+  return a.triples() == b.triples();
+}
+
+bool SameStore(const storage::TripleStore& a, const storage::TripleStore& b) {
+  if (a.size() != b.size()) return false;
+  for (storage::Ordering ordering : storage::kAllOrderings) {
+    auto ra = a.BaseRelation(ordering);
+    auto rb = b.BaseRelation(ordering);
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (!(ra[i] == rb[i])) return false;
+    }
+  }
+  return true;
+}
+
+/// Mean over `runs` load+build runs at `threads` (first run dropped when
+/// runs > 1), stage breakdown from the loader's own LoadStats.
+LoadPoint MeasureLoad(const std::string& text, std::size_t threads,
+                      int runs) {
+  LoadPoint mean;
+  int counted = 0;
+  for (int run = 0; run < runs; ++run) {
+    rdf::Graph graph;
+    rdf::LoadOptions options;
+    options.num_threads = threads;
+    rdf::LoadStats stats;
+    WallTimer timer;
+    auto count = rdf::ReadNTriplesString(text, &graph, options, &stats);
+    const double load_ms = timer.ElapsedMillis();
+    if (!count.ok()) {
+      std::cerr << "load failed: " << count.status() << "\n";
+      std::abort();
+    }
+    timer.Start();
+    storage::TripleStore store =
+        storage::TripleStore::Build(std::move(graph), threads);
+    const double build_ms = timer.ElapsedMillis();
+    if (run == 0 && runs > 1) continue;  // cold run
+    ++counted;
+    mean.load_ms += load_ms;
+    mean.split_ms += stats.split_millis;
+    mean.parse_ms += stats.parse_millis;
+    mean.merge_ms += stats.merge_millis;
+    mean.build_ms += build_ms;
+  }
+  mean.load_ms /= counted;
+  mean.split_ms /= counted;
+  mean.parse_ms /= counted;
+  mean.merge_ms /= counted;
+  mean.build_ms /= counted;
+  return mean;
+}
+
+/// A batch of ~ratio * store-size brand-new triples: fresh subjects with
+/// predicates/objects sampled from the live dataset.
+std::vector<TermTriple> NewTripleBatch(const storage::TripleStore& store,
+                                       double ratio, std::uint64_t seed) {
+  const std::size_t n =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(store.size()) * ratio));
+  const storage::TripleView all = store.Scan(storage::Ordering::kSpo);
+  SplitMix64 rng(seed);
+  std::vector<TermTriple> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const rdf::Triple t = all[rng.NextBounded(all.size())];
+    batch.push_back(TermTriple{
+        rdf::Term::Iri("bench:new" + std::to_string(i)),
+        store.dictionary().Get(t.p), store.dictionary().Get(t.o)});
+  }
+  return batch;
+}
+
+/// The pre-incremental mutation path: decode the whole store back into a
+/// Graph, append the batch, rebuild all six orderings and recompute
+/// statistics from scratch.
+double RebuildMillis(const storage::TripleStore& store,
+                     const std::vector<TermTriple>& batch,
+                     std::uint64_t* sink) {
+  WallTimer timer;
+  rdf::Graph graph;
+  const rdf::Dictionary& dict = store.dictionary();
+  graph.dictionary().Reserve(dict.size());
+  for (rdf::TermId id = 0; id < dict.size(); ++id) {
+    graph.dictionary().Intern(dict.Get(id));
+  }
+  graph.ReserveTriples(store.size() + batch.size());
+  for (const rdf::Triple& t : store.Scan(storage::Ordering::kSpo)) {
+    graph.Add(t);
+  }
+  for (const TermTriple& t : batch) graph.Add(t[0], t[1], t[2]);
+  storage::TripleStore rebuilt =
+      storage::TripleStore::Build(std::move(graph));
+  storage::Statistics stats = storage::Statistics::Compute(rebuilt);
+  *sink += rebuilt.size() + stats.total_triples();
+  return timer.ElapsedMillis();
+}
+
+/// The incremental path AddTriples now takes: stage outside the lock,
+/// preview statistics, O(new terms)+swap apply.
+double IncrementalMillis(storage::TripleStore& store,
+                         const std::vector<TermTriple>& batch,
+                         std::uint64_t* sink) {
+  WallTimer timer;
+  storage::TripleStore::PendingUpdate update = store.PrepareAdd(batch);
+  storage::Statistics stats = storage::Statistics::Compute(store, update);
+  store.Apply(std::move(update));
+  *sink += store.size() + stats.total_triples();
+  return timer.ElapsedMillis();
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t triples =
+      flags.GetInt("triples", quick ? 60000 : 200000);
+  const int runs = static_cast<int>(flags.GetInt("runs", quick ? 2 : 3));
+  const std::string json_path = flags.GetString("json", "");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::cout << "== Load scaling: parse + dictionary merge + six-ordering "
+               "sort, serial vs 1/2/4/8 threads ==\n\n";
+
+  rdf::Graph source = workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(triples));
+  std::string text;
+  {
+    std::ostringstream os;
+    rdf::WriteNTriples(source, os);
+    text = std::move(os).str();
+  }
+  std::cerr << "# SP2Bench-like document: " << FormatCount(source.size())
+            << " triples, " << text.size() / (1024 * 1024) << " MiB\n";
+
+  // Untimed serial reference for the byte-identity checks.
+  rdf::Graph serial_graph;
+  if (auto count = rdf::ReadNTriplesString(text, &serial_graph);
+      !count.ok()) {
+    std::cerr << "serial load failed: " << count.status() << "\n";
+    return 1;
+  }
+  const std::size_t loaded_triples = serial_graph.size();
+  storage::TripleStore serial_store =
+      storage::TripleStore::Build(std::move(serial_graph));
+
+  bool identical = true;
+  const std::size_t kThreadCounts[] = {1, 2, 4, 8};
+  for (std::size_t threads : kThreadCounts) {
+    rdf::Graph graph;
+    rdf::LoadOptions options;
+    options.num_threads = threads;
+    if (auto count = rdf::ReadNTriplesString(text, &graph, options);
+        !count.ok()) {
+      std::cerr << "parallel load @" << threads
+                << " failed: " << count.status() << "\n";
+      return 1;
+    }
+    rdf::Graph reference;
+    if (!rdf::ReadNTriplesString(text, &reference).ok()) return 1;
+    if (!SameGraph(reference, graph)) {
+      std::cerr << "FAIL: load @" << threads
+                << " threads is not byte-identical to serial\n";
+      identical = false;
+    }
+    storage::TripleStore store =
+        storage::TripleStore::Build(std::move(graph), threads);
+    if (!SameStore(serial_store, store)) {
+      std::cerr << "FAIL: build @" << threads
+                << " threads diverges from the serial relations\n";
+      identical = false;
+    }
+  }
+
+  bench::TablePrinter table({"threads", "parse ms", "(split/parse/merge)",
+                             "index ms", "total ms", "Ktriples/s",
+                             "speedup"});
+  std::ostringstream json;
+  json << "{\"bench\":\"load_scaling\",\"dataset\":\"sp2bench\",\"triples\":"
+       << loaded_triples << ",\"bytes\":" << text.size()
+       << ",\"runs\":" << runs << ",\"quick\":" << (quick ? "true" : "false")
+       << ",\"hardware_concurrency\":" << hw << ",\"load\":[";
+
+  const LoadPoint serial_point = MeasureLoad(text, 0, runs);
+  double speedup_at_8 = 1.0;
+  bool first_json = true;
+  auto add_point = [&](const std::string& label, std::size_t threads,
+                       const LoadPoint& p) {
+    const double speedup =
+        p.total_ms() > 0 ? serial_point.total_ms() / p.total_ms() : 0.0;
+    const double ktps = p.total_ms() > 0
+                            ? static_cast<double>(loaded_triples) /
+                                  p.total_ms()
+                            : 0.0;
+    table.AddRow({label, bench::Fmt(p.load_ms, 1),
+                  bench::Fmt(p.split_ms, 1) + "/" +
+                      bench::Fmt(p.parse_ms, 1) + "/" +
+                      bench::Fmt(p.merge_ms, 1),
+                  bench::Fmt(p.build_ms, 1), bench::Fmt(p.total_ms(), 1),
+                  bench::Fmt(ktps, 0), bench::Fmt(speedup, 2) + "x"});
+    if (!first_json) json << ",";
+    first_json = false;
+    json << "{\"threads\":" << threads << ",\"load_ms\":"
+         << bench::Fmt(p.load_ms, 3) << ",\"split_ms\":"
+         << bench::Fmt(p.split_ms, 3) << ",\"parse_ms\":"
+         << bench::Fmt(p.parse_ms, 3) << ",\"merge_ms\":"
+         << bench::Fmt(p.merge_ms, 3) << ",\"build_ms\":"
+         << bench::Fmt(p.build_ms, 3) << ",\"total_ms\":"
+         << bench::Fmt(p.total_ms(), 3) << ",\"speedup\":"
+         << bench::Fmt(speedup, 3) << "}";
+    return speedup;
+  };
+  add_point("serial", 0, serial_point);
+  for (std::size_t threads : kThreadCounts) {
+    const LoadPoint p = MeasureLoad(text, threads, runs);
+    const double speedup =
+        add_point(std::to_string(threads) + "T", threads, p);
+    if (threads == 8) speedup_at_8 = speedup;
+  }
+  table.Print();
+  json << "],\"add\":[";
+
+  std::cout << "\n== AddTriples: incremental PrepareAdd/Apply vs full "
+               "decode-and-rebuild, 1% new triples ==\n\n";
+  bench::TablePrinter add_table({"base triples", "batch", "rebuild ms",
+                                 "incremental ms", "ratio"});
+  std::uint64_t sink = 0;
+  double worst_ratio = 0.0;
+  bool have_ratio = false;
+  std::vector<std::uint64_t> sizes =
+      quick ? std::vector<std::uint64_t>{triples}
+            : std::vector<std::uint64_t>{triples / 4, triples / 2, triples};
+  first_json = true;
+  for (std::uint64_t size : sizes) {
+    rdf::Graph graph = workload::GenerateSp2b(
+        workload::Sp2bConfig::FromTargetTriples(size));
+    storage::TripleStore store =
+        storage::TripleStore::Build(std::move(graph));
+    const std::vector<TermTriple> batch = NewTripleBatch(store, 0.01, size);
+    const double rebuild_ms = RebuildMillis(store, batch, &sink);
+    const double incremental_ms = IncrementalMillis(store, batch, &sink);
+    const double ratio =
+        incremental_ms > 0 ? rebuild_ms / incremental_ms : 0.0;
+    if (!have_ratio || ratio < worst_ratio) worst_ratio = ratio;
+    have_ratio = true;
+    add_table.AddRow({std::to_string(store.base_size()),
+                      std::to_string(batch.size()),
+                      bench::Fmt(rebuild_ms, 1),
+                      bench::Fmt(incremental_ms, 2),
+                      bench::Fmt(ratio, 1) + "x"});
+    if (!first_json) json << ",";
+    first_json = false;
+    json << "{\"base_triples\":" << store.base_size() << ",\"batch\":"
+         << batch.size() << ",\"rebuild_ms\":" << bench::Fmt(rebuild_ms, 3)
+         << ",\"incremental_ms\":" << bench::Fmt(incremental_ms, 3)
+         << ",\"ratio\":" << bench::Fmt(ratio, 3) << "}";
+  }
+  add_table.Print();
+
+  // Gates. Byte-identity is unconditional; the 3x load-speedup gate needs
+  // at least 8 cores to be meaningful, and --quick (CI smoke artifact)
+  // only reports.
+  const bool gate_speedup = !quick && hw >= 8;
+  const bool speedup_ok = !gate_speedup || speedup_at_8 >= 3.0;
+  const bool gate_add = !quick;
+  const bool add_ok = !gate_add || (have_ratio && worst_ratio >= 5.0);
+  json << "],\"identical\":" << (identical ? "true" : "false")
+       << ",\"speedup_at_8\":" << bench::Fmt(speedup_at_8, 3)
+       << ",\"speedup_gate_active\":" << (gate_speedup ? "true" : "false")
+       << ",\"min_add_ratio\":" << bench::Fmt(worst_ratio, 3)
+       << ",\"add_gate_active\":" << (gate_add ? "true" : "false") << "}";
+
+  std::cout << "\nProtocol: " << runs
+            << " load+index runs per point, first (cold) run dropped; "
+            << "parallel runs verified byte-identical to the\nserial "
+            << "loader (dictionary ids, triple order, all six relations). "
+            << "Speedup is bounded by the machine's cores\n"
+            << "(hardware_concurrency = " << hw << " here).\n\n"
+            << json.str() << "\n";
+  std::cerr << "# checksum " << sink << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    if (!out) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      return 1;
+    }
+  }
+  if (!identical) {
+    std::cerr << "FAIL: parallel load is not byte-identical\n";
+    return 1;
+  }
+  if (!speedup_ok) {
+    std::cerr << "FAIL: load speedup at 8 threads " << speedup_at_8
+              << "x < 3x\n";
+    return 1;
+  }
+  if (!add_ok) {
+    std::cerr << "FAIL: incremental AddTriples only " << worst_ratio
+              << "x faster than rebuild (< 5x)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsparql
+
+int main(int argc, char** argv) { return hsparql::Run(argc, argv); }

@@ -42,6 +42,14 @@ bool Flags::GetBool(std::string_view name, bool def) const {
   return def;
 }
 
+std::string Flags::GetString(std::string_view name,
+                             std::string_view def) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return v;
+  }
+  return std::string(def);
+}
+
 std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
                               std::uint64_t target_triples) {
   WallTimer timer;

@@ -25,6 +25,7 @@ class Flags {
 
   std::uint64_t GetInt(std::string_view name, std::uint64_t def) const;
   bool GetBool(std::string_view name, bool def) const;
+  std::string GetString(std::string_view name, std::string_view def) const;
 
  private:
   std::vector<std::pair<std::string, std::string>> values_;

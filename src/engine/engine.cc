@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "lint/plan_lint.h"
 #include "rdf/graph.h"
 #include "storage/ordering.h"
@@ -346,26 +347,37 @@ Result<QueryResponse> Engine::ExecutePrepared(
 
 Status Engine::AddTriples(
     std::span<const std::array<rdf::Term, 3>> triples) {
-  std::unique_lock<std::shared_mutex> store_lock(store_mu_);
+  // Writers serialise on mutation_mu_ so the staging phase can run under a
+  // *shared* store lock: queries keep executing while the delta levels and
+  // the new statistics are built. The exclusive lock is then held only for
+  // Apply's O(new terms) interning plus six vector swaps.
+  std::lock_guard<std::mutex> writer_lock(mutation_mu_);
 
-  // The store is immutable by design (six sorted relations), so mutation
-  // is a rebuild: decode the current triples through the old dictionary,
-  // re-intern everything plus the additions, and sort again.
-  rdf::Graph graph;
-  const rdf::Dictionary& dict = store_.dictionary();
-  for (const rdf::Triple& t : store_.Scan(storage::Ordering::kSpo)) {
-    graph.Add(dict.Get(t.s), dict.Get(t.p), dict.Get(t.o));
+  storage::TripleStore::PendingUpdate update;
+  std::optional<storage::Statistics> new_stats;
+  {
+    std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+    const std::size_t threads = ThreadPool::Shared().num_workers() + 1;
+    update = store_.PrepareAdd(triples, threads);
+    if (!update.no_change()) {
+      new_stats.emplace(storage::Statistics::Compute(store_, update));
+    }
   }
-  for (const std::array<rdf::Term, 3>& t : triples) {
-    graph.Add(t[0], t[1], t[2]);
+
+  std::unique_lock<std::shared_mutex> store_lock(store_mu_);
+  if (!update.no_change()) {
+    store_.Apply(std::move(update));
+    stats_ = std::move(new_stats);
   }
-  store_ = storage::TripleStore::Build(std::move(graph));
-  stats_.emplace(storage::Statistics::Compute(store_));
+  // The generation bumps even for a pure-duplicate batch (pre-existing
+  // semantics: every AddTriples call invalidates), keeping callers'
+  // generation arithmetic stable.
   InvalidateForMutation();
   return Status::OK();
 }
 
 void Engine::ReplaceStore(storage::TripleStore&& store) {
+  std::lock_guard<std::mutex> writer_lock(mutation_mu_);
   std::unique_lock<std::shared_mutex> store_lock(store_mu_);
   store_ = std::move(store);
   stats_.emplace(storage::Statistics::Compute(store_));

@@ -202,9 +202,12 @@ class Engine {
   /// was prepared with. Thread-safe; the handle may be reused and shared.
   Result<QueryResponse> ExecutePrepared(const PreparedQuery& prepared) const;
 
-  /// Adds triples to the dataset (rebuilding the six sorted relations and
-  /// the statistics — O(n log n), a bulk-load path, not an OLTP one),
-  /// bumps the store generation and drops every cached plan.
+  /// Adds triples to the dataset incrementally: the sorted delta levels
+  /// (and the new statistics) are staged under a shared lock, concurrently
+  /// with in-flight queries, and the exclusive lock is held only for the
+  /// O(new terms) swap — readers stall for microseconds, not for a
+  /// rebuild. Bumps the store generation and drops every cached plan.
+  /// Concurrent AddTriples calls are serialised against each other.
   Status AddTriples(std::span<const std::array<rdf::Term, 3>> triples);
 
   /// Swaps in a different dataset; same invalidation as AddTriples.
@@ -266,6 +269,12 @@ class Engine {
                                 const CancelToken* deadline) const;
 
   EngineOptions options_;
+
+  /// Serialises writers (AddTriples/ReplaceStore) against each other, so
+  /// each can stage its update under a *shared* store lock — PrepareAdd's
+  /// provisional TermIds are only valid if no other writer interleaves.
+  /// Lock order: mutation_mu_ before store_mu_.
+  mutable std::mutex mutation_mu_;
 
   /// Guards store_ and stats_: queries shared, mutations exclusive.
   mutable std::shared_mutex store_mu_;

@@ -180,7 +180,7 @@ class PlanRunner {
       }
       ++k;
     }
-    std::span<const Triple> range;
+    storage::TripleView range;
     if (!impossible) {
       range = store_->LookupPrefix(node->ordering, prefix);
     }
@@ -234,9 +234,13 @@ class PlanRunner {
     // `dst`; runs serially or once per morsel.
     auto scan_range = [&](std::size_t lo, std::size_t hi,
                           BindingTable* dst) {
-      for (std::size_t r = lo; r < hi; ++r) {
+      // One O(log n) seek into the merged view, then forward iteration —
+      // morsels over a store with a delta level never pay a per-row merge
+      // lookup.
+      storage::TripleView::iterator it = range.IteratorAt(lo);
+      for (std::size_t r = lo; r < hi; ++r, ++it) {
         if ((r & kCancelCheckMask) == 0 && Expired()) return;
-        const Triple& t = range[r];
+        const Triple& t = *it;
         bool keep = true;
         for (const auto& [pos, id] : residual_consts) {
           if (t.at(pos) != id) {

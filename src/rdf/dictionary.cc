@@ -1,24 +1,48 @@
 #include "rdf/dictionary.h"
 
 #include <cassert>
+#include <utility>
 
 namespace hsparql::rdf {
 
-TermId Dictionary::Intern(const Term& term) {
-  Key key{term.kind, term.lexical};
-  auto it = index_.find(key);
+TermId Dictionary::Intern(TermKind kind, std::string_view lexical) {
+  auto it = index_.find(KeyView{kind, lexical});
   if (it != index_.end()) return it->second;
   assert(terms_.size() < kInvalidTermId);
   TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(term);
+  terms_.push_back(Term{kind, std::string(lexical)});
+  index_.emplace(Key{kind, std::string(lexical)}, id);
+  return id;
+}
+
+TermId Dictionary::Intern(Term&& term) {
+  auto it = index_.find(KeyView{term.kind, term.lexical});
+  if (it != index_.end()) return it->second;
+  assert(terms_.size() < kInvalidTermId);
+  TermId id = static_cast<TermId>(terms_.size());
+  Key key{term.kind, term.lexical};  // index keeps its own copy
+  terms_.push_back(std::move(term));
   index_.emplace(std::move(key), id);
   return id;
 }
 
-std::optional<TermId> Dictionary::Find(const Term& term) const {
-  auto it = index_.find(Key{term.kind, term.lexical});
+std::optional<TermId> Dictionary::Find(TermKind kind,
+                                       std::string_view lexical) const {
+  auto it = index_.find(KeyView{kind, lexical});
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+void Dictionary::Reserve(std::size_t n) {
+  terms_.reserve(n);
+  index_.reserve(n);
+}
+
+std::vector<Term> Dictionary::TakeTerms() {
+  index_.clear();
+  std::vector<Term> out = std::move(terms_);
+  terms_.clear();
+  return out;
 }
 
 }  // namespace hsparql::rdf

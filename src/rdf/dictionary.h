@@ -19,6 +19,10 @@ namespace hsparql::rdf {
 
 /// Bidirectional Term <-> TermId map. Interning is append-only; ids are
 /// dense and stable for the lifetime of the dictionary.
+///
+/// Lookups are heterogeneous: (kind, string_view) probes the index without
+/// materialising a Term or a std::string, so the hit path of InternIri /
+/// InternLiteral / Find is allocation-free.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -30,19 +34,26 @@ class Dictionary {
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
-  /// Returns the id of `term`, interning it if new.
-  TermId Intern(const Term& term);
+  /// Returns the id of the term, interning it if new.
+  TermId Intern(const Term& term) { return Intern(term.kind, term.lexical); }
+  /// Same, moving the lexical form into the dictionary on a miss.
+  TermId Intern(Term&& term);
+  /// Same, from the components (allocates only on a miss).
+  TermId Intern(TermKind kind, std::string_view lexical);
 
-  /// Convenience wrappers.
+  /// Convenience wrappers; allocation-free when the term is already known.
   TermId InternIri(std::string_view iri) {
-    return Intern(Term::Iri(std::string(iri)));
+    return Intern(TermKind::kIri, iri);
   }
   TermId InternLiteral(std::string_view value) {
-    return Intern(Term::Literal(std::string(value)));
+    return Intern(TermKind::kLiteral, value);
   }
 
-  /// Id of `term` if already interned.
-  std::optional<TermId> Find(const Term& term) const;
+  /// Id of the term if already interned. Never allocates.
+  std::optional<TermId> Find(const Term& term) const {
+    return Find(term.kind, term.lexical);
+  }
+  std::optional<TermId> Find(TermKind kind, std::string_view lexical) const;
 
   /// The term for an id; id must be valid.
   const Term& Get(TermId id) const { return terms_[id]; }
@@ -52,21 +63,51 @@ class Dictionary {
 
   std::size_t size() const { return terms_.size(); }
 
+  /// Pre-sizes both the term vector and the hash index for `n` total
+  /// entries. The bulk loader calls this before its merge pass.
+  void Reserve(std::size_t n);
+
+  /// Destructively moves out every interned term, in id order, leaving the
+  /// dictionary empty. Used by the parallel loader to migrate a chunk's
+  /// staging dictionary into the global one without copying the strings.
+  std::vector<Term> TakeTerms();
+
  private:
   struct Key {
     TermKind kind;
     std::string lexical;
-    friend bool operator==(const Key&, const Key&) = default;
+  };
+  /// Heterogeneous probe: same identity as Key, no owned string.
+  struct KeyView {
+    TermKind kind;
+    std::string_view lexical;
   };
   struct KeyHash {
+    using is_transparent = void;
     std::size_t operator()(const Key& k) const {
-      return std::hash<std::string>()(k.lexical) * 3 +
-             static_cast<std::size_t>(k.kind);
+      return Mix(k.kind, k.lexical);
+    }
+    std::size_t operator()(const KeyView& k) const {
+      return Mix(k.kind, k.lexical);
+    }
+    static std::size_t Mix(TermKind kind, std::string_view lexical) {
+      // std::hash<string_view> agrees with std::hash<string> on equal
+      // content, so owned keys and view probes land in the same bucket.
+      return std::hash<std::string_view>()(lexical) * 3 +
+             static_cast<std::size_t>(kind);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return a.kind == b.kind &&
+             std::string_view(a.lexical) == std::string_view(b.lexical);
     }
   };
 
   std::vector<Term> terms_;
-  std::unordered_map<Key, TermId, KeyHash> index_;
+  std::unordered_map<Key, TermId, KeyHash, KeyEq> index_;
 };
 
 }  // namespace hsparql::rdf

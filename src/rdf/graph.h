@@ -2,6 +2,7 @@
 #ifndef HSPARQL_RDF_GRAPH_H_
 #define HSPARQL_RDF_GRAPH_H_
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -25,6 +26,15 @@ class Graph {
   /// Adds an encoded triple (ids must come from this graph's dictionary).
   void Add(Triple t) { triples_.push_back(t); }
 
+  /// Bulk-appends encoded triples (ids must come from this graph's
+  /// dictionary). Used by the parallel loader after its remap pass.
+  void Append(std::span<const Triple> triples) {
+    triples_.insert(triples_.end(), triples.begin(), triples.end());
+  }
+
+  /// Pre-sizes the triple vector for `n` total triples.
+  void ReserveTriples(std::size_t n) { triples_.reserve(n); }
+
   /// Interns the terms and adds the triple.
   Triple Add(const Term& s, const Term& p, const Term& o);
 
@@ -38,6 +48,14 @@ class Graph {
 
   const std::vector<Triple>& triples() const { return triples_; }
   std::size_t size() const { return triples_.size(); }
+
+  /// Destructively moves out the triple vector (the dictionary stays).
+  /// TripleStore::Build uses this to avoid copying the whole dataset.
+  std::vector<Triple> TakeTriples() {
+    std::vector<Triple> out = std::move(triples_);
+    triples_.clear();
+    return out;
+  }
 
  private:
   Dictionary dict_;

@@ -1,8 +1,12 @@
 #include "rdf/ntriples.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace hsparql::rdf {
 
@@ -126,6 +130,161 @@ class LineParser {
   std::size_t pos_ = 0;
 };
 
+/// Parses the getline-style lines of `text` into `graph`, numbering them
+/// from `first_line`. The final line may lack a trailing newline;
+/// StripWhitespace absorbs CRLF endings — both exactly as the istream
+/// path, so a chunk parsed here behaves as if it were the whole document
+/// starting at line `first_line` (including error message text).
+Result<std::size_t> ParseLines(std::string_view text, std::size_t first_line,
+                               Graph* graph) {
+  std::size_t count = 0;
+  std::size_t line_no = first_line;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        eol == std::string_view::npos ? text.substr(pos)
+                                      : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    std::string_view body = StripWhitespace(line);
+    if (body.empty() || body.front() == '#') {
+      ++line_no;
+      continue;
+    }
+    LineParser parser(body, line_no);
+    ++line_no;
+    HSPARQL_ASSIGN_OR_RETURN(Term s, parser.ParseTerm());
+    HSPARQL_ASSIGN_OR_RETURN(Term p, parser.ParseTerm());
+    HSPARQL_ASSIGN_OR_RETURN(Term o, parser.ParseTerm());
+    if (!s.is_iri() || !p.is_iri()) {
+      return parser.Error("subject and predicate must be IRIs");
+    }
+    HSPARQL_RETURN_IF_ERROR(parser.ExpectDot());
+    graph->Add(s, p, o);
+    ++count;
+  }
+  return count;
+}
+
+/// Splits `text` into up to ~`target` chunks whose boundaries fall
+/// immediately after a newline, so no line straddles two chunks. The last
+/// chunk may lack a trailing newline (like the document itself).
+std::vector<std::string_view> SplitChunksAtNewlines(std::string_view text,
+                                                    std::size_t target) {
+  std::vector<std::string_view> chunks;
+  if (text.empty()) return chunks;
+  const std::size_t approx =
+      std::max<std::size_t>(1, text.size() / std::max<std::size_t>(1, target));
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = begin + approx;
+    if (end >= text.size()) {
+      end = text.size();
+    } else {
+      const std::size_t nl = text.find('\n', end);
+      end = nl == std::string_view::npos ? text.size() : nl + 1;
+    }
+    chunks.push_back(text.substr(begin, end - begin));
+    begin = end;
+  }
+  return chunks;
+}
+
+/// One chunk's staging state: a private Graph (own dictionary, local ids)
+/// plus the first error, if any.
+struct ParsedChunk {
+  Graph graph;
+  Status error;
+  std::size_t triples = 0;
+};
+
+Result<std::size_t> ReadParallel(std::string_view text, Graph* graph,
+                                 const LoadOptions& options,
+                                 LoadStats* stats) {
+  ThreadPool& pool = ThreadPool::Shared();
+  WallTimer timer;
+
+  // Stage 1: newline-boundary chunking, plus a newline count per chunk so
+  // every chunk knows its global starting line number up front (errors can
+  // then be formatted exactly like the serial path, in place).
+  const std::size_t target_chunks = options.num_threads * 4;
+  std::vector<std::string_view> chunks =
+      SplitChunksAtNewlines(text, target_chunks);
+  std::vector<std::size_t> newlines(chunks.size(), 0);
+  pool.ParallelFor(0, chunks.size(), 1, [&](std::size_t c) {
+    newlines[c] = static_cast<std::size_t>(
+        std::count(chunks[c].begin(), chunks[c].end(), '\n'));
+  });
+  std::vector<std::size_t> first_line(chunks.size(), 1);
+  for (std::size_t c = 1; c < chunks.size(); ++c) {
+    first_line[c] = first_line[c - 1] + newlines[c - 1];
+  }
+  if (stats != nullptr) {
+    stats->chunks = chunks.size();
+    stats->lines = 0;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      stats->lines += newlines[c];
+    }
+    if (!text.empty() && text.back() != '\n') ++stats->lines;
+    stats->split_millis = timer.ElapsedMillis();
+  }
+
+  // Stage 2: parse every chunk concurrently into its own staging graph.
+  // Chunk-local TermIds are first-occurrence order within the chunk.
+  WallTimer parse_timer;
+  std::vector<ParsedChunk> parsed(chunks.size());
+  pool.ParallelFor(0, chunks.size(), 1, [&](std::size_t c) {
+    auto result = ParseLines(chunks[c], first_line[c], &parsed[c].graph);
+    if (result.ok()) {
+      parsed[c].triples = *result;
+    } else {
+      parsed[c].error = result.status();
+    }
+  });
+  // The earliest failing chunk holds the document's first error.
+  for (const ParsedChunk& p : parsed) {
+    if (!p.error.ok()) return p.error;
+  }
+  if (stats != nullptr) stats->parse_millis = parse_timer.ElapsedMillis();
+
+  // Stage 3: deterministic merge. Interning each chunk's staged terms in
+  // chunk order reproduces the serial first-occurrence order exactly, so
+  // the global ids are byte-identical to the serial path. The remap of the
+  // chunk triples onto global ids is data-parallel again.
+  WallTimer merge_timer;
+  Dictionary& dict = graph->dictionary();
+  std::size_t staged_terms = 0;
+  std::size_t total_triples = 0;
+  for (const ParsedChunk& p : parsed) {
+    staged_terms += p.graph.dictionary().size();
+    total_triples += p.triples;
+  }
+  dict.Reserve(dict.size() + staged_terms);
+  graph->ReserveTriples(graph->size() + total_triples);
+
+  std::vector<std::vector<TermId>> remap(parsed.size());
+  std::vector<std::vector<Triple>> chunk_triples(parsed.size());
+  for (std::size_t c = 0; c < parsed.size(); ++c) {
+    std::vector<Term> terms = parsed[c].graph.dictionary().TakeTerms();
+    remap[c].reserve(terms.size());
+    for (Term& term : terms) remap[c].push_back(dict.Intern(std::move(term)));
+    chunk_triples[c] = parsed[c].graph.TakeTriples();
+  }
+  pool.ParallelFor(0, parsed.size(), 1, [&](std::size_t c) {
+    const std::vector<TermId>& m = remap[c];
+    for (Triple& t : chunk_triples[c]) {
+      t.s = m[t.s];
+      t.p = m[t.p];
+      t.o = m[t.o];
+    }
+  });
+  for (const std::vector<Triple>& triples : chunk_triples) {
+    graph->Append(triples);
+  }
+  if (stats != nullptr) stats->merge_millis = merge_timer.ElapsedMillis();
+  return total_triples;
+}
+
 }  // namespace
 
 Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph) {
@@ -150,9 +309,35 @@ Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph) {
   return count;
 }
 
+Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph,
+                                 const LoadOptions& options,
+                                 LoadStats* stats) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadNTriplesString(buffer.view(), graph, options, stats);
+}
+
 Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph) {
-  std::istringstream in{std::string(text)};
-  return ReadNTriples(in, graph);
+  return ParseLines(text, /*first_line=*/1, graph);
+}
+
+Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph,
+                                       const LoadOptions& options,
+                                       LoadStats* stats) {
+  if (stats != nullptr) *stats = LoadStats{};
+  if (options.num_threads <= 1) {
+    WallTimer timer;
+    auto result = ParseLines(text, /*first_line=*/1, graph);
+    if (stats != nullptr) {
+      stats->chunks = 1;
+      stats->lines = static_cast<std::size_t>(
+          std::count(text.begin(), text.end(), '\n'));
+      if (!text.empty() && text.back() != '\n') ++stats->lines;
+      stats->parse_millis = timer.ElapsedMillis();
+    }
+    return result;
+  }
+  return ReadParallel(text, graph, options, stats);
 }
 
 std::string EscapeLiteral(std::string_view value) {

@@ -5,9 +5,17 @@
 // literals, optional `@lang` / `^^<datatype>` suffixes (accepted, folded
 // into the plain literal), `_:b` blank nodes (skolemised to IRIs), `#`
 // comment lines and blank lines.
+//
+// The loader can parse chunk-parallel on common::ThreadPool::Shared()
+// (LoadOptions::num_threads >= 2): the document is split at newline
+// boundaries, chunks are parsed concurrently into thread-local staging
+// dictionaries, and a deterministic merge pass interns the staged terms in
+// chunk order — so TermId assignment (and every downstream relation) is
+// byte-identical to the serial path. See DESIGN.md §"Load pipeline".
 #ifndef HSPARQL_RDF_NTRIPLES_H_
 #define HSPARQL_RDF_NTRIPLES_H_
 
+#include <cstddef>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -19,12 +27,46 @@
 
 namespace hsparql::rdf {
 
+/// Tuning knobs for the bulk loader.
+struct LoadOptions {
+  /// Parse with this many threads; 0 or 1 selects the serial path. Values
+  /// >= 2 use common::ThreadPool::Shared() (the pool load-balances, so
+  /// this is a chunking hint, not a hard thread count).
+  std::size_t num_threads = 0;
+};
+
+/// Stage timings of one load, for bench_load_scaling and diagnostics.
+struct LoadStats {
+  /// Chunks the document was split into (1 on the serial path).
+  std::size_t chunks = 0;
+  /// Physical lines in the document (including blank/comment lines).
+  std::size_t lines = 0;
+  /// Newline-boundary chunking + per-chunk line counting.
+  double split_millis = 0.0;
+  /// Wall time of the (parallel) chunk parse.
+  double parse_millis = 0.0;
+  /// Dictionary merge, TermId remap and triple append.
+  double merge_millis = 0.0;
+};
+
 /// Parses N-Triples text into `graph`, appending triples. Returns the
 /// number of triples read, or a ParseError naming the offending line.
 Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph);
 
+/// Same, with loader options; with num_threads >= 2 the stream is slurped
+/// and parsed chunk-parallel. Error messages (including line numbers) and
+/// the resulting graph are byte-identical to the serial overload.
+Result<std::size_t> ReadNTriples(std::istream& in, Graph* graph,
+                                 const LoadOptions& options,
+                                 LoadStats* stats = nullptr);
+
 /// Convenience overload over an in-memory document.
 Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph);
+
+/// Same, with loader options (the parallel entry point).
+Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph,
+                                       const LoadOptions& options,
+                                       LoadStats* stats = nullptr);
 
 /// Serialises all triples of `graph` in N-Triples syntax (with literal
 /// escaping). The output round-trips through ReadNTriples.

@@ -38,7 +38,7 @@ std::array<TermId, 3> Prioritise(const Triple& t,
 
 }  // namespace
 
-CompressedRelation CompressedRelation::Build(std::span<const Triple> triples,
+CompressedRelation CompressedRelation::Build(const TripleView& triples,
                                              Ordering ordering) {
   CompressedRelation rel;
   rel.ordering_ = ordering;
@@ -46,12 +46,14 @@ CompressedRelation CompressedRelation::Build(std::span<const Triple> triples,
   const auto positions = OrderingPositions(ordering);
 
   std::array<TermId, 3> prev = {0, 0, 0};
-  for (std::size_t i = 0; i < triples.size(); ++i) {
+  TripleView::iterator it = triples.begin();
+  for (std::size_t i = 0; i < triples.size(); ++i, ++it) {
+    const Triple& triple = *it;
     if (i % kBlockSize == 0) {
       rel.block_offsets_.push_back(rel.bytes_.size());
-      rel.block_heads_.push_back(triples[i]);
+      rel.block_heads_.push_back(triple);
       // Blocks are self-contained: the head is stored absolute.
-      std::array<TermId, 3> c = Prioritise(triples[i], positions);
+      std::array<TermId, 3> c = Prioritise(triple, positions);
       rel.bytes_.push_back(0);
       PutVarint(c[0], &rel.bytes_);
       PutVarint(c[1], &rel.bytes_);
@@ -59,7 +61,7 @@ CompressedRelation CompressedRelation::Build(std::span<const Triple> triples,
       prev = c;
       continue;
     }
-    std::array<TermId, 3> c = Prioritise(triples[i], positions);
+    std::array<TermId, 3> c = Prioritise(triple, positions);
     std::uint8_t first_change = 0;
     while (first_change < 3 && c[first_change] == prev[first_change]) {
       ++first_change;

@@ -25,6 +25,7 @@
 #include "rdf/triple.h"
 #include "storage/ordering.h"
 #include "storage/triple_store.h"
+#include "storage/triple_view.h"
 
 namespace hsparql::storage {
 
@@ -33,10 +34,14 @@ class CompressedRelation {
  public:
   static constexpr std::size_t kBlockSize = 1024;
 
-  /// Compresses `triples`, which must already be sorted by `ordering` and
-  /// deduplicated.
-  static CompressedRelation Build(std::span<const rdf::Triple> triples,
+  /// Compresses `triples` (a merged store view or a plain span), which
+  /// must already be sorted by `ordering` and deduplicated.
+  static CompressedRelation Build(const TripleView& triples,
                                   Ordering ordering);
+  static CompressedRelation Build(std::span<const rdf::Triple> triples,
+                                  Ordering ordering) {
+    return Build(TripleView(triples, ordering), ordering);
+  }
 
   Ordering ordering() const { return ordering_; }
   std::size_t size() const { return count_; }

@@ -9,12 +9,31 @@ using rdf::TermId;
 using rdf::Triple;
 
 Statistics Statistics::Compute(const TripleStore& store) {
-  Statistics stats(&store);
-  stats.total_triples_ = store.size();
+  return ComputeFromViews(&store, store.Scan(Ordering::kSpo),
+                          store.Scan(Ordering::kPso),
+                          store.Scan(Ordering::kPos),
+                          store.Scan(Ordering::kOps));
+}
+
+Statistics Statistics::Compute(const TripleStore& store,
+                               const TripleStore::PendingUpdate& update) {
+  return ComputeFromViews(&store, store.Preview(update, Ordering::kSpo),
+                          store.Preview(update, Ordering::kPso),
+                          store.Preview(update, Ordering::kPos),
+                          store.Preview(update, Ordering::kOps));
+}
+
+Statistics Statistics::ComputeFromViews(const TripleStore* store,
+                                        const TripleView& spo,
+                                        const TripleView& pso,
+                                        const TripleView& pos_rel,
+                                        const TripleView& ops) {
+  Statistics stats(store);
+  stats.total_triples_ = spo.size();
 
   // Distinct subjects from spo, predicates from pso, objects from ops: the
   // position is the major sort key, so distinct values are run boundaries.
-  auto count_runs = [](std::span<const Triple> rel, Position pos) {
+  auto count_runs = [](const TripleView& rel, Position pos) {
     std::uint64_t runs = 0;
     TermId prev = rdf::kInvalidTermId;
     for (const Triple& t : rel) {
@@ -27,15 +46,15 @@ Statistics Statistics::Compute(const TripleStore& store) {
     return runs;
   };
   stats.distinct_[static_cast<std::size_t>(Position::kSubject)] =
-      count_runs(store.Scan(Ordering::kSpo), Position::kSubject);
+      count_runs(spo, Position::kSubject);
   stats.distinct_[static_cast<std::size_t>(Position::kPredicate)] =
-      count_runs(store.Scan(Ordering::kPso), Position::kPredicate);
+      count_runs(pso, Position::kPredicate);
   stats.distinct_[static_cast<std::size_t>(Position::kObject)] =
-      count_runs(store.Scan(Ordering::kOps), Position::kObject);
+      count_runs(ops, Position::kObject);
 
   // Per-predicate stats from pso (distinct subjects per predicate run) and
   // pos (distinct objects per predicate run).
-  auto per_predicate = [&stats](std::span<const Triple> rel, Position minor,
+  auto per_predicate = [&stats](const TripleView& rel, Position minor,
                                 bool record_count) {
     TermId current_p = rdf::kInvalidTermId;
     TermId prev_v = rdf::kInvalidTermId;
@@ -58,10 +77,8 @@ Statistics Statistics::Compute(const TripleStore& store) {
       }
     }
   };
-  per_predicate(store.Scan(Ordering::kPso), Position::kSubject,
-                /*record_count=*/true);
-  per_predicate(store.Scan(Ordering::kPos), Position::kObject,
-                /*record_count=*/false);
+  per_predicate(pso, Position::kSubject, /*record_count=*/true);
+  per_predicate(pos_rel, Position::kObject, /*record_count=*/false);
   return stats;
 }
 

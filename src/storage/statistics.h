@@ -34,6 +34,13 @@ class Statistics {
   /// One pass over three of the sorted relations.
   static Statistics Compute(const TripleStore& store);
 
+  /// Statistics for the state `store` will be in once `update` is applied
+  /// (TripleStore::Preview views). Computable under a shared lock while
+  /// readers still see the old state; ExactCount keeps delegating to the
+  /// live store, so install the result only after Apply.
+  static Statistics Compute(const TripleStore& store,
+                            const TripleStore::PendingUpdate& update);
+
   std::uint64_t total_triples() const { return total_triples_; }
 
   /// Global distinct values at a position (|S|, |P| or |O|).
@@ -59,6 +66,14 @@ class Statistics {
 
  private:
   explicit Statistics(const TripleStore* store) : store_(store) {}
+
+  /// Shared core: distinct counts and per-predicate aggregates from merged
+  /// views of the spo/pso/pos/ops orderings.
+  static Statistics ComputeFromViews(const TripleStore* store,
+                                     const TripleView& spo,
+                                     const TripleView& pso,
+                                     const TripleView& pos,
+                                     const TripleView& ops);
 
   const TripleStore* store_;
   std::uint64_t total_triples_ = 0;

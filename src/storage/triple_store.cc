@@ -2,54 +2,142 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace hsparql::storage {
 
 using rdf::Position;
 using rdf::Triple;
 
-TripleStore TripleStore::Build(rdf::Graph&& graph) {
-  TripleStore store;
-  // Deduplicate once on the spo order, then derive the other five.
-  std::vector<Triple> base = graph.triples();
-  std::sort(base.begin(), base.end());
-  base.erase(std::unique(base.begin(), base.end()), base.end());
+namespace {
 
-  for (Ordering ordering : kAllOrderings) {
-    auto& rel = store.relations_[static_cast<std::size_t>(ordering)];
-    rel = base;
-    if (ordering != Ordering::kSpo) {
-      std::sort(rel.begin(), rel.end(), OrderingLess(ordering));
+/// Minimum elements per parallel sort/merge chunk: below this the
+/// scheduling overhead beats the win and everything runs serially inline.
+constexpr std::size_t kParallelSortGrain = 1024;
+
+/// Merges sorted `a` and `b` into `out` (sized |a|+|b|), splitting the
+/// output into `parts` equal rank ranges via MergeSelect so every range is
+/// an independent task. Serial fallback when the input is small or no pool
+/// is given. Stable (a before b on ties), so the result is byte-identical
+/// to std::merge.
+void ParallelMergeInto(std::span<const Triple> a, std::span<const Triple> b,
+                       Triple* out, const OrderingLess& less, ThreadPool* pool,
+                       std::size_t parts) {
+  const std::size_t total = a.size() + b.size();
+  if (pool == nullptr || parts <= 1 || total < 2 * kParallelSortGrain) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out, less);
+    return;
+  }
+  parts = std::min(parts, total / kParallelSortGrain);
+  pool->ParallelFor(0, parts, 1, [&](std::size_t s) {
+    const std::size_t k0 = total * s / parts;
+    const std::size_t k1 = total * (s + 1) / parts;
+    const std::size_t i0 = MergeSelect(a, b, k0, less);
+    const std::size_t i1 = MergeSelect(a, b, k1, less);
+    std::merge(a.begin() + static_cast<std::ptrdiff_t>(i0),
+               a.begin() + static_cast<std::ptrdiff_t>(i1),
+               b.begin() + static_cast<std::ptrdiff_t>(k0 - i0),
+               b.begin() + static_cast<std::ptrdiff_t>(k1 - i1),
+               out + static_cast<std::ptrdiff_t>(k0), less);
+  });
+}
+
+/// Sorts `v` under `less`: serial std::sort, or — with a pool — a chunk
+/// sort followed by rounds of pairwise parallel merges. Byte-identical to
+/// the serial sort (equal Triples are bitwise identical, so every sorted
+/// permutation of the multiset is the same byte sequence).
+void SortLevel(std::vector<Triple>* v, const OrderingLess& less,
+               ThreadPool* pool, std::size_t parts) {
+  const std::size_t n = v->size();
+  if (pool != nullptr && parts > 1) {
+    parts = std::min(parts, n / kParallelSortGrain);
+  }
+  if (pool == nullptr || parts <= 1) {
+    std::sort(v->begin(), v->end(), less);
+    return;
+  }
+
+  // Run boundaries: bounds[r] .. bounds[r+1] is run r.
+  std::vector<std::size_t> bounds(parts + 1);
+  for (std::size_t s = 0; s <= parts; ++s) bounds[s] = n * s / parts;
+  pool->ParallelFor(0, parts, 1, [&](std::size_t s) {
+    std::sort(v->begin() + static_cast<std::ptrdiff_t>(bounds[s]),
+              v->begin() + static_cast<std::ptrdiff_t>(bounds[s + 1]), less);
+  });
+
+  std::vector<Triple> scratch(n);
+  std::vector<Triple>* src = v;
+  std::vector<Triple>* dst = &scratch;
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next;
+    next.reserve(bounds.size() / 2 + 2);
+    next.push_back(0);
+    std::size_t r = 0;
+    for (; r + 2 < bounds.size(); r += 2) {
+      std::span<const Triple> a(src->data() + bounds[r],
+                                bounds[r + 1] - bounds[r]);
+      std::span<const Triple> b(src->data() + bounds[r + 1],
+                                bounds[r + 2] - bounds[r + 1]);
+      ParallelMergeInto(a, b, dst->data() + bounds[r], less, pool, parts);
+      next.push_back(bounds[r + 2]);
     }
+    if (r + 1 < bounds.size()) {
+      // Odd run count: the last run passes through unmerged.
+      std::copy(src->begin() + static_cast<std::ptrdiff_t>(bounds[r]),
+                src->end(),
+                dst->begin() + static_cast<std::ptrdiff_t>(bounds[r]));
+      next.push_back(n);
+    }
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != v) *v = std::move(*src);
+}
+
+/// The five orderings derived from the sorted spo base.
+constexpr std::array<Ordering, 5> kDerivedOrderings = {
+    Ordering::kSop, Ordering::kPso, Ordering::kPos, Ordering::kOsp,
+    Ordering::kOps};
+
+}  // namespace
+
+TripleStore TripleStore::Build(rdf::Graph&& graph, std::size_t num_threads) {
+  TripleStore store;
+  ThreadPool* pool = num_threads >= 2 ? &ThreadPool::Shared() : nullptr;
+  const std::size_t parts = pool != nullptr ? num_threads : 1;
+
+  // Deduplicate once on the spo order, then derive the other five from the
+  // already-sorted copy (moved, not copied, into its slot).
+  std::vector<Triple> base = graph.TakeTriples();
+  SortLevel(&base, OrderingLess(Ordering::kSpo), pool, parts);
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  store.relations_[static_cast<std::size_t>(Ordering::kSpo)] =
+      std::move(base);
+  const std::vector<Triple>& spo =
+      store.relations_[static_cast<std::size_t>(Ordering::kSpo)];
+
+  auto build_one = [&](std::size_t i) {
+    const Ordering ordering = kDerivedOrderings[i];
+    auto& rel = store.relations_[static_cast<std::size_t>(ordering)];
+    rel.reserve(spo.size());
+    rel.assign(spo.begin(), spo.end());
+    SortLevel(&rel, OrderingLess(ordering), pool, parts);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, kDerivedOrderings.size(), 1, build_one);
+  } else {
+    for (std::size_t i = 0; i < kDerivedOrderings.size(); ++i) build_one(i);
   }
   store.dict_ = std::move(graph.dictionary());
   return store;
 }
 
-std::span<const Triple> TripleStore::LookupPrefix(
-    Ordering ordering, std::span<const Binding> bindings) const {
-  std::span<const Triple> rel = Scan(ordering);
-  if (bindings.empty()) return rel;
-  assert(bindings.size() <= 3);
-
+std::span<const Triple> TripleStore::PrefixRange(
+    std::span<const Triple> rel, Ordering ordering,
+    const std::array<rdf::TermId, 3>& probe, std::size_t k) {
   const auto positions = OrderingPositions(ordering);
-  // The bound positions must cover a prefix of the sort priority; build the
-  // probe values in priority order.
-  std::array<rdf::TermId, 3> probe{};
-  for (std::size_t i = 0; i < bindings.size(); ++i) {
-    bool found = false;
-    for (const Binding& b : bindings) {
-      if (b.position == positions[i]) {
-        probe[i] = b.value;
-        found = true;
-        break;
-      }
-    }
-    assert(found && "bindings must form a prefix of the ordering");
-    if (!found) return {};
-  }
-
-  const std::size_t k = bindings.size();
   auto less = [&](const Triple& t, const std::array<rdf::TermId, 3>& key) {
     for (std::size_t i = 0; i < k; ++i) {
       rdf::TermId x = t.at(positions[i]);
@@ -70,6 +158,34 @@ std::span<const Triple> TripleStore::LookupPrefix(
                      static_cast<std::size_t>(hi - lo));
 }
 
+TripleView TripleStore::LookupPrefix(Ordering ordering,
+                                     std::span<const Binding> bindings) const {
+  if (bindings.empty()) return Scan(ordering);
+  assert(bindings.size() <= 3);
+
+  const auto positions = OrderingPositions(ordering);
+  // The bound positions must cover a prefix of the sort priority; build the
+  // probe values in priority order.
+  std::array<rdf::TermId, 3> probe{};
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    bool found = false;
+    for (const Binding& b : bindings) {
+      if (b.position == positions[i]) {
+        probe[i] = b.value;
+        found = true;
+        break;
+      }
+    }
+    assert(found && "bindings must form a prefix of the ordering");
+    if (!found) return TripleView();
+  }
+
+  const std::size_t idx = static_cast<std::size_t>(ordering);
+  const std::size_t k = bindings.size();
+  return TripleView(PrefixRange(relations_[idx], ordering, probe, k),
+                    PrefixRange(deltas_[idx], ordering, probe, k), ordering);
+}
+
 std::size_t TripleStore::CountMatching(
     std::span<const Binding> bindings) const {
   if (bindings.empty()) return size();
@@ -81,8 +197,107 @@ std::size_t TripleStore::CountMatching(
 }
 
 bool TripleStore::Contains(const Triple& triple) const {
-  const auto& rel = relations_[static_cast<std::size_t>(Ordering::kSpo)];
-  return std::binary_search(rel.begin(), rel.end(), triple);
+  const auto idx = static_cast<std::size_t>(Ordering::kSpo);
+  return std::binary_search(relations_[idx].begin(), relations_[idx].end(),
+                            triple) ||
+         std::binary_search(deltas_[idx].begin(), deltas_[idx].end(), triple);
+}
+
+TripleStore::PendingUpdate TripleStore::PrepareAdd(
+    std::span<const std::array<rdf::Term, 3>> triples,
+    std::size_t num_threads) const {
+  PendingUpdate update;
+  ThreadPool* pool = num_threads >= 2 ? &ThreadPool::Shared() : nullptr;
+  const std::size_t parts = pool != nullptr ? num_threads : 1;
+
+  // 1. Resolve term ids. Unknown terms get provisional ids continuing the
+  // current dictionary; Apply interns them in the same order, so the
+  // provisional ids become real — this is why writers must be serialised.
+  rdf::Dictionary staged;
+  auto resolve = [&](const rdf::Term& term) {
+    if (auto id = dict_.Find(term)) return *id;
+    assert(dict_.size() + staged.size() < rdf::kInvalidTermId);
+    return static_cast<rdf::TermId>(dict_.size() + staged.Intern(term));
+  };
+  std::vector<Triple> batch;
+  batch.reserve(triples.size());
+  for (const std::array<rdf::Term, 3>& t : triples) {
+    batch.push_back(Triple{resolve(t[0]), resolve(t[1]), resolve(t[2])});
+  }
+
+  // 2. Deduplicate within the batch and against the store. A triple with a
+  // provisional id can never be present, so every staged term survives.
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  std::erase_if(batch, [&](const Triple& t) { return Contains(t); });
+  update.new_terms = staged.TakeTerms();
+  update.added = batch.size();
+  if (batch.empty()) {
+    assert(update.new_terms.empty());
+    return update;
+  }
+
+  // 3. Would the grown delta cross the compaction threshold? Then stage
+  // fully-merged base relations instead (one linear merge per ordering) —
+  // this also covers the empty-base bootstrap, keeping deltas empty after
+  // the first Apply on a fresh store.
+  const std::size_t grown = deltas_[0].size() + batch.size();
+  update.compacted = grown * kCompactionRatio >= relations_[0].size();
+
+  // 4. Stage the six levels: sort the batch per ordering (spo is already
+  // sorted), fold in the existing delta, and — when compacting — merge
+  // with the base. Each ordering is an independent pool task.
+  auto stage_one = [&](std::size_t i) {
+    const Ordering ordering = kAllOrderings[i];
+    const OrderingLess less(ordering);
+    std::vector<Triple> sorted_batch(batch.begin(), batch.end());
+    if (ordering != Ordering::kSpo) {
+      SortLevel(&sorted_batch, less, pool, parts);
+    }
+    const auto& delta = deltas_[i];
+    std::vector<Triple> combined(delta.size() + sorted_batch.size());
+    std::merge(delta.begin(), delta.end(), sorted_batch.begin(),
+               sorted_batch.end(), combined.begin(), less);
+    if (!update.compacted) {
+      update.levels[i] = std::move(combined);
+      return;
+    }
+    const auto& rel = relations_[i];
+    std::vector<Triple> merged(rel.size() + combined.size());
+    ParallelMergeInto(rel, combined, merged.data(), less, pool, parts);
+    update.levels[i] = std::move(merged);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, kNumOrderings, 1, stage_one);
+  } else {
+    for (std::size_t i = 0; i < kNumOrderings; ++i) stage_one(i);
+  }
+  return update;
+}
+
+void TripleStore::Apply(PendingUpdate&& update) {
+  for (rdf::Term& term : update.new_terms) {
+    const rdf::TermId id = dict_.Intern(std::move(term));
+    (void)id;
+    assert(id + 1 == dict_.size() &&
+           "PrepareAdd's provisional ids must match interning order");
+  }
+  update.new_terms.clear();
+  if (update.added == 0) return;
+  if (update.compacted) {
+    relations_ = std::move(update.levels);
+    for (auto& delta : deltas_) delta.clear();
+  } else {
+    deltas_ = std::move(update.levels);
+  }
+}
+
+TripleView TripleStore::Preview(const PendingUpdate& update,
+                                Ordering ordering) const {
+  const auto i = static_cast<std::size_t>(ordering);
+  if (update.added == 0) return Scan(ordering);
+  if (update.compacted) return TripleView(update.levels[i], ordering);
+  return TripleView(relations_[i], update.levels[i], ordering);
 }
 
 std::vector<IndexRange> SplitAtKeyBoundaries(
@@ -120,6 +335,39 @@ std::vector<std::span<const Triple>> SplitAtKeyBoundaries(
   std::vector<std::span<const Triple>> chunks;
   for (const IndexRange& r : SplitAtKeyBoundaries(keys, parts)) {
     chunks.push_back(sorted_relation.subspan(r.begin, r.size()));
+  }
+  return chunks;
+}
+
+std::vector<IndexRange> SplitAtKeyBoundaries(const TripleView& view,
+                                             rdf::Position key_position,
+                                             std::size_t parts) {
+  std::vector<IndexRange> chunks;
+  const std::size_t n = view.size();
+  if (n == 0 || parts == 0) return chunks;
+  chunks.reserve(std::min(parts, n));
+  // Merged upper_bound of a key = the sum of the per-level upper_bounds;
+  // valid because key_position is the major sort key of both levels.
+  auto upper = [key_position](std::span<const Triple> level,
+                              rdf::TermId key) {
+    return static_cast<std::size_t>(
+        std::upper_bound(level.begin(), level.end(), key,
+                         [key_position](rdf::TermId k, const Triple& t) {
+                           return k < t.at(key_position);
+                         }) -
+        level.begin());
+  };
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts && begin < n; ++p) {
+    std::size_t target = n * (p + 1) / parts;
+    if (target <= begin) continue;
+    std::size_t end = n;
+    if (target < n) {
+      const rdf::TermId key = view[target - 1].at(key_position);
+      end = upper(view.base(), key) + upper(view.delta(), key);
+    }
+    chunks.push_back(IndexRange{begin, end});
+    begin = end;
   }
   return chunks;
 }

@@ -4,6 +4,14 @@
 // order of the (deduplicated) triple table is materialised as a sorted
 // vector, and selections are evaluated by binary search over the bound
 // prefix of an ordering ("logarithmic for binary search in MonetDB", §6.2).
+//
+// Since PR 4 each ordering is a two-level structure: an immutable sorted
+// base plus a small sorted delta holding incrementally added triples.
+// Reads (Scan/LookupPrefix) return a TripleView that merges the levels on
+// the fly; a size-ratio-triggered compaction folds the delta back into the
+// base with one O(n+m) merge per ordering. Bulk construction can fan the
+// sorts out over common::ThreadPool::Shared() — the result is
+// byte-identical to the serial build.
 #ifndef HSPARQL_STORAGE_TRIPLE_STORE_H_
 #define HSPARQL_STORAGE_TRIPLE_STORE_H_
 
@@ -16,6 +24,7 @@
 #include "rdf/graph.h"
 #include "rdf/triple.h"
 #include "storage/ordering.h"
+#include "storage/triple_view.h"
 
 namespace hsparql::storage {
 
@@ -26,51 +35,117 @@ struct Binding {
   rdf::TermId value;
 };
 
-/// Immutable store over a dataset. Construction sorts the data six ways;
-/// all reads are lock-free and allocation-free.
+/// Store over a dataset: six sorted relations, each a base level plus a
+/// sorted delta level. All reads are lock-free and allocation-free; the
+/// only mutation is the two-phase PrepareAdd (read-only, can run
+/// concurrently with readers) / Apply (requires external exclusive
+/// locking, O(new terms) + vector swaps).
 class TripleStore {
  public:
+  /// Delta threshold: a delta holding >= base/kCompactionRatio triples is
+  /// folded into the base during PrepareAdd (one linear merge per
+  /// ordering), keeping merge-on-read overhead bounded.
+  static constexpr std::size_t kCompactionRatio = 4;
+
   /// Builds a store from `graph`, consuming it (the dictionary moves into
-  /// the store). Duplicate triples are removed.
-  static TripleStore Build(rdf::Graph&& graph);
+  /// the store). Duplicate triples are removed. With `num_threads` >= 2
+  /// the sorts run chunk-parallel on common::ThreadPool::Shared()
+  /// (selection-split parallel merges), producing byte-identical relations
+  /// to the serial build.
+  static TripleStore Build(rdf::Graph&& graph, std::size_t num_threads = 0);
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
   TripleStore(TripleStore&&) = default;
   TripleStore& operator=(TripleStore&&) = default;
 
-  /// Number of distinct triples.
-  std::size_t size() const { return relations_[0].size(); }
+  /// Number of distinct triples (base + delta).
+  std::size_t size() const { return base_size() + delta_size(); }
+  std::size_t base_size() const { return relations_[0].size(); }
+  std::size_t delta_size() const { return deltas_[0].size(); }
 
   const rdf::Dictionary& dictionary() const { return dict_; }
   rdf::Dictionary& mutable_dictionary() { return dict_; }
 
-  /// The full sorted relation for an ordering.
-  std::span<const rdf::Triple> Scan(Ordering ordering) const {
+  /// The full sorted relation for an ordering, merged over both levels.
+  TripleView Scan(Ordering ordering) const {
+    const auto i = static_cast<std::size_t>(ordering);
+    return TripleView(relations_[i], deltas_[i], ordering);
+  }
+
+  /// The base level of an ordering as a contiguous span — for consumers
+  /// that require raw storage (compression, pointer-based splitting).
+  /// Equals Scan() whenever delta_size() == 0.
+  std::span<const rdf::Triple> BaseRelation(Ordering ordering) const {
     return relations_[static_cast<std::size_t>(ordering)];
   }
 
-  /// All triples whose components match every binding, as a contiguous
-  /// range of the given ordering. The bound positions must form a prefix of
-  /// the ordering's sort priority (0, 1 or 2 leading positions): with 0
-  /// bindings this is Scan(); with more, an equal_range binary search.
-  /// Returns an empty span when nothing matches.
-  std::span<const rdf::Triple> LookupPrefix(
-      Ordering ordering, std::span<const Binding> bindings) const;
+  /// All triples whose components match every binding, as a merged range
+  /// of the given ordering. The bound positions must form a prefix of the
+  /// ordering's sort priority (0, 1 or 2 leading positions): with 0
+  /// bindings this is Scan(); with more, an equal_range binary search per
+  /// level. Returns an empty view when nothing matches.
+  TripleView LookupPrefix(Ordering ordering,
+                          std::span<const Binding> bindings) const;
 
   /// Exact number of triples matching the bindings (any subset of
   /// positions; picks an ordering where they form a prefix). This is the
   /// information RDF-3X's aggregated indexes provide.
   std::size_t CountMatching(std::span<const Binding> bindings) const;
 
-  /// True if the (fully bound) triple exists.
+  /// True if the (fully bound) triple exists in either level.
   bool Contains(const rdf::Triple& triple) const;
+
+  /// The staged, not-yet-visible product of an incremental add: the terms
+  /// to intern and the six replacement levels. Built entirely outside the
+  /// store by PrepareAdd; Apply swaps it in.
+  struct PendingUpdate {
+    /// Terms absent from the dictionary, in first-occurrence order; Apply
+    /// interns them, which must yield ids dict.size(), dict.size()+1, ...
+    std::vector<rdf::Term> new_terms;
+    /// When `compacted`: the six merged base relations replacing both
+    /// levels. Otherwise: the six new delta levels (old delta ∪ additions).
+    std::array<std::vector<rdf::Triple>, kNumOrderings> levels;
+    bool compacted = false;
+    /// Distinct genuinely-new triples (not in the store, deduplicated).
+    std::size_t added = 0;
+
+    bool no_change() const { return added == 0; }
+  };
+
+  /// Stages `triples` for insertion: resolves/assigns TermIds (new terms
+  /// get provisional ids following the current dictionary), drops triples
+  /// already present, sorts the survivors six ways, merges them with the
+  /// current delta and — when the delta outgrows base/kCompactionRatio —
+  /// pre-merges everything into fresh base relations. Read-only: safe to
+  /// run concurrently with readers, but writers must be serialised
+  /// externally (provisional ids assume no interleaving PrepareAdd).
+  /// With `num_threads` >= 2 the six orderings are staged as pool tasks.
+  PendingUpdate PrepareAdd(std::span<const std::array<rdf::Term, 3>> triples,
+                           std::size_t num_threads = 0) const;
+
+  /// Installs a staged update: interns the new terms and swaps the level
+  /// vectors. O(new terms) plus six vector moves — callers hold their
+  /// exclusive lock only for this. The update must come from a PrepareAdd
+  /// on this store with no intervening mutation.
+  void Apply(PendingUpdate&& update);
+
+  /// The merged view this store will present for `ordering` once `update`
+  /// is applied — statistics are recomputed against this preview while
+  /// readers still see the old state.
+  TripleView Preview(const PendingUpdate& update, Ordering ordering) const;
 
  private:
   TripleStore() = default;
 
+  /// equal_range of the bound prefix over one sorted level.
+  static std::span<const rdf::Triple> PrefixRange(
+      std::span<const rdf::Triple> rel, Ordering ordering,
+      const std::array<rdf::TermId, 3>& probe, std::size_t k);
+
   rdf::Dictionary dict_;
   std::array<std::vector<rdf::Triple>, kNumOrderings> relations_;
+  std::array<std::vector<rdf::Triple>, kNumOrderings> deltas_;
 };
 
 /// Chooses an ordering whose sort priority starts with exactly the given
@@ -101,6 +176,13 @@ std::vector<IndexRange> SplitAtKeyBoundaries(
 std::vector<std::span<const rdf::Triple>> SplitAtKeyBoundaries(
     std::span<const rdf::Triple> sorted_relation, rdf::Position key_position,
     std::size_t parts);
+
+/// Same, over a merged view whose major sort key is the component at
+/// `key_position`. Returns merged-rank ranges: chunk [begin, end) of the
+/// view's merged order, consumable via TripleView::IteratorAt(begin).
+std::vector<IndexRange> SplitAtKeyBoundaries(const TripleView& view,
+                                             rdf::Position key_position,
+                                             std::size_t parts);
 
 }  // namespace hsparql::storage
 

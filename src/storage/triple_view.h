@@ -1,0 +1,188 @@
+// TripleView: a merged read view over a base relation and its sorted
+// delta level, presented as one sorted sequence without materialising the
+// merge. This is what TripleStore::Scan / LookupPrefix hand out once the
+// store supports incremental maintenance: readers see base ∪ delta in
+// collation order; only compaction ever rewrites the base.
+//
+// The two levels are disjoint (PrepareAdd dedupes incoming triples against
+// the merged view), so the iterator never has to break ties; the
+// comparator still prefers the base element on equality, which makes the
+// view a *stable* merge (base first) and lets MergeSelect double as the
+// work-splitting primitive for the parallel sort's merge phase, where the
+// inputs are not disjoint.
+#ifndef HSPARQL_STORAGE_TRIPLE_VIEW_H_
+#define HSPARQL_STORAGE_TRIPLE_VIEW_H_
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <span>
+
+#include "rdf/triple.h"
+#include "storage/ordering.h"
+
+namespace hsparql::storage {
+
+/// Given two sorted ranges `a` and `b` and a rank 0 <= k <= |a|+|b|,
+/// returns the unique i such that the first k elements of the *stable*
+/// merge of a and b (a-elements before equal b-elements) are exactly
+/// a[0, i) ∪ b[0, k-i). O(log min(|a|, |b|, k)).
+///
+/// This is the split primitive behind TripleView::IteratorAt and the
+/// parallel merge: cutting both inputs at ranks k0 < k1 yields an
+/// independent merge task producing output [k0, k1).
+template <typename T, typename Less>
+std::size_t MergeSelect(std::span<const T> a, std::span<const T> b,
+                        std::size_t k, const Less& less) {
+  assert(k <= a.size() + b.size());
+  std::size_t lo = k > b.size() ? k - b.size() : 0;
+  std::size_t hi = k < a.size() ? k : a.size();
+  while (lo < hi) {
+    const std::size_t i = lo + (hi - lo) / 2;
+    const std::size_t j = k - i;
+    // b[j-1] >= a[i] would place a[i] before b[j-1] in the stable merge,
+    // so the a-prefix must be longer.
+    if (j > 0 && i < a.size() && !less(b[j - 1], a[i])) {
+      lo = i + 1;
+    } else {
+      hi = i;
+    }
+  }
+  return lo;
+}
+
+/// Read-only merged view of one collation order: a base level plus a
+/// (possibly empty) delta level, both sorted under the same ordering and
+/// mutually disjoint. Cheap to copy (two spans and a comparator).
+class TripleView {
+ public:
+  /// Forward iterator over the merged sequence. Dereferencing returns a
+  /// reference into whichever level holds the current element.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = rdf::Triple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const rdf::Triple*;
+    using reference = const rdf::Triple&;
+
+    iterator() = default;
+
+    reference operator*() const {
+      if (delta_ == delta_end_) return *base_;
+      if (base_ == base_end_) return *delta_;
+      return less_(*delta_, *base_) ? *delta_ : *base_;
+    }
+    pointer operator->() const { return &**this; }
+
+    iterator& operator++() {
+      if (delta_ == delta_end_) {
+        ++base_;
+      } else if (base_ == base_end_) {
+        ++delta_;
+      } else if (less_(*delta_, *base_)) {
+        ++delta_;
+      } else {
+        ++base_;
+      }
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.base_ == b.base_ && a.delta_ == b.delta_;
+    }
+
+   private:
+    friend class TripleView;
+    iterator(const rdf::Triple* base, const rdf::Triple* base_end,
+             const rdf::Triple* delta, const rdf::Triple* delta_end,
+             OrderingLess less)
+        : base_(base),
+          base_end_(base_end),
+          delta_(delta),
+          delta_end_(delta_end),
+          less_(less) {}
+
+    const rdf::Triple* base_ = nullptr;
+    const rdf::Triple* base_end_ = nullptr;
+    const rdf::Triple* delta_ = nullptr;
+    const rdf::Triple* delta_end_ = nullptr;
+    OrderingLess less_{Ordering::kSpo};
+  };
+  using const_iterator = iterator;
+  using value_type = rdf::Triple;
+
+  /// Empty view.
+  TripleView() : less_(Ordering::kSpo) {}
+
+  /// Contiguous view (no delta); the ordering only matters for IteratorAt
+  /// consistency and may be defaulted by callers holding pre-sorted data.
+  explicit TripleView(std::span<const rdf::Triple> base,
+                      Ordering ordering = Ordering::kSpo)
+      : base_(base), less_(ordering) {}
+
+  /// Merged view. Both levels must be sorted under `ordering` and share no
+  /// triple.
+  TripleView(std::span<const rdf::Triple> base,
+             std::span<const rdf::Triple> delta, Ordering ordering)
+      : base_(base), delta_(delta), less_(ordering) {}
+
+  std::size_t size() const { return base_.size() + delta_.size(); }
+  bool empty() const { return base_.empty() && delta_.empty(); }
+
+  /// True when the view is a single contiguous span (empty delta) — the
+  /// common case after a bulk load or a compaction; callers with
+  /// span-specialised fast paths key off this.
+  bool contiguous() const { return delta_.empty(); }
+
+  std::span<const rdf::Triple> base() const { return base_; }
+  std::span<const rdf::Triple> delta() const { return delta_; }
+
+  iterator begin() const {
+    return iterator(base_.data(), base_.data() + base_.size(), delta_.data(),
+                    delta_.data() + delta_.size(), less_);
+  }
+  iterator end() const {
+    return iterator(base_.data() + base_.size(), base_.data() + base_.size(),
+                    delta_.data() + delta_.size(),
+                    delta_.data() + delta_.size(), less_);
+  }
+
+  /// Iterator positioned at merged rank `k` (0 <= k <= size()) in
+  /// O(log size()) — the random-access entry point morsel-parallel scans
+  /// use to start mid-view without advancing from begin().
+  iterator IteratorAt(std::size_t k) const {
+    const std::size_t i = MergeSelect(base_, delta_, k, less_);
+    return iterator(base_.data() + i, base_.data() + base_.size(),
+                    delta_.data() + (k - i), delta_.data() + delta_.size(),
+                    less_);
+  }
+
+  /// Element at merged rank `i`: O(1) when contiguous, O(log n) otherwise.
+  const rdf::Triple& operator[](std::size_t i) const {
+    if (delta_.empty()) return base_[i];
+    if (base_.empty()) return delta_[i];
+    return *IteratorAt(i);
+  }
+
+  const rdf::Triple& front() const { return (*this)[0]; }
+  const rdf::Triple& back() const {
+    if (delta_.empty()) return base_.back();
+    if (base_.empty()) return delta_.back();
+    return less_(delta_.back(), base_.back()) ? base_.back() : delta_.back();
+  }
+
+ private:
+  std::span<const rdf::Triple> base_;
+  std::span<const rdf::Triple> delta_;
+  OrderingLess less_;
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_TRIPLE_VIEW_H_

@@ -1,0 +1,278 @@
+// Parallel bulk-load pipeline tests: the chunked N-Triples parser must be
+// byte-identical to the serial path — same TermId assignment, same triple
+// order, same error messages with global line numbers — across every chunk
+// geometry, and TripleStore's parallel build must reproduce the serial
+// six relations exactly. Also covers the Dictionary satellites
+// (heterogeneous lookup, Reserve, TakeTerms).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "storage/triple_store.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql::rdf {
+namespace {
+
+using storage::Ordering;
+using storage::TripleStore;
+
+std::string Serialise(const Graph& graph) {
+  std::ostringstream os;
+  WriteNTriples(graph, os);
+  return os.str();
+}
+
+/// Graphs are equal iff the dictionaries assign identical ids to identical
+/// terms and the triple sequences match byte for byte.
+void ExpectSameGraph(const Graph& expected, const Graph& actual) {
+  ASSERT_EQ(expected.dictionary().size(), actual.dictionary().size());
+  for (TermId id = 0; id < expected.dictionary().size(); ++id) {
+    ASSERT_EQ(expected.dictionary().Get(id), actual.dictionary().Get(id))
+        << "TermId " << id << " diverged";
+  }
+  ASSERT_EQ(expected.triples(), actual.triples());
+}
+
+void ExpectParallelMatchesSerial(const std::string& text) {
+  Graph serial;
+  auto serial_count = ReadNTriplesString(text, &serial);
+  ASSERT_TRUE(serial_count.ok()) << serial_count.status();
+  for (std::size_t threads : {2u, 3u, 8u}) {
+    Graph parallel;
+    LoadStats stats;
+    auto count =
+        ReadNTriplesString(text, &parallel, LoadOptions{threads}, &stats);
+    ASSERT_TRUE(count.ok()) << count.status();
+    EXPECT_EQ(*count, *serial_count);
+    ExpectSameGraph(serial, parallel);
+  }
+}
+
+TEST(BulkLoadTest, CrlfLineEndings) {
+  const std::string text =
+      "<a> <p> <b> .\r\n"
+      "<b> <p> \"x\" .\r\n"
+      "<c> <p> <a> .\r\n";
+  Graph g;
+  auto count = ReadNTriplesString(text, &g, LoadOptions{4});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 3u);
+  ExpectParallelMatchesSerial(text);
+}
+
+TEST(BulkLoadTest, TrailingLineWithoutNewline) {
+  const std::string text =
+      "<a> <p> <b> .\n"
+      "<b> <p> <c> .";  // no final newline
+  Graph g;
+  auto count = ReadNTriplesString(text, &g, LoadOptions{4});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 2u);
+  ExpectParallelMatchesSerial(text);
+}
+
+TEST(BulkLoadTest, CommentAndBlankLines) {
+  const std::string text =
+      "# header comment\n"
+      "\n"
+      "<a> <p> <b> .\n"
+      "   \t  \n"
+      "# mid comment\n"
+      "<b> <p> <c> .\n"
+      "\n";
+  Graph g;
+  LoadStats stats;
+  auto count = ReadNTriplesString(text, &g, LoadOptions{4}, &stats);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 2u);
+  EXPECT_EQ(stats.lines, 7u);
+  ExpectParallelMatchesSerial(text);
+}
+
+TEST(BulkLoadTest, MalformedLineReportsGlobalLineNumber) {
+  // 200 lines (comments and blanks included in the numbering), with the
+  // malformed line deep enough that a 4-thread load puts it in a non-first
+  // chunk. The error must be byte-identical to the serial path's.
+  std::ostringstream os;
+  constexpr std::size_t kBadLine = 137;
+  for (std::size_t line = 1; line <= 200; ++line) {
+    if (line == kBadLine) {
+      os << "<s" << line << "> <p> no-object-here .\n";
+    } else if (line % 17 == 0) {
+      os << "# comment on line " << line << "\n";
+    } else if (line % 23 == 0) {
+      os << "\n";
+    } else {
+      os << "<s" << line << "> <p> <o" << line % 7 << "> .\n";
+    }
+  }
+  const std::string text = os.str();
+
+  Graph serial;
+  auto serial_result = ReadNTriplesString(text, &serial);
+  ASSERT_FALSE(serial_result.ok());
+  EXPECT_NE(serial_result.status().ToString().find("line 137"),
+            std::string::npos)
+      << serial_result.status();
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    Graph parallel;
+    LoadStats stats;
+    auto result =
+        ReadNTriplesString(text, &parallel, LoadOptions{threads}, &stats);
+    ASSERT_FALSE(result.ok());
+    EXPECT_GT(stats.chunks, 1u);
+    EXPECT_EQ(result.status().ToString(), serial_result.status().ToString());
+  }
+}
+
+TEST(BulkLoadTest, ErrorInFirstOfSeveralFailingChunksWins) {
+  // Two malformed lines far apart: chunked parsing hits both concurrently
+  // but must report the first in document order, like the serial path.
+  std::ostringstream os;
+  for (std::size_t line = 1; line <= 120; ++line) {
+    if (line == 31 || line == 113) {
+      os << "totally malformed\n";
+    } else {
+      os << "<s" << line << "> <p> <o> .\n";
+    }
+  }
+  const std::string text = os.str();
+  Graph serial;
+  auto serial_result = ReadNTriplesString(text, &serial);
+  ASSERT_FALSE(serial_result.ok());
+  Graph parallel;
+  auto result = ReadNTriplesString(text, &parallel, LoadOptions{4});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().ToString(), serial_result.status().ToString());
+  EXPECT_NE(result.status().ToString().find("line 31"), std::string::npos);
+}
+
+TEST(BulkLoadTest, IstreamOverloadMatchesStringOverload) {
+  const std::string text =
+      "<a> <p> <b> .\n<b> <p> <c> .\n<c> <p> \"lit\" .\n";
+  Graph expected;
+  ASSERT_TRUE(ReadNTriplesString(text, &expected).ok());
+  Graph actual;
+  std::istringstream in(text);
+  LoadStats stats;
+  auto count = ReadNTriples(in, &actual, LoadOptions{4}, &stats);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 3u);
+  EXPECT_GT(stats.chunks, 0u);
+  ExpectSameGraph(expected, actual);
+}
+
+TEST(BulkLoadTest, AppendsToNonEmptyGraphDeterministically) {
+  // Loading into a graph that already interned terms must keep existing
+  // ids and continue densely — on both paths.
+  const std::string text = "<x> <p> <a> .\n<a> <p> <y> .\n";
+  Graph serial;
+  serial.AddIri("a", "p", "b");
+  ASSERT_TRUE(ReadNTriplesString(text, &serial).ok());
+  Graph parallel;
+  parallel.AddIri("a", "p", "b");
+  ASSERT_TRUE(
+      ReadNTriplesString(text, &parallel, LoadOptions{3}).ok());
+  ExpectSameGraph(serial, parallel);
+}
+
+TEST(BulkLoadTest, Sp2bParallelLoadIsByteIdentical) {
+  rdf::Graph source =
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(20000));
+  ExpectParallelMatchesSerial(Serialise(source));
+}
+
+TEST(BulkLoadTest, YagoParallelLoadIsByteIdentical) {
+  rdf::Graph source =
+      workload::GenerateYago(workload::YagoConfig::FromTargetTriples(20000));
+  ExpectParallelMatchesSerial(Serialise(source));
+}
+
+void ExpectSameStore(const TripleStore& expected, const TripleStore& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  ASSERT_EQ(expected.dictionary().size(), actual.dictionary().size());
+  for (Ordering ordering : storage::kAllOrderings) {
+    auto e = expected.BaseRelation(ordering);
+    auto a = actual.BaseRelation(ordering);
+    ASSERT_EQ(e.size(), a.size());
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      ASSERT_EQ(e[i], a[i]) << storage::OrderingName(ordering) << "[" << i
+                            << "] diverged";
+    }
+  }
+}
+
+void ExpectParallelBuildMatchesSerial(const std::string& text) {
+  Graph g_serial;
+  ASSERT_TRUE(ReadNTriplesString(text, &g_serial).ok());
+  Graph g_parallel;
+  ASSERT_TRUE(
+      ReadNTriplesString(text, &g_parallel, LoadOptions{8}).ok());
+  TripleStore serial = TripleStore::Build(std::move(g_serial));
+  TripleStore parallel =
+      TripleStore::Build(std::move(g_parallel), /*num_threads=*/8);
+  EXPECT_EQ(parallel.delta_size(), 0u);
+  ExpectSameStore(serial, parallel);
+}
+
+TEST(BulkLoadTest, Sp2bParallelBuildProducesIdenticalRelations) {
+  rdf::Graph source =
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(20000));
+  ExpectParallelBuildMatchesSerial(Serialise(source));
+}
+
+TEST(BulkLoadTest, YagoParallelBuildProducesIdenticalRelations) {
+  rdf::Graph source =
+      workload::GenerateYago(workload::YagoConfig::FromTargetTriples(20000));
+  ExpectParallelBuildMatchesSerial(Serialise(source));
+}
+
+TEST(DictionaryTest, HeterogeneousLookupFindsInternedTerms) {
+  Dictionary dict;
+  const TermId iri = dict.InternIri("http://example.org/a");
+  const TermId lit = dict.InternLiteral("http://example.org/a");
+  EXPECT_NE(iri, lit);  // same lexical, different kind
+  EXPECT_EQ(dict.InternIri("http://example.org/a"), iri);
+  EXPECT_EQ(dict.Find(TermKind::kIri, "http://example.org/a"), iri);
+  EXPECT_EQ(dict.Find(TermKind::kLiteral, "http://example.org/a"), lit);
+  EXPECT_EQ(dict.Find(TermKind::kIri, "missing"), std::nullopt);
+  EXPECT_EQ(dict.Find(Term::Iri("http://example.org/a")), iri);
+}
+
+TEST(DictionaryTest, ReserveKeepsIdsAndContents) {
+  Dictionary dict;
+  const TermId a = dict.InternIri("a");
+  dict.Reserve(1000);
+  EXPECT_EQ(dict.InternIri("a"), a);
+  const TermId b = dict.InternIri("b");
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(dict.Get(b).lexical, "b");
+}
+
+TEST(DictionaryTest, MoveInternAndTakeTerms) {
+  Dictionary dict;
+  dict.InternIri("first");
+  const TermId second = dict.Intern(Term::Literal("second"));
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(dict.Intern(Term::Literal("second")), second);
+
+  std::vector<Term> terms = dict.TakeTerms();
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], Term::Iri("first"));
+  EXPECT_EQ(terms[1], Term::Literal("second"));
+  EXPECT_EQ(dict.size(), 0u);
+  // The emptied dictionary is reusable and restarts at id 0.
+  EXPECT_EQ(dict.InternIri("fresh"), 0u);
+}
+
+}  // namespace
+}  // namespace hsparql::rdf

@@ -34,7 +34,7 @@ rdf::Graph RandomGraph(std::size_t n, std::uint32_t s_card,
 
 TEST(CompressedTest, EmptyRelation) {
   CompressedRelation rel =
-      CompressedRelation::Build({}, Ordering::kSpo);
+      CompressedRelation::Build(TripleView(), Ordering::kSpo);
   EXPECT_EQ(rel.size(), 0u);
   EXPECT_TRUE(rel.Decompress().empty());
   EXPECT_TRUE(rel.LookupPrefix({}).empty());

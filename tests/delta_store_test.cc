@@ -1,0 +1,341 @@
+// Incremental-maintenance tests: the two-level store (sorted base + sorted
+// delta with merge-on-read) must be observationally identical to a store
+// rebuilt from scratch over the union of all inserts — across Scan,
+// LookupPrefix, CountMatching, Contains, SplitAtKeyBoundaries and
+// Statistics — and compaction must fire exactly on the size-ratio trigger.
+// Also unit-covers the MergeSelect split primitive and TripleView's
+// rank-addressed iteration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "storage/triple_view.h"
+
+namespace hsparql::storage {
+namespace {
+
+using rdf::Position;
+using rdf::Term;
+using rdf::TermId;
+using rdf::Triple;
+
+using TermTriple = std::array<Term, 3>;
+
+/// Deterministic pseudo-random (s, p, o) term triples over bounded
+/// vocabularies, so batches overlap in terms and triples.
+std::vector<TermTriple> RandomTermTriples(std::size_t n, std::uint32_t s_card,
+                                          std::uint32_t p_card,
+                                          std::uint32_t o_card,
+                                          std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<TermTriple> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(TermTriple{
+        Term::Iri("s" + std::to_string(rng.NextBounded(s_card))),
+        Term::Iri("p" + std::to_string(rng.NextBounded(p_card))),
+        rng.NextBounded(3) == 0
+            ? Term::Literal("o" + std::to_string(rng.NextBounded(o_card)))
+            : Term::Iri("o" + std::to_string(rng.NextBounded(o_card)))});
+  }
+  return out;
+}
+
+rdf::Graph GraphOf(std::span<const TermTriple> triples) {
+  rdf::Graph g;
+  for (const TermTriple& t : triples) g.Add(t[0], t[1], t[2]);
+  return g;
+}
+
+std::vector<Triple> Materialise(const TripleView& view) {
+  return std::vector<Triple>(view.begin(), view.end());
+}
+
+/// The incremental store and the rebuilt store must agree on everything a
+/// reader can observe. Both must have interned terms in the same order
+/// (initial triples, then batches in application order), so TermIds are
+/// directly comparable.
+void ExpectEquivalent(const TripleStore& incremental,
+                      const TripleStore& rebuilt) {
+  ASSERT_EQ(incremental.size(), rebuilt.size());
+  ASSERT_EQ(incremental.dictionary().size(), rebuilt.dictionary().size());
+  for (TermId id = 0; id < incremental.dictionary().size(); ++id) {
+    ASSERT_EQ(incremental.dictionary().Get(id), rebuilt.dictionary().Get(id))
+        << "TermId " << id;
+  }
+  for (Ordering ordering : kAllOrderings) {
+    const std::vector<Triple> inc = Materialise(incremental.Scan(ordering));
+    const std::vector<Triple> ref = Materialise(rebuilt.Scan(ordering));
+    ASSERT_EQ(inc, ref) << OrderingName(ordering);
+    // The merged sequence must be strictly sorted (disjoint levels).
+    OrderingLess less(ordering);
+    for (std::size_t i = 1; i < inc.size(); ++i) {
+      ASSERT_TRUE(less(inc[i - 1], inc[i]))
+          << OrderingName(ordering) << " not strictly sorted at " << i;
+    }
+  }
+}
+
+void ExpectSameLookups(const TripleStore& incremental,
+                       const TripleStore& rebuilt, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const TripleView all = rebuilt.Scan(Ordering::kSpo);
+  ASSERT_FALSE(all.empty());
+  for (Ordering ordering : kAllOrderings) {
+    const auto positions = OrderingPositions(ordering);
+    for (int depth = 0; depth <= 2; ++depth) {
+      for (int trial = 0; trial < 20; ++trial) {
+        const Triple probe = all[rng.NextBounded(all.size())];
+        std::vector<Binding> bindings;
+        for (int i = 0; i < depth; ++i) {
+          bindings.push_back(
+              Binding{positions[static_cast<std::size_t>(i)],
+                      probe.at(positions[static_cast<std::size_t>(i)])});
+        }
+        const std::vector<Triple> inc =
+            Materialise(incremental.LookupPrefix(ordering, bindings));
+        const std::vector<Triple> ref =
+            Materialise(rebuilt.LookupPrefix(ordering, bindings));
+        ASSERT_EQ(inc, ref) << OrderingName(ordering) << " depth " << depth;
+        ASSERT_EQ(incremental.CountMatching(bindings), inc.size());
+      }
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Triple t = all[rng.NextBounded(all.size())];
+    EXPECT_TRUE(incremental.Contains(t));
+    EXPECT_FALSE(
+        incremental.Contains(Triple{t.s, t.p, static_cast<TermId>(
+                                                  t.o + 1000000)}));
+  }
+}
+
+TEST(MergeSelectTest, MatchesBruteForceStableMerge) {
+  // Includes duplicates and cross-range ties to exercise stability.
+  const std::vector<int> a = {1, 3, 3, 5, 7, 7, 7, 9};
+  const std::vector<int> b = {2, 3, 3, 6, 7, 10};
+  std::vector<std::pair<int, int>> merged;  // (value, 0=a / 1=b)
+  {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j == b.size() || (i < a.size() && a[i] <= b[j])) {
+        merged.emplace_back(a[i++], 0);
+      } else {
+        merged.emplace_back(b[j++], 1);
+      }
+    }
+  }
+  const auto less = [](int x, int y) { return x < y; };
+  for (std::size_t k = 0; k <= merged.size(); ++k) {
+    const std::size_t i =
+        MergeSelect<int>(std::span<const int>(a), std::span<const int>(b), k,
+                         less);
+    const std::size_t from_a = static_cast<std::size_t>(std::count_if(
+        merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k),
+        [](const auto& e) { return e.second == 0; }));
+    EXPECT_EQ(i, from_a) << "k=" << k;
+  }
+}
+
+TEST(MergeSelectTest, EmptyRanges) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> empty;
+  const auto less = [](int x, int y) { return x < y; };
+  EXPECT_EQ(MergeSelect<int>(a, empty, 2, less), 2u);
+  EXPECT_EQ(MergeSelect<int>(empty, a, 2, less), 0u);
+  EXPECT_EQ(MergeSelect<int>(empty, empty, 0, less), 0u);
+}
+
+TEST(TripleViewTest, IteratorAtMatchesLinearAdvance) {
+  auto base_terms = RandomTermTriples(400, 40, 5, 60, 1);
+  TripleStore store = TripleStore::Build(GraphOf(base_terms));
+  // Force a non-empty delta with a small batch.
+  auto delta_terms = RandomTermTriples(30, 40, 5, 60, 2);
+  auto update = store.PrepareAdd(delta_terms);
+  ASSERT_FALSE(update.compacted);
+  ASSERT_GT(update.added, 0u);
+  store.Apply(std::move(update));
+  ASSERT_GT(store.delta_size(), 0u);
+
+  for (Ordering ordering : kAllOrderings) {
+    const TripleView view = store.Scan(ordering);
+    ASSERT_FALSE(view.contiguous());
+    TripleView::iterator it = view.begin();
+    for (std::size_t k = 0; k <= view.size(); ++k) {
+      ASSERT_TRUE(view.IteratorAt(k) == it)
+          << OrderingName(ordering) << " rank " << k;
+      if (k < view.size()) {
+        ASSERT_EQ(view[k], *it) << OrderingName(ordering) << " rank " << k;
+        ++it;
+      }
+    }
+    ASSERT_TRUE(it == view.end());
+  }
+}
+
+TEST(DeltaStoreTest, BatchesMatchRebuiltStore) {
+  auto initial = RandomTermTriples(2000, 80, 8, 120, 10);
+  TripleStore incremental = TripleStore::Build(GraphOf(initial));
+
+  std::vector<TermTriple> everything = initial;
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    // Later batches introduce new vocabulary ("x...") and new predicates.
+    auto batch = RandomTermTriples(150, 90, 10, 130, seed);
+    batch.push_back(TermTriple{Term::Iri("x" + std::to_string(seed)),
+                               Term::Iri("p-new"),
+                               Term::Literal("fresh " + std::to_string(seed))});
+    auto update = incremental.PrepareAdd(batch);
+    incremental.Apply(std::move(update));
+    everything.insert(everything.end(), batch.begin(), batch.end());
+
+    TripleStore rebuilt = TripleStore::Build(GraphOf(everything));
+    ExpectEquivalent(incremental, rebuilt);
+    ExpectSameLookups(incremental, rebuilt, seed);
+  }
+}
+
+TEST(DeltaStoreTest, ParallelPrepareMatchesSerial) {
+  auto initial = RandomTermTriples(3000, 100, 8, 150, 30);
+  TripleStore serial = TripleStore::Build(GraphOf(initial));
+  TripleStore parallel = TripleStore::Build(GraphOf(initial), 8);
+  auto batch = RandomTermTriples(2000, 120, 10, 170, 31);
+
+  auto serial_update = serial.PrepareAdd(batch);
+  auto parallel_update = parallel.PrepareAdd(batch, 8);
+  ASSERT_EQ(serial_update.new_terms, parallel_update.new_terms);
+  ASSERT_EQ(serial_update.compacted, parallel_update.compacted);
+  ASSERT_EQ(serial_update.added, parallel_update.added);
+  for (std::size_t i = 0; i < kNumOrderings; ++i) {
+    ASSERT_EQ(serial_update.levels[i], parallel_update.levels[i])
+        << OrderingName(kAllOrderings[i]);
+  }
+  serial.Apply(std::move(serial_update));
+  parallel.Apply(std::move(parallel_update));
+  ExpectEquivalent(serial, parallel);
+}
+
+TEST(DeltaStoreTest, CompactionFiresOnSizeRatio) {
+  auto initial = RandomTermTriples(4000, 200, 10, 300, 40);
+  TripleStore store = TripleStore::Build(GraphOf(initial));
+  const std::size_t base = store.base_size();
+
+  // A tiny batch stays in the delta.
+  auto small = RandomTermTriples(10, 500, 12, 500, 41);
+  auto small_update = store.PrepareAdd(small);
+  EXPECT_FALSE(small_update.compacted);
+  store.Apply(std::move(small_update));
+  EXPECT_GT(store.delta_size(), 0u);
+  EXPECT_EQ(store.base_size(), base);
+
+  // A batch pushing delta past base / kCompactionRatio folds everything in.
+  auto big =
+      RandomTermTriples(base / TripleStore::kCompactionRatio + 100, 400, 12,
+                        600, 42);
+  auto big_update = store.PrepareAdd(big);
+  EXPECT_TRUE(big_update.compacted);
+  store.Apply(std::move(big_update));
+  EXPECT_EQ(store.delta_size(), 0u);
+  EXPECT_GT(store.base_size(), base);
+}
+
+TEST(DeltaStoreTest, FreshBuildBootstrapsViaCompaction) {
+  // Adding to an empty store always compacts: the base is populated and
+  // the delta stays empty.
+  rdf::Graph empty;
+  TripleStore store = TripleStore::Build(std::move(empty));
+  auto batch = RandomTermTriples(100, 20, 4, 30, 50);
+  auto update = store.PrepareAdd(batch);
+  EXPECT_TRUE(update.compacted);
+  store.Apply(std::move(update));
+  EXPECT_EQ(store.delta_size(), 0u);
+  EXPECT_GT(store.base_size(), 0u);
+}
+
+TEST(DeltaStoreTest, DuplicateOnlyBatchIsNoChange) {
+  auto initial = RandomTermTriples(500, 30, 5, 40, 60);
+  TripleStore store = TripleStore::Build(GraphOf(initial));
+  const std::size_t size_before = store.size();
+  const std::size_t dict_before = store.dictionary().size();
+
+  // Re-adding existing triples (with duplicates inside the batch too).
+  std::vector<TermTriple> dupes(initial.begin(), initial.begin() + 50);
+  dupes.insert(dupes.end(), initial.begin(), initial.begin() + 25);
+  auto update = store.PrepareAdd(dupes);
+  EXPECT_TRUE(update.no_change());
+  EXPECT_TRUE(update.new_terms.empty());
+  store.Apply(std::move(update));
+  EXPECT_EQ(store.size(), size_before);
+  EXPECT_EQ(store.dictionary().size(), dict_before);
+}
+
+TEST(DeltaStoreTest, SplitAtKeyBoundariesCoversMergedView) {
+  auto initial = RandomTermTriples(3000, 25, 6, 40, 70);
+  TripleStore store = TripleStore::Build(GraphOf(initial));
+  auto batch = RandomTermTriples(200, 30, 8, 50, 71);
+  auto update = store.PrepareAdd(batch);
+  store.Apply(std::move(update));
+  ASSERT_GT(store.delta_size(), 0u);
+
+  for (Ordering ordering : kAllOrderings) {
+    const TripleView view = store.Scan(ordering);
+    const Position key = OrderingPositions(ordering)[0];
+    for (std::size_t parts : {1u, 2u, 5u, 16u}) {
+      const std::vector<IndexRange> chunks =
+          SplitAtKeyBoundaries(view, key, parts);
+      ASSERT_FALSE(chunks.empty());
+      EXPECT_LE(chunks.size(), parts);
+      // Coverage: chunks tile [0, size) without gaps or overlap.
+      EXPECT_EQ(chunks.front().begin, 0u);
+      EXPECT_EQ(chunks.back().end, view.size());
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_GT(chunks[c].size(), 0u);
+        if (c > 0) {
+          EXPECT_EQ(chunks[c].begin, chunks[c - 1].end);
+        }
+        // No key straddles a boundary.
+        if (c + 1 < chunks.size()) {
+          EXPECT_NE(view[chunks[c].end - 1].at(key),
+                    view[chunks[c].end].at(key))
+              << OrderingName(ordering) << " parts=" << parts;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaStoreTest, StatisticsPreviewMatchesPostApply) {
+  auto initial = RandomTermTriples(1500, 60, 7, 90, 80);
+  TripleStore store = TripleStore::Build(GraphOf(initial));
+  auto batch = RandomTermTriples(120, 70, 9, 100, 81);
+  auto update = store.PrepareAdd(batch);
+  ASSERT_GT(update.added, 0u);
+
+  const Statistics preview = Statistics::Compute(store, update);
+  store.Apply(std::move(update));
+  const Statistics actual = Statistics::Compute(store);
+
+  EXPECT_EQ(preview.total_triples(), actual.total_triples());
+  for (Position pos :
+       {Position::kSubject, Position::kPredicate, Position::kObject}) {
+    EXPECT_EQ(preview.DistinctAt(pos), actual.DistinctAt(pos));
+  }
+  for (TermId id = 0; id < store.dictionary().size(); ++id) {
+    const PredicateStats a = preview.ForPredicate(id);
+    const PredicateStats b = actual.ForPredicate(id);
+    EXPECT_EQ(a.count, b.count) << "predicate " << id;
+    EXPECT_EQ(a.distinct_subjects, b.distinct_subjects) << "predicate " << id;
+    EXPECT_EQ(a.distinct_objects, b.distinct_objects) << "predicate " << id;
+  }
+}
+
+}  // namespace
+}  // namespace hsparql::storage

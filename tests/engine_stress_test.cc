@@ -203,5 +203,74 @@ TEST(EngineStressTest, MutationUnderConcurrentQueriesNeverTears) {
   EXPECT_EQ(final_count->rows(), 21u);
 }
 
+TEST(EngineStressTest, PeriodicWriterKeepsJoinResultsConsistent) {
+  // A dedicated writer thread lands batches of three triples — an item
+  // plus exactly two tags — while readers run the type+tag join with the
+  // result cache on. Each batch is atomic (one PrepareAdd/Apply swap), so
+  // every consistent snapshot yields an even row count; an odd count or a
+  // shrinking count means a reader saw a torn generation.
+  rdf::Graph graph;
+  graph.AddIri("ex:item0", "rdf:type", "bench:Item");
+  graph.AddIri("ex:item0", "bench:tag", "ex:tag0a");
+  graph.AddIri("ex:item0", "bench:tag", "ex:tag0b");
+  EngineOptions options;
+  options.plan_cache_capacity = 16;
+  options.result_cache_capacity = 16;
+  Engine engine(storage::TripleStore::Build(std::move(graph)), options);
+
+  const std::string text =
+      "SELECT ?x ?t WHERE { ?x <rdf:type> <bench:Item> . "
+      "?x <bench:tag> ?t }";
+  constexpr int kWrites = 25;
+  constexpr std::uint64_t kMaxRows = 2ull * (kWrites + 1);
+  std::atomic<int> failures{0};
+
+  std::thread writer([&]() {
+    for (int i = 1; i <= kWrites; ++i) {
+      const std::string item = "ex:item" + std::to_string(i);
+      const std::string tag = "ex:tag" + std::to_string(i);
+      const std::array<std::array<rdf::Term, 3>, 3> batch = {{
+          {rdf::Term::Iri(item), rdf::Term::Iri("rdf:type"),
+           rdf::Term::Iri("bench:Item")},
+          {rdf::Term::Iri(item), rdf::Term::Iri("bench:tag"),
+           rdf::Term::Iri(tag + "a")},
+          {rdf::Term::Iri(item), rdf::Term::Iri("bench:tag"),
+           rdf::Term::Iri(tag + "b")},
+      }};
+      if (!engine.AddTriples(batch).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads - 1; ++t) {
+    readers.emplace_back([&]() {
+      std::uint64_t last_rows = 0;
+      for (int i = 0; i < 200; ++i) {
+        auto response = engine.Query(text);
+        if (!response.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const std::uint64_t rows = response->rows();
+        if (rows % 2 != 0 || rows < last_rows || rows > kMaxRows) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_rows = rows;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.generation(), static_cast<std::uint64_t>(kWrites));
+  auto final_response = engine.Query(text);
+  ASSERT_TRUE(final_response.ok());
+  EXPECT_EQ(final_response->rows(), kMaxRows);
+}
+
 }  // namespace
 }  // namespace hsparql::engine

@@ -274,8 +274,9 @@ TEST(SplitAtKeyBoundariesTest, TripleOverloadSplitsOnPosition) {
     }
   }
   TripleStore store = TripleStore::Build(std::move(g));
-  auto rel = store.Scan(Ordering::kSpo);
-  auto chunks = SplitAtKeyBoundaries(rel, Position::kSubject, 4);
+  // Span overload over the contiguous base relation.
+  auto base = store.BaseRelation(Ordering::kSpo);
+  auto chunks = SplitAtKeyBoundaries(base, Position::kSubject, 4);
   ASSERT_GT(chunks.size(), 1u);
   std::size_t total = 0;
   for (std::size_t c = 0; c < chunks.size(); ++c) {
@@ -286,7 +287,18 @@ TEST(SplitAtKeyBoundariesTest, TripleOverloadSplitsOnPosition) {
       EXPECT_NE(chunks[c].front().s, chunks[c - 1].back().s);
     }
   }
-  EXPECT_EQ(total, rel.size());
+  EXPECT_EQ(total, base.size());
+
+  // View overload over the same data returns the same cuts as merged
+  // ranks; with an empty delta they must line up with the span chunks.
+  auto view_chunks =
+      SplitAtKeyBoundaries(store.Scan(Ordering::kSpo), Position::kSubject, 4);
+  ASSERT_EQ(view_chunks.size(), chunks.size());
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(view_chunks[c], (IndexRange{begin, begin + chunks[c].size()}));
+    begin += chunks[c].size();
+  }
 }
 
 }  // namespace
