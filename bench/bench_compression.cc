@@ -46,13 +46,13 @@ int Run(int argc, char** argv) {
 
   for (Ordering ordering : storage::kAllOrderings) {
     auto sorted = ts.Scan(ordering);
-    WallTimer build_timer;
+    Timer build_timer;
     CompressedRelation rel = CompressedRelation::Build(sorted, ordering);
     (void)build_timer;
     total_compressed += static_cast<double>(rel.byte_size());
 
     // Decompression throughput.
-    WallTimer scan_timer;
+    Timer scan_timer;
     std::vector<Triple> out = rel.Decompress();
     double scan_ms = scan_timer.ElapsedMillis();
     double mb = static_cast<double>(out.size() * sizeof(Triple)) / 1e6;
@@ -65,13 +65,13 @@ int Run(int argc, char** argv) {
       samples.push_back(
           Binding{major, all[rng.NextBounded(all.size())].at(major)});
     }
-    WallTimer raw_timer;
+    Timer raw_timer;
     std::size_t sink = 0;
     for (const Binding& b : samples) {
       sink += ts.LookupPrefix(ordering, {&b, 1}).size();
     }
     double raw_ms = raw_timer.ElapsedMillis();
-    WallTimer comp_timer;
+    Timer comp_timer;
     for (const Binding& b : samples) {
       sink += rel.LookupPrefix({&b, 1}).size();
     }

@@ -72,7 +72,7 @@ LoadPoint MeasureLoad(const std::string& text, std::size_t threads,
     rdf::LoadOptions options;
     options.num_threads = threads;
     rdf::LoadStats stats;
-    WallTimer timer;
+    Timer timer;
     auto count = rdf::ReadNTriplesString(text, &graph, options, &stats);
     const double load_ms = timer.ElapsedMillis();
     if (!count.ok()) {
@@ -125,7 +125,7 @@ std::vector<TermTriple> NewTripleBatch(const storage::TripleStore& store,
 double RebuildMillis(const storage::TripleStore& store,
                      const std::vector<TermTriple>& batch,
                      std::uint64_t* sink) {
-  WallTimer timer;
+  Timer timer;
   rdf::Graph graph;
   const rdf::Dictionary& dict = store.dictionary();
   graph.dictionary().Reserve(dict.size());
@@ -149,7 +149,7 @@ double RebuildMillis(const storage::TripleStore& store,
 double IncrementalMillis(storage::TripleStore& store,
                          const std::vector<TermTriple>& batch,
                          std::uint64_t* sink) {
-  WallTimer timer;
+  Timer timer;
   storage::TripleStore::PendingUpdate update = store.PrepareAdd(batch);
   storage::Statistics stats = storage::Statistics::Compute(store, update);
   store.Apply(std::move(update));

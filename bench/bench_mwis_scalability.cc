@@ -51,7 +51,7 @@ int Run(int argc, char** argv) {
       double total_weight = 0.0;
       for (int t = 0; t < trials; ++t) {
         hsp::VariableGraph g = RandomGraph(n, density, &rng);
-        WallTimer timer;
+        Timer timer;
         hsp::MwisResult r = hsp::AllMaximumWeightIndependentSets(g);
         double ms = timer.ElapsedMillis();
         total_ms += ms;

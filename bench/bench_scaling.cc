@@ -36,7 +36,7 @@ int Run(int argc, char** argv) {
       sparql::Query query = bench::ParseQuery(*wq);
 
       // Planning time (mean of 200).
-      WallTimer plan_timer;
+      Timer plan_timer;
       for (int i = 0; i < 200; ++i) {
         auto p = planner.Plan(query);
         if (!p.ok()) return 1;

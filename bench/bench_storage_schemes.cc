@@ -36,7 +36,7 @@ int Run(int argc, char** argv) {
 
   auto env = bench::BuildEnv(workload::Dataset::kSp2Bench, triples);
   const storage::TripleStore& ts = env->store;
-  WallTimer build_timer;
+  Timer build_timer;
   storage::VerticalStore vs = storage::VerticalStore::Build(ts);
   double vp_build_ms = build_timer.ElapsedMillis();
 
@@ -57,7 +57,7 @@ int Run(int argc, char** argv) {
       {"Workload", "Triple table ms", "Vertical ms", "Ratio"});
 
   auto measure = [&](auto&& fn) {
-    WallTimer timer;
+    Timer timer;
     std::size_t sink = 0;
     for (const Triple& t : sample) sink += fn(t);
     double ms = timer.ElapsedMillis();
@@ -99,14 +99,14 @@ int Run(int argc, char** argv) {
   // 3. Unbound predicate, bound subject (Y3-style ?s ?p ?o shapes): the
   //    triple table uses one spo range; VP visits every predicate table.
   std::size_t few = std::min<std::size_t>(200, probes);
-  WallTimer tt_timer;
+  Timer tt_timer;
   std::size_t sink = 0;
   for (std::size_t i = 0; i < few; ++i) {
     Binding b{Position::kSubject, sample[i].s};
     sink += ts.LookupPrefix(Ordering::kSpo, {&b, 1}).size();
   }
   tt = tt_timer.ElapsedMillis();
-  WallTimer vp_timer;
+  Timer vp_timer;
   for (std::size_t i = 0; i < few; ++i) {
     sink += vs.Match(sample[i].s, std::nullopt, std::nullopt).size();
   }
@@ -135,14 +135,14 @@ int Run(int argc, char** argv) {
     storage::VerticalStore wvs = storage::VerticalStore::Build(wts);
     auto wall = wts.Scan(Ordering::kSpo);
     std::size_t wfew = 200;
-    WallTimer wtt_timer;
+    Timer wtt_timer;
     std::size_t wsink = 0;
     for (std::size_t i = 0; i < wfew; ++i) {
       Binding b{Position::kSubject, wall[rng.NextBounded(wall.size())].s};
       wsink += wts.LookupPrefix(Ordering::kSpo, {&b, 1}).size();
     }
     double wtt = wtt_timer.ElapsedMillis();
-    WallTimer wvp_timer;
+    Timer wvp_timer;
     for (std::size_t i = 0; i < wfew; ++i) {
       wsink += wvs.Match(wall[rng.NextBounded(wall.size())].s, std::nullopt,
                          std::nullopt)

@@ -37,7 +37,7 @@ int Run(int argc, char** argv) {
     double total_ms = 0.0;
     double min_ms = 1e9;
     for (int i = 0; i < reps; ++i) {
-      WallTimer timer;
+      Timer timer;
       auto planned = planner.Plan(query);
       double ms = timer.ElapsedMillis();
       if (!planned.ok()) return 1;

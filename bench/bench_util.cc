@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <fstream>
 #include <functional>
 #include <iomanip>
 #include <sstream>
@@ -12,6 +13,11 @@
 #include "workload/yago_gen.h"
 
 namespace hsparql::bench {
+
+obs::Registry& MetricsRegistry() {
+  static obs::Registry* registry = new obs::Registry();
+  return *registry;
+}
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -26,6 +32,18 @@ Flags::Flags(int argc, char** argv) {
                            std::string(arg.substr(eq + 1)));
     }
   }
+}
+
+Flags::~Flags() {
+  const std::string path = GetString("metrics-json", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "# --metrics-json: cannot open " << path << "\n";
+    return;
+  }
+  out << MetricsRegistry().Snapshot().ToJson() << "\n";
+  std::cerr << "# metrics written to " << path << "\n";
 }
 
 std::uint64_t Flags::GetInt(std::string_view name, std::uint64_t def) const {
@@ -52,7 +70,7 @@ std::string Flags::GetString(std::string_view name,
 
 std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
                               std::uint64_t target_triples) {
-  WallTimer timer;
+  Timer timer;
   rdf::Graph graph =
       dataset == workload::Dataset::kSp2Bench
           ? workload::GenerateSp2b(
@@ -63,6 +81,17 @@ std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
   timer.Start();
   auto env = std::make_unique<Env>(
       storage::TripleStore::Build(std::move(graph)));
+  obs::Registry& metrics = MetricsRegistry();
+  metrics.GetCounter("bench.dataset.triples", "Triples built into stores")
+      ->Add(env->store.size());
+  metrics
+      .GetHistogram("bench.dataset.generate_millis",
+                    "Synthetic dataset generation time")
+      ->Observe(gen_ms);
+  metrics
+      .GetHistogram("bench.dataset.index_millis",
+                    "Six-ordering store build time")
+      ->Observe(timer.ElapsedMillis());
   std::cerr << "# "
             << (dataset == workload::Dataset::kSp2Bench ? "SP2Bench-like"
                                                         : "YAGO-like")

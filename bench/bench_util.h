@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "hsp/hsp_planner.h"
+#include "obs/registry.h"
 #include "plan/planner.h"
 #include "sparql/ast.h"
 #include "storage/statistics.h"
@@ -18,10 +19,21 @@
 
 namespace hsparql::bench {
 
+/// The process-wide metrics registry the bench harnesses record into
+/// (dataset build times, per-run execution latencies, loader stages via
+/// rdf::LoadOptions::metrics). Dumped by --metrics-json.
+obs::Registry& MetricsRegistry();
+
 /// Minimal --key=value flag access (e.g. --triples=1000000 --runs=21).
+///
+/// Every harness constructs exactly one Flags at the top of main; its
+/// destructor implements the shared --metrics-json=<path> flag, writing
+/// MetricsRegistry()'s JSON snapshot to <path> as the process winds down —
+/// so every bench binary supports the flag with no per-binary code.
 class Flags {
  public:
   Flags(int argc, char** argv);
+  ~Flags();
 
   std::uint64_t GetInt(std::string_view name, std::uint64_t def) const;
   bool GetBool(std::string_view name, bool def) const;

@@ -2,11 +2,16 @@
 //
 // Usage:
 //   explain <data.nt> [--planner=hsp|cdp|sql|hybrid] [--explain-only]
-//           [--lint] [--format=table|json|tsv] [query.rq]
+//           [--analyze] [--lint] [--format=table|json|tsv] [query.rq]
 //
 // --lint prints the full PlanLint diagnostic list (the engine already
 // refuses to cache or execute plans with lint errors; the flag surfaces
 // warnings and the HSP rule pack too).
+//
+// --analyze runs the query with per-operator tracing and prints the
+// EXPLAIN ANALYZE tree: each operator with its actual output rows, the
+// estimated-vs-actual cardinality ratio, input rows, self time, morsel
+// fan-out and (for scans) binary-search probe count.
 //
 // Reads an RDF dataset in N-Triples syntax into an engine::Engine, then
 // executes (or just explains, via Engine::Prepare) the SPARQL query given
@@ -37,6 +42,7 @@ int main(int argc, char** argv) {
   std::string planner_name = "hsp";
   std::string format = "table";
   bool explain_only = false;
+  bool analyze = false;
   bool lint = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -46,6 +52,8 @@ int main(int argc, char** argv) {
       format = arg.substr(9);
     } else if (arg == "--explain-only") {
       explain_only = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else if (arg == "--lint") {
       lint = true;
     } else if (data_path.empty()) {
@@ -60,8 +68,8 @@ int main(int argc, char** argv) {
       std::cerr << "error: unknown planner '" << planner_name << "'\n";
     }
     std::cerr << "usage: explain <data.nt> [--planner=hsp|cdp|sql|hybrid]"
-                 " [--explain-only] [--lint] [--format=table|json|tsv]"
-                 " [query.rq]\n";
+                 " [--explain-only] [--analyze] [--lint]"
+                 " [--format=table|json|tsv] [query.rq]\n";
     return 2;
   }
 
@@ -79,6 +87,7 @@ int main(int argc, char** argv) {
 
   engine::QueryOptions options;
   options.planner = *kind;
+  options.collect_trace = analyze;
 
   auto run_one = [&](const std::string& text) -> int {
     auto prepared = engine.Prepare(text, options);
@@ -112,6 +121,9 @@ int main(int argc, char** argv) {
     const exec::ExecResult& result = *response->result;
     std::cout << "-- " << result.table.rows << " result(s) in "
               << response->exec_millis << " ms --\n";
+    if (analyze && response->trace != nullptr) {
+      std::cout << "-- explain analyze --\n" << response->trace->ToString();
+    }
     // The view pins the store against concurrent mutation while the
     // dictionary decodes result ids.
     engine::StoreView view = engine.read_view();

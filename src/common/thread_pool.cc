@@ -74,10 +74,22 @@ bool ThreadPool::PopTask(std::size_t preferred,
     if (!q.tasks.empty()) {
       *task = std::move(q.tasks.front());
       q.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  out.steals = steals_.load(std::memory_order_relaxed);
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    out.queue_depth += q->tasks.size();
+  }
+  return out;
 }
 
 bool ThreadPool::HasQueuedWork() {
@@ -95,6 +107,7 @@ void ThreadPool::WorkerLoop(std::size_t index) {
     std::function<void()> task;
     if (PopTask(index, &task)) {
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(idle_mu_);
@@ -160,6 +173,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     std::function<void()> task;
     if (PopTask(self, &task)) {
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(state->mu);

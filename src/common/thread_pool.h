@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -33,6 +34,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_workers() const { return workers_.size(); }
+
+  /// Point-in-time pool observability (exported by the engine's metrics
+  /// registry). Counters are updated with relaxed atomics on the task
+  /// pop path; queue_depth samples every deque under its mutex, so the
+  /// value is exact per queue and approximate across queues.
+  struct Stats {
+    /// Tasks executed to completion by workers or helping callers.
+    std::uint64_t tasks_executed = 0;
+    /// Tasks popped from another worker's deque (work-stealing events).
+    std::uint64_t steals = 0;
+    /// Tasks currently queued and not yet started.
+    std::size_t queue_depth = 0;
+  };
+  Stats stats() const;
 
   /// The process-wide pool used by the executor: hardware_concurrency - 1
   /// workers (at least 1), sized so that a loop's calling thread plus the
@@ -75,6 +90,9 @@ class ThreadPool {
   /// Round-robin target for Push; relaxed — an imbalanced distribution
   /// only costs a steal.
   std::atomic<std::size_t> next_queue_{0};
+  /// Observability counters (see Stats); relaxed, monotonic.
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace hsparql

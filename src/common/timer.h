@@ -1,4 +1,11 @@
-// Wall-clock timing helpers used by the benchmark harnesses and ExecStats.
+// The one wall-clock stopwatch for the whole codebase.
+//
+// Every layer that measures time — the executor's per-operator actuals,
+// the engine's per-phase millis, the loaders' stage breakdowns, the bench
+// harnesses — uses this class, so "a millisecond" means the same
+// steady_clock arithmetic everywhere (engine.cc's inline chrono math and
+// the bench stopwatch were folded into it; obs/registry.h adds the RAII
+// ScopedTimer that feeds a Timer reading into a histogram or accumulator).
 #ifndef HSPARQL_COMMON_TIMER_H_
 #define HSPARQL_COMMON_TIMER_H_
 
@@ -8,9 +15,9 @@
 namespace hsparql {
 
 /// Monotonic stopwatch. Start() (or construction) begins timing.
-class WallTimer {
+class Timer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  Timer() : start_(Clock::now()) {}
 
   void Start() { start_ = Clock::now(); }
 

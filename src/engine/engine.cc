@@ -1,24 +1,21 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "cdp/cardinality.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "lint/plan_lint.h"
 #include "rdf/graph.h"
 #include "storage/ordering.h"
 
 namespace hsparql::engine {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MillisSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 /// Separator for cache-key components; cannot occur in SPARQL text that
 /// survives normalization, planner names or fingerprints.
@@ -141,8 +138,107 @@ Engine::Engine(storage::TripleStore&& store, EngineOptions options)
     : options_(options),
       store_(std::move(store)),
       plan_cache_(options.plan_cache_capacity),
-      result_cache_(options.result_cache_capacity) {
+      result_cache_(options.result_cache_capacity),
+      slow_log_(options.slow_query_millis, options.slow_query_sink) {
   stats_.emplace(storage::Statistics::Compute(store_));
+  RegisterMetrics();
+  metrics_.base_triples->Set(static_cast<std::int64_t>(store_.base_size()));
+  metrics_.delta_triples->Set(static_cast<std::int64_t>(store_.delta_size()));
+}
+
+void Engine::RegisterMetrics() {
+  metrics_.queries_total = registry_.GetCounter(
+      "engine.queries.total", "Finished query pipelines, ok or failed");
+  metrics_.queries_errors = registry_.GetCounter(
+      "engine.queries.errors", "Query pipelines that returned a non-OK status");
+  metrics_.queries_deadline = registry_.GetCounter(
+      "engine.queries.deadline_exceeded",
+      "Query pipelines cancelled by deadline or token");
+  metrics_.queries_slow = registry_.GetCounter(
+      "engine.queries.slow", "Queries emitted to the slow-query log");
+  metrics_.rows_scanned = registry_.GetCounter(
+      "engine.rows.scanned",
+      "Index-range rows visited by scan operators (storage traffic)");
+  metrics_.rows_emitted = registry_.GetCounter(
+      "engine.rows.emitted", "Result rows returned to callers");
+  metrics_.active_queries = registry_.GetGauge(
+      "engine.queries.active", "Query pipelines currently in flight");
+  metrics_.generation = registry_.GetGauge(
+      "engine.store.generation", "Store generation (bumped by every mutation)");
+  metrics_.base_triples = registry_.GetGauge(
+      "engine.store.base_triples", "Triples in the store's base level");
+  metrics_.delta_triples = registry_.GetGauge(
+      "engine.store.delta_triples", "Triples in the store's delta level");
+  metrics_.parse_millis = registry_.GetHistogram(
+      "engine.query.parse_millis", "Parse+analyze stage latency");
+  metrics_.plan_millis = registry_.GetHistogram(
+      "engine.query.plan_millis", "Planning stage latency");
+  metrics_.exec_millis = registry_.GetHistogram(
+      "engine.query.exec_millis", "Execution stage latency");
+  metrics_.total_millis = registry_.GetHistogram(
+      "engine.query.total_millis", "End-to-end pipeline latency");
+
+  // Values with a consistency story of their own are exported as callbacks
+  // read at Snapshot() time (DESIGN.md §4g): LRU counters under their
+  // cache mutex, pool stats from the shared pool's own atomics.
+  registry_.AddCallbackCounter(
+      "engine.plan_cache.hits", "Plan-cache hits", [this] {
+        std::lock_guard<std::mutex> lock(plan_mu_);
+        return plan_cache_.counters().hits;
+      });
+  registry_.AddCallbackCounter(
+      "engine.plan_cache.misses", "Plan-cache misses", [this] {
+        std::lock_guard<std::mutex> lock(plan_mu_);
+        return plan_cache_.counters().misses;
+      });
+  registry_.AddCallbackCounter(
+      "engine.plan_cache.evictions", "Plan-cache capacity evictions", [this] {
+        std::lock_guard<std::mutex> lock(plan_mu_);
+        return plan_cache_.counters().evictions;
+      });
+  registry_.AddCallbackGauge(
+      "engine.plan_cache.size", "Plans currently cached", [this] {
+        std::lock_guard<std::mutex> lock(plan_mu_);
+        return static_cast<std::int64_t>(plan_cache_.size());
+      });
+  registry_.AddCallbackCounter(
+      "engine.result_cache.hits", "Result-cache hits", [this] {
+        std::lock_guard<std::mutex> lock(result_mu_);
+        return result_cache_.counters().hits;
+      });
+  registry_.AddCallbackCounter(
+      "engine.result_cache.misses", "Result-cache misses", [this] {
+        std::lock_guard<std::mutex> lock(result_mu_);
+        return result_cache_.counters().misses;
+      });
+  registry_.AddCallbackCounter(
+      "engine.result_cache.evictions", "Result-cache capacity evictions",
+      [this] {
+        std::lock_guard<std::mutex> lock(result_mu_);
+        return result_cache_.counters().evictions;
+      });
+  registry_.AddCallbackGauge(
+      "engine.result_cache.size", "Results currently cached", [this] {
+        std::lock_guard<std::mutex> lock(result_mu_);
+        return static_cast<std::int64_t>(result_cache_.size());
+      });
+  registry_.AddCallbackCounter(
+      "threadpool.tasks_executed", "Tasks run by the shared pool",
+      [] { return ThreadPool::Shared().stats().tasks_executed; });
+  registry_.AddCallbackCounter(
+      "threadpool.steals", "Work-stealing events in the shared pool",
+      [] { return ThreadPool::Shared().stats().steals; });
+  registry_.AddCallbackGauge(
+      "threadpool.queue_depth", "Tasks queued and not yet started", [] {
+        return static_cast<std::int64_t>(
+            ThreadPool::Shared().stats().queue_depth);
+      });
+}
+
+std::string Engine::ExportMetrics(MetricsFormat format) const {
+  const obs::MetricsSnapshot snapshot = registry_.Snapshot();
+  return format == MetricsFormat::kJson ? snapshot.ToJson()
+                                        : snapshot.ToPrometheus();
 }
 
 Result<const Engine::PlannerEntry*> Engine::PlannerFor(
@@ -189,15 +285,15 @@ Result<std::shared_ptr<const CachedPlan>> Engine::GetOrBuildPlan(
   }
   *cache_hit = false;
 
-  Clock::time_point start = Clock::now();
+  Timer timer;
   HSPARQL_ASSIGN_OR_RETURN(plan::AnalyzedQuery analyzed,
                            plan::AnalyzedQuery::FromText(text));
-  double parse_millis = MillisSince(start);
+  const double parse_millis = timer.ElapsedMillis();
 
-  start = Clock::now();
+  timer.Start();
   HSPARQL_ASSIGN_OR_RETURN(plan::PlannedQuery planned,
                            planner->planner->Plan(analyzed));
-  double plan_millis = MillisSince(start);
+  const double plan_millis = timer.ElapsedMillis();
 
   // Lint on prepare: a malformed plan never reaches the cache or the
   // executor (whose own runtime checks stay active regardless).
@@ -247,6 +343,9 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
     std::lock_guard<std::mutex> lock(result_mu_);
     if (auto hit = result_cache_.Get(result_key)) {
       response.result = std::move(hit->result);
+      // A trace captured when the cached entry was computed (if any)
+      // rides along — the actuals are still those of the real execution.
+      response.trace = response.result->trace;
       response.result_cache_hit = true;
       return response;
     }
@@ -256,15 +355,27 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
   exec_options.sideways_information_passing =
       options.sideways_information_passing;
   exec_options.num_threads = options.num_threads;
+  exec_options.collect_trace = options.collect_trace;
   exec_options.cancel = deadline;
 
   exec::Executor executor(&store_, exec_options);
-  Clock::time_point start = Clock::now();
+  Timer timer;
   HSPARQL_ASSIGN_OR_RETURN(
       exec::ExecResult exec_result,
       executor.Execute(response.planned->planned.query,
                        response.planned->planned.plan));
-  response.exec_millis = MillisSince(start);
+  response.exec_millis = timer.ElapsedMillis();
+  if (exec_result.trace != nullptr && stats_.has_value()) {
+    // EXPLAIN ANALYZE's estimated-vs-actual column: annotate each trace
+    // node with the statistics-based estimate for the same plan node —
+    // the signal HSP's syntax heuristics replace (paper §4 vs §3).
+    const cdp::CardinalityEstimator estimator(&store_, &*stats_);
+    const std::vector<std::uint64_t> estimates =
+        estimator.EstimatePlanCardinalities(response.planned->planned.query,
+                                            response.planned->planned.plan);
+    obs::AnnotateEstimates(exec_result.trace.get(), estimates);
+  }
+  response.trace = exec_result.trace;
   response.result =
       std::make_shared<const exec::ExecResult>(std::move(exec_result));
 
@@ -277,8 +388,15 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
 
 Result<QueryResponse> Engine::Query(std::string_view text,
                                     const QueryOptions& options) const {
-  Clock::time_point pipeline_start = Clock::now();
+  Timer timer;
+  obs::ScopedGauge active(metrics_.active_queries);
+  Result<QueryResponse> result = QueryImpl(text, options);
+  ObserveQuery(text, timer.ElapsedMillis(), &result);
+  return result;
+}
 
+Result<QueryResponse> Engine::QueryImpl(std::string_view text,
+                                        const QueryOptions& options) const {
   CancelToken deadline_token;
   const CancelToken* deadline = options.cancel;
   if (options.timeout_ms > 0) {
@@ -302,7 +420,6 @@ Result<QueryResponse> Engine::Query(std::string_view text,
     response.parse_millis = response.planned->parse_millis;
     response.plan_millis = response.planned->plan_millis;
   }
-  response.total_millis = MillisSince(pipeline_start);
   return response;
 }
 
@@ -321,12 +438,23 @@ Result<PreparedQuery> Engine::Prepare(std::string_view text,
 
 Result<QueryResponse> Engine::ExecutePrepared(
     const PreparedQuery& prepared) const {
+  Timer timer;
+  obs::ScopedGauge active(metrics_.active_queries);
+  Result<QueryResponse> result = ExecutePreparedImpl(prepared);
+  // The cache key is normalized-text ⊕ sep ⊕ planner ⊕ sep ⊕ fingerprint,
+  // so its first component hashes identically to the Query() path.
+  std::string_view text = prepared.cache_key_;
+  text = text.substr(0, text.find(kKeySep));
+  ObserveQuery(text, timer.ElapsedMillis(), &result);
+  return result;
+}
+
+Result<QueryResponse> Engine::ExecutePreparedImpl(
+    const PreparedQuery& prepared) const {
   if (!prepared.valid()) {
     return Status::InvalidArgument(
         "ExecutePrepared called with a default-constructed PreparedQuery");
   }
-  Clock::time_point pipeline_start = Clock::now();
-
   const QueryOptions& options = prepared.options_;
   CancelToken deadline_token;
   const CancelToken* deadline = options.cancel;
@@ -341,8 +469,72 @@ Result<QueryResponse> Engine::ExecutePrepared(
       QueryResponse response,
       RunPlan(prepared.plan_, options, prepared.cache_key_, deadline));
   response.plan_cache_hit = true;
-  response.total_millis = MillisSince(pipeline_start);
   return response;
+}
+
+void Engine::ObserveQuery(std::string_view text, double total_millis,
+                          Result<QueryResponse>* result) const {
+  metrics_.queries_total->Add();
+  metrics_.total_millis->Observe(total_millis);
+
+  obs::SlowQueryEvent event;
+  event.total_millis = total_millis;
+  event.generation = generation();
+  if (result->ok()) {
+    QueryResponse& response = **result;
+    response.total_millis = total_millis;
+    event.planner = response.planner;
+    event.parse_millis = response.parse_millis;
+    event.plan_millis = response.plan_millis;
+    event.exec_millis = response.exec_millis;
+    event.plan_cache_hit = response.plan_cache_hit;
+    event.result_cache_hit = response.result_cache_hit;
+    event.rows = response.rows();
+    metrics_.parse_millis->Observe(response.parse_millis);
+    metrics_.plan_millis->Observe(response.plan_millis);
+    metrics_.exec_millis->Observe(response.exec_millis);
+    metrics_.rows_emitted->Add(response.rows());
+    if (response.result != nullptr) {
+      metrics_.rows_scanned->Add(response.result->total_scanned_rows);
+      // Top operators by self time, from the always-recorded stats vector
+      // (no trace needed). Ties break on node id for determinism.
+      std::vector<const exec::OperatorStat*> ops;
+      ops.reserve(response.result->stats.size());
+      for (const exec::OperatorStat& s : response.result->stats) {
+        ops.push_back(&s);
+      }
+      const std::size_t top = std::min<std::size_t>(3, ops.size());
+      std::partial_sort(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(top),
+                        ops.end(),
+                        [](const exec::OperatorStat* a,
+                           const exec::OperatorStat* b) {
+                          if (a->millis != b->millis) {
+                            return a->millis > b->millis;
+                          }
+                          return a->node_id < b->node_id;
+                        });
+      for (std::size_t i = 0; i < top; ++i) {
+        event.top_operators.push_back(obs::SlowQueryEvent::Op{
+            ops[i]->label, ops[i]->millis, ops[i]->output_rows});
+      }
+    }
+  } else {
+    const Status status = result->status();
+    metrics_.queries_errors->Add();
+    if (status.IsDeadlineExceeded()) {
+      metrics_.queries_deadline->Add();
+      event.status = "deadline_exceeded";
+    } else {
+      event.status = std::string(StatusCodeToString(status.code()));
+    }
+  }
+
+  if (slow_log_.enabled() && total_millis >= slow_log_.threshold_millis()) {
+    // Hash only on the (rare) emission path — normalization costs a pass
+    // over the text.
+    event.query_hash = obs::HashQueryText(NormalizeQueryText(text));
+    if (slow_log_.MaybeLog(event)) metrics_.queries_slow->Add();
+  }
 }
 
 Status Engine::AddTriples(
@@ -386,6 +578,12 @@ void Engine::ReplaceStore(storage::TripleStore&& store) {
 
 void Engine::InvalidateForMutation() {
   generation_.fetch_add(1, std::memory_order_relaxed);
+  // Caller holds the store lock exclusively, so the store sizes read here
+  // and the generation written above form one mutation epoch.
+  metrics_.generation->Set(
+      static_cast<std::int64_t>(generation_.load(std::memory_order_relaxed)));
+  metrics_.base_triples->Set(static_cast<std::int64_t>(store_.base_size()));
+  metrics_.delta_triples->Set(static_cast<std::int64_t>(store_.delta_size()));
   // Cached plans may embed cost decisions from the old statistics; drop
   // them all. Results invalidate lazily via the generation in their keys.
   std::lock_guard<std::mutex> lock(plan_mu_);
@@ -409,7 +607,14 @@ std::size_t Engine::store_size() const {
 }
 
 EngineStats Engine::stats() const {
+  // Shared store lock for the whole read: mutations (which bump the
+  // generation and clear the plan cache under the exclusive lock) either
+  // happen entirely before this snapshot or entirely after it, so the
+  // generation always matches the cache contents it is reported with.
+  // See the memory-ordering contract on the declaration (engine.h).
+  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
   EngineStats out;
+  out.generation = generation();
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
     out.plan_cache = plan_cache_.counters();
@@ -420,7 +625,6 @@ EngineStats Engine::stats() const {
     out.result_cache = result_cache_.counters();
     out.result_cache_size = result_cache_.size();
   }
-  out.generation = generation();
   return out;
 }
 

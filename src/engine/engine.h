@@ -40,6 +40,9 @@
 #include "common/rng.h"
 #include "engine/lru_cache.h"
 #include "exec/executor.h"
+#include "obs/registry.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "plan/planner.h"
 #include "rdf/term.h"
 #include "storage/statistics.h"
@@ -61,6 +64,12 @@ struct QueryOptions {
   /// Read/write the engine's result cache for this query (no effect when
   /// the engine was built with result_cache_capacity == 0).
   bool use_result_cache = true;
+  /// Collect the per-operator EXPLAIN ANALYZE trace
+  /// (QueryResponse::trace), annotated with the statistics-based
+  /// cardinality estimate for every operator. Passed through to
+  /// exec::ExecOptions::collect_trace; off by default (the trace tree is
+  /// the only per-query observability artefact that costs allocations).
+  bool collect_trace = false;
   /// Wall-clock budget for the whole pipeline; 0 means no deadline. On
   /// expiry the query returns kDeadlineExceeded.
   std::uint64_t timeout_ms = 0;
@@ -101,6 +110,12 @@ struct QueryResponse {
   /// Planner that produced (or cached) the plan: "hsp", "cdp", ...
   std::string planner;
 
+  /// EXPLAIN ANALYZE trace (QueryOptions::collect_trace): the plan-shaped
+  /// per-operator actuals tree, annotated with cardinality estimates when
+  /// statistics are available. Null when tracing was off. A result-cache
+  /// hit returns the trace captured when the cached entry was computed.
+  std::shared_ptr<const obs::QueryTrace> trace;
+
   std::uint64_t rows() const { return result ? result->table.rows : 0; }
 };
 
@@ -111,6 +126,14 @@ struct EngineOptions {
   /// Result-cache entries (0, the default, disables result caching —
   /// opt in for workloads with repeated identical reads).
   std::size_t result_cache_capacity = 0;
+  /// Slow-query threshold: every finished pipeline — including failures
+  /// and deadline expiries — whose total latency meets this many
+  /// milliseconds is emitted as one JSON line (obs::SlowQueryEvent).
+  /// <= 0 (the default) disables the log.
+  double slow_query_millis = 0.0;
+  /// Where slow-query lines go; null writes to stderr. Called with the
+  /// engine's slow-log mutex held — keep sinks quick and reentrancy-free.
+  obs::SlowQueryLog::Sink slow_query_sink;
 };
 
 /// Cache/observability snapshot.
@@ -226,7 +249,32 @@ class Engine {
   std::uint64_t generation() const {
     return generation_.load(std::memory_order_relaxed);
   }
+
+  /// Consistent cache/generation snapshot: taken under a shared store
+  /// lock, so the generation and both caches' counters/sizes belong to the
+  /// same mutation epoch (a concurrent AddTriples either happened-before
+  /// the whole snapshot or happens-after it — never halfway).
+  ///
+  /// Memory-ordering contract: generation_ itself uses relaxed atomics
+  /// everywhere because it is never used to publish other data — all
+  /// cross-thread ordering in the engine comes from lock acquire/release
+  /// (store_mu_, plan_mu_, result_mu_). A relaxed generation() read may
+  /// therefore lag a concurrent mutation; readers that need the
+  /// generation *and* the data it describes must hold the store lock
+  /// (read_view(), stats(), the query pipeline), which is what makes the
+  /// relaxed loads safe.
   EngineStats stats() const;
+
+  /// The engine's metrics registry: stage-latency histograms
+  /// (engine.query.{parse,plan,exec,total}_millis), query/row counters,
+  /// cache and store gauges, and callback metrics reading the LRU caches
+  /// and the shared thread pool. Callers may register their own metrics
+  /// alongside (e.g. the loader via rdf::LoadOptions::metrics).
+  obs::Registry& metrics() const { return registry_; }
+
+  /// Serialised snapshot of every registered metric.
+  enum class MetricsFormat { kJson, kPrometheus };
+  std::string ExportMetrics(MetricsFormat format) const;
 
  private:
   struct CachedResult {
@@ -268,6 +316,43 @@ class Engine {
                                 std::string_view key,
                                 const CancelToken* deadline) const;
 
+  /// Query()/ExecutePrepared() minus the observability wrapper (metrics,
+  /// slow-query log, total_millis stamping).
+  Result<QueryResponse> QueryImpl(std::string_view text,
+                                  const QueryOptions& options) const;
+  Result<QueryResponse> ExecutePreparedImpl(
+      const PreparedQuery& prepared) const;
+
+  /// Registers the engine's metric set with registry_ and fills metrics_.
+  void RegisterMetrics();
+
+  /// Shared epilogue of every pipeline: stamps total_millis, records the
+  /// stage histograms and counters, and feeds the slow-query log (for
+  /// failures too — a deadline expiry is exactly what the log is for).
+  /// `text` is the raw query text; it is normalized and hashed only when
+  /// a slow-query line actually fires.
+  void ObserveQuery(std::string_view text, double total_millis,
+                    Result<QueryResponse>* result) const;
+
+  /// Hot-path metric pointers (registered once in the constructor; the
+  /// registry owns the metrics and keeps their addresses stable).
+  struct Metrics {
+    obs::Counter* queries_total = nullptr;
+    obs::Counter* queries_errors = nullptr;
+    obs::Counter* queries_deadline = nullptr;
+    obs::Counter* queries_slow = nullptr;
+    obs::Counter* rows_scanned = nullptr;
+    obs::Counter* rows_emitted = nullptr;
+    obs::Gauge* active_queries = nullptr;
+    obs::Gauge* generation = nullptr;
+    obs::Gauge* base_triples = nullptr;
+    obs::Gauge* delta_triples = nullptr;
+    obs::Histogram* parse_millis = nullptr;
+    obs::Histogram* plan_millis = nullptr;
+    obs::Histogram* exec_millis = nullptr;
+    obs::Histogram* total_millis = nullptr;
+  };
+
   EngineOptions options_;
 
   /// Serialises writers (AddTriples/ReplaceStore) against each other, so
@@ -299,6 +384,12 @@ class Engine {
   mutable std::mutex result_mu_;
   mutable LruCache<std::string, CachedResult, StringKeyHash, std::equal_to<>>
       result_cache_;
+
+  /// Metrics registry + the hot-path pointers into it. Mutable: recording
+  /// a metric is not a logical mutation of the engine.
+  mutable obs::Registry registry_;
+  Metrics metrics_;
+  mutable obs::SlowQueryLog slow_log_;
 };
 
 }  // namespace hsparql::engine

@@ -48,6 +48,43 @@ constexpr std::size_t kMinMorselRows = 16;
 /// two so the check compiles to a mask test.
 constexpr std::size_t kCancelCheckMask = 4095;
 
+/// True when the HSPARQL_FORCE_TRACE environment variable is set to a
+/// non-empty value: every Execute() then collects the EXPLAIN ANALYZE
+/// trace regardless of ExecOptions::collect_trace. Read once — the CI
+/// trace job sets it for a whole test-suite run, not per query.
+bool TraceForced() {
+  static const bool forced = [] {
+    const char* env = std::getenv("HSPARQL_FORCE_TRACE");
+    return env != nullptr && env[0] != '\0';
+  }();
+  return forced;
+}
+
+/// Mirrors the plan subtree rooted at `node` into an OperatorTrace tree,
+/// filling each node from the recorded per-operator stats (keyed by plan
+/// node id — unique after LogicalPlan::AssignIds).
+obs::OperatorTrace BuildTraceNode(
+    const PlanNode* node,
+    const std::unordered_map<int, const OperatorStat*>& stats_by_id) {
+  obs::OperatorTrace t;
+  t.node_id = node->id;
+  auto it = stats_by_id.find(node->id);
+  if (it != stats_by_id.end()) {
+    const OperatorStat& s = *it->second;
+    t.label = s.label;
+    t.input_rows = s.input_rows;
+    t.output_rows = s.output_rows;
+    t.probes = s.probes;
+    t.self_millis = s.millis;
+    t.threads = s.threads;
+  }
+  t.children.reserve(node->children.size());
+  for (const auto& child : node->children) {
+    t.children.push_back(BuildTraceNode(child.get(), stats_by_id));
+  }
+  return t;
+}
+
 class PlanRunner {
  public:
   PlanRunner(const storage::TripleStore* store, const Query* query,
@@ -96,7 +133,8 @@ class PlanRunner {
 
   void Record(const PlanNode* node, std::string label,
               const BindingTable& out, double millis, bool is_intermediate,
-              std::size_t threads = 1) {
+              std::size_t threads = 1, std::uint64_t input_rows = 0,
+              std::uint64_t probes = 0) {
     if (node->id >= 0) {
       std::size_t id = static_cast<std::size_t>(node->id);
       if (result_->cardinalities.size() <= id) {
@@ -106,7 +144,8 @@ class PlanRunner {
     }
     result_->stats.push_back(OperatorStat{node->id, std::move(label),
                                           out.rows, millis,
-                                          static_cast<int>(threads)});
+                                          static_cast<int>(threads),
+                                          input_rows, probes});
     if (is_intermediate) result_->total_intermediate_rows += out.rows;
   }
 
@@ -148,7 +187,7 @@ class PlanRunner {
   }
 
   Result<BindingTable> RunScan(const PlanNode* node) {
-    WallTimer timer;
+    Timer timer;
     const TriplePattern& tp = query_->patterns[node->pattern_index];
     const rdf::Dictionary& dict = store_->dictionary();
 
@@ -282,8 +321,14 @@ class PlanRunner {
     label << (tp.num_constants() > 0 ? "select(" : "scan(")
           << storage::OrderingName(node->ordering) << ") tp"
           << node->pattern_index;
+    // Probe accounting: a non-empty bound prefix costs one equal_range
+    // (two binary-search descents) in LookupPrefix, and every morsel pays
+    // one merged-rank IteratorAt seek.
+    const std::uint64_t probes =
+        (prefix.empty() ? 0 : 2) + static_cast<std::uint64_t>(fanout);
+    result_->total_scanned_rows += range.size();
     Record(node, label.str(), out, timer.ElapsedMillis(),
-           /*is_intermediate=*/true, fanout);
+           /*is_intermediate=*/true, fanout, range.size(), probes);
     return out;
   }
 
@@ -331,7 +376,7 @@ class PlanRunner {
     }
     if (!right_result.ok()) return right_result.status();
     BindingTable right = std::move(right_result).ValueOrDie();
-    WallTimer timer;
+    Timer timer;
 
     // Shared variables (all of them are equated; join_var is the primary).
     std::vector<VarId> shared;
@@ -608,13 +653,13 @@ class PlanRunner {
     if (Expired()) return DeadlineStatus();
 
     Record(node, label, out, timer.ElapsedMillis(), /*is_intermediate=*/true,
-           threads_used);
+           threads_used, left.rows + right.rows);
     return out;
   }
 
   Result<BindingTable> RunSort(const PlanNode* node) {
     HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
-    WallTimer timer;
+    Timer timer;
     const rdf::Dictionary& dict = store_->dictionary();
     std::vector<std::size_t> cols;
     for (const sparql::Query::OrderKey& key : node->order_keys) {
@@ -661,13 +706,13 @@ class PlanRunner {
     out.rows = in.rows;
     // Row order is now the ORDER BY order, not a variable-id order.
     Record(node, "sort", out, timer.ElapsedMillis(),
-           /*is_intermediate=*/false);
+           /*is_intermediate=*/false, 1, in.rows);
     return out;
   }
 
   Result<BindingTable> RunLimit(const PlanNode* node) {
     HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
-    WallTimer timer;
+    Timer timer;
     BindingTable out;
     out.vars = in.vars;
     out.columns.resize(out.vars.size());
@@ -684,7 +729,7 @@ class PlanRunner {
     out.rows = end - begin;
     out.sorted_by = in.sorted_by;  // slicing preserves order
     Record(node, "limit", out, timer.ElapsedMillis(),
-           /*is_intermediate=*/false);
+           /*is_intermediate=*/false, 1, in.rows);
     return out;
   }
 
@@ -694,7 +739,7 @@ class PlanRunner {
       HSPARQL_ASSIGN_OR_RETURN(BindingTable t, Run(child.get()));
       inputs.push_back(std::move(t));
     }
-    WallTimer timer;
+    Timer timer;
     // Schema: union of branch schemas, first-occurrence order. Branches
     // lacking a variable contribute unbound (kInvalidTermId) cells.
     BindingTable out;
@@ -722,13 +767,13 @@ class PlanRunner {
       }
     }
     Record(node, "union", out, timer.ElapsedMillis(),
-           /*is_intermediate=*/true);
+           /*is_intermediate=*/true, 1, total);
     return out;
   }
 
   Result<BindingTable> RunFilter(const PlanNode* node) {
     HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
-    WallTimer timer;
+    Timer timer;
     const sparql::Filter& f = node->filter;
     const rdf::Dictionary& dict = store_->dictionary();
 
@@ -801,13 +846,13 @@ class PlanRunner {
     }
     if (Expired()) return DeadlineStatus();
     Record(node, "filter", out, timer.ElapsedMillis(),
-           /*is_intermediate=*/false, fanout);
+           /*is_intermediate=*/false, fanout, in.rows);
     return out;
   }
 
   Result<BindingTable> RunProject(const PlanNode* node) {
     HSPARQL_ASSIGN_OR_RETURN(BindingTable in, Run(node->children[0].get()));
-    WallTimer timer;
+    Timer timer;
 
     BindingTable out;
     out.vars = node->projection;
@@ -866,7 +911,7 @@ class PlanRunner {
     }
 
     Record(node, "project", out, timer.ElapsedMillis(),
-           /*is_intermediate=*/false);
+           /*is_intermediate=*/false, 1, in.rows);
     return out;
   }
 
@@ -896,12 +941,19 @@ Result<ExecResult> Executor::Execute(const Query& query,
   }
   ExecResult result;
   result.cardinalities.assign(static_cast<std::size_t>(plan.num_nodes()), 0);
-  WallTimer timer;
+  Timer timer;
   ThreadPool* pool =
       options_.num_threads >= 2 ? &ThreadPool::Shared() : nullptr;
   PlanRunner runner(store_, &query, &options_, pool, &result);
   HSPARQL_ASSIGN_OR_RETURN(result.table, runner.Run(plan.root()));
   result.total_millis = timer.ElapsedMillis();
+  if (options_.collect_trace || TraceForced()) {
+    std::unordered_map<int, const OperatorStat*> stats_by_id;
+    for (const OperatorStat& s : result.stats) stats_by_id[s.node_id] = &s;
+    result.trace = std::make_shared<obs::QueryTrace>();
+    result.trace->root = BuildTraceNode(plan.root(), stats_by_id);
+    result.trace->total_millis = result.total_millis;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #ifndef HSPARQL_EXEC_EXECUTOR_H_
 #define HSPARQL_EXEC_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/result.h"
 #include "exec/binding_table.h"
 #include "hsp/plan.h"
+#include "obs/trace.h"
 #include "sparql/ast.h"
 #include "storage/triple_store.h"
 
@@ -24,6 +26,12 @@ struct OperatorStat {
   double millis = 0.0;        // wall time of this operator alone
   /// Morsels/partitions this operator processed concurrently (1 = serial).
   int threads = 1;
+  /// Rows consumed: the scanned range size for scans, the sum of both
+  /// inputs for joins, the child's rows for unary operators.
+  std::uint64_t input_rows = 0;
+  /// Binary-search descents (scans only): bound-prefix equal_range
+  /// lookups plus one merged-rank IteratorAt seek per morsel.
+  std::uint64_t probes = 0;
 };
 
 /// Result of executing one plan.
@@ -37,6 +45,14 @@ struct ExecResult {
   /// Sum of all intermediate-result rows (scans + joins), the memory-
   /// footprint proxy the heuristics minimise.
   std::uint64_t total_intermediate_rows = 0;
+  /// Sum of index-range rows visited by every scan operator (before
+  /// residual predicates), i.e. actual storage traffic.
+  std::uint64_t total_scanned_rows = 0;
+  /// EXPLAIN ANALYZE tree mirroring the plan shape; only populated when
+  /// ExecOptions::collect_trace is set (or forced via the
+  /// HSPARQL_FORCE_TRACE environment variable). shared_ptr so responses
+  /// can hand the trace out without copying the tree.
+  std::shared_ptr<obs::QueryTrace> trace;
 };
 
 /// Execution options.
@@ -63,6 +79,14 @@ struct ExecOptions {
   /// stay active either way and phrase their errors in the same
   /// rule-id vocabulary.
   bool lint_plans = false;
+
+  /// Collect the per-operator EXPLAIN ANALYZE trace (ExecResult::trace).
+  /// Off by default: the per-operator stats vector is always recorded, but
+  /// the plan-shaped trace tree is only assembled on request. Setting the
+  /// HSPARQL_FORCE_TRACE environment variable (to anything non-empty)
+  /// forces collection regardless of this flag — the CI trace job uses it
+  /// to run the whole test suite with tracing on.
+  bool collect_trace = false;
 
   /// Cooperative cancellation (see common/cancel.h). When set, the
   /// executor polls the token at operator entry, at every morsel boundary

@@ -1,0 +1,303 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hsparql::obs {
+
+namespace {
+
+/// Formats a double the way both expositions want it: integral values
+/// without a trailing ".0" ("5" not "5.000000"), everything else with
+/// enough digits to round-trip the bucket bounds in use.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << v;  // default precision (6 significant digits) round-trips the
+            // 1-2.5-5 ladder and keeps sums readable
+  return os.str();
+}
+
+/// JSON string escaping for metric names/help (conservative: control
+/// characters, quote and backslash).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric-name sanitation: the exposition grammar allows
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, so the registry's dotted names map '.' (and
+/// any other illegal byte) to '_'.
+std::string PrometheusName(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Registry::Entry* Registry::FindLocked(std::string_view name) {
+  for (const auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    return e->type == MetricValue::Type::kCounter ? e->counter.get()
+                                                  : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = MetricValue::Type::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    return e->type == MetricValue::Type::kGauge ? e->gauge.get() : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = MetricValue::Type::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view help,
+                                  std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    return e->type == MetricValue::Type::kHistogram ? e->histogram.get()
+                                                    : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = MetricValue::Type::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(bounds);
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+void Registry::AddCallbackCounter(std::string_view name,
+                                  std::string_view help,
+                                  std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindLocked(name) != nullptr) return;  // first registration wins
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = MetricValue::Type::kCounter;
+  entry->counter_fn = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
+void Registry::AddCallbackGauge(std::string_view name, std::string_view help,
+                                std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindLocked(name) != nullptr) return;
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = MetricValue::Type::kGauge;
+  entry->gauge_fn = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricValue v;
+    v.name = e->name;
+    v.help = e->help;
+    v.type = e->type;
+    switch (e->type) {
+      case MetricValue::Type::kCounter:
+        v.counter = e->counter_fn ? e->counter_fn() : e->counter->value();
+        break;
+      case MetricValue::Type::kGauge:
+        v.gauge = e->gauge_fn ? e->gauge_fn() : e->gauge->value();
+        break;
+      case MetricValue::Type::kHistogram:
+        v.histogram = e->histogram->Snap();
+        break;
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(std::string_view name,
+                                            std::uint64_t def) const {
+  const MetricValue* m = Find(name);
+  return m != nullptr && m->type == MetricValue::Type::kCounter ? m->counter
+                                                                : def;
+}
+
+std::int64_t MetricsSnapshot::GaugeValue(std::string_view name,
+                                         std::int64_t def) const {
+  const MetricValue* m = Find(name);
+  return m != nullptr && m->type == MetricValue::Type::kGauge ? m->gauge
+                                                              : def;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.type != MetricValue::Type::kCounter) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(m.name) << "\":" << m.counter;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.type != MetricValue::Type::kGauge) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(m.name) << "\":" << m.gauge;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.type != MetricValue::Type::kHistogram) continue;
+    if (!first) os << ',';
+    first = false;
+    const Histogram::Snapshot& h = m.histogram;
+    os << '"' << JsonEscape(m.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << FormatDouble(h.sum) << ",\"buckets\":[";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      if (i > 0) os << ',';
+      os << "[\""
+         << (i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf")
+         << "\"," << cumulative << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (const MetricValue& m : metrics) {
+    const std::string name = PrometheusName(m.name);
+    if (!m.help.empty()) os << "# HELP " << name << ' ' << m.help << '\n';
+    switch (m.type) {
+      case MetricValue::Type::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << m.counter << '\n';
+        break;
+      case MetricValue::Type::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << m.gauge << '\n';
+        break;
+      case MetricValue::Type::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        const Histogram::Snapshot& h = m.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          cumulative += h.counts[i];
+          os << name << "_bucket{le=\""
+             << (i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf")
+             << "\"} " << cumulative << '\n';
+        }
+        os << name << "_sum " << FormatDouble(h.sum) << '\n'
+           << name << "_count " << h.count << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hsparql::obs

@@ -1,0 +1,227 @@
+// obs::Registry — engine-wide metrics: lock-cheap counters, gauges and
+// fixed-bucket latency histograms, snapshot-able to JSON and to the
+// Prometheus text exposition format.
+//
+// Design constraints (DESIGN.md §4g):
+//  * The write path is wait-free: Counter::Add and Gauge::Set are one
+//    relaxed atomic op, Histogram::Observe is a branchless bucket index
+//    plus two relaxed atomic adds. No metric update ever takes a lock, so
+//    instrumentation can sit inside the executor's hot loops.
+//  * Metrics register once (get-or-create by name under a mutex) and the
+//    returned pointers stay valid for the registry's lifetime, so steady-
+//    state code holds raw pointers and never touches the name table.
+//  * Values owned elsewhere (LRU-cache counters guarded by their own
+//    mutex, thread-pool queue depths) are exported through callback
+//    metrics evaluated at Snapshot() time — the registry never duplicates
+//    a counter that already has a consistency story of its own.
+//
+// Snapshot() copies every value in one pass under the registration mutex;
+// the copy is what serialises to JSON / Prometheus, so an export is always
+// internally consistent with itself (per metric; concurrent writers may
+// land between two metric reads, as in every metrics system of this shape).
+#ifndef HSPARQL_OBS_REGISTRY_H_
+#define HSPARQL_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace hsparql::obs {
+
+/// Monotonically increasing event count. Add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (active queries, queue depth, generation).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t delta = 1) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Increments a gauge for the current scope (e.g. active query count).
+class ScopedGauge {
+ public:
+  explicit ScopedGauge(Gauge* gauge) : gauge_(gauge) {
+    if (gauge_ != nullptr) gauge_->Add();
+  }
+  ~ScopedGauge() {
+    if (gauge_ != nullptr) gauge_->Sub();
+  }
+  ScopedGauge(const ScopedGauge&) = delete;
+  ScopedGauge& operator=(const ScopedGauge&) = delete;
+
+ private:
+  Gauge* gauge_;
+};
+
+/// Default latency bucket upper bounds in milliseconds: 50µs to 10s, a
+/// 1-2.5-5 decade ladder (everything above the last bound lands in the
+/// implicit +Inf bucket).
+inline constexpr double kLatencyBucketsMillis[] = {
+    0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+    1000, 2500, 5000, 10000};
+
+/// Fixed-bucket histogram. Observe() performs a linear scan over the
+/// (small, cache-resident) bound array plus two relaxed atomic adds; the
+/// per-bucket counts are plain (non-cumulative) and only converted to
+/// Prometheus's cumulative convention at snapshot time.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    /// Finite upper bounds; counts has one extra trailing +Inf bucket.
+    std::vector<double> bounds;
+    /// Non-cumulative per-bucket counts, size bounds.size() + 1.
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 buckets; the last is +Inf.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported value in a snapshot.
+struct MetricValue {
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Type type = Type::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  Histogram::Snapshot histogram;
+};
+
+/// A consistent copy of every registered metric, in registration order.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Lookup helpers for tests and gates; null when absent.
+  const MetricValue* Find(std::string_view name) const;
+  /// Counter/gauge value by name; `def` when absent or of another type.
+  std::uint64_t CounterValue(std::string_view name,
+                             std::uint64_t def = 0) const;
+  std::int64_t GaugeValue(std::string_view name, std::int64_t def = 0) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — histogram
+  /// buckets are emitted cumulatively as [upper_bound, count] pairs with
+  /// the +Inf bucket last, mirroring the Prometheus exposition.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format v0.0.4: HELP/TYPE headers,
+  /// cumulative _bucket{le=...} series plus _sum and _count. Metric names
+  /// have '.' rewritten to '_' to fit the Prometheus grammar.
+  std::string ToPrometheus() const;
+};
+
+/// The registry. Thread-safe; see the file comment for the model.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. Help text is taken from the first
+  /// registration; re-registering an existing name with a different
+  /// metric type returns nullptr (a programming error surfaced softly so
+  /// optional instrumentation can never crash a serving path).
+  Counter* GetCounter(std::string_view name, std::string_view help = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help = {});
+  Histogram* GetHistogram(
+      std::string_view name, std::string_view help = {},
+      std::span<const double> bounds = kLatencyBucketsMillis);
+
+  /// Callback metrics: the function is evaluated once per Snapshot() call.
+  /// For counters the callback must be monotonic (e.g. LRU-cache hit
+  /// counts read under the cache's own mutex).
+  void AddCallbackCounter(std::string_view name, std::string_view help,
+                          std::function<std::uint64_t()> fn);
+  void AddCallbackGauge(std::string_view name, std::string_view help,
+                        std::function<std::int64_t()> fn);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricValue::Type type = MetricValue::Type::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<std::uint64_t()> counter_fn;
+    std::function<std::int64_t()> gauge_fn;
+  };
+
+  Entry* FindLocked(std::string_view name);
+
+  mutable std::mutex mu_;
+  /// unique_ptr entries so metric addresses survive vector growth.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// RAII stage timer: observes the elapsed milliseconds of its scope into
+/// a histogram and/or accumulates them into a double. Either target may
+/// be null. This is the one ScopedTimer the codebase uses (DESIGN.md §4g);
+/// it reads the same common::Timer clock as every hand-held measurement.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, double* accumulate_millis = nullptr)
+      : histogram_(histogram), accumulate_(accumulate_millis) {}
+  ~ScopedTimer() {
+    const double ms = timer_.ElapsedMillis();
+    if (histogram_ != nullptr) histogram_->Observe(ms);
+    if (accumulate_ != nullptr) *accumulate_ += ms;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+
+ private:
+  Timer timer_;
+  Histogram* histogram_;
+  double* accumulate_;
+};
+
+}  // namespace hsparql::obs
+
+#endif  // HSPARQL_OBS_REGISTRY_H_

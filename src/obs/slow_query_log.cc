@@ -1,0 +1,98 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace hsparql::obs {
+
+namespace {
+
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendMillis(std::ostringstream& os, std::string_view key, double ms) {
+  os << ',' << JsonString(key) << ':' << std::fixed << std::setprecision(3)
+     << ms << std::defaultfloat;
+}
+
+}  // namespace
+
+std::uint64_t HashQueryText(std::string_view normalized_text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : normalized_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string ToJsonLine(const SlowQueryEvent& event) {
+  std::ostringstream os;
+  // query_hash as fixed-width hex: log pipelines treat it as an opaque id.
+  os << "{\"query_hash\":\"" << std::hex << std::setw(16)
+     << std::setfill('0') << event.query_hash << std::dec
+     << std::setfill(' ') << '"'
+     << ",\"planner\":" << JsonString(event.planner)
+     << ",\"status\":" << JsonString(event.status);
+  AppendMillis(os, "parse_millis", event.parse_millis);
+  AppendMillis(os, "plan_millis", event.plan_millis);
+  AppendMillis(os, "exec_millis", event.exec_millis);
+  AppendMillis(os, "total_millis", event.total_millis);
+  os << ",\"plan_cache_hit\":" << (event.plan_cache_hit ? "true" : "false")
+     << ",\"result_cache_hit\":"
+     << (event.result_cache_hit ? "true" : "false")
+     << ",\"rows\":" << event.rows
+     << ",\"generation\":" << event.generation << ",\"top_operators\":[";
+  for (std::size_t i = 0; i < event.top_operators.size(); ++i) {
+    const SlowQueryEvent::Op& op = event.top_operators[i];
+    if (i > 0) os << ',';
+    os << "{\"op\":" << JsonString(op.label);
+    AppendMillis(os, "self_millis", op.self_millis);
+    os << ",\"rows\":" << op.rows << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+SlowQueryLog::SlowQueryLog(double threshold_millis, Sink sink)
+    : threshold_millis_(threshold_millis), sink_(std::move(sink)) {}
+
+bool SlowQueryLog::MaybeLog(const SlowQueryEvent& event) {
+  if (!enabled() || event.total_millis < threshold_millis_) return false;
+  const std::string line = ToJsonLine(event);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::cerr << "slow-query: " << line << "\n";
+  }
+  return true;
+}
+
+}  // namespace hsparql::obs

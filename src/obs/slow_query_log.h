@@ -1,0 +1,87 @@
+// obs::SlowQueryLog — structured (one JSON object per line) log of
+// queries whose end-to-end latency crossed a threshold.
+//
+// The engine builds a SlowQueryEvent for every finished pipeline —
+// including ones that failed with a deadline — and hands it to
+// MaybeLog(), which serialises and emits it only when total_millis meets
+// the threshold. The sink is pluggable: servers point it at their logging
+// stack, tests capture lines in a vector; the default writes to stderr.
+// Emission is serialised so concurrent queries never interleave bytes of
+// two lines.
+#ifndef HSPARQL_OBS_SLOW_QUERY_LOG_H_
+#define HSPARQL_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsparql::obs {
+
+/// Everything one slow-query line carries. Field names match the JSON.
+struct SlowQueryEvent {
+  /// FNV-1a 64 of the *normalized* query text (whitespace/comment
+  /// insensitive, literal-preserving) — stable across reformattings of
+  /// the same query, and deliberately not the text itself so logs never
+  /// leak literals.
+  std::uint64_t query_hash = 0;
+  /// Planner that produced (or cached) the plan: "hsp", "cdp", ...
+  std::string planner;
+  /// Terminal status of the pipeline: "ok", "deadline_exceeded", or the
+  /// lowercase status-code name for other failures.
+  std::string status = "ok";
+  double parse_millis = 0.0;
+  double plan_millis = 0.0;
+  double exec_millis = 0.0;
+  double total_millis = 0.0;
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+  std::uint64_t rows = 0;
+  /// Store generation the query ran against.
+  std::uint64_t generation = 0;
+
+  /// Top operators by self time (the engine fills at most 3, from the
+  /// executor's per-operator stats — present even when tracing is off).
+  struct Op {
+    std::string label;
+    double self_millis = 0.0;
+    std::uint64_t rows = 0;
+  };
+  std::vector<Op> top_operators;
+};
+
+/// One event as a single-line JSON object (no trailing newline).
+std::string ToJsonLine(const SlowQueryEvent& event);
+
+class SlowQueryLog {
+ public:
+  /// Receives one complete JSON line per slow query (no newline).
+  using Sink = std::function<void(std::string_view)>;
+
+  /// threshold_millis <= 0 disables the log entirely (MaybeLog becomes a
+  /// single comparison). A null sink writes "slow-query: <line>\n" to
+  /// stderr.
+  explicit SlowQueryLog(double threshold_millis, Sink sink = {});
+
+  bool enabled() const { return threshold_millis_ > 0; }
+  double threshold_millis() const { return threshold_millis_; }
+
+  /// Serialises and emits `event` iff enabled and
+  /// event.total_millis >= threshold. Returns true when a line was
+  /// emitted. Thread-safe.
+  bool MaybeLog(const SlowQueryEvent& event);
+
+ private:
+  double threshold_millis_;
+  Sink sink_;
+  std::mutex mu_;
+};
+
+/// FNV-1a 64-bit — the query_hash function (shared with tests).
+std::uint64_t HashQueryText(std::string_view normalized_text);
+
+}  // namespace hsparql::obs
+
+#endif  // HSPARQL_OBS_SLOW_QUERY_LOG_H_

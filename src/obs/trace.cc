@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hsparql::obs {
+
+namespace {
+
+const OperatorTrace* FindIn(const OperatorTrace& node, int node_id) {
+  if (node.node_id == node_id) return &node;
+  for (const OperatorTrace& child : node.children) {
+    if (const OperatorTrace* hit = FindIn(child, node_id)) return hit;
+  }
+  return nullptr;
+}
+
+void Collect(const OperatorTrace& node,
+             std::vector<const OperatorTrace*>* out) {
+  out->push_back(&node);
+  for (const OperatorTrace& child : node.children) Collect(child, out);
+}
+
+void Render(const OperatorTrace& node, int depth, std::ostream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << node.label << "  rows=" << FormatCount(node.output_rows);
+  if (node.has_estimate()) {
+    os << " est=" << FormatCount(static_cast<std::uint64_t>(
+              node.estimated_rows + 0.5));
+    // Ratio convention: estimate / actual, so >1 means the statistics
+    // over-estimated this operator. An actual of 0 prints "inf"-free as
+    // just the estimate.
+    if (node.output_rows > 0) {
+      os << " (" << std::fixed << std::setprecision(2)
+         << node.estimated_rows / static_cast<double>(node.output_rows)
+         << "x)" << std::defaultfloat;
+    }
+  }
+  os << " in=" << FormatCount(node.input_rows) << " self=" << std::fixed
+     << std::setprecision(3) << node.self_millis << "ms"
+     << std::defaultfloat;
+  if (node.threads > 1) os << " threads=" << node.threads;
+  if (node.probes > 0) os << " probes=" << node.probes;
+  os << '\n';
+  for (const OperatorTrace& child : node.children) {
+    Render(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+const OperatorTrace* QueryTrace::Find(int node_id) const {
+  return FindIn(root, node_id);
+}
+
+std::vector<const OperatorTrace*> QueryTrace::TopBySelfTime(
+    std::size_t n) const {
+  std::vector<const OperatorTrace*> all;
+  Collect(root, &all);
+  std::sort(all.begin(), all.end(),
+            [](const OperatorTrace* a, const OperatorTrace* b) {
+              if (a->self_millis != b->self_millis) {
+                return a->self_millis > b->self_millis;
+              }
+              return a->node_id < b->node_id;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string QueryTrace::ToString() const {
+  std::ostringstream os;
+  Render(root, 0, os);
+  return os.str();
+}
+
+namespace {
+
+void Annotate(OperatorTrace* node, std::span<const std::uint64_t> estimates) {
+  if (node->node_id >= 0 &&
+      static_cast<std::size_t>(node->node_id) < estimates.size()) {
+    node->estimated_rows = static_cast<double>(
+        estimates[static_cast<std::size_t>(node->node_id)]);
+  }
+  for (OperatorTrace& child : node->children) Annotate(&child, estimates);
+}
+
+}  // namespace
+
+void AnnotateEstimates(QueryTrace* trace,
+                       std::span<const std::uint64_t> estimates) {
+  if (trace == nullptr) return;
+  Annotate(&trace->root, estimates);
+}
+
+}  // namespace hsparql::obs

@@ -1,0 +1,81 @@
+// obs::QueryTrace — per-operator runtime actuals for one query execution,
+// as a tree mirroring the plan shape (EXPLAIN ANALYZE's data model).
+//
+// The executor fills one OperatorTrace per plan node when
+// exec::ExecOptions::collect_trace is set: wall time of the operator
+// alone, input/output row counts, morsel fan-out, and — for scans — the
+// number of binary-search descents performed (prefix equal_range lookups
+// plus per-morsel IteratorAt seeks). The engine then annotates each node
+// with the statistics-based cardinality *estimate* for the same node, so
+// the rendering can print estimated-vs-actual ratios next to every
+// operator — exactly the feedback signal the HSP heuristics (H1–H5)
+// replace with syntax, and the starting point of runtime-feedback systems
+// like ROSIE (see PAPERS.md).
+#ifndef HSPARQL_OBS_TRACE_H_
+#define HSPARQL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsparql::obs {
+
+/// Actuals for one plan operator. `children` mirrors the plan node's
+/// children in order.
+struct OperatorTrace {
+  /// Plan-node id (LogicalPlan::AssignIds); -1 for unidentified nodes.
+  int node_id = -1;
+  /// The executor's operator label, e.g. "mergejoin ?x", "select(pos) tp2".
+  std::string label;
+  /// Rows the operator consumed: the scanned range size for scans, the
+  /// sum of both input tables for joins, the child's rows otherwise.
+  std::uint64_t input_rows = 0;
+  /// Rows the operator emitted (equals the executor's actual table size).
+  std::uint64_t output_rows = 0;
+  /// Binary-search descents (scans only): bound-prefix equal_range
+  /// lookups plus one merged-rank seek per morsel.
+  std::uint64_t probes = 0;
+  /// Wall time of this operator alone, excluding its children.
+  double self_millis = 0.0;
+  /// Morsels/partitions processed concurrently (1 = serial).
+  int threads = 1;
+  /// Statistics-based estimate for this operator's output cardinality;
+  /// negative when no estimate was attached (e.g. no Statistics around).
+  double estimated_rows = -1.0;
+
+  std::vector<OperatorTrace> children;
+
+  bool has_estimate() const { return estimated_rows >= 0.0; }
+};
+
+/// The whole execution: one OperatorTrace tree plus totals.
+struct QueryTrace {
+  OperatorTrace root;
+  /// End-to-end executor wall time (ExecResult::total_millis).
+  double total_millis = 0.0;
+
+  /// Depth-first lookup by plan-node id; null when absent.
+  const OperatorTrace* Find(int node_id) const;
+
+  /// The n operators with the largest self time, descending (ties broken
+  /// by node id for determinism) — the slow-query log's "top operators".
+  std::vector<const OperatorTrace*> TopBySelfTime(std::size_t n) const;
+
+  /// Annotated plan tree: every operator with its actual rows, input
+  /// rows, self time, fan-out, probes and (when attached) the
+  /// estimated-vs-actual ratio. The layout matches
+  /// LogicalPlan::ToString's indentation so the two renderings diff
+  /// cleanly.
+  std::string ToString() const;
+};
+
+/// Attaches estimated cardinalities to a trace: `estimates` is indexed by
+/// plan-node id (cdp::CardinalityEstimator::EstimatePlanCardinalities's
+/// output shape). Nodes whose id is out of range keep no estimate.
+void AnnotateEstimates(QueryTrace* trace,
+                       std::span<const std::uint64_t> estimates);
+
+}  // namespace hsparql::obs
+
+#endif  // HSPARQL_OBS_TRACE_H_

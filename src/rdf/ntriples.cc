@@ -202,7 +202,7 @@ Result<std::size_t> ReadParallel(std::string_view text, Graph* graph,
                                  const LoadOptions& options,
                                  LoadStats* stats) {
   ThreadPool& pool = ThreadPool::Shared();
-  WallTimer timer;
+  Timer timer;
 
   // Stage 1: newline-boundary chunking, plus a newline count per chunk so
   // every chunk knows its global starting line number up front (errors can
@@ -231,7 +231,7 @@ Result<std::size_t> ReadParallel(std::string_view text, Graph* graph,
 
   // Stage 2: parse every chunk concurrently into its own staging graph.
   // Chunk-local TermIds are first-occurrence order within the chunk.
-  WallTimer parse_timer;
+  Timer parse_timer;
   std::vector<ParsedChunk> parsed(chunks.size());
   pool.ParallelFor(0, chunks.size(), 1, [&](std::size_t c) {
     auto result = ParseLines(chunks[c], first_line[c], &parsed[c].graph);
@@ -251,7 +251,7 @@ Result<std::size_t> ReadParallel(std::string_view text, Graph* graph,
   // chunk order reproduces the serial first-occurrence order exactly, so
   // the global ids are byte-identical to the serial path. The remap of the
   // chunk triples onto global ids is data-parallel again.
-  WallTimer merge_timer;
+  Timer merge_timer;
   Dictionary& dict = graph->dictionary();
   std::size_t staged_terms = 0;
   std::size_t total_triples = 0;
@@ -321,12 +321,46 @@ Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph) {
   return ParseLines(text, /*first_line=*/1, graph);
 }
 
+namespace {
+
+/// Records one successful load into the caller's registry (see
+/// LoadOptions::metrics). Get-or-create by name each time: loads are rare
+/// enough that the name lookup under the registry mutex is noise.
+void RecordLoadMetrics(obs::Registry* metrics, const LoadStats& stats,
+                       std::size_t triples) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("loader.documents", "N-Triples documents loaded")
+      ->Add();
+  metrics->GetCounter("loader.triples", "Triples parsed by the loader")
+      ->Add(triples);
+  metrics->GetCounter("loader.lines", "Physical lines read by the loader")
+      ->Add(stats.lines);
+  metrics
+      ->GetHistogram("loader.split_millis",
+                     "Newline-boundary chunking stage latency")
+      ->Observe(stats.split_millis);
+  metrics
+      ->GetHistogram("loader.parse_millis",
+                     "(Parallel) chunk-parse stage latency")
+      ->Observe(stats.parse_millis);
+  metrics
+      ->GetHistogram("loader.merge_millis",
+                     "Dictionary-merge and remap stage latency")
+      ->Observe(stats.merge_millis);
+}
+
+}  // namespace
+
 Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph,
                                        const LoadOptions& options,
                                        LoadStats* stats) {
+  // Metric recording needs the stage stats even when the caller passed no
+  // LoadStats out-param.
+  LoadStats local_stats;
+  if (stats == nullptr && options.metrics != nullptr) stats = &local_stats;
   if (stats != nullptr) *stats = LoadStats{};
   if (options.num_threads <= 1) {
-    WallTimer timer;
+    Timer timer;
     auto result = ParseLines(text, /*first_line=*/1, graph);
     if (stats != nullptr) {
       stats->chunks = 1;
@@ -334,10 +368,15 @@ Result<std::size_t> ReadNTriplesString(std::string_view text, Graph* graph,
           std::count(text.begin(), text.end(), '\n'));
       if (!text.empty() && text.back() != '\n') ++stats->lines;
       stats->parse_millis = timer.ElapsedMillis();
+      if (result.ok()) RecordLoadMetrics(options.metrics, *stats, *result);
     }
     return result;
   }
-  return ReadParallel(text, graph, options, stats);
+  auto result = ReadParallel(text, graph, options, stats);
+  if (result.ok() && stats != nullptr) {
+    RecordLoadMetrics(options.metrics, *stats, *result);
+  }
+  return result;
 }
 
 std::string EscapeLiteral(std::string_view value) {

@@ -23,6 +23,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/registry.h"
 #include "rdf/graph.h"
 
 namespace hsparql::rdf {
@@ -33,6 +34,12 @@ struct LoadOptions {
   /// >= 2 use common::ThreadPool::Shared() (the pool load-balances, so
   /// this is a chunking hint, not a hard thread count).
   std::size_t num_threads = 0;
+  /// Optional metrics registry: every successful load records its stage
+  /// latencies (loader.{split,parse,merge}_millis histograms) and volume
+  /// counters (loader.documents, loader.triples, loader.lines) — the
+  /// loader-side view of the same registry Engine::metrics() exposes.
+  /// Null (the default) records nothing.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Stage timings of one load, for bench_load_scaling and diagnostics.

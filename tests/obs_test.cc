@@ -1,0 +1,690 @@
+// Tests for the observability layer (src/obs/) and its integration into
+// the engine and executor: the metrics registry with its JSON/Prometheus
+// expositions, EXPLAIN ANALYZE traces (per-operator actuals must equal
+// the executor's own cardinality accounting, for every planner), the
+// structured slow-query log, scripted LRU-cache accounting including
+// generation-bump invalidation, and thread-pool stats.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/lru_cache.h"
+#include "exec/executor.h"
+#include "obs/registry.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "rdf/term.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+
+namespace hsparql {
+namespace {
+
+using engine::Engine;
+using engine::EngineOptions;
+using engine::QueryOptions;
+
+// Same chain query engine_test.cc uses over testing::SmallBibGraph():
+// authors who published in the 1940 journal (Alice and Bob).
+constexpr std::string_view kChainQuery =
+    "SELECT ?name WHERE { ?j <dc:title> \"Journal 1 (1940)\" . "
+    "?a <swrc:journal> ?j . ?a <dc:creator> ?p . ?p <foaf:name> ?name }";
+
+storage::TripleStore BibStore() {
+  return storage::TripleStore::Build(hsparql::testing::SmallBibGraph());
+}
+
+bool TraceForcedByEnv() {
+  const char* v = std::getenv("HSPARQL_FORCE_TRACE");
+  return v != nullptr && *v != '\0';
+}
+
+std::string HashHex(std::uint64_t hash) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << hash;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// obs::Registry
+
+TEST(RegistryTest, CounterGaugeHistogramSemantics) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.GetCounter("t.count", "help");
+  counter->Add();
+  counter->Add(4);
+  EXPECT_EQ(counter->value(), 5u);
+  // Get-or-create: same name, same metric.
+  EXPECT_EQ(registry.GetCounter("t.count"), counter);
+
+  obs::Gauge* gauge = registry.GetGauge("t.gauge");
+  gauge->Set(10);
+  gauge->Add(3);
+  gauge->Sub(14);
+  EXPECT_EQ(gauge->value(), -1);
+
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  obs::Histogram* histogram = registry.GetHistogram("t.hist", "h", bounds);
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  histogram->Observe(100.0);
+  obs::Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 105.5);
+  ASSERT_EQ(snap.counts.size(), 3u);  // two finite buckets + +Inf
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("t.count"), 5u);
+  EXPECT_EQ(snapshot.GaugeValue("t.gauge"), -1);
+  ASSERT_NE(snapshot.Find("t.hist"), nullptr);
+  EXPECT_EQ(snapshot.Find("t.hist")->histogram.count, 3u);
+  EXPECT_EQ(snapshot.Find("t.missing"), nullptr);
+  EXPECT_EQ(snapshot.CounterValue("t.missing", 99), 99u);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsNullNeverCrashes) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.GetCounter("metric");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(registry.GetGauge("metric"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("metric"), nullptr);
+  EXPECT_EQ(registry.GetCounter("metric"), counter);
+  // A gauge read through CounterValue falls back to the default.
+  registry.GetGauge("g")->Set(5);
+  EXPECT_EQ(registry.Snapshot().CounterValue("g", 42), 42u);
+}
+
+TEST(RegistryTest, CallbackMetricsEvaluatedAtSnapshotTime) {
+  obs::Registry registry;
+  std::uint64_t count = 0;
+  std::int64_t depth = 0;
+  registry.AddCallbackCounter("cb.count", "", [&] { return count; });
+  registry.AddCallbackGauge("cb.depth", "", [&] { return depth; });
+  EXPECT_EQ(registry.Snapshot().CounterValue("cb.count"), 0u);
+  count = 7;
+  depth = -3;
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("cb.count"), 7u);
+  EXPECT_EQ(snapshot.GaugeValue("cb.depth"), -3);
+}
+
+TEST(RegistryTest, ScopedGaugeAndScopedTimer) {
+  obs::Registry registry;
+  obs::Gauge* active = registry.GetGauge("active");
+  obs::Histogram* latency = registry.GetHistogram("latency");
+  double accumulated = 0.0;
+  {
+    obs::ScopedGauge in_flight(active);
+    EXPECT_EQ(active->value(), 1);
+    obs::ScopedTimer timer(latency, &accumulated);
+    EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  }
+  EXPECT_EQ(active->value(), 0);
+  EXPECT_EQ(latency->Snap().count, 1u);
+  EXPECT_GT(accumulated, 0.0);
+}
+
+TEST(RegistryTest, JsonExpositionIsExact) {
+  obs::Registry registry;
+  registry.GetCounter("app.requests", "Requests")->Add(3);
+  registry.GetGauge("app.depth")->Set(-2);
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  obs::Histogram* h = registry.GetHistogram("app.latency", "", bounds);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(100.0);
+  EXPECT_EQ(registry.Snapshot().ToJson(),
+            "{\"counters\":{\"app.requests\":3},"
+            "\"gauges\":{\"app.depth\":-2},"
+            "\"histograms\":{\"app.latency\":{\"count\":3,\"sum\":105.5,"
+            "\"buckets\":[[\"1\",1],[\"10\",2],[\"+Inf\",3]]}}}");
+}
+
+TEST(RegistryTest, PrometheusExpositionRewritesNamesAndCumulates) {
+  obs::Registry registry;
+  registry.GetCounter("app.requests", "Total requests")->Add(3);
+  registry.GetGauge("app.depth")->Set(-2);
+  const std::array<double, 1> bounds = {10.0};
+  obs::Histogram* h = registry.GetHistogram("app.latency", "", bounds);
+  h->Observe(5.0);
+  h->Observe(100.0);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# HELP app_requests Total requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_requests counter\napp_requests 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_depth gauge\napp_depth -2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_latency histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_sum 105\n"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_count 2\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// obs::QueryTrace
+
+obs::QueryTrace MakeTestTrace() {
+  obs::QueryTrace trace;
+  trace.root.node_id = 2;
+  trace.root.label = "mergejoin ?x";
+  trace.root.self_millis = 1.0;
+  obs::OperatorTrace left;
+  left.node_id = 0;
+  left.label = "select(pos) tp0";
+  left.self_millis = 5.0;
+  obs::OperatorTrace right;
+  right.node_id = 1;
+  right.label = "select(pos) tp1";
+  right.self_millis = 3.0;
+  trace.root.children = {left, right};
+  return trace;
+}
+
+TEST(QueryTraceTest, FindAndTopBySelfTime) {
+  obs::QueryTrace trace = MakeTestTrace();
+  ASSERT_NE(trace.Find(1), nullptr);
+  EXPECT_EQ(trace.Find(1)->label, "select(pos) tp1");
+  EXPECT_EQ(trace.Find(99), nullptr);
+
+  auto top = trace.TopBySelfTime(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0]->node_id, 0);  // 5ms
+  EXPECT_EQ(top[1]->node_id, 1);  // 3ms
+  EXPECT_EQ(trace.TopBySelfTime(10).size(), 3u);
+}
+
+TEST(QueryTraceTest, AnnotateEstimatesByNodeId) {
+  obs::QueryTrace trace = MakeTestTrace();
+  EXPECT_FALSE(trace.root.has_estimate());
+  const std::array<std::uint64_t, 2> estimates = {40, 7};
+  obs::AnnotateEstimates(&trace, estimates);
+  // Ids 0 and 1 are covered; the root (id 2) is out of range and keeps
+  // no estimate.
+  EXPECT_FALSE(trace.root.has_estimate());
+  ASSERT_TRUE(trace.root.children[0].has_estimate());
+  EXPECT_DOUBLE_EQ(trace.root.children[0].estimated_rows, 40.0);
+  EXPECT_DOUBLE_EQ(trace.root.children[1].estimated_rows, 7.0);
+  obs::AnnotateEstimates(nullptr, estimates);  // must be a safe no-op
+}
+
+TEST(QueryTraceTest, ToStringRendersActualsAndRatios) {
+  obs::QueryTrace trace = MakeTestTrace();
+  trace.root.output_rows = 10;
+  trace.root.children[0].output_rows = 20;
+  trace.root.children[0].probes = 3;
+  const std::array<std::uint64_t, 3> estimates = {40, 7, 10};
+  obs::AnnotateEstimates(&trace, estimates);
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("mergejoin ?x  rows=10 est=10 (1.00x)"),
+            std::string::npos);
+  EXPECT_NE(text.find("  select(pos) tp0  rows=20 est=40 (2.00x)"),
+            std::string::npos);
+  EXPECT_NE(text.find("probes=3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE through the engine, all four planners, SP2Bench workload
+
+Engine* Sp2bEngine() {
+  static Engine* engine = new Engine(storage::TripleStore::Build(
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(20000))));
+  return engine;
+}
+
+/// Recursively checks one trace node against the executor's own
+/// accounting: reported output rows must equal the actual per-node
+/// cardinality, inputs must equal the children's outputs, and every node
+/// must carry a cardinality estimate (the engine has statistics).
+void CheckTraceNode(const obs::OperatorTrace& node,
+                    const exec::ExecResult& result, const std::string& tag,
+                    std::size_t* nodes_seen) {
+  ++*nodes_seen;
+  ASSERT_GE(node.node_id, 0) << tag;
+  ASSERT_LT(static_cast<std::size_t>(node.node_id),
+            result.cardinalities.size())
+      << tag;
+  EXPECT_EQ(node.output_rows,
+            result.cardinalities[static_cast<std::size_t>(node.node_id)])
+      << tag << " node " << node.node_id << " (" << node.label << ")";
+  EXPECT_TRUE(node.has_estimate())
+      << tag << " node " << node.node_id << " (" << node.label << ")";
+  if (!node.children.empty()) {
+    std::uint64_t child_rows = 0;
+    for (const obs::OperatorTrace& child : node.children) {
+      child_rows += child.output_rows;
+    }
+    EXPECT_EQ(node.input_rows, child_rows)
+        << tag << " node " << node.node_id << " (" << node.label << ")";
+  } else {
+    // Leaves are index scans: at least one binary-search descent each.
+    EXPECT_GT(node.probes, 0u)
+        << tag << " node " << node.node_id << " (" << node.label << ")";
+  }
+  for (const obs::OperatorTrace& child : node.children) {
+    CheckTraceNode(child, result, tag, nodes_seen);
+  }
+}
+
+TEST(ExplainAnalyzeTest, TraceRowsEqualActualRowsForAllFourPlanners) {
+  Engine& engine = *Sp2bEngine();
+  const struct {
+    plan::PlannerKind kind;
+    const char* name;
+  } kPlanners[] = {{plan::PlannerKind::kHsp, "hsp"},
+                   {plan::PlannerKind::kCdp, "cdp"},
+                   {plan::PlannerKind::kLeftDeep, "sql"},
+                   {plan::PlannerKind::kHybrid, "hybrid"}};
+  for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+    if (wq.dataset != workload::Dataset::kSp2Bench) continue;
+    for (const auto& planner : kPlanners) {
+      const std::string tag = wq.id + "/" + planner.name;
+      QueryOptions options;
+      options.planner = planner.kind;
+      options.collect_trace = true;
+      auto response = engine.Query(wq.sparql, options);
+      ASSERT_TRUE(response.ok()) << tag << ": " << response.status();
+      ASSERT_NE(response->trace, nullptr) << tag;
+      const exec::ExecResult& result = *response->result;
+
+      // The root emits the final answer.
+      EXPECT_EQ(response->trace->root.output_rows, result.table.rows) << tag;
+      EXPECT_DOUBLE_EQ(response->trace->total_millis, result.total_millis)
+          << tag;
+
+      std::size_t nodes_seen = 0;
+      CheckTraceNode(response->trace->root, result, tag, &nodes_seen);
+      // The trace mirrors the plan: one node per recorded operator.
+      EXPECT_EQ(nodes_seen, result.stats.size()) << tag;
+    }
+  }
+}
+
+TEST(ExplainAnalyzeTest, TraceIsOptInAndAnnotated) {
+  Engine engine(BibStore());
+  auto untraced = engine.Query(kChainQuery);
+  ASSERT_TRUE(untraced.ok()) << untraced.status();
+  if (!TraceForcedByEnv()) {
+    EXPECT_EQ(untraced->trace, nullptr);
+  }
+
+  QueryOptions options;
+  options.collect_trace = true;
+  auto traced = engine.Query(kChainQuery, options);
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  ASSERT_NE(traced->trace, nullptr);
+  EXPECT_EQ(traced->trace->root.output_rows, 2u);
+  EXPECT_TRUE(traced->trace->root.has_estimate());
+  const std::string rendering = traced->trace->ToString();
+  EXPECT_NE(rendering.find("rows=2"), std::string::npos);
+  EXPECT_NE(rendering.find("est="), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, ResultCacheHitReturnsOriginalTrace) {
+  EngineOptions engine_options;
+  engine_options.result_cache_capacity = 8;
+  Engine engine(BibStore(), engine_options);
+  QueryOptions options;
+  options.collect_trace = true;
+  auto first = engine.Query(kChainQuery, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first->trace, nullptr);
+  auto second = engine.Query(kChainQuery, options);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->result_cache_hit);
+  // The hit hands back the trace captured when the entry was computed.
+  EXPECT_EQ(second->trace.get(), first->trace.get());
+}
+
+// ---------------------------------------------------------------------------
+// Engine metrics + ExportMetrics round-trip
+
+TEST(EngineMetricsTest, CountersGaugesAndHistogramsTrackQueries) {
+  Engine engine(BibStore());
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  obs::MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.total"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.errors"), 0u);
+  EXPECT_EQ(snapshot.CounterValue("engine.rows.emitted"), 2u);
+  EXPECT_GT(snapshot.CounterValue("engine.rows.scanned"), 0u);
+  EXPECT_EQ(snapshot.GaugeValue("engine.queries.active"), 0);
+  EXPECT_EQ(snapshot.GaugeValue("engine.store.generation"), 0);
+  EXPECT_EQ(snapshot.GaugeValue("engine.store.base_triples"),
+            static_cast<std::int64_t>(engine.store_size()));
+  EXPECT_EQ(snapshot.GaugeValue("engine.store.delta_triples"), 0);
+  EXPECT_EQ(snapshot.CounterValue("engine.plan_cache.misses"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("engine.plan_cache.hits"), 0u);
+  ASSERT_NE(snapshot.Find("engine.query.total_millis"), nullptr);
+  EXPECT_EQ(snapshot.Find("engine.query.total_millis")->histogram.count, 1u);
+  // The shared thread pool exports through callbacks.
+  EXPECT_NE(snapshot.Find("threadpool.tasks_executed"), nullptr);
+  EXPECT_NE(snapshot.Find("threadpool.queue_depth"), nullptr);
+
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.total"), 2u);
+  EXPECT_EQ(snapshot.CounterValue("engine.plan_cache.hits"), 1u);
+}
+
+TEST(EngineMetricsTest, ExportMetricsRoundTripsJsonAndPrometheus) {
+  Engine engine(BibStore());
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+
+  const std::string json = engine.ExportMetrics(Engine::MetricsFormat::kJson);
+  EXPECT_EQ(json.rfind("{\"counters\":{", 0), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"engine.queries.total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.rows.emitted\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.plan_cache.hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.query.total_millis\":{\"count\":2"),
+            std::string::npos);
+
+  const std::string prom =
+      engine.ExportMetrics(Engine::MetricsFormat::kPrometheus);
+  EXPECT_NE(prom.find("engine_queries_total 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("engine_rows_emitted 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE engine_query_total_millis histogram\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("engine_query_total_millis_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("engine_query_total_millis_count 2\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+
+TEST(SlowQueryLogTest, ToJsonLineIsExact) {
+  obs::SlowQueryEvent event;
+  event.query_hash = 0xabc;
+  event.planner = "hsp";
+  event.parse_millis = 1.0;
+  event.plan_millis = 2.0;
+  event.exec_millis = 3.0;
+  event.total_millis = 6.5;
+  event.plan_cache_hit = true;
+  event.rows = 42;
+  event.generation = 7;
+  event.top_operators.push_back({"scan tp1", 3.25, 10});
+  EXPECT_EQ(obs::ToJsonLine(event),
+            "{\"query_hash\":\"0000000000000abc\",\"planner\":\"hsp\","
+            "\"status\":\"ok\",\"parse_millis\":1.000,\"plan_millis\":2.000,"
+            "\"exec_millis\":3.000,\"total_millis\":6.500,"
+            "\"plan_cache_hit\":true,\"result_cache_hit\":false,"
+            "\"rows\":42,\"generation\":7,\"top_operators\":"
+            "[{\"op\":\"scan tp1\",\"self_millis\":3.250,\"rows\":10}]}");
+}
+
+TEST(SlowQueryLogTest, HashIsStableUnderReformatting) {
+  // FNV-1a 64 offset basis: hash of the empty string.
+  EXPECT_EQ(obs::HashQueryText(""), 14695981039346656037ULL);
+  std::string spread(kChainQuery);
+  spread.insert(spread.find("WHERE"), "\n\t ");
+  EXPECT_EQ(obs::HashQueryText(engine::NormalizeQueryText(spread)),
+            obs::HashQueryText(engine::NormalizeQueryText(kChainQuery)));
+  EXPECT_NE(obs::HashQueryText("a"), obs::HashQueryText("b"));
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesEmission) {
+  std::vector<std::string> lines;
+  obs::SlowQueryLog log(10.0, [&lines](std::string_view line) {
+    lines.emplace_back(line);
+  });
+  EXPECT_TRUE(log.enabled());
+  obs::SlowQueryEvent event;
+  event.total_millis = 9.9;
+  EXPECT_FALSE(log.MaybeLog(event));
+  event.total_millis = 10.0;  // threshold is inclusive
+  EXPECT_TRUE(log.MaybeLog(event));
+  ASSERT_EQ(lines.size(), 1u);
+
+  obs::SlowQueryLog disabled(0.0);
+  event.total_millis = 1e9;
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.MaybeLog(event));
+}
+
+TEST(SlowQueryLogTest, EngineEmitsLineWithNormalizedHash) {
+  std::vector<std::string> lines;
+  EngineOptions options;
+  options.slow_query_millis = 1e-6;  // everything is "slow"
+  options.slow_query_sink = [&lines](std::string_view line) {
+    lines.emplace_back(line);
+  };
+  Engine engine(BibStore(), options);
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"planner\":\"hsp\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"rows\":2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"plan_cache_hit\":false"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"top_operators\":[{"), std::string::npos);
+  const std::string expected_hash =
+      "\"query_hash\":\"" +
+      HashHex(obs::HashQueryText(
+          engine::NormalizeQueryText(kChainQuery))) +
+      "\"";
+  EXPECT_NE(lines[0].find(expected_hash), std::string::npos);
+
+  // A reformatted copy of the query logs the same hash (and hits the
+  // plan cache).
+  std::string spread(kChainQuery);
+  spread.insert(spread.find("WHERE"), "\n\t ");
+  ASSERT_TRUE(engine.Query(spread).ok());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find(expected_hash), std::string::npos);
+  EXPECT_NE(lines[1].find("\"plan_cache_hit\":true"), std::string::npos);
+  EXPECT_EQ(engine.metrics().Snapshot().CounterValue("engine.queries.slow"),
+            2u);
+}
+
+TEST(SlowQueryLogTest, DeadlineExpiredQueryIsLogged) {
+  std::vector<std::string> lines;
+  EngineOptions options;
+  options.slow_query_millis = 1e-6;
+  options.slow_query_sink = [&lines](std::string_view line) {
+    lines.emplace_back(line);
+  };
+  Engine engine(BibStore(), options);
+  CancelToken cancelled;
+  cancelled.Cancel();
+  QueryOptions query_options;
+  query_options.timeout_ms = 60000;  // generous; the parent is expired
+  query_options.cancel = &cancelled;
+  auto response = engine.Query(kChainQuery, query_options);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"status\":\"deadline_exceeded\""),
+            std::string::npos);
+  obs::MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.errors"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.deadline_exceeded"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.slow"), 1u);
+}
+
+TEST(SlowQueryLogTest, CacheHitQueryUnderThresholdIsNotLogged) {
+  std::vector<std::string> lines;
+  EngineOptions options;
+  // A cache hit on this four-triple-pattern query over 20 triples is
+  // orders of magnitude under a minute.
+  options.slow_query_millis = 60000.0;
+  options.result_cache_capacity = 8;
+  options.slow_query_sink = [&lines](std::string_view line) {
+    lines.emplace_back(line);
+  };
+  Engine engine(BibStore(), options);
+  ASSERT_TRUE(engine.Query(kChainQuery).ok());
+  auto hit = engine.Query(kChainQuery);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->result_cache_hit);
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(engine.metrics().Snapshot().CounterValue("engine.queries.slow"),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// LRU-cache accounting: scripted access sequences with exact counters
+
+TEST(LruCacheAccountingTest, ScriptedSequenceMatchesExactly) {
+  engine::LruCache<std::string, int> cache(2);
+  auto expect = [&cache](std::uint64_t hits, std::uint64_t misses,
+                         std::uint64_t insertions, std::uint64_t evictions,
+                         int line) {
+    SCOPED_TRACE(::testing::Message() << "after step at line " << line);
+    EXPECT_EQ(cache.counters().hits, hits);
+    EXPECT_EQ(cache.counters().misses, misses);
+    EXPECT_EQ(cache.counters().insertions, insertions);
+    EXPECT_EQ(cache.counters().evictions, evictions);
+  };
+
+  EXPECT_FALSE(cache.Get("a").has_value());
+  expect(0, 1, 0, 0, __LINE__);
+  cache.Put("a", 1);
+  expect(0, 1, 1, 0, __LINE__);
+  EXPECT_EQ(cache.Get("a"), 1);
+  expect(1, 1, 1, 0, __LINE__);
+  cache.Put("b", 2);
+  cache.Put("c", 3);  // evicts "a" (least recent)
+  expect(1, 1, 3, 1, __LINE__);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.Get("b"), 2);
+  EXPECT_EQ(cache.Get("c"), 3);
+  expect(3, 2, 3, 1, __LINE__);
+  // Touch "b" so "c" is the LRU entry, then insert "d": "c" goes.
+  EXPECT_EQ(cache.Get("b"), 2);
+  cache.Put("d", 4);
+  expect(4, 2, 4, 2, __LINE__);
+  EXPECT_FALSE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.Get("b"), 2);
+  expect(5, 3, 4, 2, __LINE__);
+  // Overwriting an existing key is neither an insertion nor an eviction.
+  cache.Put("b", 20);
+  expect(5, 3, 4, 2, __LINE__);
+  EXPECT_EQ(cache.Get("b"), 20);
+  EXPECT_EQ(cache.size(), 2u);
+  // Clear drops entries but never counters.
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  expect(6, 3, 4, 2, __LINE__);
+
+  // Capacity 0 disables the cache entirely.
+  engine::LruCache<std::string, int> off(0);
+  off.Put("a", 1);
+  EXPECT_EQ(off.size(), 0u);
+  EXPECT_FALSE(off.Get("a").has_value());
+  EXPECT_EQ(off.counters().insertions, 0u);
+}
+
+TEST(LruCacheAccountingTest, EngineCachesFollowScriptIncludingGenerationBump) {
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  options.result_cache_capacity = 2;
+  Engine engine(BibStore(), options);
+  const std::string a(kChainQuery);
+  const std::string b =
+      "SELECT ?j WHERE { ?j <dc:title> \"Journal 1 (1940)\" }";
+  const std::string c = "SELECT ?p WHERE { ?p <foaf:name> ?n }";
+
+  auto expect = [&engine](std::uint64_t plan_h, std::uint64_t plan_m,
+                          std::uint64_t plan_e, std::uint64_t result_h,
+                          std::uint64_t result_m, std::uint64_t result_e,
+                          int line) {
+    SCOPED_TRACE(::testing::Message() << "after step at line " << line);
+    engine::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.plan_cache.hits, plan_h);
+    EXPECT_EQ(stats.plan_cache.misses, plan_m);
+    EXPECT_EQ(stats.plan_cache.evictions, plan_e);
+    EXPECT_EQ(stats.result_cache.hits, result_h);
+    EXPECT_EQ(stats.result_cache.misses, result_m);
+    EXPECT_EQ(stats.result_cache.evictions, result_e);
+  };
+
+  ASSERT_TRUE(engine.Query(a).ok());  // both caches: miss + insert
+  expect(0, 1, 0, 0, 1, 0, __LINE__);
+  auto hit = engine.Query(a);  // both caches: hit
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->plan_cache_hit);
+  EXPECT_TRUE(hit->result_cache_hit);
+  expect(1, 1, 0, 1, 1, 0, __LINE__);
+  ASSERT_TRUE(engine.Query(b).ok());  // miss + insert
+  ASSERT_TRUE(engine.Query(c).ok());  // miss + insert, evicts a's entries
+  expect(1, 3, 1, 1, 3, 1, __LINE__);
+  auto remiss = engine.Query(a);  // miss again: evicted; evicts b's entries
+  ASSERT_TRUE(remiss.ok());
+  EXPECT_FALSE(remiss->plan_cache_hit);
+  EXPECT_FALSE(remiss->result_cache_hit);
+  expect(1, 4, 2, 1, 4, 2, __LINE__);
+
+  // Mutation: bumps the generation, drops every cached plan, and strands
+  // old-generation result entries (they age out via LRU, never hit).
+  const std::array<std::array<rdf::Term, 3>, 1> triples = {{
+      {rdf::Term::Iri("ex:a9"), rdf::Term::Iri("swrc:journal"),
+       rdf::Term::Iri("ex:j1940")},
+  }};
+  ASSERT_TRUE(engine.AddTriples(triples).ok());
+  engine::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_EQ(stats.plan_cache_size, 0u);
+  EXPECT_EQ(stats.result_cache_size, 2u);  // stale but still resident
+
+  // Same text again: the plan must be rebuilt and the old-generation
+  // result entry can never be served — both caches miss.
+  auto fresh = engine.Query(a);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->plan_cache_hit);
+  EXPECT_FALSE(fresh->result_cache_hit);
+  expect(1, 5, 2, 1, 5, 3, __LINE__);
+  stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache_size, 1u);
+  EXPECT_EQ(stats.result_cache_size, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool stats
+
+TEST(ThreadPoolStatsTest, CountsTasksAndDrainsQueues) {
+  ThreadPool pool(2);
+  ThreadPool::Stats before = pool.stats();
+  EXPECT_EQ(before.tasks_executed, 0u);
+  EXPECT_EQ(before.queue_depth, 0u);
+
+  std::atomic<std::uint64_t> sum{0};
+  pool.ParallelFor(0, 1000, 10, [&sum](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+
+  ThreadPool::Stats after = pool.stats();
+  EXPECT_GT(after.tasks_executed, 0u);
+  EXPECT_EQ(after.queue_depth, 0u);  // ParallelFor returns after the drain
+
+  // Single-chunk ranges run inline: no tasks are ever queued.
+  ThreadPool::Stats before_inline = pool.stats();
+  pool.ParallelFor(0, 5, 100, [&sum](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(pool.stats().tasks_executed, before_inline.tasks_executed);
+}
+
+}  // namespace
+}  // namespace hsparql

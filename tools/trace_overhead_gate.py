@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate: EXPLAIN ANALYZE tracing must be (near-)free when disabled.
+
+Compares two google-benchmark JSON result files from
+bench/bench_micro_operators — one run with tracing disabled (the default)
+and one with the trace forced on via HSPARQL_FORCE_TRACE — and fails when
+the geometric-mean slowdown of the traced run exceeds the given budget.
+
+The traced run does strictly more work than the untraced one (it assembles
+the plan-shaped obs::QueryTrace tree on every Execute), so its slowdown is
+an upper bound on what the tracing *hooks* can cost a run that never asks
+for a trace. Per-benchmark *minima* across repetitions are compared (run
+with --benchmark_repetitions): scheduling and frequency noise only ever
+slows a repetition down, so the min is the stable estimate of each
+benchmark's true cost and the only aggregate tight enough for a
+single-digit-percent gate on a shared CI runner.
+
+Usage: trace_overhead_gate.py <baseline.json> <traced.json> <max_pct>
+"""
+
+import json
+import math
+import sys
+
+
+def minima(path):
+    """run_name -> min real_time across repetitions of a JSON report."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        # Skip mean/median/stddev aggregate rows; keep raw repetitions.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["run_name"]
+        t = float(bench["real_time"])
+        out[name] = min(out[name], t) if name in out else t
+    return out
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    baseline = minima(sys.argv[1])
+    traced = minima(sys.argv[2])
+    budget_pct = float(sys.argv[3])
+
+    shared = sorted(set(baseline) & set(traced))
+    if not shared:
+        sys.exit("gate error: no common benchmarks between the two reports")
+
+    log_ratio_sum = 0.0
+    for name in shared:
+        ratio = traced[name] / baseline[name]
+        log_ratio_sum += math.log(ratio)
+        print(f"{name}: base {baseline[name]:.1f} traced {traced[name]:.1f} "
+              f"({(ratio - 1) * 100:+.2f}%)")
+    geomean = math.exp(log_ratio_sum / len(shared))
+    overhead_pct = (geomean - 1.0) * 100.0
+    print(f"geomean slowdown with tracing forced on: {overhead_pct:+.2f}% "
+          f"over {len(shared)} benchmarks (budget {budget_pct:.1f}%)")
+    if overhead_pct > budget_pct:
+        sys.exit(f"gate FAILED: {overhead_pct:.2f}% > {budget_pct:.1f}%")
+    print("gate passed")
+
+
+if __name__ == "__main__":
+    main()
