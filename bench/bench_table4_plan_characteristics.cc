@@ -66,9 +66,12 @@ int Run(int argc, char** argv) {
 
     // "Similar plans": same rendered operator tree modulo the FILTER
     // handling difference (HSP folds filters; compare join structure).
+    // Leapfrog counts always match here (off by default in both planners)
+    // but keep the comparison honest should either planner enable them.
     bool same_structure =
         hp.CountJoins(JoinAlgo::kMerge) == cp.CountJoins(JoinAlgo::kMerge) &&
         hp.CountJoins(JoinAlgo::kHash) == cp.CountJoins(JoinAlgo::kHash) &&
+        hp.CountLeapfrogJoins() == cp.CountLeapfrogJoins() &&
         hp.shape() == cp.shape() &&
         hp.MergeJoinVariables() == cp.MergeJoinVariables();
     bool same_merge_vars = hp.MergeJoinVariables() == cp.MergeJoinVariables();

@@ -1,0 +1,437 @@
+// Worst-case-optimal join microbenchmarks: cyclic and star queries where
+// every binary join plan must materialise a large intermediate result
+// (wedges through high-degree hubs) while the leapfrog operator stays
+// output-bound by intersecting per-pattern sorted iterators.
+//
+// Scenarios, all on seeded synthetic graphs:
+//   triangle     ?x->?y->?z->?x on a skewed random graph (gated)
+//   four_clique  all six edges among {?x ?y ?z ?w}, planted cliques (gated)
+//   star         three-predicate subject star (reported, not gated —
+//                binary merge joins are already near-optimal here)
+//   chain        acyclic control: planned only; every planner must keep
+//                a pure binary plan even with --leapfrog-style options on
+//
+// Correctness is pinned before anything is timed: for each scenario the
+// leapfrog plan (serial and at 4 threads) must return the same result
+// bag as every flag-off binary plan, every plan must pass PlanLint
+// (including the PL5xx leapfrog invariants), and with the flag off all
+// four planners must emit zero leapfrog joins (paper-reproduction plans
+// are unchanged by this feature).
+//
+// The gate: geomean over the gated scenarios of
+//     min-over-repetitions(best binary planner) /
+//     min-over-repetitions(leapfrog plan)
+// must be >= 3. Ends with a machine-readable JSON summary, optionally
+// mirrored to --json=path.
+//
+// Flags: --nodes=N (default 2000), --runs=N (default 7),
+//        --quick (smaller graphs, fewer runs; gates stay active),
+//        --json=path (write the JSON summary to a file as well).
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "lint/plan_lint.h"
+#include "plan/planner.h"
+#include "sparql/parser.h"
+
+namespace hsparql {
+namespace {
+
+constexpr char kTriangleQuery[] =
+    "SELECT ?x ?y ?z WHERE { ?x <e> ?y . ?y <e> ?z . ?x <e> ?z }";
+constexpr char kFourCliqueQuery[] =
+    "SELECT ?x ?y ?z ?w WHERE { ?x <e> ?y . ?x <e> ?z . ?x <e> ?w . "
+    "?y <e> ?z . ?y <e> ?w . ?z <e> ?w }";
+constexpr char kStarQuery[] =
+    "SELECT ?x ?a ?b ?c WHERE { ?x <p1> ?a . ?x <p2> ?b . ?x <p3> ?c }";
+constexpr char kChainQuery[] =
+    "SELECT ?x ?y ?z ?w WHERE { ?x <e> ?y . ?y <e> ?z . ?z <e> ?w }";
+
+std::string Node(std::uint64_t i) { return "n" + std::to_string(i); }
+
+/// Skewed random digraph: `nodes` vertices with ~`degree` random
+/// out-edges each, plus `hubs` celebrity vertices with `hub_degree`
+/// in- and out-edges. Every pairwise join of two edge patterns must
+/// enumerate the hub_degree^2 wedges through each hub; the leapfrog
+/// intersection gallops over the small adjacency side instead.
+rdf::Graph SkewedGraph(std::uint64_t nodes, std::uint64_t degree,
+                       std::uint64_t hubs, std::uint64_t hub_degree,
+                       std::uint64_t planted_cliques, std::uint64_t seed) {
+  rdf::Graph graph;
+  SplitMix64 rng(seed);
+  for (std::uint64_t i = 0; i < nodes; ++i) {
+    for (std::uint64_t d = 0; d < degree; ++d) {
+      graph.AddIri(Node(i), "e", Node(rng.NextBounded(nodes)));
+    }
+  }
+  for (std::uint64_t h = 0; h < hubs; ++h) {
+    const std::string hub = "hub" + std::to_string(h);
+    for (std::uint64_t d = 0; d < hub_degree; ++d) {
+      graph.AddIri(hub, "e", Node(rng.NextBounded(nodes)));
+      graph.AddIri(Node(rng.NextBounded(nodes)), "e", hub);
+    }
+  }
+  // Planted 4-cliques (all six forward edges among c0<c1<c2<c3) so the
+  // clique query has a non-trivial result to check identity on.
+  for (std::uint64_t c = 0; c < planted_cliques; ++c) {
+    std::string v[4];
+    for (int i = 0; i < 4; ++i) {
+      v[i] = "clq" + std::to_string(c) + "_" + std::to_string(i);
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) graph.AddIri(v[i], "e", v[j]);
+    }
+    // Tie the clique into the graph so scans are not trivially empty.
+    graph.AddIri(Node(rng.NextBounded(nodes)), "e", v[0]);
+  }
+  return graph;
+}
+
+/// Subject star: every subject has one <p1>/<p2>/<p3> object drawn from a
+/// small shared domain. Merge joins on ?x are already linear here; the
+/// scenario documents that leapfrog does not regress the easy case.
+rdf::Graph StarGraph(std::uint64_t subjects, std::uint64_t seed) {
+  rdf::Graph graph;
+  SplitMix64 rng(seed);
+  for (std::uint64_t i = 0; i < subjects; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    graph.AddIri(s, "p1", "v" + std::to_string(rng.NextBounded(64)));
+    graph.AddIri(s, "p2", "v" + std::to_string(rng.NextBounded(64)));
+    graph.AddIri(s, "p3", "v" + std::to_string(rng.NextBounded(64)));
+  }
+  return graph;
+}
+
+sparql::Query Parse(const std::string& text) {
+  auto query = sparql::Parse(text);
+  if (!query.ok()) {
+    std::cerr << "query parse failed: " << query.status() << "\n";
+    std::abort();
+  }
+  return *std::move(query);
+}
+
+/// Plans `query` with `kind`, checks PlanLint (errors are fatal — this is
+/// the PL5xx gate for leapfrog plans) and returns the planned query.
+Result<plan::PlannedQuery> PlanQuery(const bench::Env& env,
+                                     plan::PlannerKind kind,
+                                     const sparql::Query& query,
+                                     bool use_leapfrog) {
+  plan::PlannerFactoryOptions options;
+  options.use_leapfrog = use_leapfrog;
+  auto planner = plan::MakePlanner(kind, &env.store, &env.stats, options);
+  if (!planner.ok()) return planner.status();
+  auto planned = (*planner)->Plan(plan::AnalyzedQuery::From(query));
+  if (!planned.ok()) return planned.status();
+  if (lint::LintReport report = lint::LintPlan(planned->query, planned->plan);
+      !report.clean()) {
+    std::cerr << "PlanLint rejected a " << plan::PlannerKindName(kind)
+              << (use_leapfrog ? " leapfrog" : "") << " plan:\n"
+              << report.ToString();
+    return Status::Internal("plan failed lint");
+  }
+  return planned;
+}
+
+/// A result bag: one sorted vector of rows (the projection's columns in
+/// query order), so plans with different output orders compare equal.
+using ResultBag = std::vector<std::vector<rdf::TermId>>;
+
+ResultBag ToBag(const exec::BindingTable& table) {
+  ResultBag bag;
+  bag.reserve(table.rows);
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    std::vector<rdf::TermId> row;
+    row.reserve(table.columns.size());
+    for (const auto& column : table.columns) row.push_back(column[r]);
+    bag.push_back(std::move(row));
+  }
+  std::sort(bag.begin(), bag.end());
+  return bag;
+}
+
+/// Executes `planned` `runs` times; returns the fastest repetition (the
+/// per-repetition-minimum protocol: minima are robust against scheduler
+/// noise inflating a mean) and the result bag of the last run.
+struct RunResult {
+  double min_ms = std::numeric_limits<double>::max();
+  std::uint64_t rows = 0;
+  std::uint64_t intermediate_rows = 0;
+  ResultBag bag;
+  bool ok = false;
+};
+
+RunResult RunPlan(const bench::Env& env, const plan::PlannedQuery& planned,
+                  int runs, std::size_t threads) {
+  RunResult out;
+  exec::ExecOptions options;
+  options.num_threads = threads;
+  exec::Executor executor(&env.store, options);
+  for (int run = 0; run < runs; ++run) {
+    auto result = executor.Execute(planned.query, planned.plan);
+    if (!result.ok()) {
+      std::cerr << "execution failed: " << result.status() << "\n";
+      return out;
+    }
+    out.min_ms = std::min(out.min_ms, result->total_millis);
+    out.rows = result->table.rows;
+    out.intermediate_rows = result->total_intermediate_rows;
+    if (run + 1 == runs) out.bag = ToBag(result->table);
+  }
+  out.ok = true;
+  return out;
+}
+
+struct Scenario {
+  std::string name;
+  std::string query_text;
+  bool gated = false;  // participates in the >=3x geomean gate
+};
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t nodes = flags.GetInt("nodes", quick ? 800 : 2000);
+  const int runs = static_cast<int>(flags.GetInt("runs", quick ? 3 : 7));
+  const std::string json_path = flags.GetString("json", "");
+
+  std::cout << "== Worst-case-optimal leapfrog join vs best binary plan, "
+               "cyclic/star queries ==\n\n";
+
+  // Hub degree is capped so the *binary* baselines stay tractable: every
+  // pairwise join must enumerate ~hubs * hub_degree^2 wedges, and the
+  // worst 4-clique plans cube the hub degree in a three-scan merge block
+  // — at 800 a single baseline run needs tens of gigabytes. 300 keeps
+  // every baseline in memory while the wedge blow-up (and the >= 3x gap)
+  // is already unmistakable.
+  const std::uint64_t degree = 6;
+  const std::uint64_t hubs = 3;
+  const std::uint64_t hub_degree = 300;
+  auto cyclic_env = std::make_unique<bench::Env>(storage::TripleStore::Build(
+      SkewedGraph(nodes, degree, hubs, hub_degree, /*planted_cliques=*/50,
+                  /*seed=*/42)));
+  auto star_env = std::make_unique<bench::Env>(storage::TripleStore::Build(
+      StarGraph(quick ? 6000 : 20000, /*seed=*/43)));
+  std::cerr << "# cyclic graph: " << cyclic_env->store.size()
+            << " triples, star graph: " << star_env->store.size()
+            << " triples\n";
+
+  const std::vector<Scenario> scenarios = {
+      {"triangle", kTriangleQuery, /*gated=*/true},
+      {"four_clique", kFourCliqueQuery, /*gated=*/true},
+      {"star", kStarQuery, /*gated=*/false},
+  };
+
+  bench::TablePrinter table({"Scenario", "best binary ms (planner)",
+                             "leapfrog ms", "speedup", "|result|",
+                             "binary intermed.", "leapfrog intermed.",
+                             "identical", "lf planners"});
+  std::ostringstream json;
+  json << "{\"bench\":\"wco_cyclic\",\"nodes\":" << nodes
+       << ",\"runs\":" << runs << ",\"quick\":" << (quick ? "true" : "false")
+       << ",\"scenarios\":[";
+
+  bool all_identical = true;
+  bool defaults_binary = true;
+  bool gate_rows_ok = true;
+  double log_speedup_sum = 0.0;
+  int gated_count = 0;
+  bool first_json = true;
+
+  for (const Scenario& scenario : scenarios) {
+    const bench::Env& env =
+        scenario.name == "star" ? *star_env : *cyclic_env;
+    sparql::Query query = Parse(scenario.query_text);
+
+    // Flag-off baseline: all four planners must produce pure binary
+    // plans. Each gets one identity-checking run; only the fastest of
+    // those is then re-run for the per-repetition minimum — repeating
+    // the known-slower baselines (the worst 4-clique plans take seconds
+    // per run) would only burn time without moving "best binary".
+    double best_binary = std::numeric_limits<double>::max();
+    std::string best_planner = "-";
+    std::uint64_t binary_intermediate = 0;
+    std::optional<plan::PlannedQuery> best_planned;
+    ResultBag reference;
+    bool have_reference = false;
+    for (plan::PlannerKind kind : plan::kAllPlannerKinds) {
+      auto planned = PlanQuery(env, kind, query, /*use_leapfrog=*/false);
+      if (!planned.ok()) {
+        std::cerr << scenario.name << "/" << plan::PlannerKindName(kind)
+                  << ": planning failed: " << planned.status() << "\n";
+        return 1;
+      }
+      if (planned->plan.CountLeapfrogJoins() != 0) {
+        std::cerr << "FAIL: " << plan::PlannerKindName(kind)
+                  << " emitted a leapfrog join with the flag off\n";
+        defaults_binary = false;
+      }
+      RunResult r = RunPlan(env, *planned, /*runs=*/1, /*threads=*/0);
+      if (!r.ok) return 1;
+      if (!have_reference) {
+        reference = std::move(r.bag);
+        have_reference = true;
+      } else if (r.bag != reference) {
+        std::cerr << "FAIL: " << scenario.name << "/"
+                  << plan::PlannerKindName(kind)
+                  << " binary plans disagree with each other\n";
+        all_identical = false;
+      }
+      if (r.min_ms < best_binary) {
+        best_binary = r.min_ms;
+        best_planner = std::string(plan::PlannerKindName(kind));
+        binary_intermediate = r.intermediate_rows;
+        best_planned = std::move(*planned);
+      }
+    }
+    {
+      RunResult r = RunPlan(env, *best_planned, runs, /*threads=*/0);
+      if (!r.ok) return 1;
+      best_binary = std::min(best_binary, r.min_ms);
+    }
+
+    // Flag-on: record which planners choose leapfrog; time HSP's plan
+    // (shape-routed — the paper's planner, and the one the engine serves
+    // by default).
+    std::string lf_planners;
+    for (plan::PlannerKind kind : plan::kAllPlannerKinds) {
+      auto planned = PlanQuery(env, kind, query, /*use_leapfrog=*/true);
+      if (planned.ok() && planned->plan.CountLeapfrogJoins() > 0) {
+        if (!lf_planners.empty()) lf_planners += "+";
+        lf_planners += plan::PlannerKindName(kind);
+      }
+    }
+    auto lf_planned =
+        PlanQuery(env, plan::PlannerKind::kHsp, query, /*use_leapfrog=*/true);
+    if (!lf_planned.ok()) return 1;
+    if (lf_planned->plan.CountLeapfrogJoins() != 1) {
+      std::cerr << "FAIL: HSP did not route " << scenario.name
+                << " to a leapfrog join\n";
+      return 1;
+    }
+    RunResult lf = RunPlan(env, *lf_planned, runs, /*threads=*/0);
+    if (!lf.ok) return 1;
+    if (lf.bag != reference) {
+      std::cerr << "FAIL: " << scenario.name
+                << " leapfrog result differs from the binary plans\n";
+      all_identical = false;
+    }
+    RunResult lf_mt = RunPlan(env, *lf_planned, /*runs=*/1, /*threads=*/4);
+    if (!lf_mt.ok) return 1;
+    if (lf_mt.bag != reference) {
+      std::cerr << "FAIL: " << scenario.name
+                << " leapfrog @4 threads differs from serial\n";
+      all_identical = false;
+    }
+
+    const double speedup = lf.min_ms > 0 ? best_binary / lf.min_ms : 0.0;
+    if (scenario.gated) {
+      log_speedup_sum += std::log(std::max(speedup, 1e-9));
+      ++gated_count;
+      if (lf.rows == 0) {
+        std::cerr << "FAIL: gated scenario " << scenario.name
+                  << " produced an empty result (vacuous timing)\n";
+        gate_rows_ok = false;
+      }
+    }
+    table.AddRow({scenario.name,
+                  bench::Fmt(best_binary, 2) + " (" + best_planner + ")",
+                  bench::Fmt(lf.min_ms, 2), bench::Fmt(speedup, 2) + "x",
+                  std::to_string(lf.rows),
+                  std::to_string(binary_intermediate),
+                  std::to_string(lf.intermediate_rows),
+                  lf.bag == reference ? "yes" : "NO", lf_planners});
+    if (!first_json) json << ",";
+    first_json = false;
+    json << "{\"name\":\"" << scenario.name << "\",\"gated\":"
+         << (scenario.gated ? "true" : "false") << ",\"best_binary_ms\":"
+         << bench::Fmt(best_binary, 3) << ",\"best_binary_planner\":\""
+         << best_planner << "\",\"leapfrog_ms\":" << bench::Fmt(lf.min_ms, 3)
+         << ",\"speedup\":" << bench::Fmt(speedup, 3) << ",\"rows\":"
+         << lf.rows << ",\"binary_intermediate_rows\":" << binary_intermediate
+         << ",\"leapfrog_intermediate_rows\":" << lf.intermediate_rows
+         << ",\"identical\":"
+         << (lf.bag == reference && lf_mt.bag == reference ? "true" : "false")
+         << ",\"leapfrog_planners\":\"" << lf_planners << "\"}";
+  }
+  table.Print();
+
+  // Acyclic control: the chain query must stay binary for every planner
+  // even with the flag on (leapfrog is routed by shape/cost, not blanket).
+  bool chain_binary = true;
+  {
+    sparql::Query chain = Parse(kChainQuery);
+    for (plan::PlannerKind kind : plan::kAllPlannerKinds) {
+      auto planned =
+          PlanQuery(*cyclic_env, kind, chain, /*use_leapfrog=*/true);
+      if (!planned.ok()) {
+        std::cerr << "chain/" << plan::PlannerKindName(kind)
+                  << ": planning failed: " << planned.status() << "\n";
+        return 1;
+      }
+      if (planned->plan.CountLeapfrogJoins() != 0) {
+        std::cerr << "FAIL: " << plan::PlannerKindName(kind)
+                  << " chose leapfrog for the acyclic chain query\n";
+        chain_binary = false;
+      }
+    }
+  }
+
+  const double geomean =
+      gated_count > 0 ? std::exp(log_speedup_sum / gated_count) : 0.0;
+  json << "],\"geomean_speedup\":" << bench::Fmt(geomean, 3)
+       << ",\"identical\":" << (all_identical ? "true" : "false")
+       << ",\"defaults_binary\":" << (defaults_binary ? "true" : "false")
+       << ",\"chain_stays_binary\":" << (chain_binary ? "true" : "false")
+       << "}";
+
+  std::cout << "\nGeomean speedup over gated scenarios: "
+            << bench::Fmt(geomean, 2) << "x (gate: >= 3x)\n"
+            << "Protocol: one identity run per binary planner, then " << runs
+            << " repetitions of the fastest binary plan and of the\n"
+            << "leapfrog plan; speedup = per-repetition minima. Result bags "
+            << "compared across every plan and thread count.\n\n"
+            << json.str() << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    if (!out) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      return 1;
+    }
+  }
+  if (!all_identical) {
+    std::cerr << "FAIL: result identity violated\n";
+    return 1;
+  }
+  if (!defaults_binary) {
+    std::cerr << "FAIL: a planner emitted leapfrog with the flag off\n";
+    return 1;
+  }
+  if (!chain_binary) {
+    std::cerr << "FAIL: acyclic control query routed to leapfrog\n";
+    return 1;
+  }
+  if (!gate_rows_ok) return 1;
+  if (geomean < 3.0) {
+    std::cerr << "FAIL: leapfrog geomean speedup " << bench::Fmt(geomean, 2)
+              << "x < 3x over the cyclic set\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsparql
+
+int main(int argc, char** argv) { return hsparql::Run(argc, argv); }

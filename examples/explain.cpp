@@ -2,7 +2,11 @@
 //
 // Usage:
 //   explain <data.nt> [--planner=hsp|cdp|sql|hybrid] [--explain-only]
-//           [--analyze] [--lint] [--format=table|json|tsv] [query.rq]
+//           [--analyze] [--lint] [--leapfrog] [--format=table|json|tsv]
+//           [query.rq]
+//
+// --leapfrog lets the planner emit worst-case-optimal leapfrog joins for
+// cyclic/star patterns (HSP routes by shape, cdp/hybrid by cost).
 //
 // --lint prints the full PlanLint diagnostic list (the engine already
 // refuses to cache or execute plans with lint errors; the flag surfaces
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   bool explain_only = false;
   bool analyze = false;
   bool lint = false;
+  bool leapfrog = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--planner=", 0) == 0) {
@@ -56,6 +61,8 @@ int main(int argc, char** argv) {
       analyze = true;
     } else if (arg == "--lint") {
       lint = true;
+    } else if (arg == "--leapfrog") {
+      leapfrog = true;
     } else if (data_path.empty()) {
       data_path = arg;
     } else {
@@ -68,7 +75,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: unknown planner '" << planner_name << "'\n";
     }
     std::cerr << "usage: explain <data.nt> [--planner=hsp|cdp|sql|hybrid]"
-                 " [--explain-only] [--analyze] [--lint]"
+                 " [--explain-only] [--analyze] [--lint] [--leapfrog]"
                  " [--format=table|json|tsv] [query.rq]\n";
     return 2;
   }
@@ -88,6 +95,7 @@ int main(int argc, char** argv) {
   engine::QueryOptions options;
   options.planner = *kind;
   options.collect_trace = analyze;
+  options.use_leapfrog = leapfrog;
 
   auto run_one = [&](const std::string& text) -> int {
     auto prepared = engine.Prepare(text, options);
@@ -97,8 +105,11 @@ int main(int argc, char** argv) {
               << planned.plan.CountJoins(hsp::JoinAlgo::kMerge)
               << " merge joins, "
               << planned.plan.CountJoins(hsp::JoinAlgo::kHash)
-              << " hash joins, " << hsp::PlanShapeName(planned.plan.shape())
-              << ") --\n"
+              << " hash joins, ";
+    if (int lf = planned.plan.CountLeapfrogJoins(); lf > 0) {
+      std::cout << lf << " leapfrog joins, ";
+    }
+    std::cout << hsp::PlanShapeName(planned.plan.shape()) << ") --\n"
               << planned.plan.ToString(planned.query);
     if (lint) {
       // The engine already refused plans with generic lint errors at

@@ -134,6 +134,37 @@ std::vector<std::uint64_t> CardinalityEstimator::EstimatePlanCardinalities(
             result.first.rows, static_cast<double>(node->limit_count));
         break;
       }
+      case hsp::PlanNode::Kind::kLeapfrog: {
+        // The n-ary intersection produces the same logical result as the
+        // equivalent binary join tree: fold the pairwise join estimate
+        // over the participating patterns in listed order.
+        bool first = true;
+        for (std::size_t idx : node->leapfrog_patterns) {
+          Estimate est = EstimatePattern(query, idx);
+          std::vector<VarId> vars = query.patterns[idx].Variables();
+          if (first) {
+            result.first = std::move(est);
+            result.second = std::move(vars);
+            first = false;
+            continue;
+          }
+          std::vector<VarId> shared;
+          for (VarId v : vars) {
+            if (std::find(result.second.begin(), result.second.end(), v) !=
+                result.second.end()) {
+              shared.push_back(v);
+            }
+          }
+          result.first = EstimateJoin(result.first, est, shared);
+          for (VarId v : vars) {
+            if (std::find(result.second.begin(), result.second.end(), v) ==
+                result.second.end()) {
+              result.second.push_back(v);
+            }
+          }
+        }
+        break;
+      }
       case hsp::PlanNode::Kind::kUnion: {
         // Bag union: rows add up, schemas merge, distincts upper-bounded
         // by the sums.

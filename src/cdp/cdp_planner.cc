@@ -5,8 +5,10 @@
 #include <cassert>
 #include <iostream>
 #include <map>
+#include <numeric>
 
 #include "cdp/cost_model.h"
+#include "hsp/leapfrog.h"
 #include "lint/plan_lint.h"
 #include "sparql/rewrite.h"
 
@@ -33,6 +35,8 @@ std::unique_ptr<PlanNode> ClonePlan(const PlanNode* node) {
   copy->order_keys = node->order_keys;
   copy->limit_count = node->limit_count;
   copy->limit_offset = node->limit_offset;
+  copy->leapfrog_order = node->leapfrog_order;
+  copy->leapfrog_patterns = node->leapfrog_patterns;
   for (const auto& child : node->children) {
     copy->children.push_back(ClonePlan(child.get()));
   }
@@ -202,6 +206,28 @@ Result<hsp::PlannedQuery> CdpPlanner::Plan(const Query& input) const {
   }
 
   std::unique_ptr<PlanNode> plan = std::move(best->plan);
+  // Leapfrog alternative: price one worst-case-optimal n-ary join over the
+  // whole BGP against the DP's best binary tree. The estimated output is
+  // the same logical result, so best->est.rows prices both sides. Only
+  // cyclic/star shapes are considered (LeapfrogFavorable) — on acyclic
+  // queries leapfrog has no worst-case advantage, so cost-model noise
+  // should not be able to route them away from the binary plan.
+  if (options_.use_leapfrog && n >= 2) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    if (hsp::LeapfrogEligible(query, all) &&
+        hsp::LeapfrogFavorable(query, all)) {
+      std::vector<double> leaf_rows;
+      leaf_rows.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        leaf_rows.push_back(estimator_.EstimatePattern(query, i).rows);
+      }
+      if (LeapfrogJoinCost(leaf_rows, best->est.rows) < best->cost) {
+        std::vector<VarId> elim = hsp::LeapfrogEliminationOrder(query, all);
+        plan = PlanNode::Leapfrog(std::move(elim), std::move(all));
+      }
+    }
+  }
   for (const sparql::Filter& f : query.filters) {
     plan = PlanNode::Filter(f, std::move(plan));
   }

@@ -23,6 +23,10 @@ struct CdpOptions {
   bool rewrite_filters = false;
   /// Maximum number of triple patterns the exhaustive DP accepts.
   std::size_t max_patterns = 16;
+  /// Price a worst-case-optimal leapfrog triejoin over the whole BGP
+  /// against the best binary tree and pick the cheaper (cdp/cost_model.h).
+  /// Off by default: the paper's CDP knows only merge and hash joins.
+  bool use_leapfrog = false;
 };
 
 /// Cost-based dynamic programming planner. Requires dataset statistics.
@@ -42,7 +46,8 @@ class CdpPlanner : public plan::Planner {
   std::string_view Name() const override { return "cdp"; }
   std::string OptionsFingerprint() const override {
     return std::string(options_.rewrite_filters ? "rw" : "norw") + ";max=" +
-           std::to_string(options_.max_patterns);
+           std::to_string(options_.max_patterns) +
+           (options_.use_leapfrog ? ";lf" : "");
   }
 
   const CardinalityEstimator& estimator() const { return estimator_; }

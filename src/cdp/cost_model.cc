@@ -15,6 +15,13 @@ double HashJoinCost(double lc, double rc) {
   return 300000.0 + lc / 100.0 + rc / 10.0;
 }
 
+double LeapfrogJoinCost(std::span<const double> input_rows,
+                        double output_rows) {
+  double total = 0.0;
+  for (double rows : input_rows) total += rows;
+  return (1.5 * total + output_rows) / 100000.0;
+}
+
 std::string PlanCost::ToString() const {
   auto fmt = [](double v) {
     std::uint64_t rounded = static_cast<std::uint64_t>(std::llround(v));

@@ -24,6 +24,14 @@ double MergeJoinCost(double lc, double rc);
 /// Hash-join cost; the smaller input is treated as the build side.
 double HashJoinCost(double lc, double rc);
 
+/// Leapfrog (worst-case-optimal n-ary) join cost in the same currency:
+/// one galloping pass over every input relation plus the output rows. The
+/// 1.5 factor prices the seek overhead relative to a merge join's linear
+/// scan — leapfrog wins when a binary tree's intermediates dwarf its
+/// inputs (cyclic/star shapes) and loses on cheap selective chains.
+double LeapfrogJoinCost(std::span<const double> input_rows,
+                        double output_rows);
+
 /// Aggregate cost of a plan, split the way Table 3 reports it
 /// ("merge-join cost + hash-join cost", e.g. "354+953,381").
 struct PlanCost {

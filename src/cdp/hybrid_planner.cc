@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <iostream>
 #include <limits>
 #include <numeric>
 
+#include "cdp/cost_model.h"
+#include "hsp/leapfrog.h"
 #include "hsp/mwis.h"
 #include "hsp/variable_graph.h"
 #include "lint/plan_lint.h"
@@ -25,6 +28,13 @@ void CollectVars(const Query& query, const PlanNode* node,
                  std::vector<VarId>* out) {
   if (node->kind == PlanNode::Kind::kScan) {
     for (VarId v : query.patterns[node->pattern_index].Variables()) {
+      if (std::find(out->begin(), out->end(), v) == out->end()) {
+        out->push_back(v);
+      }
+    }
+  }
+  if (node->kind == PlanNode::Kind::kLeapfrog) {
+    for (VarId v : node->leapfrog_order) {
       if (std::find(out->begin(), out->end(), v) == out->end()) {
         out->push_back(v);
       }
@@ -227,6 +237,48 @@ Result<hsp::PlannedQuery> HybridPlanner::Plan(const Query& input) const {
                                   std::move(parts[best_i].plan));
     current.est = best_est;
     parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(best_i));
+  }
+
+  // ---- Leapfrog arbitration: cost the finished binary tree with the
+  // RDF-3X model and replace it with one worst-case-optimal n-ary join
+  // over the whole BGP when that is cheaper.
+  if (options_.use_leapfrog && query.patterns.size() >= 2) {
+    std::vector<std::size_t> all(query.patterns.size());
+    std::iota(all.begin(), all.end(), 0);
+    if (hsp::LeapfrogEligible(query, all) &&
+        hsp::LeapfrogFavorable(query, all)) {
+      std::function<std::pair<Estimate, double>(const PlanNode*)> cost_of =
+          [&](const PlanNode* node) -> std::pair<Estimate, double> {
+        if (node->kind == PlanNode::Kind::kScan) {
+          return {leaf_est[node->pattern_index], 0.0};
+        }
+        auto l = cost_of(node->children[0].get());
+        auto r = cost_of(node->children[1].get());
+        std::vector<VarId> lv;
+        std::vector<VarId> rv;
+        CollectVars(query, node->children[0].get(), &lv);
+        CollectVars(query, node->children[1].get(), &rv);
+        std::vector<VarId> shared;
+        for (VarId v : rv) {
+          if (std::find(lv.begin(), lv.end(), v) != lv.end()) {
+            shared.push_back(v);
+          }
+        }
+        double cost = l.second + r.second +
+                      (node->algo == JoinAlgo::kMerge
+                           ? MergeJoinCost(l.first.rows, r.first.rows)
+                           : HashJoinCost(l.first.rows, r.first.rows));
+        return {estimator_.EstimateJoin(l.first, r.first, shared), cost};
+      };
+      const double binary_cost = cost_of(current.plan.get()).second;
+      std::vector<double> leaf_rows;
+      leaf_rows.reserve(leaf_est.size());
+      for (const Estimate& est : leaf_est) leaf_rows.push_back(est.rows);
+      if (LeapfrogJoinCost(leaf_rows, current.est.rows) < binary_cost) {
+        std::vector<VarId> elim = hsp::LeapfrogEliminationOrder(query, all);
+        current.plan = PlanNode::Leapfrog(std::move(elim), std::move(all));
+      }
+    }
   }
 
   std::unique_ptr<PlanNode> plan = std::move(current.plan);

@@ -30,6 +30,9 @@ namespace hsparql::cdp {
 
 struct HybridOptions {
   bool rewrite_filters = true;  // inherits HSP's FILTER rewriting
+  /// Arbitrate the finished binary tree against one worst-case-optimal
+  /// leapfrog triejoin over the whole BGP, costed with the same model.
+  bool use_leapfrog = false;
 };
 
 /// HSP + statistics. Covers the paper's conjunctive subset (like the
@@ -48,7 +51,8 @@ class HybridPlanner : public plan::Planner {
   }
   std::string_view Name() const override { return "hybrid"; }
   std::string OptionsFingerprint() const override {
-    return options_.rewrite_filters ? "rw" : "norw";
+    return std::string(options_.rewrite_filters ? "rw" : "norw") +
+           (options_.use_leapfrog ? ";lf" : "");
   }
 
  private:

@@ -243,8 +243,12 @@ std::string Engine::ExportMetrics(MetricsFormat format) const {
 
 Result<const Engine::PlannerEntry*> Engine::PlannerFor(
     const QueryOptions& options) const {
+  // The leapfrog knob rides in the kind byte's high bit: planner kinds are
+  // small, and (kind, leapfrog, seed) is exactly what MakePlanner sees.
   const std::pair<std::uint8_t, std::uint64_t> id{
-      static_cast<std::uint8_t>(options.planner), options.seed};
+      static_cast<std::uint8_t>(static_cast<std::uint8_t>(options.planner) |
+                                (options.use_leapfrog ? 0x80 : 0)),
+      options.seed};
   {
     std::lock_guard<std::mutex> lock(planner_mu_);
     auto it = planners_.find(id);
@@ -252,6 +256,7 @@ Result<const Engine::PlannerEntry*> Engine::PlannerFor(
   }
   plan::PlannerFactoryOptions factory_options;
   factory_options.seed = options.seed;
+  factory_options.use_leapfrog = options.use_leapfrog;
   const storage::Statistics* stats = stats_ ? &*stats_ : nullptr;
   HSPARQL_ASSIGN_OR_RETURN(
       std::unique_ptr<plan::Planner> planner,

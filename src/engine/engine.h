@@ -57,6 +57,9 @@ struct QueryOptions {
   plan::PlannerKind planner = plan::PlannerKind::kHsp;
   /// Seed for HSP's random tie-break (plan-cache key component).
   std::uint64_t seed = kDefaultSeed;
+  /// Allow worst-case-optimal leapfrog plans for cyclic/star BGPs
+  /// (plan-cache key component; see plan::PlannerFactoryOptions).
+  bool use_leapfrog = false;
   /// Intra-query parallelism; passed through to exec::ExecOptions.
   std::size_t num_threads = 0;
   /// Sideways information passing; passed through to exec::ExecOptions.

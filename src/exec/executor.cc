@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "common/timer.h"
 #include "exec/term_compare.h"
 #include "lint/plan_lint.h"
+#include "storage/seek.h"
 
 namespace hsparql::exec {
 
@@ -101,6 +103,8 @@ class PlanRunner {
     switch (node->kind) {
       case PlanNode::Kind::kScan:
         return RunScan(node);
+      case PlanNode::Kind::kLeapfrog:
+        return RunLeapfrog(node);
       case PlanNode::Kind::kJoin:
         return RunJoin(node);
       case PlanNode::Kind::kFilter:
@@ -332,6 +336,297 @@ class PlanRunner {
     return out;
   }
 
+  /// Worst-case-optimal leapfrog triejoin over a whole basic graph
+  /// pattern: one variable per level in elimination order, each level an
+  /// n-ary sorted intersection of every pattern mentioning the variable.
+  /// Rows come out in lexicographic elimination order, so the output is
+  /// sorted by leapfrog_order — and since a full binding fixes at most one
+  /// triple per pattern, it is duplicate-free, byte-identical to any
+  /// binary join plan over the same patterns.
+  Result<BindingTable> RunLeapfrog(const PlanNode* node) {
+    Timer timer;
+    const rdf::Dictionary& dict = store_->dictionary();
+    const std::vector<VarId>& order = node->leapfrog_order;
+    const std::size_t depth = order.size();
+    if (depth == 0) {
+      return lint::RuntimeViolation(
+          lint::RuleId::kLeapfrogOrderInvalid, node->id,
+          "leapfrog join has an empty elimination order");
+    }
+
+    BindingTable out;
+    out.vars = order;
+    out.sorted_by = order;  // lexicographic emission order
+    out.columns.resize(depth);
+
+    auto rank_of = [&](VarId v) {
+      return static_cast<std::size_t>(
+          std::find(order.begin(), order.end(), v) - order.begin());
+    };
+
+    // Per-pattern trie access: constants form the bound prefix of one of
+    // the six orderings, the variable positions follow in elimination
+    // rank order — exactly the sequence the level loop descends.
+    struct Spans {
+      std::span<const Triple> base;
+      std::span<const Triple> delta;
+      bool empty() const { return base.empty() && delta.empty(); }
+    };
+    struct PatternAccess {
+      storage::TripleView view;             // constants-narrowed
+      std::array<Position, 3> positions{};  // trie access path
+      std::size_t num_bound = 0;            // constant-prefix length
+      std::vector<std::size_t> levels;      // elimination rank per var slot
+    };
+    std::vector<PatternAccess> access;
+    bool impossible = false;
+    for (std::size_t idx : node->leapfrog_patterns) {
+      if (idx >= query_->patterns.size()) {
+        return lint::RuntimeViolation(
+            lint::RuleId::kPatternIndexOutOfRange, node->id,
+            "leapfrog join references pattern " + std::to_string(idx) +
+                " but the query has " +
+                std::to_string(query_->patterns.size()));
+      }
+      const TriplePattern& tp = query_->patterns[idx];
+      std::vector<Position> const_pos;
+      std::vector<Position> var_pos;
+      for (Position pos : rdf::kAllPositions) {
+        (tp.at(pos).is_constant() ? const_pos : var_pos).push_back(pos);
+      }
+      if (static_cast<int>(tp.Variables().size()) !=
+          static_cast<int>(var_pos.size())) {
+        return lint::RuntimeViolation(
+            lint::RuleId::kLeapfrogNoAccessPath, node->id,
+            "pattern tp" + std::to_string(idx) +
+                " repeats a variable; no trie access path exists");
+      }
+      for (Position pos : var_pos) {
+        if (rank_of(tp.at(pos).var) == depth) {
+          return lint::RuntimeViolation(
+              lint::RuleId::kLeapfrogVarNotCovered, node->id,
+              "pattern tp" + std::to_string(idx) + " binds ?" +
+                  query_->VarName(tp.at(pos).var) +
+                  ", which the elimination order does not cover");
+        }
+      }
+      std::sort(var_pos.begin(), var_pos.end(),
+                [&](Position a, Position b) {
+                  return rank_of(tp.at(a).var) < rank_of(tp.at(b).var);
+                });
+      std::array<Position, 3> path{};
+      for (std::size_t i = 0; i < const_pos.size(); ++i) path[i] = const_pos[i];
+      for (std::size_t i = 0; i < var_pos.size(); ++i) {
+        path[const_pos.size() + i] = var_pos[i];
+      }
+      const Ordering ordering =
+          storage::OrderingFromPositions(path[0], path[1], path[2]);
+      std::vector<Binding> prefix;
+      for (Position pos : const_pos) {
+        auto id = dict.Find(tp.at(pos).constant);
+        if (!id.has_value()) {
+          impossible = true;  // unknown constant: empty intersection
+          break;
+        }
+        prefix.push_back(Binding{pos, *id});
+      }
+      if (impossible) break;
+      PatternAccess pa;
+      pa.view = store_->LookupPrefix(ordering, prefix);
+      pa.positions = path;
+      pa.num_bound = const_pos.size();
+      for (Position pos : var_pos) pa.levels.push_back(rank_of(tp.at(pos).var));
+      if (pa.levels.empty()) {
+        // Fully-constant pattern: a pure existence test, no cursor.
+        if (pa.view.empty()) impossible = true;
+        continue;
+      }
+      if (pa.view.empty()) impossible = true;
+      access.push_back(std::move(pa));
+    }
+
+    std::uint64_t total_input = 0;
+    for (const PatternAccess& pa : access) total_input += pa.view.size();
+
+    // Level -> (cursor, trie depth) of every pattern binding that level's
+    // variable. Each pattern's levels are rank-ascending, so by the time
+    // level r runs, exactly d of cursor p's variables are already bound.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> active(
+        depth);
+    for (std::size_t p = 0; p < access.size(); ++p) {
+      for (std::size_t d = 0; d < access[p].levels.size(); ++d) {
+        active[access[p].levels[d]].emplace_back(p, d);
+      }
+    }
+    if (!impossible) {
+      for (std::size_t r = 0; r < depth; ++r) {
+        if (active[r].empty()) {
+          return lint::RuntimeViolation(
+              lint::RuleId::kLeapfrogOrderVarUnused, node->id,
+              "no pattern constrains elimination variable ?" +
+                  query_->VarName(order[r]));
+        }
+      }
+    }
+    // Key position of each (cursor, trie depth) pair, per level.
+    std::vector<std::vector<Position>> key_pos(depth);
+    for (std::size_t r = 0; r < depth; ++r) {
+      for (const auto& [p, d] : active[r]) {
+        key_pos[r].push_back(
+            access[p].positions[access[p].num_bound + d]);
+      }
+    }
+
+    constexpr TermId kMaxKey = std::numeric_limits<TermId>::max();
+    const auto key_at = [](const Spans& s, Position pos) {
+      // Both levels are positioned at their first candidate; the cursor's
+      // key is the smaller front (the merged view's head).
+      TermId k = kMaxKey;
+      if (!s.base.empty()) k = s.base.front().at(pos);
+      if (!s.delta.empty()) k = std::min(k, s.delta.front().at(pos));
+      return k;
+    };
+
+    // One worker: enumerate all bindings with order[0] in [lo, hi]
+    // (inclusive) into `dst`, counting cursor seeks into `seeks`.
+    auto run_range = [&](TermId lo, TermId hi, BindingTable* dst,
+                         std::uint64_t* seeks) {
+      // stack[p][d]: cursor p's window with d variables bound. Level r
+      // publishes the d+1 windows before descending; each level works on
+      // local copies so re-entry restarts from the published window.
+      std::vector<std::vector<Spans>> stack(access.size());
+      for (std::size_t p = 0; p < access.size(); ++p) {
+        stack[p].assign(access[p].levels.size() + 1, Spans{});
+        stack[p][0] = Spans{access[p].view.base(), access[p].view.delta()};
+      }
+      // Per-level scratch (recursion is linear: one live frame per level).
+      std::vector<std::vector<Spans>> cur(depth);
+      for (std::size_t r = 0; r < depth; ++r) cur[r].resize(active[r].size());
+      std::vector<TermId> binding(depth);
+      std::size_t steps = 0;
+      bool aborted = false;
+
+      auto search = [&](auto&& self, std::size_t level) -> void {
+        const auto& act = active[level];
+        std::vector<Spans>& win = cur[level];
+        for (std::size_t i = 0; i < act.size(); ++i) {
+          win[i] = stack[act[i].first][act[i].second];
+        }
+        TermId target = level == 0 ? lo : 0;
+        for (;;) {
+          if ((++steps & kCancelCheckMask) == 0 && Expired()) {
+            aborted = true;
+            return;
+          }
+          // Leapfrog to a common key: seek every cursor to the first key
+          // >= target until a full pass leaves target unchanged.
+          bool settled = false;
+          while (!settled) {
+            settled = true;
+            for (std::size_t i = 0; i < act.size(); ++i) {
+              Spans& s = win[i];
+              const Position kp = key_pos[level][i];
+              s.base = s.base.subspan(
+                  storage::SeekGE(s.base, 0, kp, target));
+              s.delta = s.delta.subspan(
+                  storage::SeekGE(s.delta, 0, kp, target));
+              ++*seeks;
+              if (s.empty()) return;  // intersection exhausted
+              const TermId k = key_at(s, kp);
+              if (k > target) {
+                target = k;
+                settled = false;
+              }
+            }
+          }
+          if (level == 0 && target > hi) return;  // past this worker's slice
+          binding[level] = target;
+          // The equal-range ends double as the child windows and as this
+          // level's advance past the matched key.
+          for (std::size_t i = 0; i < act.size(); ++i) {
+            Spans& s = win[i];
+            const Position kp = key_pos[level][i];
+            const std::size_t be = storage::SeekGT(s.base, 0, kp, target);
+            const std::size_t de = storage::SeekGT(s.delta, 0, kp, target);
+            ++*seeks;
+            if (level + 1 < depth) {
+              stack[act[i].first][act[i].second + 1] =
+                  Spans{s.base.first(be), s.delta.first(de)};
+            }
+            s.base = s.base.subspan(be);
+            s.delta = s.delta.subspan(de);
+          }
+          if (level + 1 == depth) {
+            for (std::size_t c = 0; c < depth; ++c) {
+              dst->columns[c].push_back(binding[c]);
+            }
+            ++dst->rows;
+          } else {
+            self(self, level + 1);
+            if (aborted) return;
+          }
+          if (level == 0 && target >= hi) return;
+          if (target == kMaxKey) return;
+          ++target;
+        }
+      };
+      search(search, 0);
+    };
+
+    std::uint64_t seeks = 0;
+    std::size_t threads_used = 1;
+    if (!impossible) {
+      // Morsel parallelism: split the level-0 variable's key range at key
+      // boundaries of the largest participating view; each chunk's key
+      // interval is enumerated independently and concatenated in key
+      // order — the serial emission order.
+      std::size_t split = active[0][0].first;
+      for (const auto& [p, d] : active[0]) {
+        if (access[p].view.size() > access[split].view.size()) split = p;
+      }
+      const Position split_pos =
+          access[split].positions[access[split].num_bound];
+      std::vector<storage::IndexRange> chunks;
+      if (FanOut(access[split].view.size()) > 1) {
+        chunks = storage::SplitAtKeyBoundaries(
+            access[split].view, split_pos,
+            FanOut(access[split].view.size()));
+      }
+      if (chunks.size() > 1) {
+        threads_used = chunks.size();
+        std::vector<BindingTable> parts(chunks.size());
+        std::vector<std::uint64_t> part_seeks(chunks.size(), 0);
+        pool_->ParallelFor(0, chunks.size(), 1, [&](std::size_t m) {
+          const storage::IndexRange& chunk = chunks[m];
+          BindingTable& part = parts[m];
+          part.columns.resize(depth);
+          run_range(access[split].view[chunk.begin].at(split_pos),
+                    access[split].view[chunk.end - 1].at(split_pos), &part,
+                    &part_seeks[m]);
+        });
+        std::size_t total = 0;
+        for (const BindingTable& part : parts) total += part.rows;
+        out.Reserve(total);
+        for (const BindingTable& part : parts) out.AppendRows(part);
+        for (std::uint64_t s : part_seeks) seeks += s;
+      } else {
+        run_range(0, kMaxKey, &out, &seeks);
+      }
+    }
+    if (Expired()) return DeadlineStatus();
+
+    std::ostringstream label;
+    label << "leapfrogjoin [";
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      label << (i ? " ?" : "?") << query_->VarName(order[i]);
+    }
+    label << ']';
+    result_->total_scanned_rows += total_input;
+    Record(node, label.str(), out, timer.ElapsedMillis(),
+           /*is_intermediate=*/true, threads_used, total_input, seeks);
+    return out;
+  }
+
   Result<BindingTable> RunJoin(const PlanNode* node) {
     HSPARQL_ASSIGN_OR_RETURN(BindingTable left, Run(node->children[0].get()));
 
@@ -511,16 +806,14 @@ class PlanRunner {
           BindingTable& part = parts[m];
           part.columns.resize(out.vars.size());
           // The chunk's key span is [first, last]; everything matching it
-          // in the other input lies in one contiguous range.
-          auto o_lo = std::lower_bound(other_keys.begin(),
-                                       other_keys.end(),
-                                       split_keys[chunk.begin]);
-          auto o_hi = std::upper_bound(o_lo, other_keys.end(),
-                                       split_keys[chunk.end - 1]);
-          std::size_t olo =
-              static_cast<std::size_t>(o_lo - other_keys.begin());
-          std::size_t ohi =
-              static_cast<std::size_t>(o_hi - other_keys.begin());
+          // in the other input lies in one contiguous range. Galloping
+          // seeks: chunk m's range starts near where chunk m-1's ended, so
+          // the probe pays for the distance advanced, not log(full size).
+          const std::span<const TermId> other_span(other_keys);
+          std::size_t olo = storage::SeekGE(other_span, 0,
+                                            split_keys[chunk.begin]);
+          std::size_t ohi = storage::SeekGT(other_span, olo,
+                                            split_keys[chunk.end - 1]);
           if (split_left) {
             merge_range(chunk.begin, chunk.end, olo, ohi, &part);
           } else {

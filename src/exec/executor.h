@@ -29,8 +29,10 @@ struct OperatorStat {
   /// Rows consumed: the scanned range size for scans, the sum of both
   /// inputs for joins, the child's rows for unary operators.
   std::uint64_t input_rows = 0;
-  /// Binary-search descents (scans only): bound-prefix equal_range
-  /// lookups plus one merged-rank IteratorAt seek per morsel.
+  /// Index-seek count. Scans: bound-prefix equal_range lookups plus one
+  /// merged-rank IteratorAt seek per morsel. Leapfrog joins: galloping
+  /// cursor repositionings (SeekGE passes and equal-range SeekGT
+  /// narrowings) across every level.
   std::uint64_t probes = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "hsp/leapfrog.h"
 #include "hsp/mwis.h"
 #include "hsp/variable_graph.h"
 #include "lint/plan_lint.h"
@@ -70,6 +71,13 @@ void CollectVars(const Query& query, const PlanNode* node,
                  std::vector<VarId>* out) {
   if (node->kind == PlanNode::Kind::kScan) {
     for (VarId v : query.patterns[node->pattern_index].Variables()) {
+      if (std::find(out->begin(), out->end(), v) == out->end()) {
+        out->push_back(v);
+      }
+    }
+  }
+  if (node->kind == PlanNode::Kind::kLeapfrog) {
+    for (VarId v : node->leapfrog_order) {
       if (std::find(out->begin(), out->end(), v) == out->end()) {
         out->push_back(v);
       }
@@ -269,6 +277,7 @@ std::string HspPlanner::OptionsFingerprint() const {
   out += options_.use_h4 ? ";h4" : "";
   out += options_.use_h2 ? ";h2" : "";
   out += options_.use_h5 ? ";h5" : "";
+  out += options_.use_leapfrog ? ";lf" : "";
   return out;
 }
 
@@ -312,7 +321,17 @@ Result<PlannedQuery> HspPlanner::Plan(const Query& input) const {
 
   SubsetPlanner subset_planner(query, options_, &rng);
   std::unique_ptr<PlanNode> plan;
-  if (union_subsets.empty()) {
+  // Leapfrog routing: a single conjunctive BGP whose variable graph is
+  // cyclic or star-shaped is evaluated as one worst-case-optimal n-ary
+  // intersection; chains and graph-pattern extensions keep Algorithm 1's
+  // binary plans. Merge-join variable selection never runs, so
+  // chosen_variables stays empty for such plans.
+  if (options_.use_leapfrog && union_subsets.empty() &&
+      optional_subsets.empty() && LeapfrogEligible(query, required) &&
+      LeapfrogFavorable(query, required)) {
+    plan = PlanNode::Leapfrog(LeapfrogEliminationOrder(query, required),
+                              required);
+  } else if (union_subsets.empty()) {
     plan = subset_planner.Build(required, &out.chosen_variables);
   } else {
     // Each branch is planned independently; results are bag-unioned.

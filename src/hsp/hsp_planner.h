@@ -43,6 +43,10 @@ struct HspOptions {
   bool use_h4 = true;
   bool use_h2 = true;
   bool use_h5 = true;
+  /// Route cyclic/star basic graph patterns to one worst-case-optimal
+  /// leapfrog triejoin instead of a binary join tree (see hsp/leapfrog.h).
+  /// Off by default: the paper's plans are pure merge/hash trees.
+  bool use_leapfrog = false;
 };
 
 /// Stateless facade over Algorithm 1; one instance can plan many queries.

@@ -1,0 +1,115 @@
+#include "hsp/leapfrog.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "hsp/variable_graph.h"
+
+namespace hsparql::hsp {
+
+using sparql::Query;
+using sparql::TriplePattern;
+using sparql::VarId;
+
+bool LeapfrogEligible(const Query& query,
+                      std::span<const std::size_t> patterns) {
+  if (patterns.size() < 2) return false;
+  for (std::size_t idx : patterns) {
+    if (idx >= query.patterns.size()) return false;
+    const TriplePattern& tp = query.patterns[idx];
+    const std::vector<VarId> vars = tp.Variables();
+    if (vars.empty()) return false;
+    if (static_cast<int>(vars.size()) < tp.num_variable_slots()) {
+      return false;  // repeated variable: no trie access path
+    }
+  }
+  return true;
+}
+
+bool LeapfrogFavorable(const Query& query,
+                       std::span<const std::size_t> patterns) {
+  VariableGraph graph = VariableGraph::Build(query, patterns);
+  const std::size_t n = graph.num_nodes();
+  // Star hub: one variable shared by three or more patterns.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.node(i).weight >= 3) return true;
+  }
+  // Cycle: some connected component has at least as many edges as nodes.
+  std::vector<std::size_t> component(n);
+  for (std::size_t i = 0; i < n; ++i) component[i] = i;
+  const auto find = [&component](std::size_t i) {
+    while (component[i] != i) {
+      component[i] = component[component[i]];
+      i = component[i];
+    }
+    return i;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (graph.HasEdge(i, j)) component[find(i)] = find(j);
+    }
+  }
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> census;
+  for (std::size_t i = 0; i < n; ++i) ++census[find(i)].first;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (graph.HasEdge(i, j)) ++census[find(i)].second;
+    }
+  }
+  for (const auto& [root, counts] : census) {
+    if (counts.second >= counts.first) return true;
+  }
+  return false;
+}
+
+std::vector<VarId> LeapfrogEliminationOrder(
+    const Query& query, std::span<const std::size_t> patterns) {
+  // Weights and adjacency over *all* distinct variables of the patterns
+  // (the plain variable graph trims weight-1 nodes, which must still be
+  // bound and emitted).
+  std::map<VarId, std::uint32_t> weight;
+  for (std::size_t idx : patterns) {
+    for (VarId v : query.patterns[idx].Variables()) ++weight[v];
+  }
+  const auto adjacent = [&](VarId a, VarId b) {
+    for (std::size_t idx : patterns) {
+      const TriplePattern& tp = query.patterns[idx];
+      if (tp.Mentions(a) && tp.Mentions(b)) return true;
+    }
+    return false;
+  };
+
+  std::vector<VarId> order;
+  order.reserve(weight.size());
+  std::map<VarId, std::uint32_t> remaining = weight;
+  while (!remaining.empty()) {
+    VarId best = sparql::kInvalidVarId;
+    std::uint32_t best_weight = 0;
+    bool best_connected = false;
+    for (const auto& [v, w] : remaining) {
+      bool connected = false;
+      for (VarId chosen : order) {
+        if (adjacent(v, chosen)) {
+          connected = true;
+          break;
+        }
+      }
+      if (order.empty()) connected = true;  // seeding round
+      // Prefer connected candidates; among equals, higher weight, then the
+      // lower VarId (std::map iteration order makes this the first hit).
+      if (best == sparql::kInvalidVarId ||
+          (connected && !best_connected) ||
+          (connected == best_connected && w > best_weight)) {
+        best = v;
+        best_weight = w;
+        best_connected = connected;
+      }
+    }
+    order.push_back(best);
+    remaining.erase(best);
+  }
+  return order;
+}
+
+}  // namespace hsparql::hsp

@@ -1,0 +1,45 @@
+// Leapfrog triejoin routing: when a basic graph pattern should bypass the
+// binary merge/hash join machinery for one worst-case-optimal n-ary
+// intersection, and in which variable-elimination order.
+//
+// Binary join trees materialise intermediate results; on cyclic variable
+// graphs (triangles, k-cliques) and dense stars those intermediates can be
+// asymptotically larger than the final answer. The variable graph
+// (Definition 4) already exposes exactly the structure needed to spot
+// those shapes, so routing stays statistics-free, in HSP's spirit.
+#ifndef HSPARQL_HSP_LEAPFROG_H_
+#define HSPARQL_HSP_LEAPFROG_H_
+
+#include <span>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace hsparql::hsp {
+
+/// True when the patterns can be evaluated by one leapfrog triejoin: at
+/// least two patterns, each with at least one variable and no variable
+/// repeated within a pattern (a repeated variable has no trie access path
+/// among the six orderings; see lint rule PL503).
+bool LeapfrogEligible(const sparql::Query& query,
+                      std::span<const std::size_t> patterns);
+
+/// True when the shape favours a worst-case-optimal join: the weight>=2
+/// variable graph of the patterns contains a cycle, or some variable joins
+/// three or more patterns (a star hub). Chains and single joins stay with
+/// the paper's binary plans.
+bool LeapfrogFavorable(const sparql::Query& query,
+                       std::span<const std::size_t> patterns);
+
+/// The variable-elimination order: every distinct variable of the
+/// patterns, greedily ordered by descending join weight with a
+/// connectivity constraint — start at the heaviest variable (ties: lowest
+/// VarId), repeatedly append the heaviest variable co-occurring with one
+/// already chosen, and fall back to the heaviest remaining variable when
+/// the graph is disconnected. Deterministic for a given query.
+std::vector<sparql::VarId> LeapfrogEliminationOrder(
+    const sparql::Query& query, std::span<const std::size_t> patterns);
+
+}  // namespace hsparql::hsp
+
+#endif  // HSPARQL_HSP_LEAPFROG_H_

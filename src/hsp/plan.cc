@@ -74,6 +74,14 @@ std::unique_ptr<PlanNode> PlanNode::Sort(
   return node;
 }
 
+std::unique_ptr<PlanNode> PlanNode::Leapfrog(
+    std::vector<VarId> order, std::vector<std::size_t> patterns) {
+  auto node = std::make_unique<PlanNode>(Kind::kLeapfrog);
+  node->leapfrog_order = std::move(order);
+  node->leapfrog_patterns = std::move(patterns);
+  return node;
+}
+
 std::unique_ptr<PlanNode> PlanNode::Limit(std::uint64_t count,
                                           std::uint64_t offset,
                                           std::unique_ptr<PlanNode> child) {
@@ -148,6 +156,14 @@ int LogicalPlan::CountScans() const {
   return count;
 }
 
+int LogicalPlan::CountLeapfrogJoins() const {
+  int count = 0;
+  Visit(root_.get(), [&](const PlanNode* n) {
+    if (n->kind == PlanNode::Kind::kLeapfrog) ++count;
+  });
+  return count;
+}
+
 PlanShape LogicalPlan::shape() const {
   bool bushy = false;
   Visit(root_.get(), [&](const PlanNode* n) {
@@ -165,6 +181,10 @@ std::vector<VarId> LogicalPlan::MergeJoinVariables() const {
     if (n->kind == PlanNode::Kind::kJoin && n->algo == JoinAlgo::kMerge &&
         n->join_var != sparql::kInvalidVarId) {
       vars.push_back(n->join_var);
+    }
+    if (n->kind == PlanNode::Kind::kLeapfrog) {
+      vars.insert(vars.end(), n->leapfrog_order.begin(),
+                  n->leapfrog_order.end());
     }
   });
   std::sort(vars.begin(), vars.end());
@@ -233,6 +253,20 @@ void Render(const PlanNode* node, const Query& query,
         os << node->filter.value.ToString();
       }
       break;
+    case PlanNode::Kind::kLeapfrog: {
+      os << "leapfrogjoin [";
+      for (std::size_t i = 0; i < node->leapfrog_order.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << '?' << query.VarName(node->leapfrog_order[i]);
+      }
+      os << "] tps{";
+      for (std::size_t i = 0; i < node->leapfrog_patterns.size(); ++i) {
+        if (i > 0) os << ',';
+        os << node->leapfrog_patterns[i];
+      }
+      os << '}';
+      break;
+    }
     case PlanNode::Kind::kProject: {
       os << "project";
       if (node->distinct) os << " distinct";

@@ -30,6 +30,7 @@ struct PlanNode {
     kUnion,
     kSort,
     kLimit,
+    kLeapfrog,
   };
 
   explicit PlanNode(Kind k) : kind(k) {}
@@ -69,6 +70,14 @@ struct PlanNode {
   std::uint64_t limit_count = UINT64_MAX;
   std::uint64_t limit_offset = 0;
 
+  // kLeapfrog ---------------------------------------------------------------
+  /// Variable-elimination order of the n-ary leapfrog triejoin: every
+  /// distinct variable of the participating patterns, in the order they are
+  /// bound. Doubles as the operator's output schema and sort order.
+  std::vector<sparql::VarId> leapfrog_order;
+  /// Indices into query.patterns of the patterns intersected by this node.
+  std::vector<std::size_t> leapfrog_patterns;
+
   /// 0 children for scans, 2 for joins, 1 for filter/project.
   std::vector<std::unique_ptr<PlanNode>> children;
 
@@ -95,6 +104,10 @@ struct PlanNode {
                                          std::unique_ptr<PlanNode> child);
   static std::unique_ptr<PlanNode> Filter(sparql::Filter filter,
                                           std::unique_ptr<PlanNode> child);
+  /// Worst-case-optimal n-ary leapfrog triejoin over `patterns`, binding
+  /// variables in `order` (a leaf: the operator scans the store directly).
+  static std::unique_ptr<PlanNode> Leapfrog(
+      std::vector<sparql::VarId> order, std::vector<std::size_t> patterns);
   static std::unique_ptr<PlanNode> Project(std::vector<sparql::VarId> vars,
                                            bool distinct,
                                            std::unique_ptr<PlanNode> child);
@@ -125,13 +138,17 @@ class LogicalPlan {
   int CountJoins(JoinAlgo algo) const;
   /// Number of scan nodes.
   int CountScans() const;
+  /// Number of leapfrog (worst-case-optimal n-ary join) nodes.
+  int CountLeapfrogJoins() const;
   /// Total number of nodes (== number of ids assigned).
   int num_nodes() const { return num_nodes_; }
 
   PlanShape shape() const;
 
-  /// All variables on which merge joins are performed, sorted and deduped
-  /// (the "sorted variables" the paper compares between HSP and CDP plans).
+  /// All variables on which sort-order-exploiting joins are performed —
+  /// merge-join variables plus every leapfrog elimination variable — sorted
+  /// and deduped (the "sorted variables" the paper compares between HSP and
+  /// CDP plans).
   std::vector<sparql::VarId> MergeJoinVariables() const;
 
   /// Pretty tree rendering. `cardinalities`, when given, must be indexed by

@@ -58,6 +58,14 @@ std::string_view RuleIdName(RuleId rule) {
       return "hsp-scan-order";
     case RuleId::kHspAccessPathMismatch:
       return "hsp-access-path-mismatch";
+    case RuleId::kLeapfrogOrderInvalid:
+      return "leapfrog-order-invalid";
+    case RuleId::kLeapfrogVarNotCovered:
+      return "leapfrog-var-not-covered";
+    case RuleId::kLeapfrogNoAccessPath:
+      return "leapfrog-no-access-path";
+    case RuleId::kLeapfrogOrderVarUnused:
+      return "leapfrog-order-var-unused";
   }
   return "unknown-rule";
 }
@@ -100,6 +108,14 @@ std::string_view RuleIdCode(RuleId rule) {
       return "PL403";
     case RuleId::kHspAccessPathMismatch:
       return "PL404";
+    case RuleId::kLeapfrogOrderInvalid:
+      return "PL501";
+    case RuleId::kLeapfrogVarNotCovered:
+      return "PL502";
+    case RuleId::kLeapfrogNoAccessPath:
+      return "PL503";
+    case RuleId::kLeapfrogOrderVarUnused:
+      return "PL504";
   }
   return "PL???";
 }
@@ -234,6 +250,7 @@ class Linter {
     bool at_least = false;
     switch (node->kind) {
       case PlanNode::Kind::kScan:
+      case PlanNode::Kind::kLeapfrog:
         want = 0;
         break;
       case PlanNode::Kind::kJoin:
@@ -281,8 +298,78 @@ class Linter {
         return WalkSort(node);
       case PlanNode::Kind::kLimit:
         return Walk(node->children[0].get());  // pure row slice
+      case PlanNode::Kind::kLeapfrog:
+        return WalkLeapfrog(node);
     }
     return {};
+  }
+
+  /// PL5xx: the leapfrog triejoin invariants. The elimination order must be
+  /// a duplicate-free cover of exactly the participating patterns'
+  /// variables, and every pattern must have a trie access path among the
+  /// six orderings (constants first, then its variables in elimination
+  /// order) — impossible only when a variable repeats within a pattern.
+  NodeFacts WalkLeapfrog(const PlanNode* node) {
+    bool order_ok = true;
+    if (node->leapfrog_order.empty()) {
+      Error(RuleId::kLeapfrogOrderInvalid, node,
+            "leapfrog join has an empty variable-elimination order");
+      order_ok = false;
+    }
+    std::set<VarId> order_vars;
+    for (VarId v : node->leapfrog_order) {
+      if (!order_vars.insert(v).second) {
+        Error(RuleId::kLeapfrogOrderInvalid, node,
+              "elimination order lists " + NameOf(query_, v) + " twice");
+        order_ok = false;
+      }
+    }
+
+    std::set<VarId> pattern_vars;
+    for (std::size_t idx : node->leapfrog_patterns) {
+      if (idx >= query_.patterns.size()) {
+        Error(RuleId::kPatternIndexOutOfRange, node,
+              "leapfrog join references pattern tp" + std::to_string(idx) +
+                  " but the query has " +
+                  std::to_string(query_.patterns.size()) + " patterns");
+        continue;
+      }
+      const TriplePattern& tp = query_.patterns[idx];
+      std::vector<VarId> vars = tp.Variables();
+      std::size_t var_positions = 0;
+      for (rdf::Position pos : rdf::kAllPositions) {
+        if (tp.at(pos).is_variable()) ++var_positions;
+      }
+      if (vars.size() < var_positions) {
+        Error(RuleId::kLeapfrogNoAccessPath, node,
+              "tp" + std::to_string(idx) +
+                  " repeats a variable, so no ordering among the six sorts "
+                  "its trie levels in elimination order");
+      }
+      for (VarId v : vars) {
+        pattern_vars.insert(v);
+        if (order_vars.count(v) == 0) {
+          Error(RuleId::kLeapfrogVarNotCovered, node,
+                "tp" + std::to_string(idx) + " binds " + NameOf(query_, v) +
+                    ", which the elimination order does not cover");
+        }
+      }
+    }
+    for (VarId v : node->leapfrog_order) {
+      if (pattern_vars.count(v) == 0) {
+        Error(RuleId::kLeapfrogOrderVarUnused, node,
+              "elimination order lists " + NameOf(query_, v) +
+                  ", which no participating pattern mentions");
+      }
+    }
+
+    // Output schema and sortedness, exactly as the executor emits them:
+    // one column per elimination variable, rows lexicographically sorted
+    // in elimination order.
+    NodeFacts facts;
+    facts.vars = node->leapfrog_order;
+    if (order_ok) facts.sorted_by = node->leapfrog_order;
+    return facts;
   }
 
   NodeFacts WalkScan(const PlanNode* node) {

@@ -39,7 +39,8 @@ enum class Severity : std::uint8_t { kWarning, kError };
 std::string_view SeverityName(Severity severity);  // "warning" / "error"
 
 /// Every rule PlanLint can fire. Stable ids: PL0xx structure, PL1xx scans,
-/// PL2xx joins, PL3xx variable binding, PL4xx the HSP-specific pack.
+/// PL2xx joins, PL3xx variable binding, PL4xx the HSP-specific pack,
+/// PL5xx the leapfrog (worst-case-optimal join) invariants.
 /// The full catalog with one-line semantics lives in DESIGN.md.
 enum class RuleId : std::uint8_t {
   // Structure -------------------------------------------------------------
@@ -65,6 +66,12 @@ enum class RuleId : std::uint8_t {
   kHspMergeChainShape,     // PL402 merge block is not a left-deep scan chain
   kHspScanOrder,           // PL403 chain scans violate the H1 scan order
   kHspAccessPathMismatch,  // PL404 scan ordering not from Algorithm 2
+  // Leapfrog (worst-case-optimal n-ary join) -------------------------------
+  kLeapfrogOrderInvalid,   // PL501 elimination order empty or has duplicates
+  kLeapfrogVarNotCovered,  // PL502 pattern variable missing from the order
+  kLeapfrogNoAccessPath,   // PL503 pattern's trie access path is not one of
+                           //       the six orderings (repeated variable)
+  kLeapfrogOrderVarUnused,  // PL504 order variable no pattern mentions
 };
 
 /// Stable mnemonic, e.g. "merge-inputs-unsorted".

@@ -33,8 +33,8 @@ struct OperatorTrace {
   std::uint64_t input_rows = 0;
   /// Rows the operator emitted (equals the executor's actual table size).
   std::uint64_t output_rows = 0;
-  /// Binary-search descents (scans only): bound-prefix equal_range
-  /// lookups plus one merged-rank seek per morsel.
+  /// Index-seek count: equal_range lookups and merged-rank seeks for
+  /// scans, galloping cursor repositionings for leapfrog joins.
   std::uint64_t probes = 0;
   /// Wall time of this operator alone, excluding its children.
   double self_millis = 0.0;

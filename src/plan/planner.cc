@@ -48,6 +48,7 @@ Result<std::unique_ptr<Planner>> MakePlanner(
   if (kind == PlannerKind::kHsp) {
     hsp::HspOptions hsp_options;
     hsp_options.seed = options.seed;
+    hsp_options.use_leapfrog = options.use_leapfrog;
     return std::unique_ptr<Planner>(
         std::make_unique<hsp::HspPlanner>(hsp_options));
   }
@@ -57,15 +58,21 @@ Result<std::unique_ptr<Planner>> MakePlanner(
         "' is cost-based and needs a store and statistics");
   }
   switch (kind) {
-    case PlannerKind::kCdp:
+    case PlannerKind::kCdp: {
+      cdp::CdpOptions cdp_options;
+      cdp_options.use_leapfrog = options.use_leapfrog;
       return std::unique_ptr<Planner>(
-          std::make_unique<cdp::CdpPlanner>(store, stats));
+          std::make_unique<cdp::CdpPlanner>(store, stats, cdp_options));
+    }
     case PlannerKind::kLeftDeep:
       return std::unique_ptr<Planner>(
           std::make_unique<cdp::LeftDeepPlanner>(store, stats));
-    case PlannerKind::kHybrid:
+    case PlannerKind::kHybrid: {
+      cdp::HybridOptions hybrid_options;
+      hybrid_options.use_leapfrog = options.use_leapfrog;
       return std::unique_ptr<Planner>(
-          std::make_unique<cdp::HybridPlanner>(store, stats));
+          std::make_unique<cdp::HybridPlanner>(store, stats, hybrid_options));
+    }
     case PlannerKind::kHsp:
       break;  // handled above
   }

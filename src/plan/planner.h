@@ -99,6 +99,11 @@ struct PlannerFactoryOptions {
   /// Seed for HSP's RandomChooseOne tie-break (ignored by the cost-based
   /// planners, which are deterministic).
   std::uint64_t seed = kDefaultSeed;
+  /// Let planners emit worst-case-optimal leapfrog joins for cyclic/star
+  /// BGPs (HSP routes by shape, CDP and the hybrid by cost; the left-deep
+  /// baseline ignores the flag and stays pure binary). Off by default so
+  /// every paper-reproduction plan is unchanged.
+  bool use_leapfrog = false;
 };
 
 /// Builds a planner of the given kind. The cost-based kinds (kCdp,

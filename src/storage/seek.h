@@ -1,0 +1,108 @@
+// Galloping (exponential) search over sorted random-access data.
+//
+// Leapfrog triejoin spends its life seeking a handful of sorted cursors
+// past each other; the paper's merge joins and the parallel merge join's
+// chunk-probe path do the same over key columns. Both want the classic
+// exponential/galloping probe: O(log d) in the *distance* d advanced, so a
+// cursor that moves a little pays a little, instead of the full O(log n)
+// of a fresh binary search per seek.
+#ifndef HSPARQL_STORAGE_SEEK_H_
+#define HSPARQL_STORAGE_SEEK_H_
+
+#include <cstddef>
+#include <span>
+
+#include "rdf/triple.h"
+
+namespace hsparql::storage {
+
+/// First index i in [from, data.size()) with proj(data[i]) >= target;
+/// data.size() when no such element exists. `proj` maps an element to its
+/// sort key; the projected keys must be non-decreasing over the span.
+template <typename T, typename Key, typename Proj>
+std::size_t SeekGE(std::span<const T> data, std::size_t from, Key target,
+                   Proj proj) {
+  const std::size_t n = data.size();
+  if (from >= n) return n;
+  if (!(proj(data[from]) < target)) return from;
+  // Gallop: double the step until the probe lands at or past the target,
+  // giving a window (lo, hi] with proj(data[lo]) < target <= proj(data[hi]).
+  std::size_t step = 1;
+  std::size_t lo = from;
+  std::size_t hi = from + step;
+  while (hi < n && proj(data[hi]) < target) {
+    lo = hi;
+    step <<= 1;
+    hi = from + step;
+  }
+  if (hi > n) hi = n;
+  std::size_t left = lo + 1;
+  while (left < hi) {
+    const std::size_t mid = left + (hi - left) / 2;
+    if (proj(data[mid]) < target) {
+      left = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return left;
+}
+
+/// First index i in [from, data.size()) with proj(data[i]) > target.
+template <typename T, typename Key, typename Proj>
+std::size_t SeekGT(std::span<const T> data, std::size_t from, Key target,
+                   Proj proj) {
+  const std::size_t n = data.size();
+  if (from >= n) return n;
+  if (proj(data[from]) > target) return from;
+  std::size_t step = 1;
+  std::size_t lo = from;
+  std::size_t hi = from + step;
+  while (hi < n && !(proj(data[hi]) > target)) {
+    lo = hi;
+    step <<= 1;
+    hi = from + step;
+  }
+  if (hi > n) hi = n;
+  std::size_t left = lo + 1;
+  while (left < hi) {
+    const std::size_t mid = left + (hi - left) / 2;
+    if (!(proj(data[mid]) > target)) {
+      left = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return left;
+}
+
+/// Plain sorted key-column overloads.
+inline std::size_t SeekGE(std::span<const rdf::TermId> keys, std::size_t from,
+                          rdf::TermId target) {
+  return SeekGE(keys, from, target, [](rdf::TermId k) { return k; });
+}
+
+inline std::size_t SeekGT(std::span<const rdf::TermId> keys, std::size_t from,
+                          rdf::TermId target) {
+  return SeekGT(keys, from, target, [](rdf::TermId k) { return k; });
+}
+
+/// Sorted-triple overloads keyed on one component (the span must be sorted
+/// by that component, e.g. a prefix-narrowed level of an ordering).
+inline std::size_t SeekGE(std::span<const rdf::Triple> triples,
+                          std::size_t from, rdf::Position pos,
+                          rdf::TermId target) {
+  return SeekGE(triples, from, target,
+                [pos](const rdf::Triple& t) { return t.at(pos); });
+}
+
+inline std::size_t SeekGT(std::span<const rdf::Triple> triples,
+                          std::size_t from, rdf::Position pos,
+                          rdf::TermId target) {
+  return SeekGT(triples, from, target,
+                [pos](const rdf::Triple& t) { return t.at(pos); });
+}
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_SEEK_H_

@@ -1,0 +1,432 @@
+// Tests for the worst-case-optimal LeapfrogJoin operator: planner routing
+// (HSP by shape, CDP/hybrid by cost, left-deep never), byte-identical
+// results against the binary-join plans across all four planners on
+// synthetic cyclic/star graphs and the SP2Bench workload, serial and
+// morsel-parallel execution, empty intersections, delta-store (base+delta
+// TripleView) cursors, and the PL5xx lint pack.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "hsp/leapfrog.h"
+#include "hsp/plan.h"
+#include "lint/plan_lint.h"
+#include "plan/planner.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+#include "workload/yago_gen.h"
+
+namespace hsparql {
+namespace {
+
+using hsp::PlanNode;
+using plan::PlannerKind;
+using sparql::Query;
+using sparql::VarId;
+using storage::TripleStore;
+
+sparql::Query ParseOrDie(std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+std::string Node(std::size_t i) { return "n" + std::to_string(i); }
+
+/// Directed graph over n nodes with edges i -> i+1 and i -> i+2 (mod n):
+/// every node seeds the triangle (i, i+1, i+2).
+rdf::Graph TriangleGraph(std::size_t n) {
+  rdf::Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddIri(Node(i), "e", Node((i + 1) % n));
+    g.AddIri(Node(i), "e", Node((i + 2) % n));
+  }
+  return g;
+}
+
+/// Pure path graph: i -> i+1 only, no wrap — no triangles, no cycles.
+rdf::Graph ChainGraph(std::size_t n) {
+  rdf::Graph g;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.AddIri(Node(i), "e", Node(i + 1));
+  }
+  return g;
+}
+
+const char* kTriangleQuery =
+    "SELECT ?x ?y ?z WHERE { ?x <e> ?y . ?y <e> ?z . ?x <e> ?z }";
+const char* kFourCycleQuery =
+    "SELECT ?x ?y ?z ?w WHERE { ?x <e> ?y . ?y <e> ?z . ?z <e> ?w . "
+    "?w <e> ?x }";
+const char* kStarQuery =
+    "SELECT ?a ?j ?p WHERE { "
+    "?a <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <bench:Article> . "
+    "?a <swrc:journal> ?j . ?a <dc:creator> ?p }";
+const char* kChainQuery =
+    "SELECT ?a ?b ?c WHERE { ?a <e> ?b . ?b <e> ?c }";
+
+/// Plans `query` with the given planner kind and leapfrog setting; fails
+/// the test on planning or lint errors.
+hsp::PlannedQuery PlanWith(PlannerKind kind, const TripleStore& store,
+                           const storage::Statistics& stats,
+                           const Query& query, bool leapfrog) {
+  plan::PlannerFactoryOptions options;
+  options.use_leapfrog = leapfrog;
+  auto planner = plan::MakePlanner(kind, &store, &stats, options);
+  EXPECT_TRUE(planner.ok()) << planner.status();
+  auto planned = (*planner)->Plan(plan::AnalyzedQuery::From(query));
+  EXPECT_TRUE(planned.ok()) << planned.status();
+  lint::LintReport report = lint::LintPlan(planned->query, planned->plan);
+  EXPECT_TRUE(report.clean())
+      << report.ToString() << planned->plan.ToString(planned->query);
+  return std::move(planned).ValueOrDie();
+}
+
+/// Executes a planned query and canonicalises the answer (rows rendered to
+/// sorted strings in projection order) for order-insensitive comparison.
+testing::ResultBag RunToBag(const TripleStore& store,
+                            const hsp::PlannedQuery& planned,
+                            std::size_t threads) {
+  exec::ExecOptions options;
+  options.num_threads = threads;
+  options.lint_plans = true;
+  exec::Executor executor(&store, options);
+  auto result = executor.Execute(planned.query, planned.plan);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return {};
+  std::vector<VarId> projection = planned.query.projection;
+  if (planned.query.select_all) {
+    projection.clear();
+    for (const sparql::TriplePattern& tp : planned.query.patterns) {
+      for (VarId v : tp.Variables()) {
+        if (std::find(projection.begin(), projection.end(), v) ==
+            projection.end()) {
+          projection.push_back(v);
+        }
+      }
+    }
+  }
+  return testing::ToResultBag(result->table, planned.query,
+                              store.dictionary(), projection);
+}
+
+// ---------------------------------------------------------------------------
+// Planner routing.
+
+TEST(LeapfrogRoutingTest, HspRoutesTriangleToLeapfrog) {
+  TripleStore store = TripleStore::Build(TriangleGraph(12));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(kTriangleQuery);
+
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+  EXPECT_EQ(on.plan.CountLeapfrogJoins(), 1);
+  EXPECT_EQ(on.plan.CountJoins(hsp::JoinAlgo::kMerge), 0);
+  EXPECT_EQ(on.plan.CountJoins(hsp::JoinAlgo::kHash), 0);
+  // The elimination order feeds the "sorted variables" report.
+  EXPECT_EQ(on.plan.MergeJoinVariables().size(), 3u);
+
+  hsp::PlannedQuery off =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/false);
+  EXPECT_EQ(off.plan.CountLeapfrogJoins(), 0);
+}
+
+TEST(LeapfrogRoutingTest, HspKeepsAcyclicChainBinary) {
+  TripleStore store = TripleStore::Build(ChainGraph(12));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(kChainQuery);
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+  EXPECT_EQ(on.plan.CountLeapfrogJoins(), 0);
+}
+
+TEST(LeapfrogRoutingTest, LeftDeepPlannerIgnoresTheFlag) {
+  TripleStore store = TripleStore::Build(TriangleGraph(12));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(kTriangleQuery);
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kLeftDeep, store, stats, q, /*leapfrog=*/true);
+  EXPECT_EQ(on.plan.CountLeapfrogJoins(), 0);
+}
+
+TEST(LeapfrogRoutingTest, EligibilityAndOrderHelpers) {
+  Query q = ParseOrDie(kTriangleQuery);
+  std::vector<std::size_t> all = {0, 1, 2};
+  EXPECT_TRUE(hsp::LeapfrogEligible(q, all));
+  EXPECT_TRUE(hsp::LeapfrogFavorable(q, all));
+  std::vector<VarId> order = hsp::LeapfrogEliminationOrder(q, all);
+  ASSERT_EQ(order.size(), 3u);  // all distinct variables, each exactly once
+  std::vector<VarId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VarId>{0, 1, 2}));
+
+  Query chain = ParseOrDie(kChainQuery);
+  EXPECT_TRUE(hsp::LeapfrogEligible(chain, std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(hsp::LeapfrogFavorable(chain, std::vector<std::size_t>{0, 1}));
+
+  Query repeated = ParseOrDie("SELECT ?x WHERE { ?x <e> ?x . ?x <f> ?y }");
+  EXPECT_FALSE(
+      hsp::LeapfrogEligible(repeated, std::vector<std::size_t>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Result identity: leapfrog vs. binary plans, all planners, 1 and N threads.
+
+struct Scenario {
+  const char* name;
+  rdf::Graph (*graph)();
+  const char* query;
+  bool expect_hsp_leapfrog;
+};
+
+rdf::Graph Triangle12() { return TriangleGraph(12); }
+rdf::Graph Cycle8() { return TriangleGraph(8); }  // steps {2,2,2,2} close
+rdf::Graph Bib() { return testing::SmallBibGraph(); }
+
+class LeapfrogIdentityTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(LeapfrogIdentityTest, MatchesBinaryPlansAcrossPlannersAndThreads) {
+  const Scenario& sc = GetParam();
+  TripleStore store = TripleStore::Build(sc.graph());
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(sc.query);
+
+  // The reference answer: HSP's default binary plan, serial.
+  hsp::PlannedQuery reference =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/false);
+  testing::ResultBag expected = RunToBag(store, reference, 0);
+  EXPECT_FALSE(expected.empty()) << sc.name;  // scenarios have answers
+
+  if (sc.expect_hsp_leapfrog) {
+    hsp::PlannedQuery on =
+        PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+    ASSERT_EQ(on.plan.CountLeapfrogJoins(), 1) << sc.name;
+  }
+
+  for (PlannerKind kind : plan::kAllPlannerKinds) {
+    for (bool leapfrog : {false, true}) {
+      hsp::PlannedQuery planned =
+          PlanWith(kind, store, stats, q, leapfrog);
+      for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+        EXPECT_EQ(RunToBag(store, planned, threads), expected)
+            << sc.name << " planner=" << plan::PlannerKindName(kind)
+            << " leapfrog=" << leapfrog << " threads=" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LeapfrogIdentityTest,
+    ::testing::Values(
+        Scenario{"triangle", &Triangle12, kTriangleQuery, true},
+        Scenario{"four_cycle", &Cycle8, kFourCycleQuery, true},
+        Scenario{"star", &Bib, kStarQuery, true}),
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      return param_info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+
+TEST(LeapfrogExecTest, EmptyIntersectionYieldsWellFormedEmptyResult) {
+  // A chain graph has no triangles: the level-wise intersection dries up.
+  TripleStore store = TripleStore::Build(ChainGraph(16));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(kTriangleQuery);
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+  ASSERT_EQ(on.plan.CountLeapfrogJoins(), 1);
+  for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    EXPECT_TRUE(RunToBag(store, on, threads).empty()) << threads;
+  }
+}
+
+TEST(LeapfrogExecTest, UnknownConstantYieldsEmpty) {
+  TripleStore store = TripleStore::Build(TriangleGraph(12));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(
+      "SELECT ?x ?y ?z WHERE { ?x <nope> ?y . ?y <e> ?z . ?x <e> ?z }");
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+  if (on.plan.CountLeapfrogJoins() == 1) {
+    EXPECT_TRUE(RunToBag(store, on, 0).empty());
+  }
+}
+
+TEST(LeapfrogExecTest, DeltaStoreCursorsMatchRebuiltStore) {
+  // Base: half the edges; delta: the rest (including the wrap-around edges
+  // that close most triangles). The leapfrog cursors must interleave both
+  // levels of every TripleView.
+  const std::size_t n = 12;
+  rdf::Graph base;
+  std::vector<std::array<rdf::Term, 3>> delta;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t step : {std::size_t{1}, std::size_t{2}}) {
+      if (i % 2 == 0) {
+        base.AddIri(Node(i), "e", Node((i + step) % n));
+      } else {
+        delta.push_back({rdf::Term::Iri(Node(i)), rdf::Term::Iri("e"),
+                         rdf::Term::Iri(Node((i + step) % n))});
+      }
+    }
+  }
+  TripleStore store = TripleStore::Build(std::move(base));
+  auto update = store.PrepareAdd(delta);
+  ASSERT_GT(update.added, 0u);
+  store.Apply(std::move(update));
+  TripleStore rebuilt = TripleStore::Build(TriangleGraph(n));
+  ASSERT_EQ(store.size(), rebuilt.size());
+
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  storage::Statistics rebuilt_stats = storage::Statistics::Compute(rebuilt);
+  Query q = ParseOrDie(kTriangleQuery);
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+  ASSERT_EQ(on.plan.CountLeapfrogJoins(), 1);
+  hsp::PlannedQuery reference = PlanWith(PlannerKind::kHsp, rebuilt,
+                                         rebuilt_stats, q, /*leapfrog=*/false);
+  testing::ResultBag expected = RunToBag(rebuilt, reference, 0);
+  EXPECT_FALSE(expected.empty());
+  if (store.delta_size() > 0) {
+    // PrepareAdd may have compacted; only then is the two-level path hit —
+    // with kCompactionRatio = 4 and a half/half split it never is.
+    for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+      EXPECT_EQ(RunToBag(store, on, threads), expected) << threads;
+    }
+  } else {
+    EXPECT_EQ(RunToBag(store, on, 0), expected);
+  }
+}
+
+TEST(LeapfrogExecTest, TraceRecordsSeeksAndLabel) {
+  TripleStore store = TripleStore::Build(TriangleGraph(12));
+  storage::Statistics stats = storage::Statistics::Compute(store);
+  Query q = ParseOrDie(kTriangleQuery);
+  hsp::PlannedQuery on =
+      PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/true);
+  ASSERT_EQ(on.plan.CountLeapfrogJoins(), 1);
+  exec::ExecOptions options;
+  options.collect_trace = true;
+  exec::Executor executor(&store, options);
+  auto result = executor.Execute(on.query, on.plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool found = false;
+  for (const exec::OperatorStat& s : result->stats) {
+    if (s.label.rfind("leapfrogjoin [", 0) == 0) {
+      found = true;
+      EXPECT_GT(s.probes, 0u);
+      EXPECT_GT(s.input_rows, 0u);
+    }
+  }
+  EXPECT_TRUE(found) << "no leapfrogjoin operator stat recorded";
+  ASSERT_NE(result->trace, nullptr);
+  EXPECT_NE(result->trace->ToString().find("leapfrogjoin ["),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Workload sweep: all four planners on SP2Bench + YAGO, leapfrog on/off.
+
+TEST(LeapfrogWorkloadTest, AllPlannersIdenticalResultsAndCleanLint) {
+  auto sp2b_store = TripleStore::Build(
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(15000)));
+  auto yago_store = TripleStore::Build(
+      workload::GenerateYago(workload::YagoConfig::FromTargetTriples(15000)));
+  storage::Statistics sp2b_stats = storage::Statistics::Compute(sp2b_store);
+  storage::Statistics yago_stats = storage::Statistics::Compute(yago_store);
+
+  for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+    const bool sp2b = wq.dataset == workload::Dataset::kSp2Bench;
+    const TripleStore& store = sp2b ? sp2b_store : yago_store;
+    const storage::Statistics& stats = sp2b ? sp2b_stats : yago_stats;
+    Query q = ParseOrDie(wq.sparql);
+
+    hsp::PlannedQuery reference =
+        PlanWith(PlannerKind::kHsp, store, stats, q, /*leapfrog=*/false);
+    testing::ResultBag expected = RunToBag(store, reference, 0);
+
+    for (PlannerKind kind : plan::kAllPlannerKinds) {
+      plan::PlannerFactoryOptions options;
+      options.use_leapfrog = true;
+      auto planner = plan::MakePlanner(kind, &store, &stats, options);
+      ASSERT_TRUE(planner.ok()) << planner.status();
+      auto planned = (*planner)->Plan(plan::AnalyzedQuery::From(q));
+      if (!planned.ok()) continue;  // OPTIONAL/UNION: HSP-only queries
+      lint::LintReport report =
+          lint::LintPlan(planned->query, planned->plan);
+      EXPECT_TRUE(report.clean())
+          << wq.id << "/" << plan::PlannerKindName(kind) << "\n"
+          << report.ToString();
+      EXPECT_EQ(RunToBag(store, *planned, 0), expected)
+          << wq.id << "/" << plan::PlannerKindName(kind);
+
+      // Off by default: the paper-reproduction plans must be unchanged.
+      plan::PlannerFactoryOptions off;
+      auto off_planner = plan::MakePlanner(kind, &store, &stats, off);
+      ASSERT_TRUE(off_planner.ok());
+      auto off_planned = (*off_planner)->Plan(plan::AnalyzedQuery::From(q));
+      ASSERT_TRUE(off_planned.ok());
+      EXPECT_EQ(off_planned->plan.CountLeapfrogJoins(), 0)
+          << wq.id << "/" << plan::PlannerKindName(kind);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PL5xx lint pack.
+
+class LeapfrogLintTest : public ::testing::Test {
+ protected:
+  Query query_ = ParseOrDie(kTriangleQuery);
+
+  lint::LintReport Lint(std::unique_ptr<PlanNode> node) {
+    hsp::LogicalPlan plan(std::move(node));
+    return lint::LintPlan(query_, plan);
+  }
+};
+
+TEST_F(LeapfrogLintTest, ValidNodeIsClean) {
+  // ?x=0 ?y=1 ?z=2 in first-occurrence order.
+  auto node = PlanNode::Leapfrog({0, 1, 2}, {0, 1, 2});
+  EXPECT_TRUE(Lint(std::move(node)).clean());
+}
+
+TEST_F(LeapfrogLintTest, Pl501EmptyOrDuplicateOrder) {
+  EXPECT_TRUE(Lint(PlanNode::Leapfrog({}, {0, 1, 2}))
+                  .Has(lint::RuleId::kLeapfrogOrderInvalid));
+  EXPECT_TRUE(Lint(PlanNode::Leapfrog({0, 1, 1, 2}, {0, 1, 2}))
+                  .Has(lint::RuleId::kLeapfrogOrderInvalid));
+}
+
+TEST_F(LeapfrogLintTest, Pl502PatternVariableNotCovered) {
+  EXPECT_TRUE(Lint(PlanNode::Leapfrog({0, 1}, {0, 1, 2}))
+                  .Has(lint::RuleId::kLeapfrogVarNotCovered));
+}
+
+TEST_F(LeapfrogLintTest, Pl503RepeatedVariableHasNoAccessPath) {
+  Query q = ParseOrDie("SELECT ?x ?y WHERE { ?x <e> ?x . ?x <e> ?y }");
+  hsp::LogicalPlan plan(PlanNode::Leapfrog({0, 1}, {0, 1}));
+  EXPECT_TRUE(lint::LintPlan(q, plan)
+                  .Has(lint::RuleId::kLeapfrogNoAccessPath));
+}
+
+TEST_F(LeapfrogLintTest, Pl504OrderVariableNoPatternMentions) {
+  EXPECT_TRUE(Lint(PlanNode::Leapfrog({0, 1, 2, 7}, {0, 1, 2}))
+                  .Has(lint::RuleId::kLeapfrogOrderVarUnused));
+}
+
+TEST_F(LeapfrogLintTest, Pl004PatternIndexOutOfRange) {
+  EXPECT_TRUE(Lint(PlanNode::Leapfrog({0, 1, 2}, {0, 1, 5}))
+                  .Has(lint::RuleId::kPatternIndexOutOfRange));
+}
+
+}  // namespace
+}  // namespace hsparql
