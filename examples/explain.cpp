@@ -10,7 +10,9 @@
 //
 // --lint prints the full PlanLint diagnostic list (the engine already
 // refuses to cache or execute plans with lint errors; the flag surfaces
-// warnings and the HSP rule pack too).
+// warnings and the HSP rule pack too) and exits non-zero when ANY
+// diagnostic was emitted — warnings included — so CI scripts can gate on
+// "plan is clean" without parsing the output.
 //
 // --analyze runs the query with per-operator tracing and prints the
 // EXPLAIN ANALYZE tree: each operator with its actual output rows, the
@@ -123,8 +125,15 @@ int main(int argc, char** argv) {
         std::cerr << "lint: " << d.ToString() << "\n";
       }
       if (!report.ok()) return Fail(lint::ReportToStatus(report));
-      std::cerr << "lint: plan is clean (" << report.diagnostics.size()
-                << " warning(s))\n";
+      if (!report.diagnostics.empty()) {
+        // Warnings only (errors returned above): still a lint failure for
+        // scripting purposes — a gate that passes on warnings silently
+        // stops being a gate.
+        std::cerr << "lint: " << report.diagnostics.size()
+                  << " warning(s), plan not clean\n";
+        return 1;
+      }
+      std::cerr << "lint: plan is clean\n";
     }
     if (explain_only) return 0;
     auto response = engine.ExecutePrepared(*prepared);

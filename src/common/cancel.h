@@ -16,6 +16,13 @@
 // subsequent poll reporting success. Tokens can be chained via set_parent
 // (engine-internal deadline token on top of a caller-provided cancel
 // token); set_parent must happen before the token is shared.
+//
+// Capability map (DESIGN.md §4i): this class is deliberately lock-free —
+// there is no capability to GUARDED_BY. Every field is a relaxed atomic
+// (or written once before sharing, for parent_), so the static
+// thread-safety analysis has nothing to prove here; the latched-expiry
+// invariant is covered instead by a dedicated concurrent regression test
+// (common_test.cc, run under the TSan CI job).
 #ifndef HSPARQL_COMMON_CANCEL_H_
 #define HSPARQL_COMMON_CANCEL_H_
 
@@ -66,8 +73,13 @@ class CancelToken {
  private:
   static constexpr std::int64_t kNoDeadline = INT64_MAX;
 
+  /// Lock-free: relaxed atomics. cancelled_ is the latch — it only ever
+  /// transitions false -> true, so a relaxed read that returns true is
+  /// final no matter how deadline_ns_ is racing.
   mutable std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  /// Written once by set_parent before the token is shared (the one
+  /// non-atomic field; publication happens-before any concurrent read).
   const CancelToken* parent_ = nullptr;
 };
 

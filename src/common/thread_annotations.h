@@ -1,0 +1,105 @@
+// Clang Thread Safety Analysis annotation vocabulary (DESIGN.md §4i).
+//
+// These macros make the locking contract part of the type system: fields
+// declare which capability (mutex) guards them, functions declare which
+// capabilities they require, acquire or release, and clang proves the
+// discipline at compile time with -Wthread-safety -Wthread-safety-beta
+// (the `static-analysis / thread-safety` CI check builds the full tree
+// and tests with both flags promoted to errors). Under compilers without
+// the analysis (GCC) every macro expands to nothing, so annotations are
+// zero-cost documentation there and the build is unchanged.
+//
+// This is the same layering as PlanLint (§4d) applied to concurrency:
+// static proof first, sanitizers (the TSan CI job) as the runtime
+// backstop for what the type system cannot see — e.g. lock-free atomics,
+// which carry no capability and are documented in place instead (see the
+// capability map in DESIGN.md §4i).
+//
+// The names follow the clang documentation's canonical mutex.h so the
+// annotations read like the upstream examples: CAPABILITY, GUARDED_BY,
+// REQUIRES, ACQUIRE/RELEASE, EXCLUDES, ASSERT_CAPABILITY, ...
+#ifndef HSPARQL_COMMON_THREAD_ANNOTATIONS_H_
+#define HSPARQL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define HSPARQL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HSPARQL_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (something that can be held). The string
+/// names the capability kind in diagnostics: "mutex", "shared_mutex", ...
+#define CAPABILITY(x) HSPARQL_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock and friends).
+#define SCOPED_CAPABILITY HSPARQL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a field may only be read/written while holding `x`
+/// (shared suffices for reads, exclusive is required for writes).
+#define GUARDED_BY(x) HSPARQL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer/smart-pointer field
+/// is guarded by `x` (the pointer itself is not).
+#define PT_GUARDED_BY(x) HSPARQL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations, checked under -Wthread-safety-beta: this
+/// capability must be acquired before/after the listed ones.
+#define ACQUIRED_BEFORE(...) \
+  HSPARQL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  HSPARQL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the listed capabilities (exclusively / shared)
+/// when calling this function; the function does not release them.
+#define REQUIRES(...) \
+  HSPARQL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HSPARQL_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and holds
+/// it on return; the caller must not already hold it.
+#define ACQUIRE(...) \
+  HSPARQL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HSPARQL_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds. RELEASE releases
+/// an exclusive hold, RELEASE_SHARED a shared one, RELEASE_GENERIC either
+/// (used by scoped-lock destructors that may hold in either mode).
+#define RELEASE(...) \
+  HSPARQL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HSPARQL_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  HSPARQL_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability and returns `b` on
+/// success (e.g. TRY_ACQUIRE(true) for a try_lock returning bool).
+#define TRY_ACQUIRE(...) \
+  HSPARQL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  HSPARQL_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (the function
+/// acquires them internally; holding them on entry would deadlock).
+#define EXCLUDES(...) HSPARQL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held — tells the analysis to
+/// treat it as held from here on (for code the static analysis cannot
+/// follow, e.g. across a capability-erasing boundary).
+#define ASSERT_CAPABILITY(x) \
+  HSPARQL_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  HSPARQL_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability (accessor
+/// functions exposing a member mutex).
+#define RETURN_CAPABILITY(x) HSPARQL_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Turns the analysis off for one function — the documented escape hatch
+/// for deliberate capability-erasing code (each use must say why).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HSPARQL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // HSPARQL_COMMON_THREAD_ANNOTATIONS_H_

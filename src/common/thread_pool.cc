@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace hsparql {
 
 namespace {
@@ -30,10 +32,10 @@ ThreadPool::ThreadPool(std::size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     stop_ = true;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -48,9 +50,10 @@ ThreadPool& ThreadPool::Shared() {
 void ThreadPool::Push(std::function<void()> task) {
   std::size_t target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  WorkerQueue& q = *queues_[target];
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
-    queues_[target]->tasks.push_back(std::move(task));
+    MutexLock lock(&q.mu);
+    q.tasks.push_back(std::move(task));
   }
 }
 
@@ -59,7 +62,7 @@ bool ThreadPool::PopTask(std::size_t preferred,
   const std::size_t n = queues_.size();
   if (preferred < n) {
     WorkerQueue& own = *queues_[preferred];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(&own.mu);
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -70,7 +73,7 @@ bool ThreadPool::PopTask(std::size_t preferred,
     std::size_t victim = (preferred + 1 + k) % n;
     if (victim == preferred) continue;
     WorkerQueue& q = *queues_[victim];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       *task = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -85,17 +88,19 @@ ThreadPool::Stats ThreadPool::stats() const {
   Stats out;
   out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   out.steals = steals_.load(std::memory_order_relaxed);
-  for (const auto& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mu);
-    out.queue_depth += q->tasks.size();
+  for (const auto& queue : queues_) {
+    WorkerQueue& q = *queue;
+    MutexLock lock(&q.mu);
+    out.queue_depth += q.tasks.size();
   }
   return out;
 }
 
 bool ThreadPool::HasQueuedWork() {
-  for (const auto& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mu);
-    if (!q->tasks.empty()) return true;
+  for (const auto& queue : queues_) {
+    WorkerQueue& q = *queue;
+    MutexLock lock(&q.mu);
+    if (!q.tasks.empty()) return true;
   }
   return false;
 }
@@ -110,12 +115,12 @@ void ThreadPool::WorkerLoop(std::size_t index) {
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     // Re-check under the idle lock: a Push between our failed PopTask and
     // here has already fired its notify, which we must not miss.
     if (stop_) return;
-    if (HasQueuedWork()) continue;  // lock released by unique_lock dtor
-    idle_cv_.wait(lock);
+    if (HasQueuedWork()) continue;  // lock released by MutexLock dtor
+    idle_cv_.Wait(idle_mu_);
     if (stop_) return;
   }
 }
@@ -134,10 +139,10 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
 
   // Join state shared between the chunks and the (helping) caller.
   struct ForState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t done = 0;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::size_t done GUARDED_BY(mu) = 0;
+    std::exception_ptr error GUARDED_BY(mu);
   };
   auto state = std::make_shared<ForState>();
 
@@ -152,14 +157,14 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
         error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         if (error && !state->error) state->error = std::move(error);
         ++state->done;
       }
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     });
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 
   // Help: run pool tasks (ours or anyone's — progress either way) until
   // every chunk of this loop has finished.
@@ -167,7 +172,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
       tls_pool == this ? tls_worker : queues_.size();
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       if (state->done == num_chunks) break;
     }
     std::function<void()> task;
@@ -176,13 +181,22 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] {
-      return state->done == num_chunks || HasQueuedWork();
-    });
+    MutexLock lock(&state->mu);
+    // Sleep until either this loop finished or queued work (re)appeared —
+    // re-checked in a loop because wakeups may be spurious.
+    while (state->done != num_chunks && !HasQueuedWork()) {
+      state->cv.Wait(state->mu);
+    }
     if (state->done == num_chunks) break;
   }
-  if (state->error) std::rethrow_exception(state->error);
+  // Every chunk has finished, so no writer can race this read — but take
+  // the lock anyway: it is free here and keeps the proof lock-complete.
+  std::exception_ptr error;
+  {
+    MutexLock lock(&state->mu);
+    error = std::move(state->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace hsparql

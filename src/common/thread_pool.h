@@ -12,15 +12,16 @@
 #define HSPARQL_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hsparql {
 
@@ -70,23 +71,31 @@ class ThreadPool {
   /// One worker's task deque. Kept behind a unique_ptr so the vector of
   /// queues stays movable during construction.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(std::size_t index);
   /// Pops a task, preferring the given queue's back, then stealing from
   /// the fronts of the others. `preferred` == num_workers() means "no own
-  /// queue" (an external caller helping out).
+  /// queue" (an external caller helping out). Takes each candidate
+  /// queue's mutex in turn; never holds two queue locks at once.
   bool PopTask(std::size_t preferred, std::function<void()>* task);
   bool HasQueuedWork();
   void Push(std::function<void()> task);
 
+  /// The queue vector itself is immutable after construction (sized once,
+  /// nodes behind stable unique_ptrs); each queue's deque is guarded by
+  /// its own mu, so Push and steals on different queues never contend.
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  bool stop_ = false;
+  /// Guards stop_ and pairs with idle_cv_ for the workers' idle wait.
+  /// Lock order: idle_mu_ before any WorkerQueue::mu (WorkerLoop probes
+  /// the queues under the idle lock before sleeping); queue mutexes are
+  /// leaves and never nest inside each other.
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+  bool stop_ GUARDED_BY(idle_mu_) = false;
   /// Round-robin target for Push; relaxed — an imbalanced distribution
   /// only costs a steal.
   std::atomic<std::size_t> next_queue_{0};

@@ -183,43 +183,43 @@ void Engine::RegisterMetrics() {
   // cache mutex, pool stats from the shared pool's own atomics.
   registry_.AddCallbackCounter(
       "engine.plan_cache.hits", "Plan-cache hits", [this] {
-        std::lock_guard<std::mutex> lock(plan_mu_);
+        MutexLock lock(&plan_mu_);
         return plan_cache_.counters().hits;
       });
   registry_.AddCallbackCounter(
       "engine.plan_cache.misses", "Plan-cache misses", [this] {
-        std::lock_guard<std::mutex> lock(plan_mu_);
+        MutexLock lock(&plan_mu_);
         return plan_cache_.counters().misses;
       });
   registry_.AddCallbackCounter(
       "engine.plan_cache.evictions", "Plan-cache capacity evictions", [this] {
-        std::lock_guard<std::mutex> lock(plan_mu_);
+        MutexLock lock(&plan_mu_);
         return plan_cache_.counters().evictions;
       });
   registry_.AddCallbackGauge(
       "engine.plan_cache.size", "Plans currently cached", [this] {
-        std::lock_guard<std::mutex> lock(plan_mu_);
+        MutexLock lock(&plan_mu_);
         return static_cast<std::int64_t>(plan_cache_.size());
       });
   registry_.AddCallbackCounter(
       "engine.result_cache.hits", "Result-cache hits", [this] {
-        std::lock_guard<std::mutex> lock(result_mu_);
+        MutexLock lock(&result_mu_);
         return result_cache_.counters().hits;
       });
   registry_.AddCallbackCounter(
       "engine.result_cache.misses", "Result-cache misses", [this] {
-        std::lock_guard<std::mutex> lock(result_mu_);
+        MutexLock lock(&result_mu_);
         return result_cache_.counters().misses;
       });
   registry_.AddCallbackCounter(
       "engine.result_cache.evictions", "Result-cache capacity evictions",
       [this] {
-        std::lock_guard<std::mutex> lock(result_mu_);
+        MutexLock lock(&result_mu_);
         return result_cache_.counters().evictions;
       });
   registry_.AddCallbackGauge(
       "engine.result_cache.size", "Results currently cached", [this] {
-        std::lock_guard<std::mutex> lock(result_mu_);
+        MutexLock lock(&result_mu_);
         return static_cast<std::int64_t>(result_cache_.size());
       });
   registry_.AddCallbackCounter(
@@ -250,7 +250,7 @@ Result<const Engine::PlannerEntry*> Engine::PlannerFor(
                                 (options.use_leapfrog ? 0x80 : 0)),
       options.seed};
   {
-    std::lock_guard<std::mutex> lock(planner_mu_);
+    MutexLock lock(&planner_mu_);
     auto it = planners_.find(id);
     if (it != planners_.end()) return &it->second;
   }
@@ -269,7 +269,7 @@ Result<const Engine::PlannerEntry*> Engine::PlannerFor(
   entry.planner = std::move(planner);
   // Two threads may build the same entry concurrently; emplace keeps the
   // first and the loser's copy is discarded.
-  std::lock_guard<std::mutex> lock(planner_mu_);
+  MutexLock lock(&planner_mu_);
   return &planners_.emplace(id, std::move(entry)).first->second;
 }
 
@@ -282,7 +282,7 @@ Result<std::shared_ptr<const CachedPlan>> Engine::GetOrBuildPlan(
   *key = tls_plan_key;
 
   {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    MutexLock lock(&plan_mu_);
     if (auto hit = plan_cache_.Get(*key)) {
       *cache_hit = true;
       return std::move(*hit);
@@ -312,7 +312,7 @@ Result<std::shared_ptr<const CachedPlan>> Engine::GetOrBuildPlan(
   cached->plan_millis = plan_millis;
 
   {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    MutexLock lock(&plan_mu_);
     // Two threads may plan the same cold query concurrently; the second
     // Put overwrites with an equivalent plan, which is harmless.
     plan_cache_.Put(std::string(*key), cached);
@@ -336,16 +336,18 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
   // Result keys embed the store generation: any mutation bumps it, so
   // pre-mutation entries can never match again (they age out through LRU
   // eviction). Execution options are deliberately not part of the key —
-  // num_threads and SIP are byte-identical-output knobs.
+  // num_threads and SIP are byte-identical-output knobs. The capacity is
+  // read from options_ (immutable) rather than the cache so this check
+  // stays outside result_mu_.
   const bool use_result_cache =
-      options.use_result_cache && result_cache_.capacity() > 0;
+      options.use_result_cache && options_.result_cache_capacity > 0;
   std::string result_key;
   if (use_result_cache) {
     result_key = key;
     result_key.push_back(kKeySep);
     result_key.append(
         std::to_string(generation_.load(std::memory_order_relaxed)));
-    std::lock_guard<std::mutex> lock(result_mu_);
+    MutexLock lock(&result_mu_);
     if (auto hit = result_cache_.Get(result_key)) {
       response.result = std::move(hit->result);
       // A trace captured when the cached entry was computed (if any)
@@ -385,7 +387,7 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
       std::make_shared<const exec::ExecResult>(std::move(exec_result));
 
   if (use_result_cache) {
-    std::lock_guard<std::mutex> lock(result_mu_);
+    MutexLock lock(&result_mu_);
     result_cache_.Put(result_key, CachedResult{response.result});
   }
   return response;
@@ -410,7 +412,7 @@ Result<QueryResponse> Engine::QueryImpl(std::string_view text,
     deadline = &deadline_token;
   }
 
-  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  ReaderMutexLock store_lock(&store_mu_);
 
   std::string_view key;
   bool plan_hit = false;
@@ -430,7 +432,7 @@ Result<QueryResponse> Engine::QueryImpl(std::string_view text,
 
 Result<PreparedQuery> Engine::Prepare(std::string_view text,
                                       const QueryOptions& options) const {
-  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  ReaderMutexLock store_lock(&store_mu_);
   PreparedQuery prepared;
   std::string_view key;
   bool plan_hit = false;
@@ -469,7 +471,7 @@ Result<QueryResponse> Engine::ExecutePreparedImpl(
     deadline = &deadline_token;
   }
 
-  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  ReaderMutexLock store_lock(&store_mu_);
   HSPARQL_ASSIGN_OR_RETURN(
       QueryResponse response,
       RunPlan(prepared.plan_, options, prepared.cache_key_, deadline));
@@ -548,12 +550,12 @@ Status Engine::AddTriples(
   // *shared* store lock: queries keep executing while the delta levels and
   // the new statistics are built. The exclusive lock is then held only for
   // Apply's O(new terms) interning plus six vector swaps.
-  std::lock_guard<std::mutex> writer_lock(mutation_mu_);
+  MutexLock writer_lock(&mutation_mu_);
 
   storage::TripleStore::PendingUpdate update;
   std::optional<storage::Statistics> new_stats;
   {
-    std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+    ReaderMutexLock store_lock(&store_mu_);
     const std::size_t threads = ThreadPool::Shared().num_workers() + 1;
     update = store_.PrepareAdd(triples, threads);
     if (!update.no_change()) {
@@ -561,7 +563,7 @@ Status Engine::AddTriples(
     }
   }
 
-  std::unique_lock<std::shared_mutex> store_lock(store_mu_);
+  WriterMutexLock store_lock(&store_mu_);
   if (!update.no_change()) {
     store_.Apply(std::move(update));
     stats_ = std::move(new_stats);
@@ -574,8 +576,8 @@ Status Engine::AddTriples(
 }
 
 void Engine::ReplaceStore(storage::TripleStore&& store) {
-  std::lock_guard<std::mutex> writer_lock(mutation_mu_);
-  std::unique_lock<std::shared_mutex> store_lock(store_mu_);
+  MutexLock writer_lock(&mutation_mu_);
+  WriterMutexLock store_lock(&store_mu_);
   store_ = std::move(store);
   stats_.emplace(storage::Statistics::Compute(store_));
   InvalidateForMutation();
@@ -591,23 +593,23 @@ void Engine::InvalidateForMutation() {
   metrics_.delta_triples->Set(static_cast<std::int64_t>(store_.delta_size()));
   // Cached plans may embed cost decisions from the old statistics; drop
   // them all. Results invalidate lazily via the generation in their keys.
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  MutexLock lock(&plan_mu_);
   plan_cache_.Clear();
 }
 
 void Engine::ClearCaches() {
   {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    MutexLock lock(&plan_mu_);
     plan_cache_.Clear();
   }
   {
-    std::lock_guard<std::mutex> lock(result_mu_);
+    MutexLock lock(&result_mu_);
     result_cache_.Clear();
   }
 }
 
 std::size_t Engine::store_size() const {
-  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  ReaderMutexLock store_lock(&store_mu_);
   return store_.size();
 }
 
@@ -617,16 +619,16 @@ EngineStats Engine::stats() const {
   // happen entirely before this snapshot or entirely after it, so the
   // generation always matches the cache contents it is reported with.
   // See the memory-ordering contract on the declaration (engine.h).
-  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
+  ReaderMutexLock store_lock(&store_mu_);
   EngineStats out;
   out.generation = generation();
   {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    MutexLock lock(&plan_mu_);
     out.plan_cache = plan_cache_.counters();
     out.plan_cache_size = plan_cache_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(result_mu_);
+    MutexLock lock(&result_mu_);
     out.result_cache = result_cache_.counters();
     out.result_cache_size = result_cache_.size();
   }

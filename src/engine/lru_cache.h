@@ -2,8 +2,12 @@
 //
 // Intrusive-list-over-hash-map textbook shape: a doubly linked list holds
 // the entries in recency order (front = most recently used), the map gives
-// O(1) key lookup into the list. Not thread-safe — the engine serialises
-// access with its own mutex so the hit/miss/eviction counters stay exact.
+// O(1) key lookup into the list. Not thread-safe by design — the owner
+// declares each instance GUARDED_BY its own mutex (see Engine::plan_cache_
+// / result_cache_), which makes every unlocked access a compile error
+// under -Wthread-safety and keeps the hit/miss/eviction counters exact.
+// Capacity is fixed at construction, so owners may cache it outside the
+// lock (Engine reads EngineOptions, not the guarded cache, on hot paths).
 #ifndef HSPARQL_ENGINE_LRU_CACHE_H_
 #define HSPARQL_ENGINE_LRU_CACHE_H_
 

@@ -56,6 +56,9 @@ constexpr std::size_t kCancelCheckMask = 4095;
 /// trace job sets it for a whole test-suite run, not per query.
 bool TraceForced() {
   static const bool forced = [] {
+    // Safe despite concurrency-mt-unsafe: read exactly once under the
+    // magic-static guard, and nothing in the engine calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("HSPARQL_FORCE_TRACE");
     return env != nullptr && env[0] != '\0';
   }();

@@ -107,7 +107,7 @@ Registry::Entry* Registry::FindLocked(std::string_view name) {
 }
 
 Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Entry* e = FindLocked(name)) {
     return e->type == MetricValue::Type::kCounter ? e->counter.get()
                                                   : nullptr;
@@ -123,7 +123,7 @@ Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Entry* e = FindLocked(name)) {
     return e->type == MetricValue::Type::kGauge ? e->gauge.get() : nullptr;
   }
@@ -140,7 +140,7 @@ Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
 Histogram* Registry::GetHistogram(std::string_view name,
                                   std::string_view help,
                                   std::span<const double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (Entry* e = FindLocked(name)) {
     return e->type == MetricValue::Type::kHistogram ? e->histogram.get()
                                                     : nullptr;
@@ -158,7 +158,7 @@ Histogram* Registry::GetHistogram(std::string_view name,
 void Registry::AddCallbackCounter(std::string_view name,
                                   std::string_view help,
                                   std::function<std::uint64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (FindLocked(name) != nullptr) return;  // first registration wins
   auto entry = std::make_unique<Entry>();
   entry->name = std::string(name);
@@ -170,7 +170,7 @@ void Registry::AddCallbackCounter(std::string_view name,
 
 void Registry::AddCallbackGauge(std::string_view name, std::string_view help,
                                 std::function<std::int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (FindLocked(name) != nullptr) return;
   auto entry = std::make_unique<Entry>();
   entry->name = std::string(name);
@@ -182,7 +182,7 @@ void Registry::AddCallbackGauge(std::string_view name, std::string_view help,
 
 MetricsSnapshot Registry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.metrics.reserve(entries_.size());
   for (const auto& e : entries_) {
     MetricValue v;

@@ -26,12 +26,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace hsparql::obs {
@@ -191,11 +192,16 @@ class Registry {
     std::function<std::int64_t()> gauge_fn;
   };
 
-  Entry* FindLocked(std::string_view name);
+  Entry* FindLocked(std::string_view name) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  /// Guards the name table only. Metric *values* are lock-free atomics
+  /// inside Counter/Gauge/Histogram (the wait-free write path): they are
+  /// deliberately not GUARDED_BY anything — their consistency story is
+  /// relaxed monotonic updates, checked by TSan rather than the static
+  /// analysis (DESIGN.md §4i capability map).
+  mutable Mutex mu_;
   /// unique_ptr entries so metric addresses survive vector growth.
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
 };
 
 /// RAII stage timer: observes the elapsed milliseconds of its scope into

@@ -86,7 +86,7 @@ SlowQueryLog::SlowQueryLog(double threshold_millis, Sink sink)
 bool SlowQueryLog::MaybeLog(const SlowQueryEvent& event) {
   if (!enabled() || event.total_millis < threshold_millis_) return false;
   const std::string line = ToJsonLine(event);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (sink_) {
     sink_(line);
   } else {

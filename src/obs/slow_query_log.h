@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hsparql::obs {
 
@@ -74,9 +76,14 @@ class SlowQueryLog {
   bool MaybeLog(const SlowQueryEvent& event);
 
  private:
+  /// Immutable after construction (read lock-free by enabled()).
   double threshold_millis_;
-  Sink sink_;
-  std::mutex mu_;
+  /// The sink is set once in the constructor; mu_ serialises emission so
+  /// concurrent slow queries never interleave bytes of two lines, and the
+  /// guard makes "sink runs with the log mutex held" (see
+  /// EngineOptions::slow_query_sink) machine-checked, not just a comment.
+  Mutex mu_;
+  Sink sink_ GUARDED_BY(mu_);
 };
 
 /// FNV-1a 64-bit — the query_hash function (shared with tests).

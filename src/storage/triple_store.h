@@ -121,13 +121,22 @@ class TripleStore {
   /// run concurrently with readers, but writers must be serialised
   /// externally (provisional ids assume no interleaving PrepareAdd).
   /// With `num_threads` >= 2 the six orderings are staged as pool tasks.
+  ///
+  /// Lock discipline: the store itself is lock-free by construction — the
+  /// const-ness of this method is the whole staging contract. The owner
+  /// holds the capabilities: engine::Engine calls PrepareAdd under its
+  /// shared store_mu_ (concurrently with queries) with writers serialised
+  /// on mutation_mu_, both machine-checked at that layer (DESIGN.md §4i).
   PendingUpdate PrepareAdd(std::span<const std::array<rdf::Term, 3>> triples,
                            std::size_t num_threads = 0) const;
 
   /// Installs a staged update: interns the new terms and swaps the level
   /// vectors. O(new terms) plus six vector moves — callers hold their
-  /// exclusive lock only for this. The update must come from a PrepareAdd
-  /// on this store with no intervening mutation.
+  /// exclusive lock only for this (Engine::AddTriples: REQUIRES(store_mu_)
+  /// exclusive, enforced by -Wthread-safety at the engine layer since the
+  /// store is GUARDED_BY(store_mu_) there and Apply is non-const). The
+  /// update must come from a PrepareAdd on this store with no intervening
+  /// mutation.
   void Apply(PendingUpdate&& update);
 
   /// The merged view this store will present for `ordering` once `update`

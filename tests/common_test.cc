@@ -1,8 +1,17 @@
-// Tests for src/common: Status/Result, RNG determinism, string utilities.
+// Tests for src/common: Status/Result, RNG determinism, string utilities,
+// and CancelToken's concurrent latched-expiry contract. This binary is
+// part of the CI ThreadSanitizer job (.github/workflows/ci.yml), so the
+// CancelToken race below gets data-race checking, not just assertion
+// checking.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -162,6 +171,59 @@ TEST(StringUtilTest, FormatCount) {
   EXPECT_EQ(FormatCount(999), "999");
   EXPECT_EQ(FormatCount(1000), "1,000");
   EXPECT_EQ(FormatCount(16348563), "16,348,563");
+}
+
+// Concurrent counterpart of engine_test's single-threaded latch tests:
+// extender threads race SetTimeout(+1h) against pollers while the token
+// expires. The contract under test: once any poller has observed
+// Expired() == true, no later poll on any schedule — including polls
+// interleaved with further deadline extensions — may read false again. A
+// worker that aborted on an expired token (leaving partial output behind)
+// must never be contradicted by a subsequent "not expired".
+TEST(CancelTokenTest, ConcurrentDeadlineExtensionCannotUnexpire) {
+  constexpr int kExtenders = 4;
+  constexpr int kPollers = 4;
+  constexpr int kPollsAfterLatch = 20000;
+
+  CancelToken token;
+  // A deadline that expires almost immediately; the extenders then fight
+  // to push it out before any poller notices.
+  token.SetTimeout(std::chrono::milliseconds(1));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kExtenders + kPollers);
+  for (int i = 0; i < kExtenders; ++i) {
+    threads.emplace_back([&token, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        token.SetTimeout(std::chrono::hours(1));
+      }
+    });
+  }
+  std::atomic<int> latched{0};
+  for (int i = 0; i < kPollers; ++i) {
+    threads.emplace_back([&token, &latched] {
+      while (!token.Expired()) std::this_thread::yield();
+      // Latched: from this thread's first true observation on, every
+      // further poll must agree, extensions notwithstanding.
+      for (int k = 0; k < kPollsAfterLatch; ++k) {
+        ASSERT_TRUE(token.Expired());
+      }
+      latched.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // If an extender won the race before the 1 ms deadline latched, the
+  // pollers would wait an hour — Cancel() bounds the test either way
+  // (cancellation latches regardless of any deadline games).
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  token.Cancel();
+  for (std::size_t i = kExtenders; i < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kExtenders; ++i) threads[i].join();
+
+  EXPECT_EQ(latched.load(), kPollers);
+  EXPECT_TRUE(token.Expired());
 }
 
 }  // namespace

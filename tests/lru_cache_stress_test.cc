@@ -1,0 +1,177 @@
+// Scripted concurrent stress for the engine's LRU caches: reader threads
+// hammer a working set of distinct queries that is deliberately larger
+// than both cache capacities (so every round evicts), while a writer
+// thread bumps the store generation with triples that cannot match any
+// query — plan caches are dropped wholesale, result-cache keys roll over
+// to the new generation, and yet every response must keep returning the
+// by-construction row counts.
+//
+// The assertions are about observable results and exact counter algebra
+// (each Query() probes each cache exactly once); the binary also runs
+// under the CI ThreadSanitizer job, which supplies the data-race checking
+// for the lock discipline the static thread-safety analysis proves at
+// compile time (DESIGN.md §4i).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "storage/triple_store.h"
+
+namespace hsparql::engine {
+namespace {
+
+constexpr int kPredicates = 12;
+constexpr int kJoinQueries = 4;
+constexpr int kThreads = 6;
+constexpr int kRounds = 8;
+constexpr int kGenerations = 8;
+constexpr std::size_t kCacheCapacity = 4;  // << distinct queries
+
+/// Subjects carrying predicate j: s_0 .. s_{RowsFor(j)-1}, one object
+/// each — so the single-pattern query on p_j returns exactly RowsFor(j)
+/// rows, and a join of p_a and p_b on the shared subject returns
+/// min(RowsFor(a), RowsFor(b)).
+std::uint64_t RowsFor(int j) { return 20 + 5 * static_cast<std::uint64_t>(j); }
+
+rdf::Graph StressGraph() {
+  rdf::Graph g;
+  for (int j = 0; j < kPredicates; ++j) {
+    for (std::uint64_t i = 0; i < RowsFor(j); ++i) {
+      g.AddIri("ex:s" + std::to_string(i), "ex:p" + std::to_string(j),
+               "ex:o" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  return g;
+}
+
+/// The working set: kPredicates single-pattern queries plus kJoinQueries
+/// two-pattern chains, each with its expected row count.
+struct StressQuery {
+  std::string text;
+  std::uint64_t rows = 0;
+};
+
+std::vector<StressQuery> StressQueries() {
+  std::vector<StressQuery> out;
+  for (int j = 0; j < kPredicates; ++j) {
+    out.push_back({"SELECT ?s ?o WHERE { ?s <ex:p" + std::to_string(j) +
+                       "> ?o }",
+                   RowsFor(j)});
+  }
+  for (int j = 0; j < kJoinQueries; ++j) {
+    const int a = 2 * j;
+    const int b = 2 * j + 1;
+    out.push_back({"SELECT ?s ?x ?y WHERE { ?s <ex:p" + std::to_string(a) +
+                       "> ?x . ?s <ex:p" + std::to_string(b) + "> ?y }",
+                   std::min(RowsFor(a), RowsFor(b))});
+  }
+  return out;
+}
+
+/// A reformatted copy of `text` (extra whitespace + a comment): must
+/// normalize onto the same plan-cache key, so alternating the two forms
+/// exercises normalization on the concurrent hit path without changing
+/// the counter algebra.
+std::string Reformat(const std::string& text) {
+  std::string out = "  " + text + "  # stress variant\n";
+  const std::size_t where = out.find("WHERE");
+  if (where != std::string::npos) out.insert(where, "\n\t");
+  return out;
+}
+
+TEST(LruCacheStressTest, ConcurrentHitEvictGenerationBump) {
+  const std::vector<StressQuery> queries = StressQueries();
+
+  EngineOptions options;
+  options.plan_cache_capacity = kCacheCapacity;
+  options.result_cache_capacity = kCacheCapacity;
+  Engine engine(storage::TripleStore::Build(StressGraph()), options);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &queries, &failed, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          const bool variant = (t + round) % 2 == 0;
+          const std::string text =
+              variant ? Reformat(queries[q].text) : queries[q].text;
+          auto response = engine.Query(text);
+          if (!response.ok()) {
+            failed.store(true);
+            ADD_FAILURE() << "query failed: " << response.status();
+            return;
+          }
+          if (response->rows() != queries[q].rows) {
+            failed.store(true);
+            ADD_FAILURE() << "query " << q << " returned "
+                          << response->rows() << " rows, want "
+                          << queries[q].rows;
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  // The writer: every batch adds one triple with a predicate no query
+  // mentions, so row counts are invariant while each Apply bumps the
+  // generation, clears the plan cache, and strands every result-cache
+  // entry on a dead generation key.
+  threads.emplace_back([&engine] {
+    for (int gen = 0; gen < kGenerations; ++gen) {
+      const std::string n = std::to_string(gen);
+      const std::array<rdf::Term, 3> triple = {
+          rdf::Term::Iri("ex:mut" + n), rdf::Term::Iri("ex:unused" + n),
+          rdf::Term::Iri("ex:mutobj" + n)};
+      ASSERT_TRUE(engine.AddTriples({&triple, 1}).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+
+  // Counter algebra: each Query() probes the plan cache exactly once and
+  // (result caching enabled) the result cache exactly once.
+  const std::uint64_t total_queries = static_cast<std::uint64_t>(kThreads) *
+                                      kRounds * queries.size();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.generation, static_cast<std::uint64_t>(kGenerations));
+  EXPECT_EQ(stats.plan_cache.hits + stats.plan_cache.misses, total_queries);
+  EXPECT_EQ(stats.result_cache.hits + stats.result_cache.misses,
+            total_queries);
+  // Eviction pressure was real (working set ≈ 4x capacity), bounded by
+  // what was inserted, and the caches never exceed capacity.
+  EXPECT_GT(stats.plan_cache.evictions, 0u);
+  EXPECT_LE(stats.plan_cache.evictions, stats.plan_cache.insertions);
+  EXPECT_LE(stats.result_cache.evictions, stats.result_cache.insertions);
+  EXPECT_LE(stats.plan_cache_size, kCacheCapacity);
+  EXPECT_LE(stats.result_cache_size, kCacheCapacity);
+  EXPECT_LE(stats.plan_cache.insertions, stats.plan_cache.misses);
+  EXPECT_LE(stats.result_cache.insertions, stats.result_cache.misses);
+
+  // Quiesced single-thread replay: with mutations stopped, a query asked
+  // twice in a row must be a plan + result cache hit the second time.
+  const EngineStats before = engine.stats();
+  ASSERT_TRUE(engine.Query(queries[0].text).ok());
+  auto hit = engine.Query(queries[0].text);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->plan_cache_hit);
+  EXPECT_TRUE(hit->result_cache_hit);
+  const EngineStats after = engine.stats();
+  EXPECT_GE(after.plan_cache.hits, before.plan_cache.hits + 1);
+  EXPECT_GE(after.result_cache.hits, before.result_cache.hits + 1);
+}
+
+}  // namespace
+}  // namespace hsparql::engine

@@ -46,6 +46,8 @@ storage::TripleStore BibStore() {
 }
 
 bool TraceForcedByEnv() {
+  // Mirrors TraceForced() in src/exec/executor.cc; single-threaded test
+  // setup, no setenv anywhere. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("HSPARQL_FORCE_TRACE");
   return v != nullptr && *v != '\0';
 }
