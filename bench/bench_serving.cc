@@ -1,0 +1,260 @@
+// Closed-loop serving benchmark: an in-process SparqlServer over an
+// SP2Bench-like dataset, hammered by K clients that each issue the next
+// request the moment the previous response lands. Reports sustained QPS
+// and p50/p99 latency, then repeats against a deliberately tiny admission
+// queue at 2x-overload to show bounded load shedding (every rejection a
+// 503, zero transport errors, zero crashes).
+//
+// Flags: --clients=N (default 8), --seconds=S (default 5),
+//        --triples=N (default 100000), --quick (small run for CI),
+//        --json=path (write the JSON summary to a file as well).
+//
+// Gates (skipped under --quick or below 8 cores, like the other perf
+// benches on small hosts): sustained >= 1000 QPS with 8 closed-loop
+// clients; the overload run must complete with only 200/503 statuses.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/triple_store.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+
+namespace hsparql {
+namespace {
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;        // 503 (queue full / draining)
+  std::uint64_t other = 0;       // anything else (a failure)
+  std::uint64_t transport = 0;   // socket-level errors (a failure)
+};
+
+/// The per-client closed loop: round-robins the query mix until
+/// `deadline`, timing each complete HTTP round trip.
+ClientResult RunClient(std::uint16_t port,
+                       const std::vector<std::string>& targets,
+                       std::size_t first,
+                       std::chrono::steady_clock::time_point deadline) {
+  ClientResult result;
+  server::HttpClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    result.transport = 1;
+    return result;
+  }
+  std::size_t i = first;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string& target = targets[i++ % targets.size()];
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client.Get(target);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!response.ok()) {
+      result.transport++;
+      if (!client.Connect("127.0.0.1", port).ok()) break;
+      continue;
+    }
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    if (response->status == 200) {
+      result.ok++;
+    } else if (response->status == 503) {
+      result.shed++;
+    } else {
+      result.other++;
+    }
+  }
+  return result;
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct RunSummary {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t other = 0;
+  std::uint64_t transport = 0;
+};
+
+RunSummary RunPhase(std::uint16_t port, const std::vector<std::string>& targets,
+                    std::size_t clients, double seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(static_cast<long>(seconds * 1000));
+  std::vector<std::thread> threads;
+  std::vector<ClientResult> results(clients);
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[c] = RunClient(port, targets, c, deadline);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunSummary summary;
+  summary.seconds = elapsed;
+  std::vector<double> all;
+  for (ClientResult& r : results) {
+    summary.ok += r.ok;
+    summary.shed += r.shed;
+    summary.other += r.other;
+    summary.transport += r.transport;
+    all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::sort(all.begin(), all.end());
+  summary.qps = static_cast<double>(summary.ok) / elapsed;
+  summary.p50_ms = Percentile(all, 0.50);
+  summary.p99_ms = Percentile(all, 0.99);
+  return summary;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const std::size_t clients = flags.GetInt("clients", 8);
+  const double seconds =
+      quick ? 1.0 : static_cast<double>(flags.GetInt("seconds", 5));
+  const std::uint64_t triples = flags.GetInt("triples", quick ? 20'000 : 100'000);
+  const std::string json_path = flags.GetString("json", "");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::cerr << "generating ~" << triples << " triples...\n";
+  rdf::Graph graph = workload::GenerateSp2b(
+      workload::Sp2bConfig::FromTargetTriples(triples));
+  engine::EngineOptions engine_options;
+  engine_options.result_cache_capacity = 256;  // serving: repeats are cheap
+  engine::Engine engine(storage::TripleStore::Build(std::move(graph)),
+                        engine_options);
+  std::cerr << "store: " << engine.store_size() << " triples\n";
+
+  // The request mix: every SP2Bench workload query light enough to serve
+  // interactively (the heavy analytical ones would make a latency bench
+  // measure the engine, not the server).
+  std::vector<std::string> targets;
+  for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+    if (wq.dataset != workload::Dataset::kSp2Bench) continue;
+    if (wq.id == "SP4a" || wq.id == "SP4b") continue;  // unbounded joins
+    targets.push_back("/sparql?query=" +
+                      server::HttpClient::UrlEncode(wq.sparql));
+  }
+  std::cerr << "mix: " << targets.size() << " queries, " << clients
+            << " closed-loop clients, " << seconds << " s\n";
+
+  // Phase 1: throughput under a normally-sized admission queue.
+  server::ServerOptions options;
+  options.port = 0;
+  RunSummary steady;
+  {
+    server::SparqlServer server(&engine, options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::cerr << "FAIL: " << started << "\n";
+      return 1;
+    }
+    steady = RunPhase(server.port(), targets, clients, seconds);
+    server.Shutdown();
+  }
+  std::cerr << "steady: " << bench::Fmt(steady.qps, 1) << " QPS, p50 "
+            << bench::Fmt(steady.p50_ms, 3) << " ms, p99 "
+            << bench::Fmt(steady.p99_ms, 3) << " ms (" << steady.ok
+            << " ok, " << steady.shed << " shed)\n";
+
+  // Phase 2: overload. Capacity is 1 executing + 2 queued; 2x that many
+  // clients hammer it. The invariant under test: the server never
+  // blocks or drops a connection — every request is answered 200 or shed
+  // with a typed 503.
+  options.admission.max_concurrent = 1;
+  options.admission.queue_capacity = 2;
+  const std::size_t overload_clients = 2 * (1 + options.admission.queue_capacity);
+  RunSummary overload;
+  {
+    server::SparqlServer server(&engine, options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::cerr << "FAIL: " << started << "\n";
+      return 1;
+    }
+    overload = RunPhase(server.port(), targets, overload_clients,
+                        std::min(seconds, 2.0));
+    server.Shutdown();
+  }
+  std::cerr << "overload (" << overload_clients << " clients vs capacity 3): "
+            << overload.ok << " ok, " << overload.shed << " shed (503), "
+            << overload.other << " other, " << overload.transport
+            << " transport errors\n";
+
+  const bool gate_qps = !quick && hw >= 8 && clients >= 8;
+  const bool qps_ok = !gate_qps || steady.qps >= 1000.0;
+  const bool overload_ok =
+      overload.other == 0 && overload.transport == 0 && overload.ok > 0;
+
+  std::ostringstream json;
+  json << "{\"bench\":\"serving\",\"triples\":" << engine.store_size()
+       << ",\"clients\":" << clients
+       << ",\"hardware_concurrency\":" << hw
+       << ",\"mix_queries\":" << targets.size()
+       << ",\"steady\":{\"seconds\":" << bench::Fmt(steady.seconds, 2)
+       << ",\"qps\":" << bench::Fmt(steady.qps, 1)
+       << ",\"p50_ms\":" << bench::Fmt(steady.p50_ms, 3)
+       << ",\"p99_ms\":" << bench::Fmt(steady.p99_ms, 3)
+       << ",\"ok\":" << steady.ok << ",\"shed\":" << steady.shed
+       << ",\"other\":" << steady.other
+       << ",\"transport_errors\":" << steady.transport << "}"
+       << ",\"overload\":{\"clients\":" << overload_clients
+       << ",\"capacity\":" << (1 + options.admission.queue_capacity)
+       << ",\"ok\":" << overload.ok << ",\"shed_503\":" << overload.shed
+       << ",\"other\":" << overload.other
+       << ",\"transport_errors\":" << overload.transport << "}"
+       << ",\"qps_gate_active\":" << (gate_qps ? "true" : "false")
+       << ",\"overload_clean\":" << (overload_ok ? "true" : "false") << "}";
+  std::cout << json.str() << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    if (!out) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      return 1;
+    }
+  }
+  if (!overload_ok) {
+    std::cerr << "FAIL: overload run was not clean (other=" << overload.other
+              << " transport=" << overload.transport << " ok=" << overload.ok
+              << ")\n";
+    return 1;
+  }
+  if (!qps_ok) {
+    std::cerr << "FAIL: sustained " << bench::Fmt(steady.qps, 1)
+              << " QPS < 1000 with " << clients << " clients\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsparql
+
+int main(int argc, char** argv) { return hsparql::Run(argc, argv); }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   explain <data.nt> [--planner=hsp|cdp|sql|hybrid] [--explain-only]
-//           [--analyze] [--lint] [--leapfrog] [--format=table|json|tsv]
+//           [--analyze] [--lint] [--leapfrog] [--format=table|json|csv|tsv]
 //           [query.rq]
 //
 // --leapfrog lets the planner emit worst-case-optimal leapfrog joins for
@@ -28,9 +28,9 @@
 #include <sstream>
 
 #include "engine/engine.h"
-#include "exec/results_io.h"
 #include "lint/plan_lint.h"
 #include "rdf/ntriples.h"
+#include "results/writer.h"
 
 namespace {
 
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     }
     std::cerr << "usage: explain <data.nt> [--planner=hsp|cdp|sql|hybrid]"
                  " [--explain-only] [--analyze] [--lint] [--leapfrog]"
-                 " [--format=table|json|tsv] [query.rq]\n";
+                 " [--format=table|json|csv|tsv] [query.rq]\n";
     return 2;
   }
 
@@ -147,12 +147,9 @@ int main(int argc, char** argv) {
     // The view pins the store against concurrent mutation while the
     // dictionary decodes result ids.
     engine::StoreView view = engine.read_view();
-    if (format == "json") {
-      exec::WriteResultsJson(result.table, planned.query, view.dictionary(),
-                             std::cout);
-    } else if (format == "tsv") {
-      exec::WriteResultsTsv(result.table, planned.query, view.dictionary(),
-                            std::cout);
+    if (auto wire = results::FormatFromName(format); wire.has_value()) {
+      results::WriterFor(*wire).Write(result.table, planned.query,
+                                      view.dictionary(), std::cout);
     } else {
       std::cout << result.table.ToString(planned.query, view.dictionary(), 25);
     }

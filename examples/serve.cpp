@@ -1,0 +1,172 @@
+// serve — the SPARQL-Protocol HTTP server over an N-Triples dataset.
+//
+// Usage:
+//   serve <data.nt> [--host=127.0.0.1] [--port=8090]
+//         [--planner=hsp|cdp|sql|hybrid] [--leapfrog]
+//         [--max-concurrent=N] [--queue=N] [--max-per-client=N]
+//         [--rate-qps=Q] [--timeout-ms=MS] [--drain-ms=MS]
+//         [--result-cache=N] [--slow-query-ms=MS]
+//
+// Endpoints once running (see README "Running the server"):
+//   GET/POST /sparql   the SPARQL Protocol query operation
+//   GET      /metrics  Prometheus text exposition
+//   GET      /healthz  200 "ok" serving / 503 "draining" shutting down
+//
+// SIGTERM/SIGINT trigger a graceful drain: the listener closes, in-flight
+// queries get --drain-ms to finish, stragglers are cancelled (499), then
+// the process exits 0. The handler only writes one byte to a self-pipe —
+// all real shutdown work runs on the main thread.
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "engine/engine.h"
+#include "rdf/ntriples.h"
+#include "server/server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int /*signum*/) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result is irrelevant (a full pipe
+  // means a shutdown is already pending).
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: serve <data.nt> [--host=ADDR] [--port=N]"
+         " [--planner=hsp|cdp|sql|hybrid] [--leapfrog]\n"
+         "             [--max-concurrent=N] [--queue=N] [--max-per-client=N]"
+         " [--rate-qps=Q]\n"
+         "             [--timeout-ms=MS] [--drain-ms=MS] [--result-cache=N]"
+         " [--slow-query-ms=MS]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsparql;
+
+  std::string data_path;
+  std::string planner_name = "hsp";
+  server::ServerOptions options;
+  options.port = 8090;
+  engine::EngineOptions engine_options;
+  bool leapfrog = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0 && ParseU64(arg.substr(7), &value)) {
+      options.port = static_cast<std::uint16_t>(value);
+    } else if (arg.rfind("--planner=", 0) == 0) {
+      planner_name = arg.substr(10);
+    } else if (arg == "--leapfrog") {
+      leapfrog = true;
+    } else if (arg.rfind("--max-concurrent=", 0) == 0 &&
+               ParseU64(arg.substr(17), &value)) {
+      options.admission.max_concurrent = value;
+    } else if (arg.rfind("--queue=", 0) == 0 && ParseU64(arg.substr(8), &value)) {
+      options.admission.queue_capacity = value;
+    } else if (arg.rfind("--max-per-client=", 0) == 0 &&
+               ParseU64(arg.substr(17), &value)) {
+      options.admission.max_per_client = value;
+    } else if (arg.rfind("--rate-qps=", 0) == 0 &&
+               ParseU64(arg.substr(11), &value)) {
+      options.admission.rate_limit_qps = static_cast<double>(value);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0 &&
+               ParseU64(arg.substr(13), &value)) {
+      options.default_timeout_ms = value;
+    } else if (arg.rfind("--drain-ms=", 0) == 0 &&
+               ParseU64(arg.substr(11), &value)) {
+      options.drain_timeout_ms = value;
+    } else if (arg.rfind("--result-cache=", 0) == 0 &&
+               ParseU64(arg.substr(15), &value)) {
+      engine_options.result_cache_capacity = value;
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0 &&
+               ParseU64(arg.substr(16), &value)) {
+      engine_options.slow_query_millis = static_cast<double>(value);
+    } else if (data_path.empty() && !arg.empty() && arg[0] != '-') {
+      data_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (data_path.empty()) return Usage();
+  auto kind = plan::ParsePlannerKind(planner_name);
+  if (!kind.has_value()) {
+    std::cerr << "error: unknown planner '" << planner_name << "'\n";
+    return Usage();
+  }
+  options.query.planner = *kind;
+  options.query.use_leapfrog = leapfrog;
+
+  std::ifstream data(data_path);
+  if (!data) {
+    std::cerr << "error: cannot open " << data_path << "\n";
+    return 1;
+  }
+  rdf::Graph graph;
+  auto loaded = rdf::ReadNTriples(data, &graph);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status() << "\n";
+    return 1;
+  }
+  engine::Engine engine(storage::TripleStore::Build(std::move(graph)),
+                        engine_options);
+  std::cerr << "loaded " << engine.store_size() << " distinct triples from "
+            << data_path << "\n";
+
+  // The self-pipe must exist before the handlers are installed.
+  if (pipe(g_signal_pipe) != 0) {
+    std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  server::SparqlServer server(&engine, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started << "\n";
+    return 1;
+  }
+  std::cout << "serving SPARQL on http://" << options.host << ":"
+            << server.port() << "/sparql (metrics: /metrics, health: /healthz)"
+            << std::endl;
+
+  // Block until a signal arrives (EINTR: retry).
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cerr << "shutdown: draining (up to " << options.drain_timeout_ms
+            << " ms)...\n";
+  server.Shutdown();
+  std::cerr << "shutdown: complete\n";
+  return 0;
+}

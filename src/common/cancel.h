@@ -18,11 +18,12 @@
 // token); set_parent must happen before the token is shared.
 //
 // Capability map (DESIGN.md §4i): this class is deliberately lock-free —
-// there is no capability to GUARDED_BY. Every field is a relaxed atomic
-// (or written once before sharing, for parent_), so the static
-// thread-safety analysis has nothing to prove here; the latched-expiry
-// invariant is covered instead by a dedicated concurrent regression test
-// (common_test.cc, run under the TSan CI job).
+// there is no capability to GUARDED_BY. Every field is an atomic (or
+// written once before sharing, for parent_); the only non-relaxed pair is
+// the release store of the cancelled_ latch against its acquire load,
+// which publishes the expiry *reason* alongside the flag. The
+// latched-expiry invariant is covered by a dedicated concurrent
+// regression test (common_test.cc, run under the TSan CI job).
 #ifndef HSPARQL_COMMON_CANCEL_H_
 #define HSPARQL_COMMON_CANCEL_H_
 
@@ -30,7 +31,19 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace hsparql {
+
+/// Why a CancelToken expired — the signal the executor turns into a typed
+/// StatusCode (kCancelled vs kDeadlineExceeded, HTTP 499 vs 408).
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  /// Cancel() was called: the caller gave up on the work.
+  kCancelled,
+  /// The deadline passed: the work ran out of time.
+  kDeadline,
+};
 
 class CancelToken {
  public:
@@ -39,7 +52,12 @@ class CancelToken {
   CancelToken& operator=(const CancelToken&) = delete;
 
   /// Requests cancellation; Expired() returns true from now on.
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void Cancel() {
+    LatchReason(CancelReason::kCancelled);
+    // Release pairs with the acquire load in Expired(): a thread that
+    // observes the latch also observes the reason behind it.
+    cancelled_.store(true, std::memory_order_release);
+  }
 
   /// Sets an absolute deadline after which Expired() returns true.
   void SetDeadline(std::chrono::steady_clock::time_point deadline) {
@@ -60,23 +78,51 @@ class CancelToken {
   /// Latched: the first true observation sets the cancelled flag, so the
   /// result can never revert to false afterwards.
   bool Expired() const {
-    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (cancelled_.load(std::memory_order_acquire)) return true;
     std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
-    const bool expired =
-        (d != kNoDeadline &&
-         std::chrono::steady_clock::now().time_since_epoch().count() >= d) ||
-        (parent_ != nullptr && parent_->Expired());
-    if (expired) cancelled_.store(true, std::memory_order_relaxed);
+    bool expired = false;
+    if (d != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
+      LatchReason(CancelReason::kDeadline);
+      expired = true;
+    } else if (parent_ != nullptr && parent_->Expired()) {
+      LatchReason(parent_->reason());
+      expired = true;
+    }
+    if (expired) cancelled_.store(true, std::memory_order_release);
     return expired;
+  }
+
+  /// Why the token expired; kNone while Expired() is still false. Latched
+  /// together with the expiry itself: the first cause wins, so a worker
+  /// that observed a deadline expiry is never re-labelled as cancelled.
+  CancelReason reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
+
+  /// The typed Status for this token's expiry: kDeadlineExceeded when the
+  /// deadline fired, kCancelled otherwise. Call only when Expired().
+  Status ToStatus(std::string message) const {
+    return reason() == CancelReason::kDeadline
+               ? Status::DeadlineExceeded(std::move(message))
+               : Status::Cancelled(std::move(message));
   }
 
  private:
   static constexpr std::int64_t kNoDeadline = INT64_MAX;
 
+  /// First-cause-wins CAS: once a reason is latched it never changes.
+  void LatchReason(CancelReason r) const {
+    if (r == CancelReason::kNone) r = CancelReason::kCancelled;
+    CancelReason expected = CancelReason::kNone;
+    reason_.compare_exchange_strong(expected, r, std::memory_order_relaxed);
+  }
+
   /// Lock-free: relaxed atomics. cancelled_ is the latch — it only ever
   /// transitions false -> true, so a relaxed read that returns true is
   /// final no matter how deadline_ns_ is racing.
   mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<CancelReason> reason_{CancelReason::kNone};
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
   /// Written once by set_parent before the token is shared (the one
   /// non-atomic field; publication happens-before any concurrent read).

@@ -23,6 +23,7 @@
 #ifndef HSPARQL_COMMON_MUTEX_H_
 #define HSPARQL_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -134,6 +135,18 @@ class CondVar {
     // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
     cv_.wait(lock);
     lock.release();  // the caller's scoped hold still owns the mutex
+  }
+
+  /// Timed Wait: returns false if `timeout` elapsed without a notify.
+  /// Same contract as Wait() — spurious wakeups happen, callers re-check
+  /// their predicate in a loop (the server's drain wait is the audited
+  /// use).
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();  // the caller's scoped hold still owns the mutex
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

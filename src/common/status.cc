@@ -24,8 +24,79 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kInvalidQuery:
+      return "Invalid query";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kInvalidQuery:
+      return "invalid_query";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidQuery:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 408;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kUnsupported:
+      return 501;
+    case StatusCode::kOverloaded:
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+      return 500;
+  }
+  return 500;
 }
 
 std::string Status::ToString() const {

@@ -11,7 +11,10 @@
 
 namespace hsparql {
 
-/// Machine-readable error category carried by a non-OK Status.
+/// Machine-readable error category carried by a non-OK Status. This enum is
+/// the stable public error vocabulary: every layer classifies failures by
+/// code() (never by matching message text), and the HTTP front door maps
+/// each code onto a response status via HttpStatusFor().
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -23,10 +26,35 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kDeadlineExceeded,
+  /// The SPARQL query text failed to lex/parse/analyze — a client error
+  /// (HTTP 400), distinct from kParseError which covers malformed *data*
+  /// inputs (N-Triples files) that never arrive over the protocol.
+  kInvalidQuery,
+  /// The caller (or the server, during shutdown) explicitly cancelled the
+  /// request before it finished — distinct from kDeadlineExceeded, which
+  /// is reserved for timeout expiry (HTTP 499 vs 408).
+  kCancelled,
+  /// Load shed: the admission queue, a per-client limit, or a rate limit
+  /// rejected the request without executing any of it (HTTP 503/429).
+  kOverloaded,
+  /// The service exists but is not taking requests (draining for
+  /// shutdown). Retryable against another replica (HTTP 503).
+  kUnavailable,
 };
 
-/// Returns the canonical lowercase name of a status code ("parse error"...).
+/// Returns the human-readable name of a status code ("Parse error"...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Returns the stable snake_case identifier of a status code
+/// ("deadline_exceeded", "invalid_query", ...) — the form used in the
+/// slow-query log, metrics labels, and the server's X-Status-Code header.
+std::string_view StatusCodeName(StatusCode code);
+
+/// The stable HTTP mapping of the error vocabulary: kOk 200, invalid
+/// query/argument 400, kNotFound 404, kDeadlineExceeded 408,
+/// kAlreadyExists 409, kCancelled 499 (nginx's client-closed-request),
+/// kUnsupported 501, kOverloaded/kUnavailable 503, everything else 500.
+int HttpStatusFor(StatusCode code);
 
 /// Result of an operation that can fail. OK carries no payload; errors carry
 /// a code and a human-readable message. Cheap to return in the common (OK)
@@ -78,6 +106,18 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -97,6 +137,10 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsInvalidQuery() const { return code() == StatusCode::kInvalidQuery; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

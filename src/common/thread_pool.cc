@@ -57,6 +57,13 @@ void ThreadPool::Push(std::function<void()> task) {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  Push(std::move(task));
+  // Push itself never notifies (ParallelFor batches its wakeup after
+  // enqueueing every chunk); a lone task needs one idle worker woken.
+  idle_cv_.NotifyOne();
+}
+
 bool ThreadPool::PopTask(std::size_t preferred,
                          std::function<void()>* task) {
   const std::size_t n = queues_.size();

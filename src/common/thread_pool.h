@@ -67,6 +67,16 @@ class ThreadPool {
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t)>& body);
 
+  /// Fire-and-forget: schedules one task on the pool and returns
+  /// immediately. The server's admission scheduler is the intended caller
+  /// — it bounds how many tasks are ever outstanding, because the pool's
+  /// own queues are unbounded by design. Completion tracking (and any
+  /// result/error propagation) is the submitter's job; a task that throws
+  /// terminates the process, so tasks must catch their own exceptions.
+  /// Tasks submitted here may run ParallelFor internally (nested use is
+  /// safe: the task's worker helps run its own chunks).
+  void Submit(std::function<void()> task);
+
  private:
   /// One worker's task deque. Kept behind a unique_ptr so the vector of
   /// queues stays movable during construction.

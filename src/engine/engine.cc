@@ -153,7 +153,10 @@ void Engine::RegisterMetrics() {
       "engine.queries.errors", "Query pipelines that returned a non-OK status");
   metrics_.queries_deadline = registry_.GetCounter(
       "engine.queries.deadline_exceeded",
-      "Query pipelines cancelled by deadline or token");
+      "Query pipelines that ran out of time (kDeadlineExceeded)");
+  metrics_.queries_cancelled = registry_.GetCounter(
+      "engine.queries.cancelled",
+      "Query pipelines cancelled by their caller's token (kCancelled)");
   metrics_.queries_slow = registry_.GetCounter(
       "engine.queries.slow", "Queries emitted to the slow-query log");
   metrics_.rows_scanned = registry_.GetCounter(
@@ -245,22 +248,17 @@ Result<const Engine::PlannerEntry*> Engine::PlannerFor(
     const QueryOptions& options) const {
   // The leapfrog knob rides in the kind byte's high bit: planner kinds are
   // small, and (kind, leapfrog, seed) is exactly what MakePlanner sees.
-  const std::pair<std::uint8_t, std::uint64_t> id{
-      static_cast<std::uint8_t>(static_cast<std::uint8_t>(options.planner) |
-                                (options.use_leapfrog ? 0x80 : 0)),
-      options.seed};
+  const std::pair<std::uint8_t, std::uint64_t> id = options.PlannerCacheId();
   {
     MutexLock lock(&planner_mu_);
     auto it = planners_.find(id);
     if (it != planners_.end()) return &it->second;
   }
-  plan::PlannerFactoryOptions factory_options;
-  factory_options.seed = options.seed;
-  factory_options.use_leapfrog = options.use_leapfrog;
   const storage::Statistics* stats = stats_ ? &*stats_ : nullptr;
   HSPARQL_ASSIGN_OR_RETURN(
       std::unique_ptr<plan::Planner> planner,
-      plan::MakePlanner(options.planner, &store_, stats, factory_options));
+      plan::MakePlanner(options.planner, &store_, stats,
+                        options.ToFactoryOptions()));
   PlannerEntry entry;
   entry.key_suffix.push_back(kKeySep);
   entry.key_suffix.append(planner->Name());
@@ -325,8 +323,10 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
                                       std::string_view key,
                                       const CancelToken* deadline) const {
   if (deadline != nullptr && deadline->Expired()) {
-    return Status::DeadlineExceeded(
-        "query cancelled or deadline expired before execution");
+    return deadline->ToStatus(
+        deadline->reason() == CancelReason::kDeadline
+            ? "query deadline expired before execution"
+            : "query cancelled before execution");
   }
 
   QueryResponse response;
@@ -358,14 +358,7 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
     }
   }
 
-  exec::ExecOptions exec_options;
-  exec_options.sideways_information_passing =
-      options.sideways_information_passing;
-  exec_options.num_threads = options.num_threads;
-  exec_options.collect_trace = options.collect_trace;
-  exec_options.cancel = deadline;
-
-  exec::Executor executor(&store_, exec_options);
+  exec::Executor executor(&store_, options.ToExecOptions(deadline));
   Timer timer;
   HSPARQL_ASSIGN_OR_RETURN(
       exec::ExecResult exec_result,
@@ -526,14 +519,21 @@ void Engine::ObserveQuery(std::string_view text, double total_millis,
       }
     }
   } else {
+    // Classification is by code() alone (never by message text): the code
+    // is the stable API, the message is payload.
     const Status status = result->status();
     metrics_.queries_errors->Add();
-    if (status.IsDeadlineExceeded()) {
-      metrics_.queries_deadline->Add();
-      event.status = "deadline_exceeded";
-    } else {
-      event.status = std::string(StatusCodeToString(status.code()));
+    switch (status.code()) {
+      case StatusCode::kDeadlineExceeded:
+        metrics_.queries_deadline->Add();
+        break;
+      case StatusCode::kCancelled:
+        metrics_.queries_cancelled->Add();
+        break;
+      default:
+        break;
     }
+    event.status = std::string(StatusCodeName(status.code()));
   }
 
   if (slow_log_.enabled() && total_millis >= slow_log_.threshold_millis()) {

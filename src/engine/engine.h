@@ -80,6 +80,39 @@ struct QueryOptions {
   /// Optional caller-owned cancellation token, polled alongside the
   /// deadline; must outlive the call.
   const CancelToken* cancel = nullptr;
+
+  /// THE conversion onto the executor's option set — the engine, the
+  /// server, benches and examples all go through here, so an execution
+  /// knob added to both structs can never silently miss a layer. `cancel`
+  /// overrides this struct's own token (the engine passes its combined
+  /// deadline+caller token); pass nullptr to run uncancellable.
+  exec::ExecOptions ToExecOptions(const CancelToken* cancel_token) const {
+    exec::ExecOptions out;
+    out.sideways_information_passing = sideways_information_passing;
+    out.num_threads = num_threads;
+    out.collect_trace = collect_trace;
+    out.cancel = cancel_token;
+    return out;
+  }
+
+  /// Identity of the planner this query plans with, as the plan cache
+  /// keys it: (kind ⊕ leapfrog-bit, seed). Exactly the plan-*shaping*
+  /// fields — execution knobs (threads, SIP, caches, deadlines) are
+  /// byte-identical-output by contract and deliberately excluded.
+  std::pair<std::uint8_t, std::uint64_t> PlannerCacheId() const {
+    return {static_cast<std::uint8_t>(static_cast<std::uint8_t>(planner) |
+                                      (use_leapfrog ? 0x80 : 0)),
+            seed};
+  }
+
+  /// Factory options for plan::MakePlanner, from the same fields as
+  /// PlannerCacheId — keep the two in lockstep.
+  plan::PlannerFactoryOptions ToFactoryOptions() const {
+    plan::PlannerFactoryOptions out;
+    out.seed = seed;
+    out.use_leapfrog = use_leapfrog;
+    return out;
+  }
 };
 
 /// A cached parse+plan product. Shared (immutably) between the plan
@@ -358,6 +391,7 @@ class Engine {
     obs::Counter* queries_total = nullptr;
     obs::Counter* queries_errors = nullptr;
     obs::Counter* queries_deadline = nullptr;
+    obs::Counter* queries_cancelled = nullptr;
     obs::Counter* queries_slow = nullptr;
     obs::Counter* rows_scanned = nullptr;
     obs::Counter* rows_emitted = nullptr;

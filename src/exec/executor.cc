@@ -133,9 +133,14 @@ class PlanRunner {
     return options_->cancel != nullptr && options_->cancel->Expired();
   }
 
-  static Status DeadlineStatus() {
-    return Status::DeadlineExceeded(
-        "query cancelled or deadline exceeded during execution");
+  /// Typed by the token's latched reason: kDeadlineExceeded for timeout
+  /// expiry, kCancelled for an explicit Cancel() — the distinction the
+  /// HTTP layer maps onto 408 vs 499.
+  Status DeadlineStatus() const {
+    return options_->cancel->ToStatus(
+        options_->cancel->reason() == CancelReason::kDeadline
+            ? "query deadline exceeded during execution"
+            : "query cancelled during execution");
   }
 
   void Record(const PlanNode* node, std::string label,

@@ -31,8 +31,9 @@ struct SlowQueryEvent {
   std::uint64_t query_hash = 0;
   /// Planner that produced (or cached) the plan: "hsp", "cdp", ...
   std::string planner;
-  /// Terminal status of the pipeline: "ok", "deadline_exceeded", or the
-  /// lowercase status-code name for other failures.
+  /// Terminal status of the pipeline: "ok", or the snake_case
+  /// StatusCodeName ("deadline_exceeded", "cancelled", ...) of the
+  /// failure.
   std::string status = "ok";
   double parse_millis = 0.0;
   double plan_millis = 0.0;

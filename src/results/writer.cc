@@ -1,0 +1,219 @@
+#include "results/writer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "exec/results_io.h"
+
+namespace hsparql::results {
+
+namespace {
+
+std::string AsciiLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+class JsonWriter final : public Writer {
+ public:
+  Format format() const override { return Format::kJson; }
+  void Write(const exec::BindingTable& table, const sparql::Query& query,
+             const rdf::Dictionary& dict, std::ostream& out) const override {
+    exec::WriteResultsJson(table, query, dict, out);
+  }
+};
+
+class TsvWriter final : public Writer {
+ public:
+  Format format() const override { return Format::kTsv; }
+  void Write(const exec::BindingTable& table, const sparql::Query& query,
+             const rdf::Dictionary& dict, std::ostream& out) const override {
+    exec::WriteResultsTsv(table, query, dict, out);
+  }
+};
+
+class CsvWriter final : public Writer {
+ public:
+  Format format() const override { return Format::kCsv; }
+  void Write(const exec::BindingTable& table, const sparql::Query& query,
+             const rdf::Dictionary& dict, std::ostream& out) const override {
+    // W3C SPARQL 1.1 CSV: bare variable names in the header, raw lexical
+    // forms in the cells (IRIs unbracketed, literals unquoted — lossy by
+    // design), RFC 4180 quoting, CRLF row terminators.
+    for (std::size_t i = 0; i < table.vars.size(); ++i) {
+      if (i > 0) out << ',';
+      out << CsvEscape(query.VarName(table.vars[i]));
+    }
+    out << "\r\n";
+    for (std::size_t r = 0; r < table.rows; ++r) {
+      for (std::size_t c = 0; c < table.vars.size(); ++c) {
+        if (c > 0) out << ',';
+        rdf::TermId id = table.columns[c][r];
+        if (id == rdf::kInvalidTermId) continue;  // unbound: empty field
+        out << CsvEscape(dict.Get(id).lexical);
+      }
+      out << "\r\n";
+    }
+  }
+};
+
+}  // namespace
+
+std::string_view ContentType(Format format) {
+  switch (format) {
+    case Format::kJson:
+      return "application/sparql-results+json";
+    case Format::kCsv:
+      return "text/csv; charset=utf-8";
+    case Format::kTsv:
+      return "text/tab-separated-values; charset=utf-8";
+  }
+  return "application/octet-stream";
+}
+
+std::string_view FormatName(Format format) {
+  switch (format) {
+    case Format::kJson:
+      return "json";
+    case Format::kCsv:
+      return "csv";
+    case Format::kTsv:
+      return "tsv";
+  }
+  return "unknown";
+}
+
+std::optional<Format> FormatFromName(std::string_view name) {
+  std::string lower = AsciiLower(Trim(name));
+  if (lower == "json") return Format::kJson;
+  if (lower == "csv") return Format::kCsv;
+  if (lower == "tsv") return Format::kTsv;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The format a single media type (no parameters) offers, if any.
+std::optional<Format> FormatForMediaType(std::string_view media_type) {
+  if (media_type == "application/sparql-results+json" ||
+      media_type == "application/json" || media_type == "*/*" ||
+      media_type == "application/*") {
+    return Format::kJson;
+  }
+  if (media_type == "text/csv" || media_type == "text/*") {
+    return Format::kCsv;
+  }
+  if (media_type == "text/tab-separated-values") return Format::kTsv;
+  return std::nullopt;
+}
+
+/// Ranking for q-value ties: JSON (the protocol default) > CSV > TSV.
+int TieRank(Format format) {
+  switch (format) {
+    case Format::kJson:
+      return 2;
+    case Format::kCsv:
+      return 1;
+    case Format::kTsv:
+      return 0;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Format> Negotiate(std::string_view accept_header) {
+  if (Trim(accept_header).empty()) return Format::kJson;
+  std::optional<Format> best;
+  double best_q = -1.0;
+  std::string_view rest = accept_header;
+  while (!rest.empty()) {
+    std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    // entry: media-type *( ";" parameter ); q is the only parameter we
+    // honour (charset etc. are ignored, not rejected).
+    std::size_t semi = entry.find(';');
+    std::string media_type = AsciiLower(Trim(entry.substr(0, semi)));
+    double q = 1.0;
+    std::string_view params =
+        semi == std::string_view::npos ? std::string_view() : entry.substr(semi + 1);
+    while (!params.empty()) {
+      std::size_t next = params.find(';');
+      std::string_view param = Trim(params.substr(0, next));
+      params = next == std::string_view::npos ? std::string_view()
+                                              : params.substr(next + 1);
+      if (param.size() > 2 && (param[0] == 'q' || param[0] == 'Q') &&
+          param[1] == '=') {
+        // strtod never throws; a malformed q ("q=abc") parses as 0, which
+        // correctly drops the entry from contention.
+        q = std::strtod(std::string(param.substr(2)).c_str(), nullptr);
+        q = std::clamp(q, 0.0, 1.0);
+      }
+    }
+    std::optional<Format> offered = FormatForMediaType(media_type);
+    if (!offered.has_value() || q <= 0.0) continue;
+    if (q > best_q ||
+        (q == best_q && best.has_value() && TieRank(*offered) > TieRank(*best))) {
+      best = offered;
+      best_q = q;
+    }
+  }
+  return best;
+}
+
+const Writer& WriterFor(Format format) {
+  static const JsonWriter json;
+  static const CsvWriter csv;
+  static const TsvWriter tsv;
+  switch (format) {
+    case Format::kCsv:
+      return csv;
+    case Format::kTsv:
+      return tsv;
+    case Format::kJson:
+      break;
+  }
+  return json;
+}
+
+std::string WriteString(Format format, const exec::BindingTable& table,
+                        const sparql::Query& query,
+                        const rdf::Dictionary& dict) {
+  std::ostringstream out;
+  WriterFor(format).Write(table, query, dict, out);
+  return out.str();
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace hsparql::results

@@ -1,0 +1,88 @@
+// results::Writer — the one serialisation surface for SPARQL query
+// results, shared by the HTTP server, the example tools and tests.
+//
+// Three wire formats, each behind the same interface:
+//  * kJson — W3C "SPARQL 1.1 Query Results JSON Format"
+//    (application/sparql-results+json);
+//  * kTsv  — the TSV flavour of the W3C CSV/TSV results format: header of
+//    ?var names, N-Triples-style terms, LF line endings;
+//  * kCsv  — the CSV flavour: header of bare variable names, *raw lexical
+//    values* (no N-Triples quoting — the spec trades type fidelity for
+//    spreadsheet friendliness), RFC 4180 quoting and CRLF line endings.
+//
+// The server picks a Format with Negotiate() (Accept header) or
+// FormatFromName() (?format= override); examples use FormatFromName().
+// JSON and TSV delegate to the low-level exec::WriteResults* functions so
+// there is exactly one implementation of each format in the tree.
+#ifndef HSPARQL_RESULTS_WRITER_H_
+#define HSPARQL_RESULTS_WRITER_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "exec/binding_table.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace hsparql::results {
+
+enum class Format {
+  kJson,
+  kCsv,
+  kTsv,
+};
+
+/// The Content-Type the HTTP server sends for each format.
+std::string_view ContentType(Format format);
+
+/// Short stable name: "json", "csv", "tsv" (the ?format= values).
+std::string_view FormatName(Format format);
+
+/// Parses a short name ("json", "csv", "tsv"), case-insensitive.
+std::optional<Format> FormatFromName(std::string_view name);
+
+/// HTTP content negotiation over an Accept header value: picks the
+/// supported format with the highest q-value (ties break toward JSON,
+/// the protocol's default). An empty/absent header negotiates kJson;
+/// a header that accepts none of the formats returns nullopt (406).
+/// Recognised media types: application/sparql-results+json,
+/// application/json, text/csv, text/tab-separated-values, and the
+/// ranges */*, application/*, text/*.
+std::optional<Format> Negotiate(std::string_view accept_header);
+
+/// Serialises one solution sequence. Implementations are stateless and
+/// shared (WriterFor returns long-lived singletons) — safe to call from
+/// any number of threads.
+class Writer {
+ public:
+  virtual ~Writer() = default;
+
+  virtual Format format() const = 0;
+
+  /// Writes the whole result set to `out`. `query` resolves variable
+  /// names, `dict` decodes term ids; the caller keeps both alive for the
+  /// duration (the server holds an engine::StoreView across the call).
+  virtual void Write(const exec::BindingTable& table,
+                     const sparql::Query& query, const rdf::Dictionary& dict,
+                     std::ostream& out) const = 0;
+};
+
+/// The shared stateless writer for `format`; never null.
+const Writer& WriterFor(Format format);
+
+/// Convenience: serialise straight to a string (what the server buffers
+/// into a response body).
+std::string WriteString(Format format, const exec::BindingTable& table,
+                        const sparql::Query& query,
+                        const rdf::Dictionary& dict);
+
+/// RFC 4180 field escaping: wraps the field in double quotes iff it
+/// contains a comma, quote, CR or LF, doubling embedded quotes. Exposed
+/// for the round-trip tests.
+std::string CsvEscape(std::string_view field);
+
+}  // namespace hsparql::results
+
+#endif  // HSPARQL_RESULTS_WRITER_H_

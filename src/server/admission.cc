@@ -1,0 +1,168 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hsparql::server {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         ThreadPool* pool, Clock clock)
+    : options_(options),
+      max_concurrent_(options.max_concurrent > 0 ? options.max_concurrent
+                                                 : pool->num_workers()),
+      pool_(pool),
+      clock_(std::move(clock)) {}
+
+std::chrono::steady_clock::time_point AdmissionController::Now() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
+bool AdmissionController::TakeToken(
+    const std::string& client_key, std::chrono::steady_clock::time_point now) {
+  if (options_.rate_limit_qps <= 0.0) return true;
+  const double burst = options_.rate_limit_burst > 0.0
+                           ? options_.rate_limit_burst
+                           : std::max(1.0, options_.rate_limit_qps);
+  auto [it, inserted] = buckets_.try_emplace(client_key);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst;  // a new client starts with a full bucket
+    bucket.last_refill = now;
+  } else {
+    const double elapsed_seconds =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    if (elapsed_seconds > 0) {
+      bucket.tokens = std::min(
+          burst, bucket.tokens + elapsed_seconds * options_.rate_limit_qps);
+      bucket.last_refill = now;
+    }
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+AdmitDecision AdmissionController::Submit(const std::string& client_key,
+                                          Job job) {
+  QueuedJob queued;
+  queued.client_key = client_key;
+  bool start_now = false;
+  {
+    MutexLock lock(&mu_);
+    if (draining_) {
+      counters_.rejected_shutdown++;
+      return AdmitDecision::kShuttingDown;
+    }
+    // Cheapest checks first; the rate limiter is last so a rejected
+    // request (full queue) does not burn the client's tokens.
+    if (options_.max_per_client > 0) {
+      auto it = in_flight_.find(client_key);
+      if (it != in_flight_.end() && it->second >= options_.max_per_client) {
+        counters_.rejected_client_limit++;
+        return AdmitDecision::kClientLimit;
+      }
+    }
+    if (running_ >= max_concurrent_ && queue_.size() >= options_.queue_capacity) {
+      counters_.rejected_queue_full++;
+      return AdmitDecision::kQueueFull;
+    }
+    const auto now = Now();
+    if (!TakeToken(client_key, now)) {
+      counters_.rejected_rate_limited++;
+      return AdmitDecision::kRateLimited;
+    }
+    counters_.admitted_total++;
+    in_flight_[client_key]++;
+    queued.job = std::move(job);
+    queued.admitted_at = now;
+    if (running_ < max_concurrent_) {
+      running_++;
+      start_now = true;
+    } else {
+      queue_.push_back(std::move(queued));
+    }
+  }
+  if (start_now) {
+    // Dispatch outside the lock: ThreadPool::Submit takes pool-internal
+    // locks and the task can even run inline-fast on another core.
+    pool_->Submit([this, moved = std::make_shared<QueuedJob>(
+                             std::move(queued))]() mutable {
+      RunAndContinue(std::move(*moved));
+    });
+  }
+  return AdmitDecision::kAdmitted;
+}
+
+void AdmissionController::RunAndContinue(QueuedJob job) {
+  const auto wait = Now() - job.admitted_at;
+  job.job(std::chrono::duration_cast<std::chrono::nanoseconds>(wait),
+          /*cancelled=*/false);
+  // This slot frees; pull the next queued job (if any) into it.
+  while (true) {
+    QueuedJob next;
+    {
+      MutexLock lock(&mu_);
+      FinishClient(job.client_key);
+      if (queue_.empty()) {
+        running_--;
+        if (running_ == 0 && queue_.empty()) idle_cv_.NotifyAll();
+        return;
+      }
+      next = std::move(queue_.front());
+      queue_.pop_front();
+      // running_ stays: this pool task continues as the next job's slot.
+    }
+    const auto next_wait = Now() - next.admitted_at;
+    next.job(std::chrono::duration_cast<std::chrono::nanoseconds>(next_wait),
+             /*cancelled=*/false);
+    job.client_key = std::move(next.client_key);
+  }
+}
+
+void AdmissionController::FinishClient(const std::string& client_key) {
+  auto it = in_flight_.find(client_key);
+  if (it != in_flight_.end() && --it->second == 0) in_flight_.erase(it);
+}
+
+void AdmissionController::BeginDrain() {
+  MutexLock lock(&mu_);
+  draining_ = true;
+}
+
+bool AdmissionController::WaitIdle(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(&mu_);
+  while (running_ > 0 || !queue_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    idle_cv_.WaitFor(mu_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - now));
+  }
+  return true;
+}
+
+void AdmissionController::CancelPending() {
+  std::deque<QueuedJob> dropped;
+  {
+    MutexLock lock(&mu_);
+    dropped.swap(queue_);
+    for (const QueuedJob& job : dropped) FinishClient(job.client_key);
+    if (running_ == 0) idle_cv_.NotifyAll();
+  }
+  const auto now = Now();
+  for (QueuedJob& job : dropped) {
+    const auto wait = now - job.admitted_at;
+    job.job(std::chrono::duration_cast<std::chrono::nanoseconds>(wait),
+            /*cancelled=*/true);
+  }
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(&mu_);
+  AdmissionStats out = counters_;
+  out.queued = queue_.size();
+  out.running = running_;
+  return out;
+}
+
+}  // namespace hsparql::server

@@ -1,0 +1,149 @@
+// server::AdmissionController — the bounded scheduler between the HTTP
+// front door and common::ThreadPool.
+//
+// The shared thread pool's queues are unbounded by design (the executor
+// fans out morsels it always consumes itself); a network-facing server
+// cannot feed it directly or a burst would buffer without limit. The
+// controller enforces, at admission time and O(1):
+//  * a cap on concurrently *executing* requests (max_concurrent) — beyond
+//    it, admitted work waits in a FIFO queue;
+//  * a cap on that queue (queue_capacity) — beyond it, kQueueFull
+//    (HTTP 503), never blocking the IO thread;
+//  * a per-client in-flight cap (max_per_client, keyed by peer address) —
+//    one greedy client cannot occupy the whole queue (HTTP 429);
+//  * a per-client token-bucket rate limit (rate_limit_qps + burst) —
+//    sustained request rates above it are shed early (HTTP 429).
+//
+// Execution: an admitted job either starts immediately (a pool task is
+// submitted) or queues; when a running job finishes, its pool task pops
+// and runs the next queued job — so at most max_concurrent pool tasks
+// exist at any time and the pool's own queues stay near-empty. Jobs
+// receive the time they spent waiting, so queue wait counts against the
+// request deadline.
+//
+// Shutdown: Drain() stops admissions (kShuttingDown), then waits — with a
+// timeout — for in-flight work to finish; CancelPending() drops jobs
+// still queued (each receives cancelled=true and must answer its client).
+//
+// Thread-safety: fully annotated; one Mutex guards all scheduler state.
+// The injectable clock exists for the rate-limit tests.
+#ifndef HSPARQL_SERVER_ADMISSION_H_
+#define HSPARQL_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+
+namespace hsparql::server {
+
+struct AdmissionOptions {
+  /// Requests executing at once. 0 = the pool's worker count.
+  std::size_t max_concurrent = 0;
+  /// Admitted requests waiting behind the concurrency cap.
+  std::size_t queue_capacity = 64;
+  /// In-flight (queued + executing) requests per client key; 0 = no cap.
+  std::size_t max_per_client = 0;
+  /// Sustained requests/second per client key; 0 = unlimited.
+  double rate_limit_qps = 0.0;
+  /// Token-bucket burst size; 0 = max(1, rate_limit_qps).
+  double rate_limit_burst = 0.0;
+};
+
+enum class AdmitDecision : std::uint8_t {
+  kAdmitted,
+  kQueueFull,      // global queue at capacity -> 503
+  kClientLimit,    // per-client in-flight cap -> 429
+  kRateLimited,    // token bucket empty -> 429
+  kShuttingDown,   // Drain() started -> 503
+};
+
+/// Snapshot for metrics callbacks.
+struct AdmissionStats {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::uint64_t admitted_total = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_client_limit = 0;
+  std::uint64_t rejected_rate_limited = 0;
+  std::uint64_t rejected_shutdown = 0;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+  /// The job body. `queue_wait` is the time between admission and the
+  /// job starting; when `cancelled` the job never ran — it was dropped
+  /// by CancelPending() and must still answer its client (503).
+  using Job = std::function<void(std::chrono::nanoseconds queue_wait,
+                                 bool cancelled)>;
+
+  /// `pool` must outlive the controller. A null `clock` uses
+  /// steady_clock (the injectable one is for rate-limit tests).
+  AdmissionController(const AdmissionOptions& options, ThreadPool* pool,
+                      Clock clock = {});
+
+  /// Admits or rejects. On kAdmitted the job will run exactly once on the
+  /// pool (or be handed back cancelled by CancelPending). Never blocks.
+  AdmitDecision Submit(const std::string& client_key, Job job);
+
+  /// Stops admitting (every later Submit returns kShuttingDown).
+  void BeginDrain();
+
+  /// Waits until no job is queued or running, up to `timeout`; returns
+  /// true when fully drained. Call BeginDrain() first or new admissions
+  /// can starve the wait.
+  bool WaitIdle(std::chrono::milliseconds timeout);
+
+  /// Pops every still-queued job and runs it inline with cancelled=true
+  /// (cheap: cancelled jobs only write a 503). Running jobs are not
+  /// touched — cancel their work via the server's shutdown CancelToken.
+  void CancelPending();
+
+  AdmissionStats stats() const;
+
+ private:
+  struct QueuedJob {
+    Job job;
+    std::string client_key;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  std::chrono::steady_clock::time_point Now() const;
+  /// True when `client_key` has a token to spend (refills, then debits).
+  bool TakeToken(const std::string& client_key,
+                 std::chrono::steady_clock::time_point now) REQUIRES(mu_);
+  /// Pool-task body: runs `job`, then keeps pulling queued jobs into the
+  /// freed slot until the queue is empty.
+  void RunAndContinue(QueuedJob job);
+  void FinishClient(const std::string& client_key) REQUIRES(mu_);
+
+  const AdmissionOptions options_;
+  const std::size_t max_concurrent_;
+  ThreadPool* const pool_;
+  const Clock clock_;
+
+  mutable Mutex mu_;
+  CondVar idle_cv_;  // notified whenever queued+running may reach zero
+  std::deque<QueuedJob> queue_ GUARDED_BY(mu_);
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+  std::unordered_map<std::string, std::size_t> in_flight_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
+  AdmissionStats counters_ GUARDED_BY(mu_);
+};
+
+}  // namespace hsparql::server
+
+#endif  // HSPARQL_SERVER_ADMISSION_H_

@@ -1,0 +1,264 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace hsparql::server {
+
+namespace {
+
+std::string AsciiLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimOws(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string_view HttpResponse::Header(std::string_view lower_name) const {
+  auto it = headers.find(std::string(lower_name));
+  return it == headers.end() ? std::string_view() : std::string_view(it->second);
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      leftover_(std::move(other.leftover_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    leftover_ = std::move(other.leftover_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  leftover_.clear();
+}
+
+Status HttpClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  host_ = host;
+  port_ = port;
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Unavailable("socket() failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("unparseable host: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status status = Status::Unavailable("connect to " + host + ":" +
+                                        std::to_string(port) +
+                                        " failed: " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+std::string HttpClient::UrlEncode(std::string_view text) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    const bool unreserved = (u >= 'A' && u <= 'Z') || (u >= 'a' && u <= 'z') ||
+                            (u >= '0' && u <= '9') || u == '-' || u == '_' ||
+                            u == '.' || u == '~';
+    if (unreserved) {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    }
+  }
+  return out;
+}
+
+Result<HttpResponse> HttpClient::Get(
+    const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  return RoundTrip(request, /*allow_reconnect=*/true);
+}
+
+Result<HttpResponse> HttpClient::Post(
+    const std::string& target, const std::string& content_type,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string request = "POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Type: " + content_type +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  return RoundTrip(request, /*allow_reconnect=*/true);
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& request,
+                                           bool allow_reconnect) {
+  if (fd_ < 0) {
+    Status status = Connect(host_, port_);
+    if (!status.ok()) return status;
+  }
+  Status sent = SendAll(request);
+  if (!sent.ok()) {
+    if (!allow_reconnect) return sent;
+    // The server may have closed an idle keep-alive connection; one
+    // reconnect covers the race.
+    Status status = Connect(host_, port_);
+    if (!status.ok()) return status;
+    return RoundTrip(request, /*allow_reconnect=*/false);
+  }
+  Result<HttpResponse> response = ReadResponse();
+  if (!response.ok() && allow_reconnect && leftover_.empty()) {
+    Status status = Connect(host_, port_);
+    if (!status.ok()) return status;
+    return RoundTrip(request, /*allow_reconnect=*/false);
+  }
+  return response;
+}
+
+Status HttpClient::SendAll(std::string_view data) {
+  while (!data.empty()) {
+    ssize_t sent = send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send failed: " + std::string(std::strerror(errno)));
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  std::string buffer = std::move(leftover_);
+  leftover_.clear();
+  auto read_more = [&]() -> Status {
+    char chunk[16 * 1024];
+    while (true) {
+      ssize_t got = recv(fd_, chunk, sizeof chunk, 0);
+      if (got > 0) {
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        return Status::OK();
+      }
+      if (got == 0) return Status::IoError("connection closed by server");
+      if (errno == EINTR) continue;
+      return Status::IoError("recv failed: " +
+                             std::string(std::strerror(errno)));
+    }
+  };
+
+  // Head.
+  std::size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > 1024 * 1024) {
+      return Status::IoError("response head too large");
+    }
+    Status status = read_more();
+    if (!status.ok()) return status;
+  }
+
+  HttpResponse response;
+  std::string_view head(buffer.data(), head_end);
+  std::size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size() : line_end);
+  // "HTTP/1.1 200 OK"
+  std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) {
+    return Status::IoError("malformed status line");
+  }
+  std::string_view code = status_line.substr(sp + 1, 3);
+  auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), response.status);
+  if (ec != std::errc()) return Status::IoError("malformed status code");
+
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view()
+                              : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    std::size_t eol = rest.find("\r\n");
+    std::string_view line =
+        rest.substr(0, eol == std::string_view::npos ? rest.size() : eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 2);
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    response.headers[AsciiLower(line.substr(0, colon))] =
+        std::string(TrimOws(line.substr(colon + 1)));
+  }
+
+  std::size_t body_start = head_end + 4;
+  std::size_t content_length = 0;
+  std::string_view length = response.Header("content-length");
+  if (!length.empty()) {
+    auto [lptr, lec] = std::from_chars(
+        length.data(), length.data() + length.size(), content_length);
+    if (lec != std::errc()) return Status::IoError("bad Content-Length");
+  }
+  while (buffer.size() - body_start < content_length) {
+    Status status = read_more();
+    if (!status.ok()) return status;
+  }
+  response.body = buffer.substr(body_start, content_length);
+  // Keep any pipelined/next-response bytes for the next call.
+  leftover_ = buffer.substr(body_start + content_length);
+  if (AsciiLower(response.Header("connection")).find("close") !=
+      std::string::npos) {
+    Close();
+  }
+  return response;
+}
+
+}  // namespace hsparql::server

@@ -1,0 +1,70 @@
+// server::HttpClient — a small blocking HTTP/1.1 client for the server's
+// tests and the closed-loop serving benchmark. One connection per client
+// object, keep-alive reuse, Content-Length framing only (matching what
+// SparqlServer emits). Not a general-purpose client.
+#ifndef HSPARQL_SERVER_CLIENT_H_
+#define HSPARQL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hsparql::server {
+
+struct HttpResponse {
+  int status = 0;
+  /// Lower-cased names.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string_view Header(std::string_view lower_name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// (Re)connects; an already-open connection is closed first.
+  Status Connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One round trip. Reconnects once automatically if the server closed
+  /// the kept-alive connection between requests.
+  Result<HttpResponse> Get(
+      const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+  Result<HttpResponse> Post(
+      const std::string& target, const std::string& content_type,
+      const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Percent-encodes a query-string value (space as %20).
+  static std::string UrlEncode(std::string_view text);
+
+ private:
+  Result<HttpResponse> RoundTrip(const std::string& request,
+                                 bool allow_reconnect);
+  Status SendAll(std::string_view data);
+  Result<HttpResponse> ReadResponse();
+
+  int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  /// Bytes read past the previous response (keep-alive leftovers).
+  std::string leftover_;
+};
+
+}  // namespace hsparql::server
+
+#endif  // HSPARQL_SERVER_CLIENT_H_

@@ -1,0 +1,305 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace hsparql::server {
+
+namespace {
+
+std::string_view TrimOws(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string AsciiLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view lower_name) const {
+  auto it = headers.find(std::string(lower_name));
+  return it == headers.end() ? std::string_view() : std::string_view(it->second);
+}
+
+std::optional<std::string> PercentDecode(std::string_view text,
+                                         bool plus_is_space) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '%') {
+      if (i + 2 >= text.size()) return std::nullopt;
+      int hi = HexDigit(text[i + 1]);
+      int lo = HexDigit(text[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else if (c == '+' && plus_is_space) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseFormUrlEncoded(
+    std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    std::size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    std::size_t eq = pair.find('=');
+    std::string_view raw_name = pair.substr(0, eq);
+    std::string_view raw_value =
+        eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1);
+    auto name = PercentDecode(raw_name, /*plus_is_space=*/true);
+    auto value = PercentDecode(raw_value, /*plus_is_space=*/true);
+    if (!name.has_value() || !value.has_value()) continue;
+    out.emplace_back(std::move(*name), std::move(*value));
+  }
+  return out;
+}
+
+std::optional<std::string> FormParam(std::string_view text,
+                                     std::string_view name) {
+  for (auto& [k, v] : ParseFormUrlEncoded(text)) {
+    if (k == name) return std::move(v);
+  }
+  return std::nullopt;
+}
+
+RequestParser::State RequestParser::Fail(int status, std::string message) {
+  error_status_ = status;
+  error_message_ = std::move(message);
+  state_ = State::kError;
+  return state_;
+}
+
+RequestParser::State RequestParser::Feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(data);
+  return TryParse();
+}
+
+RequestParser::State RequestParser::Reset() {
+  request_ = HttpRequest();
+  body_expected_ = npos;
+  head_bytes_ = 0;
+  error_status_ = 400;
+  error_message_.clear();
+  state_ = State::kNeedMore;
+  return TryParse();
+}
+
+RequestParser::State RequestParser::TryParse() {
+  if (body_expected_ == npos) {
+    // Still looking for the end of the head: CRLFCRLF (tolerate LFLF).
+    std::size_t end = buffer_.find("\r\n\r\n");
+    std::size_t sep_len = 4;
+    if (end == std::string::npos) {
+      end = buffer_.find("\n\n");
+      sep_len = 2;
+    }
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(431, "request head too large");
+      }
+      return state_;
+    }
+    if (end > limits_.max_head_bytes) {
+      return Fail(431, "request head too large");
+    }
+    State parsed = ParseHead(end);
+    if (parsed == State::kError) return parsed;
+    head_bytes_ = end + sep_len;
+    // Erase the head; what's left is body (+ possibly pipelined bytes).
+    buffer_.erase(0, head_bytes_);
+  }
+  if (buffer_.size() >= body_expected_) {
+    request_.body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    body_expected_ = 0;
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+RequestParser::State RequestParser::ParseHead(std::size_t head_end) {
+  std::string_view head(buffer_.data(), head_end);
+  // Request line: METHOD SP request-target SP HTTP/x.y
+  std::size_t line_end = head.find('\n');
+  std::string_view request_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size() : line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  bool http10 = false;
+  if (version == "HTTP/1.1") {
+    http10 = false;
+  } else if (version == "HTTP/1.0") {
+    http10 = true;
+  } else {
+    return Fail(505, "unsupported HTTP version");
+  }
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    return Fail(400, "malformed request target");
+  }
+
+  // Split target into path + query string; decode the path only.
+  std::size_t qmark = request_.target.find('?');
+  std::string_view raw_path(request_.target);
+  if (qmark != std::string::npos) {
+    request_.query_string = request_.target.substr(qmark + 1);
+    raw_path = std::string_view(request_.target).substr(0, qmark);
+  }
+  auto decoded_path = PercentDecode(raw_path, /*plus_is_space=*/false);
+  if (!decoded_path.has_value()) return Fail(400, "malformed path encoding");
+  request_.path = std::move(*decoded_path);
+
+  // Header fields.
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 1);
+  while (!rest.empty()) {
+    std::size_t eol = rest.find('\n');
+    std::string_view line =
+        rest.substr(0, eol == std::string_view::npos ? rest.size() : eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail(400, "obsolete header folding not supported");
+    }
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header field");
+    }
+    std::string name = AsciiLower(line.substr(0, colon));
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return Fail(400, "whitespace in header name");
+    }
+    std::string value(TrimOws(line.substr(colon + 1)));
+    auto [it, inserted] = request_.headers.emplace(std::move(name), value);
+    if (!inserted) {
+      // Repeated header: combine per RFC 9110 list semantics.
+      it->second += ", ";
+      it->second += value;
+    }
+  }
+
+  // Connection semantics.
+  std::string connection = AsciiLower(request_.Header("connection"));
+  request_.keep_alive = http10 ? connection.find("keep-alive") != std::string::npos
+                               : connection.find("close") == std::string::npos;
+
+  // Body framing.
+  if (!request_.Header("transfer-encoding").empty()) {
+    return Fail(501, "chunked transfer encoding not supported");
+  }
+  std::string_view length = request_.Header("content-length");
+  if (length.empty()) {
+    body_expected_ = 0;
+    return state_;
+  }
+  std::size_t parsed_length = 0;
+  auto [ptr, ec] = std::from_chars(length.data(), length.data() + length.size(),
+                                   parsed_length);
+  if (ec != std::errc() || ptr != length.data() + length.size()) {
+    return Fail(400, "malformed Content-Length");
+  }
+  if (parsed_length > limits_.max_body_bytes) {
+    return Fail(413, "request body too large");
+  }
+  body_expected_ = parsed_length;
+  return state_;
+}
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 406: return "Not Acceptable";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+std::string FormatResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += ReasonPhrase(status);
+  out += "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace hsparql::server

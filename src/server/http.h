@@ -1,0 +1,132 @@
+// Minimal HTTP/1.1 message layer for the SPARQL protocol endpoint.
+//
+// Only what the server needs, implemented defensively: an incremental
+// request parser (bytes arrive in arbitrary fragments from a non-blocking
+// socket), percent-decoding, application/x-www-form-urlencoded and
+// query-string parameter parsing, and response formatting. No external
+// dependencies, no allocation on the fast path beyond the request's own
+// buffers.
+//
+// Out of scope by design: TLS (terminate in front), HTTP/2, trailers,
+// multipart. Transfer-Encoding: chunked requests are rejected with 501 —
+// SPARQL protocol clients send Content-Length bodies.
+#ifndef HSPARQL_SERVER_HTTP_H_
+#define HSPARQL_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsparql::server {
+
+/// One parsed request. Header names are lower-cased at parse time;
+/// values keep their bytes (leading/trailing whitespace trimmed).
+struct HttpRequest {
+  std::string method;         // "GET", "POST", ... (upper-case as sent)
+  std::string target;         // raw request-target, e.g. "/sparql?query=..."
+  std::string path;           // percent-decoded path, no query string
+  std::string query_string;   // raw bytes after '?', no decoding
+  std::map<std::string, std::string> headers;  // lower-case names
+  std::string body;
+
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or HTTP/1.0
+  /// without "keep-alive") turns it off.
+  bool keep_alive = true;
+
+  /// Header lookup by lower-case name; empty view when absent.
+  std::string_view Header(std::string_view lower_name) const;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed() consumes bytes as they
+/// arrive; once a full request (head + Content-Length body) is buffered
+/// the parser yields kComplete and exposes the request. Reset() reuses
+/// the parser for the next request on a keep-alive connection.
+struct RequestParserLimits {
+  /// Request line + headers.
+  std::size_t max_head_bytes = 16 * 1024;
+  /// Body (Content-Length is checked before buffering).
+  std::size_t max_body_bytes = 1024 * 1024;
+};
+
+class RequestParser {
+ public:
+  using Limits = RequestParserLimits;
+
+  enum class State {
+    kNeedMore,   // feed more bytes
+    kComplete,   // request() is valid; Reset() before the next request
+    kError,      // protocol error; error_status()/error_message() say why
+  };
+
+  explicit RequestParser(Limits limits = Limits()) : limits_(limits) {}
+
+  /// Consumes `data` (all of it — the parser buffers internally; bytes
+  /// past the end of a complete request are kept for the next Reset()d
+  /// round, supporting pipelined clients). Returns the parser state.
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// On kError: the HTTP status to answer with (400, 413, 501, 505) and
+  /// a short human-readable explanation.
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Discards the completed/errored request and starts parsing the next
+  /// one from any already-buffered bytes. Returns the new state (a
+  /// pipelined request may complete immediately).
+  State Reset();
+
+ private:
+  State Fail(int status, std::string message);
+  /// Parses buffer_[0, head_end) as request-line + headers.
+  State ParseHead(std::size_t head_end);
+  State TryParse();
+
+  Limits limits_;
+  State state_ = State::kNeedMore;
+  std::string buffer_;
+  HttpRequest request_;
+  /// Body bytes still missing once the head parsed (npos = head pending).
+  std::size_t body_expected_ = npos;
+  std::size_t head_bytes_ = 0;
+  int error_status_ = 400;
+  std::string error_message_;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Percent-decodes `text`; when `plus_is_space`, '+' decodes to ' '
+/// (form/query-string convention). Invalid %XX sequences yield nullopt.
+std::optional<std::string> PercentDecode(std::string_view text,
+                                         bool plus_is_space);
+
+/// Parses "a=1&b=%20..." into decoded (name, value) pairs, in order.
+/// Pairs with undecodable names/values are dropped (never a hard error:
+/// the caller decides whether a required parameter is missing).
+std::vector<std::pair<std::string, std::string>> ParseFormUrlEncoded(
+    std::string_view text);
+
+/// First value for `name` in ParseFormUrlEncoded(text); nullopt if absent.
+std::optional<std::string> FormParam(std::string_view text,
+                                     std::string_view name);
+
+/// Standard reason phrase ("Not Found"); "Status" for unknown codes.
+std::string_view ReasonPhrase(int status);
+
+/// Serialises a response head + body. Adds Content-Length and
+/// Connection: close/keep-alive; `extra_headers` are emitted verbatim
+/// (name, value) after the standard ones.
+std::string FormatResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
+}  // namespace hsparql::server
+
+#endif  // HSPARQL_SERVER_HTTP_H_

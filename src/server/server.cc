@@ -1,0 +1,704 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "exec/results_io.h"
+
+namespace hsparql::server {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection descriptors.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnectionId = 2;
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+/// Per-connection state. Everything except `inbox`/`inbox_close` is owned
+/// by the IO thread (single-owner, no lock); workers only touch the
+/// inbox, under `mu`, and never the fd.
+struct SparqlServer::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::string peer;  // client key for admission (IP without port)
+  RequestParser parser;
+  /// Bytes pending write (IO thread only).
+  std::string outbuf;
+  /// True while a /sparql request is executing: request processing is
+  /// paused so responses keep request order on the connection.
+  bool busy = false;
+  bool close_after_write = false;
+  /// Cached epoll interest to avoid redundant epoll_ctl calls.
+  std::uint32_t interest = 0;
+
+  explicit Connection(RequestParser::Limits limits) : parser(limits) {}
+
+  Mutex mu;
+  /// Worker-completed responses, in completion order (at most one given
+  /// `busy`, but a vector keeps the invariant local).
+  std::vector<std::string> inbox GUARDED_BY(mu);
+  bool inbox_close GUARDED_BY(mu) = false;
+};
+
+SparqlServer::SparqlServer(engine::Engine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Shared()),
+      admission_(std::make_shared<AdmissionController>(options_.admission,
+                                                       pool_)) {
+  RegisterMetrics();
+}
+
+SparqlServer::~SparqlServer() { Shutdown(); }
+
+void SparqlServer::RegisterMetrics() {
+  obs::Registry& reg = engine_->metrics();
+  requests_total_ =
+      reg.GetCounter("server.requests.total", "HTTP requests received");
+  responses_2xx_ =
+      reg.GetCounter("server.responses.2xx", "HTTP responses with 2xx status");
+  responses_4xx_ =
+      reg.GetCounter("server.responses.4xx", "HTTP responses with 4xx status");
+  responses_5xx_ =
+      reg.GetCounter("server.responses.5xx", "HTTP responses with 5xx status");
+  rejected_queue_full_ = reg.GetCounter(
+      "server.rejected.queue_full", "requests shed: admission queue full");
+  rejected_rate_limited_ = reg.GetCounter(
+      "server.rejected.rate_limited", "requests shed: client over rate limit");
+  rejected_client_limit_ = reg.GetCounter(
+      "server.rejected.client_limit",
+      "requests shed: client over in-flight limit");
+  rejected_draining_ = reg.GetCounter("server.rejected.draining",
+                                      "requests shed: server shutting down");
+  connections_active_ =
+      reg.GetGauge("server.connections.active", "open client connections");
+  queue_wait_millis_ = reg.GetHistogram(
+      "server.queue.wait_millis", "admission queue wait before execution");
+  request_millis_ = reg.GetHistogram(
+      "server.request_millis", "end-to-end request latency (admit to respond)");
+  // Callback gauges read the controller live; the shared_ptr capture
+  // keeps it valid even if the engine outlives this server.
+  std::shared_ptr<AdmissionController> admission = admission_;
+  reg.AddCallbackGauge("server.queue.depth", "admitted requests waiting",
+                       [admission] {
+                         return static_cast<std::int64_t>(
+                             admission->stats().queued);
+                       });
+  reg.AddCallbackGauge("server.requests.running",
+                       "requests currently executing", [admission] {
+                         return static_cast<std::int64_t>(
+                             admission->stats().running);
+                       });
+}
+
+Status SparqlServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable("socket() failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable listen host: " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(listen_fd_, SOMAXCONN) != 0) {
+    Status status = Status::Unavailable(
+        "bind/listen on " + options_.host + ":" +
+        std::to_string(options_.port) + " failed: " + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(listen_fd_)) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("cannot set listen socket non-blocking");
+  }
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+    close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Status::Unavailable("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void SparqlServer::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  std::chrono::steady_clock::time_point flush_deadline{};
+  bool flush_deadline_set = false;
+  while (true) {
+    if (io_exit_.load(std::memory_order_acquire)) {
+      if (!flush_deadline_set) {
+        flush_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(
+                             options_.shutdown_flush_timeout_ms);
+        flush_deadline_set = true;
+      }
+      DrainCompletions();
+      bool pending = false;
+      {
+        MutexLock lock(&done_mu_);
+        pending = !done_queue_.empty();
+      }
+      if (!pending) {
+        for (const auto& [id, conn] : connections_) {
+          if (!conn->outbuf.empty()) {
+            pending = true;
+            break;
+          }
+        }
+      }
+      if (!pending || std::chrono::steady_clock::now() >= flush_deadline) {
+        break;
+      }
+    }
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd broken: nothing recoverable
+    }
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t id = events[i].data.u64;
+      std::uint32_t flags = events[i].events;
+      if (id == kListenId) {
+        AcceptReady();
+        continue;
+      }
+      if (id == kWakeId) {
+        std::uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((flags & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(id);
+        continue;
+      }
+      if ((flags & EPOLLIN) != 0) HandleReadable(conn);
+      // The read side may have closed the connection.
+      if (connections_.count(id) == 0) continue;
+      if ((flags & EPOLLOUT) != 0) HandleWritable(conn);
+    }
+  }
+  // Exit: close every socket. Workers still holding Connection
+  // shared_ptrs only ever touch the inbox, never the (now closed) fd.
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) close(conn->fd);
+    conn->fd = -1;
+    connections_active_->Sub();
+  }
+  connections_.clear();
+}
+
+void SparqlServer::AcceptReady() {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or transient error): wait for epoll
+    if (draining_.load(std::memory_order_acquire) ||
+        connections_.size() >= options_.max_connections) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>(options_.http_limits);
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    char ip[INET_ADDRSTRLEN] = "unknown";
+    inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+    conn->peer = ip;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    conn->interest = EPOLLIN;
+    connections_.emplace(conn->id, std::move(conn));
+    connections_active_->Add();
+  }
+}
+
+void SparqlServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[16 * 1024];
+  while (true) {
+    ssize_t got = read(conn->fd, buf, sizeof buf);
+    if (got > 0) {
+      conn->parser.Feed(
+          std::string_view(buf, static_cast<std::size_t>(got)));
+      continue;
+    }
+    if (got == 0) {
+      // Peer closed. If a query is executing its worker still holds the
+      // Connection; the id disappearing from the map makes the eventual
+      // response a no-op.
+      CloseConnection(conn->id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return;
+  }
+  ProcessParsed(conn);
+  if (connections_.count(conn->id) != 0) UpdateInterest(conn);
+}
+
+void SparqlServer::ProcessParsed(const std::shared_ptr<Connection>& conn) {
+  // fd < 0 means a mid-loop PostResponse hit a dead socket and closed the
+  // connection; stop routing the rest of the pipeline.
+  while (conn->fd >= 0 && !conn->busy && !conn->close_after_write) {
+    RequestParser::State state = conn->parser.state();
+    if (state == RequestParser::State::kNeedMore) return;
+    if (state == RequestParser::State::kError) {
+      requests_total_->Add();
+      std::string body = ErrorBody(StatusCode::kInvalidArgument,
+                                   conn->parser.error_message());
+      PostResponse(conn,
+                   FormatResponse(conn->parser.error_status(),
+                                  "application/json", body,
+                                  /*keep_alive=*/false),
+                   /*close_after=*/true, /*from_worker=*/false);
+      return;
+    }
+    // Complete: copy the request out so the parser can start on any
+    // pipelined bytes; Route may dispatch asynchronously.
+    HttpRequest request = conn->parser.request();
+    conn->parser.Reset();
+    Route(conn, request);
+  }
+}
+
+void SparqlServer::Route(const std::shared_ptr<Connection>& conn,
+                         const HttpRequest& req) {
+  requests_total_->Add();
+  const bool keep_alive = req.keep_alive;
+  if (req.path == "/healthz") {
+    if (req.method != "GET" && req.method != "HEAD") {
+      PostResponse(conn,
+                   FormatResponse(405, "text/plain", "method not allowed\n",
+                                  keep_alive, {{"Allow", "GET"}}),
+                   !keep_alive, false);
+      return;
+    }
+    const bool draining = draining_.load(std::memory_order_acquire);
+    PostResponse(conn,
+                 FormatResponse(draining ? 503 : 200, "text/plain",
+                                draining ? "draining\n" : "ok\n", keep_alive),
+                 !keep_alive, false);
+    return;
+  }
+  if (req.path == "/metrics") {
+    if (req.method != "GET") {
+      PostResponse(conn,
+                   FormatResponse(405, "text/plain", "method not allowed\n",
+                                  keep_alive, {{"Allow", "GET"}}),
+                   !keep_alive, false);
+      return;
+    }
+    std::string body =
+        engine_->ExportMetrics(engine::Engine::MetricsFormat::kPrometheus);
+    PostResponse(conn,
+                 FormatResponse(200,
+                                "text/plain; version=0.0.4; charset=utf-8",
+                                body, keep_alive),
+                 !keep_alive, false);
+    return;
+  }
+  if (req.path == "/sparql" || req.path == "/") {
+    if (req.method != "GET" && req.method != "POST") {
+      PostResponse(conn,
+                   FormatResponse(405, "application/json",
+                                  ErrorBody(StatusCode::kUnsupported,
+                                            "use GET or POST"),
+                                  keep_alive, {{"Allow", "GET, POST"}}),
+                   !keep_alive, false);
+      return;
+    }
+    HandleQuery(conn, req);
+    return;
+  }
+  PostResponse(conn,
+               FormatResponse(404, "application/json",
+                              ErrorBody(StatusCode::kNotFound,
+                                        "no such endpoint: " + req.path),
+                              keep_alive),
+               !keep_alive, false);
+}
+
+void SparqlServer::HandleQuery(const std::shared_ptr<Connection>& conn,
+                               const HttpRequest& req) {
+  const bool keep_alive = req.keep_alive;
+  auto fail = [&](int http_status, StatusCode code, std::string_view message) {
+    PostResponse(conn,
+                 FormatResponse(http_status, "application/json",
+                                ErrorBody(code, message), keep_alive),
+                 !keep_alive, false);
+  };
+
+  // 1. The query text (SPARQL Protocol: GET ?query=, POST form body, or
+  //    POST with a raw application/sparql-query body).
+  std::optional<std::string> query_text = FormParam(req.query_string, "query");
+  std::string content_type(req.Header("content-type"));
+  std::size_t semi = content_type.find(';');
+  std::string media_type = content_type.substr(0, semi);
+  if (req.method == "POST" && !query_text.has_value()) {
+    if (media_type == "application/x-www-form-urlencoded" ||
+        media_type.empty()) {
+      query_text = FormParam(req.body, "query");
+    } else if (media_type == "application/sparql-query") {
+      query_text = req.body;
+    } else {
+      fail(415, StatusCode::kUnsupported,
+           "unsupported Content-Type: " + media_type);
+      return;
+    }
+  }
+  if (!query_text.has_value() || query_text->empty()) {
+    fail(400, StatusCode::kInvalidQuery, "missing 'query' parameter");
+    return;
+  }
+
+  // 2. Response format: ?format= overrides Accept.
+  std::optional<std::string> format_name =
+      FormParam(req.query_string, "format");
+  if (!format_name.has_value() && req.method == "POST" &&
+      media_type != "application/sparql-query") {
+    format_name = FormParam(req.body, "format");
+  }
+  std::optional<results::Format> format;
+  if (format_name.has_value()) {
+    format = results::FormatFromName(*format_name);
+    if (!format.has_value()) {
+      fail(400, StatusCode::kInvalidArgument,
+           "unknown format: " + *format_name + " (json|csv|tsv)");
+      return;
+    }
+  } else {
+    format = results::Negotiate(req.Header("accept"));
+    if (!format.has_value()) {
+      fail(406, StatusCode::kUnsupported,
+           "Accept matches no supported result format "
+           "(application/sparql-results+json, text/csv, "
+           "text/tab-separated-values)");
+      return;
+    }
+  }
+
+  // 3. Deadline. The token starts ticking *now*, before queueing, so
+  //    time spent waiting for a slot counts against the budget.
+  std::uint64_t timeout_ms = options_.default_timeout_ms;
+  if (std::optional<std::string> timeout_param =
+          FormParam(req.query_string, "timeout");
+      timeout_param.has_value()) {
+    std::uint64_t parsed = 0;
+    const char* begin = timeout_param->data();
+    const char* end = begin + timeout_param->size();
+    auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    if (ec != std::errc() || ptr != end || parsed == 0) {
+      fail(400, StatusCode::kInvalidArgument,
+           "timeout must be a positive integer (milliseconds)");
+      return;
+    }
+    timeout_ms = std::min(parsed, options_.max_timeout_ms);
+  }
+  auto token = std::make_shared<CancelToken>();
+  token->set_parent(&shutdown_token_);
+  if (timeout_ms > 0) {
+    token->SetTimeout(std::chrono::milliseconds(timeout_ms));
+  }
+
+  engine::QueryOptions query_options = options_.query;
+  query_options.cancel = token.get();
+  query_options.timeout_ms = 0;  // the token above carries the deadline
+
+  // 4. Admission. The job runs on a pool worker (or is handed back
+  //    cancelled during shutdown) — never inline here.
+  AdmitDecision decision = admission_->Submit(
+      conn->peer,
+      [this, conn, text = std::move(*query_text), query_options, token, format,
+       keep_alive](std::chrono::nanoseconds queue_wait, bool cancelled) {
+        ExecuteQueryJob(conn, text, query_options, token, *format, keep_alive,
+                        queue_wait, cancelled);
+      });
+  switch (decision) {
+    case AdmitDecision::kAdmitted:
+      conn->busy = true;  // pause request processing until the response
+      return;
+    case AdmitDecision::kQueueFull:
+      rejected_queue_full_->Add();
+      fail(503, StatusCode::kOverloaded, "admission queue full, try later");
+      return;
+    case AdmitDecision::kClientLimit:
+      rejected_client_limit_->Add();
+      fail(429, StatusCode::kOverloaded,
+           "too many in-flight requests from this client");
+      return;
+    case AdmitDecision::kRateLimited:
+      rejected_rate_limited_->Add();
+      fail(429, StatusCode::kOverloaded, "client over request rate limit");
+      return;
+    case AdmitDecision::kShuttingDown:
+      rejected_draining_->Add();
+      fail(503, StatusCode::kUnavailable, "server shutting down");
+      return;
+  }
+}
+
+void SparqlServer::ExecuteQueryJob(const std::shared_ptr<Connection>& conn,
+                                   const std::string& query_text,
+                                   engine::QueryOptions query_options,
+                                   const std::shared_ptr<CancelToken>& token,
+                                   results::Format format, bool keep_alive,
+                                   std::chrono::nanoseconds queue_wait,
+                                   bool cancelled) {
+  const double wait_millis =
+      std::chrono::duration<double, std::milli>(queue_wait).count();
+  queue_wait_millis_->Observe(wait_millis);
+  obs::ScopedTimer request_timer(request_millis_);
+
+  if (cancelled) {
+    // Dropped from the queue by shutdown; never executed.
+    rejected_draining_->Add();
+    PostResponse(conn,
+                 FormatResponse(503, "application/json",
+                                ErrorBody(StatusCode::kUnavailable,
+                                          "server shutting down"),
+                                /*keep_alive=*/false),
+                 /*close_after=*/true, /*from_worker=*/true);
+    return;
+  }
+
+  int http_status;
+  std::string content_type = "application/json";
+  std::string body;
+  auto response = engine_->Query(query_text, query_options);
+  if (response.ok()) {
+    http_status = 200;
+    content_type = std::string(results::ContentType(format));
+    // The view pins the store (shared lock) while the dictionary decodes
+    // result ids; queries running concurrently share the lock.
+    engine::StoreView view = engine_->read_view();
+    body = results::WriteString(format, response->result->table,
+                                response->planned->planned.query,
+                                view.dictionary());
+  } else {
+    http_status = HttpStatusFor(response.status().code());
+    body = ErrorBody(response.status().code(), response.status().message());
+  }
+  (void)token;  // keeps the deadline alive until the query finished
+  PostResponse(conn, FormatResponse(http_status, content_type, body, keep_alive),
+               /*close_after=*/!keep_alive, /*from_worker=*/true);
+}
+
+void SparqlServer::PostResponse(const std::shared_ptr<Connection>& conn,
+                                std::string response, bool close_after,
+                                bool from_worker) {
+  const int status_class = (response.size() > 9 && response[9] >= '0')
+                               ? (response[9] - '0')
+                               : 0;
+  if (status_class == 2) {
+    responses_2xx_->Add();
+  } else if (status_class == 4) {
+    responses_4xx_->Add();
+  } else if (status_class == 5) {
+    responses_5xx_->Add();
+  }
+  if (!from_worker) {
+    // IO thread: append straight to the socket buffer.
+    conn->outbuf += response;
+    if (close_after) conn->close_after_write = true;
+    HandleWritable(conn);
+    return;
+  }
+  {
+    MutexLock lock(&conn->mu);
+    conn->inbox.push_back(std::move(response));
+    if (close_after) conn->inbox_close = true;
+  }
+  {
+    MutexLock lock(&done_mu_);
+    done_queue_.push_back(conn->id);
+  }
+  std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still leaves it readable: the wake
+  // is already pending, so a short write is fine to ignore.
+  (void)!write(wake_fd_, &one, sizeof one);
+}
+
+void SparqlServer::DrainCompletions() {
+  std::deque<std::uint64_t> done;
+  {
+    MutexLock lock(&done_mu_);
+    done.swap(done_queue_);
+  }
+  for (std::uint64_t id : done) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // peer left first: drop
+    std::shared_ptr<Connection> conn = it->second;
+    {
+      MutexLock lock(&conn->mu);
+      for (std::string& response : conn->inbox) conn->outbuf += response;
+      conn->inbox.clear();
+      if (conn->inbox_close) conn->close_after_write = true;
+    }
+    conn->busy = false;
+    // The answered request may have pipelined successors already parsed.
+    ProcessParsed(conn);
+    if (connections_.count(id) != 0) {
+      HandleWritable(conn);
+      if (connections_.count(id) != 0) UpdateInterest(conn);
+    }
+  }
+}
+
+void SparqlServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  while (!conn->outbuf.empty()) {
+    ssize_t sent = write(conn->fd, conn->outbuf.data(), conn->outbuf.size());
+    if (sent > 0) {
+      conn->outbuf.erase(0, static_cast<std::size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (sent < 0 && errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return;
+  }
+  if (conn->outbuf.empty() && conn->close_after_write && !conn->busy) {
+    CloseConnection(conn->id);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void SparqlServer::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  std::uint32_t want = EPOLLIN;
+  if (!conn->outbuf.empty()) want |= EPOLLOUT;
+  if (want == conn->interest || conn->fd < 0) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn->id;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->interest = want;
+  }
+}
+
+void SparqlServer::CloseConnection(std::uint64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  std::shared_ptr<Connection> conn = it->second;
+  if (conn->fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    conn->fd = -1;
+  }
+  connections_.erase(it);
+  connections_active_->Sub();
+}
+
+std::string SparqlServer::ErrorBody(StatusCode code,
+                                    std::string_view message) const {
+  std::string body = "{\"error\":{\"code\":\"";
+  body += StatusCodeName(code);
+  body += "\",\"message\":\"";
+  body += exec::JsonEscape(message);
+  body += "\"}}\n";
+  return body;
+}
+
+void SparqlServer::Shutdown() {
+  {
+    MutexLock lock(&shutdown_mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  // 1. Stop admitting: healthz flips to 503, /sparql answers 503, new
+  //    sockets are closed at accept. epoll_ctl is thread-safe, so the
+  //    listener is deregistered from here.
+  draining_.store(true, std::memory_order_release);
+  admission_->BeginDrain();
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+
+  // 2. Drain: give in-flight queries drain_timeout_ms to finish.
+  const bool drained = admission_->WaitIdle(
+      std::chrono::milliseconds(options_.drain_timeout_ms));
+  if (!drained) {
+    // 3. Cancel stragglers (they answer 499) and drop queued jobs (503).
+    //    Cancellation is polled at operator boundaries, so this wait
+    //    terminates; loop rather than guess a bound.
+    shutdown_token_.Cancel();
+    admission_->CancelPending();
+    while (!admission_->WaitIdle(std::chrono::milliseconds(1000))) {
+    }
+  }
+
+  // 4. Flush: the IO thread writes out the final responses, then exits.
+  io_exit_.store(true, std::memory_order_release);
+  std::uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof one);
+  if (io_thread_.joinable()) io_thread_.join();
+
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace hsparql::server

@@ -1,0 +1,201 @@
+// server::SparqlServer — the SPARQL Protocol HTTP endpoint over
+// engine::Engine (DESIGN.md §4j).
+//
+// Architecture: one non-blocking IO thread (epoll, level-triggered) owns
+// every socket; query execution runs on common::ThreadPool workers behind
+// an AdmissionController that bounds queue depth, concurrency and
+// per-client usage — the IO thread never blocks on the engine and the
+// pool never buffers an unbounded backlog. A worker finishing a query
+// hands the serialised response back through a completion queue plus an
+// eventfd wake; the IO thread alone writes to sockets.
+//
+// Endpoints:
+//  * GET/POST /sparql — the SPARQL Protocol query operation. GET takes
+//    ?query= (plus optional ?format=json|csv|tsv and ?timeout= ms); POST
+//    accepts application/x-www-form-urlencoded (query=...) and
+//    application/sparql-query bodies. Responses are negotiated via
+//    Accept (Writer formats; 406 when none fits).
+//  * GET /metrics — Prometheus text exposition of the engine registry,
+//    including the server's own request/queue/connection metrics.
+//  * GET /healthz — 200 "ok" while serving, 503 "draining" once shutdown
+//    began (load balancers stop routing before the listener closes).
+//
+// Status mapping: engine statuses map through HttpStatusFor — 400
+// kInvalidQuery, 408 kDeadlineExceeded, 499 kCancelled (shutdown while
+// executing), 503 kOverloaded (queue full / draining), 429 for per-client
+// rate and concurrency limits (the one deviation from HttpStatusFor:
+// "this client is over budget" is not "the server is overloaded").
+// Error bodies are one JSON object: {"error": {"code": <snake_case
+// StatusCodeName>, "message": ...}}.
+//
+// Shutdown (Shutdown(), idempotent): stop admitting; wait up to
+// drain_timeout_ms for in-flight queries; then cancel the server-wide
+// CancelToken (parent of every request token) so stragglers return 499
+// quickly; flush outstanding responses; close. In-flight work is never
+// abandoned silently — every admitted request gets an HTTP response.
+#ifndef HSPARQL_SERVER_SERVER_H_
+#define HSPARQL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "results/writer.h"
+#include "server/admission.h"
+#include "server/http.h"
+
+namespace hsparql::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the outcome from port().
+  std::uint16_t port = 0;
+
+  AdmissionOptions admission;
+
+  /// Deadline applied when the client sends no ?timeout=; 0 = none.
+  std::uint64_t default_timeout_ms = 30'000;
+  /// Hard ceiling on client-requested timeouts.
+  std::uint64_t max_timeout_ms = 300'000;
+  /// How long Shutdown() waits for in-flight queries before cancelling.
+  std::uint64_t drain_timeout_ms = 5'000;
+  /// After cancelling, how long to wait for responses to flush before
+  /// closing sockets regardless.
+  std::uint64_t shutdown_flush_timeout_ms = 2'000;
+
+  /// Per-request HTTP limits.
+  RequestParser::Limits http_limits;
+  /// Accepted sockets beyond this are closed immediately.
+  std::size_t max_connections = 1024;
+
+  /// Base query options; per-request parameters (timeout, cancellation)
+  /// override the corresponding fields.
+  engine::QueryOptions query;
+
+  /// Worker pool; null = ThreadPool::Shared(). Must outlive the server.
+  ThreadPool* pool = nullptr;
+};
+
+class SparqlServer {
+ public:
+  /// `engine` must outlive the server.
+  SparqlServer(engine::Engine* engine, ServerOptions options);
+  ~SparqlServer();
+
+  SparqlServer(const SparqlServer&) = delete;
+  SparqlServer& operator=(const SparqlServer&) = delete;
+
+  /// Binds, listens and starts the IO thread. Fails with kUnavailable
+  /// when the address is taken or sockets cannot be created.
+  Status Start();
+
+  /// The bound port (after Start(); meaningful with options.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful drain-and-stop; blocks. Safe to call multiple times and
+  /// from signal-driven shutdown paths (but not from a signal handler —
+  /// write to a pipe and call from the main thread).
+  void Shutdown();
+
+ private:
+  struct Connection;
+
+  void IoLoop();
+  /// Accepts until EAGAIN; closes over-limit sockets.
+  void AcceptReady();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  /// Parses buffered bytes, dispatching every complete request.
+  void ProcessParsed(const std::shared_ptr<Connection>& conn);
+  /// Routes one parsed request; fills conn->outbox or hands the work to
+  /// the admission controller.
+  void Route(const std::shared_ptr<Connection>& conn, const HttpRequest& req);
+  /// The /sparql operation (runs on the IO thread up to admission).
+  void HandleQuery(const std::shared_ptr<Connection>& conn,
+                   const HttpRequest& req);
+  /// Worker-side: executes and serialises, then posts the response.
+  void ExecuteQueryJob(const std::shared_ptr<Connection>& conn,
+                       const std::string& query_text,
+                       engine::QueryOptions query_options,
+                       const std::shared_ptr<CancelToken>& token,
+                       results::Format format, bool keep_alive,
+                       std::chrono::nanoseconds queue_wait, bool cancelled);
+  /// Queues `response` on conn and (from workers) wakes the IO thread.
+  void PostResponse(const std::shared_ptr<Connection>& conn,
+                    std::string response, bool close_after, bool from_worker);
+  /// IO-thread-side: moves posted responses into the socket buffers.
+  void DrainCompletions();
+  void CloseConnection(std::uint64_t id);
+  /// Updates epoll interest (EPOLLIN/EPOLLOUT) for conn.
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  std::string ErrorBody(StatusCode code, std::string_view message) const;
+  void RegisterMetrics();
+
+  engine::Engine* const engine_;
+  const ServerOptions options_;
+  ThreadPool* const pool_;
+  /// shared_ptr because the metrics callback gauges registered in the
+  /// engine's registry capture it — an ExportMetrics after this server is
+  /// destroyed must still read valid (frozen) scheduler stats.
+  std::shared_ptr<AdmissionController> admission_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers wake the IO thread
+  std::uint16_t port_ = 0;
+  std::thread io_thread_;
+
+  std::atomic<bool> running_{false};
+  /// Set by Shutdown(): healthz flips to 503 and /sparql stops admitting.
+  std::atomic<bool> draining_{false};
+  /// Set after drain: the IO loop exits once all responses are flushed.
+  std::atomic<bool> io_exit_{false};
+  /// Parent of every request token; cancelled when the drain times out.
+  CancelToken shutdown_token_;
+
+  /// IO-thread-only state (no lock: single owner). Connections are keyed
+  /// by id, not fd — a worker finishing after the peer disconnected finds
+  /// the id gone instead of aliasing a reused fd.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  /// 0 and 1 are kListenId/kWakeId; connections start above them.
+  std::uint64_t next_connection_id_ = 2;
+
+  /// Worker -> IO thread completion queue.
+  Mutex done_mu_;
+  std::deque<std::uint64_t> done_queue_ GUARDED_BY(done_mu_);
+
+  /// Shutdown() is idempotent and may race with the destructor.
+  Mutex shutdown_mu_;
+  bool shutdown_done_ GUARDED_BY(shutdown_mu_) = false;
+
+  // Metrics (registered in the engine's registry; raw pointers stay
+  // valid for the registry's lifetime).
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* responses_2xx_ = nullptr;
+  obs::Counter* responses_4xx_ = nullptr;
+  obs::Counter* responses_5xx_ = nullptr;
+  obs::Counter* rejected_queue_full_ = nullptr;
+  obs::Counter* rejected_rate_limited_ = nullptr;
+  obs::Counter* rejected_client_limit_ = nullptr;
+  obs::Counter* rejected_draining_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
+  obs::Histogram* queue_wait_millis_ = nullptr;
+  obs::Histogram* request_millis_ = nullptr;
+};
+
+}  // namespace hsparql::server
+
+#endif  // HSPARQL_SERVER_SERVER_H_

@@ -95,7 +95,7 @@ class Lexer {
   Status Error(std::string_view what) const {
     std::ostringstream os;
     os << "lex error at " << line_ << ":" << col_ << ": " << what;
-    return Status::ParseError(os.str());
+    return Status::InvalidQuery(os.str());
   }
 
   void SkipSpaceAndComments() {

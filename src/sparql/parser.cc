@@ -74,7 +74,7 @@ class Parser {
     os << "parse error at " << tok.line << ":" << tok.column << ": " << what
        << " (got " << TokenKindName(tok.kind)
        << (tok.text.empty() ? "" : " '" + tok.text + "'") << ")";
-    return Status::ParseError(os.str());
+    return Status::InvalidQuery(os.str());
   }
 
   Status Expect(TokenKind kind, std::string_view what) {

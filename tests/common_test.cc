@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -51,10 +52,43 @@ TEST(StatusTest, EveryCodeHasAName) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kOutOfRange, StatusCode::kUnsupported,
-        StatusCode::kInternal, StatusCode::kIoError}) {
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kDeadlineExceeded, StatusCode::kInvalidQuery,
+        StatusCode::kCancelled, StatusCode::kOverloaded,
+        StatusCode::kUnavailable}) {
     EXPECT_FALSE(StatusCodeToString(code).empty());
     EXPECT_NE(StatusCodeToString(code), "Unknown");
+    // The wire-stable snake_case id must exist and be lowercase.
+    std::string_view name = StatusCodeName(code);
+    EXPECT_FALSE(name.empty());
+    for (char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_') << name;
+    }
   }
+}
+
+TEST(StatusTest, TypedFactoriesAndPredicates) {
+  EXPECT_TRUE(Status::InvalidQuery("q").IsInvalidQuery());
+  EXPECT_TRUE(Status::Cancelled("c").IsCancelled());
+  EXPECT_TRUE(Status::Overloaded("o").IsOverloaded());
+  EXPECT_TRUE(Status::Unavailable("u").IsUnavailable());
+  // InvalidQuery is distinct from ParseError (which covers data files).
+  EXPECT_FALSE(Status::InvalidQuery("q").IsParseError());
+}
+
+TEST(StatusTest, HttpStatusMapping) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInvalidQuery), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kParseError), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 408);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kCancelled), 499);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOverloaded), 503);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnsupported), 501);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInternal), 500);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kIoError), 500);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -224,6 +258,42 @@ TEST(CancelTokenTest, ConcurrentDeadlineExtensionCannotUnexpire) {
 
   EXPECT_EQ(latched.load(), kPollers);
   EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancelTokenTest, ReasonDistinguishesCancelFromDeadline) {
+  CancelToken cancelled;
+  EXPECT_EQ(cancelled.reason(), CancelReason::kNone);
+  cancelled.Cancel();
+  EXPECT_EQ(cancelled.reason(), CancelReason::kCancelled);
+  EXPECT_TRUE(cancelled.ToStatus("m").IsCancelled());
+
+  CancelToken expired;
+  expired.SetDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  EXPECT_TRUE(expired.Expired());
+  EXPECT_EQ(expired.reason(), CancelReason::kDeadline);
+  EXPECT_TRUE(expired.ToStatus("m").IsDeadlineExceeded());
+}
+
+TEST(CancelTokenTest, ReasonIsFirstCauseWins) {
+  // Deadline latches first; a later Cancel() must not relabel the cause.
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.Expired());
+  token.Cancel();
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelTokenTest, ChildInheritsParentReason) {
+  CancelToken parent;
+  parent.Cancel();
+  CancelToken child;
+  child.set_parent(&parent);
+  child.SetTimeout(std::chrono::hours(1));  // deadline is not the cause
+  EXPECT_TRUE(child.Expired());
+  EXPECT_EQ(child.reason(), CancelReason::kCancelled);
+  EXPECT_TRUE(child.ToStatus("m").IsCancelled());
 }
 
 }  // namespace

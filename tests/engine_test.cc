@@ -265,7 +265,7 @@ TEST(EngineTest, MutationBumpsGenerationAndInvalidatesResults) {
   EXPECT_EQ(recached->rows(), 3u);
 }
 
-TEST(EngineTest, CancelledTokenReturnsDeadlineExceeded) {
+TEST(EngineTest, CancelledTokenReturnsCancelled) {
   Engine engine(BibStore());
   CancelToken cancelled;
   cancelled.Cancel();
@@ -273,7 +273,9 @@ TEST(EngineTest, CancelledTokenReturnsDeadlineExceeded) {
   options.cancel = &cancelled;
   auto response = engine.Query(kChainQuery, options);
   ASSERT_FALSE(response.ok());
-  EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
+  // An explicit Cancel() is typed kCancelled (HTTP 499), distinct from a
+  // deadline expiry's kDeadlineExceeded (HTTP 408).
+  EXPECT_TRUE(response.status().IsCancelled()) << response.status();
 
   // The engine (and the shared pool behind it) keeps serving afterwards —
   // cancellation is cooperative, nothing leaks.
@@ -318,6 +320,20 @@ TEST(EngineTest, TimeoutChainsOntoCallerToken) {
   QueryOptions options;
   options.timeout_ms = 60000;  // generous deadline; the parent is expired
   options.cancel = &cancelled;
+  auto response = engine.Query(kChainQuery, options);
+  ASSERT_FALSE(response.ok());
+  // The engine's internal deadline token inherits the parent's reason:
+  // the caller cancelled, so the typed code is kCancelled, not a timeout.
+  EXPECT_TRUE(response.status().IsCancelled()) << response.status();
+}
+
+TEST(EngineTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  Engine engine(BibStore());
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  QueryOptions options;
+  options.cancel = &token;
   auto response = engine.Query(kChainQuery, options);
   ASSERT_FALSE(response.ok());
   EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();

@@ -506,11 +506,11 @@ TEST(SlowQueryLogTest, DeadlineExpiredQueryIsLogged) {
     lines.emplace_back(line);
   };
   Engine engine(BibStore(), options);
-  CancelToken cancelled;
-  cancelled.Cancel();
+  CancelToken expired;
+  expired.SetDeadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
   QueryOptions query_options;
-  query_options.timeout_ms = 60000;  // generous; the parent is expired
-  query_options.cancel = &cancelled;
+  query_options.cancel = &expired;
   auto response = engine.Query(kChainQuery, query_options);
   ASSERT_FALSE(response.ok());
   EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
@@ -522,6 +522,32 @@ TEST(SlowQueryLogTest, DeadlineExpiredQueryIsLogged) {
   EXPECT_EQ(snapshot.CounterValue("engine.queries.errors"), 1u);
   EXPECT_EQ(snapshot.CounterValue("engine.queries.deadline_exceeded"), 1u);
   EXPECT_EQ(snapshot.CounterValue("engine.queries.slow"), 1u);
+}
+
+TEST(SlowQueryLogTest, CancelledQueryIsLoggedWithCancelledStatus) {
+  std::vector<std::string> lines;
+  EngineOptions options;
+  options.slow_query_millis = 1e-6;
+  options.slow_query_sink = [&lines](std::string_view line) {
+    lines.emplace_back(line);
+  };
+  Engine engine(BibStore(), options);
+  CancelToken cancelled;
+  cancelled.Cancel();
+  QueryOptions query_options;
+  query_options.timeout_ms = 60000;  // generous; the parent is cancelled
+  query_options.cancel = &cancelled;
+  auto response = engine.Query(kChainQuery, query_options);
+  ASSERT_FALSE(response.ok());
+  // Explicit cancellation is typed kCancelled, not kDeadlineExceeded.
+  EXPECT_TRUE(response.status().IsCancelled()) << response.status();
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"status\":\"cancelled\""), std::string::npos);
+  obs::MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.errors"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.cancelled"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("engine.queries.deadline_exceeded"), 0u);
 }
 
 TEST(SlowQueryLogTest, CacheHitQueryUnderThresholdIsNotLogged) {

@@ -1,0 +1,245 @@
+// Tests for results::Writer: format negotiation, the CSV serialiser
+// (RFC 4180 escaping round-trips), and equivalence of the Writer
+// interface with the low-level exec serialisers it wraps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/results_io.h"
+#include "hsp/hsp_planner.h"
+#include "results/writer.h"
+#include "sparql/parser.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+
+namespace hsparql::results {
+namespace {
+
+using sparql::Query;
+
+struct Ran {
+  Query query;
+  exec::BindingTable table;
+};
+
+Ran RunQuery(const storage::TripleStore& store, std::string_view text) {
+  auto q = sparql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  hsp::HspPlanner planner;
+  auto planned = planner.Plan(*q);
+  EXPECT_TRUE(planned.ok()) << planned.status();
+  exec::Executor executor(&store);
+  auto result = executor.Execute(planned->query, planned->plan);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return Ran{std::move(planned->query), std::move(result->table)};
+}
+
+TEST(FormatTest, NamesRoundTrip) {
+  for (Format f : {Format::kJson, Format::kCsv, Format::kTsv}) {
+    auto parsed = FormatFromName(FormatName(f));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_EQ(FormatFromName("JSON"), Format::kJson);   // case-insensitive
+  EXPECT_EQ(FormatFromName(" tsv "), Format::kTsv);   // trimmed
+  EXPECT_FALSE(FormatFromName("xml").has_value());
+  EXPECT_FALSE(FormatFromName("").has_value());
+}
+
+TEST(FormatTest, ContentTypes) {
+  EXPECT_EQ(ContentType(Format::kJson), "application/sparql-results+json");
+  EXPECT_EQ(ContentType(Format::kCsv), "text/csv; charset=utf-8");
+  EXPECT_EQ(ContentType(Format::kTsv),
+            "text/tab-separated-values; charset=utf-8");
+}
+
+TEST(NegotiateTest, EmptyAcceptDefaultsToJson) {
+  EXPECT_EQ(Negotiate(""), Format::kJson);
+  EXPECT_EQ(Negotiate("   "), Format::kJson);
+}
+
+TEST(NegotiateTest, ExactMediaTypes) {
+  EXPECT_EQ(Negotiate("application/sparql-results+json"), Format::kJson);
+  EXPECT_EQ(Negotiate("application/json"), Format::kJson);
+  EXPECT_EQ(Negotiate("text/csv"), Format::kCsv);
+  EXPECT_EQ(Negotiate("text/tab-separated-values"), Format::kTsv);
+}
+
+TEST(NegotiateTest, Wildcards) {
+  EXPECT_EQ(Negotiate("*/*"), Format::kJson);
+  EXPECT_EQ(Negotiate("application/*"), Format::kJson);
+  EXPECT_EQ(Negotiate("text/*"), Format::kCsv);
+}
+
+TEST(NegotiateTest, QValuesPickTheHighest) {
+  EXPECT_EQ(Negotiate("text/csv;q=0.5, application/sparql-results+json;q=0.9"),
+            Format::kJson);
+  EXPECT_EQ(Negotiate("application/json;q=0.1, text/csv"), Format::kCsv);
+  // A q=0 entry is "explicitly not acceptable".
+  EXPECT_EQ(Negotiate("text/csv;q=0, text/tab-separated-values;q=0.5"),
+            Format::kTsv);
+}
+
+TEST(NegotiateTest, TiesPreferJson) {
+  EXPECT_EQ(Negotiate("text/csv, application/json"), Format::kJson);
+  EXPECT_EQ(Negotiate("text/tab-separated-values;q=0.8, text/csv;q=0.8"),
+            Format::kCsv);
+}
+
+TEST(NegotiateTest, NoSupportedFormatIsNullopt) {
+  EXPECT_FALSE(Negotiate("application/xml").has_value());
+  EXPECT_FALSE(Negotiate("image/png, application/pdf").has_value());
+  EXPECT_FALSE(Negotiate("*/*;q=0").has_value());
+}
+
+TEST(NegotiateTest, IgnoresUnknownParametersAndCase) {
+  EXPECT_EQ(Negotiate("TEXT/CSV; charset=utf-8"), Format::kCsv);
+  EXPECT_EQ(Negotiate("application/sparql-results+json; charset=utf-8; q=0.7,"
+                      " text/csv;q=0.6"),
+            Format::kJson);
+}
+
+TEST(CsvEscapeTest, Rfc4180) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("has space"), "has space");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+/// Minimal RFC 4180 parser — the round-trip half of the CSV tests.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+      ++i;
+    } else {
+      field += c;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(CsvWriterTest, HeaderAndRawLexicalValues) {
+  storage::TripleStore store =
+      storage::TripleStore::Build(testing::SmallBibGraph());
+  Ran ran = RunQuery(store,
+                     "SELECT ?j ?yr WHERE { ?j <dcterms:issued> ?yr }");
+  std::string csv = WriteString(Format::kCsv, ran.table, ran.query,
+                                store.dictionary());
+  auto rows = ParseCsv(csv);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"j", "yr"}));  // bare names
+  // Every data row: IRI without angle brackets, literal without quotes.
+  bool saw_1940 = false;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    ASSERT_EQ(rows[r].size(), 2u);
+    EXPECT_EQ(rows[r][0].find('<'), std::string::npos);
+    EXPECT_EQ(rows[r][1].find('"'), std::string::npos);
+    if (rows[r][1] == "1940") saw_1940 = true;
+  }
+  EXPECT_TRUE(saw_1940);
+  // CRLF line endings, per RFC 4180.
+  EXPECT_NE(csv.find("\r\n"), std::string::npos);
+}
+
+TEST(CsvWriterTest, EscapingRoundTripsThroughAParser) {
+  rdf::Graph g;
+  g.AddLiteral("s1", "note", "plain");
+  g.AddLiteral("s2", "note", "comma, inside");
+  g.AddLiteral("s3", "note", "quote \" inside");
+  g.AddLiteral("s4", "note", "line\nbreak");
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  Ran ran = RunQuery(store, "SELECT ?s ?n WHERE { ?s <note> ?n }");
+  std::string csv = WriteString(Format::kCsv, ran.table, ran.query,
+                                store.dictionary());
+  auto rows = ParseCsv(csv);
+  ASSERT_EQ(rows.size(), 5u);  // header + 4
+  std::vector<std::string> notes;
+  for (std::size_t r = 1; r < rows.size(); ++r) notes.push_back(rows[r][1]);
+  std::sort(notes.begin(), notes.end());
+  EXPECT_EQ(notes, (std::vector<std::string>{"comma, inside", "line\nbreak",
+                                             "plain", "quote \" inside"}));
+}
+
+TEST(CsvWriterTest, UnboundCellsAreEmptyFields) {
+  rdf::Graph g;
+  g.AddLiteral("s1", "name", "Alice");
+  g.AddLiteral("s1", "email", "a@x");
+  g.AddLiteral("s2", "name", "Bob");
+  storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+  Ran ran = RunQuery(store,
+                     "SELECT ?n ?e WHERE { ?s <name> ?n . "
+                     "OPTIONAL { ?s <email> ?e } }");
+  std::string csv = WriteString(Format::kCsv, ran.table, ran.query,
+                                store.dictionary());
+  auto rows = ParseCsv(csv);
+  ASSERT_EQ(rows.size(), 3u);
+  bool saw_empty = false;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    ASSERT_EQ(rows[r].size(), 2u);
+    if (rows[r][0] == "Bob") saw_empty = rows[r][1].empty();
+  }
+  EXPECT_TRUE(saw_empty);
+}
+
+TEST(WriterTest, JsonAndTsvMatchTheLowLevelSerialisers) {
+  storage::TripleStore store =
+      storage::TripleStore::Build(testing::SmallBibGraph());
+  Ran ran = RunQuery(store,
+                     "SELECT ?j ?yr WHERE { ?j <dcterms:issued> ?yr }");
+  std::ostringstream json_direct;
+  exec::WriteResultsJson(ran.table, ran.query, store.dictionary(),
+                         json_direct);
+  EXPECT_EQ(WriteString(Format::kJson, ran.table, ran.query,
+                        store.dictionary()),
+            json_direct.str());
+  std::ostringstream tsv_direct;
+  exec::WriteResultsTsv(ran.table, ran.query, store.dictionary(), tsv_direct);
+  EXPECT_EQ(WriteString(Format::kTsv, ran.table, ran.query,
+                        store.dictionary()),
+            tsv_direct.str());
+}
+
+TEST(WriterTest, WriterForReturnsMatchingFormat) {
+  for (Format f : {Format::kJson, Format::kCsv, Format::kTsv}) {
+    EXPECT_EQ(WriterFor(f).format(), f);
+  }
+}
+
+}  // namespace
+}  // namespace hsparql::results

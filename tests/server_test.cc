@@ -1,0 +1,555 @@
+// SparqlServer integration tests: protocol conformance (GET/POST
+// variants, content negotiation, error statuses), byte-identity of HTTP
+// results with direct Engine::Query serialisation, bounded-admission
+// behaviour (503/429, queue capacity), per-request deadlines (408),
+// graceful shutdown (drain, then 503), plus unit tests for the HTTP
+// parser and the AdmissionController (injectable clock).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "results/writer.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "storage/triple_store.h"
+#include "test_util.h"
+
+namespace hsparql::server {
+namespace {
+
+constexpr std::string_view kIssuedQuery =
+    "SELECT ?j ?yr WHERE { ?j <dcterms:issued> ?yr }";
+
+storage::TripleStore BibStore() {
+  return storage::TripleStore::Build(testing::SmallBibGraph());
+}
+
+/// Engine + started server on an ephemeral port + connected client.
+struct Harness {
+  explicit Harness(ServerOptions options = ServerOptions(),
+                   engine::EngineOptions engine_options = {})
+      : engine(BibStore(), engine_options) {
+    options.port = 0;
+    server = std::make_unique<SparqlServer>(&engine, options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    Status connected = client.Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(connected.ok()) << connected;
+  }
+
+  engine::Engine engine;
+  std::unique_ptr<SparqlServer> server;
+  HttpClient client;
+};
+
+std::string QueryTarget(std::string_view query,
+                        std::string_view extra_params = "") {
+  std::string target = "/sparql?query=" + HttpClient::UrlEncode(query);
+  if (!extra_params.empty()) {
+    target += '&';
+    target += extra_params;
+  }
+  return target;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol basics.
+
+TEST(ServerTest, GetQueryReturnsSparqlJson) {
+  Harness h;
+  auto response = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->Header("content-type"),
+            "application/sparql-results+json");
+  EXPECT_NE(response->body.find("\"vars\":[\"j\",\"yr\"]"), std::string::npos);
+  EXPECT_NE(response->body.find("1940"), std::string::npos);
+}
+
+TEST(ServerTest, ResponsesAreByteIdenticalToDirectEngineQuery) {
+  Harness h;
+  auto direct = h.engine.Query(kIssuedQuery);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  engine::StoreView view = h.engine.read_view();
+  for (results::Format format :
+       {results::Format::kJson, results::Format::kCsv, results::Format::kTsv}) {
+    std::string expected = results::WriteString(
+        format, direct->result->table, direct->planned->planned.query,
+        view.dictionary());
+    auto response = h.client.Get(QueryTarget(
+        kIssuedQuery,
+        std::string("format=") + std::string(results::FormatName(format))));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, expected)
+        << "format=" << results::FormatName(format);
+  }
+}
+
+TEST(ServerTest, PostFormUrlEncoded) {
+  Harness h;
+  auto response =
+      h.client.Post("/sparql", "application/x-www-form-urlencoded",
+                    "query=" + HttpClient::UrlEncode(kIssuedQuery));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("1940"), std::string::npos);
+}
+
+TEST(ServerTest, PostDirectSparqlQueryBody) {
+  Harness h;
+  auto response = h.client.Post("/sparql", "application/sparql-query",
+                                std::string(kIssuedQuery));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("1940"), std::string::npos);
+}
+
+TEST(ServerTest, AcceptHeaderNegotiatesFormat) {
+  Harness h;
+  auto response =
+      h.client.Get(QueryTarget(kIssuedQuery), {{"Accept", "text/csv"}});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->Header("content-type"), "text/csv; charset=utf-8");
+  EXPECT_EQ(response->body.rfind("j,yr\r\n", 0), 0u) << response->body;
+}
+
+TEST(ServerTest, UnacceptableAcceptIs406) {
+  Harness h;
+  auto response =
+      h.client.Get(QueryTarget(kIssuedQuery), {{"Accept", "application/xml"}});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 406);
+  EXPECT_NE(response->body.find("\"code\":\"unsupported\""),
+            std::string::npos);
+}
+
+TEST(ServerTest, MissingQueryIs400InvalidQuery) {
+  Harness h;
+  auto response = h.client.Get("/sparql");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_NE(response->body.find("\"code\":\"invalid_query\""),
+            std::string::npos);
+}
+
+TEST(ServerTest, SyntaxErrorIs400InvalidQuery) {
+  Harness h;
+  auto response = h.client.Get(QueryTarget("SELECT WHERE {{{"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_NE(response->body.find("\"code\":\"invalid_query\""),
+            std::string::npos);
+}
+
+TEST(ServerTest, UnknownPathIs404) {
+  Harness h;
+  auto response = h.client.Get("/nope");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 404);
+  EXPECT_NE(response->body.find("\"code\":\"not_found\""), std::string::npos);
+}
+
+TEST(ServerTest, WrongMethodIs405) {
+  Harness h;
+  auto response = h.client.Post("/metrics", "text/plain", "");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 405);
+  EXPECT_EQ(response->Header("allow"), "GET");
+}
+
+TEST(ServerTest, UnsupportedContentTypeIs415) {
+  Harness h;
+  auto response = h.client.Post("/sparql", "application/xml", "<q/>");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 415);
+}
+
+TEST(ServerTest, HealthzAndMetrics) {
+  Harness h;
+  auto health = h.client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  // Run one query so the counters are nonzero.
+  ASSERT_TRUE(h.client.Get(QueryTarget(kIssuedQuery)).ok());
+  auto metrics = h.client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_EQ(metrics->Header("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics->body.find("server_requests_total"), std::string::npos);
+  EXPECT_NE(metrics->body.find("server_queue_depth"), std::string::npos);
+  EXPECT_NE(metrics->body.find("engine_queries_total"), std::string::npos);
+}
+
+TEST(ServerTest, KeepAliveServesSequentialRequests) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) {
+    auto response = h.client.Get(QueryTarget(kIssuedQuery));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+  }
+  // All three went over one connection (no reconnect happened).
+  EXPECT_TRUE(h.client.connected());
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and admission.
+
+TEST(ServerTest, TimeoutReturns408DeadlineExceeded) {
+  // A store big enough that the cross join below cannot finish in 1 ms:
+  // 600 x 600 = 360k result rows.
+  rdf::Graph g;
+  for (int i = 0; i < 600; ++i) {
+    g.AddLiteral("s" + std::to_string(i), "p", std::to_string(i));
+  }
+  engine::Engine engine(storage::TripleStore::Build(std::move(g)));
+  ServerOptions options;
+  options.port = 0;
+  SparqlServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::string heavy = "SELECT ?a ?b WHERE { ?a <p> ?x . ?b <p> ?y }";
+  // The deadline covers parse+plan+exec; retry in case a warm run still
+  // slips under 1 ms — one 408 proves the mapping.
+  bool saw_timeout = false;
+  for (int attempt = 0; attempt < 20 && !saw_timeout; ++attempt) {
+    auto response = client.Get(QueryTarget(heavy, "timeout=1"));
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->status == 408) {
+      EXPECT_NE(response->body.find("\"code\":\"deadline_exceeded\""),
+                std::string::npos)
+          << response->body;
+      saw_timeout = true;
+    } else {
+      EXPECT_EQ(response->status, 200);
+    }
+    engine.ClearCaches();  // a result-cache hit would never time out
+  }
+  EXPECT_TRUE(saw_timeout)
+      << "heavy query never hit its 1 ms deadline in 20 attempts";
+  server.Shutdown();
+}
+
+TEST(ServerTest, InvalidTimeoutIs400) {
+  Harness h;
+  auto response = h.client.Get(QueryTarget(kIssuedQuery, "timeout=abc"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 400);
+}
+
+TEST(ServerTest, RateLimitReturns429) {
+  ServerOptions options;
+  options.admission.rate_limit_qps = 1.0;
+  options.admission.rate_limit_burst = 2.0;
+  Harness h(options);
+  int ok = 0;
+  int limited = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto response = h.client.Get(QueryTarget(kIssuedQuery));
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->status == 200) {
+      ok++;
+    } else {
+      EXPECT_EQ(response->status, 429);
+      EXPECT_NE(response->body.find("\"code\":\"overloaded\""),
+                std::string::npos);
+      limited++;
+    }
+  }
+  EXPECT_GE(ok, 2);       // the initial burst
+  EXPECT_GE(limited, 2);  // the tail is shed
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown.
+
+TEST(ServerTest, ShutdownFlipsHealthzThenRefusesQueries) {
+  Harness h;
+  ASSERT_EQ(h.client.Get("/healthz")->status, 200);
+  h.server->Shutdown();
+  // The kept-alive connection stays usable for the flush window, but new
+  // work is refused; a fresh connection is not accepted at all.
+  EXPECT_FALSE(h.server->running());
+}
+
+TEST(ServerTest, GracefulShutdownDrainsInFlightQueries) {
+  ServerOptions options;
+  options.drain_timeout_ms = 10'000;
+  Harness h(options);
+  // Start a slow-ish query on a second connection, then shut down while
+  // it is (likely) still executing; the drain must deliver its response.
+  std::string heavy =
+      "SELECT ?a ?b ?c WHERE { ?a <dcterms:issued> ?x . "
+      "?b <dcterms:issued> ?y . ?c <dcterms:issued> ?z }";
+  std::atomic<int> status{0};
+  std::thread in_flight([&] {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", h.server->port()).ok());
+    auto response = client.Get(QueryTarget(heavy));
+    ASSERT_TRUE(response.ok()) << response.status();
+    status.store(response->status);
+  });
+  // Give the request a moment to be admitted, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  h.server->Shutdown();
+  in_flight.join();
+  // Drained work completes with a real answer (200), or — if the query
+  // was still queued/executing past the drain — a typed cancellation.
+  EXPECT_TRUE(status == 200 || status == 499 || status == 503)
+      << "status " << status;
+  EXPECT_FALSE(h.server->running());
+}
+
+TEST(ServerTest, ShutdownIsIdempotent) {
+  Harness h;
+  h.server->Shutdown();
+  h.server->Shutdown();
+  EXPECT_FALSE(h.server->running());
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController (unit, with injectable clock).
+
+TEST(AdmissionTest, QueueFullSheds) {
+  ThreadPool pool(2);
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 1;
+  AdmissionController admission(options, &pool);
+
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  auto blocker = [&](std::chrono::nanoseconds, bool) {
+    MutexLock lock(&mu);
+    while (!release) cv.Wait(mu);
+    ran.fetch_add(1);
+  };
+  auto quick = [&](std::chrono::nanoseconds, bool) { ran.fetch_add(1); };
+
+  EXPECT_EQ(admission.Submit("a", blocker), AdmitDecision::kAdmitted);
+  // Wait for the first job to occupy the slot (not just the queue).
+  for (int i = 0; i < 1000 && admission.stats().running == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(admission.stats().running, 1u);
+  EXPECT_EQ(admission.Submit("a", quick), AdmitDecision::kAdmitted);  // queued
+  EXPECT_EQ(admission.Submit("a", quick), AdmitDecision::kQueueFull);
+  EXPECT_EQ(admission.stats().rejected_queue_full, 1u);
+
+  {
+    MutexLock lock(&mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  admission.BeginDrain();
+  EXPECT_TRUE(admission.WaitIdle(std::chrono::milliseconds(10'000)));
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(AdmissionTest, PerClientLimit) {
+  ThreadPool pool(2);
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 8;
+  options.max_per_client = 2;
+  AdmissionController admission(options, &pool);
+
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  auto blocker = [&](std::chrono::nanoseconds, bool) {
+    MutexLock lock(&mu);
+    while (!release) cv.Wait(mu);
+  };
+  EXPECT_EQ(admission.Submit("greedy", blocker), AdmitDecision::kAdmitted);
+  EXPECT_EQ(admission.Submit("greedy", blocker), AdmitDecision::kAdmitted);
+  EXPECT_EQ(admission.Submit("greedy", blocker), AdmitDecision::kClientLimit);
+  // Another client still gets in (the queue has room).
+  EXPECT_EQ(admission.Submit("other", blocker), AdmitDecision::kAdmitted);
+  {
+    MutexLock lock(&mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  admission.BeginDrain();
+  EXPECT_TRUE(admission.WaitIdle(std::chrono::milliseconds(10'000)));
+}
+
+TEST(AdmissionTest, TokenBucketRefillsOnTheInjectedClock) {
+  ThreadPool pool(1);
+  AdmissionOptions options;
+  options.max_concurrent = 4;
+  options.rate_limit_qps = 10.0;  // one token per 100 ms
+  options.rate_limit_burst = 2.0;
+  std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now();
+  AdmissionController admission(options, &pool, [&now] { return now; });
+
+  auto noop = [](std::chrono::nanoseconds, bool) {};
+  EXPECT_EQ(admission.Submit("c", noop), AdmitDecision::kAdmitted);
+  EXPECT_EQ(admission.Submit("c", noop), AdmitDecision::kAdmitted);
+  EXPECT_EQ(admission.Submit("c", noop), AdmitDecision::kRateLimited);
+  now += std::chrono::milliseconds(100);  // refills exactly one token
+  EXPECT_EQ(admission.Submit("c", noop), AdmitDecision::kAdmitted);
+  EXPECT_EQ(admission.Submit("c", noop), AdmitDecision::kRateLimited);
+  // A different client has its own bucket.
+  EXPECT_EQ(admission.Submit("d", noop), AdmitDecision::kAdmitted);
+  admission.BeginDrain();
+  EXPECT_TRUE(admission.WaitIdle(std::chrono::milliseconds(10'000)));
+  EXPECT_EQ(admission.stats().rejected_rate_limited, 2u);
+}
+
+TEST(AdmissionTest, CancelPendingHandsQueuedJobsBack) {
+  ThreadPool pool(1);
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 4;
+  AdmissionController admission(options, &pool);
+
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  std::atomic<int> cancelled_count{0};
+  auto blocker = [&](std::chrono::nanoseconds, bool) {
+    MutexLock lock(&mu);
+    while (!release) cv.Wait(mu);
+  };
+  auto observer = [&](std::chrono::nanoseconds, bool cancelled) {
+    if (cancelled) cancelled_count.fetch_add(1);
+  };
+  ASSERT_EQ(admission.Submit("a", blocker), AdmitDecision::kAdmitted);
+  for (int i = 0; i < 1000 && admission.stats().running == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(admission.Submit("a", observer), AdmitDecision::kAdmitted);
+  ASSERT_EQ(admission.Submit("a", observer), AdmitDecision::kAdmitted);
+  admission.BeginDrain();
+  admission.CancelPending();
+  EXPECT_EQ(cancelled_count.load(), 2);
+  {
+    MutexLock lock(&mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  EXPECT_TRUE(admission.WaitIdle(std::chrono::milliseconds(10'000)));
+}
+
+// ---------------------------------------------------------------------------
+// RequestParser (unit).
+
+TEST(RequestParserTest, ParsesGetInFragments) {
+  RequestParser parser;
+  const std::string raw =
+      "GET /sparql?query=SELECT HTTP/1.1\r\nHost: x\r\n"
+      "Accept: text/csv\r\n\r\n";
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    parser.Feed(raw.substr(i, 1));
+  }
+  ASSERT_EQ(parser.state(), RequestParser::State::kComplete);
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/sparql");
+  EXPECT_EQ(req.query_string, "query=SELECT");
+  EXPECT_EQ(req.Header("accept"), "text/csv");
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(RequestParserTest, ParsesPostBodyAndPipelinedRequest) {
+  RequestParser parser;
+  parser.Feed(
+      "POST /sparql HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz "
+      "HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.state(), RequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "hello");
+  // Reset picks up the pipelined request from the buffered leftovers.
+  ASSERT_EQ(parser.Reset(), RequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+}
+
+TEST(RequestParserTest, ConnectionCloseAndHttp10) {
+  RequestParser p1;
+  p1.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(p1.state(), RequestParser::State::kComplete);
+  EXPECT_FALSE(p1.request().keep_alive);
+
+  RequestParser p2;
+  p2.Feed("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(p2.state(), RequestParser::State::kComplete);
+  EXPECT_FALSE(p2.request().keep_alive);
+
+  RequestParser p3;
+  p3.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_EQ(p3.state(), RequestParser::State::kComplete);
+  EXPECT_TRUE(p3.request().keep_alive);
+}
+
+TEST(RequestParserTest, RejectsChunkedWith501) {
+  RequestParser parser;
+  parser.Feed(
+      "POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(parser.state(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParserTest, RejectsOversizedBodyWith413) {
+  RequestParser::Limits limits;
+  limits.max_body_bytes = 10;
+  RequestParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n");
+  ASSERT_EQ(parser.state(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParserTest, RejectsOversizedHeadWith431) {
+  RequestParser::Limits limits;
+  limits.max_head_bytes = 64;
+  RequestParser parser(limits);
+  parser.Feed("GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.state(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, RejectsUnknownVersionWith505) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_EQ(parser.state(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(PercentDecodeTest, DecodesAndRejects) {
+  EXPECT_EQ(PercentDecode("a%20b", false), "a b");
+  EXPECT_EQ(PercentDecode("a+b", true), "a b");
+  EXPECT_EQ(PercentDecode("a+b", false), "a+b");
+  EXPECT_EQ(PercentDecode("%3F%3d", false), "?=");
+  EXPECT_FALSE(PercentDecode("%", false).has_value());
+  EXPECT_FALSE(PercentDecode("%2", false).has_value());
+  EXPECT_FALSE(PercentDecode("%zz", false).has_value());
+}
+
+TEST(FormParamTest, ExtractsAndDecodes) {
+  EXPECT_EQ(FormParam("query=SELECT%20%2A&format=csv", "query"), "SELECT *");
+  EXPECT_EQ(FormParam("query=SELECT%20%2A&format=csv", "format"), "csv");
+  EXPECT_FALSE(FormParam("a=1", "b").has_value());
+  EXPECT_EQ(FormParam("a=1+2", "a"), "1 2");
+}
+
+}  // namespace
+}  // namespace hsparql::server
