@@ -1,0 +1,297 @@
+// Cold-start benchmark for the persistent snapshot store (DESIGN.md §4k):
+// how fast a process becomes query-ready from an on-disk artifact.
+//
+// Two paths to a serving store over the same SP2Bench dataset:
+//   parse     N-Triples text -> ReadNTriples -> TripleStore::Build
+//             (the only cold-start path before snapshots existed)
+//   snapshot  TripleStore::OpenSnapshot over the mmap'd image with the
+//             default options (zero-copy: no payload page read at open;
+//             the dictionary decode is deferred to first use)
+// and, reported for context, two unlazied variants: open plus the
+// deferred dictionary materialisation (forced with a Get, what the first
+// query that renders a term pays once), and the open with deep
+// verification (SnapshotOpenOptions::verify = true — payload checksums
+// plus sortedness, which reads every mapped byte and so scales like
+// parse).
+//
+// Correctness is pinned before anything is timed: the snapshot-opened
+// store must give byte-identical result bags to the parsed store on every
+// SP2Bench workload query (HSP plans), and sizes/term counts must match.
+//
+// The gate: min-over-repetitions(parse) / min-over-repetitions(default
+// snapshot open) must be >= 50. Each repetition reopens from a fresh
+// mapping. Ends with a machine-readable JSON summary, optionally
+// mirrored to --json=path.
+//
+// RSS is sampled (VmRSS, /proc/self/status) around each path to show the
+// residency difference: the parse path materialises six heap orderings
+// and a dictionary hash index; the snapshot path faults in only the pages
+// the identity queries touch.
+//
+// Flags: --triples=N (default 200000), --runs=N (default 5),
+//        --quick (30k triples, 3 runs; the gate stays active),
+//        --keep=path (save the snapshot image there and keep it),
+//        --json=path (write the JSON summary to a file as well).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/executor.h"
+#include "plan/planner.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "storage/snapshot.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "workload/queries.h"
+#include "workload/sp2bench_gen.h"
+
+namespace hsparql {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// VmRSS in bytes from /proc/self/status; 0 where unavailable.
+std::size_t CurrentRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::size_t kib = 0;
+      fields >> kib;
+      return kib * 1024;
+    }
+  }
+  return 0;
+}
+
+/// Result bag of one workload query under an HSP plan — the identity
+/// probe run against both stores.
+using Bag = std::vector<std::vector<rdf::TermId>>;
+
+Result<Bag> RunQuery(const storage::TripleStore& store,
+                     const storage::Statistics& stats,
+                     const workload::WorkloadQuery& wq) {
+  auto query = sparql::Parse(wq.sparql);
+  if (!query.ok()) return query.status();
+  auto planner =
+      plan::MakePlanner(plan::PlannerKind::kHsp, &store, &stats, {});
+  if (!planner.ok()) return planner.status();
+  auto planned = (*planner)->Plan(plan::AnalyzedQuery::From(*query));
+  if (!planned.ok()) return planned.status();
+  exec::Executor executor(&store);
+  auto result = executor.Execute(planned->query, planned->plan);
+  if (!result.ok()) return result.status();
+  Bag bag;
+  bag.reserve(result->table.rows);
+  for (std::size_t r = 0; r < result->table.rows; ++r) {
+    std::vector<rdf::TermId> row;
+    for (const auto& column : result->table.columns) row.push_back(column[r]);
+    bag.push_back(std::move(row));
+  }
+  std::sort(bag.begin(), bag.end());
+  return bag;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const std::uint64_t triples =
+      flags.GetInt("triples", quick ? 30000 : 200000);
+  const int runs = static_cast<int>(flags.GetInt("runs", quick ? 3 : 5));
+  const std::string json_path = flags.GetString("json", "");
+  const std::string keep_path = flags.GetString("keep", "");
+
+  std::cout << "== Cold start: snapshot open vs N-Triples parse+build, "
+               "SP2Bench ==\n\n";
+
+  // The dataset, serialised once to N-Triples text (the parse path's
+  // input) and once to a snapshot image (the open path's input).
+  rdf::Graph graph =
+      workload::GenerateSp2b(workload::Sp2bConfig::FromTargetTriples(triples));
+  std::string ntriples;
+  {
+    std::ostringstream out;
+    rdf::WriteNTriples(graph, out);
+    ntriples = std::move(out).str();
+  }
+  storage::TripleStore reference = storage::TripleStore::Build(std::move(graph));
+  const std::string snap_path =
+      keep_path.empty() ? "bench_cold_start.snap" : keep_path;
+  if (Status s = reference.SaveSnapshot(snap_path); !s.ok()) {
+    std::cerr << "FAIL: SaveSnapshot: " << s << "\n";
+    return 1;
+  }
+  std::size_t image_bytes = 0;
+  {
+    std::ifstream in(snap_path, std::ios::binary | std::ios::ate);
+    image_bytes = static_cast<std::size_t>(in.tellg());
+  }
+  std::cerr << "# " << reference.size() << " triples, "
+            << ntriples.size() / (1024 * 1024) << " MiB N-Triples, "
+            << image_bytes / (1024 * 1024) << " MiB snapshot image\n";
+
+  // Identity: the reopened store answers every SP2Bench workload query
+  // byte-identically to the built store (TermIds are preserved, so raw
+  // id bags compare directly).
+  bool identical = true;
+  {
+    auto reopened = storage::TripleStore::OpenSnapshot(snap_path);
+    if (!reopened.ok()) {
+      std::cerr << "FAIL: OpenSnapshot: " << reopened.status() << "\n";
+      return 1;
+    }
+    const storage::Statistics ref_stats =
+        storage::Statistics::Compute(reference);
+    const storage::Statistics snap_stats =
+        storage::Statistics::Compute(*reopened);
+    for (const workload::WorkloadQuery& wq : workload::AllQueries()) {
+      if (wq.dataset != workload::Dataset::kSp2Bench) continue;
+      auto a = RunQuery(reference, ref_stats, wq);
+      auto b = RunQuery(*reopened, snap_stats, wq);
+      if (!a.ok() || !b.ok()) {
+        std::cerr << "FAIL: " << wq.id << ": "
+                  << (a.ok() ? b.status() : a.status()) << "\n";
+        return 1;
+      }
+      if (*a != *b) {
+        std::cerr << "FAIL: " << wq.id
+                  << ": snapshot store result differs from built store\n";
+        identical = false;
+      }
+    }
+  }
+
+  // Parse path: N-Triples -> Graph -> Build. Timed end-to-end, the way a
+  // server would come up from a .nt file.
+  double parse_min = std::numeric_limits<double>::max();
+  std::size_t parse_rss = 0;
+  std::size_t parsed_size = 0;
+  for (int run = 0; run < runs; ++run) {
+    const std::size_t rss_before = CurrentRssBytes();
+    const double t0 = NowMs();
+    rdf::Graph g;
+    auto read = rdf::ReadNTriplesString(ntriples, &g);
+    if (!read.ok()) {
+      std::cerr << "FAIL: ReadNTriples: " << read.status() << "\n";
+      return 1;
+    }
+    storage::TripleStore store = storage::TripleStore::Build(std::move(g));
+    const double elapsed = NowMs() - t0;
+    parse_min = std::min(parse_min, elapsed);
+    parse_rss = std::max(parse_rss, CurrentRssBytes() - rss_before);
+    parsed_size = store.size();
+  }
+
+  // Snapshot path: map + validate. Each repetition is a fresh open; the
+  // store (and its mapping) is dropped before the next sample.
+  // `materialise` additionally forces the deferred dictionary decode
+  // (any Get materialises the whole base segment).
+  auto time_open = [&](bool verify, bool materialise) {
+    double best = std::numeric_limits<double>::max();
+    storage::SnapshotOpenOptions options;
+    options.verify = verify;
+    for (int run = 0; run < runs; ++run) {
+      const double t0 = NowMs();
+      auto store = storage::TripleStore::OpenSnapshot(snap_path, options);
+      if (store.ok() && materialise) (void)store->dictionary().Get(0);
+      const double elapsed = NowMs() - t0;
+      if (!store.ok()) {
+        std::cerr << "FAIL: OpenSnapshot: " << store.status() << "\n";
+        return -1.0;
+      }
+      best = std::min(best, elapsed);
+    }
+    return best;
+  };
+  const std::size_t rss_before_open = CurrentRssBytes();
+  const double open_min = time_open(/*verify=*/false, /*materialise=*/false);
+  const std::size_t open_rss = CurrentRssBytes() - rss_before_open;
+  const double open_dict_min =
+      time_open(/*verify=*/false, /*materialise=*/true);
+  const double open_verified_min =
+      time_open(/*verify=*/true, /*materialise=*/false);
+  if (open_min < 0 || open_dict_min < 0 || open_verified_min < 0) return 1;
+
+  const double speedup = open_min > 0 ? parse_min / open_min : 0.0;
+
+  bench::TablePrinter table(
+      {"Path", "min ms", "speedup", "RSS delta MiB", "triples"});
+  table.AddRow({"parse+build", bench::Fmt(parse_min, 2), "1.00x",
+                bench::Fmt(static_cast<double>(parse_rss) / (1024 * 1024), 1),
+                std::to_string(parsed_size)});
+  table.AddRow({"snapshot open (default)", bench::Fmt(open_min, 2),
+                bench::Fmt(speedup, 2) + "x",
+                bench::Fmt(static_cast<double>(open_rss) / (1024 * 1024), 1),
+                std::to_string(reference.size())});
+  table.AddRow({"snapshot open + dictionary", bench::Fmt(open_dict_min, 2),
+                bench::Fmt(open_dict_min > 0 ? parse_min / open_dict_min : 0.0,
+                           2) +
+                    "x",
+                "-", std::to_string(reference.size())});
+  table.AddRow({"snapshot open (deep verify)",
+                bench::Fmt(open_verified_min, 2),
+                bench::Fmt(open_verified_min > 0
+                               ? parse_min / open_verified_min
+                               : 0.0,
+                           2) +
+                    "x",
+                "-", std::to_string(reference.size())});
+  table.Print();
+
+  std::ostringstream json;
+  json << "{\"bench\":\"cold_start\",\"triples\":" << reference.size()
+       << ",\"runs\":" << runs << ",\"quick\":" << (quick ? "true" : "false")
+       << ",\"ntriples_bytes\":" << ntriples.size()
+       << ",\"snapshot_bytes\":" << image_bytes
+       << ",\"parse_build_ms\":" << bench::Fmt(parse_min, 3)
+       << ",\"snapshot_open_ms\":" << bench::Fmt(open_min, 3)
+       << ",\"snapshot_open_dict_ms\":" << bench::Fmt(open_dict_min, 3)
+       << ",\"snapshot_open_verified_ms\":" << bench::Fmt(open_verified_min, 3)
+       << ",\"speedup\":" << bench::Fmt(speedup, 2)
+       << ",\"parse_rss_bytes\":" << parse_rss
+       << ",\"open_rss_bytes\":" << open_rss
+       << ",\"identical\":" << (identical ? "true" : "false") << "}";
+
+  std::cout << "\nCold-start speedup: " << bench::Fmt(speedup, 1)
+            << "x (gate: >= 50x)\nProtocol: " << runs
+            << " repetitions per path, per-repetition minima; every "
+            << "repetition reopens from scratch.\n\n"
+            << json.str() << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    if (!out) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      return 1;
+    }
+  }
+  if (keep_path.empty()) std::remove(snap_path.c_str());
+
+  if (!identical) {
+    std::cerr << "FAIL: result identity violated\n";
+    return 1;
+  }
+  if (speedup < 50.0) {
+    std::cerr << "FAIL: snapshot cold start " << bench::Fmt(speedup, 1)
+              << "x < 50x over parse+build\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsparql
+
+int main(int argc, char** argv) { return hsparql::Run(argc, argv); }

@@ -54,7 +54,10 @@ struct Env {
 };
 
 /// Generates, loads and indexes one of the two synthetic datasets,
-/// printing size and build time to stderr.
+/// printing size and build time to stderr. With --snapshot-dir=DIR (any
+/// harness), the built store is cached as a snapshot image under DIR and
+/// later runs mmap it instead of regenerating — TermIds are preserved by
+/// the format, so the store is identical either way (DESIGN.md §4k).
 std::unique_ptr<Env> BuildEnv(workload::Dataset dataset,
                               std::uint64_t target_triples);
 

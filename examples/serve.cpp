@@ -1,4 +1,5 @@
-// serve — the SPARQL-Protocol HTTP server over an N-Triples dataset.
+// serve — the SPARQL-Protocol HTTP server over an N-Triples dataset
+// or a persistent snapshot image (DESIGN.md §4k).
 //
 // Usage:
 //   serve <data.nt> [--host=127.0.0.1] [--port=8090]
@@ -6,6 +7,13 @@
 //         [--max-concurrent=N] [--queue=N] [--max-per-client=N]
 //         [--rate-qps=Q] [--timeout-ms=MS] [--drain-ms=MS]
 //         [--result-cache=N] [--slow-query-ms=MS]
+//   serve --store=data.snap [...]          mmap a snapshot instead of
+//                                          parsing N-Triples (cold start
+//                                          is a page-table operation)
+//   serve data.nt --save-snapshot=out.snap parse once, write the image,
+//                                          then serve as usual
+//   serve --store=s.snap --verify-store    deep-verify the image at open
+//                                          (checksums + sortedness)
 //
 // Endpoints once running (see README "Running the server"):
 //   GET/POST /sparql   the SPARQL Protocol query operation
@@ -27,6 +35,8 @@
 #include "engine/engine.h"
 #include "rdf/ntriples.h"
 #include "server/server.h"
+#include "storage/snapshot.h"
+#include "storage/triple_store.h"
 
 namespace {
 
@@ -57,7 +67,9 @@ int Usage() {
          "             [--max-concurrent=N] [--queue=N] [--max-per-client=N]"
          " [--rate-qps=Q]\n"
          "             [--timeout-ms=MS] [--drain-ms=MS] [--result-cache=N]"
-         " [--slow-query-ms=MS]\n";
+         " [--slow-query-ms=MS]\n"
+         "             [--save-snapshot=PATH]\n"
+         "       serve --store=PATH.snap [--verify-store] [options...]\n";
   return 2;
 }
 
@@ -67,6 +79,9 @@ int main(int argc, char** argv) {
   using namespace hsparql;
 
   std::string data_path;
+  std::string store_path;
+  std::string save_snapshot_path;
+  bool verify_store = false;
   std::string planner_name = "hsp";
   server::ServerOptions options;
   options.port = 8090;
@@ -80,6 +95,12 @@ int main(int argc, char** argv) {
       options.host = arg.substr(7);
     } else if (arg.rfind("--port=", 0) == 0 && ParseU64(arg.substr(7), &value)) {
       options.port = static_cast<std::uint16_t>(value);
+    } else if (arg.rfind("--store=", 0) == 0) {
+      store_path = arg.substr(8);
+    } else if (arg.rfind("--save-snapshot=", 0) == 0) {
+      save_snapshot_path = arg.substr(16);
+    } else if (arg == "--verify-store") {
+      verify_store = true;
     } else if (arg.rfind("--planner=", 0) == 0) {
       planner_name = arg.substr(10);
     } else if (arg == "--leapfrog") {
@@ -113,7 +134,7 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (data_path.empty()) return Usage();
+  if (data_path.empty() == store_path.empty()) return Usage();
   auto kind = plan::ParsePlannerKind(planner_name);
   if (!kind.has_value()) {
     std::cerr << "error: unknown planner '" << planner_name << "'\n";
@@ -122,21 +143,37 @@ int main(int argc, char** argv) {
   options.query.planner = *kind;
   options.query.use_leapfrog = leapfrog;
 
-  std::ifstream data(data_path);
-  if (!data) {
-    std::cerr << "error: cannot open " << data_path << "\n";
+  auto make_store = [&]() -> Result<storage::TripleStore> {
+    if (!store_path.empty()) {
+      storage::SnapshotOpenOptions open_options;
+      open_options.verify = verify_store;
+      return storage::TripleStore::OpenSnapshot(store_path, open_options);
+    }
+    std::ifstream data(data_path);
+    if (!data) {
+      return Status::IoError("cannot open " + data_path);
+    }
+    rdf::Graph graph;
+    auto loaded = rdf::ReadNTriples(data, &graph);
+    if (!loaded.ok()) return loaded.status();
+    return storage::TripleStore::Build(std::move(graph));
+  };
+  auto store = make_store();
+  if (!store.ok()) {
+    std::cerr << "error: " << store.status() << "\n";
     return 1;
   }
-  rdf::Graph graph;
-  auto loaded = rdf::ReadNTriples(data, &graph);
-  if (!loaded.ok()) {
-    std::cerr << "error: " << loaded.status() << "\n";
-    return 1;
+  if (!save_snapshot_path.empty()) {
+    if (Status saved = store->SaveSnapshot(save_snapshot_path); !saved.ok()) {
+      std::cerr << "error: save snapshot: " << saved << "\n";
+      return 1;
+    }
+    std::cerr << "wrote snapshot image " << save_snapshot_path << "\n";
   }
-  engine::Engine engine(storage::TripleStore::Build(std::move(graph)),
-                        engine_options);
+  engine::Engine engine(std::move(*store), engine_options);
   std::cerr << "loaded " << engine.store_size() << " distinct triples from "
-            << data_path << "\n";
+            << (store_path.empty() ? data_path : store_path)
+            << (store_path.empty() ? "" : " (mmap snapshot)") << "\n";
 
   // The self-pipe must exist before the handlers are installed.
   if (pipe(g_signal_pipe) != 0) {

@@ -1,0 +1,60 @@
+// Hash64 — the checksum function of the snapshot format (DESIGN.md §4k).
+//
+// A word-at-a-time multiply-xor chain (Murmur3-style finalisation) rather
+// than the byte-at-a-time FNV-1a used for query-text hashing: snapshot
+// verification hashes every section of a potentially multi-gigabyte image
+// at open, so the checksum must run at memory speed, not at one byte per
+// dependent multiply. Not cryptographic — it detects corruption and
+// truncation, not adversaries.
+//
+// The function is part of the on-disk format: changing it (or the chunk
+// chaining) is a format version bump.
+//
+// Thread safety: pure functions over caller-owned buffers — safe from any
+// thread without synchronisation.
+#ifndef HSPARQL_COMMON_HASH_H_
+#define HSPARQL_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace hsparql {
+
+/// Bit-mixing finaliser (Murmur3 fmix64): every input bit affects every
+/// output bit.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// 64-bit checksum of `bytes`. The length is mixed in, so a checksum
+/// never matches a truncated or padded copy of its input. Writer and
+/// verifier both hash whole sections in one call (the snapshot writer
+/// re-maps its finished temp file to checksum it through the exact code
+/// path the reader will use).
+inline std::uint64_t Hash64(std::span<const std::uint8_t> bytes,
+                            std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+  std::uint64_t h = seed ^ Mix64(bytes.size());
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h = Mix64(h ^ w) * 0x2545f4914f6cdd1dULL;
+  }
+  if (i < bytes.size()) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, bytes.data() + i, bytes.size() - i);
+    h = Mix64(h ^ w) * 0x2545f4914f6cdd1dULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_HASH_H_

@@ -1,0 +1,53 @@
+#include "common/mmap.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace hsparql {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IoError("open " + path + ": " + std::strerror(err));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IoError("cannot map empty file: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap " + path + ": " + std::strerror(errno));
+  }
+  MappedFile out;
+  out.data_ = static_cast<const std::uint8_t*>(addr);
+  out.size_ = size;
+  return out;
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace hsparql

@@ -1,0 +1,65 @@
+// MappedFile — RAII read-only memory mapping of a whole file.
+//
+// The storage backend of the snapshot store (storage/snapshot.h): opening
+// a dataset becomes a page-table operation, reads are served straight from
+// the page cache, and many processes can share one physical copy of the
+// image. Failures (missing file, empty file, mmap refusal) come back as
+// typed Status errors, never exceptions.
+//
+// Thread safety: a MappedFile is immutable after Open — data()/size() are
+// const reads of plain members, safe from any thread without
+// synchronisation. Destruction must not race reads, which every owner
+// guarantees structurally (the store holds its mapping in a shared_ptr
+// that outlives all views).
+#ifndef HSPARQL_COMMON_MMAP_H_
+#define HSPARQL_COMMON_MMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hsparql {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only in its entirety. kNotFound for a missing file,
+  /// kIoError for open/stat/mmap failures (including an empty file, which
+  /// mmap cannot represent and no valid snapshot ever is).
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { Reset(); }
+
+  bool valid() const { return data_ != nullptr; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const std::uint8_t> bytes() const { return {data_, size_}; }
+
+ private:
+  void Reset();
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_MMAP_H_

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Overloaded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kInvalidSnapshot:
+      return "Invalid snapshot";
   }
   return "Unknown";
 }
@@ -66,6 +68,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "overloaded";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kInvalidSnapshot:
+      return "invalid_snapshot";
   }
   return "unknown";
 }
@@ -94,6 +98,9 @@ int HttpStatusFor(StatusCode code) {
       return 503;
     case StatusCode::kInternal:
     case StatusCode::kIoError:
+    // A bad snapshot is an operator-side deployment fault, never something
+    // a protocol client caused — it surfaces (if ever) as a plain 500.
+    case StatusCode::kInvalidSnapshot:
       return 500;
   }
   return 500;

@@ -40,6 +40,11 @@ enum class StatusCode {
   /// The service exists but is not taking requests (draining for
   /// shutdown). Retryable against another replica (HTTP 503).
   kUnavailable,
+  /// A snapshot image failed validation (bad magic/version/endianness,
+  /// truncation, checksum mismatch, or invariant-breaking contents).
+  /// Distinct from kIoError: the file was readable, its bytes are not a
+  /// snapshot this build can trust (storage/snapshot.h).
+  kInvalidSnapshot,
 };
 
 /// Returns the human-readable name of a status code ("Parse error"...).
@@ -118,6 +123,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status InvalidSnapshot(std::string msg) {
+    return Status(StatusCode::kInvalidSnapshot, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -141,6 +149,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsInvalidSnapshot() const {
+    return code() == StatusCode::kInvalidSnapshot;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

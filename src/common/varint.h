@@ -1,0 +1,62 @@
+// LEB128 variable-length integers ("vbyte"): 7 payload bits per byte,
+// high bit = continuation. The one varint implementation in the tree —
+// storage::CompressedRelation and the snapshot codec (storage/snapshot.h)
+// both encode through these helpers, so the on-disk and in-memory delta
+// compression schemes can never drift apart.
+//
+// Thread safety: all functions are pure/stateless and operate only on
+// caller-owned buffers — safe from any thread without synchronisation.
+#ifndef HSPARQL_COMMON_VARINT_H_
+#define HSPARQL_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hsparql {
+
+/// Appends the varint encoding of `value` (1..10 bytes) to `out`.
+inline void PutVarint(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decodes a varint at `*pos`, advancing `*pos` past it. Trusted-input
+/// fast path: no bounds checking — the caller guarantees a well-formed
+/// stream (in-memory data this process encoded itself).
+inline std::uint64_t GetVarint(const std::uint8_t* bytes, std::size_t* pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t b = bytes[(*pos)++];
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Bounds-checked decode for untrusted input (mmap'd snapshot sections):
+/// reads a varint from [*pos, end), advancing *pos. Returns false — with
+/// *pos unspecified — on truncation or an over-long (> 10 byte) encoding,
+/// so corrupted bytes surface as a typed error instead of a crash.
+inline bool GetVarintChecked(const std::uint8_t* bytes, std::size_t end,
+                             std::size_t* pos, std::uint64_t* value) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= end) return false;
+    const std::uint8_t b = bytes[(*pos)++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;  // 10 continuation bytes: not produced by PutVarint
+}
+
+}  // namespace hsparql
+
+#endif  // HSPARQL_COMMON_VARINT_H_

@@ -225,6 +225,49 @@ void Engine::RegisterMetrics() {
         MutexLock lock(&result_mu_);
         return static_cast<std::int64_t>(result_cache_.size());
       });
+  // Store-backend family (DESIGN.md §4k): backend kind and the byte-level
+  // mapped-vs-heap residency of the triple data, read under a shared
+  // store lock so a concurrent compaction never yields a torn footprint.
+  registry_.AddCallbackGauge(
+      "engine.store.backend",
+      "Storage backend serving the base levels (0 in_memory, 1 "
+      "mmap_snapshot)",
+      [this] {
+        ReaderMutexLock lock(&store_mu_);
+        return static_cast<std::int64_t>(store_.backend());
+      });
+  registry_.AddCallbackGauge(
+      "engine.store.snapshot_bytes",
+      "Size of the open snapshot image (0 for in-memory stores)", [this] {
+        ReaderMutexLock lock(&store_mu_);
+        return static_cast<std::int64_t>(store_.footprint().snapshot_bytes);
+      });
+  registry_.AddCallbackGauge(
+      "engine.store.mapped_triple_bytes",
+      "Ordering bytes served zero-copy from the mmap'd image", [this] {
+        ReaderMutexLock lock(&store_mu_);
+        return static_cast<std::int64_t>(
+            store_.footprint().mapped_triple_bytes);
+      });
+  registry_.AddCallbackGauge(
+      "engine.store.heap_triple_bytes",
+      "Ordering bytes resident in heap vectors (bases + deltas)", [this] {
+        ReaderMutexLock lock(&store_mu_);
+        return static_cast<std::int64_t>(store_.footprint().heap_triple_bytes);
+      });
+  registry_.AddCallbackGauge(
+      "engine.store.dictionary_terms", "Terms in the dictionary", [this] {
+        ReaderMutexLock lock(&store_mu_);
+        return static_cast<std::int64_t>(store_.footprint().dictionary_terms);
+      });
+  registry_.AddCallbackGauge(
+      "engine.store.base_dictionary_terms",
+      "Terms still indexed through the snapshot's sorted-id permutation",
+      [this] {
+        ReaderMutexLock lock(&store_mu_);
+        return static_cast<std::int64_t>(
+            store_.footprint().base_dictionary_terms);
+      });
   registry_.AddCallbackCounter(
       "threadpool.tasks_executed", "Tasks run by the shared pool",
       [] { return ThreadPool::Shared().stats().tasks_executed; });
@@ -632,6 +675,8 @@ EngineStats Engine::stats() const {
     out.result_cache = result_cache_.counters();
     out.result_cache_size = result_cache_.size();
   }
+  out.backend = store_.backend();
+  out.footprint = store_.footprint();
   return out;
 }
 

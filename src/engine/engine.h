@@ -182,6 +182,10 @@ struct EngineStats {
   /// Store generation: bumped by every mutation; result-cache entries
   /// from older generations can never be returned again.
   std::uint64_t generation = 0;
+  /// Which storage backend serves the store (in-memory build or mmap'd
+  /// snapshot image), with its byte-level mapped-vs-heap residency.
+  storage::StoreBackend backend = storage::StoreBackend::kInMemory;
+  storage::StorageFootprint footprint;
 };
 
 /// A parse+plan handle from Engine::Prepare for parameter-free repeated

@@ -1,13 +1,39 @@
 #include "rdf/dictionary.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace hsparql::rdf {
 
+namespace {
+
+/// Binary search of the base segment: the id under `sorted` whose term
+/// equals (kind, lexical), or nullopt. `terms` is the full id-ordered term
+/// vector the permutation indexes into.
+std::optional<TermId> FindInBase(std::span<const std::uint32_t> sorted,
+                                 const std::vector<Term>& terms, TermKind kind,
+                                 std::string_view lexical) {
+  auto less = [&terms](std::uint32_t id, const std::pair<TermKind,
+                                                         std::string_view>& k) {
+    const Term& t = terms[id];
+    if (t.kind != k.first) return t.kind < k.first;
+    return std::string_view(t.lexical) < k.second;
+  };
+  const std::pair<TermKind, std::string_view> key{kind, lexical};
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), key, less);
+  if (it == sorted.end()) return std::nullopt;
+  const Term& t = terms[*it];
+  if (t.kind != kind || std::string_view(t.lexical) != lexical) {
+    return std::nullopt;
+  }
+  return static_cast<TermId>(*it);
+}
+
+}  // namespace
+
 TermId Dictionary::Intern(TermKind kind, std::string_view lexical) {
-  auto it = index_.find(KeyView{kind, lexical});
-  if (it != index_.end()) return it->second;
+  if (auto id = Find(kind, lexical)) return *id;
   assert(terms_.size() < kInvalidTermId);
   TermId id = static_cast<TermId>(terms_.size());
   terms_.push_back(Term{kind, std::string(lexical)});
@@ -16,8 +42,7 @@ TermId Dictionary::Intern(TermKind kind, std::string_view lexical) {
 }
 
 TermId Dictionary::Intern(Term&& term) {
-  auto it = index_.find(KeyView{term.kind, term.lexical});
-  if (it != index_.end()) return it->second;
+  if (auto id = Find(term.kind, term.lexical)) return *id;
   assert(terms_.size() < kInvalidTermId);
   TermId id = static_cast<TermId>(terms_.size());
   Key key{term.kind, term.lexical};  // index keeps its own copy
@@ -28,6 +53,10 @@ TermId Dictionary::Intern(Term&& term) {
 
 std::optional<TermId> Dictionary::Find(TermKind kind,
                                        std::string_view lexical) const {
+  EnsureBaseTerms();
+  if (!base_sorted_.empty()) {
+    if (auto id = FindInBase(base_sorted_, terms_, kind, lexical)) return id;
+  }
   auto it = index_.find(KeyView{kind, lexical});
   if (it == index_.end()) return std::nullopt;
   return it->second;
@@ -39,10 +68,55 @@ void Dictionary::Reserve(std::size_t n) {
 }
 
 std::vector<Term> Dictionary::TakeTerms() {
+  assert(base_count_ == 0 &&
+         "TakeTerms on a snapshot-backed dictionary would drop the base "
+         "segment's borrowed index");
   index_.clear();
   std::vector<Term> out = std::move(terms_);
   terms_.clear();
   return out;
+}
+
+Dictionary Dictionary::FromSnapshot(std::vector<Term>&& terms,
+                                    std::span<const std::uint32_t> sorted_ids) {
+  assert(terms.size() == sorted_ids.size());
+  Dictionary dict;
+  dict.terms_ = std::move(terms);
+  dict.base_sorted_ = sorted_ids;
+  dict.base_count_ = dict.terms_.size();
+  return dict;
+}
+
+Dictionary Dictionary::FromSnapshotLazy(
+    std::size_t term_count, std::span<const std::uint32_t> sorted_ids,
+    BaseTermsLoader loader) {
+  assert(term_count == sorted_ids.size());
+  Dictionary dict;
+  dict.base_sorted_ = sorted_ids;
+  dict.base_count_ = term_count;
+  dict.lazy_ = std::make_unique<LazyBase>();
+  dict.lazy_->loader = std::move(loader);
+  return dict;
+}
+
+void Dictionary::MaterialiseBase() const {
+  std::call_once(lazy_->once, [this] {
+    std::vector<Term> terms;
+    if (lazy_->loader(&terms) && terms.size() == base_count_) {
+      terms_ = std::move(terms);
+    } else {
+      // Corrupt base payload under the default (no deep verify) open:
+      // detach the base segment entirely. Get falls back to the empty
+      // term, Find skips the permutation — wrong answers, never a crash.
+      base_sorted_ = {};
+    }
+    lazy_->done.store(true, std::memory_order_release);
+  });
+}
+
+const Term& Dictionary::EmptyTerm() {
+  static const Term kEmpty{};
+  return kEmpty;
 }
 
 }  // namespace hsparql::rdf

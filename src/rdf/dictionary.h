@@ -7,7 +7,13 @@
 #ifndef HSPARQL_RDF_DICTIONARY_H_
 #define HSPARQL_RDF_DICTIONARY_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -23,6 +29,26 @@ namespace hsparql::rdf {
 /// Lookups are heterogeneous: (kind, string_view) probes the index without
 /// materialising a Term or a std::string, so the hit path of InternIri /
 /// InternLiteral / Find is allocation-free.
+///
+/// Two-segment design (the snapshot backend, DESIGN.md §4k): a dictionary
+/// restored from an mmap'd snapshot has an immutable *base* segment —
+/// ids [0, base_count()) — whose term -> id index is a binary search over
+/// the image's sorted-id permutation instead of a rebuilt hash table, so
+/// opening a snapshot never re-hashes the term set. Terms interned after
+/// the restore form the ordinary hash-indexed delta segment on top. A
+/// dictionary built by interning alone has an empty base segment and
+/// behaves exactly as before.
+///
+/// The base segment can additionally be *lazy* (FromSnapshotLazy): the
+/// term vector is materialised by a caller-supplied loader on the first
+/// access that needs term bytes (Get / Find / Intern), under a
+/// std::call_once that makes concurrent readers safe. Until then only
+/// base_count() is known — this is what lets a snapshot open finish
+/// without reading any dictionary payload page. A failed load (corrupt
+/// image opened without deep verification) degrades to an empty base
+/// segment: every Get resolves to the empty-term fallback and Find
+/// misses — wrong answers, never a crash. The lazy hook costs
+/// non-snapshot dictionaries one always-false pointer test per lookup.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -55,13 +81,30 @@ class Dictionary {
   }
   std::optional<TermId> Find(TermKind kind, std::string_view lexical) const;
 
-  /// The term for an id; id must be valid.
-  const Term& Get(TermId id) const { return terms_[id]; }
+  /// The term for an id. Ids are valid by construction everywhere except
+  /// one source: a snapshot image opened without deep verification may
+  /// carry corrupted triple components, so an out-of-range id resolves to
+  /// a static empty IRI instead of undefined behaviour — the mmap trust
+  /// model (DESIGN.md §4k) turns payload corruption into wrong answers,
+  /// never a crash or an out-of-bounds read.
+  const Term& Get(TermId id) const {
+    EnsureBaseTerms();
+    return id < terms_.size() ? terms_[id] : EmptyTerm();
+  }
 
   /// True if `id` names a literal (used by HEURISTIC 4 checks in tests).
-  bool IsLiteral(TermId id) const { return terms_[id].is_literal(); }
+  bool IsLiteral(TermId id) const { return Get(id).is_literal(); }
 
-  std::size_t size() const { return terms_.size(); }
+  /// Total interned terms. Known without materialising a lazy base
+  /// segment (and must not touch terms_ while another thread may be
+  /// materialising it).
+  std::size_t size() const {
+    if (lazy_ != nullptr &&
+        !lazy_->done.load(std::memory_order_acquire)) {
+      return base_count_;
+    }
+    return terms_.size();
+  }
 
   /// Pre-sizes both the term vector and the hash index for `n` total
   /// entries. The bulk loader calls this before its merge pass.
@@ -70,9 +113,68 @@ class Dictionary {
   /// Destructively moves out every interned term, in id order, leaving the
   /// dictionary empty. Used by the parallel loader to migrate a chunk's
   /// staging dictionary into the global one without copying the strings.
+  /// Only valid on a dictionary without a base segment (staging
+  /// dictionaries never have one).
   std::vector<Term> TakeTerms();
 
+  /// The canonical total order of the sorted-id permutation: kind first
+  /// (IRIs before literals), then byte-wise lexical comparison. Writer
+  /// (snapshot save) and reader (base-segment Find) must agree on this.
+  static bool TermOrderLess(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.lexical < b.lexical;
+  }
+
+  /// Restores a dictionary from a decoded snapshot: `terms` in id order
+  /// plus `sorted_ids` — every id once, ordered by TermOrderLess over the
+  /// terms — typically a view straight into the mmap'd image, which must
+  /// outlive the dictionary (the owning TripleStore pins the mapping).
+  /// O(1) beyond taking ownership: no hash index is built.
+  static Dictionary FromSnapshot(std::vector<Term>&& terms,
+                                 std::span<const std::uint32_t> sorted_ids);
+
+  /// Decodes the base-segment term vector on first use: must produce
+  /// exactly the `term_count` terms of FromSnapshotLazy in id order, or
+  /// return false (the base segment then degrades to empty — see the
+  /// class comment). Called at most once, possibly from any thread.
+  using BaseTermsLoader = std::function<bool(std::vector<Term>* out)>;
+
+  /// Like FromSnapshot, but the term vector is materialised by `loader`
+  /// on first use instead of eagerly — the zero-copy open path
+  /// (DESIGN.md §4k): no dictionary payload page is read until a query
+  /// needs a term. `sorted_ids` must outlive the dictionary as above.
+  static Dictionary FromSnapshotLazy(std::size_t term_count,
+                                     std::span<const std::uint32_t> sorted_ids,
+                                     BaseTermsLoader loader);
+
+  /// Terms in the immutable base segment (0 for a heap-built dictionary).
+  std::size_t base_count() const { return base_count_; }
+
  private:
+  /// The out-of-range fallback of Get: an empty IRI with a stable address.
+  static const Term& EmptyTerm();
+
+  /// Deferred base-segment decode state (FromSnapshotLazy). Heap-held so
+  /// the once_flag keeps a stable address across Dictionary moves; kept
+  /// for the dictionary's lifetime (resetting it would race late callers
+  /// of the fast path below).
+  struct LazyBase {
+    std::once_flag once;
+    /// Fast-path skip; release-published by MaterialiseBase so readers
+    /// that observe it may touch terms_ without further synchronisation.
+    std::atomic<bool> done{false};
+    BaseTermsLoader loader;
+  };
+
+  /// Fast path of the lazy hook: one always-false pointer test for
+  /// dictionaries without a lazy base segment.
+  void EnsureBaseTerms() const {
+    if (lazy_ != nullptr && !lazy_->done.load(std::memory_order_acquire)) {
+      MaterialiseBase();
+    }
+  }
+  void MaterialiseBase() const;
+
   struct Key {
     TermKind kind;
     std::string lexical;
@@ -106,8 +208,20 @@ class Dictionary {
     }
   };
 
-  std::vector<Term> terms_;
+  /// All terms, id order. Ids [0, base_count_) come from a snapshot and
+  /// are absent from index_; their lookups go through base_sorted_.
+  /// mutable: filled in by MaterialiseBase under lazy_->once.
+  mutable std::vector<Term> terms_;
+  /// Hash index over the delta segment only (ids >= base_count_).
   std::unordered_map<Key, TermId, KeyHash, KeyEq> index_;
+  /// Base-segment index: ids sorted by TermOrderLess, borrowed from the
+  /// snapshot image. Empty iff base_count_ == 0 — or after a failed lazy
+  /// load (mutable for exactly that reset), which detaches Find from the
+  /// base segment so no unchecked permutation id is ever used.
+  mutable std::span<const std::uint32_t> base_sorted_;
+  std::size_t base_count_ = 0;
+  /// Non-null only for FromSnapshotLazy dictionaries.
+  mutable std::unique_ptr<LazyBase> lazy_;
 };
 
 }  // namespace hsparql::rdf

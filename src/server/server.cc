@@ -336,9 +336,17 @@ void SparqlServer::Route(const std::shared_ptr<Connection>& conn,
       return;
     }
     const bool draining = draining_.load(std::memory_order_acquire);
+    // A healthy reply names the storage backend (DESIGN.md §4k), so an
+    // operator can confirm a replica actually serves from its snapshot.
+    const std::string body =
+        draining ? "draining\n"
+                 : "ok backend=" +
+                       std::string(storage::StoreBackendName(
+                           engine_->stats().backend)) +
+                       "\n";
     PostResponse(conn,
-                 FormatResponse(draining ? 503 : 200, "text/plain",
-                                draining ? "draining\n" : "ok\n", keep_alive),
+                 FormatResponse(draining ? 503 : 200, "text/plain", body,
+                                keep_alive),
                  !keep_alive, false);
     return;
   }

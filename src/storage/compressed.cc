@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/varint.h"
+
 namespace hsparql::storage {
 
 using rdf::Position;
@@ -10,25 +12,6 @@ using rdf::TermId;
 using rdf::Triple;
 
 namespace {
-
-void PutVarint(std::uint64_t value, std::vector<std::uint8_t>* out) {
-  while (value >= 0x80) {
-    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  out->push_back(static_cast<std::uint8_t>(value));
-}
-
-std::uint64_t GetVarint(const std::uint8_t* bytes, std::size_t* pos) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    std::uint8_t b = bytes[(*pos)++];
-    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) return value;
-    shift += 7;
-  }
-}
 
 /// Triple components permuted into sort-priority order.
 std::array<TermId, 3> Prioritise(const Triple& t,

@@ -1,0 +1,740 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "common/varint.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "storage/triple_store.h"
+#include "storage/triple_view.h"
+
+namespace hsparql::storage {
+
+using rdf::Term;
+using rdf::TermId;
+using rdf::TermKind;
+using rdf::Triple;
+
+// Raw ordering sections are the in-memory triple array verbatim; both
+// sides of that equation are frozen by the format.
+static_assert(sizeof(Triple) == 12, "snapshot format assumes packed triples");
+static_assert(std::is_trivially_copyable_v<Triple>);
+static_assert(alignof(Triple) <= 8, "sections are 8-aligned");
+
+namespace {
+
+constexpr std::size_t kMaxSections = 64;
+
+template <typename T>
+T LoadLE(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreLE(std::uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+template <typename T>
+void AppendLE(std::vector<std::uint8_t>* out, T v) {
+  const std::size_t at = out->size();
+  out->resize(at + sizeof(T));
+  StoreLE(out->data() + at, v);
+}
+
+Status Invalid(std::string msg) {
+  return Status::InvalidSnapshot(std::move(msg));
+}
+
+/// Triple components permuted into an ordering's sort-priority order.
+std::array<TermId, 3> Prioritise(const Triple& t,
+                                 const std::array<rdf::Position, 3>& pos) {
+  return {t.at(pos[0]), t.at(pos[1]), t.at(pos[2])};
+}
+
+/// Encodes a merged relation with the RDF-3X delta codec of
+/// storage/compressed.h into a kOrderingVbyte section:
+///   u64 block count | u64 payload offset per block | blocks.
+void EncodeVbyteOrdering(const TripleView& view, Ordering ordering,
+                         std::vector<std::uint8_t>* out) {
+  const auto positions = OrderingPositions(ordering);
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint64_t> offsets;
+  std::array<TermId, 3> prev = {0, 0, 0};
+  TripleView::iterator it = view.begin();
+  for (std::size_t i = 0; i < view.size(); ++i, ++it) {
+    const std::array<TermId, 3> c = Prioritise(*it, positions);
+    if (i % kTripleBlockSize == 0) {
+      offsets.push_back(payload.size());
+      // Blocks are self-contained: the head is stored absolute.
+      payload.push_back(0);
+      PutVarint(c[0], &payload);
+      PutVarint(c[1], &payload);
+      PutVarint(c[2], &payload);
+      prev = c;
+      continue;
+    }
+    std::uint8_t first_change = 0;
+    while (first_change < 3 && c[first_change] == prev[first_change]) {
+      ++first_change;
+    }
+    assert(first_change < 3 && "store views are sorted and deduplicated");
+    payload.push_back(first_change);
+    PutVarint(c[first_change] - prev[first_change] - 1, &payload);
+    for (std::size_t k = first_change + 1; k < 3; ++k) {
+      PutVarint(c[k], &payload);
+    }
+    prev = c;
+  }
+  AppendLE<std::uint64_t>(out, offsets.size());
+  for (std::uint64_t off : offsets) AppendLE<std::uint64_t>(out, off);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+/// Decodes a kOrderingVbyte section. Every read is bounds-checked: a
+/// mutated section yields kInvalidSnapshot, never an out-of-range read.
+/// Decoded triples are strictly increasing by construction of the codec
+/// (the changed component always grows), so no separate sortedness pass
+/// is needed.
+Status DecodeVbyteOrdering(std::span<const std::uint8_t> sec,
+                           Ordering ordering, std::size_t count,
+                           std::vector<Triple>* out) {
+  const auto positions = OrderingPositions(ordering);
+  const std::string name(OrderingName(ordering));
+  if (sec.size() < 8) return Invalid("truncated " + name + " section");
+  const std::uint64_t num_blocks = LoadLE<std::uint64_t>(sec.data());
+  const std::uint64_t expected =
+      (count + kTripleBlockSize - 1) / kTripleBlockSize;
+  if (num_blocks != expected) {
+    return Invalid("block count mismatch in " + name + " section");
+  }
+  if (sec.size() < 8 + num_blocks * 8) {
+    return Invalid("truncated block directory in " + name + " section");
+  }
+  const std::uint8_t* dir = sec.data() + 8;
+  const std::span<const std::uint8_t> payload = sec.subspan(8 + num_blocks * 8);
+  out->clear();
+  out->reserve(count);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::uint64_t start = LoadLE<std::uint64_t>(dir + 8 * b);
+    const std::uint64_t end = b + 1 < num_blocks
+                                  ? LoadLE<std::uint64_t>(dir + 8 * (b + 1))
+                                  : payload.size();
+    if (start > end || end > payload.size()) {
+      return Invalid("block offsets out of bounds in " + name + " section");
+    }
+    std::size_t pos = start;
+    std::size_t remaining =
+        b + 1 < num_blocks ? kTripleBlockSize : count - b * kTripleBlockSize;
+    std::array<std::uint64_t, 3> current = {0, 0, 0};
+    bool first = true;
+    while (remaining > 0) {
+      if (pos >= end) return Invalid("truncated block in " + name + " section");
+      const std::uint8_t first_change = payload[pos++];
+      if (first) {
+        if (first_change != 0) {
+          return Invalid("malformed block head in " + name + " section");
+        }
+        for (std::size_t k = 0; k < 3; ++k) {
+          if (!GetVarintChecked(payload.data(), end, &pos, &current[k]) ||
+              current[k] > UINT32_MAX) {
+            return Invalid("malformed block head in " + name + " section");
+          }
+        }
+        first = false;
+      } else {
+        if (first_change >= 3) {
+          return Invalid("malformed delta header in " + name + " section");
+        }
+        std::uint64_t gap = 0;
+        if (!GetVarintChecked(payload.data(), end, &pos, &gap)) {
+          return Invalid("truncated delta in " + name + " section");
+        }
+        current[first_change] += gap + 1;
+        if (current[first_change] > UINT32_MAX) {
+          return Invalid("component overflow in " + name + " section");
+        }
+        for (std::size_t k = first_change + 1; k < 3; ++k) {
+          if (!GetVarintChecked(payload.data(), end, &pos, &current[k]) ||
+              current[k] > UINT32_MAX) {
+            return Invalid("malformed delta in " + name + " section");
+          }
+        }
+      }
+      Triple t;
+      t.set(positions[0], static_cast<TermId>(current[0]));
+      t.set(positions[1], static_cast<TermId>(current[1]));
+      t.set(positions[2], static_cast<TermId>(current[2]));
+      out->push_back(t);
+      --remaining;
+    }
+    if (pos != end) {
+      return Invalid("trailing bytes in " + name + " block");
+    }
+  }
+  return Status::OK();
+}
+
+/// TermId bounds pass over one relation: every component a valid
+/// dictionary id. A single max-reduction over the component words (Triple
+/// is three packed u32s), which the compiler vectorises. Unconditional on
+/// the vbyte path (the decode touches every triple anyway); on the raw
+/// path only under verify — the default open must not fault in the
+/// mapped payload, and Dictionary::Get's empty-term fallback keeps
+/// out-of-range ids harmless.
+Status BoundsCheckOrdering(std::span<const Triple> rel, Ordering ordering,
+                           std::size_t term_count) {
+  const auto* words = reinterpret_cast<const std::uint32_t*>(rel.data());
+  std::uint32_t max_id = 0;
+  for (std::size_t i = 0, n = rel.size() * 3; i < n; ++i) {
+    max_id = std::max(max_id, words[i]);
+  }
+  if (!rel.empty() && max_id >= term_count) {
+    return Invalid("triple component out of dictionary range in " +
+                   std::string(OrderingName(ordering)) + " section");
+  }
+  return Status::OK();
+}
+
+/// Deep verification of one relation (SnapshotOpenOptions::verify):
+/// BoundsCheckOrdering plus strictly increasing (sorted and deduplicated)
+/// under the ordering's comparator.
+Status VerifyOrdering(std::span<const Triple> rel, Ordering ordering,
+                      std::size_t term_count) {
+  if (Status s = BoundsCheckOrdering(rel, ordering, term_count); !s.ok()) {
+    return s;
+  }
+  const OrderingLess less(ordering);
+  for (std::size_t i = 1; i < rel.size(); ++i) {
+    if (!less(rel[i - 1], rel[i])) {
+      return Invalid(std::string(OrderingName(ordering)) +
+                     " section is not sorted and deduplicated");
+    }
+  }
+  return Status::OK();
+}
+
+/// Structural checks over the three dictionary sections that read only
+/// the section table — presence and exact sizes — so the zero-copy open
+/// can type-check the layout without faulting in a payload page.
+/// `out_sorted` is the sorted-id permutation as a span into the mapping —
+/// it becomes the base-segment index of the restored Dictionary.
+Status ValidateDictionarySections(
+    const Snapshot& snap, std::span<const std::uint32_t>* out_sorted) {
+  const std::size_t n = snap.term_count();
+  const SectionEntry* terms_e = snap.FindSection(SectionKind::kDictTerms);
+  const SectionEntry* offs_e = snap.FindSection(SectionKind::kDictOffsets);
+  const SectionEntry* sorted_e = snap.FindSection(SectionKind::kDictSorted);
+  if (terms_e == nullptr || offs_e == nullptr || sorted_e == nullptr) {
+    return Invalid("missing dictionary section");
+  }
+  const auto sorted_bytes = snap.SectionBytes(*sorted_e);
+  if (sorted_bytes.size() != n * sizeof(std::uint32_t)) {
+    return Invalid("sorted-id section size mismatch");
+  }
+  const std::size_t blocks = (n + kTermBlockSize - 1) / kTermBlockSize;
+  if (snap.SectionBytes(*offs_e).size() != blocks * sizeof(std::uint64_t)) {
+    return Invalid("dictionary offset section size mismatch");
+  }
+  *out_sorted = std::span<const std::uint32_t>(
+      reinterpret_cast<const std::uint32_t*>(sorted_bytes.data()), n);
+  return Status::OK();
+}
+
+/// Decodes the three dictionary sections into an id-ordered term vector.
+/// Runs eagerly at open under deep verification; otherwise deferred into
+/// Dictionary::FromSnapshotLazy's loader, so the open itself reads none
+/// of these pages. All bounds checks here are unconditional either way.
+Status DecodeDictionary(const Snapshot& snap, bool verify,
+                        std::vector<Term>* out_terms,
+                        std::span<const std::uint32_t>* out_sorted) {
+  static const std::string kEmpty;
+  const std::size_t n = snap.term_count();
+  if (Status s = ValidateDictionarySections(snap, out_sorted); !s.ok()) {
+    return s;
+  }
+  const std::uint32_t* sorted = out_sorted->data();
+  const auto offs_bytes =
+      snap.SectionBytes(*snap.FindSection(SectionKind::kDictOffsets));
+  const std::size_t blocks = (n + kTermBlockSize - 1) / kTermBlockSize;
+  const auto data =
+      snap.SectionBytes(*snap.FindSection(SectionKind::kDictTerms));
+
+  std::vector<Term> terms(n);
+  std::vector<std::uint8_t> seen;
+  if (verify) seen.assign(n, 0);
+  const Term* prev_term = nullptr;  // sortedness check, across blocks
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::uint64_t start = LoadLE<std::uint64_t>(offs_bytes.data() + 8 * b);
+    const std::uint64_t end =
+        b + 1 < blocks ? LoadLE<std::uint64_t>(offs_bytes.data() + 8 * (b + 1))
+                       : data.size();
+    if (start > end || end > data.size()) {
+      return Invalid("dictionary block offsets out of bounds");
+    }
+    std::size_t pos = start;
+    const std::string* fc_prev = &kEmpty;  // front-coding resets per block
+    const std::size_t r_end = std::min(n, (b + 1) * kTermBlockSize);
+    for (std::size_t r = b * kTermBlockSize; r < r_end; ++r) {
+      std::uint64_t flags = 0;
+      std::uint64_t prefix_len = 0;
+      std::uint64_t suffix_len = 0;
+      if (!GetVarintChecked(data.data(), end, &pos, &flags) ||
+          !GetVarintChecked(data.data(), end, &pos, &prefix_len) ||
+          !GetVarintChecked(data.data(), end, &pos, &suffix_len)) {
+        return Invalid("truncated term encoding");
+      }
+      if (flags > 1) return Invalid("unknown term flags");
+      if (prefix_len > fc_prev->size()) {
+        return Invalid("term prefix length out of range");
+      }
+      if (suffix_len > end - pos) return Invalid("term suffix out of range");
+      const TermKind kind = (flags & 1) != 0 ? TermKind::kLiteral
+                                             : TermKind::kIri;
+      std::string lexical;
+      lexical.reserve(prefix_len + suffix_len);
+      lexical.assign(*fc_prev, 0, prefix_len);
+      lexical.append(reinterpret_cast<const char*>(data.data() + pos),
+                     suffix_len);
+      pos += suffix_len;
+      const std::uint32_t id = sorted[r];
+      if (id >= n) return Invalid("sorted-id out of range");
+      if (verify) {
+        if (seen[id] != 0) {
+          return Invalid("duplicate id in sorted permutation");
+        }
+        seen[id] = 1;
+        if (prev_term != nullptr &&
+            !(prev_term->kind < kind ||
+              (prev_term->kind == kind && prev_term->lexical < lexical))) {
+          return Invalid("dictionary terms not sorted");
+        }
+      }
+      terms[id] = Term{kind, std::move(lexical)};
+      fc_prev = &terms[id].lexical;
+      prev_term = &terms[id];
+    }
+    if (verify && pos != end) {
+      return Invalid("trailing bytes in dictionary block");
+    }
+  }
+  *out_terms = std::move(terms);
+  *out_sorted = std::span<const std::uint32_t>(sorted, n);
+  return Status::OK();
+}
+
+/// Runs body(i) for i in [0, n) — on the shared pool when the caller
+/// asked for parallelism, serially otherwise.
+void ForEach(std::size_t n, std::size_t num_threads,
+             const std::function<void(std::size_t)>& body) {
+  if (num_threads >= 2 && n >= 2) {
+    ThreadPool::Shared().ParallelFor(0, n, 1, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+Status WriteAll(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Open(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  MappedFile map;
+  HSPARQL_ASSIGN_OR_RETURN(map, MappedFile::Open(path));
+  const std::uint8_t* d = map.data();
+  if (map.size() < kSnapshotHeaderBytes) {
+    return Invalid("file shorter than the snapshot header");
+  }
+  if (std::memcmp(d, kSnapshotMagic, kSnapshotMagicBytes) != 0) {
+    return Invalid("bad magic (not a snapshot file)");
+  }
+  const std::uint32_t endian = LoadLE<std::uint32_t>(d + 8);
+  if (endian != kSnapshotEndianSentinel) {
+    if (endian == 0x04030201u) {
+      return Invalid("wrong endianness (image written on a byte-swapped host)");
+    }
+    return Invalid("bad endian sentinel");
+  }
+  const std::uint32_t version = LoadLE<std::uint32_t>(d + 12);
+  if (version != kSnapshotVersion) {
+    return Invalid("unsupported snapshot version " + std::to_string(version));
+  }
+  // The header checksum is always verified — it is 56 bytes, and every
+  // downstream bounds check trusts the counts it covers.
+  if (Hash64({d, 56}) != LoadLE<std::uint64_t>(d + 56)) {
+    return Invalid("header checksum mismatch");
+  }
+  if (LoadLE<std::uint64_t>(d + 16) != map.size()) {
+    return Invalid("file size mismatch (truncated or padded image)");
+  }
+  const std::uint64_t triple_count = LoadLE<std::uint64_t>(d + 24);
+  const std::uint64_t term_count = LoadLE<std::uint64_t>(d + 32);
+  const std::uint32_t section_count = LoadLE<std::uint32_t>(d + 40);
+  const std::uint32_t flags = LoadLE<std::uint32_t>(d + 44);
+  if (section_count > kMaxSections) {
+    return Invalid("implausible section count");
+  }
+  const std::size_t table_bytes =
+      std::size_t{section_count} * kSnapshotSectionEntryBytes;
+  if (kSnapshotHeaderBytes + table_bytes > map.size()) {
+    return Invalid("truncated section table");
+  }
+  if (Hash64({d + kSnapshotHeaderBytes, table_bytes}) !=
+      LoadLE<std::uint64_t>(d + 48)) {
+    return Invalid("section table checksum mismatch");
+  }
+
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->triple_count_ = triple_count;
+  snap->term_count_ = term_count;
+  snap->compressed_ = (flags & 1u) != 0;
+  snap->sections_.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* row =
+        d + kSnapshotHeaderBytes + i * kSnapshotSectionEntryBytes;
+    SectionEntry e;
+    e.kind = LoadLE<std::uint32_t>(row);
+    e.aux = LoadLE<std::uint32_t>(row + 4);
+    e.offset = LoadLE<std::uint64_t>(row + 8);
+    e.bytes = LoadLE<std::uint64_t>(row + 16);
+    e.checksum = LoadLE<std::uint64_t>(row + 24);
+    if (e.offset > map.size() || e.bytes > map.size() - e.offset) {
+      return Invalid("section extends past end of file");
+    }
+    if (e.offset % 8 != 0) return Invalid("misaligned section");
+    snap->sections_.push_back(e);
+  }
+  snap->map_ = std::move(map);
+
+  // One ordering section per collation order, of the kind the header
+  // flags announce.
+  const SectionKind want = snap->compressed_ ? SectionKind::kOrderingVbyte
+                                             : SectionKind::kOrderingRaw;
+  for (Ordering o : kAllOrderings) {
+    const auto aux = static_cast<std::uint32_t>(o);
+    if (snap->FindSection(want, aux) == nullptr) {
+      return Invalid("missing " + std::string(OrderingName(o)) + " section");
+    }
+  }
+
+  if (options.verify) {
+    // Payload checksums, fanned out: the orderings dominate and hash
+    // independently.
+    std::vector<Status> statuses(snap->sections_.size());
+    ForEach(snap->sections_.size(), options.num_threads, [&](std::size_t i) {
+      const SectionEntry& e = snap->sections_[i];
+      if (Hash64(snap->SectionBytes(e)) != e.checksum) {
+        statuses[i] = Invalid("section checksum mismatch (kind " +
+                              std::to_string(e.kind) + ", aux " +
+                              std::to_string(e.aux) + ")");
+      }
+    });
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+  }
+  return std::shared_ptr<const Snapshot>(std::move(snap));
+}
+
+const SectionEntry* Snapshot::FindSection(SectionKind kind,
+                                          std::uint32_t aux) const {
+  for (const SectionEntry& e : sections_) {
+    if (e.kind == static_cast<std::uint32_t>(kind) && e.aux == aux) return &e;
+  }
+  return nullptr;
+}
+
+Result<TripleStore> TripleStore::OpenSnapshot(const std::string& path) {
+  return OpenSnapshot(path, SnapshotOpenOptions{});
+}
+
+Result<TripleStore> TripleStore::OpenSnapshot(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  std::shared_ptr<const Snapshot> snap;
+  HSPARQL_ASSIGN_OR_RETURN(snap, Snapshot::Open(path, options));
+
+  // Deep verification decodes (and checks) the dictionary here; the
+  // default open only type-checks the section layout and defers the
+  // decode into the dictionary's lazy loader — no payload page of the
+  // image is read before a query needs it.
+  std::vector<Term> terms;
+  std::span<const std::uint32_t> sorted;
+  if (options.verify) {
+    if (Status s = DecodeDictionary(*snap, true, &terms, &sorted); !s.ok()) {
+      return s;
+    }
+  } else {
+    if (Status s = ValidateDictionarySections(*snap, &sorted); !s.ok()) {
+      return s;
+    }
+  }
+  const std::size_t term_count = snap->term_count();
+
+  TripleStore store;
+  const std::size_t count = snap->triple_count();
+  std::array<Status, kNumOrderings> statuses;
+  if (!snap->compressed_orderings()) {
+    // Zero-copy: the base levels are spans straight into the mapping.
+    for (Ordering o : kAllOrderings) {
+      const std::size_t i = static_cast<std::size_t>(o);
+      const SectionEntry* e =
+          snap->FindSection(SectionKind::kOrderingRaw, static_cast<std::uint32_t>(o));
+      const auto bytes = snap->SectionBytes(*e);
+      if (bytes.size() != count * sizeof(Triple)) {
+        return Invalid("size mismatch in " + std::string(OrderingName(o)) +
+                       " section");
+      }
+      store.mmap_bases_[i] = std::span<const Triple>(
+          reinterpret_cast<const Triple*>(bytes.data()), count);
+    }
+    // The default open deliberately never touches these pages — that is
+    // the zero-copy cold start (faulting in 6x the triple bytes costs
+    // more than everything else combined). Out-of-range components are
+    // made harmless at the dictionary instead (Dictionary::Get's empty-
+    // term fallback); verify reads everything and checks it all.
+    if (options.verify) {
+      ForEach(kNumOrderings, options.num_threads, [&](std::size_t i) {
+        statuses[i] = VerifyOrdering(store.mmap_bases_[i], kAllOrderings[i],
+                                     term_count);
+      });
+    }
+  } else {
+    // Compressed image: decode each ordering into a heap base level. The
+    // codec yields sorted, deduplicated output by construction; the
+    // TermId bounds pass is unconditional, as on the raw path.
+    ForEach(kNumOrderings, options.num_threads, [&](std::size_t i) {
+      const Ordering o = kAllOrderings[i];
+      const SectionEntry* e =
+          snap->FindSection(SectionKind::kOrderingVbyte, static_cast<std::uint32_t>(o));
+      statuses[i] =
+          DecodeVbyteOrdering(snap->SectionBytes(*e), o, count,
+                              &store.relations_[i]);
+      if (statuses[i].ok()) {
+        statuses[i] =
+            BoundsCheckOrdering(store.relations_[i], o, term_count);
+      }
+    });
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  if (options.verify) {
+    store.dict_ = rdf::Dictionary::FromSnapshot(std::move(terms), sorted);
+  } else {
+    // The loader pins the mapping via its own shared_ptr, so the decode
+    // stays valid even against a dictionary that outlives the store.
+    store.dict_ = rdf::Dictionary::FromSnapshotLazy(
+        term_count, sorted,
+        [snap](std::vector<Term>* out) {
+          std::span<const std::uint32_t> unused;
+          return DecodeDictionary(*snap, /*verify=*/false, out, &unused).ok();
+        });
+  }
+  store.snapshot_ = std::move(snap);
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SectionBuf {
+  SectionKind kind;
+  std::uint32_t aux;
+  std::vector<std::uint8_t> bytes;
+};
+
+}  // namespace
+
+Status TripleStore::SaveSnapshot(const std::string& path) const {
+  return SaveSnapshot(path, SnapshotWriteOptions{});
+}
+
+Status TripleStore::SaveSnapshot(const std::string& path,
+                                 const SnapshotWriteOptions& options) const {
+  const std::size_t n_terms = dict_.size();
+  const std::size_t n_triples = size();
+
+  // Sorted-id permutation: the base-segment index of the reopened store.
+  std::vector<std::uint32_t> sorted(n_terms);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::sort(sorted.begin(), sorted.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return rdf::Dictionary::TermOrderLess(dict_.Get(a), dict_.Get(b));
+            });
+
+  std::vector<SectionBuf> sections;
+  {
+    SectionBuf terms{SectionKind::kDictTerms, 0, {}};
+    SectionBuf offsets{SectionKind::kDictOffsets, 0, {}};
+    std::string_view prev;
+    for (std::size_t r = 0; r < n_terms; ++r) {
+      const Term& t = dict_.Get(sorted[r]);
+      if (r % kTermBlockSize == 0) {
+        AppendLE<std::uint64_t>(&offsets.bytes, terms.bytes.size());
+        prev = {};  // front-coding restarts at every block head
+      }
+      const std::size_t max_prefix = std::min(prev.size(), t.lexical.size());
+      std::size_t prefix = 0;
+      while (prefix < max_prefix && prev[prefix] == t.lexical[prefix]) {
+        ++prefix;
+      }
+      PutVarint(t.kind == TermKind::kLiteral ? 1 : 0, &terms.bytes);
+      PutVarint(prefix, &terms.bytes);
+      PutVarint(t.lexical.size() - prefix, &terms.bytes);
+      terms.bytes.insert(
+          terms.bytes.end(),
+          t.lexical.begin() + static_cast<std::ptrdiff_t>(prefix),
+          t.lexical.end());
+      prev = t.lexical;
+    }
+    sections.push_back(std::move(terms));
+    sections.push_back(std::move(offsets));
+  }
+  {
+    SectionBuf s{SectionKind::kDictSorted, 0, {}};
+    s.bytes.resize(n_terms * sizeof(std::uint32_t));
+    if (n_terms > 0) {
+      std::memcpy(s.bytes.data(), sorted.data(), s.bytes.size());
+    }
+    sections.push_back(std::move(s));
+  }
+  for (Ordering o : kAllOrderings) {
+    SectionBuf s{options.compress_orderings ? SectionKind::kOrderingVbyte
+                                            : SectionKind::kOrderingRaw,
+                 static_cast<std::uint32_t>(o),
+                 {}};
+    const TripleView view = Scan(o);
+    if (options.compress_orderings) {
+      EncodeVbyteOrdering(view, o, &s.bytes);
+    } else {
+      s.bytes.resize(n_triples * sizeof(Triple));
+      if (delta_size() == 0) {
+        // Base-only store: one straight copy (possibly mapping-to-file).
+        const auto base = BaseRelation(o);
+        if (!base.empty()) {
+          std::memcpy(s.bytes.data(), base.data(), base.size_bytes());
+        }
+      } else {
+        TripleView::iterator it = view.begin();
+        for (std::size_t i = 0; i < n_triples; ++i, ++it) {
+          const Triple t = *it;
+          std::memcpy(s.bytes.data() + i * sizeof(Triple), &t, sizeof(Triple));
+        }
+      }
+    }
+    sections.push_back(std::move(s));
+  }
+
+  // Layout: header, table, then 8-aligned sections.
+  std::vector<SectionEntry> entries;
+  entries.reserve(sections.size());
+  std::uint64_t cursor = kSnapshotHeaderBytes +
+                         sections.size() * kSnapshotSectionEntryBytes;
+  for (const SectionBuf& s : sections) {
+    cursor = (cursor + 7) & ~std::uint64_t{7};
+    entries.push_back(SectionEntry{static_cast<std::uint32_t>(s.kind), s.aux,
+                                   cursor, s.bytes.size(),
+                                   Hash64(s.bytes)});
+    cursor += s.bytes.size();
+  }
+  const std::uint64_t file_size = cursor;
+
+  std::vector<std::uint8_t> table;
+  table.reserve(entries.size() * kSnapshotSectionEntryBytes);
+  for (const SectionEntry& e : entries) {
+    AppendLE<std::uint32_t>(&table, e.kind);
+    AppendLE<std::uint32_t>(&table, e.aux);
+    AppendLE<std::uint64_t>(&table, e.offset);
+    AppendLE<std::uint64_t>(&table, e.bytes);
+    AppendLE<std::uint64_t>(&table, e.checksum);
+  }
+
+  std::vector<std::uint8_t> header(kSnapshotHeaderBytes, 0);
+  std::memcpy(header.data(), kSnapshotMagic, kSnapshotMagicBytes);
+  StoreLE<std::uint32_t>(header.data() + 8, kSnapshotEndianSentinel);
+  StoreLE<std::uint32_t>(header.data() + 12, kSnapshotVersion);
+  StoreLE<std::uint64_t>(header.data() + 16, file_size);
+  StoreLE<std::uint64_t>(header.data() + 24, n_triples);
+  StoreLE<std::uint64_t>(header.data() + 32, n_terms);
+  StoreLE<std::uint32_t>(header.data() + 40,
+                         static_cast<std::uint32_t>(sections.size()));
+  StoreLE<std::uint32_t>(header.data() + 44,
+                         options.compress_orderings ? 1u : 0u);
+  StoreLE<std::uint64_t>(header.data() + 48, Hash64(table));
+  StoreLE<std::uint64_t>(header.data() + 56, Hash64({header.data(), 56}));
+
+  // Write to a temp file in the target directory, then rename into place:
+  // a crashed save never leaves a half-written image under `path`.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  Status st = WriteAll(fd, header.data(), header.size());
+  if (st.ok()) st = WriteAll(fd, table.data(), table.size());
+  std::uint64_t written = kSnapshotHeaderBytes + table.size();
+  static constexpr std::uint8_t kPad[8] = {0};
+  for (std::size_t i = 0; st.ok() && i < sections.size(); ++i) {
+    assert(entries[i].offset >= written &&
+           entries[i].offset - written < 8);
+    st = WriteAll(fd, kPad, entries[i].offset - written);
+    if (st.ok()) {
+      st = WriteAll(fd, sections[i].bytes.data(), sections[i].bytes.size());
+    }
+    written = entries[i].offset + entries[i].bytes;
+  }
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IoError(std::string("fsync failed: ") + std::strerror(errno));
+  }
+  ::close(fd);
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                         std::strerror(errno));
+  }
+  if (!st.ok()) ::unlink(tmp.c_str());
+  return st;
+}
+
+}  // namespace hsparql::storage

@@ -1,0 +1,172 @@
+// Persistent snapshot images: the on-disk form of a TripleStore.
+//
+// DESIGN.md §4k. A snapshot is a single versioned, checksummed file laid
+// out so that opening it is a page-table operation rather than a parse:
+//
+//   [64-byte header]
+//     magic "HSPSNAP1" | endian sentinel | version | file size
+//     triple count | term count | section count | flags
+//     section-table checksum | header checksum
+//   [section table: 32-byte entries (kind, aux, offset, bytes, checksum)]
+//   [sections, each 8-byte aligned]
+//     kDictTerms    front-coded term blocks (kTermBlockSize terms/block,
+//                   sorted by Dictionary::TermOrderLess; per term: varint
+//                   flags (bit0 = literal), varint shared-prefix length,
+//                   varint suffix length, suffix bytes)
+//     kDictOffsets  u64 byte offset of every term block (random access)
+//     kDictSorted   u32 permutation: id of the r-th term in sorted order.
+//                   Doubles as the base-segment term -> id index of the
+//                   restored Dictionary — no hash table is rebuilt at open.
+//     kOrderingRaw | kOrderingVbyte, aux = ordering (one per collation
+//                   order). Raw sections are the sorted rdf::Triple array
+//                   verbatim and are served zero-copy as spans into the
+//                   mapping; vbyte sections (SnapshotWriteOptions::
+//                   compress_orderings) store the RDF-3X-style delta codec
+//                   of storage/compressed.h in self-contained
+//                   kTripleBlockSize-triple blocks with a block-offset
+//                   directory, and are decoded into heap vectors at open.
+//
+// All integers are little-endian; the endian sentinel makes a
+// wrong-endian image a typed kInvalidSnapshot error instead of a silent
+// misread. Checksums are common/hash.h Hash64. Validation is tiered:
+// header and section-table checksums, section bounds/alignment, and every
+// check needed for memory safety (varint/offset bounds in the dictionary
+// and vbyte decoders, a TermId bounds pass over decoded orderings) run
+// unconditionally whenever the bytes they guard are read — no input can
+// make a query crash or read outside the mapping. The default open reads
+// NO payload page at all (that is the zero-copy cold start): raw
+// orderings are served as unread spans, and the dictionary decode is
+// deferred into Dictionary::FromSnapshotLazy's loader, first-use under a
+// call_once. Payload corruption an unverified open cannot see is defused
+// at use instead: a failing lazy dictionary load degrades to an empty
+// base segment, and out-of-range TermIds in ordering payloads resolve to
+// Dictionary::Get's empty-term fallback. Per-section payload checksums
+// and the deeper structural invariants (id bounds over raw orderings,
+// sortedness, permutation bijectivity, dictionary order) run only under
+// SnapshotOpenOptions::verify — which also decodes the dictionary
+// eagerly, so every payload byte is read and typed-checked at open. The
+// same trust model as any mmap'd database file: corruption of a trusted
+// image is caught by the always-on checks or surfaces as wrong data,
+// never as undefined behaviour.
+//
+// Thread safety: a Snapshot is immutable after Open; all accessors are
+// const reads. TripleStore pins its snapshot in a shared_ptr that
+// outlives every span handed out.
+#ifndef HSPARQL_STORAGE_SNAPSHOT_H_
+#define HSPARQL_STORAGE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/mmap.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/ordering.h"
+
+namespace hsparql::storage {
+
+/// Knobs for TripleStore::SaveSnapshot.
+struct SnapshotWriteOptions {
+  /// Store the six orderings with the RDF-3X delta+vbyte codec instead of
+  /// raw triple arrays. Roughly 3-4x smaller on SP2Bench, but the open
+  /// path must decode into heap vectors — it trades the zero-copy cold
+  /// start for a smaller image.
+  bool compress_orderings = false;
+};
+
+/// Knobs for TripleStore::OpenSnapshot / Snapshot::Open.
+struct SnapshotOpenOptions {
+  /// Deep verification: per-section payload checksums plus structural
+  /// invariants (orderings sorted and deduplicated, the sorted-id
+  /// permutation a bijection, dictionary terms in TermOrderLess order),
+  /// with the dictionary decoded eagerly at open. Any corrupted payload
+  /// byte then becomes a typed kInvalidSnapshot.
+  ///
+  /// Off (the default — the zero-copy cold-start path) validates the
+  /// header, section table and section layout, then reads no payload
+  /// page at all: the raw orderings are served as unread spans and the
+  /// dictionary decode is deferred to first use (every bounds check
+  /// still runs when it does). A corrupted or hostile image can then at
+  /// worst answer queries wrongly — like any mmap'd database file — but
+  /// can never crash the process or read outside the mapping.
+  bool verify = false;
+  /// Threads for the per-ordering verify/decode passes (0 = serial).
+  std::size_t num_threads = 0;
+};
+
+inline constexpr std::size_t kSnapshotMagicBytes = 8;
+inline constexpr char kSnapshotMagic[kSnapshotMagicBytes + 1] = "HSPSNAP1";
+/// Written as u32 0x01020304; reads back permuted on a wrong-endian host.
+inline constexpr std::uint32_t kSnapshotEndianSentinel = 0x01020304;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 64;
+inline constexpr std::size_t kSnapshotSectionEntryBytes = 32;
+/// Terms per front-coded dictionary block.
+inline constexpr std::size_t kTermBlockSize = 16;
+/// Triples per self-contained vbyte block (matches
+/// CompressedRelation::kBlockSize; both are frozen by the format).
+inline constexpr std::size_t kTripleBlockSize = 1024;
+
+enum class SectionKind : std::uint32_t {
+  kDictTerms = 1,
+  kDictOffsets = 2,
+  kDictSorted = 3,
+  kOrderingRaw = 4,
+  kOrderingVbyte = 5,
+};
+
+/// One row of the section table. `aux` is the Ordering for ordering
+/// sections, 0 otherwise.
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t aux = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// An open, validated snapshot image. Owns the mapping; hands out spans
+/// into it. Produced by Open, consumed by TripleStore::OpenSnapshot
+/// (which keeps it alive in a shared_ptr for the store's lifetime).
+class Snapshot {
+ public:
+  /// Maps and validates `path`. kNotFound if the file is missing,
+  /// kIoError if it cannot be mapped, kInvalidSnapshot for every byte-
+  /// level problem: short file, bad magic, wrong endianness, unsupported
+  /// version, size mismatch, malformed section table, out-of-bounds
+  /// sections, checksum mismatches.
+  static Result<std::shared_ptr<const Snapshot>> Open(
+      const std::string& path, const SnapshotOpenOptions& options);
+
+  std::size_t file_size() const { return map_.size(); }
+  std::size_t triple_count() const { return triple_count_; }
+  std::size_t term_count() const { return term_count_; }
+  /// True if the orderings are stored vbyte-compressed (open decodes to
+  /// heap; nothing is served zero-copy except the dictionary index).
+  bool compressed_orderings() const { return compressed_; }
+
+  /// First section of `kind` with matching aux, or nullptr.
+  const SectionEntry* FindSection(SectionKind kind,
+                                  std::uint32_t aux = 0) const;
+  /// The payload bytes of a table entry (already bounds-validated).
+  std::span<const std::uint8_t> SectionBytes(const SectionEntry& e) const {
+    return map_.bytes().subspan(e.offset, e.bytes);
+  }
+
+ private:
+  Snapshot() = default;
+
+  MappedFile map_;
+  std::vector<SectionEntry> sections_;
+  std::size_t triple_count_ = 0;
+  std::size_t term_count_ = 0;
+  bool compressed_ = false;
+};
+
+}  // namespace hsparql::storage
+
+#endif  // HSPARQL_STORAGE_SNAPSHOT_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "storage/snapshot.h"
 
 namespace hsparql::storage {
 
@@ -182,7 +183,7 @@ TripleView TripleStore::LookupPrefix(Ordering ordering,
 
   const std::size_t idx = static_cast<std::size_t>(ordering);
   const std::size_t k = bindings.size();
-  return TripleView(PrefixRange(relations_[idx], ordering, probe, k),
+  return TripleView(PrefixRange(base_level(idx), ordering, probe, k),
                     PrefixRange(deltas_[idx], ordering, probe, k), ordering);
 }
 
@@ -198,8 +199,8 @@ std::size_t TripleStore::CountMatching(
 
 bool TripleStore::Contains(const Triple& triple) const {
   const auto idx = static_cast<std::size_t>(Ordering::kSpo);
-  return std::binary_search(relations_[idx].begin(), relations_[idx].end(),
-                            triple) ||
+  const std::span<const Triple> base = base_level(idx);
+  return std::binary_search(base.begin(), base.end(), triple) ||
          std::binary_search(deltas_[idx].begin(), deltas_[idx].end(), triple);
 }
 
@@ -240,9 +241,11 @@ TripleStore::PendingUpdate TripleStore::PrepareAdd(
   // 3. Would the grown delta cross the compaction threshold? Then stage
   // fully-merged base relations instead (one linear merge per ordering) —
   // this also covers the empty-base bootstrap, keeping deltas empty after
-  // the first Apply on a fresh store.
+  // the first Apply on a fresh store. For an mmap-backed base the merge
+  // reads straight from the mapping and the staged levels are heap
+  // vectors: the compaction is also the migration off the snapshot image.
   const std::size_t grown = deltas_[0].size() + batch.size();
-  update.compacted = grown * kCompactionRatio >= relations_[0].size();
+  update.compacted = grown * kCompactionRatio >= base_size();
 
   // 4. Stage the six levels: sort the batch per ordering (spo is already
   // sorted), fold in the existing delta, and — when compacting — merge
@@ -262,7 +265,7 @@ TripleStore::PendingUpdate TripleStore::PrepareAdd(
       update.levels[i] = std::move(combined);
       return;
     }
-    const auto& rel = relations_[i];
+    const std::span<const Triple> rel = base_level(i);
     std::vector<Triple> merged(rel.size() + combined.size());
     ParallelMergeInto(rel, combined, merged.data(), less, pool, parts);
     update.levels[i] = std::move(merged);
@@ -286,6 +289,10 @@ void TripleStore::Apply(PendingUpdate&& update) {
   if (update.added == 0) return;
   if (update.compacted) {
     relations_ = std::move(update.levels);
+    // The compacted levels are heap vectors; stop serving from the
+    // mapping (the image stays open — it still backs the dictionary's
+    // base-segment index).
+    mmap_bases_ = {};
     for (auto& delta : deltas_) delta.clear();
   } else {
     deltas_ = std::move(update.levels);
@@ -297,7 +304,27 @@ TripleView TripleStore::Preview(const PendingUpdate& update,
   const auto i = static_cast<std::size_t>(ordering);
   if (update.added == 0) return Scan(ordering);
   if (update.compacted) return TripleView(update.levels[i], ordering);
-  return TripleView(relations_[i], update.levels[i], ordering);
+  return TripleView(base_level(i), update.levels[i], ordering);
+}
+
+std::string_view StoreBackendName(StoreBackend backend) {
+  return backend == StoreBackend::kMmapSnapshot ? "mmap_snapshot"
+                                                : "in_memory";
+}
+
+StorageFootprint TripleStore::footprint() const {
+  StorageFootprint out;
+  out.backend = backend();
+  if (snapshot_ != nullptr) out.snapshot_bytes = snapshot_->file_size();
+  for (std::size_t i = 0; i < kNumOrderings; ++i) {
+    const std::size_t mapped = mmap_bases_[i].size_bytes();
+    out.mapped_triple_bytes += mapped;
+    out.heap_triple_bytes +=
+        relations_[i].size() * sizeof(Triple) + deltas_[i].size() * sizeof(Triple);
+  }
+  out.dictionary_terms = dict_.size();
+  out.base_dictionary_terms = dict_.base_count();
+  return out;
 }
 
 std::vector<IndexRange> SplitAtKeyBoundaries(

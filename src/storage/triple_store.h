@@ -12,14 +12,26 @@
 // base with one O(n+m) merge per ordering. Bulk construction can fan the
 // sorts out over common::ThreadPool::Shared() — the result is
 // byte-identical to the serial build.
+//
+// The base level is backend-pluggable (DESIGN.md §4k): it is either the
+// heap vectors Build() sorts, or — for a store restored with
+// OpenSnapshot() — zero-copy spans into an mmap'd snapshot image
+// (storage/snapshot.h). Every read path goes through the same
+// std::span/TripleView surface, so the executor, the leapfrog cursors and
+// the planners are backend-agnostic by construction; deltas stay on the
+// heap and the first compaction migrates a mapped base back to vectors.
 #ifndef HSPARQL_STORAGE_TRIPLE_STORE_H_
 #define HSPARQL_STORAGE_TRIPLE_STORE_H_
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
 #include "rdf/triple.h"
@@ -27,6 +39,37 @@
 #include "storage/triple_view.h"
 
 namespace hsparql::storage {
+
+class Snapshot;
+struct SnapshotWriteOptions;
+struct SnapshotOpenOptions;
+
+/// Which storage backend serves a store's base levels (observability;
+/// Engine::stats(), /healthz). The read API is identical over both.
+enum class StoreBackend : std::uint8_t {
+  kInMemory = 0,      // heap vectors built by TripleStore::Build
+  kMmapSnapshot = 1,  // zero-copy spans into an mmap'd snapshot image
+};
+
+/// "in_memory" / "mmap_snapshot" — the stable label used by metrics,
+/// /healthz and the stats snapshot.
+std::string_view StoreBackendName(StoreBackend backend);
+
+/// Byte-level residency of a store, for the obs layer: how much of the
+/// triple data is served from the mapped image vs from heap vectors.
+struct StorageFootprint {
+  StoreBackend backend = StoreBackend::kInMemory;
+  /// Size of the open snapshot image (0 for in-memory stores).
+  std::size_t snapshot_bytes = 0;
+  /// Ordering bytes served zero-copy from the mapping. Drops to 0 after a
+  /// compaction folds the mmap'd base into fresh heap vectors.
+  std::size_t mapped_triple_bytes = 0;
+  /// Ordering bytes in heap vectors (base relations + deltas).
+  std::size_t heap_triple_bytes = 0;
+  std::size_t dictionary_terms = 0;
+  /// Terms still indexed through the snapshot's sorted-id permutation.
+  std::size_t base_dictionary_terms = 0;
+};
 
 /// A constant binding of one triple-pattern position, used to express
 /// prefix lookups: "predicate = 42".
@@ -54,6 +97,27 @@ class TripleStore {
   /// to the serial build.
   static TripleStore Build(rdf::Graph&& graph, std::size_t num_threads = 0);
 
+  /// Opens a snapshot image (storage/snapshot.h) as a store: the six base
+  /// relations are spans straight into the mmap'd file (zero-copy; no
+  /// sort, no re-interning), the dictionary is restored with its
+  /// term -> id index borrowed from the image. The delta level starts
+  /// empty and AddTriples/compaction work unchanged — a compaction folds
+  /// the mapped base into fresh heap vectors. Typed kInvalidSnapshot on
+  /// any validation failure; see SnapshotOpenOptions for the
+  /// verification/trust knobs.
+  static Result<TripleStore> OpenSnapshot(const std::string& path);
+  static Result<TripleStore> OpenSnapshot(const std::string& path,
+                                          const SnapshotOpenOptions& options);
+
+  /// Serialises the merged store (base ∪ delta per ordering, plus the
+  /// dictionary) into a snapshot image at `path`, written to a temp file
+  /// and renamed into place. const — callable under a shared store lock
+  /// concurrently with readers (engine::StoreView), so a serving process
+  /// re-snapshots off-lock.
+  Status SaveSnapshot(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path,
+                      const SnapshotWriteOptions& options) const;
+
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
   TripleStore(TripleStore&&) = default;
@@ -61,8 +125,23 @@ class TripleStore {
 
   /// Number of distinct triples (base + delta).
   std::size_t size() const { return base_size() + delta_size(); }
-  std::size_t base_size() const { return relations_[0].size(); }
+  std::size_t base_size() const { return base_level(0).size(); }
   std::size_t delta_size() const { return deltas_[0].size(); }
+
+  /// Which backend the base levels are served from. A snapshot-opened
+  /// store reports kMmapSnapshot for its whole lifetime (the image also
+  /// backs the dictionary index), even after a compaction moved the
+  /// ordering data to heap vectors — footprint() has the byte-level view.
+  StoreBackend backend() const {
+    return snapshot_ == nullptr ? StoreBackend::kInMemory
+                                : StoreBackend::kMmapSnapshot;
+  }
+
+  /// The open snapshot image, or null for an in-memory store.
+  const Snapshot* snapshot() const { return snapshot_.get(); }
+
+  /// Mapped-vs-heap residency for the obs layer.
+  StorageFootprint footprint() const;
 
   const rdf::Dictionary& dictionary() const { return dict_; }
   rdf::Dictionary& mutable_dictionary() { return dict_; }
@@ -70,14 +149,15 @@ class TripleStore {
   /// The full sorted relation for an ordering, merged over both levels.
   TripleView Scan(Ordering ordering) const {
     const auto i = static_cast<std::size_t>(ordering);
-    return TripleView(relations_[i], deltas_[i], ordering);
+    return TripleView(base_level(i), deltas_[i], ordering);
   }
 
   /// The base level of an ordering as a contiguous span — for consumers
   /// that require raw storage (compression, pointer-based splitting).
-  /// Equals Scan() whenever delta_size() == 0.
+  /// Equals Scan() whenever delta_size() == 0. May point into the mmap'd
+  /// snapshot image; valid for the lifetime of the store.
   std::span<const rdf::Triple> BaseRelation(Ordering ordering) const {
-    return relations_[static_cast<std::size_t>(ordering)];
+    return base_level(static_cast<std::size_t>(ordering));
   }
 
   /// All triples whose components match every binding, as a merged range
@@ -145,7 +225,19 @@ class TripleStore {
   TripleView Preview(const PendingUpdate& update, Ordering ordering) const;
 
  private:
+  /// The snapshot reader (storage/snapshot.cc) assembles stores directly.
+  friend class Snapshot;
+
   TripleStore() = default;
+
+  /// The base level of ordering `i`: a span into the mmap'd image while
+  /// snapshot-backed, the heap vector otherwise. THE accessor every read
+  /// path goes through — nothing else touches relations_/mmap_bases_
+  /// directly, which is what makes the backend pluggable.
+  std::span<const rdf::Triple> base_level(std::size_t i) const {
+    return mmap_bases_[i].data() != nullptr ? mmap_bases_[i]
+                                            : std::span(relations_[i]);
+  }
 
   /// equal_range of the bound prefix over one sorted level.
   static std::span<const rdf::Triple> PrefixRange(
@@ -155,6 +247,14 @@ class TripleStore {
   rdf::Dictionary dict_;
   std::array<std::vector<rdf::Triple>, kNumOrderings> relations_;
   std::array<std::vector<rdf::Triple>, kNumOrderings> deltas_;
+
+  /// The open image backing mmap_bases_ and the dictionary's base index.
+  /// Shared so readers handed long-lived views could pin it if ever
+  /// needed; within the store it simply outlives every span above.
+  std::shared_ptr<const Snapshot> snapshot_;
+  /// Per-ordering mapped base span; empty data() == ordering i is served
+  /// from relations_[i]. Reset by the first compaction.
+  std::array<std::span<const rdf::Triple>, kNumOrderings> mmap_bases_{};
 };
 
 /// Chooses an ordering whose sort priority starts with exactly the given

@@ -181,7 +181,7 @@ TEST(ServerTest, HealthzAndMetrics) {
   auto health = h.client.Get("/healthz");
   ASSERT_TRUE(health.ok()) << health.status();
   EXPECT_EQ(health->status, 200);
-  EXPECT_EQ(health->body, "ok\n");
+  EXPECT_EQ(health->body, "ok backend=in_memory\n");
 
   // Run one query so the counters are nonzero.
   ASSERT_TRUE(h.client.Get(QueryTarget(kIssuedQuery)).ok());
