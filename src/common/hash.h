@@ -35,9 +35,10 @@ inline std::uint64_t Mix64(std::uint64_t x) {
 
 /// 64-bit checksum of `bytes`. The length is mixed in, so a checksum
 /// never matches a truncated or padded copy of its input. Writer and
-/// verifier both hash whole sections in one call (the snapshot writer
-/// re-maps its finished temp file to checksum it through the exact code
-/// path the reader will use).
+/// reader hash the same section byte ranges through this one function:
+/// SaveSnapshot checksums each in-memory section buffer as it lays out
+/// the image, and verification re-hashes the identical ranges out of the
+/// mapping at open.
 inline std::uint64_t Hash64(std::span<const std::uint8_t> bytes,
                             std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
   std::uint64_t h = seed ^ Mix64(bytes.size());

@@ -1,6 +1,7 @@
 #include "storage/snapshot.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -8,6 +9,7 @@
 #include <cassert>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <numeric>
@@ -121,9 +123,19 @@ Status DecodeVbyteOrdering(std::span<const std::uint8_t> sec,
   const auto positions = OrderingPositions(ordering);
   const std::string name(OrderingName(ordering));
   if (sec.size() < 8) return Invalid("truncated " + name + " section");
+  // Every encoded triple occupies at least one section byte (non-head
+  // triples are >= 2 payload bytes, heads >= 4, plus 8 directory bytes
+  // per block), so a count beyond the section size cannot be real. Checked
+  // before any count-derived arithmetic or allocation: a crafted count
+  // near 2^64 would wrap the expected-blocks sum below (e.g. 2^64 - 512
+  // yields expected == 0, matching a directory-only file), and reserve()
+  // must never be driven past what the section can back.
+  if (count > sec.size()) {
+    return Invalid("triple count exceeds " + name + " section size");
+  }
   const std::uint64_t num_blocks = LoadLE<std::uint64_t>(sec.data());
   const std::uint64_t expected =
-      (count + kTripleBlockSize - 1) / kTripleBlockSize;
+      count / kTripleBlockSize + (count % kTripleBlockSize != 0 ? 1 : 0);
   if (num_blocks != expected) {
     return Invalid("block count mismatch in " + name + " section");
   }
@@ -405,6 +417,21 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Open(
   }
   const std::uint64_t triple_count = LoadLE<std::uint64_t>(d + 24);
   const std::uint64_t term_count = LoadLE<std::uint64_t>(d + 32);
+  // Hash64 is non-cryptographic, so a crafted header can carry any counts
+  // behind a valid checksum. Bound both against the file size before any
+  // count-derived arithmetic runs: every valid image stores at least
+  // sizeof(Triple) bytes per triple across the six orderings (raw is the
+  // array verbatim; vbyte needs >= 2 payload bytes per triple per
+  // ordering) and exactly 4 bytes per term in the sorted-id section, so
+  // larger counts cannot name a real image — and would otherwise wrap
+  // `count * stride` checks downstream (e.g. 2^62 * sizeof(Triple) == 0
+  // mod 2^64, making an empty section "match" 2^62 triples).
+  if (triple_count > map.size() / sizeof(Triple)) {
+    return Invalid("implausible triple count");
+  }
+  if (term_count > map.size() / sizeof(std::uint32_t)) {
+    return Invalid("implausible term count");
+  }
   const std::uint32_t section_count = LoadLE<std::uint32_t>(d + 40);
   const std::uint32_t flags = LoadLE<std::uint32_t>(d + 44);
   if (section_count > kMaxSections) {
@@ -516,7 +543,10 @@ Result<TripleStore> TripleStore::OpenSnapshot(
       const SectionEntry* e =
           snap->FindSection(SectionKind::kOrderingRaw, static_cast<std::uint32_t>(o));
       const auto bytes = snap->SectionBytes(*e);
-      if (bytes.size() != count * sizeof(Triple)) {
+      // Division form: overflow-proof even without the header-count
+      // plausibility bound in Snapshot::Open.
+      if (bytes.size() % sizeof(Triple) != 0 ||
+          bytes.size() / sizeof(Triple) != count) {
         return Invalid("size mismatch in " + std::string(OrderingName(o)) +
                        " section");
       }
@@ -703,15 +733,19 @@ Status TripleStore::SaveSnapshot(const std::string& path,
   StoreLE<std::uint64_t>(header.data() + 48, Hash64(table));
   StoreLE<std::uint64_t>(header.data() + 56, Hash64({header.data(), 56}));
 
-  // Write to a temp file in the target directory, then rename into place:
-  // a crashed save never leaves a half-written image under `path`.
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                        0644);
+  // Write to a unique temp file in the target directory, then rename into
+  // place: a crashed save never leaves a half-written image under `path`,
+  // and concurrent saves to the same path (legal — SaveSnapshot is const
+  // and callable under a shared store lock) each write their own temp
+  // file instead of interleaving into one.
+  std::string tmp = path + ".tmp.XXXXXX";
+  const int fd = ::mkstemp(tmp.data());
   if (fd < 0) {
-    return Status::IoError("cannot create " + tmp + ": " +
+    return Status::IoError("cannot create temp file for " + path + ": " +
                            std::strerror(errno));
   }
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  ::fchmod(fd, 0644);  // mkstemp creates 0600; match a plain O_CREAT
   Status st = WriteAll(fd, header.data(), header.size());
   if (st.ok()) st = WriteAll(fd, table.data(), table.size());
   std::uint64_t written = kSnapshotHeaderBytes + table.size();
@@ -732,7 +766,27 @@ Status TripleStore::SaveSnapshot(const std::string& path,
   if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
     st = Status::IoError("cannot rename " + tmp + " to " + path + ": " +
                          std::strerror(errno));
+  } else if (st.ok()) {
+    // The file's bytes are durable (fsync above), but the rename itself is
+    // a directory-entry update: without an fsync of the containing
+    // directory, a power failure can roll the replacement back.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+      st = Status::IoError("cannot open directory " + dir + " for fsync: " +
+                           std::strerror(errno));
+    } else {
+      if (::fsync(dfd) != 0) {
+        st = Status::IoError("cannot fsync directory " + dir + ": " +
+                             std::strerror(errno));
+      }
+      ::close(dfd);
+    }
   }
+  // After a successful rename the temp name no longer exists; this unlink
+  // then fails harmlessly (it never touches `path`).
   if (!st.ok()) ::unlink(tmp.c_str());
   return st;
 }

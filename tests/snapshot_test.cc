@@ -10,8 +10,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
@@ -434,6 +436,86 @@ TEST(SnapshotTest, WrongVersionAndEndiannessAreTyped) {
   EXPECT_TRUE(r.status().IsInvalidSnapshot());
   EXPECT_NE(r.status().message().find("endian"), std::string::npos)
       << r.status();
+}
+
+TEST(SnapshotTest, CraftedOverflowingCountsAreTypedErrors) {
+  // Hash64 is not cryptographic, so an attacker can patch header counts
+  // and recompute valid checksums. Counts chosen to wrap `count * stride`
+  // mod 2^64 must still be typed rejections, never spans over nothing.
+  //
+  // Raw image of an EMPTY store: triple_count = 2^62 makes
+  // count * sizeof(Triple) == 0 mod 2^64, "matching" the empty ordering
+  // sections — the plausibility bound must fire before a span is formed.
+  const std::string raw_path = TempPath("crafted_raw.snap");
+  ASSERT_TRUE(TripleStore::Build(rdf::Graph{}).SaveSnapshot(raw_path).ok());
+  {
+    std::string image = ReadFile(raw_path);
+    const std::uint64_t huge = std::uint64_t{1} << 62;
+    std::memcpy(image.data() + 24, &huge, sizeof(huge));
+    FixHeaderChecksum(&image);
+    const std::string crafted = TempPath("crafted_raw_patched.snap");
+    WriteFile(crafted, image);
+    auto r = TripleStore::OpenSnapshot(crafted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInvalidSnapshot()) << r.status();
+  }
+
+  // Same image, term_count = 2^62: n * sizeof(uint32_t) wraps to 0 and
+  // would "match" the empty sorted-id section.
+  {
+    std::string image = ReadFile(raw_path);
+    const std::uint64_t huge = std::uint64_t{1} << 62;
+    std::memcpy(image.data() + 32, &huge, sizeof(huge));
+    FixHeaderChecksum(&image);
+    const std::string crafted = TempPath("crafted_terms_patched.snap");
+    WriteFile(crafted, image);
+    auto r = TripleStore::OpenSnapshot(crafted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInvalidSnapshot()) << r.status();
+  }
+
+  // Vbyte image: triple_count near 2^64 wraps the expected-block-count
+  // sum to 0, matching the empty directory — and must not reach
+  // reserve(count) (which would throw, terminating the process).
+  const std::string vb_path = TempPath("crafted_vbyte.snap");
+  SnapshotWriteOptions compressed;
+  compressed.compress_orderings = true;
+  ASSERT_TRUE(TripleStore::Build(rdf::Graph{})
+                  .SaveSnapshot(vb_path, compressed)
+                  .ok());
+  {
+    std::string image = ReadFile(vb_path);
+    const std::uint64_t huge =
+        ~std::uint64_t{0} - storage::kTripleBlockSize / 2;
+    std::memcpy(image.data() + 24, &huge, sizeof(huge));
+    FixHeaderChecksum(&image);
+    const std::string crafted = TempPath("crafted_vbyte_patched.snap");
+    WriteFile(crafted, image);
+    auto r = TripleStore::OpenSnapshot(crafted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInvalidSnapshot()) << r.status();
+  }
+}
+
+TEST(SnapshotTest, ConcurrentSavesToSamePathDoNotCorrupt) {
+  // SaveSnapshot is const and documented as callable under a shared store
+  // lock, so two concurrent saves to the same path are legal. Each must
+  // write its own unique temp file; the survivor must be a valid image.
+  const TripleStore built =
+      TripleStore::Build(hsparql::testing::SmallBibGraph());
+  const std::string path = TempPath("concurrent.snap");
+  const std::vector<std::string> baseline = RenderAll(built);
+  std::array<Status, 4> statuses;
+  std::array<std::thread, 4> savers;
+  for (std::size_t i = 0; i < savers.size(); ++i) {
+    savers[i] = std::thread(
+        [&built, &path, &statuses, i] { statuses[i] = built.SaveSnapshot(path); });
+  }
+  for (std::thread& t : savers) t.join();
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok()) << s;
+  auto reopened = TripleStore::OpenSnapshot(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(RenderAll(*reopened), baseline);
 }
 
 TEST(SnapshotTest, HeaderAndTableFuzzNeverCrashes) {
