@@ -7,7 +7,15 @@
 //
 // Flags: --clients=N (default 8), --seconds=S (default 5),
 //        --triples=N (default 100000), --quick (small run for CI),
-//        --json=path (write the JSON summary to a file as well).
+//        --json=path (write the JSON summary to a file as well),
+//        --repeat=N (run the steady phase N times, report the best),
+//        --no-request-trace (disable per-request tracing; the overhead
+//        gate compares a traced run against this baseline).
+//
+// The steady phase also reports a per-phase latency breakdown
+// (queue-wait / parse / plan / exec / serialize p50+p99) pulled from the
+// server's request-trace flight recorder, so a QPS regression can be
+// localized to the pipeline stage that caused it.
 //
 // Gates (skipped under --quick or below 8 cores, like the other perf
 // benches on small hosts): sustained >= 1000 QPS with 8 closed-loop
@@ -97,6 +105,38 @@ struct RunSummary {
   std::uint64_t transport = 0;
 };
 
+struct PhaseStats {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Per-phase latency distribution from the server-side flight recorder:
+/// the span names the server emits, in pipeline order.
+constexpr const char* kPhaseNames[] = {"queue", "parse", "plan", "exec",
+                                       "serialize"};
+
+std::vector<PhaseStats> PhaseBreakdown(const obs::FlightRecorder& recorder) {
+  obs::FlightRecorder::Filter all;
+  all.limit = 0;  // everything still in the rings
+  const auto traces = recorder.Snapshot(all);
+  std::vector<PhaseStats> out(std::size(kPhaseNames));
+  for (std::size_t p = 0; p < std::size(kPhaseNames); ++p) {
+    std::vector<double> samples;
+    for (const auto& trace : traces) {
+      if (trace->http_status != 200) continue;  // shed requests skew phases
+      for (const auto& span : trace->spans) {
+        if (span.name == kPhaseNames[p]) samples.push_back(span.millis);
+      }
+    }
+    std::sort(samples.begin(), samples.end());
+    out[p].samples = samples.size();
+    out[p].p50_ms = Percentile(samples, 0.50);
+    out[p].p99_ms = Percentile(samples, 0.99);
+  }
+  return out;
+}
+
 RunSummary RunPhase(std::uint16_t port, const std::vector<std::string>& targets,
                     std::size_t clients, double seconds) {
   const auto start = std::chrono::steady_clock::now();
@@ -140,6 +180,8 @@ int Run(int argc, char** argv) {
       quick ? 1.0 : static_cast<double>(flags.GetInt("seconds", 5));
   const std::uint64_t triples = flags.GetInt("triples", quick ? 20'000 : 100'000);
   const std::string json_path = flags.GetString("json", "");
+  const std::size_t repeat = std::max<std::size_t>(1, flags.GetInt("repeat", 1));
+  const bool request_tracing = !flags.GetBool("no-request-trace", false);
   const unsigned hw = std::thread::hardware_concurrency();
 
   std::cerr << "generating ~" << triples << " triples...\n";
@@ -164,10 +206,17 @@ int Run(int argc, char** argv) {
   std::cerr << "mix: " << targets.size() << " queries, " << clients
             << " closed-loop clients, " << seconds << " s\n";
 
-  // Phase 1: throughput under a normally-sized admission queue.
+  // Phase 1: throughput under a normally-sized admission queue. With
+  // --repeat=N the best run counts (per-run noise on shared CI hosts
+  // dwarfs the effects the overhead gate is after).
   server::ServerOptions options;
   options.port = 0;
+  options.request_tracing = request_tracing;
+  // A big recent ring so the phase breakdown samples more than the tail
+  // of the run.
+  options.recorder.recent_capacity = 4096;
   RunSummary steady;
+  std::vector<PhaseStats> phases(std::size(kPhaseNames));
   {
     server::SparqlServer server(&engine, options);
     Status started = server.Start();
@@ -175,13 +224,27 @@ int Run(int argc, char** argv) {
       std::cerr << "FAIL: " << started << "\n";
       return 1;
     }
-    steady = RunPhase(server.port(), targets, clients, seconds);
+    for (std::size_t r = 0; r < repeat; ++r) {
+      RunSummary run = RunPhase(server.port(), targets, clients, seconds);
+      if (r == 0 || run.qps > steady.qps) steady = run;
+    }
+    if (request_tracing) phases = PhaseBreakdown(server.recorder());
     server.Shutdown();
   }
   std::cerr << "steady: " << bench::Fmt(steady.qps, 1) << " QPS, p50 "
             << bench::Fmt(steady.p50_ms, 3) << " ms, p99 "
             << bench::Fmt(steady.p99_ms, 3) << " ms (" << steady.ok
-            << " ok, " << steady.shed << " shed)\n";
+            << " ok, " << steady.shed << " shed"
+            << (repeat > 1 ? ", best of " + std::to_string(repeat) : "")
+            << ")\n";
+  if (request_tracing) {
+    for (std::size_t p = 0; p < std::size(kPhaseNames); ++p) {
+      std::cerr << "  phase " << kPhaseNames[p] << ": p50 "
+                << bench::Fmt(phases[p].p50_ms, 3) << " ms, p99 "
+                << bench::Fmt(phases[p].p99_ms, 3) << " ms ("
+                << phases[p].samples << " samples)\n";
+    }
+  }
 
   // Phase 2: overload. Capacity is 1 executing + 2 queued; 2x that many
   // clients hammer it. The invariant under test: the server never
@@ -224,6 +287,20 @@ int Run(int argc, char** argv) {
        << ",\"ok\":" << steady.ok << ",\"shed\":" << steady.shed
        << ",\"other\":" << steady.other
        << ",\"transport_errors\":" << steady.transport << "}"
+       << ",\"request_tracing\":" << (request_tracing ? "true" : "false")
+       << ",\"repeat\":" << repeat;
+  if (request_tracing) {
+    json << ",\"phases\":{";
+    for (std::size_t p = 0; p < std::size(kPhaseNames); ++p) {
+      if (p > 0) json << ',';
+      json << "\"" << kPhaseNames[p]
+           << "\":{\"p50_ms\":" << bench::Fmt(phases[p].p50_ms, 3)
+           << ",\"p99_ms\":" << bench::Fmt(phases[p].p99_ms, 3)
+           << ",\"samples\":" << phases[p].samples << "}";
+    }
+    json << "}";
+  }
+  json
        << ",\"overload\":{\"clients\":" << overload_clients
        << ",\"capacity\":" << (1 + options.admission.queue_capacity)
        << ",\"ok\":" << overload.ok << ",\"shed_503\":" << overload.shed

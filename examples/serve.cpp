@@ -22,8 +22,9 @@
 //
 // SIGTERM/SIGINT trigger a graceful drain: the listener closes, in-flight
 // queries get --drain-ms to finish, stragglers are cancelled (499), then
-// the process exits 0. The handler only writes one byte to a self-pipe —
-// all real shutdown work runs on the main thread.
+// the process exits 0. SIGUSR1 dumps the request-trace flight recorder as
+// JSON to stderr and keeps serving. Handlers only write one byte to a
+// self-pipe — all real work runs on the main thread.
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -42,10 +43,14 @@ namespace {
 
 int g_signal_pipe[2] = {-1, -1};
 
-void OnSignal(int /*signum*/) {
-  const char byte = 1;
+// Byte values multiplexed over the self-pipe.
+constexpr char kByteShutdown = 1;
+constexpr char kByteDumpTraces = 2;
+
+void OnSignal(int signum) {
+  const char byte = signum == SIGUSR1 ? kByteDumpTraces : kByteShutdown;
   // write(2) is async-signal-safe; the result is irrelevant (a full pipe
-  // means a shutdown is already pending).
+  // means an equivalent request is already pending).
   (void)!write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -68,8 +73,10 @@ int Usage() {
          " [--rate-qps=Q]\n"
          "             [--timeout-ms=MS] [--drain-ms=MS] [--result-cache=N]"
          " [--slow-query-ms=MS]\n"
+         "             [--no-request-trace] [--recorder=N] [--access-log]\n"
          "             [--save-snapshot=PATH]\n"
-         "       serve --store=PATH.snap [--verify-store] [options...]\n";
+         "       serve --store=PATH.snap [--verify-store] [options...]\n"
+         "SIGUSR1 dumps the request flight recorder as JSON to stderr.\n";
   return 2;
 }
 
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
   options.port = 8090;
   engine::EngineOptions engine_options;
   bool leapfrog = false;
+  bool access_log_to_stderr = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -128,6 +136,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--slow-query-ms=", 0) == 0 &&
                ParseU64(arg.substr(16), &value)) {
       engine_options.slow_query_millis = static_cast<double>(value);
+      options.recorder.slow_millis = static_cast<double>(value);
+    } else if (arg == "--no-request-trace") {
+      options.request_tracing = false;
+    } else if (arg.rfind("--recorder=", 0) == 0 &&
+               ParseU64(arg.substr(11), &value)) {
+      options.recorder.recent_capacity = value;
+    } else if (arg == "--access-log") {
+      access_log_to_stderr = true;
     } else if (data_path.empty() && !arg.empty() && arg[0] != '-') {
       data_path = arg;
     } else {
@@ -142,6 +158,14 @@ int main(int argc, char** argv) {
   }
   options.query.planner = *kind;
   options.query.use_leapfrog = leapfrog;
+
+  // Failed requests (408 deadline expiries, 499 client cancellations, parse
+  // errors...) always reach stderr as JSON lines keyed by request id;
+  // --access-log widens that to every request.
+  options.access_log.log_errors_only = !access_log_to_stderr;
+  options.access_log.sink = [](std::string_view line) {
+    std::cerr << line << "\n";
+  };
 
   auto make_store = [&]() -> Result<storage::TripleStore> {
     if (!store_path.empty()) {
@@ -185,6 +209,7 @@ int main(int argc, char** argv) {
   sigemptyset(&sa.sa_mask);
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGUSR1, &sa, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
   server::SparqlServer server(&engine, options);
@@ -197,9 +222,18 @@ int main(int argc, char** argv) {
             << server.port() << "/sparql (metrics: /metrics, health: /healthz)"
             << std::endl;
 
-  // Block until a signal arrives (EINTR: retry).
-  char byte = 0;
-  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  // Block until a shutdown signal arrives (EINTR: retry). SIGUSR1 bytes
+  // dump the flight recorder and keep serving.
+  for (;;) {
+    char byte = 0;
+    const ssize_t n = read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0 && byte == kByteDumpTraces) {
+      std::cerr << "{\"flight_recorder\":" << server.recorder().ToJson()
+                << "}\n";
+      continue;
+    }
+    break;
   }
   std::cerr << "shutdown: draining (up to " << options.drain_timeout_ms
             << " ms)...\n";

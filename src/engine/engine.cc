@@ -268,6 +268,21 @@ void Engine::RegisterMetrics() {
         return static_cast<std::int64_t>(
             store_.footprint().base_dictionary_terms);
       });
+  // Cardinality-memo family: how much trace-fed statistics the adaptive
+  // planner has to work with (DESIGN.md §4l).
+  registry_.AddCallbackGauge(
+      "engine.cardinality_memo.patterns",
+      "Distinct pattern shapes with observed cardinalities", [this] {
+        return static_cast<std::int64_t>(cardinality_memo_.size());
+      });
+  registry_.AddCallbackCounter(
+      "engine.cardinality_memo.observations",
+      "Per-scan cardinality observations folded into the memo",
+      [this] { return cardinality_memo_.observed_total(); });
+  registry_.AddCallbackCounter(
+      "engine.cardinality_memo.dropped",
+      "Observations dropped because the memo was at max_patterns",
+      [this] { return cardinality_memo_.dropped_total(); });
   registry_.AddCallbackCounter(
       "threadpool.tasks_executed", "Tasks run by the shared pool",
       [] { return ThreadPool::Shared().stats().tasks_executed; });
@@ -351,6 +366,10 @@ Result<std::shared_ptr<const CachedPlan>> Engine::GetOrBuildPlan(
   cached->planner_name = std::string(planner->planner->Name());
   cached->parse_millis = parse_millis;
   cached->plan_millis = plan_millis;
+  // The key's first component *is* the normalized text (kKeySep cannot
+  // survive normalization), so the hash costs one scan here and nothing
+  // per request.
+  cached->query_hash = obs::HashQueryText(key->substr(0, key->find(kKeySep)));
 
   {
     MutexLock lock(&plan_mu_);
@@ -421,6 +440,11 @@ Result<QueryResponse> Engine::RunPlan(std::shared_ptr<const CachedPlan> planned,
   response.trace = exec_result.trace;
   response.result =
       std::make_shared<const exec::ExecResult>(std::move(exec_result));
+  // Feed the per-pattern cardinality memo from the always-recorded
+  // cardinalities vector (result-cache hits returned above: re-observing
+  // a cached execution would double-count without adding information).
+  FoldCardinalities(response.planned->planned, *response.result,
+                    response.trace.get());
 
   if (use_result_cache) {
     MutexLock lock(&result_mu_);
@@ -434,8 +458,49 @@ Result<QueryResponse> Engine::Query(std::string_view text,
   Timer timer;
   obs::ScopedGauge active(metrics_.active_queries);
   Result<QueryResponse> result = QueryImpl(text, options);
-  ObserveQuery(text, timer.ElapsedMillis(), &result);
+  ObserveQuery(text, options, timer.ElapsedMillis(), &result);
   return result;
+}
+
+void Engine::FoldCardinalities(const plan::PlannedQuery& planned,
+                               const exec::ExecResult& result,
+                               const obs::QueryTrace* trace) const {
+  if (planned.plan.empty()) return;
+  std::vector<const hsp::PlanNode*> stack = {planned.plan.root()};
+  std::string label;
+  while (!stack.empty()) {
+    const hsp::PlanNode* node = stack.back();
+    stack.pop_back();
+    for (const auto& child : node->children) stack.push_back(child.get());
+    if (node->kind != hsp::PlanNode::Kind::kScan) continue;
+    if (node->pattern_index >= planned.query.patterns.size()) continue;
+    if (node->id < 0 ||
+        static_cast<std::size_t>(node->id) >= result.cardinalities.size()) {
+      continue;
+    }
+    // Shape label: the pattern with variables abstracted to '?', so two
+    // queries differing only in variable names share one memo entry. The
+    // key is the label's FNV-1a hash — consistent with query_hash, cheap,
+    // and reproducible by the adaptive planner from the pattern alone.
+    const sparql::TriplePattern& tp = planned.query.patterns[node->pattern_index];
+    label.clear();
+    for (const sparql::PatternTerm* term : {&tp.s, &tp.p, &tp.o}) {
+      if (!label.empty()) label.push_back(' ');
+      if (term->is_variable()) {
+        label.push_back('?');
+      } else {
+        label.append(term->constant.ToString());
+      }
+    }
+    double estimated = -1.0;
+    if (trace != nullptr) {
+      const obs::OperatorTrace* op = trace->Find(node->id);
+      if (op != nullptr && op->has_estimate()) estimated = op->estimated_rows;
+    }
+    cardinality_memo_.Observe(
+        obs::HashQueryText(label), label,
+        result.cardinalities[static_cast<std::size_t>(node->id)], estimated);
+  }
 }
 
 Result<QueryResponse> Engine::QueryImpl(std::string_view text,
@@ -488,7 +553,7 @@ Result<QueryResponse> Engine::ExecutePrepared(
   // so its first component hashes identically to the Query() path.
   std::string_view text = prepared.cache_key_;
   text = text.substr(0, text.find(kKeySep));
-  ObserveQuery(text, timer.ElapsedMillis(), &result);
+  ObserveQuery(text, prepared.options_, timer.ElapsedMillis(), &result);
   return result;
 }
 
@@ -515,12 +580,14 @@ Result<QueryResponse> Engine::ExecutePreparedImpl(
   return response;
 }
 
-void Engine::ObserveQuery(std::string_view text, double total_millis,
+void Engine::ObserveQuery(std::string_view text, const QueryOptions& options,
+                          double total_millis,
                           Result<QueryResponse>* result) const {
   metrics_.queries_total->Add();
   metrics_.total_millis->Observe(total_millis);
 
   obs::SlowQueryEvent event;
+  event.request_id = options.request_id;
   event.total_millis = total_millis;
   event.generation = generation();
   if (result->ok()) {
@@ -580,9 +647,12 @@ void Engine::ObserveQuery(std::string_view text, double total_millis,
   }
 
   if (slow_log_.enabled() && total_millis >= slow_log_.threshold_millis()) {
-    // Hash only on the (rare) emission path — normalization costs a pass
-    // over the text.
-    event.query_hash = obs::HashQueryText(NormalizeQueryText(text));
+    // The plan carries the hash (computed once at build); normalize only
+    // on the rare emission path where no plan exists (parse errors).
+    event.query_hash =
+        result->ok() && (*result)->planned != nullptr
+            ? (*result)->planned->query_hash
+            : obs::HashQueryText(NormalizeQueryText(text));
     if (slow_log_.MaybeLog(event)) metrics_.queries_slow->Add();
   }
 }

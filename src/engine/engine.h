@@ -41,6 +41,7 @@
 #include "common/rng.h"
 #include "engine/lru_cache.h"
 #include "exec/executor.h"
+#include "obs/cardinality_memo.h"
 #include "obs/registry.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
@@ -80,6 +81,10 @@ struct QueryOptions {
   /// Optional caller-owned cancellation token, polled alongside the
   /// deadline; must outlive the call.
   const CancelToken* cancel = nullptr;
+  /// Request id of the transport-level request issuing this query (the
+  /// server threads its X-Request-Id through here). Pure observability:
+  /// appears in slow-query-log lines, never in any cache key.
+  std::string request_id;
 
   /// THE conversion onto the executor's option set — the engine, the
   /// server, benches and examples all go through here, so an execution
@@ -125,6 +130,10 @@ struct CachedPlan {
   /// cache saved (Table 6's quantity, measured on the serving path).
   double parse_millis = 0.0;
   double plan_millis = 0.0;
+  /// FNV-1a of the normalized query text, computed once when the plan is
+  /// built so per-request consumers (request traces, the slow-query log)
+  /// never pay the normalization pass again.
+  std::uint64_t query_hash = 0;
 };
 
 /// Everything one query returns. `planned` and `result` are shared with
@@ -328,6 +337,16 @@ class Engine {
   enum class MetricsFormat { kJson, kPrometheus };
   std::string ExportMetrics(MetricsFormat format) const;
 
+  /// Trace-fed per-pattern-shape cardinality statistics: every executed
+  /// (non-result-cache-hit) query folds each scan's observed output
+  /// cardinality — and the planner's estimate, when a trace rode along —
+  /// into this memo, keyed by the pattern shape with variables abstracted.
+  /// The read side for adaptive planning (ROADMAP item 1); exported over
+  /// the server's /debug/stats and summarised in ExportMetrics.
+  const obs::CardinalityMemo& cardinality_memo() const {
+    return cardinality_memo_;
+  }
+
  private:
   struct CachedResult {
     std::shared_ptr<const exec::ExecResult> result;
@@ -385,9 +404,16 @@ class Engine {
   /// stage histograms and counters, and feeds the slow-query log (for
   /// failures too — a deadline expiry is exactly what the log is for).
   /// `text` is the raw query text; it is normalized and hashed only when
-  /// a slow-query line actually fires.
-  void ObserveQuery(std::string_view text, double total_millis,
-                    Result<QueryResponse>* result) const;
+  /// a slow-query line actually fires. `options` contributes the request
+  /// id (and nothing else) to the emitted line.
+  void ObserveQuery(std::string_view text, const QueryOptions& options,
+                    double total_millis, Result<QueryResponse>* result) const;
+
+  /// Folds one executed plan's per-scan observed cardinalities (plus the
+  /// trace's estimates, when present) into cardinality_memo_.
+  void FoldCardinalities(const plan::PlannedQuery& planned,
+                         const exec::ExecResult& result,
+                         const obs::QueryTrace* trace) const;
 
   /// Hot-path metric pointers (registered once in the constructor; the
   /// registry owns the metrics and keeps their addresses stable).
@@ -451,6 +477,9 @@ class Engine {
   mutable obs::Registry registry_;
   Metrics metrics_;
   mutable obs::SlowQueryLog slow_log_;
+  /// Internally synchronised (its own mutex); mutable for the same reason
+  /// as the registry — recording an observation is not a logical mutation.
+  mutable obs::CardinalityMemo cardinality_memo_;
 };
 
 }  // namespace hsparql::engine

@@ -1,0 +1,161 @@
+#include "obs/cardinality_memo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hsparql::obs {
+
+namespace {
+
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendDouble(std::ostringstream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+CardinalityMemo::CardinalityMemo() : CardinalityMemo(Options()) {}
+
+CardinalityMemo::CardinalityMemo(Options options) : options_(options) {}
+
+void CardinalityMemo::Observe(std::uint64_t key, std::string_view label,
+                              std::uint64_t actual, double estimated) {
+  observed_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= options_.max_patterns) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    it = entries_.emplace(key, Entry{}).first;
+    it->second.label.assign(label);
+  }
+  Entry& entry = it->second;
+  ++entry.observations;
+  const std::size_t ring_size = std::max<std::size_t>(1, options_.ring_size);
+  if (entry.ring.size() < ring_size) {
+    entry.ring.push_back(Observation{actual, estimated});
+  } else {
+    entry.ring[entry.next % ring_size] = Observation{actual, estimated};
+  }
+  ++entry.next;
+}
+
+CardinalityMemo::Stats CardinalityMemo::Aggregate(std::uint64_t key,
+                                                  const Entry& entry) const {
+  Stats stats;
+  stats.key = key;
+  stats.label = entry.label;
+  stats.observations = entry.observations;
+  if (!entry.ring.empty()) {
+    const std::size_t last =
+        (entry.next - 1) % std::max<std::size_t>(1, options_.ring_size);
+    stats.last_actual = entry.ring[std::min(last, entry.ring.size() - 1)].actual;
+    double sum = 0.0;
+    double log_q = 0.0;
+    std::size_t with_estimate = 0;
+    for (const Observation& obs : entry.ring) {
+      sum += static_cast<double>(obs.actual);
+      if (obs.estimated >= 0.0) {
+        const double a = std::max(1.0, static_cast<double>(obs.actual));
+        const double e = std::max(1.0, obs.estimated);
+        log_q += std::log(a / e);
+        ++with_estimate;
+      }
+    }
+    stats.mean_actual = sum / static_cast<double>(entry.ring.size());
+    if (with_estimate > 0) {
+      stats.q_error = std::exp(log_q / static_cast<double>(with_estimate));
+    }
+  }
+  return stats;
+}
+
+std::optional<CardinalityMemo::Stats> CardinalityMemo::Lookup(
+    std::uint64_t key) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return Aggregate(key, it->second);
+}
+
+std::vector<CardinalityMemo::Stats> CardinalityMemo::Snapshot() const {
+  std::vector<Stats> out;
+  {
+    MutexLock lock(&mu_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      out.push_back(Aggregate(key, entry));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Stats& a, const Stats& b) {
+    if (a.observations != b.observations) {
+      return a.observations > b.observations;
+    }
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::string CardinalityMemo::ToJson() const {
+  const std::vector<Stats> stats = Snapshot();
+  std::ostringstream os;
+  os << "{\"patterns\":[";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const Stats& s = stats[i];
+    if (i > 0) os << ',';
+    char keybuf[24];
+    std::snprintf(keybuf, sizeof keybuf, "%016llx",
+                  static_cast<unsigned long long>(s.key));
+    os << "{\"key\":\"" << keybuf << "\",\"pattern\":" << JsonString(s.label)
+       << ",\"observations\":" << s.observations
+       << ",\"last_actual\":" << s.last_actual << ",\"mean_actual\":";
+    AppendDouble(os, s.mean_actual);
+    if (s.q_error >= 0.0) {
+      os << ",\"q_error\":";
+      AppendDouble(os, s.q_error);
+    }
+    os << '}';
+  }
+  os << "],\"observed\":" << observed_total()
+     << ",\"dropped\":" << dropped_total() << '}';
+  return os.str();
+}
+
+std::size_t CardinalityMemo::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+}  // namespace hsparql::obs

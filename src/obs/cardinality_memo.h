@@ -1,0 +1,108 @@
+// obs::CardinalityMemo — trace-fed per-pattern-shape cardinality
+// statistics (DESIGN.md §4l).
+//
+// Every completed query folds each scan operator's *observed* output
+// cardinality (and, when a trace was collected, the planner's estimate)
+// into a small ring keyed by an opaque pattern-shape key the engine
+// computes from the triple pattern (constants hashed, variables
+// abstracted — so `?x <type> <Article>` from two different queries share
+// one entry). The memo is the write side of ROADMAP item 1: planners
+// consult recent observed cardinalities instead of static heuristics,
+// and the statistics improve under real traffic.
+//
+// Deliberately engine-agnostic: keys and labels are produced by the
+// caller, so obs/ keeps zero dependencies on the AST or plan layers.
+#ifndef HSPARQL_OBS_CARDINALITY_MEMO_H_
+#define HSPARQL_OBS_CARDINALITY_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hsparql::obs {
+
+/// Thread-safe bounded map: pattern-shape key -> ring of recent
+/// observations. All methods may be called concurrently.
+class CardinalityMemo {
+ public:
+  struct Options {
+    /// Maximum distinct pattern shapes retained; once full, unseen keys
+    /// are counted (`dropped_total`) but not stored, so a scan-heavy
+    /// adversarial workload cannot grow the memo without bound.
+    std::size_t max_patterns = 1024;
+    /// Observations kept per shape (newest overwrite oldest).
+    std::size_t ring_size = 8;
+  };
+
+  struct Observation {
+    std::uint64_t actual = 0;
+    /// Planner estimate captured when a trace rode along; negative when
+    /// the query ran without estimate annotation.
+    double estimated = -1.0;
+  };
+
+  /// Aggregated view of one pattern shape.
+  struct Stats {
+    std::uint64_t key = 0;
+    std::string label;
+    std::uint64_t observations = 0;  ///< lifetime count (ring may hold fewer)
+    std::uint64_t last_actual = 0;
+    double mean_actual = 0.0;  ///< over the retained ring
+    /// Geometric mean of actual/estimated over ring entries that carry an
+    /// estimate (clamped at >=1 row each side); 1.0 = perfectly estimated,
+    /// >1 = underestimated. Negative when no estimates were recorded.
+    double q_error = -1.0;
+  };
+
+  CardinalityMemo();
+  explicit CardinalityMemo(Options options);
+
+  /// Records one observation for `key`. `label` is a human-readable
+  /// rendering of the pattern shape, stored on first sight of the key.
+  void Observe(std::uint64_t key, std::string_view label,
+               std::uint64_t actual, double estimated = -1.0);
+
+  /// Aggregated stats for `key`, if the shape has been seen.
+  std::optional<Stats> Lookup(std::uint64_t key) const;
+
+  /// All retained shapes, most-observed first.
+  std::vector<Stats> Snapshot() const;
+
+  /// {"patterns":[...],"observed":N,"dropped":M}.
+  std::string ToJson() const;
+
+  std::uint64_t observed_total() const {
+    return observed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_total() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Number of distinct shapes currently retained.
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    std::uint64_t observations = 0;
+    std::vector<Observation> ring;  // size <= ring_size, position next % size
+    std::uint64_t next = 0;
+  };
+
+  Stats Aggregate(std::uint64_t key, const Entry& entry) const;
+
+  const Options options_;
+  std::atomic<std::uint64_t> observed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace hsparql::obs
+
+#endif  // HSPARQL_OBS_CARDINALITY_MEMO_H_

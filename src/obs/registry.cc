@@ -267,11 +267,34 @@ std::string MetricsSnapshot::ToJson() const {
   return os.str();
 }
 
+namespace {
+
+/// Escapes HELP text per the exposition format: backslash and line feed
+/// only (double quotes are escaped only inside label values).
+std::string PrometheusHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::ToPrometheus() const {
   std::ostringstream os;
   for (const MetricValue& m : metrics) {
     const std::string name = PrometheusName(m.name);
-    if (!m.help.empty()) os << "# HELP " << name << ' ' << m.help << '\n';
+    if (!m.help.empty()) {
+      os << "# HELP " << name << ' ' << PrometheusHelp(m.help) << '\n';
+    }
     switch (m.type) {
       case MetricValue::Type::kCounter:
         os << "# TYPE " << name << " counter\n"

@@ -1,0 +1,372 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <utility>
+
+namespace hsparql::obs {
+
+namespace {
+
+/// JSON string escaping shared by the trace/access renderers (same
+/// conservative set as the slow-query log).
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendMillis(std::ostringstream& os, double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  os << buf;
+}
+
+std::string HexU64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+bool IsHex(std::string_view s) {
+  for (char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                    (c >= 'A' && c <= 'F');
+    if (!ok) return false;
+  }
+  return !s.empty();
+}
+
+bool AllZero(std::string_view s) {
+  return s.find_first_not_of('0') == std::string_view::npos;
+}
+
+/// Process-global id source: a random per-process base (so two servers'
+/// id streams never collide) advanced by a relaxed counter, whitened
+/// through splitmix64's finalizer so consecutive ids share no prefix.
+std::uint64_t NextIdBits() {
+  static const std::uint64_t base = [] {
+    std::random_device rd;
+    std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return seed;
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL *
+                               counter.fetch_add(1, std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void RenderOperator(std::ostringstream& os, const OperatorTrace& op) {
+  os << "{\"op\":" << JsonString(op.label) << ",\"rows\":" << op.output_rows
+     << ",\"in\":" << op.input_rows << ",\"self_ms\":";
+  AppendMillis(os, op.self_millis);
+  if (op.has_estimate()) {
+    os << ",\"est\":";
+    AppendMillis(os, op.estimated_rows);
+  }
+  if (op.threads > 1) os << ",\"threads\":" << op.threads;
+  if (!op.children.empty()) {
+    os << ",\"children\":[";
+    for (std::size_t i = 0; i < op.children.size(); ++i) {
+      if (i > 0) os << ',';
+      RenderOperator(os, op.children[i]);
+    }
+    os << ']';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string GenerateRequestId() {
+  // The all-zero id is invalid in trace-context; the whitened counter can
+  // only produce it once per 2^64 ids, but guard anyway.
+  std::uint64_t bits = NextIdBits();
+  if (bits == 0) bits = 1;
+  return HexU64(bits);
+}
+
+bool ParseTraceparent(std::string_view header, std::string* trace_id,
+                      std::string* parent_id) {
+  // version "00": 2-2-32-16-2 hex fields, dash-separated, 55 chars. Later
+  // versions may append fields after the flags; accept a dash there.
+  if (header.size() < 55) return false;
+  if (header.size() > 55 && header[55] != '-') return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  const std::string_view version = header.substr(0, 2);
+  const std::string_view trace = header.substr(3, 32);
+  const std::string_view parent = header.substr(36, 16);
+  const std::string_view flags = header.substr(53, 2);
+  if (!IsHex(version) || !IsHex(trace) || !IsHex(parent) || !IsHex(flags)) {
+    return false;
+  }
+  if (version == "ff") return false;  // forbidden by the spec
+  if (AllZero(trace) || AllZero(parent)) return false;
+  trace_id->assign(trace);
+  parent_id->assign(parent);
+  for (std::string* s : {trace_id, parent_id}) {
+    std::transform(s->begin(), s->end(), s->begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+  }
+  return true;
+}
+
+void RequestTrace::AddSpan(std::string name, double start_millis,
+                           double millis) {
+  spans.push_back(RequestSpan{std::move(name), start_millis, millis});
+}
+
+double RequestTrace::SpanMillis(std::string_view name) const {
+  for (const RequestSpan& span : spans) {
+    if (span.name == name) return span.millis;
+  }
+  return 0.0;
+}
+
+double RequestTrace::SpanTotalMillis() const {
+  double total = 0.0;
+  for (const RequestSpan& span : spans) total += span.millis;
+  return total;
+}
+
+std::string RequestTrace::ToJson() const {
+  std::ostringstream os;
+  os << "{\"id\":" << JsonString(id);
+  if (!trace_id.empty()) os << ",\"trace_id\":" << JsonString(trace_id);
+  os << ",\"peer\":" << JsonString(peer)
+     << ",\"method\":" << JsonString(method)
+     << ",\"target\":" << JsonString(target) << ",\"status\":" << http_status
+     << ",\"bytes\":" << response_bytes
+     << ",\"unix_micros\":" << unix_micros << ",\"total_ms\":";
+  AppendMillis(os, total_millis);
+  os << ",\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"name\":" << JsonString(spans[i].name) << ",\"start_ms\":";
+    AppendMillis(os, spans[i].start_millis);
+    os << ",\"ms\":";
+    AppendMillis(os, spans[i].millis);
+    os << '}';
+  }
+  os << ']';
+  if (!engine_status.empty()) {
+    os << ",\"engine_status\":" << JsonString(engine_status)
+       << ",\"query_hash\":\"" << HexU64(query_hash) << '"'
+       << ",\"planner\":" << JsonString(planner) << ",\"rows\":" << rows
+       << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false")
+       << ",\"result_cache_hit\":" << (result_cache_hit ? "true" : "false");
+  }
+  if (query_trace != nullptr) {
+    os << ",\"operators\":";
+    RenderOperator(os, query_trace->root);
+  }
+  os << '}';
+  return os.str();
+}
+
+AccessLogEntry AccessLogEntry::FromTrace(const RequestTrace& trace) {
+  AccessLogEntry entry;
+  entry.id = trace.id;
+  entry.peer = trace.peer;
+  entry.method = trace.method;
+  entry.target = trace.target;
+  entry.status = trace.http_status;
+  entry.bytes = trace.response_bytes;
+  entry.total_millis = trace.total_millis;
+  entry.unix_micros = trace.unix_micros;
+  return entry;
+}
+
+std::string AccessLogEntry::ToJsonLine() const {
+  std::ostringstream os;
+  os << "{\"id\":" << JsonString(id) << ",\"peer\":" << JsonString(peer)
+     << ",\"method\":" << JsonString(method)
+     << ",\"target\":" << JsonString(target) << ",\"status\":" << status
+     << ",\"bytes\":" << bytes << ",\"total_ms\":";
+  AppendMillis(os, total_millis);
+  os << ",\"unix_micros\":" << unix_micros << '}';
+  return os.str();
+}
+
+AccessLog::AccessLog() : AccessLog(Options()) {}
+
+AccessLog::AccessLog(Options options) : options_(std::move(options)) {
+  MutexLock lock(&mu_);
+  ring_.resize(std::max<std::size_t>(1, options_.capacity));
+}
+
+void AccessLog::Record(std::shared_ptr<const RequestTrace> trace) {
+  if (trace == nullptr) return;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.sink &&
+      (!options_.log_errors_only || trace->http_status >= 400)) {
+    options_.sink(AccessLogEntry::FromTrace(*trace).ToJsonLine());
+  }
+  MutexLock lock(&mu_);
+  ring_[next_ % ring_.size()] = std::move(trace);
+  ++next_;
+}
+
+std::vector<AccessLogEntry> AccessLog::Snapshot(std::size_t limit) const {
+  MutexLock lock(&mu_);
+  const std::uint64_t have = std::min<std::uint64_t>(next_, ring_.size());
+  std::uint64_t want = limit == 0 ? have : std::min<std::uint64_t>(limit, have);
+  std::vector<AccessLogEntry> out;
+  out.reserve(want);
+  for (std::uint64_t i = 0; i < want; ++i) {
+    out.push_back(AccessLogEntry::FromTrace(
+        *ring_[(next_ - 1 - i) % ring_.size()]));
+  }
+  return out;
+}
+
+std::string AccessLog::ToJson(std::size_t limit) const {
+  const std::vector<AccessLogEntry> entries = Snapshot(limit);
+  std::string out = "{\"requests\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ',';
+    out += entries[i].ToJsonLine();
+  }
+  out += "],\"recorded\":";
+  out += std::to_string(recorded_total());
+  out += '}';
+  return out;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(options),
+      recent_(std::max<std::size_t>(1, options.recent_capacity)),
+      notable_(std::max<std::size_t>(1, options.notable_capacity)) {}
+
+void FlightRecorder::Ring::Put(std::shared_ptr<const RequestTrace> trace) {
+  // Ticket claim is one fetch_add: writers proceed independently unless a
+  // full wrap lands two on the same slot, where the slot mutex decides.
+  const std::uint64_t ticket = next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots[ticket % slots.size()];
+  MutexLock lock(&slot.mu);
+  // A wrapped-around younger writer may have published a later trace into
+  // this slot while we waited; never replace newer with older.
+  if (slot.trace != nullptr && slot.seq > ticket + 1) return;
+  slot.trace = std::move(trace);
+  slot.seq = ticket + 1;  // 0 marks an empty slot
+}
+
+void FlightRecorder::Ring::Collect(
+    std::vector<std::pair<std::uint64_t,
+                          std::shared_ptr<const RequestTrace>>>* out) const {
+  for (const Slot& slot : slots) {
+    MutexLock lock(&slot.mu);
+    if (slot.trace != nullptr) out->emplace_back(slot.seq, slot.trace);
+  }
+}
+
+void FlightRecorder::Record(std::shared_ptr<const RequestTrace> trace) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const bool notable = trace->http_status >= 400 ||
+                       trace->total_millis >= options_.slow_millis;
+  if (notable) {
+    notable_recorded_.fetch_add(1, std::memory_order_relaxed);
+    notable_.Put(trace);
+  }
+  recent_.Put(std::move(trace));
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> FlightRecorder::Snapshot(
+    Filter filter) const {
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const RequestTrace>>>
+      collected;
+  recent_.Collect(&collected);
+  notable_.Collect(&collected);
+  // Newest first; the two rings use independent tickets, so order across
+  // them by wall-clock start (ticket order only within a ring).
+  std::sort(collected.begin(), collected.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->unix_micros != b.second->unix_micros) {
+                return a.second->unix_micros > b.second->unix_micros;
+              }
+              return a.first > b.first;
+            });
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  out.reserve(collected.size());
+  for (auto& [seq, trace] : collected) {
+    if (trace->total_millis < filter.min_millis) continue;
+    if (filter.status != 0) {
+      if (filter.status < 10) {
+        if (trace->http_status / 100 != filter.status) continue;
+      } else if (trace->http_status != filter.status) {
+        continue;
+      }
+    }
+    // De-dup notable traces that still live in the recent ring.
+    bool seen = false;
+    for (const auto& kept : out) {
+      if (kept.get() == trace.get() ||
+          (kept->id == trace->id && kept->unix_micros == trace->unix_micros)) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    out.push_back(std::move(trace));
+    if (filter.limit != 0 && out.size() >= filter.limit) break;
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> FlightRecorder::Snapshot()
+    const {
+  return Snapshot(Filter());
+}
+
+std::string FlightRecorder::ToJson() const { return ToJson(Filter()); }
+
+std::string FlightRecorder::ToJson(Filter filter) const {
+  const auto traces = Snapshot(filter);
+  std::string out = "{\"traces\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) out += ',';
+    out += traces[i]->ToJson();
+  }
+  out += "],\"recorded\":";
+  out += std::to_string(recorded_total());
+  out += ",\"notable\":";
+  out += std::to_string(notable_total());
+  out += '}';
+  return out;
+}
+
+}  // namespace hsparql::obs

@@ -1,0 +1,256 @@
+// obs::RequestTrace — end-to-end request telemetry for the serving path
+// (DESIGN.md §4l).
+//
+// Three pieces, deliberately transport-agnostic (the server owns the HTTP
+// specifics; benches and tests drive these directly):
+//
+//  * RequestTrace — one request's span timeline from the first socket byte
+//    to the last byte handed to the kernel: named phase spans
+//    (parse_http, queue, parse, plan, exec, serialize, flush) each with a
+//    start offset and duration, plus the query-level annotations the
+//    slow-query log already carries (planner, cache hits, rows, status)
+//    and — when execution collected one — the plan-shaped
+//    obs::QueryTrace operator tree grafted in as child spans. Keyed by a
+//    request id generated at accept, or adopted from an incoming W3C
+//    `traceparent` header so distributed traces correlate.
+//
+//  * FlightRecorder — retains completed traces in two fixed-size rings:
+//    `recent` receives every trace (high traffic overwrites it quickly),
+//    `notable` receives only slow (>= slow_millis) or errored (HTTP >=
+//    400) traces, so the interesting ones survive long after the steady
+//    stream has wrapped — the slow/error-biased sampling policy. Ring
+//    slots are claimed by a lock-free ticket counter; publication into the
+//    claimed slot is a per-slot exclusive move (no global lock is ever
+//    taken on the record path, and two writers only touch the same slot
+//    after a full ring wrap).
+//
+//  * AccessLog — a ring of compact per-request entries (every request,
+//    every endpoint) behind GET /debug/requests, plus an optional sink:
+//    with `log_errors_only` (the default) the sink receives one JSON line
+//    per failed request — which is exactly how 408 deadline expiries and
+//    499 client-cancellations become visible in server logs, keyed by the
+//    same request id as the slow-query log.
+#ifndef HSPARQL_OBS_REQUEST_TRACE_H_
+#define HSPARQL_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/trace.h"
+
+namespace hsparql::obs {
+
+/// Generates a fresh 16-hex-digit request id. Thread-safe; ids are unique
+/// within a process and seeded per-process so two servers never collide on
+/// id streams.
+std::string GenerateRequestId();
+
+/// Parses a W3C trace-context `traceparent` header
+/// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). On success
+/// fills `trace_id` (32 hex) and `parent_id` (16 hex) and returns true;
+/// malformed or all-zero ids return false (the caller falls back to
+/// GenerateRequestId, per the spec's restart rule).
+bool ParseTraceparent(std::string_view header, std::string* trace_id,
+                      std::string* parent_id);
+
+/// One named phase of a request, on the request's own clock (offsets are
+/// milliseconds since the first byte of the request arrived).
+struct RequestSpan {
+  std::string name;
+  double start_millis = 0.0;
+  double millis = 0.0;
+};
+
+/// The whole request, completed. Immutable once handed to the recorder.
+struct RequestTrace {
+  /// 16 hex chars: generated at accept, or the parent-id of an incoming
+  /// traceparent header (so the caller's span id threads through logs).
+  std::string id;
+  /// 32-hex W3C trace-id when the request carried a traceparent header;
+  /// empty otherwise.
+  std::string trace_id;
+  std::string peer;
+  std::string method;
+  std::string target;
+  int http_status = 0;
+  std::uint64_t response_bytes = 0;
+  /// Wall-clock microseconds since the Unix epoch at request start (the
+  /// one non-monotonic stamp, for correlating with external logs).
+  std::int64_t unix_micros = 0;
+  /// First request byte -> response fully handed to the kernel.
+  double total_millis = 0.0;
+
+  std::vector<RequestSpan> spans;
+
+  // Query-level annotations (empty/zero for non-query endpoints).
+  std::uint64_t query_hash = 0;
+  std::string planner;
+  /// "ok" or the snake_case StatusCodeName of the pipeline failure.
+  std::string engine_status;
+  std::uint64_t rows = 0;
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+  /// Plan-shaped per-operator actuals (null when execution did not
+  /// collect a trace, e.g. result-cache hits reuse the cached one).
+  std::shared_ptr<const QueryTrace> query_trace;
+
+  void AddSpan(std::string name, double start_millis, double millis);
+  /// Duration of the first span with `name`; 0 when absent.
+  double SpanMillis(std::string_view name) const;
+  /// Sum of all span durations (the self-time total the acceptance
+  /// criterion compares against total_millis).
+  double SpanTotalMillis() const;
+
+  /// One JSON object (no trailing newline): ids, timings, spans array,
+  /// and — when present — the operator tree as nested {op,rows,est,ms}
+  /// objects.
+  std::string ToJson() const;
+};
+
+/// Compact per-request record, materialized from a RequestTrace for
+/// /debug/requests snapshots and sink lines.
+struct AccessLogEntry {
+  std::string id;
+  std::string peer;
+  std::string method;
+  std::string target;
+  int status = 0;
+  std::uint64_t bytes = 0;
+  double total_millis = 0.0;
+  std::int64_t unix_micros = 0;
+
+  static AccessLogEntry FromTrace(const RequestTrace& trace);
+
+  std::string ToJsonLine() const;
+};
+
+/// Ring of recent requests plus an optional line sink. The ring holds
+/// the (immutable, already-built) RequestTrace pointers — recording a
+/// request is one shared_ptr store, not a string-field copy — and
+/// AccessLogEntry views are materialized only when a snapshot or sink
+/// line actually needs one.
+class AccessLog {
+ public:
+  using Sink = std::function<void(std::string_view)>;
+
+  struct Options {
+    std::size_t capacity = 256;
+    /// Receives one JSON line per recorded request (no newline). Null
+    /// disables line output; the ring records regardless.
+    Sink sink;
+    /// With a sink set: only emit lines for status >= 400 (the 408/499
+    /// cancellation visibility satellite) instead of every request.
+    bool log_errors_only = true;
+  };
+
+  AccessLog();
+  explicit AccessLog(Options options);
+
+  void Record(std::shared_ptr<const RequestTrace> trace);
+
+  /// Most recent entries, newest first, at most `limit` (0 = all).
+  std::vector<AccessLogEntry> Snapshot(std::size_t limit = 0) const;
+  /// {"requests":[...]} — newest first.
+  std::string ToJson(std::size_t limit = 0) const;
+
+  std::uint64_t recorded_total() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Options options_;
+  std::atomic<std::uint64_t> recorded_{0};
+  mutable Mutex mu_;
+  /// Circular buffer: request i of the logical sequence lives at i % cap.
+  std::vector<std::shared_ptr<const RequestTrace>> ring_ GUARDED_BY(mu_);
+  std::uint64_t next_ GUARDED_BY(mu_) = 0;
+};
+
+/// The flight recorder: see the file comment for the two-ring policy.
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Every completed trace lands here (overwritten oldest-first).
+    std::size_t recent_capacity = 256;
+    /// Slow/error traces additionally land here and therefore survive
+    /// recent-ring wraps.
+    std::size_t notable_capacity = 64;
+    /// A trace at least this slow is notable even with a 2xx status.
+    double slow_millis = 100.0;
+  };
+
+  FlightRecorder();
+  explicit FlightRecorder(Options options);
+
+  /// Records a completed trace. Wait-free slot claim; never blocks
+  /// another writer except after a full ring wrap lands two writers on
+  /// one slot.
+  void Record(std::shared_ptr<const RequestTrace> trace);
+
+  struct Filter {
+    /// Keep traces with total_millis >= min_millis.
+    double min_millis = 0.0;
+    /// 0 keeps all; 4 keeps 4xx, 5 keeps 5xx, a full code (e.g. 408)
+    /// keeps exactly that status.
+    int status = 0;
+    /// Maximum traces returned (0 = all retained).
+    std::size_t limit = 0;
+  };
+
+  /// Matching traces, newest first, de-duplicated across the two rings.
+  std::vector<std::shared_ptr<const RequestTrace>> Snapshot(
+      Filter filter) const;
+  std::vector<std::shared_ptr<const RequestTrace>> Snapshot() const;
+
+  /// {"traces":[...],"recorded":N,"notable":M} under `filter`.
+  std::string ToJson(Filter filter) const;
+  std::string ToJson() const;
+
+  std::uint64_t recorded_total() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t notable_total() const {
+    return notable_recorded_.load(std::memory_order_relaxed);
+  }
+  double slow_millis() const { return options_.slow_millis; }
+
+ private:
+  /// One ring slot. The per-slot mutex serialises the (rare) writer
+  /// collision after a wrap and lets readers copy the shared_ptr safely;
+  /// slot claim itself is a lock-free ticket fetch_add.
+  struct Slot {
+    mutable Mutex mu;
+    std::shared_ptr<const RequestTrace> trace GUARDED_BY(mu);
+    /// Global sequence number of the occupant (for newest-first merge).
+    std::uint64_t seq GUARDED_BY(mu) = 0;
+  };
+
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> next{0};
+
+    void Put(std::shared_ptr<const RequestTrace> trace);
+    void Collect(
+        std::vector<std::pair<std::uint64_t,
+                              std::shared_ptr<const RequestTrace>>>* out)
+        const;
+  };
+
+  const Options options_;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> notable_recorded_{0};
+  Ring recent_;
+  Ring notable_;
+};
+
+}  // namespace hsparql::obs
+
+#endif  // HSPARQL_OBS_REQUEST_TRACE_H_

@@ -54,8 +54,12 @@ std::uint64_t HashQueryText(std::string_view normalized_text) {
 
 std::string ToJsonLine(const SlowQueryEvent& event) {
   std::ostringstream os;
+  os << '{';
+  if (!event.request_id.empty()) {
+    os << "\"request_id\":" << JsonString(event.request_id) << ',';
+  }
   // query_hash as fixed-width hex: log pipelines treat it as an opaque id.
-  os << "{\"query_hash\":\"" << std::hex << std::setw(16)
+  os << "\"query_hash\":\"" << std::hex << std::setw(16)
      << std::setfill('0') << event.query_hash << std::dec
      << std::setfill(' ') << '"'
      << ",\"planner\":" << JsonString(event.planner)

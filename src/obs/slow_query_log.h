@@ -24,6 +24,11 @@ namespace hsparql::obs {
 
 /// Everything one slow-query line carries. Field names match the JSON.
 struct SlowQueryEvent {
+  /// Request id of the HTTP request that issued the query (empty for
+  /// embedded callers). Correlates a slow-log line with the access log,
+  /// /debug/traces, and the X-Request-Id the client saw — without it two
+  /// clients issuing the same text are indistinguishable.
+  std::string request_id;
   /// FNV-1a 64 of the *normalized* query text (whitespace/comment
   /// insensitive, literal-preserving) — stable across reformattings of
   /// the same query, and deliberately not the text itself so logs never

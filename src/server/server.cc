@@ -11,6 +11,7 @@
 
 #include <cerrno>
 #include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -49,12 +50,28 @@ struct SparqlServer::Connection {
   /// Cached epoll interest to avoid redundant epoll_ctl calls.
   std::uint32_t interest = 0;
 
+  /// Request-clock zero for the request currently being parsed: stamped
+  /// on the first read wake after the previous request completed,
+  /// consumed by Route (IO thread only).
+  std::chrono::steady_clock::time_point first_byte{};
+  bool first_byte_valid = false;
+  /// Traces of responses sitting in outbuf, committed to the flight
+  /// recorder once the kernel has taken every byte (IO thread only).
+  std::vector<Traced> pending_commits;
+
   explicit Connection(RequestParser::Limits limits) : parser(limits) {}
+
+  /// One worker-completed response: the serialised bytes plus the trace
+  /// context to commit when they flush.
+  struct Outgoing {
+    std::string bytes;
+    Traced traced;
+  };
 
   Mutex mu;
   /// Worker-completed responses, in completion order (at most one given
   /// `busy`, but a vector keeps the invariant local).
-  std::vector<std::string> inbox GUARDED_BY(mu);
+  std::vector<Outgoing> inbox GUARDED_BY(mu);
   bool inbox_close GUARDED_BY(mu) = false;
 };
 
@@ -63,7 +80,9 @@ SparqlServer::SparqlServer(engine::Engine* engine, ServerOptions options)
       options_(std::move(options)),
       pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Shared()),
       admission_(std::make_shared<AdmissionController>(options_.admission,
-                                                       pool_)) {
+                                                       pool_)),
+      recorder_(options_.recorder),
+      access_log_(options_.access_log) {
   RegisterMetrics();
 }
 
@@ -94,6 +113,27 @@ void SparqlServer::RegisterMetrics() {
       "server.queue.wait_millis", "admission queue wait before execution");
   request_millis_ = reg.GetHistogram(
       "server.request_millis", "end-to-end request latency (admit to respond)");
+  // The depth gauge/histogram pair: server.queue.depth (below) samples the
+  // queue at scrape time, this histogram samples it at every admission —
+  // the distribution a 503/429 burst can be correlated against.
+  static constexpr double kDepthBuckets[] = {0,  1,  2,   4,   8,   16,
+                                             32, 64, 128, 256, 512, 1024};
+  queue_depth_at_admit_ = reg.GetHistogram(
+      "server.queue.depth_at_admit",
+      "admission queue depth sampled when each request was submitted",
+      kDepthBuckets);
+  queue_wait_last_millis_ = reg.GetGauge(
+      "server.queue.wait_last_millis",
+      "queue wait of the most recently started request");
+  phase_parse_http_millis_ = reg.GetHistogram(
+      "server.phase.parse_http_millis",
+      "request phase: first byte to complete HTTP parse");
+  phase_serialize_millis_ = reg.GetHistogram(
+      "server.phase.serialize_millis",
+      "request phase: result serialization (rows to response bytes)");
+  phase_flush_millis_ = reg.GetHistogram(
+      "server.phase.flush_millis",
+      "request phase: response posted to last byte handed to the kernel");
   // Callback gauges read the controller live; the shared_ptr capture
   // keeps it valid even if the engine outlives this server.
   std::shared_ptr<AdmissionController> admission = admission_;
@@ -233,6 +273,7 @@ void SparqlServer::IoLoop() {
   // Exit: close every socket. Workers still holding Connection
   // shared_ptrs only ever touch the inbox, never the (now closed) fd.
   for (auto& [id, conn] : connections_) {
+    CommitFlushed(conn);
     if (conn->fd >= 0) close(conn->fd);
     conn->fd = -1;
     connections_active_->Sub();
@@ -278,6 +319,11 @@ void SparqlServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
   while (true) {
     ssize_t got = read(conn->fd, buf, sizeof buf);
     if (got > 0) {
+      if (!conn->first_byte_valid) {
+        // Request-clock zero for the next request on this connection.
+        conn->first_byte = std::chrono::steady_clock::now();
+        conn->first_byte_valid = true;
+      }
       conn->parser.Feed(
           std::string_view(buf, static_cast<std::size_t>(got)));
       continue;
@@ -327,12 +373,41 @@ void SparqlServer::Route(const std::shared_ptr<Connection>& conn,
                          const HttpRequest& req) {
   requests_total_->Add();
   const bool keep_alive = req.keep_alive;
+
+  // Request-trace setup: id (generated, or adopted from a W3C traceparent
+  // header so the caller's span id threads through every log line), the
+  // request clock, and the parse_http span. The trace rides the Traced
+  // context through admission and commits when the response flushes.
+  Traced traced;
+  if (options_.request_tracing) {
+    const auto now = std::chrono::steady_clock::now();
+    traced.start = conn->first_byte_valid ? conn->first_byte : now;
+    traced.trace = std::make_shared<obs::RequestTrace>();
+    obs::RequestTrace& trace = *traced.trace;
+    trace.spans.reserve(8);  // parse_http..flush: one growth, no reallocs
+    std::string parent_id;
+    if (obs::ParseTraceparent(req.Header("traceparent"), &trace.trace_id,
+                              &parent_id)) {
+      trace.id = std::move(parent_id);
+    } else {
+      trace.id = obs::GenerateRequestId();
+    }
+    trace.peer = conn->peer;
+    trace.method = req.method;
+    trace.target = req.target;
+    trace.unix_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+    trace.AddSpan("parse_http", 0.0,
+                  std::chrono::duration<double, std::milli>(now - traced.start)
+                      .count());
+  }
+  conn->first_byte_valid = false;  // the next request restamps
+
   if (req.path == "/healthz") {
     if (req.method != "GET" && req.method != "HEAD") {
-      PostResponse(conn,
-                   FormatResponse(405, "text/plain", "method not allowed\n",
-                                  keep_alive, {{"Allow", "GET"}}),
-                   !keep_alive, false);
+      Send(conn, 405, "text/plain", "method not allowed\n", keep_alive,
+           !keep_alive, false, std::move(traced), {{"Allow", "GET"}});
       return;
     }
     const bool draining = draining_.load(std::memory_order_acquire);
@@ -344,58 +419,99 @@ void SparqlServer::Route(const std::shared_ptr<Connection>& conn,
                        std::string(storage::StoreBackendName(
                            engine_->stats().backend)) +
                        "\n";
-    PostResponse(conn,
-                 FormatResponse(draining ? 503 : 200, "text/plain", body,
-                                keep_alive),
-                 !keep_alive, false);
+    Send(conn, draining ? 503 : 200, "text/plain", body, keep_alive,
+         !keep_alive, false, std::move(traced));
     return;
   }
   if (req.path == "/metrics") {
     if (req.method != "GET") {
-      PostResponse(conn,
-                   FormatResponse(405, "text/plain", "method not allowed\n",
-                                  keep_alive, {{"Allow", "GET"}}),
-                   !keep_alive, false);
+      Send(conn, 405, "text/plain", "method not allowed\n", keep_alive,
+           !keep_alive, false, std::move(traced), {{"Allow", "GET"}});
       return;
     }
     std::string body =
         engine_->ExportMetrics(engine::Engine::MetricsFormat::kPrometheus);
-    PostResponse(conn,
-                 FormatResponse(200,
-                                "text/plain; version=0.0.4; charset=utf-8",
-                                body, keep_alive),
-                 !keep_alive, false);
+    Send(conn, 200, "text/plain; version=0.0.4; charset=utf-8", body,
+         keep_alive, !keep_alive, false, std::move(traced));
+    return;
+  }
+  if (req.path == "/debug/traces" || req.path == "/debug/requests" ||
+      req.path == "/debug/stats") {
+    HandleDebug(conn, req, std::move(traced));
     return;
   }
   if (req.path == "/sparql" || req.path == "/") {
     if (req.method != "GET" && req.method != "POST") {
-      PostResponse(conn,
-                   FormatResponse(405, "application/json",
-                                  ErrorBody(StatusCode::kUnsupported,
-                                            "use GET or POST"),
-                                  keep_alive, {{"Allow", "GET, POST"}}),
-                   !keep_alive, false);
+      Send(conn, 405, "application/json",
+           ErrorBody(StatusCode::kUnsupported, "use GET or POST"), keep_alive,
+           !keep_alive, false, std::move(traced), {{"Allow", "GET, POST"}});
       return;
     }
-    HandleQuery(conn, req);
+    HandleQuery(conn, req, std::move(traced));
     return;
   }
-  PostResponse(conn,
-               FormatResponse(404, "application/json",
-                              ErrorBody(StatusCode::kNotFound,
-                                        "no such endpoint: " + req.path),
-                              keep_alive),
-               !keep_alive, false);
+  Send(conn, 404, "application/json",
+       ErrorBody(StatusCode::kNotFound, "no such endpoint: " + req.path),
+       keep_alive, !keep_alive, false, std::move(traced));
+}
+
+void SparqlServer::HandleDebug(const std::shared_ptr<Connection>& conn,
+                               const HttpRequest& req, Traced traced) {
+  const bool keep_alive = req.keep_alive;
+  if (req.method != "GET") {
+    Send(conn, 405, "text/plain", "method not allowed\n", keep_alive,
+         !keep_alive, false, std::move(traced), {{"Allow", "GET"}});
+    return;
+  }
+  auto size_param = [&](std::string_view name) -> std::size_t {
+    std::optional<std::string> p = FormParam(req.query_string, name);
+    if (!p.has_value()) return 0;
+    std::size_t v = 0;
+    std::from_chars(p->data(), p->data() + p->size(), v);
+    return v;
+  };
+  std::string body;
+  if (req.path == "/debug/traces") {
+    obs::FlightRecorder::Filter filter;
+    if (std::optional<std::string> p = FormParam(req.query_string, "min_ms");
+        p.has_value()) {
+      filter.min_millis = std::strtod(p->c_str(), nullptr);
+    }
+    if (std::optional<std::string> p = FormParam(req.query_string, "status");
+        p.has_value()) {
+      int v = 0;
+      std::from_chars(p->data(), p->data() + p->size(), v);
+      filter.status = v;
+    }
+    filter.limit = size_param("limit");
+    body = recorder_.ToJson(filter);
+  } else if (req.path == "/debug/requests") {
+    body = access_log_.ToJson(size_param("limit"));
+  } else {
+    // /debug/stats: trace-fed planner statistics plus recorder counters.
+    body = "{\"cardinality_memo\":";
+    body += engine_->cardinality_memo().ToJson();
+    body += ",\"flight_recorder\":{\"recorded\":";
+    body += std::to_string(recorder_.recorded_total());
+    body += ",\"notable\":";
+    body += std::to_string(recorder_.notable_total());
+    body += ",\"slow_millis\":";
+    body += std::to_string(recorder_.slow_millis());
+    body += "},\"access_log\":{\"recorded\":";
+    body += std::to_string(access_log_.recorded_total());
+    body += "}}";
+  }
+  body += '\n';
+  Send(conn, 200, "application/json", body, keep_alive, !keep_alive, false,
+       std::move(traced));
 }
 
 void SparqlServer::HandleQuery(const std::shared_ptr<Connection>& conn,
-                               const HttpRequest& req) {
+                               const HttpRequest& req, Traced traced) {
   const bool keep_alive = req.keep_alive;
   auto fail = [&](int http_status, StatusCode code, std::string_view message) {
-    PostResponse(conn,
-                 FormatResponse(http_status, "application/json",
-                                ErrorBody(code, message), keep_alive),
-                 !keep_alive, false);
+    Send(conn, http_status, "application/json", ErrorBody(code, message),
+         keep_alive, !keep_alive, false, std::move(traced));
   };
 
   // 1. The query text (SPARQL Protocol: GET ?query=, POST form body, or
@@ -473,15 +589,38 @@ void SparqlServer::HandleQuery(const std::shared_ptr<Connection>& conn,
   engine::QueryOptions query_options = options_.query;
   query_options.cancel = token.get();
   query_options.timeout_ms = 0;  // the token above carries the deadline
+  if (traced.trace != nullptr) {
+    // Thread the id into engine telemetry (slow-query-log lines) and
+    // force the per-operator trace on: the request trace grafts it in as
+    // child spans, and its est/actual cardinalities feed the memo. The
+    // request-trace-overhead CI gate bounds the cost of this default.
+    query_options.request_id = traced.trace->id;
+    query_options.collect_trace = true;
+  }
 
   // 4. Admission. The job runs on a pool worker (or is handed back
   //    cancelled during shutdown) — never inline here.
+  queue_depth_at_admit_->Observe(
+      static_cast<double>(admission_->stats().queued));
+  if (traced.trace != nullptr) {
+    traced.admit_offset_millis = traced.OffsetMillis();
+    // Extracting and decoding the query out of the request (plus the
+    // deadline setup) is still parsing the HTTP request: stretch the
+    // span to the admission point so the phases tile the wall clock.
+    for (obs::RequestSpan& span : traced.trace->spans) {
+      if (span.name == "parse_http") {
+        span.millis = traced.admit_offset_millis - span.start_millis;
+        break;
+      }
+    }
+  }
   AdmitDecision decision = admission_->Submit(
       conn->peer,
       [this, conn, text = std::move(*query_text), query_options, token, format,
-       keep_alive](std::chrono::nanoseconds queue_wait, bool cancelled) {
+       keep_alive, traced](std::chrono::nanoseconds queue_wait,
+                           bool cancelled) {
         ExecuteQueryJob(conn, text, query_options, token, *format, keep_alive,
-                        queue_wait, cancelled);
+                        queue_wait, cancelled, traced);
       });
   switch (decision) {
     case AdmitDecision::kAdmitted:
@@ -513,52 +652,135 @@ void SparqlServer::ExecuteQueryJob(const std::shared_ptr<Connection>& conn,
                                    const std::shared_ptr<CancelToken>& token,
                                    results::Format format, bool keep_alive,
                                    std::chrono::nanoseconds queue_wait,
-                                   bool cancelled) {
+                                   bool cancelled, Traced traced) {
   const double wait_millis =
       std::chrono::duration<double, std::milli>(queue_wait).count();
   queue_wait_millis_->Observe(wait_millis);
+  queue_wait_last_millis_->Set(static_cast<std::int64_t>(wait_millis));
   obs::ScopedTimer request_timer(request_millis_);
+  if (traced.trace != nullptr) {
+    // Measured on the request clock (admit -> job start) rather than the
+    // queue's enqueue->dequeue stopwatch, so the span also covers the
+    // worker wake-up; the queue_wait histogram keeps the precise figure.
+    traced.trace->AddSpan(
+        "queue", traced.admit_offset_millis,
+        std::max(0.0, traced.OffsetMillis() - traced.admit_offset_millis));
+  }
 
   if (cancelled) {
     // Dropped from the queue by shutdown; never executed.
     rejected_draining_->Add();
-    PostResponse(conn,
-                 FormatResponse(503, "application/json",
-                                ErrorBody(StatusCode::kUnavailable,
-                                          "server shutting down"),
-                                /*keep_alive=*/false),
-                 /*close_after=*/true, /*from_worker=*/true);
+    if (traced.trace != nullptr) traced.trace->engine_status = "cancelled";
+    Send(conn, 503, "application/json",
+         ErrorBody(StatusCode::kUnavailable, "server shutting down"),
+         /*keep_alive=*/false, /*close_after=*/true, /*from_worker=*/true,
+         std::move(traced));
     return;
   }
 
   int http_status;
   std::string content_type = "application/json";
   std::string body;
+  const double engine_offset =
+      traced.trace != nullptr ? traced.OffsetMillis() : 0.0;
   auto response = engine_->Query(query_text, query_options);
+  if (traced.trace != nullptr) {
+    // Graft the engine pipeline in as child spans on the request clock
+    // (on a plan-cache hit parse/plan are ~0-length, mirroring the work
+    // actually done), plus the query-level annotations the slow-query
+    // log carries.
+    obs::RequestTrace& trace = *traced.trace;
+    if (response.ok()) {
+      trace.query_hash = response->planned->query_hash;
+      trace.engine_status = "ok";
+      trace.planner = response->planner;
+      trace.rows = response->rows();
+      trace.plan_cache_hit = response->plan_cache_hit;
+      trace.result_cache_hit = response->result_cache_hit;
+      trace.query_trace = response->trace;
+      double offset = engine_offset;
+      trace.AddSpan("parse", offset, response->parse_millis);
+      offset += response->parse_millis;
+      trace.AddSpan("plan", offset, response->plan_millis);
+      offset += response->plan_millis;
+      // The engine's wall time exceeds the sum of its pipeline timers:
+      // normalization and cache lookups run before the pipeline starts,
+      // and on a cache hit they are all that runs.  Fold that remainder
+      // into exec so the spans tile the request's wall clock.
+      const double engine_wall = traced.OffsetMillis() - engine_offset;
+      trace.AddSpan("exec", offset,
+                    std::max(response->exec_millis,
+                             engine_wall - response->parse_millis -
+                                 response->plan_millis));
+    } else {
+      trace.engine_status =
+          std::string(StatusCodeName(response.status().code()));
+      trace.AddSpan("exec", engine_offset,
+                    traced.OffsetMillis() - engine_offset);
+    }
+  }
   if (response.ok()) {
     http_status = 200;
     content_type = std::string(results::ContentType(format));
-    // The view pins the store (shared lock) while the dictionary decodes
-    // result ids; queries running concurrently share the lock.
-    engine::StoreView view = engine_->read_view();
-    body = results::WriteString(format, response->result->table,
-                                response->planned->planned.query,
-                                view.dictionary());
+    const double serialize_offset =
+        traced.trace != nullptr ? traced.OffsetMillis() : 0.0;
+    {
+      // The view pins the store (shared lock) while the dictionary
+      // decodes result ids; queries running concurrently share the lock.
+      engine::StoreView view = engine_->read_view();
+      body = results::WriteString(format, response->result->table,
+                                  response->planned->planned.query,
+                                  view.dictionary());
+    }
+    if (traced.trace != nullptr) {
+      traced.trace->AddSpan("serialize", serialize_offset,
+                            traced.OffsetMillis() - serialize_offset);
+    }
   } else {
     http_status = HttpStatusFor(response.status().code());
     body = ErrorBody(response.status().code(), response.status().message());
   }
   (void)token;  // keeps the deadline alive until the query finished
-  PostResponse(conn, FormatResponse(http_status, content_type, body, keep_alive),
-               /*close_after=*/!keep_alive, /*from_worker=*/true);
+  Send(conn, http_status, content_type, body, keep_alive,
+       /*close_after=*/!keep_alive, /*from_worker=*/true, std::move(traced));
+}
+
+std::string SparqlServer::Respond(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive, const Traced& traced,
+    std::vector<std::pair<std::string, std::string>> extra_headers) const {
+  if (traced.trace != nullptr) {
+    extra_headers.emplace_back("X-Request-Id", traced.trace->id);
+  }
+  return FormatResponse(status, content_type, body, keep_alive, extra_headers);
+}
+
+void SparqlServer::Send(
+    const std::shared_ptr<Connection>& conn, int status,
+    std::string_view content_type, std::string_view body, bool keep_alive,
+    bool close_after, bool from_worker, Traced traced,
+    std::vector<std::pair<std::string, std::string>> extra_headers) {
+  std::string response = Respond(status, content_type, body, keep_alive,
+                                 traced, std::move(extra_headers));
+  PostResponse(conn, std::move(response), close_after, from_worker,
+               std::move(traced));
 }
 
 void SparqlServer::PostResponse(const std::shared_ptr<Connection>& conn,
                                 std::string response, bool close_after,
                                 bool from_worker) {
-  const int status_class = (response.size() > 9 && response[9] >= '0')
-                               ? (response[9] - '0')
-                               : 0;
+  PostResponse(conn, std::move(response), close_after, from_worker, Traced());
+}
+
+void SparqlServer::PostResponse(const std::shared_ptr<Connection>& conn,
+                                std::string response, bool close_after,
+                                bool from_worker, Traced traced) {
+  // "HTTP/1.1 NNN ...": the three status digits start at offset 9.
+  int status = 0;
+  if (response.size() > 11) {
+    std::from_chars(response.data() + 9, response.data() + 12, status);
+  }
+  const int status_class = status / 100;
   if (status_class == 2) {
     responses_2xx_->Add();
   } else if (status_class == 4) {
@@ -566,21 +788,30 @@ void SparqlServer::PostResponse(const std::shared_ptr<Connection>& conn,
   } else if (status_class == 5) {
     responses_5xx_->Add();
   }
+  if (traced.trace != nullptr) {
+    traced.trace->http_status = status;
+    traced.trace->response_bytes = response.size();
+    traced.post_offset_millis = traced.OffsetMillis();
+  }
   if (!from_worker) {
     // IO thread: append straight to the socket buffer.
     conn->outbuf += response;
     if (close_after) conn->close_after_write = true;
+    if (traced.trace != nullptr) {
+      conn->pending_commits.push_back(std::move(traced));
+    }
     HandleWritable(conn);
     return;
   }
   {
     MutexLock lock(&conn->mu);
-    conn->inbox.push_back(std::move(response));
+    conn->inbox.push_back(
+        Connection::Outgoing{std::move(response), std::move(traced)});
     if (close_after) conn->inbox_close = true;
   }
   {
     MutexLock lock(&done_mu_);
-    done_queue_.push_back(conn->id);
+    done_queue_.push_back(conn);
   }
   std::uint64_t one = 1;
   // A full eventfd counter (EAGAIN) still leaves it readable: the wake
@@ -589,21 +820,36 @@ void SparqlServer::PostResponse(const std::shared_ptr<Connection>& conn,
 }
 
 void SparqlServer::DrainCompletions() {
-  std::deque<std::uint64_t> done;
+  std::deque<std::shared_ptr<Connection>> done;
   {
     MutexLock lock(&done_mu_);
     done.swap(done_queue_);
   }
-  for (std::uint64_t id : done) {
-    auto it = connections_.find(id);
-    if (it == connections_.end()) continue;  // peer left first: drop
-    std::shared_ptr<Connection> conn = it->second;
+  for (const std::shared_ptr<Connection>& conn : done) {
+    const std::uint64_t id = conn->id;
+    std::vector<Connection::Outgoing> inbox;
+    bool inbox_close = false;
     {
       MutexLock lock(&conn->mu);
-      for (std::string& response : conn->inbox) conn->outbuf += response;
-      conn->inbox.clear();
-      if (conn->inbox_close) conn->close_after_write = true;
+      inbox.swap(conn->inbox);
+      inbox_close = conn->inbox_close;
     }
+    if (connections_.count(id) == 0) {
+      // Peer left before the response: nothing to write, but the trace
+      // still belongs in the flight recorder (this is where a client
+      // that gave up on a slow query becomes visible).
+      for (Connection::Outgoing& out : inbox) {
+        if (out.traced.trace != nullptr) CommitTrace(std::move(out.traced));
+      }
+      continue;
+    }
+    for (Connection::Outgoing& out : inbox) {
+      conn->outbuf += out.bytes;
+      if (out.traced.trace != nullptr) {
+        conn->pending_commits.push_back(std::move(out.traced));
+      }
+    }
+    if (inbox_close) conn->close_after_write = true;
     conn->busy = false;
     // The answered request may have pipelined successors already parsed.
     ProcessParsed(conn);
@@ -612,6 +858,37 @@ void SparqlServer::DrainCompletions() {
       if (connections_.count(id) != 0) UpdateInterest(conn);
     }
   }
+}
+
+void SparqlServer::CommitTrace(Traced&& traced) {
+  obs::RequestTrace& trace = *traced.trace;
+  const double total = traced.OffsetMillis();
+  trace.total_millis = total;
+  // Flush picks up where the last recorded span left off, so the gap
+  // between serialize ending and the worker posting (building the HTTP
+  // envelope, the eventfd hop) is attributed rather than lost and the
+  // spans' self-times sum to the request's wall time.
+  double flush_start = 0.0;
+  for (const obs::RequestSpan& span : trace.spans) {
+    flush_start = std::max(flush_start, span.start_millis + span.millis);
+  }
+  flush_start = std::min(flush_start, total);
+  trace.AddSpan("flush", flush_start, std::max(0.0, total - flush_start));
+  phase_parse_http_millis_->Observe(trace.SpanMillis("parse_http"));
+  phase_flush_millis_->Observe(trace.SpanMillis("flush"));
+  if (!trace.engine_status.empty()) {
+    phase_serialize_millis_->Observe(trace.SpanMillis("serialize"));
+  }
+  access_log_.Record(traced.trace);
+  recorder_.Record(std::move(traced.trace));
+}
+
+void SparqlServer::CommitFlushed(const std::shared_ptr<Connection>& conn) {
+  if (conn->pending_commits.empty()) return;
+  for (Traced& traced : conn->pending_commits) {
+    CommitTrace(std::move(traced));
+  }
+  conn->pending_commits.clear();
 }
 
 void SparqlServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
@@ -626,9 +903,14 @@ void SparqlServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
     CloseConnection(conn->id);
     return;
   }
-  if (conn->outbuf.empty() && conn->close_after_write && !conn->busy) {
-    CloseConnection(conn->id);
-    return;
+  if (conn->outbuf.empty()) {
+    // Every queued response has reached the kernel: the flush span ends
+    // here for all of them.
+    CommitFlushed(conn);
+    if (conn->close_after_write && !conn->busy) {
+      CloseConnection(conn->id);
+      return;
+    }
   }
   UpdateInterest(conn);
 }
@@ -649,6 +931,9 @@ void SparqlServer::CloseConnection(std::uint64_t id) {
   auto it = connections_.find(id);
   if (it == connections_.end()) return;
   std::shared_ptr<Connection> conn = it->second;
+  // Responses that never fully flushed (write error, peer reset) still
+  // commit: the recorded flush span then covers post-to-close.
+  CommitFlushed(conn);
   if (conn->fd >= 0) {
     epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     close(conn->fd);

@@ -37,11 +37,14 @@
 #define HSPARQL_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +54,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
+#include "obs/request_trace.h"
 #include "results/writer.h"
 #include "server/admission.h"
 #include "server/http.h"
@@ -85,6 +89,20 @@ struct ServerOptions {
 
   /// Worker pool; null = ThreadPool::Shared(). Must outlive the server.
   ThreadPool* pool = nullptr;
+
+  /// End-to-end request tracing (DESIGN.md §4l): every request gets an
+  /// X-Request-Id (honouring an incoming W3C traceparent header), a span
+  /// timeline in the flight recorder behind /debug/traces, an access-log
+  /// entry behind /debug/requests, and — for /sparql — the per-operator
+  /// QueryTrace grafted in (collect_trace is forced on). Off disables all
+  /// of it; exists for the overhead gate and for byte-shaving deployments.
+  bool request_tracing = true;
+  /// Flight-recorder ring sizes and the slow-trace threshold.
+  obs::FlightRecorder::Options recorder;
+  /// Access-log ring size and line sink. The default sink is null; set
+  /// one (stderr in examples/serve) to get a JSON line per failed
+  /// request — how 408/499 cancellations become visible in server logs.
+  obs::AccessLog::Options access_log;
 };
 
 class SparqlServer {
@@ -110,8 +128,34 @@ class SparqlServer {
   /// write to a pipe and call from the main thread).
   void Shutdown();
 
+  /// The flight recorder (completed request traces; /debug/traces).
+  /// Valid for the server's lifetime; safe to read concurrently.
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  /// The access log (/debug/requests).
+  const obs::AccessLog& access_log() const { return access_log_; }
+
  private:
   struct Connection;
+
+  /// Per-request trace context threaded from Route through admission to
+  /// the response commit. `trace` is null when request_tracing is off (or
+  /// for parser-error responses that never had a request id).
+  struct Traced {
+    std::shared_ptr<obs::RequestTrace> trace;
+    /// The request's clock zero (first byte, approximated by the read
+    /// wake that started the request).
+    std::chrono::steady_clock::time_point start{};
+    /// Offset of admission Submit on the request clock (queue span start).
+    double admit_offset_millis = 0.0;
+    /// Offset of PostResponse on the request clock (flush span start).
+    double post_offset_millis = 0.0;
+
+    double OffsetMillis() const {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    }
+  };
 
   void IoLoop();
   /// Accepts until EAGAIN; closes over-limit sockets.
@@ -125,19 +169,50 @@ class SparqlServer {
   void Route(const std::shared_ptr<Connection>& conn, const HttpRequest& req);
   /// The /sparql operation (runs on the IO thread up to admission).
   void HandleQuery(const std::shared_ptr<Connection>& conn,
-                   const HttpRequest& req);
+                   const HttpRequest& req, Traced traced);
+  /// The /debug/* introspection endpoints (flight recorder, access log,
+  /// cardinality stats). Runs inline on the IO thread — snapshots only.
+  void HandleDebug(const std::shared_ptr<Connection>& conn,
+                   const HttpRequest& req, Traced traced);
   /// Worker-side: executes and serialises, then posts the response.
   void ExecuteQueryJob(const std::shared_ptr<Connection>& conn,
                        const std::string& query_text,
                        engine::QueryOptions query_options,
                        const std::shared_ptr<CancelToken>& token,
                        results::Format format, bool keep_alive,
-                       std::chrono::nanoseconds queue_wait, bool cancelled);
+                       std::chrono::nanoseconds queue_wait, bool cancelled,
+                       Traced traced);
+  /// FormatResponse plus the X-Request-Id header when `traced` carries a
+  /// trace (every response from an identified request gets one).
+  std::string Respond(
+      int status, std::string_view content_type, std::string_view body,
+      bool keep_alive, const Traced& traced,
+      std::vector<std::pair<std::string, std::string>> extra_headers = {})
+      const;
+  /// Respond + PostResponse in the right order. The two-call spelling
+  /// `PostResponse(conn, Respond(..., traced), ..., std::move(traced))`
+  /// is a trap: argument evaluation order is unspecified, so the move may
+  /// empty `traced` before Respond reads it.
+  void Send(const std::shared_ptr<Connection>& conn, int status,
+            std::string_view content_type, std::string_view body,
+            bool keep_alive, bool close_after, bool from_worker, Traced traced,
+            std::vector<std::pair<std::string, std::string>> extra_headers =
+                {});
   /// Queues `response` on conn and (from workers) wakes the IO thread.
+  /// Stamps `traced` (status, bytes, flush-span start) and attaches it to
+  /// the connection for commit once the bytes reach the kernel.
+  void PostResponse(const std::shared_ptr<Connection>& conn,
+                    std::string response, bool close_after, bool from_worker,
+                    Traced traced);
   void PostResponse(const std::shared_ptr<Connection>& conn,
                     std::string response, bool close_after, bool from_worker);
   /// IO-thread-side: moves posted responses into the socket buffers.
   void DrainCompletions();
+  /// Commits every response the kernel has fully accepted: stamps the
+  /// flush span and total, then records trace + access-log entry.
+  void CommitFlushed(const std::shared_ptr<Connection>& conn);
+  /// Finalizes one posted response (flush span ends now).
+  void CommitTrace(Traced&& traced);
   void CloseConnection(std::uint64_t id);
   /// Updates epoll interest (EPOLLIN/EPOLLOUT) for conn.
   void UpdateInterest(const std::shared_ptr<Connection>& conn);
@@ -173,9 +248,11 @@ class SparqlServer {
   /// 0 and 1 are kListenId/kWakeId; connections start above them.
   std::uint64_t next_connection_id_ = 2;
 
-  /// Worker -> IO thread completion queue.
+  /// Worker -> IO thread completion queue. Connections (not bare ids) so
+  /// a response finishing after the peer vanished can still commit its
+  /// trace to the flight recorder.
   Mutex done_mu_;
-  std::deque<std::uint64_t> done_queue_ GUARDED_BY(done_mu_);
+  std::deque<std::shared_ptr<Connection>> done_queue_ GUARDED_BY(done_mu_);
 
   /// Shutdown() is idempotent and may race with the destructor.
   Mutex shutdown_mu_;
@@ -194,6 +271,22 @@ class SparqlServer {
   obs::Gauge* connections_active_ = nullptr;
   obs::Histogram* queue_wait_millis_ = nullptr;
   obs::Histogram* request_millis_ = nullptr;
+  /// Admission queue depth sampled at every Submit (histogram half of the
+  /// depth gauge/histogram pair; count-style buckets).
+  obs::Histogram* queue_depth_at_admit_ = nullptr;
+  /// Most recent queue wait (gauge half of the wait histogram/gauge pair).
+  obs::Gauge* queue_wait_last_millis_ = nullptr;
+  // Per-phase latency histograms fed from committed request traces (the
+  // engine already exports parse/plan/exec; these cover the server-only
+  // phases).
+  obs::Histogram* phase_parse_http_millis_ = nullptr;
+  obs::Histogram* phase_serialize_millis_ = nullptr;
+  obs::Histogram* phase_flush_millis_ = nullptr;
+
+  /// Completed request traces (/debug/traces, SIGUSR1 dump).
+  obs::FlightRecorder recorder_;
+  /// Recent requests (/debug/requests) + error-line sink.
+  obs::AccessLog access_log_;
 };
 
 }  // namespace hsparql::server

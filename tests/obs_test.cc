@@ -8,8 +8,11 @@
 
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <iomanip>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -178,6 +181,140 @@ TEST(RegistryTest, PrometheusExpositionRewritesNamesAndCumulates) {
             std::string::npos);
   EXPECT_NE(text.find("app_latency_sum 105\n"), std::string::npos);
   EXPECT_NE(text.find("app_latency_count 2\n"), std::string::npos);
+}
+
+// Line-by-line conformance check against the text exposition format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/): every
+// line must be a well-formed comment or sample, TYPE must precede its
+// samples and appear once, histogram buckets must be cumulative and end
+// at +Inf == _count, and HELP text must escape backslash and line feed.
+TEST(RegistryTest, PrometheusExpositionConformance) {
+  obs::Registry registry;
+  registry.GetCounter("app.requests", "Total\nrequests \\ served")->Add(3);
+  registry.GetGauge("app.depth", "Queue depth")->Set(-2);
+  const std::array<double, 3> bounds = {0.5, 1.0, 10.0};
+  obs::Histogram* h = registry.GetHistogram("app.latency", "Latency", bounds);
+  h->Observe(0.7);
+  h->Observe(5.0);
+  h->Observe(100.0);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "exposition must end with a line feed";
+
+  const auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  std::map<std::string, std::string> type_of;       // metric -> TYPE
+  std::map<std::string, std::uint64_t> last_bucket;  // histogram -> cumulative
+  std::map<std::string, std::uint64_t> inf_bucket;
+  std::map<std::string, std::uint64_t> count_value;
+  std::set<std::string> histograms_with_sum;
+  std::set<std::string> seen_samples;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      ASSERT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      EXPECT_TRUE(valid_name(name)) << line;
+      if (kind == "HELP") {
+        // Raw newlines would split the comment; the escaped forms stay
+        // on one line.
+        EXPECT_EQ(line.find('\n'), std::string::npos);
+      } else {
+        std::string type;
+        ls >> type;
+        EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram" || type == "summary" ||
+                    type == "untyped")
+            << line;
+        EXPECT_EQ(type_of.count(name), 0u)
+            << "duplicate TYPE for " << name;
+        EXPECT_EQ(seen_samples.count(name), 0u)
+            << "TYPE after samples for " << name;
+        type_of[name] = type;
+      }
+      continue;
+    }
+    // Sample: name[{labels}] value
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    ASSERT_TRUE(end != nullptr && *end == '\0' && errno == 0)
+        << "unparsable sample value: " << line;
+    std::string le;
+    const std::size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      std::string labels = series.substr(brace + 1,
+                                         series.size() - brace - 2);
+      ASSERT_EQ(labels.substr(0, 4), "le=\"") << line;
+      ASSERT_EQ(labels.back(), '"') << line;
+      le = labels.substr(4, labels.size() - 5);
+      series = series.substr(0, brace);
+    }
+    EXPECT_TRUE(valid_name(series)) << line;
+    seen_samples.insert(series);
+
+    const auto strip_suffix = [&series](std::string_view suffix) {
+      return series.size() > suffix.size() &&
+                     series.compare(series.size() - suffix.size(),
+                                    suffix.size(), suffix) == 0
+                 ? series.substr(0, series.size() - suffix.size())
+                 : std::string();
+    };
+    const std::string bucket_base = strip_suffix("_bucket");
+    const std::string sum_base = strip_suffix("_sum");
+    const std::string count_base = strip_suffix("_count");
+    if (!bucket_base.empty() && type_of[bucket_base] == "histogram") {
+      ASSERT_FALSE(le.empty()) << "bucket without le label: " << line;
+      const auto cumulative = static_cast<std::uint64_t>(value);
+      EXPECT_GE(cumulative, last_bucket[bucket_base])
+          << "buckets must be cumulative: " << line;
+      last_bucket[bucket_base] = cumulative;
+      if (le == "+Inf") inf_bucket[bucket_base] = cumulative;
+    } else if (!sum_base.empty() && type_of[sum_base] == "histogram") {
+      histograms_with_sum.insert(sum_base);
+    } else if (!count_base.empty() && type_of[count_base] == "histogram") {
+      count_value[count_base] = static_cast<std::uint64_t>(value);
+    } else {
+      // A plain counter/gauge sample must carry a TYPE seen earlier.
+      EXPECT_EQ(type_of.count(series), 1u) << "sample without TYPE: " << line;
+      EXPECT_TRUE(le.empty()) << line;
+    }
+  }
+
+  // Every declared histogram produced buckets ending at +Inf == _count
+  // plus a _sum series.
+  bool saw_histogram = false;
+  for (const auto& [name, type] : type_of) {
+    if (type != "histogram") continue;
+    saw_histogram = true;
+    ASSERT_EQ(inf_bucket.count(name), 1u) << name << " missing +Inf bucket";
+    ASSERT_EQ(count_value.count(name), 1u) << name << " missing _count";
+    EXPECT_EQ(inf_bucket[name], count_value[name]) << name;
+    EXPECT_EQ(histograms_with_sum.count(name), 1u) << name << " missing _sum";
+  }
+  EXPECT_TRUE(saw_histogram);
+
+  // The escaped HELP text survives round-tripping on a single line.
+  EXPECT_NE(text.find("# HELP app_requests Total\\nrequests \\\\ served\n"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

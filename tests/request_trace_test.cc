@@ -1,0 +1,444 @@
+// Unit tests for the request-tracing building blocks (DESIGN.md §4l):
+// request ids and W3C traceparent adoption, RequestTrace span math and
+// JSON rendering, the AccessLog ring + error-only sink, the two-ring
+// FlightRecorder (slow/error bias, filters, de-dup), and the trace-fed
+// CardinalityMemo.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/cardinality_memo.h"
+#include "obs/request_trace.h"
+#include "obs/slow_query_log.h"
+
+namespace hsparql::obs {
+namespace {
+
+bool IsLowerHex(std::string_view s) {
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return !s.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Request ids.
+
+TEST(RequestIdTest, GeneratesDistinctLowerHexIds) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::string id = GenerateRequestId();
+    EXPECT_EQ(id.size(), 16u);
+    EXPECT_TRUE(IsLowerHex(id)) << id;
+    seen.insert(std::move(id));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RequestIdTest, GenerationIsThreadSafe) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<std::string>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[static_cast<std::size_t>(t)].push_back(GenerateRequestId());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::set<std::string> all;
+  for (const auto& batch : ids) all.insert(batch.begin(), batch.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// traceparent parsing.
+
+TEST(TraceparentTest, ParsesValidHeader) {
+  std::string trace_id;
+  std::string parent_id;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &trace_id,
+      &parent_id));
+  EXPECT_EQ(trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(parent_id, "00f067aa0ba902b7");
+}
+
+TEST(TraceparentTest, LowercasesMixedCaseIds) {
+  std::string trace_id;
+  std::string parent_id;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01", &trace_id,
+      &parent_id));
+  EXPECT_EQ(trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(parent_id, "00f067aa0ba902b7");
+}
+
+TEST(TraceparentTest, RejectsMalformedHeaders) {
+  std::string trace_id;
+  std::string parent_id;
+  // Empty / truncated / wrong separators / non-hex.
+  EXPECT_FALSE(ParseTraceparent("", &trace_id, &parent_id));
+  EXPECT_FALSE(ParseTraceparent("00-abc-def-01", &trace_id, &parent_id));
+  EXPECT_FALSE(ParseTraceparent(
+      "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01", &trace_id,
+      &parent_id));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01", &trace_id,
+      &parent_id));
+  // Version ff is forbidden by the spec.
+  EXPECT_FALSE(ParseTraceparent(
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &trace_id,
+      &parent_id));
+  // All-zero trace-id / parent-id are invalid.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01", &trace_id,
+      &parent_id));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", &trace_id,
+      &parent_id));
+}
+
+TEST(TraceparentTest, AcceptsFutureVersionWithTrailingData) {
+  // Per spec, a longer header from a future version parses as long as the
+  // known prefix is well-formed.
+  std::string trace_id;
+  std::string parent_id;
+  EXPECT_TRUE(ParseTraceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+      &trace_id, &parent_id));
+}
+
+// ---------------------------------------------------------------------------
+// RequestTrace spans + JSON.
+
+RequestTrace MakeTrace(int status, double total_millis) {
+  RequestTrace trace;
+  trace.id = "00000000000000aa";
+  trace.peer = "127.0.0.1:1234";
+  trace.method = "GET";
+  trace.target = "/sparql?query=x";
+  trace.http_status = status;
+  trace.response_bytes = 64;
+  trace.unix_micros = 1754600000000000;
+  trace.total_millis = total_millis;
+  trace.AddSpan("parse_http", 0.0, 0.01);
+  trace.AddSpan("queue", 0.01, 0.05);
+  trace.AddSpan("exec", 0.06, total_millis - 0.06);
+  return trace;
+}
+
+TEST(RequestTraceTest, SpanAccessors) {
+  RequestTrace trace = MakeTrace(200, 2.0);
+  EXPECT_DOUBLE_EQ(trace.SpanMillis("queue"), 0.05);
+  EXPECT_DOUBLE_EQ(trace.SpanMillis("absent"), 0.0);
+  EXPECT_NEAR(trace.SpanTotalMillis(), 2.0, 1e-9);
+}
+
+TEST(RequestTraceTest, ToJsonCarriesIdsSpansAndQueryAnnotations) {
+  RequestTrace trace = MakeTrace(200, 2.0);
+  trace.trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  trace.engine_status = "ok";
+  trace.planner = "hsp";
+  trace.rows = 7;
+  trace.query_hash = 0xabcdef;
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"id\":\"00000000000000aa\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"4bf92f3577b34da6a3ce929d0e0e4736\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine_status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"planner\":\"hsp\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"query_hash\":\"0000000000abcdef\""),
+            std::string::npos);
+}
+
+TEST(RequestTraceTest, ToJsonOmitsQuerySectionForNonQueryRequests) {
+  RequestTrace trace = MakeTrace(200, 1.0);  // engine_status stays empty
+  std::string json = trace.ToJson();
+  EXPECT_EQ(json.find("engine_status"), std::string::npos);
+  EXPECT_EQ(json.find("planner"), std::string::npos);
+}
+
+TEST(RequestTraceTest, ToJsonRendersOperatorTree) {
+  RequestTrace trace = MakeTrace(200, 2.0);
+  trace.engine_status = "ok";
+  auto qt = std::make_shared<QueryTrace>();
+  qt->root.label = "HashJoin";
+  qt->root.output_rows = 5;
+  OperatorTrace scan;
+  scan.label = "Scan ?x <p> ?y";
+  scan.output_rows = 10;
+  scan.estimated_rows = 12.0;
+  qt->root.children.push_back(scan);
+  trace.query_trace = qt;
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"operators\":"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"HashJoin\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"Scan ?x <p> ?y\""), std::string::npos);
+  EXPECT_NE(json.find("\"est\":12.000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// AccessLog.
+
+/// Distinct (id, unix_micros) per trace: the recorder snapshot
+/// de-duplicates notable traces by that pair, so reusing MakeTrace's
+/// fixed id would collapse unrelated test traces.
+std::shared_ptr<const RequestTrace> SharedTrace(int status,
+                                                double total_millis) {
+  static std::atomic<std::int64_t> seq{0};
+  RequestTrace trace = MakeTrace(status, total_millis);
+  trace.id = GenerateRequestId();
+  trace.unix_micros += seq.fetch_add(1);
+  return std::make_shared<RequestTrace>(std::move(trace));
+}
+
+TEST(AccessLogTest, RingKeepsMostRecentNewestFirst) {
+  AccessLog::Options options;
+  options.capacity = 3;
+  AccessLog log(options);
+  for (int i = 0; i < 5; ++i) {
+    auto trace = std::make_shared<RequestTrace>(MakeTrace(200, 1.0));
+    trace->response_bytes = static_cast<std::uint64_t>(i);
+    log.Record(std::move(trace));
+  }
+  EXPECT_EQ(log.recorded_total(), 5u);
+  std::vector<AccessLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].bytes, 4u);  // newest first
+  EXPECT_EQ(entries[1].bytes, 3u);
+  EXPECT_EQ(entries[2].bytes, 2u);
+  EXPECT_EQ(log.Snapshot(1).size(), 1u);
+}
+
+TEST(AccessLogTest, ErrorsOnlySinkSkipsSuccesses) {
+  std::vector<std::string> lines;
+  AccessLog::Options options;
+  options.sink = [&lines](std::string_view line) {
+    lines.emplace_back(line);
+  };
+  AccessLog log(options);  // log_errors_only defaults to true
+  log.Record(SharedTrace(200, 1.0));
+  log.Record(SharedTrace(499, 3.0));
+  log.Record(SharedTrace(408, 5.0));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"status\":499"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":408"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\":\""), std::string::npos);
+  EXPECT_EQ(log.recorded_total(), 3u);  // the ring records everything
+}
+
+TEST(AccessLogTest, FullSinkReceivesEveryRequest) {
+  std::atomic<int> lines{0};
+  AccessLog::Options options;
+  options.log_errors_only = false;
+  options.sink = [&lines](std::string_view) { lines++; };
+  AccessLog log(options);
+  log.Record(SharedTrace(200, 1.0));
+  log.Record(SharedTrace(503, 1.0));
+  EXPECT_EQ(lines.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder.
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsNewestFirst) {
+  FlightRecorder recorder;
+  for (int i = 0; i < 3; ++i) {
+    auto trace = SharedTrace(200, 1.0 + i);
+    recorder.Record(std::move(trace));
+  }
+  EXPECT_EQ(recorder.recorded_total(), 3u);
+  auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+}
+
+TEST(FlightRecorderTest, NotableRingKeepsSlowAndErrorTracesAcrossWraps) {
+  FlightRecorder::Options options;
+  options.recent_capacity = 4;
+  options.notable_capacity = 8;
+  options.slow_millis = 100.0;
+  FlightRecorder recorder(options);
+  // One slow trace and one error trace, then enough fast 200s to wrap the
+  // recent ring many times over.
+  auto slow = std::make_shared<RequestTrace>(MakeTrace(200, 250.0));
+  slow->id = GenerateRequestId();
+  slow->target = "/sparql?query=slow";
+  recorder.Record(slow);
+  auto error = std::make_shared<RequestTrace>(MakeTrace(500, 1.0));
+  error->id = GenerateRequestId();
+  error->target = "/sparql?query=error";
+  recorder.Record(error);
+  for (int i = 0; i < 64; ++i) recorder.Record(SharedTrace(200, 1.0));
+
+  auto traces = recorder.Snapshot();
+  bool slow_survives = false;
+  bool error_survives = false;
+  for (const auto& t : traces) {
+    if (t->target == "/sparql?query=slow") slow_survives = true;
+    if (t->target == "/sparql?query=error") error_survives = true;
+  }
+  EXPECT_TRUE(slow_survives);
+  EXPECT_TRUE(error_survives);
+  EXPECT_EQ(recorder.notable_total(), 2u);
+}
+
+TEST(FlightRecorderTest, FiltersByDurationStatusAndLimit) {
+  FlightRecorder recorder;
+  recorder.Record(SharedTrace(200, 1.0));
+  recorder.Record(SharedTrace(200, 50.0));
+  recorder.Record(SharedTrace(404, 2.0));
+  recorder.Record(SharedTrace(503, 2.0));
+
+  FlightRecorder::Filter slow_only;
+  slow_only.min_millis = 10.0;
+  auto slow = recorder.Snapshot(slow_only);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_DOUBLE_EQ(slow[0]->total_millis, 50.0);
+
+  FlightRecorder::Filter by_class;
+  by_class.status = 4;  // the 4xx class
+  auto fourxx = recorder.Snapshot(by_class);
+  ASSERT_EQ(fourxx.size(), 1u);
+  EXPECT_EQ(fourxx[0]->http_status, 404);
+
+  FlightRecorder::Filter exact;
+  exact.status = 503;
+  EXPECT_EQ(recorder.Snapshot(exact).size(), 1u);
+
+  FlightRecorder::Filter limited;
+  limited.limit = 2;
+  EXPECT_EQ(recorder.Snapshot(limited).size(), 2u);
+}
+
+TEST(FlightRecorderTest, SnapshotDeduplicatesNotableTraces) {
+  // A slow trace lands in both rings while the recent ring has not yet
+  // wrapped; the snapshot must list it once.
+  FlightRecorder recorder;
+  auto slow = std::make_shared<RequestTrace>(MakeTrace(200, 500.0));
+  recorder.Record(slow);
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(FlightRecorderTest, ToJsonListsTraces) {
+  FlightRecorder recorder;
+  recorder.Record(SharedTrace(200, 1.0));
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"traces\":["), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordIsSafe) {
+  FlightRecorder::Options options;
+  options.recent_capacity = 16;
+  FlightRecorder recorder(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 1000; ++i) recorder.Record(SharedTrace(200, 1.0));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.recorded_total(), 4000u);
+  // Every slot holds a valid trace; Snapshot must not crash or return
+  // nulls after heavy wrapping.
+  for (const auto& trace : recorder.Snapshot()) {
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->http_status, 200);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CardinalityMemo.
+
+TEST(CardinalityMemoTest, ObserveAndLookup) {
+  CardinalityMemo memo;
+  const std::uint64_t key = HashQueryText("?s <p> ?o");
+  memo.Observe(key, "?s <p> ?o", 40, 50.0);
+  memo.Observe(key, "?s <p> ?o", 60, 30.0);
+  auto stats = memo.Lookup(key);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->label, "?s <p> ?o");
+  EXPECT_EQ(stats->observations, 2u);
+  EXPECT_EQ(stats->last_actual, 60u);
+  EXPECT_DOUBLE_EQ(stats->mean_actual, 50.0);
+  // q-error: geomean of {40/50, 60/30} = sqrt(0.8 * 2.0) ~= 1.2649.
+  EXPECT_NEAR(stats->q_error, std::sqrt(1.6), 1e-9);
+  EXPECT_FALSE(memo.Lookup(key + 1).has_value());
+}
+
+TEST(CardinalityMemoTest, ObservationsWithoutEstimatesHaveNoQError) {
+  CardinalityMemo memo;
+  memo.Observe(1, "?s ?p ?o", 100);
+  auto stats = memo.Lookup(1);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_LT(stats->q_error, 0.0);  // -1 = unknown
+  std::string json = memo.ToJson();
+  EXPECT_EQ(json.find("q_error"), std::string::npos);
+}
+
+TEST(CardinalityMemoTest, RingOverwritesOldestObservation) {
+  CardinalityMemo::Options options;
+  options.ring_size = 2;
+  CardinalityMemo memo(options);
+  memo.Observe(1, "p", 10);
+  memo.Observe(1, "p", 20);
+  memo.Observe(1, "p", 30);  // evicts the 10
+  auto stats = memo.Lookup(1);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->observations, 3u);
+  EXPECT_EQ(stats->last_actual, 30u);
+  EXPECT_DOUBLE_EQ(stats->mean_actual, 25.0);
+}
+
+TEST(CardinalityMemoTest, BoundedAtMaxPatternsWithDropCounter) {
+  CardinalityMemo::Options options;
+  options.max_patterns = 2;
+  CardinalityMemo memo(options);
+  memo.Observe(1, "a", 1);
+  memo.Observe(2, "b", 1);
+  memo.Observe(3, "c", 1);  // dropped: memo full
+  memo.Observe(1, "a", 2);  // existing keys still update
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(memo.observed_total(), 4u);
+  EXPECT_EQ(memo.dropped_total(), 1u);
+  EXPECT_FALSE(memo.Lookup(3).has_value());
+}
+
+TEST(CardinalityMemoTest, SnapshotOrdersByObservationCount) {
+  CardinalityMemo memo;
+  memo.Observe(1, "rare", 1);
+  memo.Observe(2, "hot", 1);
+  memo.Observe(2, "hot", 2);
+  auto snapshot = memo.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].label, "hot");
+  EXPECT_EQ(snapshot[1].label, "rare");
+}
+
+TEST(CardinalityMemoTest, ToJsonRendersPatternsAndCounters) {
+  CardinalityMemo memo;
+  memo.Observe(0xab, "?s <p> ?o", 40, 50.0);
+  std::string json = memo.ToJson();
+  EXPECT_NE(json.find("\"key\":\"00000000000000ab\""), std::string::npos);
+  EXPECT_NE(json.find("\"pattern\":\"?s <p> ?o\""), std::string::npos);
+  EXPECT_NE(json.find("\"observations\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"last_actual\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"observed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsparql::obs

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "results/writer.h"
@@ -321,6 +322,252 @@ TEST(ServerTest, ShutdownIsIdempotent) {
   h.server->Shutdown();
   h.server->Shutdown();
   EXPECT_FALSE(h.server->running());
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing (DESIGN.md §4l): X-Request-Id, traceparent adoption,
+// /debug endpoints, the flight recorder, and id-keyed logs.
+
+bool IsLowerHexId(std::string_view s, std::size_t len) {
+  if (s.size() != len) return false;
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+TEST(ServerTest, EveryResponseCarriesXRequestId) {
+  Harness h;
+  auto query = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_TRUE(IsLowerHexId(query->Header("x-request-id"), 16))
+      << query->Header("x-request-id");
+  auto health = h.client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(IsLowerHexId(health->Header("x-request-id"), 16));
+  // Distinct requests get distinct ids.
+  EXPECT_NE(query->Header("x-request-id"), health->Header("x-request-id"));
+}
+
+TEST(ServerTest, TraceparentParentIdBecomesRequestId) {
+  Harness h;
+  auto response = h.client.Get(
+      QueryTarget(kIssuedQuery),
+      {{"traceparent",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->Header("x-request-id"), "00f067aa0ba902b7");
+  // The adopted trace-id is visible in the recorded trace.
+  auto traces = h.server->recorder().Snapshot();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ(traces[0]->id, "00f067aa0ba902b7");
+  EXPECT_EQ(traces[0]->trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(ServerTest, MalformedTraceparentFallsBackToGeneratedId) {
+  Harness h;
+  auto response =
+      h.client.Get(QueryTarget(kIssuedQuery), {{"traceparent", "garbage"}});
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(IsLowerHexId(response->Header("x-request-id"), 16));
+  EXPECT_NE(response->Header("x-request-id"), "garbage");
+}
+
+TEST(ServerTest, RecorderTraceHasPhaseSpansSummingToTotal) {
+  Harness h;
+  auto response = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, 200);
+  const std::string id(response->Header("x-request-id"));
+
+  // The trace commits on the IO thread when the response bytes drain —
+  // which happened before the client could read them, so it is already
+  // recorded by the time this snapshot runs.
+  std::shared_ptr<const obs::RequestTrace> trace;
+  for (const auto& t : h.server->recorder().Snapshot()) {
+    if (t->id == id) trace = t;
+  }
+  ASSERT_NE(trace, nullptr) << "trace " << id << " not in the recorder";
+  EXPECT_EQ(trace->http_status, 200);
+  EXPECT_EQ(trace->method, "GET");
+  EXPECT_GT(trace->response_bytes, 0u);
+  EXPECT_EQ(trace->engine_status, "ok");
+  EXPECT_GT(trace->rows, 0u);
+  EXPECT_NE(trace->query_hash, 0u);
+  for (const char* name :
+       {"parse_http", "queue", "parse", "plan", "exec", "serialize",
+        "flush"}) {
+    bool found = false;
+    for (const auto& span : trace->spans) found |= span.name == name;
+    EXPECT_TRUE(found) << "missing span " << name;
+  }
+  // The acceptance bound: summed span self-times within 10% of wall time.
+  EXPECT_GT(trace->total_millis, 0.0);
+  EXPECT_NEAR(trace->SpanTotalMillis(), trace->total_millis,
+              0.1 * trace->total_millis);
+  // The engine's per-operator tree is grafted in.
+  EXPECT_NE(trace->query_trace, nullptr);
+}
+
+TEST(ServerTest, DebugTracesEndpointFiltersAndRenders) {
+  Harness h;
+  auto query = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(query.ok());
+  const std::string id(query->Header("x-request-id"));
+
+  auto traces = h.client.Get("/debug/traces");
+  ASSERT_TRUE(traces.ok());
+  EXPECT_EQ(traces->status, 200);
+  EXPECT_NE(traces->body.find("\"traces\":["), std::string::npos);
+  EXPECT_NE(traces->body.find("\"id\":\"" + id + "\""), std::string::npos);
+  EXPECT_NE(traces->body.find("\"name\":\"exec\""), std::string::npos);
+
+  // min_ms high enough that nothing matches.
+  auto none = h.client.Get("/debug/traces?min_ms=60000");
+  ASSERT_TRUE(none.ok());
+  EXPECT_NE(none->body.find("\"traces\":[]"), std::string::npos);
+
+  // Status filtering: a 404 shows up under status=4.
+  (void)h.client.Get("/nope");
+  auto fourxx = h.client.Get("/debug/traces?status=4");
+  ASSERT_TRUE(fourxx.ok());
+  EXPECT_NE(fourxx->body.find("\"status\":404"), std::string::npos);
+  EXPECT_EQ(fourxx->body.find("\"status\":200"), std::string::npos);
+
+  auto wrong_method =
+      h.client.Post("/debug/traces", "text/plain", "x");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+}
+
+TEST(ServerTest, DebugRequestsListsRecentRequests) {
+  Harness h;
+  auto query = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(query.ok());
+  const std::string id(query->Header("x-request-id"));
+  auto requests = h.client.Get("/debug/requests");
+  ASSERT_TRUE(requests.ok());
+  EXPECT_EQ(requests->status, 200);
+  EXPECT_NE(requests->body.find("\"id\":\"" + id + "\""), std::string::npos);
+  EXPECT_NE(requests->body.find("\"status\":200"), std::string::npos);
+  EXPECT_NE(requests->body.find("\"method\":\"GET\""), std::string::npos);
+}
+
+TEST(ServerTest, DebugStatsExposesCardinalityMemo) {
+  Harness h;
+  auto query = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->status, 200);
+  // The traced query folded per-scan actuals into the engine's memo.
+  EXPECT_GT(h.engine.cardinality_memo().size(), 0u);
+  auto stats = h.client.Get("/debug/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  EXPECT_NE(stats->body.find("\"cardinality_memo\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"pattern\":\"? <dcterms:issued> ?\""),
+            std::string::npos)
+      << stats->body;
+  EXPECT_NE(stats->body.find("\"flight_recorder\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"access_log\":"), std::string::npos);
+}
+
+TEST(ServerTest, SlowQueryLogLineCarriesTheRequestId) {
+  std::vector<std::string> lines;
+  Mutex lines_mu;
+  engine::EngineOptions engine_options;
+  engine_options.slow_query_millis = 0.000001;  // everything is "slow"
+  engine_options.slow_query_sink = [&](std::string_view line) {
+    MutexLock lock(&lines_mu);
+    lines.emplace_back(line);
+  };
+  Harness h(ServerOptions(), engine_options);
+  auto response = h.client.Get(
+      QueryTarget(kIssuedQuery),
+      {{"traceparent",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  MutexLock lock(&lines_mu);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("\"request_id\":\"00f067aa0ba902b7\""),
+            std::string::npos)
+      << lines.back();
+}
+
+TEST(ServerTest, AccessLogSinkReportsRequestTimeouts) {
+  // 408 deadline expiries must surface in server logs keyed by request
+  // id (the cancellation-visibility satellite).
+  rdf::Graph g;
+  for (int i = 0; i < 600; ++i) {
+    g.AddLiteral("s" + std::to_string(i), "p", std::to_string(i));
+  }
+  engine::Engine engine(storage::TripleStore::Build(std::move(g)));
+  std::vector<std::string> lines;
+  Mutex lines_mu;
+  ServerOptions options;
+  options.port = 0;
+  options.access_log.sink = [&](std::string_view line) {
+    MutexLock lock(&lines_mu);
+    lines.emplace_back(line);  // errors-only by default
+  };
+  SparqlServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::string heavy = "SELECT ?a ?b WHERE { ?a <p> ?x . ?b <p> ?y }";
+  std::string timeout_id;
+  for (int attempt = 0; attempt < 20 && timeout_id.empty(); ++attempt) {
+    auto response = client.Get(QueryTarget(heavy, "timeout=1"));
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->status == 408) {
+      timeout_id = response->Header("x-request-id");
+    }
+    engine.ClearCaches();
+  }
+  ASSERT_FALSE(timeout_id.empty())
+      << "heavy query never hit its 1 ms deadline in 20 attempts";
+  {
+    MutexLock lock(&lines_mu);
+    bool found = false;
+    for (const std::string& line : lines) {
+      if (line.find("\"id\":\"" + timeout_id + "\"") != std::string::npos) {
+        EXPECT_NE(line.find("\"status\":408"), std::string::npos) << line;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "no access-log line for request " << timeout_id;
+  }
+  server.Shutdown();
+}
+
+TEST(ServerTest, TracingDisabledOmitsIdsAndRecordsNothing) {
+  ServerOptions options;
+  options.request_tracing = false;
+  Harness h(options);
+  auto response = h.client.Get(QueryTarget(kIssuedQuery));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->Header("x-request-id"), "");
+  auto traces = h.client.Get("/debug/traces");
+  ASSERT_TRUE(traces.ok());
+  EXPECT_EQ(traces->status, 200);
+  EXPECT_NE(traces->body.find("\"traces\":[]"), std::string::npos);
+  EXPECT_EQ(h.server->recorder().recorded_total(), 0u);
+}
+
+TEST(ServerTest, QueueMetricsExported) {
+  Harness h;
+  (void)h.client.Get(QueryTarget(kIssuedQuery));
+  auto metrics = h.client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  for (const char* family :
+       {"server_queue_depth_at_admit", "server_queue_wait_last_millis",
+        "server_phase_parse_http_millis", "server_phase_serialize_millis",
+        "server_phase_flush_millis"}) {
+    EXPECT_NE(metrics->body.find(family), std::string::npos)
+        << "missing metric family " << family;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate: always-on request tracing must stay cheap end to end.
+
+Compares two bench_serving JSON artifacts — one run with request tracing
+disabled (`--no-request-trace`) and one with the default always-on
+tracing — and fails when the geometric-mean slowdown across the steady
+phase's throughput and latency metrics exceeds the given budget.
+
+The traced run does strictly more work per request (request id
+generation, span timestamps, a forced engine trace, the flight-recorder
+write, the access-log entry), so its slowdown bounds what tracing costs
+every serving deployment. Both artifacts should come from
+`bench_serving --repeat=N` (N >= 3): the bench keeps the best of N runs,
+because scheduling and frequency noise on a shared CI runner only ever
+slows a run down — best-of is the stable estimate of true cost, and the
+only aggregate tight enough for a single-digit-percent gate (same
+reasoning as tools/trace_overhead_gate.py, PR 5).
+
+Metrics compared (from the "steady" object):
+  qps    — ratio baseline/traced (higher is better)
+  p50_ms — ratio traced/baseline (lower is better)
+
+Usage: request_trace_overhead_gate.py <baseline.json> <traced.json> <max_pct>
+"""
+
+import json
+import math
+import sys
+
+
+def load_steady(path, want_tracing):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("bench") != "serving":
+        sys.exit(f"gate error: {path} is not a bench_serving artifact")
+    if report.get("request_tracing") is not want_tracing:
+        sys.exit(
+            f"gate error: {path} has request_tracing="
+            f"{report.get('request_tracing')}, expected {want_tracing} "
+            "(baseline must be run with --no-request-trace, traced without)"
+        )
+    return report["steady"]
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    baseline = load_steady(sys.argv[1], want_tracing=False)
+    traced = load_steady(sys.argv[2], want_tracing=True)
+    budget_pct = float(sys.argv[3])
+
+    ratios = {}
+    if baseline["qps"] > 0 and traced["qps"] > 0:
+        ratios["qps"] = baseline["qps"] / traced["qps"]
+    if baseline["p50_ms"] > 0 and traced["p50_ms"] > 0:
+        ratios["p50_ms"] = traced["p50_ms"] / baseline["p50_ms"]
+    if not ratios:
+        sys.exit("gate error: no usable metrics (zero qps or p50 in a report)")
+
+    log_sum = 0.0
+    for name, ratio in sorted(ratios.items()):
+        log_sum += math.log(ratio)
+        print(
+            f"{name}: base {baseline[name]} traced {traced[name]} "
+            f"(slowdown {(ratio - 1) * 100:+.2f}%)"
+        )
+    geomean = math.exp(log_sum / len(ratios))
+    overhead_pct = (geomean - 1.0) * 100.0
+    print(
+        f"geomean slowdown with request tracing on: {overhead_pct:+.2f}% "
+        f"over {len(ratios)} metrics (budget {budget_pct:.1f}%)"
+    )
+    if overhead_pct > budget_pct:
+        sys.exit(f"gate FAILED: {overhead_pct:.2f}% > {budget_pct:.1f}%")
+    print("gate passed")
+
+
+if __name__ == "__main__":
+    main()
